@@ -1,0 +1,41 @@
+//! Ablation: the paper's most-frequent-variable unate split (§V-C) vs a
+//! naive half split. The frequency rule should produce fewer gates because
+//! split halves are more likely to be threshold functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tels_circuits::paper_suite;
+use tels_core::{synthesize, SplitHeuristic, TelsConfig};
+use tels_logic::opt::script_algebraic;
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_split");
+    group.sample_size(10);
+    let mut freq_total = 0usize;
+    let mut halves_total = 0usize;
+    for b in paper_suite() {
+        if b.name == "i10_like" || b.name == "cordic_like" {
+            continue;
+        }
+        let algebraic = script_algebraic(&b.network);
+        for (label, heuristic) in [
+            ("frequency", SplitHeuristic::Frequency),
+            ("halves", SplitHeuristic::Halves),
+        ] {
+            let config = TelsConfig { split_heuristic: heuristic, ..TelsConfig::default() };
+            group.bench_function(format!("{}/{label}", b.name), |bench| {
+                bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
+            });
+            let tn = synthesize(&algebraic, &config).expect("synthesize");
+            if heuristic == SplitHeuristic::Frequency {
+                freq_total += tn.num_gates();
+            } else {
+                halves_total += tn.num_gates();
+            }
+        }
+    }
+    group.finish();
+    println!("total gates — frequency split: {freq_total}, half split: {halves_total}");
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: the paper's backward collapse/split flow vs the
+//! divide-and-conquer (Shannon) strategy its conclusion proposes as future
+//! work. Expected outcome: the paper's heuristics win on gate count, which
+//! is evidence for the design choices of §V.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tels_circuits::paper_suite;
+use tels_core::{synthesize, SynthStrategy, TelsConfig};
+use tels_logic::opt::script_algebraic;
+
+fn bench_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strategy");
+    group.sample_size(10);
+    let mut totals = [0usize; 2];
+    for b in paper_suite() {
+        if b.name == "i10_like" || b.name == "cordic_like" {
+            continue;
+        }
+        let algebraic = script_algebraic(&b.network);
+        for (i, (label, strategy)) in [
+            ("paper", SynthStrategy::PaperBackward),
+            ("shannon", SynthStrategy::Shannon),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let config = TelsConfig { strategy, ..TelsConfig::default() };
+            group.bench_function(format!("{}/{label}", b.name), |bench| {
+                bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
+            });
+            let tn = synthesize(&algebraic, &config).expect("synthesize");
+            assert_eq!(
+                tn.verify_against(&b.network, 12, 256, 5).expect("interfaces"),
+                None,
+                "{label} strategy broke {}",
+                b.name
+            );
+            totals[i] += tn.num_gates();
+        }
+    }
+    group.finish();
+    println!(
+        "total gates — paper backward flow: {}, shannon divide-and-conquer: {}",
+        totals[0], totals[1]
+    );
+}
+
+criterion_group!(benches, bench_strategy);
+criterion_main!(benches);

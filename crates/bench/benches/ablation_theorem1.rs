@@ -1,0 +1,45 @@
+//! Ablation: synthesis with and without the Theorem-1 non-threshold
+//! pre-filter (§IV). The filter skips ILP calls for provably non-threshold
+//! nodes; the result quality must be identical either way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tels_circuits::paper_suite;
+use tels_core::{synthesize_with_stats, TelsConfig};
+use tels_logic::opt::script_algebraic;
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_theorem1");
+    group.sample_size(10);
+    for b in paper_suite() {
+        if !matches!(b.name, "comp_like" | "cmb_like" | "term1_like") {
+            continue;
+        }
+        let algebraic = script_algebraic(&b.network);
+        for (label, use_theorem1) in [("with", true), ("without", false)] {
+            let config = TelsConfig { use_theorem1, ..TelsConfig::default() };
+            group.bench_function(format!("{}/{label}", b.name), |bench| {
+                bench.iter(|| synthesize_with_stats(&algebraic, &config).expect("synthesize"));
+            });
+        }
+        // Quality must be identical; only ILP call counts may differ.
+        let on = synthesize_with_stats(&algebraic, &TelsConfig::default()).expect("on");
+        let off = synthesize_with_stats(
+            &algebraic,
+            &TelsConfig { use_theorem1: false, ..TelsConfig::default() },
+        )
+        .expect("off");
+        assert_eq!(on.0.num_gates(), off.0.num_gates());
+        println!(
+            "{}: gates {} | ILP calls with filter {}, without {} ({} refutations)",
+            b.name,
+            on.0.num_gates(),
+            on.1.ilp_calls,
+            off.1.ilp_calls,
+            on.1.theorem1_refutations
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem1);
+criterion_main!(benches);

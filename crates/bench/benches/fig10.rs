@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig. 10 experiment: synthesis across the fanin
+//! restriction sweep (3..=8) on the comp stand-in, printing the gate-count
+//! series once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_circuits::comparator;
+use tels_core::{map_one_to_one, synthesize, TelsConfig};
+use tels_logic::opt::{script_algebraic, script_boolean};
+
+fn bench_fig10(c: &mut Criterion) {
+    let net = comparator(16);
+    let boolean_net = script_boolean(&net);
+    let algebraic_net = script_algebraic(&net);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    let mut series = Vec::new();
+    for psi in 3..=8usize {
+        let config = TelsConfig { psi, ..TelsConfig::default() };
+        group.bench_with_input(BenchmarkId::new("tels", psi), &psi, |bench, _| {
+            bench.iter(|| synthesize(&algebraic_net, &config).expect("synthesize"));
+        });
+        let baseline = map_one_to_one(&boolean_net, &config).expect("map11");
+        let tels = synthesize(&algebraic_net, &config).expect("synthesize");
+        series.push((psi, baseline.num_gates(), tels.num_gates()));
+    }
+    group.finish();
+    println!("\nFig. 10: gate count vs fanin restriction (comp_like)");
+    println!("{:<6} {:>12} {:>8}", "fanin", "one-to-one", "TELS");
+    for (psi, base, tels) in series {
+        println!("{:<6} {:>12} {:>8}", psi, base, tels);
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

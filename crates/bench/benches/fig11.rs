@@ -1,0 +1,70 @@
+//! Criterion bench for the Fig. 11 experiment: Monte-Carlo failure-rate
+//! estimation under weight variation, printing the failure-rate matrix
+//! (variation multiplier × δ_on) once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_circuits::paper_suite;
+use tels_core::perturb::{failure_rate, PerturbOptions};
+use tels_core::{synthesize, TelsConfig};
+use tels_logic::opt::script_algebraic;
+
+fn bench_fig11(c: &mut Criterion) {
+    // One small representative benchmark for the timed portion.
+    let b = paper_suite().into_iter().find(|b| b.name == "cmb_like").expect("cmb_like");
+    let algebraic = script_algebraic(&b.network);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for delta_on in 0..=3i64 {
+        let config = TelsConfig { delta_on, ..TelsConfig::default() };
+        let tn = synthesize(&algebraic, &config).expect("synthesize");
+        let opts = PerturbOptions {
+            variation: 0.8,
+            trials: 10,
+            exhaustive_limit: 10,
+            vectors: 128,
+            seed: 11,
+        };
+        group.bench_with_input(BenchmarkId::new("failure_rate", delta_on), &delta_on, |bench, _| {
+            bench.iter(|| failure_rate(&tn, &b.network, &opts).expect("rate"));
+        });
+    }
+    group.finish();
+
+    // Print the matrix over the (non-huge) suite.
+    println!("\nFig. 11: failure rate (%) of benchmarks vs variation, per δ_on");
+    print!("{:<6}", "v");
+    for d in 0..=3 {
+        print!("{:>10}", format!("δ_on={d}"));
+    }
+    println!();
+    for &v in &[0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
+        print!("{:<6}", v);
+        for delta_on in 0..=3i64 {
+            let config = TelsConfig { delta_on, ..TelsConfig::default() };
+            let mut failing = 0usize;
+            let mut count = 0usize;
+            for b in paper_suite() {
+                if b.name == "i10_like" || b.name == "cordic_like" {
+                    continue;
+                }
+                let tn = synthesize(&script_algebraic(&b.network), &config).expect("synthesize");
+                let opts = PerturbOptions {
+                    variation: v,
+                    trials: 10,
+                    exhaustive_limit: 10,
+                    vectors: 128,
+                    seed: 0xf1611 ^ b.name.len() as u64,
+                };
+                if failure_rate(&tn, &b.network, &opts).expect("rate") > 0.0 {
+                    failing += 1;
+                }
+                count += 1;
+            }
+            print!("{:>10.1}", 100.0 * failing as f64 / count as f64);
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks the exact ILP solver on threshold-identification systems of
+//! growing size (the AND-OR ladder f = x₁x₂ ∨ x₁x₃ ∨ … ∨ x₁x_n, which is a
+//! threshold function with linearly growing weights).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_ilp::{Cmp, Limits, Problem, Status};
+
+/// Builds the ILP for f = x₁·(x₂ ∨ … ∨ x_n) directly.
+fn ladder_problem(n: usize) -> Problem {
+    let mut p = Problem::new();
+    let w: Vec<_> = (0..n).map(|_| p.add_int_var()).collect();
+    let t = p.add_int_var();
+    p.set_objective(w.iter().map(|&v| (v, 1i64)).chain([(t, 1i64)]));
+    for i in 1..n {
+        p.add_constraint([(w[0], 1), (w[i], 1), (t, -1)], Cmp::Ge, 0);
+    }
+    // OFF: all of x₂.. on but x₁ off; x₁ on alone.
+    let mut terms: Vec<_> = (1..n).map(|i| (w[i], 1i64)).collect();
+    terms.push((t, -1));
+    p.add_constraint(terms, Cmp::Le, -1);
+    p.add_constraint([(w[0], 1), (t, -1)], Cmp::Le, -1);
+    p
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_solver");
+    for n in [4usize, 8, 12, 16, 24] {
+        let p = ladder_problem(n);
+        group.bench_with_input(BenchmarkId::new("ladder", n), &n, |bench, _| {
+            bench.iter(|| {
+                let s = p.solve(&Limits::default()).expect("solve");
+                assert_eq!(s.status, Status::Optimal);
+                s
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Times the factoring and synthesis phases separately, reproducing the
+//! §VI-A runtime observation (total under a second per benchmark; about
+//! 42% of the time in threshold synthesis, the rest in factoring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tels_circuits::paper_suite;
+use tels_core::{synthesize, TelsConfig};
+use tels_logic::opt::script_algebraic;
+
+fn bench_phases(c: &mut Criterion) {
+    let config = TelsConfig::default();
+    let mut group = c.benchmark_group("synthesis_speed");
+    group.sample_size(10);
+    for b in paper_suite() {
+        if b.name == "i10_like" || b.name == "cordic_like" {
+            continue;
+        }
+        let algebraic = script_algebraic(&b.network);
+        group.bench_function(format!("factor/{}", b.name), |bench| {
+            bench.iter(|| script_algebraic(&b.network));
+        });
+        group.bench_function(format!("synth/{}", b.name), |bench| {
+            bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

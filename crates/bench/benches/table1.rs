@@ -1,0 +1,32 @@
+//! Criterion bench for the Table-I flow: times the full
+//! optimize → one-to-one / TELS pipeline per benchmark and prints the
+//! reproduced table once at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tels_bench::{format_table1, run_table1_flow};
+use tels_circuits::paper_suite;
+use tels_core::TelsConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = TelsConfig::default();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for b in paper_suite() {
+        // The two largest stand-ins dominate wall time; keep them out of
+        // the timed loop (they still appear in the printed table below).
+        if b.name != "i10_like" && b.name != "cordic_like" {
+            group.bench_function(b.name, |bench| {
+                bench.iter(|| run_table1_flow(b.name, &b.network, &config));
+            });
+        }
+        rows.push(run_table1_flow(b.name, &b.network, &config));
+    }
+    group.finish();
+    println!();
+    println!("Table I reproduction (ψ = 3, δ_on = 0, δ_off = 1)");
+    print!("{}", format_table1(&rows));
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks the full threshold check (unate transform + complement +
+//! ILP) on representative function families across variable counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_core::{check_threshold, TelsConfig};
+use tels_logic::{Cube, Sop, Var};
+
+fn majority_sop(n: usize) -> Sop {
+    let k = n / 2 + 1;
+    let mut cubes = Vec::new();
+    // All k-subsets of n.
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        cubes.push(Cube::from_literals(idx.iter().map(|&i| (Var(i as u32), true))));
+        // next combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return Sop::from_cubes(cubes);
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn ladder_sop(n: usize) -> Sop {
+    Sop::from_cubes((1..n).map(|i| {
+        Cube::from_literals([(Var(0), true), (Var(i as u32), true)])
+    }))
+}
+
+fn bench_check(c: &mut Criterion) {
+    let config = TelsConfig::default();
+    let mut group = c.benchmark_group("threshold_check");
+    for n in [3usize, 5, 7] {
+        let f = majority_sop(n);
+        group.bench_with_input(BenchmarkId::new("majority", n), &n, |bench, _| {
+            bench.iter(|| check_threshold(&f, &config).expect("check").expect("threshold"));
+        });
+    }
+    for n in [4usize, 8, 12] {
+        let f = ladder_sop(n);
+        group.bench_with_input(BenchmarkId::new("ladder", n), &n, |bench, _| {
+            bench.iter(|| check_threshold(&f, &config).expect("check").expect("threshold"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

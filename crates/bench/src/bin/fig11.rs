@@ -1,0 +1,88 @@
+//! Regenerates Fig. 11 of the paper: circuit failure rate under parametric
+//! weight variations, for δ_on ∈ 0..=3 (δ_off fixed at 1) and variation
+//! multiplier v swept over (0, 1.2].
+//!
+//! Each benchmark is synthesized once per δ_on; every Monte-Carlo trial
+//! disturbs all weights by `w′ = w + v·U(−0.5, 0.5)` and simulates. The
+//! failure rate is the percentage of benchmarks that fail on at least one
+//! simulated vector — the paper's definition (§VI-C).
+//!
+//! Expected shape: the failure rate rises with v and falls as δ_on grows.
+//!
+//! Run with `cargo run --release -p tels-bench --bin fig11`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tels_circuits::paper_suite;
+use tels_core::perturb::{draw_disturbance, instance_fails, PerturbOptions};
+use tels_core::{synthesize, TelsConfig, ThresholdNetwork};
+use tels_logic::opt::script_algebraic;
+use tels_logic::Network;
+
+/// Synthesized networks per δ_on, excluding the over-sized i10 stand-in to
+/// keep the Monte-Carlo loop fast.
+fn synthesize_suite(delta_on: i64) -> Vec<(String, Network, ThresholdNetwork)> {
+    paper_suite()
+        .into_iter()
+        .filter(|b| b.name != "i10_like")
+        .map(|b| {
+            let config = TelsConfig {
+                delta_on,
+                ..TelsConfig::default()
+            };
+            let algebraic = script_algebraic(&b.network);
+            let tn = synthesize(&algebraic, &config).expect("TELS synthesis");
+            (b.name.to_string(), b.network, tn)
+        })
+        .collect()
+}
+
+fn main() {
+    let variations = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+    let trials_per_benchmark = 20;
+
+    println!("Fig. 11 reproduction: failure rate (%) vs variation multiplier v");
+    print!("{:<8}", "v");
+    for d in 0..=3 {
+        print!("{:>12}", format!("delta_on={d}"));
+    }
+    println!();
+    println!("{}", "-".repeat(60));
+
+    for &v in &variations {
+        print!("{:<8}", v);
+        for delta_on in 0..=3i64 {
+            let suite = synthesize_suite(delta_on);
+            let opts = PerturbOptions {
+                variation: v,
+                trials: trials_per_benchmark,
+                exhaustive_limit: 10,
+                vectors: 256,
+                seed: 0xf1611,
+            };
+            let mut failing_benchmarks = 0usize;
+            for (name, reference, tn) in &suite {
+                let mut rng = StdRng::seed_from_u64(opts.seed ^ name.len() as u64);
+                let mut failed = false;
+                for _ in 0..opts.trials {
+                    let disturbed = draw_disturbance(tn, opts.variation, &mut rng);
+                    if instance_fails(tn, reference, &disturbed, &opts, &mut rng)
+                        .expect("interfaces match")
+                    {
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
+                    failing_benchmarks += 1;
+                }
+            }
+            let rate = 100.0 * failing_benchmarks as f64 / suite.len() as f64;
+            print!("{:>12.1}", rate);
+        }
+        println!();
+    }
+    println!();
+    println!("paper: failure rate decreases as delta_on increases (robustness)");
+}

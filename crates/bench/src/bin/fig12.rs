@@ -1,0 +1,66 @@
+//! Regenerates Fig. 12 of the paper: the trade-off between failure rate and
+//! network area as the defect tolerance δ_on grows, at a fixed variation
+//! multiplier v = 0.8.
+//!
+//! Expected shape: failure rate falls with δ_on while total area rises —
+//! robustness is bought with bigger weights (Eq. 14 area model).
+//!
+//! Run with `cargo run --release -p tels-bench --bin fig12`.
+
+use tels_circuits::paper_suite;
+use tels_core::perturb::{failure_rate, PerturbOptions};
+use tels_core::{synthesize, TelsConfig};
+use tels_logic::opt::script_algebraic;
+
+fn main() {
+    let v = 0.8;
+    println!("Fig. 12 reproduction: failure rate and area vs delta_on (v = {v})");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14}",
+        "delta_on", "failure rate %", "total area", "area ratio"
+    );
+    println!("{}", "-".repeat(54));
+
+    let mut base_area = 0u64;
+    for delta_on in 0..=3i64 {
+        let config = TelsConfig {
+            delta_on,
+            ..TelsConfig::default()
+        };
+        let mut total_area = 0u64;
+        let mut failing = 0usize;
+        let mut count = 0usize;
+        for b in paper_suite() {
+            if b.name == "i10_like" {
+                continue; // keep the Monte-Carlo loop fast
+            }
+            let algebraic = script_algebraic(&b.network);
+            let tn = synthesize(&algebraic, &config).expect("TELS synthesis");
+            total_area += tn.area();
+            let opts = PerturbOptions {
+                variation: v,
+                trials: 20,
+                exhaustive_limit: 10,
+                vectors: 256,
+                seed: 0xf1612 ^ b.name.len() as u64,
+            };
+            let rate = failure_rate(&tn, &b.network, &opts).expect("interfaces match");
+            if rate > 0.0 {
+                failing += 1;
+            }
+            count += 1;
+        }
+        if delta_on == 0 {
+            base_area = total_area;
+        }
+        println!(
+            "{:<10} {:>14.1} {:>12} {:>14.3}",
+            delta_on,
+            100.0 * failing as f64 / count as f64,
+            total_area,
+            total_area as f64 / base_area as f64
+        );
+    }
+    println!();
+    println!("paper: failure rate falls and area grows as delta_on increases");
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table I of the paper: threshold synthesis results with the
+//! fanin restriction set to 3, one-to-one mapping vs TELS, over the
+//! ten-benchmark stand-in suite.
+//!
+//! Run with `cargo run --release -p tels-bench --bin table1`.
+
+use tels_bench::{assert_equivalent, format_table1, run_table1_flow};
+use tels_circuits::paper_suite;
+use tels_core::{map_one_to_one, synthesize, TelsConfig};
+use tels_logic::opt::{script_algebraic, script_boolean};
+
+fn main() {
+    let config = TelsConfig::default(); // ψ = 3, δ_on = 0, δ_off = 1
+    let suite = paper_suite();
+    let mut rows = Vec::new();
+    for b in &suite {
+        let row = run_table1_flow(b.name, &b.network, &config);
+        // Functional validation, as the paper does for every benchmark.
+        let tels = synthesize(&script_algebraic(&b.network), &config).expect("synthesize");
+        assert_equivalent(&tels, &b.network, 0xAB);
+        let baseline =
+            map_one_to_one(&script_boolean(&b.network), &config).expect("one-to-one");
+        assert_equivalent(&baseline, &b.network, 0xCD);
+        println!(
+            "{:<14} verified OK   (paper 1:1 {:?}  tels {:?})",
+            b.name, b.paper.one_to_one, b.paper.tels
+        );
+        rows.push(row);
+    }
+    println!();
+    println!("Table I reproduction (ψ = 3, δ_on = 0, δ_off = 1)");
+    print!("{}", format_table1(&rows));
+}

@@ -1,0 +1,133 @@
+//! # tels-bench — experiment harness for TELS-RS
+//!
+//! Shared plumbing for the binaries and Criterion benches that regenerate
+//! the paper's Table I and Figures 10–12. See `EXPERIMENTS.md` at the
+//! workspace root for the recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use tels_core::{map_one_to_one, synthesize_with_stats, SynthStats, TelsConfig, ThresholdNetwork};
+use tels_logic::opt::{script_algebraic, script_boolean};
+use tels_logic::Network;
+
+/// Measured numbers for one benchmark under one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Threshold gate count.
+    pub gates: usize,
+    /// Network depth in gate levels.
+    pub levels: usize,
+    /// RTD area per Eq. (14).
+    pub area: u64,
+}
+
+impl FlowResult {
+    /// Extracts the three reported metrics from a threshold network.
+    pub fn of(tn: &ThresholdNetwork) -> FlowResult {
+        FlowResult {
+            gates: tn.num_gates(),
+            levels: tn.depth(),
+            area: tn.area(),
+        }
+    }
+}
+
+/// One benchmark's Table-I style row: baseline vs TELS.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// One-to-one mapping of the `script.boolean`-optimized network.
+    pub one_to_one: FlowResult,
+    /// TELS synthesis of the `script.algebraic`-factored network.
+    pub tels: FlowResult,
+    /// Time spent in Boolean optimization (both scripts).
+    pub optimize_ms: f64,
+    /// Time spent in threshold synthesis proper.
+    pub synthesis_ms: f64,
+    /// Synthesis statistics.
+    pub stats: SynthStats,
+}
+
+/// Runs the full paper flow on one benchmark network:
+/// `script.boolean` → one-to-one map, and `script.algebraic` → TELS.
+///
+/// # Panics
+///
+/// Panics if the input network is malformed (the generators never produce
+/// such networks) or synthesis fails internally.
+pub fn run_table1_flow(name: &str, net: &Network, config: &TelsConfig) -> Table1Row {
+    let t0 = Instant::now();
+    let boolean_net = script_boolean(net);
+    let algebraic_net = script_algebraic(net);
+    let optimize_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let baseline = map_one_to_one(&boolean_net, config).expect("one-to-one mapping");
+    let (tels, stats) = synthesize_with_stats(&algebraic_net, config).expect("TELS synthesis");
+    let synthesis_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    Table1Row {
+        name: name.to_string(),
+        one_to_one: FlowResult::of(&baseline),
+        tels: FlowResult::of(&tels),
+        optimize_ms,
+        synthesis_ms,
+        stats,
+    }
+}
+
+/// Verifies a threshold network against its specification with
+/// moderate-effort simulation; panics on a mismatch (the paper simulates
+/// every synthesized network for functional correctness, §VI).
+///
+/// # Panics
+///
+/// Panics if a counterexample is found or the interfaces mismatch.
+pub fn assert_equivalent(tn: &ThresholdNetwork, reference: &Network, seed: u64) {
+    let cex = tn
+        .verify_against(reference, 12, 512, seed)
+        .expect("interfaces match");
+    assert!(cex.is_none(), "functional mismatch: {cex:?}");
+}
+
+/// Formats a Table-I style report.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} | {:>6} {:>6} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>8}",
+        "Benchmark", "G(1:1)", "L(1:1)", "A(1:1)", "G(TELS)", "L(TELS)", "A(TELS)", "opt ms", "synth ms"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    let mut g_sum = 0.0;
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} | {:>6} {:>6} {:>7} | {:>7} {:>7} {:>7} | {:>7.1} {:>8.1}",
+            r.name,
+            r.one_to_one.gates,
+            r.one_to_one.levels,
+            r.one_to_one.area,
+            r.tels.gates,
+            r.tels.levels,
+            r.tels.area,
+            r.optimize_ms,
+            r.synthesis_ms
+        );
+        if r.one_to_one.gates > 0 {
+            g_sum += 1.0 - r.tels.gates as f64 / r.one_to_one.gates as f64;
+        }
+    }
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    let _ = writeln!(
+        out,
+        "average gate-count reduction: {:.1}% (paper: 52%, max 77%)",
+        100.0 * g_sum / rows.len() as f64
+    );
+    out
+}

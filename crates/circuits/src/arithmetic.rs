@@ -1,0 +1,268 @@
+//! Arithmetic circuit generators: ripple adders and a CORDIC-style
+//! shift-add rotation network.
+
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
+
+fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+    Sop::from_cubes(
+        cubes
+            .iter()
+            .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+    )
+}
+
+/// XOR3 over fanins 0,1,2 (full-adder sum).
+fn sum3() -> Sop {
+    sop(&[
+        &[(0, true), (1, false), (2, false)],
+        &[(0, false), (1, true), (2, false)],
+        &[(0, false), (1, false), (2, true)],
+        &[(0, true), (1, true), (2, true)],
+    ])
+}
+
+/// Majority over fanins 0,1,2 (full-adder carry).
+fn carry3() -> Sop {
+    sop(&[
+        &[(0, true), (1, true)],
+        &[(0, true), (2, true)],
+        &[(1, true), (2, true)],
+    ])
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..s(n−1)`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_adder(n: usize) -> Network {
+    assert!(n > 0);
+    let mut net = Network::new(format!("add{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    let mut carry = net.add_input("cin").expect("fresh");
+    for i in 0..n {
+        let s = net
+            .add_node(format!("s{i}_n"), vec![a[i], b[i], carry], sum3())
+            .expect("fresh");
+        net.add_output(format!("s{i}"), s).expect("fresh");
+        carry = net
+            .add_node(format!("c{i}_n"), vec![a[i], b[i], carry], carry3())
+            .expect("fresh");
+    }
+    net.add_output("cout", carry).expect("fresh");
+    net
+}
+
+/// Internal signal vector for the CORDIC datapath.
+struct Word(Vec<NodeId>);
+
+/// A CORDIC-style conditional shift-add rotation network.
+///
+/// Each of the `stages` micro-rotations conditionally adds or subtracts the
+/// other coordinate shifted right by the stage index, controlled by a
+/// direction input `z{k}`:
+///
+/// ```text
+/// x ← x − dir ? (y >> k) : −(y >> k)
+/// y ← y + dir ? (x >> k) : −(x >> k)
+/// ```
+///
+/// Inputs: `x0..x(w−1)`, `y0..y(w−1)`, `z0..z(stages−1)`; outputs: the sign
+/// bits `xs`, `ys` of the final coordinates. With `w = 8` and `stages = 7`
+/// this is the 23-input, 2-output profile of MCNC `cordic`.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `stages == 0` or `stages >= width`.
+pub fn cordic_like(width: usize, stages: usize) -> Network {
+    assert!(width >= 2 && stages >= 1 && stages < width);
+    let mut net = Network::new(format!("cordic{width}x{stages}"));
+    let mut x = Word(
+        (0..width)
+            .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
+            .collect(),
+    );
+    let mut y = Word(
+        (0..width)
+            .map(|i| net.add_input(format!("y{i}")).expect("fresh"))
+            .collect(),
+    );
+    let dirs: Vec<NodeId> = (0..stages)
+        .map(|k| net.add_input(format!("z{k}")).expect("fresh"))
+        .collect();
+
+    for (k, &dir) in dirs.iter().enumerate() {
+        // Arithmetic shift right by k (sign-extend with the MSB).
+        let shift = |w: &Word| -> Vec<NodeId> {
+            (0..width)
+                .map(|i| w.0[(i + k).min(width - 1)])
+                .collect()
+        };
+        let ys = shift(&y);
+        let xs = shift(&x);
+        // x' = x + (dir ? −ys : ys); y' = y + (dir ? xs : −xs).
+        // Conditional negation: operand ⊕ ctrl with carry-in ctrl.
+        let x_new = add_conditional(&mut net, &x.0, &ys, dir, true, k, "xa");
+        let y_new = add_conditional(&mut net, &y.0, &xs, dir, false, k, "ya");
+        x = Word(x_new);
+        y = Word(y_new);
+    }
+    net.add_output("xs", x.0[width - 1]).expect("fresh");
+    net.add_output("ys", y.0[width - 1]).expect("fresh");
+    net
+}
+
+/// Adds `base + (negate_when == ctrl ? −operand : operand)`, returning the
+/// result bits. Two's-complement negation = bitwise XOR with the control
+/// plus carry-in.
+fn add_conditional(
+    net: &mut Network,
+    base: &[NodeId],
+    operand: &[NodeId],
+    ctrl: NodeId,
+    negate_when_ctrl: bool,
+    stage: usize,
+    tag: &str,
+) -> Vec<NodeId> {
+    let width = base.len();
+    // flip_i = operand_i ⊕ ctrl (or ⊕ c̄trl): when the control selects
+    // negation the operand is complemented and the carry-in is 1.
+    type CubeSpec = &'static [(u32, bool)];
+    let (xor_on, xor_off): (CubeSpec, CubeSpec) = if negate_when_ctrl {
+        (&[(0, true), (1, false)], &[(0, false), (1, true)])
+    } else {
+        (&[(0, false), (1, false)], &[(0, true), (1, true)])
+    };
+    let flips: Vec<NodeId> = (0..width)
+        .map(|i| {
+            let name = net.fresh_name(&format!("{tag}{stage}_f{i}_"));
+            net.add_node(name, vec![operand[i], ctrl], sop(&[xor_on, xor_off]))
+                .expect("fresh")
+        })
+        .collect();
+    // Carry-in equals the negation condition.
+    let cin_name = net.fresh_name(&format!("{tag}{stage}_cin_"));
+    let cin = net
+        .add_node(
+            cin_name,
+            vec![ctrl],
+            sop(&[&[(0, negate_when_ctrl)]]),
+        )
+        .expect("fresh");
+    let mut carry = cin;
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        let s_name = net.fresh_name(&format!("{tag}{stage}_s{i}_"));
+        let s = net
+            .add_node(s_name, vec![base[i], flips[i], carry], sum3())
+            .expect("fresh");
+        out.push(s);
+        if i + 1 < width {
+            let c_name = net.fresh_name(&format!("{tag}{stage}_c{i}_"));
+            carry = net
+                .add_node(c_name, vec![base[i], flips[i], carry], carry3())
+                .expect("fresh");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_is_correct() {
+        let net = ripple_adder(4);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for cin in 0..2u32 {
+                    let mut assign = vec![false; 9];
+                    for i in 0..4 {
+                        assign[i] = a >> i & 1 != 0;
+                        assign[4 + i] = b >> i & 1 != 0;
+                    }
+                    assign[8] = cin != 0;
+                    let out = net.eval(&assign).unwrap();
+                    let sum = a + b + cin;
+                    for (i, &o) in out.iter().take(4).enumerate() {
+                        assert_eq!(o, sum >> i & 1 != 0, "a={a} b={b} cin={cin} bit{i}");
+                    }
+                    assert_eq!(out[4], sum >= 16, "cout a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    /// Software model of one CORDIC micro-rotation.
+    fn model(width: usize, stages: usize, x0: i64, y0: i64, dirs: u32) -> (bool, bool) {
+        let mask = (1i64 << width) - 1;
+        let sext = |v: i64| -> i64 {
+            let v = v & mask;
+            if v >> (width - 1) & 1 == 1 {
+                v - (1 << width)
+            } else {
+                v
+            }
+        };
+        let mut x = sext(x0);
+        let mut y = sext(y0);
+        for k in 0..stages {
+            let dir = dirs >> k & 1 != 0;
+            let ys = x_shift(y, k);
+            let xs = x_shift(x, k);
+            let (nx, ny) = if dir {
+                (x - ys, y + xs)
+            } else {
+                (x + ys, y - xs)
+            };
+            x = sext(nx);
+            y = sext(ny);
+        }
+        (x < 0, y < 0)
+    }
+
+    fn x_shift(v: i64, k: usize) -> i64 {
+        v >> k
+    }
+
+    #[test]
+    fn cordic_matches_software_model() {
+        let width = 5;
+        let stages = 2;
+        let net = cordic_like(width, stages);
+        assert_eq!(net.num_inputs(), 2 * width + stages);
+        for trial in 0..200u64 {
+            // Cheap deterministic pseudo-random assignment.
+            let bits = trial.wrapping_mul(0x9e3779b97f4a7c15) >> 16;
+            let x0 = (bits & 0x1f) as i64;
+            let y0 = (bits >> 5 & 0x1f) as i64;
+            let dirs = (bits >> 10 & 0x3) as u32;
+            let mut assign = vec![false; 2 * width + stages];
+            for i in 0..width {
+                assign[i] = x0 >> i & 1 != 0;
+                assign[width + i] = y0 >> i & 1 != 0;
+            }
+            for k in 0..stages {
+                assign[2 * width + k] = dirs >> k & 1 != 0;
+            }
+            let out = net.eval(&assign).unwrap();
+            let (xs, ys) = model(width, stages, x0, y0, dirs);
+            assert_eq!(out[0], xs, "xs trial={trial} x0={x0} y0={y0} dirs={dirs}");
+            assert_eq!(out[1], ys, "ys trial={trial} x0={x0} y0={y0} dirs={dirs}");
+        }
+    }
+
+    #[test]
+    fn cordic_paper_profile() {
+        let net = cordic_like(8, 7);
+        assert_eq!(net.num_inputs(), 23);
+        assert_eq!(net.outputs().len(), 2);
+    }
+}

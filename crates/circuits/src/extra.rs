@@ -1,0 +1,300 @@
+//! Additional well-known circuit generators used by tests and examples.
+
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
+
+fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+    Sop::from_cubes(
+        cubes
+            .iter()
+            .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+    )
+}
+
+fn nand2() -> Sop {
+    // NAND = ā ∨ b̄.
+    sop(&[&[(0, false)], &[(1, false)]])
+}
+
+/// The ISCAS-85 `c17` benchmark: six NAND2 gates, 5 inputs, 2 outputs.
+///
+/// The smallest standard benchmark circuit, with its textbook structure:
+///
+/// ```text
+/// g1 = NAND(i1, i3)     g2 = NAND(i3, i4)
+/// g3 = NAND(i2, g2)     g4 = NAND(g2, i5)
+/// o1 = NAND(g1, g3)     o2 = NAND(g3, g4)
+/// ```
+pub fn c17() -> Network {
+    let mut net = Network::new("c17");
+    let i: Vec<NodeId> = (1..=5)
+        .map(|k| net.add_input(format!("i{k}")).expect("fresh"))
+        .collect();
+    let g1 = net.add_node("g1", vec![i[0], i[2]], nand2()).expect("fresh");
+    let g2 = net.add_node("g2", vec![i[2], i[3]], nand2()).expect("fresh");
+    let g3 = net.add_node("g3", vec![i[1], g2], nand2()).expect("fresh");
+    let g4 = net.add_node("g4", vec![g2, i[4]], nand2()).expect("fresh");
+    let o1 = net.add_node("o1", vec![g1, g3], nand2()).expect("fresh");
+    let o2 = net.add_node("o2", vec![g3, g4], nand2()).expect("fresh");
+    net.add_output("o1", o1).expect("fresh");
+    net.add_output("o2", o2).expect("fresh");
+    net
+}
+
+/// A 1-bit ALU slice: two operands, carry-in, and a 2-bit opcode selecting
+/// AND / OR / XOR / ADD. Outputs the result bit and carry-out (carry-out is
+/// meaningful for ADD, zero otherwise).
+pub fn alu_slice() -> Network {
+    let mut net = Network::new("alu1");
+    let a = net.add_input("a").expect("fresh");
+    let b = net.add_input("b").expect("fresh");
+    let cin = net.add_input("cin").expect("fresh");
+    let op0 = net.add_input("op0").expect("fresh");
+    let op1 = net.add_input("op1").expect("fresh");
+
+    let and_n = net
+        .add_node("and_n", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+        .expect("fresh");
+    let or_n = net
+        .add_node("or_n", vec![a, b], sop(&[&[(0, true)], &[(1, true)]]))
+        .expect("fresh");
+    let xor_n = net
+        .add_node(
+            "xor_n",
+            vec![a, b],
+            sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]),
+        )
+        .expect("fresh");
+    // Full-adder sum and carry over (xor_n, cin) and (a, b, cin).
+    let sum_n = net
+        .add_node(
+            "sum_n",
+            vec![xor_n, cin],
+            sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]),
+        )
+        .expect("fresh");
+    let cout_add = net
+        .add_node(
+            "cout_add",
+            vec![a, b, cin],
+            sop(&[
+                &[(0, true), (1, true)],
+                &[(0, true), (2, true)],
+                &[(1, true), (2, true)],
+            ]),
+        )
+        .expect("fresh");
+
+    // Result mux over the opcode: 00=AND, 01=OR, 10=XOR, 11=ADD.
+    let y = net
+        .add_node(
+            "y",
+            vec![and_n, or_n, xor_n, sum_n, op0, op1],
+            sop(&[
+                &[(0, true), (4, false), (5, false)],
+                &[(1, true), (4, true), (5, false)],
+                &[(2, true), (4, false), (5, true)],
+                &[(3, true), (4, true), (5, true)],
+            ]),
+        )
+        .expect("fresh");
+    // Carry-out only in ADD mode.
+    let cout = net
+        .add_node(
+            "cout",
+            vec![cout_add, op0, op1],
+            sop(&[&[(0, true), (1, true), (2, true)]]),
+        )
+        .expect("fresh");
+    net.add_output("y", y).expect("fresh");
+    net.add_output("cout", cout).expect("fresh");
+    net
+}
+
+/// A `width`-bit logarithmic barrel shifter (left rotate by the binary
+/// shift amount). Inputs: `d0..`, `s0..s(log2 width − 1)`; outputs `q0..`.
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two in `2..=32`.
+pub fn barrel_shifter(width: usize) -> Network {
+    assert!(width.is_power_of_two() && (2..=32).contains(&width));
+    let stages = width.trailing_zeros() as usize;
+    let mut net = Network::new(format!("barrel{width}"));
+    let mut layer: Vec<NodeId> = (0..width)
+        .map(|i| net.add_input(format!("d{i}")).expect("fresh"))
+        .collect();
+    let sel: Vec<NodeId> = (0..stages)
+        .map(|k| net.add_input(format!("s{k}")).expect("fresh"))
+        .collect();
+    for (k, &s) in sel.iter().enumerate() {
+        let shift = 1usize << k;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let stay = layer[i];
+            let moved = layer[(i + width - shift) % width];
+            // q = s̄·stay ∨ s·moved.
+            let name = net.fresh_name(&format!("r{k}_{i}_"));
+            let node = if stay == moved {
+                stay
+            } else {
+                net.add_node(
+                    name,
+                    vec![stay, moved, s],
+                    sop(&[&[(0, true), (2, false)], &[(1, true), (2, true)]]),
+                )
+                .expect("fresh")
+            };
+            next.push(node);
+        }
+        layer = next;
+    }
+    for (i, &q) in layer.iter().enumerate() {
+        net.add_output(format!("q{i}"), q).expect("fresh");
+    }
+    net
+}
+
+/// Binary-to-Gray-code converter plus its inverse packed into one netlist:
+/// outputs `g0..` (gray of the input) and `v0..` (binary of interpreting
+/// the input as gray). XOR-chain-heavy, a stress test for binate splitting.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn gray_code(width: usize) -> Network {
+    assert!(width >= 2);
+    let mut net = Network::new(format!("gray{width}"));
+    let b: Vec<NodeId> = (0..width)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    let xor2 = sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]);
+    // Gray encode: g[i] = b[i] ⊕ b[i+1]; g[msb] = b[msb].
+    for i in 0..width {
+        if i + 1 < width {
+            let g = net
+                .add_node(format!("g{i}_n"), vec![b[i], b[i + 1]], xor2.clone())
+                .expect("fresh");
+            net.add_output(format!("g{i}"), g).expect("fresh");
+        } else {
+            net.add_output(format!("g{i}"), b[i]).expect("fresh");
+        }
+    }
+    // Gray decode: v[msb] = b[msb]; v[i] = b[i] ⊕ v[i+1] (a serial chain).
+    let mut prev = b[width - 1];
+    net.add_output(format!("v{}", width - 1), prev).expect("fresh");
+    for i in (0..width - 1).rev() {
+        let v = net
+            .add_node(format!("v{i}_n"), vec![b[i], prev], xor2.clone())
+            .expect("fresh");
+        net.add_output(format!("v{i}"), v).expect("fresh");
+        prev = v;
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_matches_reference_model() {
+        let net = c17();
+        assert_eq!(net.num_inputs(), 5);
+        assert_eq!(net.outputs().len(), 2);
+        assert_eq!(net.num_logic_nodes(), 6);
+        let nand = |x: bool, y: bool| !(x && y);
+        for m in 0..32u32 {
+            let i: Vec<bool> = (0..5).map(|k| m >> k & 1 != 0).collect();
+            let g1 = nand(i[0], i[2]);
+            let g2 = nand(i[2], i[3]);
+            let g3 = nand(i[1], g2);
+            let g4 = nand(g2, i[4]);
+            let expect = vec![nand(g1, g3), nand(g3, g4)];
+            assert_eq!(net.eval(&i).unwrap(), expect, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn alu_slice_computes_all_ops() {
+        let net = alu_slice();
+        for m in 0..32u32 {
+            let a = m & 1 != 0;
+            let b = m >> 1 & 1 != 0;
+            let cin = m >> 2 & 1 != 0;
+            let op0 = m >> 3 & 1 != 0;
+            let op1 = m >> 4 & 1 != 0;
+            let out = net.eval(&[a, b, cin, op0, op1]).unwrap();
+            let (expect_y, expect_c) = match (op1, op0) {
+                (false, false) => (a && b, false),
+                (false, true) => (a || b, false),
+                (true, false) => (a ^ b, false),
+                (true, true) => {
+                    let sum = u32::from(a) + u32::from(b) + u32::from(cin);
+                    (sum & 1 != 0, sum >= 2)
+                }
+            };
+            assert_eq!(out[0], expect_y, "y at m={m}");
+            assert_eq!(out[1], expect_c, "cout at m={m}");
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let width = 8;
+        let net = barrel_shifter(width);
+        for data in [0b0000_0001u32, 0b1010_0110, 0b1111_0000] {
+            for shift in 0..width {
+                let mut assign = vec![false; width + 3];
+                for (i, slot) in assign.iter_mut().enumerate().take(width) {
+                    *slot = data >> i & 1 != 0;
+                }
+                for k in 0..3 {
+                    assign[width + k] = shift >> k & 1 != 0;
+                }
+                let out = net.eval(&assign).unwrap();
+                let rotated = (data << shift | data >> (width - shift)) & 0xff;
+                for (i, &o) in out.iter().enumerate() {
+                    assert_eq!(
+                        o,
+                        rotated >> i & 1 != 0,
+                        "data {data:08b} shift {shift} bit {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_code_round_trips() {
+        let width = 5;
+        let net = gray_code(width);
+        for value in 0..1u32 << width {
+            let assign: Vec<bool> = (0..width).map(|i| value >> i & 1 != 0).collect();
+            let out = net.eval(&assign).unwrap();
+            // Outputs: g0..g4 then v4, v3..v0 (declaration order).
+            let gray = value ^ (value >> 1);
+            for (i, &o) in out.iter().enumerate().take(width) {
+                assert_eq!(o, gray >> i & 1 != 0, "g{i} of {value}");
+            }
+            // Decode outputs: find them by name.
+            let names: Vec<&str> = net.outputs().iter().map(|(n, _)| n.as_str()).collect();
+            let mut decoded = 0u32;
+            for i in 0..width {
+                let pos = names.iter().position(|&n| n == format!("v{i}")).unwrap();
+                if out[pos] {
+                    decoded |= 1 << i;
+                }
+            }
+            // Interpreting `value` as gray: binary = prefix-xor from MSB.
+            let mut expect = 0u32;
+            let mut acc = false;
+            for i in (0..width).rev() {
+                acc ^= value >> i & 1 != 0;
+                if acc {
+                    expect |= 1 << i;
+                }
+            }
+            assert_eq!(decoded, expect, "decode of {value:05b}");
+        }
+    }
+}

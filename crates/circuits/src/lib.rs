@@ -1,0 +1,42 @@
+//! # tels-circuits — benchmark circuits for TELS-RS
+//!
+//! The TELS paper evaluates on the MCNC benchmark suite, whose BLIF files
+//! are not redistributable here. This crate provides **deterministic,
+//! functionally specified generators** standing in for the ten circuits
+//! reported in Table I, chosen to match each original's interface size and
+//! logic style (see `DESIGN.md` §3 for the substitution rationale), plus a
+//! library of generic structured circuits (multiplexers, comparators,
+//! adders, parity trees, decoders) used by tests and examples.
+//!
+//! Every generator is a pure function of its parameters (random circuits
+//! take an explicit seed), so all experiments are reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use tels_circuits::{comparator, mux_tree};
+//!
+//! let cmp = comparator(4);
+//! assert_eq!(cmp.num_inputs(), 8);
+//! assert_eq!(cmp.outputs().len(), 3); // gt, lt, eq
+//!
+//! let mux = mux_tree(3);
+//! assert_eq!(mux.num_inputs(), 11); // 8 data + 3 select
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arithmetic;
+mod extra;
+mod random_net;
+mod structured;
+mod suite;
+
+pub use arithmetic::{cordic_like, ripple_adder};
+pub use extra::{alu_slice, barrel_shifter, c17, gray_code};
+pub use random_net::{random_network, RandomNetOptions};
+pub use structured::{
+    comparator, decoder, majority, mux_tree, parity_tree, priority_encoder, wire_fabric,
+};
+pub use suite::{paper_suite, Benchmark, PaperRow};

@@ -1,0 +1,187 @@
+//! Seeded random multi-level network generation.
+//!
+//! Stands in for the irregular MCNC control-logic benchmarks (`term1`,
+//! `pm1`, `x1`, `i10`): random DAGs of small SOP nodes with tunable size,
+//! output count, and sharing. Identical options and seed always produce an
+//! identical network.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
+
+/// Parameters for [`random_network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomNetOptions {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of internal logic nodes.
+    pub nodes: usize,
+    /// Maximum fanins drawn per node (at least 2).
+    pub max_fanin: usize,
+    /// Maximum cubes per node function (at least 1).
+    pub max_cubes: usize,
+    /// Out of 100: chance that a literal is complemented.
+    pub negation_pct: u32,
+    /// Bias (0–100) toward recent nodes as fanins: higher means deeper,
+    /// narrower networks.
+    pub locality_pct: u32,
+}
+
+impl Default for RandomNetOptions {
+    fn default() -> Self {
+        RandomNetOptions {
+            inputs: 16,
+            outputs: 8,
+            nodes: 48,
+            max_fanin: 4,
+            max_cubes: 3,
+            negation_pct: 30,
+            locality_pct: 60,
+        }
+    }
+}
+
+/// Generates a random combinational network from a seed.
+///
+/// Outputs are taken from the last generated nodes, which makes them deep;
+/// every node is reachable-biased but dead logic may exist (callers usually
+/// run the optimization scripts first, which sweep it).
+///
+/// # Panics
+///
+/// Panics if `inputs < 2`, `nodes < outputs`, or `max_fanin < 2`.
+pub fn random_network(name: &str, seed: u64, options: &RandomNetOptions) -> Network {
+    assert!(options.inputs >= 2);
+    assert!(options.nodes >= options.outputs && options.outputs >= 1);
+    assert!(options.max_fanin >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(name.to_string());
+    let mut signals: Vec<NodeId> = (0..options.inputs)
+        .map(|i| net.add_input(format!("i{i}")).expect("fresh"))
+        .collect();
+
+    for n in 0..options.nodes {
+        let fanin_count = rng.gen_range(2..=options.max_fanin.min(signals.len()));
+        // Draw distinct fanins, biased toward recent signals.
+        let mut fanins: Vec<NodeId> = Vec::with_capacity(fanin_count);
+        let mut guard = 0;
+        while fanins.len() < fanin_count && guard < 100 {
+            guard += 1;
+            let idx = if rng.gen_range(0..100) < options.locality_pct
+                && signals.len() > options.inputs
+            {
+                rng.gen_range(signals.len().saturating_sub(options.inputs)..signals.len())
+            } else {
+                rng.gen_range(0..signals.len())
+            };
+            if !fanins.contains(&signals[idx]) {
+                fanins.push(signals[idx]);
+            }
+        }
+        let k = fanins.len() as u32;
+        // Random SOP: each cube draws a non-empty literal subset.
+        let n_cubes = rng.gen_range(1..=options.max_cubes);
+        let mut cubes = Vec::with_capacity(n_cubes);
+        for _ in 0..n_cubes {
+            let mut cube = Cube::one();
+            for v in 0..k {
+                if rng.gen_range(0..100) < 60 {
+                    let phase = rng.gen_range(0..100) >= options.negation_pct;
+                    cube.set_literal(Var(v), phase);
+                }
+            }
+            if cube.is_one() {
+                // Ensure at least one literal so the node is not constant 1.
+                let phase = rng.gen_range(0..100) >= options.negation_pct;
+                cube.set_literal(Var(rng.gen_range(0..k)), phase);
+            }
+            cubes.push(cube);
+        }
+        let mut f = Sop::from_cubes(cubes);
+        // Guarantee every declared fanin is in the support (drop the rest).
+        let support = f.support();
+        let kept: Vec<usize> = (0..fanins.len())
+            .filter(|&i| support.contains(Var(i as u32)))
+            .collect();
+        if kept.len() != fanins.len() {
+            let mut map = vec![Var(0); fanins.len()];
+            for (new_i, &old_i) in kept.iter().enumerate() {
+                map[old_i] = Var(new_i as u32);
+            }
+            f = f.remap(&map);
+            fanins = kept.iter().map(|&i| fanins[i]).collect();
+        }
+        let node = net
+            .add_node(format!("n{n}"), fanins, f)
+            .expect("fresh node");
+        signals.push(node);
+    }
+    // Outputs: the last `outputs` generated nodes (the deepest logic).
+    let logic_start = options.inputs;
+    for o in 0..options.outputs {
+        let idx = signals.len() - 1 - o;
+        let node = signals[idx.max(logic_start)];
+        net.add_output(format!("o{o}"), node).expect("fresh output");
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let opts = RandomNetOptions::default();
+        let a = random_network("r", 42, &opts);
+        let b = random_network("r", 42, &opts);
+        assert_eq!(a.num_logic_nodes(), b.num_logic_nodes());
+        for m in [0usize, 1, 0xbeef, 0xffff] {
+            let assign: Vec<bool> = (0..opts.inputs).map(|i| m >> (i % 16) & 1 != 0).collect();
+            assert_eq!(a.eval(&assign).unwrap(), b.eval(&assign).unwrap());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let opts = RandomNetOptions::default();
+        let a = random_network("r", 1, &opts);
+        let b = random_network("r", 2, &opts);
+        let mut any_diff = false;
+        for m in 0..64usize {
+            let assign: Vec<bool> = (0..opts.inputs).map(|i| m >> (i % 6) & 1 != 0).collect();
+            if a.eval(&assign).unwrap() != b.eval(&assign).unwrap() {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "seeds 1 and 2 produced identical functions");
+    }
+
+    #[test]
+    fn requested_shape() {
+        let opts = RandomNetOptions {
+            inputs: 10,
+            outputs: 5,
+            nodes: 30,
+            ..RandomNetOptions::default()
+        };
+        let net = random_network("shape", 7, &opts);
+        assert_eq!(net.num_inputs(), 10);
+        assert_eq!(net.outputs().len(), 5);
+        assert_eq!(net.num_logic_nodes(), 30);
+        assert!(net.topo_order().is_ok());
+    }
+
+    #[test]
+    fn networks_are_acyclic_across_seeds() {
+        let opts = RandomNetOptions::default();
+        for seed in 0..10 {
+            let net = random_network("acyc", seed, &opts);
+            assert!(net.topo_order().is_ok(), "seed {seed} built a cycle");
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Structured combinational circuit generators.
+
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
+
+fn cube(lits: &[(u32, bool)]) -> Cube {
+    Cube::from_literals(lits.iter().map(|&(v, p)| (Var(v), p)))
+}
+
+fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+    Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+}
+
+/// An `2ⁿ:1` multiplexer built as a tree of 2:1 muxes.
+///
+/// Inputs: `d0..d(2ⁿ−1)` then `s0..s(n−1)`; one output `y`. With `n = 3`
+/// this is the 11-input, 1-output profile of MCNC `cm152a`.
+///
+/// # Panics
+///
+/// Panics if `select_bits` is 0 or greater than 6.
+pub fn mux_tree(select_bits: usize) -> Network {
+    assert!((1..=6).contains(&select_bits));
+    let mut net = Network::new(format!("mux{}", 1 << select_bits));
+    let data: Vec<NodeId> = (0..1usize << select_bits)
+        .map(|i| net.add_input(format!("d{i}")).expect("fresh"))
+        .collect();
+    let sel: Vec<NodeId> = (0..select_bits)
+        .map(|i| net.add_input(format!("s{i}")).expect("fresh"))
+        .collect();
+    let mut layer = data;
+    for (bit, &s) in sel.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            // y = s̄·a ∨ s·b  (fanins: a, b, s)
+            let name = net.fresh_name(&format!("m{bit}_"));
+            let node = net
+                .add_node(
+                    name,
+                    vec![pair[0], pair[1], s],
+                    sop(&[&[(0, true), (2, false)], &[(1, true), (2, true)]]),
+                )
+                .expect("fresh mux node");
+            next.push(node);
+        }
+        layer = next;
+    }
+    net.add_output("y", layer[0]).expect("single root");
+    net
+}
+
+/// An `n`-bit magnitude comparator with outputs `gt`, `lt`, `eq`.
+///
+/// Inputs `a0..a(n−1)`, `b0..b(n−1)` (bit 0 is the LSB). With `n = 16` this
+/// matches the 32-input, 3-output profile of MCNC `comp`; `n = 4` stands in
+/// for `cm85a`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator(n: usize) -> Network {
+    assert!(n > 0);
+    let mut net = Network::new(format!("comp{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    // Per-bit equality (XNOR) and a>b.
+    let mut eqs = Vec::with_capacity(n);
+    let mut gts = Vec::with_capacity(n);
+    for i in 0..n {
+        let eq = net
+            .add_node(
+                format!("eq{i}"),
+                vec![a[i], b[i]],
+                sop(&[&[(0, true), (1, true)], &[(0, false), (1, false)]]),
+            )
+            .expect("fresh");
+        let gt = net
+            .add_node(
+                format!("gtb{i}"),
+                vec![a[i], b[i]],
+                sop(&[&[(0, true), (1, false)]]),
+            )
+            .expect("fresh");
+        eqs.push(eq);
+        gts.push(gt);
+    }
+    // Balanced combine tree, LSB..MSB pairs; for a high half (gt_h, eq_h)
+    // and a low half (gt_l, eq_l): gt = gt_h ∨ eq_h·gt_l, eq = eq_h·eq_l.
+    let mut layer: Vec<(NodeId, NodeId)> = gts.into_iter().zip(eqs).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut iter = layer.chunks(2);
+        for pair in &mut iter {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let (gt_l, eq_l) = pair[0];
+            let (gt_h, eq_h) = pair[1];
+            let gt_name = net.fresh_name("gtc");
+            let gt = net
+                .add_node(
+                    gt_name,
+                    vec![gt_h, eq_h, gt_l],
+                    sop(&[&[(0, true)], &[(1, true), (2, true)]]),
+                )
+                .expect("fresh");
+            let eq_name = net.fresh_name("eqc");
+            let eq = net
+                .add_node(
+                    eq_name,
+                    vec![eq_h, eq_l],
+                    sop(&[&[(0, true), (1, true)]]),
+                )
+                .expect("fresh");
+            next.push((gt, eq));
+        }
+        layer = next;
+    }
+    let (gt_all, eq_all) = layer[0];
+    // lt = ¬gt · ¬eq.
+    let lt = net
+        .add_node(
+            "lt_out",
+            vec![gt_all, eq_all],
+            sop(&[&[(0, false), (1, false)]]),
+        )
+        .expect("fresh");
+    net.add_output("gt", gt_all).expect("fresh");
+    net.add_output("lt", lt).expect("fresh");
+    net.add_output("eq", eq_all).expect("fresh");
+    net
+}
+
+/// An `n`-input parity (XOR) tree, output `p`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn parity_tree(n: usize) -> Network {
+    assert!(n >= 2);
+    let mut net = Network::new(format!("parity{n}"));
+    let mut layer: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
+        .collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut iter = layer.chunks(2);
+        for pair in &mut iter {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let name = net.fresh_name("xr");
+            let x = net
+                .add_node(
+                    name,
+                    vec![pair[0], pair[1]],
+                    sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]),
+                )
+                .expect("fresh");
+            next.push(x);
+        }
+        layer = next;
+    }
+    net.add_output("p", layer[0]).expect("fresh");
+    net
+}
+
+/// An `n`-to-`2ⁿ` decoder with an enable input.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 6.
+pub fn decoder(n: usize) -> Network {
+    assert!((1..=6).contains(&n));
+    let mut net = Network::new(format!("dec{n}"));
+    let sel: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("s{i}")).expect("fresh"))
+        .collect();
+    let en = net.add_input("en").expect("fresh");
+    for m in 0..1usize << n {
+        let mut fanins = sel.clone();
+        fanins.push(en);
+        let lits: Vec<(u32, bool)> = (0..n)
+            .map(|i| (i as u32, m >> i & 1 != 0))
+            .chain([(n as u32, true)])
+            .collect();
+        let node = net
+            .add_node(format!("y{m}_n"), fanins, sop(&[&lits]))
+            .expect("fresh");
+        net.add_output(format!("y{m}"), node).expect("fresh");
+    }
+    net
+}
+
+/// An `n`-input majority function (true when more than half the inputs are).
+///
+/// # Panics
+///
+/// Panics if `n` is even or less than 3 (majority needs an odd input count).
+pub fn majority(n: usize) -> Network {
+    assert!(n >= 3 && n % 2 == 1, "majority needs an odd n ≥ 3");
+    let mut net = Network::new(format!("maj{n}"));
+    let inputs: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
+        .collect();
+    // SOP of all (n+1)/2-subsets.
+    let k = n / 2 + 1;
+    let mut cubes: Vec<Cube> = Vec::new();
+    let mut pick = vec![0usize; k];
+    fn rec(start: usize, depth: usize, k: usize, n: usize, pick: &mut Vec<usize>, cubes: &mut Vec<Cube>) {
+        if depth == k {
+            cubes.push(Cube::from_literals(
+                pick.iter().map(|&i| (Var(i as u32), true)),
+            ));
+            return;
+        }
+        for i in start..n {
+            pick[depth] = i;
+            rec(i + 1, depth + 1, k, n, pick, cubes);
+        }
+    }
+    rec(0, 0, k, n, &mut pick, &mut cubes);
+    let node = net
+        .add_node("m", inputs, Sop::from_cubes(cubes))
+        .expect("fresh");
+    net.add_output("m", node).expect("fresh");
+    net
+}
+
+/// A priority encoder over `n` request lines with per-line mask inputs:
+/// outputs the binary index of the highest-priority unmasked request plus a
+/// `valid` flag. With `n = 8` this is a 16-input, 4-output control block
+/// standing in for MCNC `cmb`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two between 2 and 32.
+pub fn priority_encoder(n: usize) -> Network {
+    assert!(n.is_power_of_two() && (2..=32).contains(&n));
+    let bits = n.trailing_zeros() as usize;
+    let mut net = Network::new(format!("prienc{n}"));
+    let req: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("r{i}")).expect("fresh"))
+        .collect();
+    let mask: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("m{i}")).expect("fresh"))
+        .collect();
+    // Active requests: a_i = r_i · m̄_i.
+    let act: Vec<NodeId> = (0..n)
+        .map(|i| {
+            net.add_node(
+                format!("a{i}"),
+                vec![req[i], mask[i]],
+                sop(&[&[(0, true), (1, false)]]),
+            )
+            .expect("fresh")
+        })
+        .collect();
+    // Grant_i = a_i · Π_{j<i} ā_j (line 0 has highest priority), built as a
+    // chain of "none so far" terms.
+    let mut none_above = Vec::with_capacity(n);
+    let mut prev: Option<NodeId> = None;
+    for (i, &a) in act.iter().enumerate().take(n - 1) {
+        let node = match prev {
+            None => net
+                .add_node(format!("na{i}"), vec![a], sop(&[&[(0, false)]]))
+                .expect("fresh"),
+            Some(p) => net
+                .add_node(
+                    format!("na{i}"),
+                    vec![p, a],
+                    sop(&[&[(0, true), (1, false)]]),
+                )
+                .expect("fresh"),
+        };
+        none_above.push(node);
+        prev = Some(node);
+    }
+    let grant: Vec<NodeId> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                act[0]
+            } else {
+                net.add_node(
+                    format!("g{i}"),
+                    vec![none_above[i - 1], act[i]],
+                    sop(&[&[(0, true), (1, true)]]),
+                )
+                .expect("fresh")
+            }
+        })
+        .collect();
+    // Binary index bits: y_b = OR of grants whose index has bit b set.
+    for b in 0..bits {
+        let fanins: Vec<NodeId> = (0..n).filter(|i| i >> b & 1 == 1).map(|i| grant[i]).collect();
+        let cubes: Vec<Vec<(u32, bool)>> =
+            (0..fanins.len()).map(|i| vec![(i as u32, true)]).collect();
+        let cube_refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();
+        let node = net
+            .add_node(format!("y{b}_n"), fanins, sop(&cube_refs))
+            .expect("fresh");
+        net.add_output(format!("y{b}"), node).expect("fresh");
+    }
+    // valid = OR of all active lines.
+    let cubes: Vec<Vec<(u32, bool)>> = (0..n).map(|i| vec![(i as u32, true)]).collect();
+    let cube_refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();
+    let valid = net
+        .add_node("valid_n", act.clone(), sop(&cube_refs))
+        .expect("fresh");
+    net.add_output("valid", valid).expect("fresh");
+    net
+}
+
+/// A wire/inverter fabric: `n` buffer outputs and `n` inverter outputs plus
+/// one unused enable input. With `n = 8` this gives the 17-input, 16-output
+/// profile of MCNC `tcon` — the adversarial case where one-to-one mapping
+/// beats synthesis (§VI-A).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn wire_fabric(n: usize) -> Network {
+    assert!(n > 0);
+    let mut net = Network::new(format!("tcon{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    let _en = net.add_input("en").expect("fresh");
+    for i in 0..n {
+        let inv = net
+            .add_node(format!("na{i}_n"), vec![a[i]], sop(&[&[(0, false)]]))
+            .expect("fresh");
+        net.add_output(format!("na{i}"), inv).expect("fresh");
+        let buf = net
+            .add_node(format!("pb{i}_n"), vec![b[i]], sop(&[&[(0, true)]]))
+            .expect("fresh");
+        net.add_output(format!("pb{i}"), buf).expect("fresh");
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_selects_correct_data() {
+        let net = mux_tree(3);
+        assert_eq!(net.num_inputs(), 11);
+        for sel in 0..8usize {
+            for data in [0usize, 0xff, 0xa5, 1 << sel] {
+                let mut assign = vec![false; 11];
+                for (d, slot) in assign.iter_mut().enumerate().take(8) {
+                    *slot = data >> d & 1 != 0;
+                }
+                for s in 0..3 {
+                    assign[8 + s] = sel >> s & 1 != 0;
+                }
+                let out = net.eval(&assign).unwrap();
+                assert_eq!(out[0], data >> sel & 1 != 0, "sel={sel} data={data:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_is_correct() {
+        let net = comparator(3);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let mut assign = vec![false; 6];
+                for i in 0..3 {
+                    assign[i] = a >> i & 1 != 0;
+                    assign[3 + i] = b >> i & 1 != 0;
+                }
+                let out = net.eval(&assign).unwrap();
+                assert_eq!(out[0], a > b, "gt a={a} b={b}");
+                assert_eq!(out[1], a < b, "lt a={a} b={b}");
+                assert_eq!(out[2], a == b, "eq a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_is_correct() {
+        let net = parity_tree(5);
+        for m in 0..32u32 {
+            let assign: Vec<bool> = (0..5).map(|i| m >> i & 1 != 0).collect();
+            let out = net.eval(&assign).unwrap();
+            assert_eq!(out[0], m.count_ones() % 2 == 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let net = decoder(3);
+        for m in 0..8usize {
+            let mut assign: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            assign.push(true); // enable
+            let out = net.eval(&assign).unwrap();
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, i == m);
+            }
+            // Disabled → all zero.
+            assign[3] = false;
+            assert!(net.eval(&assign).unwrap().iter().all(|&o| !o));
+        }
+    }
+
+    #[test]
+    fn majority_is_correct() {
+        let net = majority(5);
+        for m in 0..32u32 {
+            let assign: Vec<bool> = (0..5).map(|i| m >> i & 1 != 0).collect();
+            let out = net.eval(&assign).unwrap();
+            assert_eq!(out[0], m.count_ones() >= 3, "m={m}");
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest_unmasked() {
+        let net = priority_encoder(4);
+        // Inputs: r0..r3, m0..m3; outputs y0 y1 valid.
+        let eval = |req: u32, mask: u32| -> (usize, bool) {
+            let mut assign = vec![false; 8];
+            for i in 0..4 {
+                assign[i] = req >> i & 1 != 0;
+                assign[4 + i] = mask >> i & 1 != 0;
+            }
+            let out = net.eval(&assign).unwrap();
+            let idx = usize::from(out[0]) | usize::from(out[1]) << 1;
+            (idx, out[2])
+        };
+        assert_eq!(eval(0b0000, 0), (0, false));
+        assert_eq!(eval(0b0001, 0), (0, true));
+        assert_eq!(eval(0b1110, 0), (1, true));
+        assert_eq!(eval(0b1000, 0), (3, true));
+        assert_eq!(eval(0b1001, 0b0001), (3, true)); // line 0 masked
+    }
+
+    #[test]
+    fn wire_fabric_profile() {
+        let net = wire_fabric(8);
+        assert_eq!(net.num_inputs(), 17);
+        assert_eq!(net.outputs().len(), 16);
+        let mut assign = vec![false; 17];
+        assign[0] = true; // a0
+        assign[8] = true; // b0
+        let out = net.eval(&assign).unwrap();
+        assert!(!out[0]); // na0 = ā0
+        assert!(out[1]); // pb0 = b0
+        assert!(out[2]); // na1 = ā1 = 1
+    }
+}

@@ -1,0 +1,353 @@
+//! `tels` — the command-line ThrEshold Logic Synthesizer.
+//!
+//! Mirrors the five commands of the paper's SIS-integrated tool (§V-F):
+//! one-to-one mapping, threshold synthesis, simulation, and displaying of
+//! network information.
+//!
+//! ```text
+//! tels synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
+//!             [--no-factor] [--best]          threshold network synthesis
+//! tels map11  <in.blif> [-o out.tnet] [--psi N] ...
+//!                                             one-to-one mapping baseline
+//! tels sim    <file.blif|file.tnet> <bits...> simulate input vectors
+//! tels verify <spec.blif> <impl.tnet>         check functional equivalence
+//! tels info   <file.blif|file.tnet>           gate/level/area statistics
+//! tels print  <file.blif|file.tnet>           dump the netlist
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use tels_core::{map_one_to_one, map_to_majority, parse_tnet, synthesize, synthesize_best,
+    synthesize_with_stats, to_verilog, TelsConfig, ThresholdNetwork};
+use tels_logic::opt::{script_algebraic, script_boolean};
+use tels_logic::{blif, Network};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tels: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: tels <command> [args]
+  synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
+         [--weight-cap N] [--no-factor] [--no-theorem1] [--best]
+  map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
+  sim    <file.blif|file.tnet> <bits...>
+  verify <spec.blif> <impl.tnet>
+  info   <file.blif|file.tnet>
+  print  <file.blif|file.tnet>
+  qca    <in.blif> [-o out.blif]         synthesize at psi=3 and map to majority logic
+  verilog <in.blif|in.tnet> [-o out.v]   emit structural Verilog
+  suite  [--psi N]                       run the built-in Table-I benchmark suite";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or(USAGE.to_string())?;
+    match cmd.as_str() {
+        "synth" => cmd_synth(rest),
+        "map11" => cmd_map11(rest),
+        "sim" => cmd_sim(rest),
+        "verify" => cmd_verify(rest),
+        "info" => cmd_info(rest),
+        "print" => cmd_print(rest),
+        "qca" => cmd_qca(rest),
+        "verilog" => cmd_verilog(rest),
+        "suite" => cmd_suite(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+struct SynthArgs {
+    input: String,
+    output: Option<String>,
+    config: TelsConfig,
+    factor: bool,
+    best: bool,
+}
+
+fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
+    let mut out = SynthArgs {
+        input: String::new(),
+        output: None,
+        config: TelsConfig::default(),
+        factor: true,
+        best: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<i64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse()
+                .map_err(|_| format!("{name} requires an integer"))
+        };
+        match a.as_str() {
+            "-o" => {
+                out.output = Some(
+                    it.next()
+                        .ok_or_else(|| "-o requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--psi" => out.config.psi = num("--psi")? as usize,
+            "--delta-on" => out.config.delta_on = num("--delta-on")?,
+            "--delta-off" => out.config.delta_off = num("--delta-off")?,
+            "--weight-cap" => out.config.weight_cap = Some(num("--weight-cap")?),
+            "--no-factor" => out.factor = false,
+            "--no-theorem1" => out.config.use_theorem1 = false,
+            "--best" => out.best = true,
+            other if !other.starts_with('-') && out.input.is_empty() => {
+                out.input = other.to_string()
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if out.input.is_empty() {
+        return Err("missing input file".to_string());
+    }
+    if out.config.psi < 2 {
+        return Err("--psi must be at least 2".to_string());
+    }
+    Ok(out)
+}
+
+fn read_blif(path: &str) -> Result<Network, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_tnet(path: &str) -> Result<ThresholdNetwork, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_tnet(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn emit_tnet(tn: &ThresholdNetwork, output: &Option<String>) -> Result<(), String> {
+    let text = tn.to_tnet();
+    match output {
+        Some(path) => fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let a = parse_synth_args(args)?;
+    let net = read_blif(&a.input)?;
+    let prepared = if a.factor { script_algebraic(&net) } else { net.clone() };
+    let tn = if a.best {
+        synthesize_best(&prepared, &a.config).map_err(|e| e.to_string())?
+    } else {
+        let (tn, stats) = synthesize_with_stats(&prepared, &a.config).map_err(|e| e.to_string())?;
+        eprintln!(
+            "tels: {} gates, {} levels, area {} | {} ILP calls, {} theorem-1 prunes, {} theorem-2 combines",
+            tn.num_gates(),
+            tn.depth(),
+            tn.area(),
+            stats.ilp_calls,
+            stats.theorem1_refutations,
+            stats.theorem2_combines
+        );
+        tn
+    };
+    match tn.verify_against(&net, 12, 1024, 1).map_err(|e| e.to_string())? {
+        None => eprintln!("tels: simulation check passed"),
+        Some(cex) => return Err(format!("internal error: mismatch at {cex:?}")),
+    }
+    emit_tnet(&tn, &a.output)
+}
+
+fn cmd_map11(args: &[String]) -> Result<(), String> {
+    let a = parse_synth_args(args)?;
+    let net = read_blif(&a.input)?;
+    let tn = map_one_to_one(&net, &a.config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "tels: {} gates, {} levels, area {}",
+        tn.num_gates(),
+        tn.depth(),
+        tn.area()
+    );
+    emit_tnet(&tn, &a.output)
+}
+
+fn parse_bits(bits: &str, expected: usize) -> Result<Vec<bool>, String> {
+    if bits.len() != expected {
+        return Err(format!("expected {expected} input bits, got {}", bits.len()));
+    }
+    bits.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("invalid bit `{other}`")),
+        })
+        .collect()
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let (path, vectors) = args
+        .split_first()
+        .ok_or("sim requires a netlist and at least one bit vector")?;
+    if vectors.is_empty() {
+        return Err("sim requires at least one bit vector".to_string());
+    }
+    if path.ends_with(".tnet") {
+        let tn = read_tnet(path)?;
+        for v in vectors {
+            let assign = parse_bits(v, tn.num_inputs())?;
+            let out = tn.eval(&assign).map_err(|e| e.to_string())?;
+            println!("{v} -> {}", out.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>());
+        }
+    } else {
+        let net = read_blif(path)?;
+        for v in vectors {
+            let assign = parse_bits(v, net.num_inputs())?;
+            let out = net.eval(&assign).map_err(|e| e.to_string())?;
+            println!("{v} -> {}", out.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let [spec, imp] = args else {
+        return Err("verify requires <spec.blif> <impl.tnet>".to_string());
+    };
+    let net = read_blif(spec)?;
+    let tn = read_tnet(imp)?;
+    match tn.verify_against(&net, 14, 4096, 0x5eed).map_err(|e| e.to_string())? {
+        None => {
+            println!("equivalent (up to simulation effort)");
+            Ok(())
+        }
+        Some(cex) => Err(format!(
+            "NOT equivalent: counterexample {}",
+            cex.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+        )),
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info requires exactly one netlist".to_string());
+    };
+    if path.ends_with(".tnet") {
+        let tn = read_tnet(path)?;
+        println!("model:   {}", tn.model());
+        println!("{}", tn.report());
+    } else {
+        let net = read_blif(path)?;
+        println!("model:    {}", net.model());
+        println!("inputs:   {}", net.num_inputs());
+        println!("outputs:  {}", net.outputs().len());
+        println!("nodes:    {}", net.num_logic_nodes());
+        println!("literals: {}", net.num_literals());
+        println!("levels:   {}", net.depth().map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+fn cmd_qca(args: &[String]) -> Result<(), String> {
+    let mut a = parse_synth_args(args)?;
+    if a.config.psi > 3 {
+        return Err("qca mapping requires --psi <= 3".to_string());
+    }
+    a.config.psi = a.config.psi.min(3);
+    let net = read_blif(&a.input)?;
+    let prepared = if a.factor { script_algebraic(&net) } else { net.clone() };
+    let tn = synthesize(&prepared, &a.config).map_err(|e| e.to_string())?;
+    let (qca, stats) = map_to_majority(&tn).map_err(|e| e.to_string())?;
+    eprintln!(
+        "tels: {} threshold gates -> {} majority gates + {} inverters",
+        tn.num_gates(),
+        stats.majority_gates,
+        stats.inverters
+    );
+    let text = blif::write(&qca);
+    match &a.output {
+        Some(path) => fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_verilog(args: &[String]) -> Result<(), String> {
+    let a = parse_synth_args(args)?;
+    let tn = if a.input.ends_with(".tnet") {
+        read_tnet(&a.input)?
+    } else {
+        let net = read_blif(&a.input)?;
+        let prepared = if a.factor { script_algebraic(&net) } else { net.clone() };
+        synthesize(&prepared, &a.config).map_err(|e| e.to_string())?
+    };
+    let text = to_verilog(&tn);
+    match &a.output {
+        Some(path) => fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let mut config = TelsConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--psi" => {
+                config.psi = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--psi requires an integer")?
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    println!(
+        "{:<14} | {:>10} {:>7} {:>7} | {:>10} {:>7} {:>7}",
+        "benchmark", "1:1 gates", "levels", "area", "TELS gates", "levels", "area"
+    );
+    println!("{}", "-".repeat(78));
+    for b in tels_circuits::paper_suite() {
+        let boolean = script_boolean(&b.network);
+        let algebraic = script_algebraic(&b.network);
+        let baseline = map_one_to_one(&boolean, &config).map_err(|e| e.to_string())?;
+        let tels = synthesize(&algebraic, &config).map_err(|e| e.to_string())?;
+        println!(
+            "{:<14} | {:>10} {:>7} {:>7} | {:>10} {:>7} {:>7}",
+            b.name,
+            baseline.num_gates(),
+            baseline.depth(),
+            baseline.area(),
+            tels.num_gates(),
+            tels.depth(),
+            tels.area()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_print(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("print requires exactly one netlist".to_string());
+    };
+    if path.ends_with(".tnet") {
+        print!("{}", read_tnet(path)?.to_tnet());
+    } else {
+        print!("{}", blif::write(&read_blif(path)?));
+    }
+    Ok(())
+}

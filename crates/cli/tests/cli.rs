@@ -1,0 +1,210 @@
+//! Integration tests driving the `tels` binary end to end.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SAMPLE: &str = "\
+.model sample
+.inputs a b c d
+.outputs f g
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.names c d g
+10 1
+01 1
+.end
+";
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tels_cli_{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn tels(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tels"))
+        .args(args)
+        .output()
+        .expect("run tels binary")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_shows_usage() {
+    let o = tels(&["--help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("usage: tels"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let o = tels(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn synth_round_trip_and_verify() {
+    let dir = workdir("synth");
+    let blif = dir.join("sample.blif");
+    let tnet = dir.join("sample.tnet");
+    fs::write(&blif, SAMPLE).unwrap();
+
+    let o = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "-o",
+        tnet.to_str().unwrap(),
+        "--psi",
+        "3",
+    ]);
+    assert!(o.status.success(), "synth failed: {}", stderr(&o));
+    assert!(stderr(&o).contains("simulation check passed"));
+    assert!(tnet.exists());
+
+    let v = tels(&["verify", blif.to_str().unwrap(), tnet.to_str().unwrap()]);
+    assert!(v.status.success(), "verify failed: {}", stderr(&v));
+    assert!(stdout(&v).contains("equivalent"));
+}
+
+#[test]
+fn map11_reports_stats() {
+    let dir = workdir("map11");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["map11", blif.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("gates"));
+    assert!(stdout(&o).contains(".gate"));
+}
+
+#[test]
+fn sim_blif_and_tnet_agree() {
+    let dir = workdir("sim");
+    let blif = dir.join("sample.blif");
+    let tnet = dir.join("sample.tnet");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["synth", blif.to_str().unwrap(), "-o", tnet.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    for bits in ["0000", "1100", "1010", "0110", "1111"] {
+        let b = tels(&["sim", blif.to_str().unwrap(), bits]);
+        let t = tels(&["sim", tnet.to_str().unwrap(), bits]);
+        assert!(b.status.success() && t.status.success());
+        assert_eq!(stdout(&b), stdout(&t), "mismatch on {bits}");
+    }
+}
+
+#[test]
+fn sim_rejects_bad_vector_width() {
+    let dir = workdir("simbad");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["sim", blif.to_str().unwrap(), "01"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("expected 4 input bits"));
+}
+
+#[test]
+fn info_prints_statistics() {
+    let dir = workdir("info");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["info", blif.to_str().unwrap()]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("inputs:   4"));
+    assert!(out.contains("outputs:  2"));
+}
+
+#[test]
+fn print_round_trips_blif() {
+    let dir = workdir("print");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["print", blif.to_str().unwrap()]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains(".model sample"));
+}
+
+#[test]
+fn synth_best_never_worse() {
+    let dir = workdir("best");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let best = tels(&["synth", blif.to_str().unwrap(), "--best"]);
+    assert!(best.status.success(), "{}", stderr(&best));
+    let base = tels(&["map11", blif.to_str().unwrap()]);
+    let count = |s: &str| s.matches(".gate").count();
+    assert!(count(&stdout(&best)) <= count(&stdout(&base)));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let o = tels(&["info", "/nonexistent/x.blif"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("tels:"));
+}
+
+#[test]
+fn synth_with_defect_tolerances() {
+    let dir = workdir("dt");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "--delta-on",
+        "2",
+        "--psi",
+        "4",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("simulation check passed"));
+}
+
+#[test]
+fn qca_command_emits_majority_blif() {
+    let dir = workdir("qca");
+    let blif = dir.join("sample.blif");
+    let out = dir.join("sample_qca.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["qca", blif.to_str().unwrap(), "-o", out.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("majority gates"));
+    let text = fs::read_to_string(&out).unwrap();
+    assert!(text.contains(".model"));
+}
+
+#[test]
+fn verilog_command_emits_module() {
+    let dir = workdir("verilog");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["verilog", blif.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("module sample"));
+    assert!(stdout(&o).contains("endmodule"));
+}
+
+#[test]
+fn qca_rejects_large_psi() {
+    let dir = workdir("qcapsi");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["qca", blif.to_str().unwrap(), "--psi", "5"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("psi"));
+}

@@ -1,0 +1,363 @@
+//! Threshold-function identification via ILP (Fig. 6 of the paper).
+//!
+//! Given a unate SOP, the checker transforms it to positive-unate form,
+//! derives the minimal ON/OFF-set inequalities, and solves
+//! `min Σwᵢ + T` with `wᵢ, T ≥ 0` integer. A feasible solution yields the
+//! weight-threshold vector; infeasibility proves the function is not a
+//! threshold function (over the cube constraints, which are exact for unate
+//! covers).
+
+use tels_ilp::{Cmp, Problem, Status};
+use tels_logic::{Polarity, Sop, Var};
+
+use crate::config::TelsConfig;
+use crate::error::SynthError;
+
+/// A threshold-gate realization of a logic function.
+///
+/// `weights` pairs each support variable with its (possibly negative)
+/// weight; `positive_threshold` is the threshold of the positive-unate form
+/// before back-substitution, which Theorem 2 needs when ORing an extra
+/// input into the gate.
+///
+/// # Example
+///
+/// The paper's worked example (§V-B): `f = x₁x̄₂ ∨ x₁x̄₃` has
+/// weight-threshold vector ⟨2, −1, −1; 1⟩.
+///
+/// ```
+/// use tels_core::{check_threshold, TelsConfig};
+/// use tels_logic::{Cube, Sop, Var};
+///
+/// # fn main() -> Result<(), tels_core::SynthError> {
+/// let f = Sop::from_cubes([
+///     Cube::from_literals([(Var(0), true), (Var(1), false)]),
+///     Cube::from_literals([(Var(0), true), (Var(2), false)]),
+/// ]);
+/// let r = check_threshold(&f, &TelsConfig::default())?.expect("threshold");
+/// assert_eq!(r.weights, vec![(Var(0), 2), (Var(1), -1), (Var(2), -1)]);
+/// assert_eq!(r.threshold, 1);
+/// assert_eq!(r.positive_threshold, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Realization {
+    /// `(variable, weight)` pairs in ascending variable order.
+    pub weights: Vec<(Var, i64)>,
+    /// The gate threshold `T` (after back-substituting negative phases).
+    pub threshold: i64,
+    /// The threshold of the positive-unate form (used by Theorem 2).
+    pub positive_threshold: i64,
+}
+
+impl Realization {
+    /// The realization of the constant function `0` or `1`.
+    ///
+    /// A constant-1 gate has `T = −δ_on ≤ 0` (the empty sum always reaches
+    /// it); a constant-0 gate has `T = max(δ_off, 1) > 0` (never reached).
+    pub fn constant(value: bool, config: &TelsConfig) -> Realization {
+        let threshold = if value {
+            -config.delta_on
+        } else {
+            config.delta_off.max(1)
+        };
+        Realization {
+            weights: Vec::new(),
+            threshold,
+            positive_threshold: threshold,
+        }
+    }
+}
+
+/// Decides whether the unate cover `f` is a threshold function, returning
+/// its minimal-area weight-threshold vector when it is (Fig. 6).
+///
+/// Returns `Ok(None)` when `f` is not a threshold function — including when
+/// `f` is syntactically binate (every threshold function is unate, §II-B)
+/// or when the ILP effort limits are exhausted without a feasible incumbent
+/// (§V-E treats that as "not threshold" and splits the node).
+///
+/// # Errors
+///
+/// Returns [`SynthError::Solver`] only on arithmetic failure inside the
+/// exact solver.
+pub fn check_threshold(
+    f: &Sop,
+    config: &TelsConfig,
+) -> Result<Option<Realization>, SynthError> {
+    if f.is_zero() {
+        return Ok(Some(Realization::constant(false, config)));
+    }
+    if f.is_one() {
+        return Ok(Some(Realization::constant(true, config)));
+    }
+
+    // Phase map; bail out on binate covers.
+    let support: Vec<Var> = f.support().iter().collect();
+    let mut negated = Vec::new();
+    for &v in &support {
+        match f.polarity(v) {
+            Some(Polarity::Positive) => negated.push(false),
+            Some(Polarity::Negative) => negated.push(true),
+            Some(Polarity::Binate) => return Ok(None),
+            None => unreachable!("support variable must appear"),
+        }
+    }
+
+    // Positive-unate form: flip negative-phase literals.
+    let positive = Sop::from_cubes(f.cubes().iter().map(|c| {
+        tels_logic::Cube::from_literals(c.literals().map(|(v, phase)| {
+            let idx = support.iter().position(|&s| s == v).expect("in support");
+            (v, if negated[idx] { !phase } else { phase })
+        }))
+    }));
+    debug_assert!(positive.is_positive_unate());
+
+    // OFF-set cubes: ON-set of the complement. Minimization brings the
+    // cover to its prime (negative-unate) form, which gives the fewest,
+    // tightest OFF inequalities.
+    let off = positive.complement().minimize();
+
+    let mut problem = Problem::new();
+    let w: Vec<_> = support.iter().map(|_| problem.add_int_var()).collect();
+    let t = problem.add_int_var();
+    problem.set_objective(w.iter().map(|&v| (v, 1i64)).chain([(t, 1i64)]));
+    // Optional dynamic-range cap on weights and threshold.
+    if let Some(cap) = config.weight_cap {
+        for &v in w.iter().chain([&t]) {
+            problem.add_constraint([(v, 1i64)], Cmp::Le, cap);
+        }
+    }
+
+    // ON inequalities: for each cube C, Σ_{v ∈ C} w_v − T ≥ δ_on.
+    for cube in positive.cubes() {
+        let terms: Vec<_> = support
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| cube.literal(v).is_some())
+            .map(|(i, _)| (w[i], 1i64))
+            .chain([(t, -1i64)])
+            .collect();
+        problem.add_constraint(terms, Cmp::Ge, config.delta_on);
+    }
+    // OFF inequalities: for each complement cube D, the largest weighted
+    // sum over D's minterms (weights are non-negative, so every variable
+    // not forced to 0 contributes): Σ_{v: D(v) ≠ 0} w_v − T ≤ −δ_off.
+    // For a negative-unate prime cover this is exactly the paper's
+    // "don't-care positions" rule.
+    for cube in off.cubes() {
+        let terms: Vec<_> = support
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| cube.literal(v) != Some(false))
+            .map(|(i, _)| (w[i], 1i64))
+            .chain([(t, -1i64)])
+            .collect();
+        problem.add_constraint(terms, Cmp::Le, -config.delta_off);
+    }
+
+    let solution = problem.solve(&config.ilp_limits)?;
+    let usable = matches!(solution.status, Status::Optimal)
+        || (matches!(solution.status, Status::LimitReached) && !solution.values.is_empty());
+    if !usable {
+        return Ok(None);
+    }
+    let values = match solution.int_values() {
+        Some(v) => v,
+        // A feasible incumbent from a limit-hit is integral by construction;
+        // anything else is unusable.
+        None => match solution
+            .values
+            .iter()
+            .map(|r| r.to_i64())
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(v) => v,
+            None => return Ok(None),
+        },
+    };
+    let t_pos = values[support.len()];
+    // Back-substitution (§IV): negate weights of negative-phase variables;
+    // the threshold drops by the sum of those (positive-form) weights.
+    let mut threshold = t_pos;
+    let weights: Vec<(Var, i64)> = support
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if negated[i] {
+                threshold -= values[i];
+                (v, -values[i])
+            } else {
+                (v, values[i])
+            }
+        })
+        .collect();
+    Ok(Some(Realization {
+        weights,
+        threshold,
+        positive_threshold: t_pos,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_logic::Cube;
+
+    fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+        )
+    }
+
+    fn check(f: &Sop) -> Option<Realization> {
+        check_threshold(f, &TelsConfig::default()).unwrap()
+    }
+
+    /// Exhaustively validates a realization against the function.
+    fn validate(f: &Sop, r: &Realization) {
+        let vars: Vec<Var> = f.support().iter().collect();
+        for m in 0..1u32 << vars.len() {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                m >> i & 1 != 0
+            };
+            let expect = f.eval(assign);
+            let sum: i64 = r
+                .weights
+                .iter()
+                .map(|&(v, w)| if assign(v) { w } else { 0 })
+                .sum();
+            assert_eq!(
+                sum >= r.threshold,
+                expect,
+                "minterm {m} of {f}: sum {sum} vs T {}",
+                r.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn and2_gate() {
+        let f = sop(&[&[(0, true), (1, true)]]);
+        let r = check(&f).expect("AND2 is threshold");
+        assert_eq!(r.weights, vec![(Var(0), 1), (Var(1), 1)]);
+        assert_eq!(r.threshold, 2);
+        validate(&f, &r);
+    }
+
+    #[test]
+    fn or3_gate() {
+        let f = sop(&[&[(0, true)], &[(1, true)], &[(2, true)]]);
+        let r = check(&f).expect("OR3 is threshold");
+        assert_eq!(r.weights, vec![(Var(0), 1), (Var(1), 1), (Var(2), 1)]);
+        assert_eq!(r.threshold, 1);
+        validate(&f, &r);
+    }
+
+    #[test]
+    fn inverter() {
+        let f = sop(&[&[(0, false)]]);
+        let r = check(&f).expect("NOT is threshold");
+        assert_eq!(r.weights, vec![(Var(0), -1)]);
+        assert_eq!(r.threshold, 0);
+        validate(&f, &r);
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // g = x₁y₂ ∨ x₁y₃ → ⟨2,1,1;3⟩ (Eq. 8-13).
+        let g = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
+        let r = check(&g).expect("threshold");
+        assert_eq!(r.weights, vec![(Var(0), 2), (Var(1), 1), (Var(2), 1)]);
+        assert_eq!(r.threshold, 3);
+        validate(&g, &r);
+    }
+
+    #[test]
+    fn majority_function() {
+        let f = sop(&[
+            &[(0, true), (1, true)],
+            &[(0, true), (2, true)],
+            &[(1, true), (2, true)],
+        ]);
+        let r = check(&f).expect("majority is threshold");
+        assert_eq!(r.weights, vec![(Var(0), 1), (Var(1), 1), (Var(2), 1)]);
+        assert_eq!(r.threshold, 2);
+        validate(&f, &r);
+    }
+
+    #[test]
+    fn two_disjoint_ands_not_threshold() {
+        // x₁x₂ ∨ x₃x₄ is the canonical non-threshold unate function.
+        let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
+        assert_eq!(check(&f), None);
+    }
+
+    #[test]
+    fn binate_cover_rejected() {
+        let f = sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]);
+        assert_eq!(check(&f), None);
+    }
+
+    #[test]
+    fn constants() {
+        let cfg = TelsConfig::default();
+        let zero = check_threshold(&Sop::zero(), &cfg).unwrap().unwrap();
+        assert!(zero.weights.is_empty());
+        assert!(zero.threshold > 0);
+        let one = check_threshold(&Sop::one(), &cfg).unwrap().unwrap();
+        assert!(one.threshold <= 0);
+    }
+
+    #[test]
+    fn mixed_phase_realization() {
+        // f = x₀ ∨ x̄₁: ON(positive form y=x̄₁): x₀ ∨ y.
+        let f = sop(&[&[(0, true)], &[(1, false)]]);
+        let r = check(&f).expect("threshold");
+        validate(&f, &r);
+        assert!(r.weights[1].1 < 0);
+    }
+
+    #[test]
+    fn delta_on_raises_margin() {
+        let cfg = TelsConfig {
+            delta_on: 2,
+            ..TelsConfig::default()
+        };
+        let f = sop(&[&[(0, true), (1, true)]]);
+        let r = check_threshold(&f, &cfg).unwrap().expect("threshold");
+        // ON sum must exceed T by ≥ 2: w0+w1 ≥ T+2 and wi ≤ T−1.
+        let (w0, w1) = (r.weights[0].1, r.weights[1].1);
+        assert!(w0 + w1 >= r.threshold + 2);
+        assert!(w0 < r.threshold && w1 < r.threshold);
+    }
+
+    #[test]
+    fn counts_threshold_functions_of_3_vars() {
+        // 104 of the 256 three-variable functions are threshold functions
+        // (Muroga). Functional unateness is required first: syntactically
+        // binate minterm covers of unate functions must be minimized before
+        // checking.
+        let vars = [Var(0), Var(1), Var(2)];
+        let mut count = 0;
+        for bits in 0u32..256 {
+            let cubes: Vec<Cube> = (0..8u32)
+                .filter(|m| bits >> m & 1 != 0)
+                .map(|m| {
+                    Cube::from_literals(
+                        (0..3).map(|i| (vars[i as usize], m >> i & 1 != 0)),
+                    )
+                })
+                .collect();
+            let f = Sop::from_cubes(cubes).minimize();
+            if check(&f).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 104);
+    }
+}

@@ -1,0 +1,165 @@
+//! Synthesis configuration.
+
+use tels_ilp::Limits;
+
+/// Overall synthesis strategy.
+///
+/// The paper's algorithm traverses backward from the outputs, collapsing
+/// and splitting (Fig. 3); its conclusion suggests "other approaches, such
+/// as divide and conquer, could also be used". [`SynthStrategy::Shannon`]
+/// implements that suggestion: non-threshold expressions are decomposed by
+/// Shannon expansion on the most binate variable, recursively, with each
+/// cofactor synthesized independently and recombined through a 2:1
+/// mux-style gate pair. Compare the two with
+/// `cargo bench -p tels-bench --bench ablation_strategy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthStrategy {
+    /// The paper's backward collapse/split flow (Figs. 3-8).
+    #[default]
+    PaperBackward,
+    /// Top-down Shannon divide and conquer (the paper's future-work idea).
+    Shannon,
+}
+
+/// Which unate-splitting heuristic to use (§V-C condition 3).
+///
+/// The paper splits on the most frequent variable, arguing it "reduces the
+/// likelihood of a function being non-threshold"; the naive alternative
+/// splits the cube list in half. `Halves` exists for the ablation study
+/// (`cargo bench -p tels-bench --bench ablation_split`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitHeuristic {
+    /// Split on the most frequently occurring variable (the paper's rule).
+    #[default]
+    Frequency,
+    /// Split the cube list into two halves regardless of variables.
+    Halves,
+}
+
+/// Parameters of a TELS synthesis run.
+///
+/// Mirrors the user-controllable knobs of the paper's tool: the fanin
+/// restriction ψ and the defect tolerances δ_on / δ_off of Eq. (1), plus
+/// implementation limits for the ILP solver (§V-E) and the Theorem-1
+/// pre-filter toggle (§IV).
+///
+/// # Example
+///
+/// ```
+/// use tels_core::TelsConfig;
+///
+/// let config = TelsConfig::default();
+/// assert_eq!(config.psi, 3);
+/// assert_eq!(config.delta_on, 0);
+/// assert_eq!(config.delta_off, 1);
+/// let relaxed = TelsConfig { psi: 6, ..TelsConfig::default() };
+/// assert_eq!(relaxed.psi, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelsConfig {
+    /// Fanin restriction ψ on every threshold gate (paper default: 3; §VI-B
+    /// finds 3–5 gives good results).
+    pub psi: usize,
+    /// ON-side defect tolerance δ_on: ON minterms must reach `T + δ_on`.
+    pub delta_on: i64,
+    /// OFF-side defect tolerance δ_off: OFF minterms must stay at or below
+    /// `T − δ_off` (the paper fixes this at 1).
+    ///
+    /// Must be at least 1: the physical gate switches at `T`, so an OFF
+    /// minterm must sit strictly below it, and `δ_off = 1` is the smallest
+    /// integer margin (this is also what makes the paper's worked example
+    /// `x₁y₂ ∨ x₁y₃ → ⟨2,1,1;3⟩` come out).
+    pub delta_off: i64,
+    /// Apply the Theorem-1 substitution pre-filter before invoking the ILP.
+    pub use_theorem1: bool,
+    /// Effort limits for each threshold-check ILP; exceeding them counts as
+    /// "not a threshold function" and triggers splitting (§V-E).
+    pub ilp_limits: Limits,
+    /// Unate-splitting heuristic (ablation knob; the paper uses
+    /// [`SplitHeuristic::Frequency`]).
+    pub split_heuristic: SplitHeuristic,
+    /// Overall synthesis strategy (paper's backward flow vs the
+    /// divide-and-conquer alternative its conclusion suggests).
+    pub strategy: SynthStrategy,
+    /// Optional cap on every weight magnitude (and the threshold).
+    ///
+    /// RTDs have a limited dynamic range for the programmable peak current
+    /// that implements a weight; functions that need larger weights are
+    /// treated as non-threshold and split further. `None` (the paper's
+    /// setting) leaves weights unbounded.
+    pub weight_cap: Option<i64>,
+}
+
+impl Default for TelsConfig {
+    fn default() -> Self {
+        TelsConfig {
+            psi: 3,
+            delta_on: 0,
+            delta_off: 1,
+            use_theorem1: true,
+            ilp_limits: Limits::default(),
+            split_heuristic: SplitHeuristic::default(),
+            strategy: SynthStrategy::default(),
+            weight_cap: None,
+        }
+    }
+}
+
+impl TelsConfig {
+    /// The classical textbook threshold-logic setting: ON minterms reach
+    /// `T`, OFF minterms stay strictly below (`Σ < T`, i.e. `Σ ≤ T − 1` over
+    /// integers).
+    ///
+    /// Over integer weights this coincides with the paper's default
+    /// (δ_on = 0, δ_off = 1), so the checker recognizes exactly the
+    /// classical threshold functions: 104 of the 256 three-input functions
+    /// and 1,882 of the 65,536 four-input functions.
+    pub fn classical() -> TelsConfig {
+        TelsConfig {
+            delta_on: 0,
+            // Integer encoding of the strict inequality Σ < T.
+            delta_off: 1,
+            ..TelsConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi < 2` or a tolerance is negative — such configurations
+    /// cannot realize any two-input gate.
+    pub fn assert_valid(&self) {
+        assert!(self.psi >= 2, "fanin restriction must be at least 2");
+        assert!(self.delta_on >= 0, "delta_on must be non-negative");
+        assert!(
+            self.delta_off >= 1,
+            "delta_off must be at least 1 (OFF minterms sit strictly below T)"
+        );
+        if let Some(cap) = self.weight_cap {
+            assert!(cap >= 1, "weight cap must be at least 1");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TelsConfig::default();
+        assert_eq!((c.psi, c.delta_on, c.delta_off), (3, 0, 1));
+        assert!(c.use_theorem1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanin restriction")]
+    fn psi_one_rejected() {
+        TelsConfig {
+            psi: 1,
+            ..TelsConfig::default()
+        }
+        .assert_valid();
+    }
+}

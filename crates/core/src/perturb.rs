@@ -1,0 +1,229 @@
+//! Parametric weight-variation analysis (§VI-C, Figs. 11 and 12).
+//!
+//! Each fabricated instance of a threshold network is modeled by disturbing
+//! every input weight once — `w′ = w + v·U(−0.5, 0.5)` — and simulating the
+//! disturbed network against the Boolean specification. The instance *fails*
+//! if any input vector produces a wrong output. Larger synthesis margins
+//! (δ_on) buy robustness at the cost of area, which is the paper's Fig. 12
+//! trade-off.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tels_logic::Network;
+
+use crate::error::SynthError;
+use crate::tnet::{ThresholdNetwork, TnId};
+
+/// Monte-Carlo settings for [`failure_rate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbOptions {
+    /// The variation multiplier `v` of `w′ = w + v·U(−0.5, 0.5)`.
+    pub variation: f64,
+    /// Number of fabricated instances to draw.
+    pub trials: usize,
+    /// Use exhaustive input vectors when the input count is at most this.
+    pub exhaustive_limit: u32,
+    /// Number of random input vectors beyond the exhaustive limit.
+    pub vectors: usize,
+    /// RNG seed (weight draws and input vectors both derive from it).
+    pub seed: u64,
+}
+
+impl Default for PerturbOptions {
+    fn default() -> Self {
+        PerturbOptions {
+            variation: 0.4,
+            trials: 50,
+            exhaustive_limit: 12,
+            vectors: 512,
+            seed: 0xde5ec7,
+        }
+    }
+}
+
+/// Draws one disturbed-weight assignment for every gate of the network.
+pub fn draw_disturbance(
+    tn: &ThresholdNetwork,
+    variation: f64,
+    rng: &mut StdRng,
+) -> HashMap<TnId, Vec<f64>> {
+    tn.gates()
+        .map(|(id, g)| {
+            let ws = g
+                .weights
+                .iter()
+                .map(|&w| w as f64 + variation * (rng.gen::<f64>() - 0.5))
+                .collect();
+            (id, ws)
+        })
+        .collect()
+}
+
+/// Whether one disturbed instance computes a wrong value on any simulated
+/// input vector.
+///
+/// # Errors
+///
+/// Returns an error if the network interfaces mismatch.
+pub fn instance_fails(
+    tn: &ThresholdNetwork,
+    reference: &Network,
+    disturbed: &HashMap<TnId, Vec<f64>>,
+    options: &PerturbOptions,
+    rng: &mut StdRng,
+) -> Result<bool, SynthError> {
+    let ref_inputs = reference.inputs();
+    let my_inputs = tn.inputs();
+    let my_perm: Vec<usize> = my_inputs
+        .iter()
+        .map(|&id| {
+            let name = tn.name(id);
+            ref_inputs
+                .iter()
+                .position(|&rid| reference.name(rid) == name)
+                .ok_or_else(|| {
+                    SynthError::Logic(tels_logic::LogicError::InterfaceMismatch(format!(
+                        "input `{name}` missing from reference"
+                    )))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let out_perm: Vec<usize> = reference
+        .outputs()
+        .iter()
+        .map(|(name, _)| {
+            tn.outputs()
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| {
+                    SynthError::Logic(tels_logic::LogicError::InterfaceMismatch(format!(
+                        "output `{name}` missing"
+                    )))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let n = ref_inputs.len();
+    let exhaustive = n as u32 <= options.exhaustive_limit;
+    let total = if exhaustive { 1usize << n } else { options.vectors };
+    for t in 0..total {
+        let assign: Vec<bool> = if exhaustive {
+            (0..n).map(|i| t >> i & 1 != 0).collect()
+        } else {
+            (0..n).map(|_| rng.gen()).collect()
+        };
+        let expect = reference.eval(&assign)?;
+        let my_assign: Vec<bool> = my_perm.iter().map(|&i| assign[i]).collect();
+        let got = tn.eval_disturbed(&my_assign, disturbed)?;
+        for (oi, _) in reference.outputs().iter().enumerate() {
+            if expect[oi] != got[out_perm[oi]] {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// The fraction of disturbed instances (over `options.trials`) that compute
+/// a wrong value on at least one simulated vector.
+///
+/// # Errors
+///
+/// Returns an error if the network interfaces mismatch.
+pub fn failure_rate(
+    tn: &ThresholdNetwork,
+    reference: &Network,
+    options: &PerturbOptions,
+) -> Result<f64, SynthError> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut failures = 0usize;
+    for _ in 0..options.trials {
+        let disturbed = draw_disturbance(tn, options.variation, &mut rng);
+        if instance_fails(tn, reference, &disturbed, options, &mut rng)? {
+            failures += 1;
+        }
+    }
+    Ok(failures as f64 / options.trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelsConfig;
+    use crate::synth::synthesize;
+    use tels_logic::blif;
+
+    const SRC: &str =
+        ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n--11 1\n.end\n";
+
+    #[test]
+    fn zero_variation_never_fails() {
+        let net = blif::parse(SRC).unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        let opts = PerturbOptions {
+            variation: 0.0,
+            trials: 10,
+            ..PerturbOptions::default()
+        };
+        assert_eq!(failure_rate(&tn, &net, &opts).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn huge_variation_always_fails() {
+        let net = blif::parse(SRC).unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        let opts = PerturbOptions {
+            variation: 50.0,
+            trials: 20,
+            seed: 3,
+            ..PerturbOptions::default()
+        };
+        assert!(failure_rate(&tn, &net, &opts).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn delta_on_improves_robustness() {
+        // Fig. 11's trend: larger δ_on ⇒ lower failure rate at a fixed v.
+        let net = blif::parse(SRC).unwrap();
+        let tight = synthesize(&net, &TelsConfig::default()).unwrap();
+        let robust = synthesize(
+            &net,
+            &TelsConfig {
+                delta_on: 3,
+                ..TelsConfig::default()
+            },
+        )
+        .unwrap();
+        let opts = PerturbOptions {
+            variation: 1.2,
+            trials: 120,
+            seed: 11,
+            ..PerturbOptions::default()
+        };
+        let fr_tight = failure_rate(&tight, &net, &opts).unwrap();
+        let fr_robust = failure_rate(&robust, &net, &opts).unwrap();
+        assert!(
+            fr_robust <= fr_tight,
+            "δ_on=3 ({fr_robust}) should not fail more than δ_on=0 ({fr_tight})"
+        );
+        // Fig. 12's other axis: robustness costs area.
+        assert!(robust.area() >= tight.area());
+    }
+
+    #[test]
+    fn disturbance_draw_is_seeded() {
+        let net = blif::parse(SRC).unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let d1 = draw_disturbance(&tn, 0.5, &mut rng1);
+        let d2 = draw_disturbance(&tn, 0.5, &mut rng2);
+        assert_eq!(d1.len(), d2.len());
+        for (k, v) in &d1 {
+            assert_eq!(&d2[k], v);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Majority-logic mapping for QCA targets.
+//!
+//! Quantum cellular automata — the second nanotechnology the paper targets —
+//! natively implement the **3-input majority gate** `M(a,b,c)` and the
+//! inverter, rather than arbitrary-weight threshold gates. This module maps
+//! a ψ ≤ 3 threshold network onto majority/inverter logic: every threshold
+//! function of at most three variables is realizable with at most two
+//! majority gates whose inputs are literals or the constants 0/1.
+//!
+//! The result is expressed as an ordinary [`Network`] whose logic nodes are
+//! restricted to majority gates, inverters, buffers, and constants, so the
+//! whole `tels-logic` tool chain (simulation, equivalence checking, BLIF
+//! output) applies to it.
+
+use std::collections::HashMap;
+
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
+
+use crate::error::SynthError;
+use crate::tnet::{ThresholdNetwork, TnId};
+
+/// An input of a majority gate in the mapping search: a (possibly negated)
+/// gate input or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MajInput {
+    /// Input `index` of the threshold gate, in the given phase.
+    Literal {
+        /// Index into the threshold gate's input list.
+        index: u8,
+        /// `true` = uncomplemented.
+        phase: bool,
+    },
+    /// A constant 0 or 1.
+    Const(bool),
+    /// The output of the inner majority gate (two-level shapes only).
+    Inner,
+}
+
+/// A realization found by the search: an optional inner gate feeding one
+/// slot of the outer gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MajShape {
+    inner: Option<[MajInput; 3]>,
+    outer: [MajInput; 3],
+}
+
+fn maj(a: bool, b: bool, c: bool) -> bool {
+    u8::from(a) + u8::from(b) + u8::from(c) >= 2
+}
+
+fn eval_input(i: MajInput, assign: &[bool], inner: bool) -> bool {
+    match i {
+        MajInput::Literal { index, phase } => assign[index as usize] == phase,
+        MajInput::Const(v) => v,
+        MajInput::Inner => inner,
+    }
+}
+
+fn eval_shape(shape: &MajShape, assign: &[bool]) -> bool {
+    let inner = shape.inner.is_some_and(|g| {
+        maj(
+            eval_input(g[0], assign, false),
+            eval_input(g[1], assign, false),
+            eval_input(g[2], assign, false),
+        )
+    });
+    maj(
+        eval_input(shape.outer[0], assign, inner),
+        eval_input(shape.outer[1], assign, inner),
+        eval_input(shape.outer[2], assign, inner),
+    )
+}
+
+/// Candidate majority-gate inputs for an `n`-input function.
+fn candidate_inputs(n: usize) -> Vec<MajInput> {
+    let mut out = vec![MajInput::Const(false), MajInput::Const(true)];
+    for i in 0..n {
+        out.push(MajInput::Literal {
+            index: i as u8,
+            phase: true,
+        });
+        out.push(MajInput::Literal {
+            index: i as u8,
+            phase: false,
+        });
+    }
+    out
+}
+
+/// Searches for a one- or two-gate majority realization of the truth table
+/// `tt` over `n ≤ 3` inputs (bit `m` of `tt` = value on minterm `m`).
+fn find_shape(n: usize, tt: u8) -> Option<MajShape> {
+    debug_assert!(n <= 3);
+    let rows = 1usize << n;
+    let matches = |shape: &MajShape| -> bool {
+        (0..rows).all(|m| {
+            let assign: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            eval_shape(shape, &assign) == (tt >> m & 1 != 0)
+        })
+    };
+    let cands = candidate_inputs(n);
+    // Single gate.
+    for &a in &cands {
+        for &b in &cands {
+            for &c in &cands {
+                let shape = MajShape {
+                    inner: None,
+                    outer: [a, b, c],
+                };
+                if matches(&shape) {
+                    return Some(shape);
+                }
+            }
+        }
+    }
+    // Two-level: inner gate feeding the first outer slot.
+    for &ia in &cands {
+        for &ib in &cands {
+            for &ic in &cands {
+                for &oa in &cands {
+                    for &ob in &cands {
+                        let shape = MajShape {
+                            inner: Some([ia, ib, ic]),
+                            outer: [MajInput::Inner, oa, ob],
+                        };
+                        if matches(&shape) {
+                            return Some(shape);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Statistics of a majority mapping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorityStats {
+    /// Number of 3-input majority gates emitted.
+    pub majority_gates: usize,
+    /// Number of inverters emitted (shared per signal).
+    pub inverters: usize,
+}
+
+/// Maps a threshold network with maximum gate fanin 3 onto a
+/// majority/inverter network for QCA targets.
+///
+/// Inverters are shared per signal; constants are emitted once. The result
+/// is functionally identical to the threshold network (checked by the test
+/// suite through simulation).
+///
+/// # Errors
+///
+/// Returns [`SynthError::Internal`] if a gate has more than three inputs
+/// (synthesize with `psi ≤ 3` first) or — which cannot happen for threshold
+/// functions of ≤ 3 variables — no two-gate realization exists.
+///
+/// # Example
+///
+/// ```
+/// use tels_core::{map_to_majority, synthesize, TelsConfig};
+/// use tels_logic::blif;
+/// use tels_logic::sim::{check_equivalence, EquivOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = blif::parse(".model m\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n")?;
+/// let tn = synthesize(&net, &TelsConfig::default())?;
+/// let (qca, stats) = map_to_majority(&tn)?;
+/// assert!(stats.majority_gates >= 1);
+/// let r = check_equivalence(&net, &qca, &EquivOptions::default())?;
+/// assert!(r.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_to_majority(
+    tn: &ThresholdNetwork,
+) -> Result<(Network, MajorityStats), SynthError> {
+    let mut out = Network::new(format!("{}_qca", tn.model()));
+    let mut stats = MajorityStats::default();
+    let mut map: HashMap<TnId, NodeId> = HashMap::new();
+    let mut inverters: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut constants: HashMap<bool, NodeId> = HashMap::new();
+
+    for id in tn.inputs() {
+        let n = out.add_input(tn.name(id).to_string())?;
+        map.insert(id, n);
+    }
+
+    let maj_sop = Sop::from_cubes([
+        Cube::from_literals([(Var(0), true), (Var(1), true)]),
+        Cube::from_literals([(Var(0), true), (Var(2), true)]),
+        Cube::from_literals([(Var(1), true), (Var(2), true)]),
+    ]);
+
+    for (id, gate) in tn.gates() {
+        if gate.inputs.len() > 3 {
+            return Err(SynthError::Internal(format!(
+                "gate `{}` has fanin {} > 3; majority mapping needs ψ ≤ 3",
+                tn.name(id),
+                gate.inputs.len()
+            )));
+        }
+        let n = gate.inputs.len();
+        // Truth table of the gate.
+        let mut tt = 0u8;
+        for m in 0..1usize << n {
+            let assign: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            if gate.eval(&assign) {
+                tt |= 1 << m;
+            }
+        }
+        let shape = find_shape(n, tt).ok_or_else(|| {
+            SynthError::Internal(format!(
+                "no 2-gate majority realization for gate `{}` (tt {:#x})",
+                tn.name(id),
+                tt
+            ))
+        })?;
+
+        // Resolve a MajInput to a network signal, creating inverters and
+        // constants on demand.
+        let mut resolve = |inp: MajInput,
+                           inner: Option<NodeId>,
+                           out: &mut Network,
+                           stats: &mut MajorityStats|
+         -> Result<NodeId, SynthError> {
+            Ok(match inp {
+                MajInput::Inner => inner.expect("inner gate exists"),
+                MajInput::Const(v) => match constants.get(&v) {
+                    Some(&c) => c,
+                    None => {
+                        let name = out.fresh_name(if v { "qone" } else { "qzero" });
+                        let c = out.add_node(
+                            name,
+                            Vec::new(),
+                            if v { Sop::one() } else { Sop::zero() },
+                        )?;
+                        constants.insert(v, c);
+                        c
+                    }
+                },
+                MajInput::Literal { index, phase } => {
+                    let src = map[&gate.inputs[index as usize]];
+                    if phase {
+                        src
+                    } else {
+                        match inverters.get(&src) {
+                            Some(&i) => i,
+                            None => {
+                                let name = out.fresh_name("qinv");
+                                let i = out.add_node(
+                                    name,
+                                    vec![src],
+                                    Sop::literal(Var(0), false),
+                                )?;
+                                stats.inverters += 1;
+                                inverters.insert(src, i);
+                                i
+                            }
+                        }
+                    }
+                }
+            })
+        };
+
+        let inner_node = match shape.inner {
+            None => None,
+            Some(g) => {
+                let fanins: Vec<NodeId> = g
+                    .iter()
+                    .map(|&i| resolve(i, None, &mut out, &mut stats))
+                    .collect::<Result<_, _>>()?;
+                let name = out.fresh_name("qmaj");
+                let node = build_maj(&mut out, name, fanins, &maj_sop)?;
+                stats.majority_gates += 1;
+                Some(node)
+            }
+        };
+        let fanins: Vec<NodeId> = shape
+            .outer
+            .iter()
+            .map(|&i| resolve(i, inner_node, &mut out, &mut stats))
+            .collect::<Result<_, _>>()?;
+        let name = if out.find(tn.name(id)).is_none() {
+            tn.name(id).to_string()
+        } else {
+            out.fresh_name("qmaj")
+        };
+        let node = build_maj(&mut out, name, fanins, &maj_sop)?;
+        stats.majority_gates += 1;
+        map.insert(id, node);
+    }
+
+    for (name, id) in tn.outputs() {
+        out.add_output(name.clone(), map[id])?;
+    }
+    Ok((out, stats))
+}
+
+/// Adds a majority node, merging duplicate fanins (e.g. `M(a,a,b) = a·b`…
+/// actually `M(a,a,b) = a`, handled by cover simplification after remap).
+fn build_maj(
+    net: &mut Network,
+    name: String,
+    fanins: Vec<NodeId>,
+    maj_sop: &Sop,
+) -> Result<NodeId, SynthError> {
+    // Deduplicate fanins; remap the majority cover accordingly and minimize.
+    let mut unique: Vec<NodeId> = Vec::new();
+    let mut remap: Vec<Var> = Vec::with_capacity(3);
+    for f in fanins {
+        match unique.iter().position(|&u| u == f) {
+            Some(i) => remap.push(Var(i as u32)),
+            None => {
+                unique.push(f);
+                remap.push(Var(unique.len() as u32 - 1));
+            }
+        }
+    }
+    let sop = maj_sop.remap(&remap).minimize();
+    // Drop fanins no longer in the support.
+    let support = sop.support();
+    let kept: Vec<usize> = (0..unique.len())
+        .filter(|&i| support.contains(Var(i as u32)))
+        .collect();
+    let mut final_map = vec![Var(0); unique.len()];
+    for (new_i, &old_i) in kept.iter().enumerate() {
+        final_map[old_i] = Var(new_i as u32);
+    }
+    let final_fanins: Vec<NodeId> = kept.iter().map(|&i| unique[i]).collect();
+    Ok(net.add_node(name, final_fanins, sop.remap(&final_map))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelsConfig;
+    use crate::synth::synthesize;
+    use tels_logic::blif;
+    use tels_logic::sim::{check_equivalence, EquivOptions};
+
+    #[test]
+    fn every_3var_threshold_gate_has_a_shape() {
+        // Enumerate all gates the synthesizer can emit at ψ = 3: every
+        // ≤3-var function that the threshold checker accepts.
+        use crate::check::check_threshold;
+        let cfg = TelsConfig::default();
+        for bits in 0u16..256 {
+            let cubes: Vec<Cube> = (0..8u32)
+                .filter(|m| bits >> m & 1 != 0)
+                .map(|m| {
+                    Cube::from_literals((0..3).map(|i| (Var(i), m >> i & 1 != 0)))
+                })
+                .collect();
+            let f = Sop::from_cubes(cubes).minimize();
+            if check_threshold(&f, &cfg).unwrap().is_some() {
+                let tt = bits as u8;
+                assert!(
+                    find_shape(3, tt).is_some(),
+                    "threshold function {f} ({bits:#010b}) has no 2-gate majority form"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basic_gates_map_to_single_majority() {
+        // AND2 = M(a,b,0) and OR2 = M(a,b,1): one gate each.
+        for (tt, name) in [(0b1000u8, "and2"), (0b1110u8, "or2")] {
+            let shape = find_shape(2, tt).expect(name);
+            assert!(shape.inner.is_none(), "{name} needs only one gate");
+        }
+        // Majority itself.
+        let shape = find_shape(3, 0b1110_1000).expect("maj3");
+        assert!(shape.inner.is_none());
+    }
+
+    #[test]
+    fn maps_synthesized_network_and_verifies() {
+        let src = "\
+.model q
+.inputs a b c d e
+.outputs f g
+.names a b c t
+11- 1
+--1 1
+.names t d f
+11 1
+.names d e g
+10 1
+01 1
+.end
+";
+        let net = blif::parse(src).unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        let (qca, stats) = map_to_majority(&tn).unwrap();
+        assert!(stats.majority_gates >= tn.num_gates());
+        let r = check_equivalence(&net, &qca, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent(), "{r:?}");
+        // Every logic node is a majority gate, inverter, buffer or constant.
+        for id in qca.node_ids() {
+            if qca.is_input(id) {
+                continue;
+            }
+            let fanin = qca.fanins(id).len();
+            assert!(fanin <= 3, "QCA node with fanin {fanin}");
+        }
+    }
+
+    #[test]
+    fn rejects_wide_gates() {
+        let src = ".model w\n.inputs a b c d\n.outputs f\n.names a b c d f\n1111 1\n.end\n";
+        let net = blif::parse(src).unwrap();
+        let tn = synthesize(
+            &net,
+            &TelsConfig {
+                psi: 4,
+                ..TelsConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            map_to_majority(&tn),
+            Err(SynthError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn inverters_are_shared_in_mapping() {
+        // Two gates both using ā.
+        let src = ".model i\n.inputs a b c\n.outputs f g\n.names a b f\n01 1\n.names a c g\n01 1\n.end\n";
+        let net = blif::parse(src).unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        let (qca, stats) = map_to_majority(&tn).unwrap();
+        let r = check_equivalence(&net, &qca, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+        // Negative weights map to literal phases, so at most one explicit
+        // inverter should appear (often none).
+        assert!(stats.inverters <= 1);
+    }
+}

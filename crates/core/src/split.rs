@@ -1,0 +1,335 @@
+//! Node splitting heuristics (Figs. 7 and 8 of the paper).
+
+use tels_logic::{Polarity, Sop, Var};
+
+use crate::config::SplitHeuristic;
+
+/// Result of splitting a unate node (Fig. 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnateSplit {
+    /// `n = n₁ ∨ n₂` (disjunctive split by cubes).
+    Or(Sop, Sop),
+    /// `n = c · n₂` where `c` is the factored-out common cube
+    /// (condition 2: some variables appear in every cube).
+    AndCube(tels_logic::Cube, Sop),
+}
+
+/// The most frequently occurring variable, ties broken by lowest index.
+///
+/// The paper breaks ties randomly (condition 4); we choose the lowest
+/// variable index instead so synthesis is deterministic and reproducible.
+fn most_frequent_var(f: &Sop) -> Option<Var> {
+    f.support()
+        .iter()
+        .map(|v| (v, f.occurrence_count(v)))
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
+}
+
+/// Splits a unate node into two per the conditions of §V-C:
+///
+/// 1. every variable appears exactly once → two cube halves;
+/// 2. some variable appears in all cubes → factor the common cube out;
+/// 3. otherwise → split on the most frequent variable (cubes containing it
+///    vs. the rest), ties broken deterministically (condition 4).
+///
+/// # Panics
+///
+/// Panics if `f` has fewer than two cubes (a single cube is an AND gate and
+/// never needs splitting).
+pub fn split_unate(f: &Sop) -> UnateSplit {
+    split_unate_with(f, SplitHeuristic::Frequency)
+}
+
+/// [`split_unate`] with an explicit condition-3 heuristic (used by the
+/// ablation bench; `Halves` replaces the frequency rule with a plain cube
+/// partition).
+///
+/// # Panics
+///
+/// Panics if `f` has fewer than two cubes.
+pub fn split_unate_with(f: &Sop, heuristic: SplitHeuristic) -> UnateSplit {
+    assert!(f.num_cubes() >= 2, "splitting needs at least two cubes");
+
+    // Condition 2: factor out the common cube.
+    let common = tels_logic::factor::common_cube(f);
+    if !common.is_one() {
+        let quotient = tels_logic::factor::divide_by_cube(f, &common);
+        return UnateSplit::AndCube(common, quotient);
+    }
+
+    // Condition 1: all variables appear exactly once (or the ablation
+    // heuristic forces a plain cube partition).
+    let all_once = f.support().iter().all(|v| f.occurrence_count(v) == 1);
+    if all_once || heuristic == SplitHeuristic::Halves {
+        let cubes = f.cubes();
+        let mid = cubes.len().div_ceil(2);
+        return UnateSplit::Or(
+            Sop::from_cubes(cubes[..mid].iter().cloned()),
+            Sop::from_cubes(cubes[mid..].iter().cloned()),
+        );
+    }
+
+    // Condition 3 (+4): split on the most frequent variable.
+    let v = most_frequent_var(f).expect("non-constant cover has support");
+    let (with_v, without_v): (Vec<_>, Vec<_>) = f
+        .cubes()
+        .iter()
+        .cloned()
+        .partition(|c| c.literal(v).is_some());
+    debug_assert!(!without_v.is_empty(), "condition 2 would have caught this");
+    UnateSplit::Or(Sop::from_cubes(with_v), Sop::from_cubes(without_v))
+}
+
+/// Splits a cover into `k` cube groups (the fallback when neither split
+/// half is a threshold function): `n = Σᵢ nᵢ`, realized by the OR gate
+/// `⟨1,…,1;1⟩`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `f` has no cubes.
+pub fn split_cubes_k(f: &Sop, k: usize) -> Vec<Sop> {
+    assert!(k > 0 && !f.is_zero());
+    let cubes = f.cubes();
+    let k = k.min(cubes.len());
+    let base = cubes.len() / k;
+    let extra = cubes.len() % k;
+    let mut parts = Vec::with_capacity(k);
+    let mut at = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        parts.push(Sop::from_cubes(cubes[at..at + len].iter().cloned()));
+        at += len;
+    }
+    parts
+}
+
+/// The most frequent *binate* variable of a cover, if any.
+fn most_frequent_binate_var(f: &Sop) -> Option<Var> {
+    f.support()
+        .iter()
+        .filter(|&v| f.polarity(v) == Some(Polarity::Binate))
+        .map(|v| (v, f.occurrence_count(v)))
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
+}
+
+/// Splits a binate node into at most `min(ψ, |K_n|)` parts (Fig. 8):
+/// first on binate variables (negative-phase cubes split away), then on
+/// unate parts, until the part budget is reached. The original node equals
+/// the OR of the returned parts.
+///
+/// # Panics
+///
+/// Panics if `psi < 2` or `f` has no cubes.
+pub fn split_binate(f: &Sop, psi: usize) -> Vec<Sop> {
+    assert!(psi >= 2 && !f.is_zero());
+    let k = psi.min(f.num_cubes());
+    let mut parts: Vec<Sop> = vec![f.clone()];
+
+    // Phase 1: split on binate variables.
+    while parts.len() < k {
+        let Some(idx) = parts
+            .iter()
+            .position(|p| most_frequent_binate_var(p).is_some())
+        else {
+            break;
+        };
+        let p = parts.remove(idx);
+        let x = most_frequent_binate_var(&p).expect("just checked");
+        let (neg, rest): (Vec<_>, Vec<_>) = p
+            .cubes()
+            .iter()
+            .cloned()
+            .partition(|c| c.literal(x) == Some(false));
+        debug_assert!(!neg.is_empty() && !rest.is_empty(), "x is binate in p");
+        parts.insert(idx, Sop::from_cubes(rest));
+        parts.insert(idx + 1, Sop::from_cubes(neg));
+    }
+
+    // Phase 2: split unate parts until the budget is reached.
+    while parts.len() < k {
+        let Some(idx) = parts.iter().position(|p| p.num_cubes() >= 2) else {
+            break;
+        };
+        let p = parts.remove(idx);
+        match split_unate(&p) {
+            UnateSplit::Or(a, b) => {
+                parts.insert(idx, a);
+                parts.insert(idx + 1, b);
+            }
+            UnateSplit::AndCube(_, _) => {
+                // A conjunctive split does not produce OR-able parts; fall
+                // back to a cube partition of this part.
+                let sub = split_cubes_k(&p, 2);
+                for (i, s) in sub.into_iter().enumerate() {
+                    parts.insert(idx + i, s);
+                }
+            }
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_logic::Cube;
+
+    fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+        )
+    }
+
+    fn or_all(parts: &[Sop]) -> Sop {
+        parts.iter().fold(Sop::zero(), |acc, p| acc.or(p))
+    }
+
+    #[test]
+    fn condition1_splits_halves() {
+        // x1x2 ∨ x3x4 ∨ x5x6 → n1 = x1x2 ∨ x3x4, n2 = x5x6 (paper example).
+        let f = sop(&[
+            &[(0, true), (1, true)],
+            &[(2, true), (3, true)],
+            &[(4, true), (5, true)],
+        ]);
+        match split_unate(&f) {
+            UnateSplit::Or(a, b) => {
+                assert_eq!(a.num_cubes() + b.num_cubes(), 3);
+                assert!(a.num_cubes() == 2 && b.num_cubes() == 1);
+                assert!(a.or(&b).equivalent(&f));
+            }
+            other => panic!("expected Or split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition2_factors_common_variable() {
+        // x1x2 ∨ x1x3x4 ∨ x1x5x6 → n1 = x1, n2 = x2 ∨ x3x4 ∨ x5x6.
+        let f = sop(&[
+            &[(0, true), (1, true)],
+            &[(0, true), (2, true), (3, true)],
+            &[(0, true), (4, true), (5, true)],
+        ]);
+        match split_unate(&f) {
+            UnateSplit::AndCube(c, rest) => {
+                assert_eq!(c, Cube::from_literals([(Var(0), true)]));
+                let expect = sop(&[
+                    &[(1, true)],
+                    &[(2, true), (3, true)],
+                    &[(4, true), (5, true)],
+                ]);
+                assert!(rest.equivalent(&expect));
+            }
+            other => panic!("expected AndCube split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition3_splits_on_most_frequent() {
+        // x1x2 ∨ x1x3 ∨ x4x5 → split on x1.
+        let f = sop(&[
+            &[(0, true), (1, true)],
+            &[(0, true), (2, true)],
+            &[(3, true), (4, true)],
+        ]);
+        match split_unate(&f) {
+            UnateSplit::Or(a, b) => {
+                let n1 = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
+                let n2 = sop(&[&[(3, true), (4, true)]]);
+                assert!(a.equivalent(&n1));
+                assert!(b.equivalent(&n2));
+            }
+            other => panic!("expected Or split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_common_literal_factored() {
+        // x̄1x2 ∨ x̄1x3 → common cube x̄1.
+        let f = sop(&[&[(0, false), (1, true)], &[(0, false), (2, true)]]);
+        match split_unate(&f) {
+            UnateSplit::AndCube(c, rest) => {
+                assert_eq!(c, Cube::from_literals([(Var(0), false)]));
+                assert!(rest.equivalent(&sop(&[&[(1, true)], &[(2, true)]])));
+            }
+            other => panic!("expected AndCube split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_cubes_k_partitions() {
+        let f = sop(&[
+            &[(0, true)],
+            &[(1, true)],
+            &[(2, true)],
+            &[(3, true)],
+            &[(4, true)],
+        ]);
+        let parts = split_cubes_k(&f, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(Sop::num_cubes).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert!(or_all(&parts).equivalent(&f));
+        // k larger than cube count clamps.
+        assert_eq!(split_cubes_k(&f, 10).len(), 5);
+    }
+
+    #[test]
+    fn binate_split_papers_example() {
+        // n = x̄1x4 ∨ x2x3 ∨ x̄2x4x5 with ψ = 5, |K| = 3 → three parts:
+        // x̄1x4, x2x3, x̄2x4x5 (§V-D).
+        let f = sop(&[
+            &[(0, false), (3, true)],
+            &[(1, true), (2, true)],
+            &[(1, false), (3, true), (4, true)],
+        ]);
+        let parts = split_binate(&f, 5);
+        assert_eq!(parts.len(), 3);
+        assert!(or_all(&parts).equivalent(&f));
+        for p in &parts {
+            assert!(p.is_unate(), "part {p} should be unate");
+        }
+    }
+
+    #[test]
+    fn binate_split_respects_psi() {
+        let f = sop(&[
+            &[(0, true), (1, true)],
+            &[(0, false), (2, true)],
+            &[(1, false), (3, true)],
+            &[(2, false), (4, true)],
+        ]);
+        let parts = split_binate(&f, 2);
+        assert_eq!(parts.len(), 2);
+        assert!(or_all(&parts).equivalent(&f));
+    }
+
+    #[test]
+    fn binate_split_single_binate_var() {
+        // xor: x0x̄1 ∨ x̄0x1.
+        let f = sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]);
+        let parts = split_binate(&f, 3);
+        assert_eq!(parts.len(), 2);
+        assert!(or_all(&parts).equivalent(&f));
+        for p in &parts {
+            assert!(p.is_unate());
+        }
+    }
+
+    #[test]
+    fn most_frequent_tie_breaks_low_index() {
+        let f = sop(&[
+            &[(2, true), (5, true)],
+            &[(2, true), (6, true)],
+            &[(1, true), (7, true)],
+            &[(1, true), (8, true)],
+        ]);
+        assert_eq!(most_frequent_var(&f), Some(Var(1)));
+    }
+}

@@ -1,0 +1,732 @@
+//! The TELS synthesis driver (Fig. 3): collapse → threshold-check → split,
+//! recursively, from the primary outputs backwards.
+
+use std::collections::HashMap;
+
+use tels_logic::opt::global_sop;
+use tels_logic::{Network, NodeId, Sop, Var};
+
+use crate::check::{check_threshold, Realization};
+use crate::config::TelsConfig;
+use crate::error::SynthError;
+use crate::split::{split_binate, split_cubes_k, split_unate_with, UnateSplit};
+use crate::theorems::{theorem1_refutes, theorem2_extend};
+use crate::tnet::{ThresholdGate, ThresholdNetwork, TnId};
+
+/// Statistics of a synthesis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Number of ILP threshold checks performed.
+    pub ilp_calls: usize,
+    /// Threshold checks skipped thanks to the Theorem-1 pre-filter.
+    pub theorem1_refutations: usize,
+    /// Gates absorbed by Theorem-2 combining (an OR input folded into an
+    /// existing gate instead of a separate OR gate).
+    pub theorem2_combines: usize,
+    /// Node-collapse substitutions performed.
+    pub collapses: usize,
+    /// Unate splits performed (Fig. 7).
+    pub unate_splits: usize,
+    /// Binate splits performed (Fig. 8).
+    pub binate_splits: usize,
+}
+
+/// Synthesizes an algebraically-factored Boolean network into a functionally
+/// equivalent threshold network (the paper's `G → G_T`).
+///
+/// Fanout nodes of `net` are preserved as shared synthesis boundaries
+/// (§V-A), and every gate in the result respects the fanin restriction ψ.
+///
+/// # Errors
+///
+/// Returns an error if `net` is cyclic or the exact ILP solver overflows.
+///
+/// # Example
+///
+/// ```
+/// use tels_core::{synthesize, TelsConfig};
+/// use tels_logic::blif;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = blif::parse(".model m\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n")?;
+/// let tn = synthesize(&net, &TelsConfig::default())?;
+/// assert!(tn.verify_against(&net, 14, 256, 0)?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    net: &Network,
+    config: &TelsConfig,
+) -> Result<ThresholdNetwork, SynthError> {
+    synthesize_with_stats(net, config).map(|(tn, _)| tn)
+}
+
+/// [`synthesize`], additionally returning run statistics.
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_with_stats(
+    net: &Network,
+    config: &TelsConfig,
+) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
+    config.assert_valid();
+    let mut s = Synth::new(net, config)?;
+    s.run()?;
+    Ok((s.tn, s.stats))
+}
+
+/// Cube-count guard for collapse substitutions: substituting a negatively
+/// used fanin requires a complement, which can blow the cover up; beyond
+/// this many cubes the substitution is undone.
+const COLLAPSE_CUBE_CAP: usize = 64;
+
+struct Synth<'a> {
+    net: &'a Network,
+    config: &'a TelsConfig,
+    tn: ThresholdNetwork,
+    /// Boundary nodes (PIs and fanout nodes) and synthesized roots, mapped
+    /// to their threshold-network signal.
+    signal_map: HashMap<NodeId, TnId>,
+    /// Original-network nodes that collapse must not look through:
+    /// primary inputs and fanout nodes (|fanout| ≥ 2).
+    boundary: Vec<bool>,
+    /// Logic depth of each original-network node (delay tie-breaking).
+    net_levels: Vec<usize>,
+    stats: SynthStats,
+    /// Shared single-literal gates: (leaf signal, phase) → gate.
+    literal_cache: HashMap<(TnId, bool), TnId>,
+}
+
+impl<'a> Synth<'a> {
+    fn new(net: &'a Network, config: &'a TelsConfig) -> Result<Synth<'a>, SynthError> {
+        let mut tn = ThresholdNetwork::new(net.model().to_string());
+        let mut signal_map = HashMap::new();
+        for pi in net.inputs() {
+            let id = tn.add_input(net.name(pi).to_string())?;
+            signal_map.insert(pi, id);
+        }
+        let fanouts = net.fanout_counts();
+        let boundary: Vec<bool> = net
+            .node_ids()
+            .map(|id| net.is_input(id) || fanouts[id.index()] >= 2)
+            .collect();
+        let net_levels = net.levels()?;
+        Ok(Synth {
+            net,
+            config,
+            tn,
+            signal_map,
+            boundary,
+            net_levels,
+            stats: SynthStats::default(),
+            literal_cache: HashMap::new(),
+        })
+    }
+
+    fn run(&mut self) -> Result<(), SynthError> {
+        // Verify acyclicity up front; synthesis itself walks on demand.
+        self.net.topo_order()?;
+        for (name, id) in self.net.outputs() {
+            let signal = self.signal_for_node(*id)?;
+            // Root gates inherit the driving node's name where possible.
+            let _ = name;
+            self.tn.add_output(name.clone(), signal)?;
+        }
+        Ok(())
+    }
+
+    /// The threshold-network signal computing the original node `id`,
+    /// synthesizing it on demand (primary inputs are pre-mapped; fanout
+    /// nodes are synthesized once and shared, §V-A).
+    fn signal_for_node(&mut self, id: NodeId) -> Result<TnId, SynthError> {
+        if let Some(&s) = self.signal_map.get(&id) {
+            return Ok(s);
+        }
+        let expr = global_sop(self.net, id);
+        let name = self.net.name(id).to_string();
+        let signal = self.synth_expr(&expr, Some(&name))?;
+        self.signal_map.insert(id, signal);
+        Ok(signal)
+    }
+
+    /// Node collapsing (Fig. 4): substitute non-boundary fanin functions
+    /// into the expression while the support stays within ψ; undo any
+    /// substitution that pushes it past ψ (or past the starting support,
+    /// for nodes that already exceed ψ).
+    ///
+    /// Also applied to split products — the Fig. 3 flow feeds split nodes
+    /// back through collapsing, so a leaf blocked by ψ at the parent can be
+    /// absorbed once a split shrinks the support.
+    fn collapse_expr(&mut self, mut expr: Sop) -> Sop {
+        let limit = self.config.psi.max(expr.support().len());
+        let mut blocked: Vec<Var> = Vec::new();
+        loop {
+            let candidate_var = expr.support().iter().find(|&v| {
+                let node = NodeId::from_index(v.0 as usize);
+                !self.boundary[node.index()] && !blocked.contains(&v)
+            });
+            let Some(v) = candidate_var else { break };
+            let inner = global_sop(self.net, NodeId::from_index(v.0 as usize));
+            let substituted = expr.substitute(v, &inner);
+            if substituted.support().len() <= limit
+                && substituted.num_cubes() <= COLLAPSE_CUBE_CAP
+            {
+                expr = substituted;
+                self.stats.collapses += 1;
+            } else {
+                blocked.push(v);
+            }
+        }
+        expr
+    }
+
+    /// The threshold-network signal for a leaf variable of an expression,
+    /// synthesizing the underlying node on demand.
+    fn leaf_signal(&mut self, v: Var) -> Result<TnId, SynthError> {
+        self.signal_for_node(NodeId::from_index(v.0 as usize))
+    }
+
+    /// Emits a gate for a realization over *global-variable* weights.
+    fn emit_gate(
+        &mut self,
+        r: &Realization,
+        name_hint: Option<&str>,
+    ) -> Result<TnId, SynthError> {
+        let inputs: Vec<TnId> = r
+            .weights
+            .iter()
+            .map(|&(v, _)| self.leaf_signal(v))
+            .collect::<Result<_, _>>()?;
+        let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+        self.emit_raw_gate(inputs, weights, r.threshold, name_hint)
+    }
+
+    fn emit_raw_gate(
+        &mut self,
+        inputs: Vec<TnId>,
+        weights: Vec<i64>,
+        threshold: i64,
+        name_hint: Option<&str>,
+    ) -> Result<TnId, SynthError> {
+        let name = match name_hint {
+            Some(n) if self.tn.find(n).is_none() => n.to_string(),
+            _ => self.tn.fresh_name("t"),
+        };
+        self.tn.add_gate(
+            name,
+            ThresholdGate {
+                inputs,
+                weights,
+                threshold,
+            },
+        )
+    }
+
+    fn checked_threshold(&mut self, expr: &Sop) -> Result<Option<Realization>, SynthError> {
+        if self.config.use_theorem1 && theorem1_refutes(expr) {
+            self.stats.theorem1_refutations += 1;
+            return Ok(None);
+        }
+        self.stats.ilp_calls += 1;
+        check_threshold(expr, self.config)
+    }
+
+    /// A shared buffer/inverter gate over a leaf signal.
+    fn literal_gate(&mut self, signal: TnId, phase: bool) -> Result<TnId, SynthError> {
+        if let Some(&g) = self.literal_cache.get(&(signal, phase)) {
+            return Ok(g);
+        }
+        // Realize via the ILP so δ_on/δ_off are honored: buffer needs
+        // w ≥ T + δ_on with T ≥ δ_off; inverter needs 0 ≥ T + δ_on with
+        // −w ≤ T − δ_off.
+        let proto = Sop::literal(Var(0), phase);
+        self.stats.ilp_calls += 1;
+        let r = check_threshold(&proto, self.config)?
+            .expect("single literals are threshold functions");
+        let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+        let g = self.emit_raw_gate(vec![signal], weights, r.threshold, None)?;
+        self.literal_cache.insert((signal, phase), g);
+        Ok(g)
+    }
+
+    /// Emits an OR gate over already-synthesized children.
+    fn or_gate(
+        &mut self,
+        children: Vec<TnId>,
+        name_hint: Option<&str>,
+    ) -> Result<TnId, SynthError> {
+        debug_assert!(children.len() >= 2 && children.len() <= self.config.psi);
+        let proto = Sop::from_cubes(
+            (0..children.len()).map(|i| {
+                tels_logic::Cube::from_literals([(Var(i as u32), true)])
+            }),
+        );
+        self.stats.ilp_calls += 1;
+        let r = check_threshold(&proto, self.config)?
+            .expect("disjunctions are threshold functions");
+        let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+        self.emit_raw_gate(children, weights, r.threshold, name_hint)
+    }
+
+    /// Emits an AND over `(signal, phase)` terms, chunking into a tree when
+    /// the term count exceeds ψ.
+    fn and_terms(
+        &mut self,
+        mut terms: Vec<(TnId, bool)>,
+        name_hint: Option<&str>,
+    ) -> Result<TnId, SynthError> {
+        debug_assert!(!terms.is_empty());
+        if terms.len() == 1 {
+            let (sig, phase) = terms[0];
+            return if phase {
+                Ok(sig)
+            } else {
+                self.literal_gate(sig, phase)
+            };
+        }
+        loop {
+            let take = terms.len().min(self.config.psi);
+            let group: Vec<(TnId, bool)> = terms.drain(..take).collect();
+            let proto = Sop::from_cubes([tels_logic::Cube::from_literals(
+                group
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(_, phase))| (Var(i as u32), phase)),
+            )]);
+            self.stats.ilp_calls += 1;
+            let r = check_threshold(&proto, self.config)?
+                .expect("cubes are threshold functions");
+            let inputs: Vec<TnId> = group.iter().map(|&(s, _)| s).collect();
+            let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+            let last = terms.is_empty();
+            let gate = self.emit_raw_gate(
+                inputs,
+                weights,
+                r.threshold,
+                if last { name_hint } else { None },
+            )?;
+            if last {
+                return Ok(gate);
+            }
+            terms.push((gate, true));
+        }
+    }
+
+    /// Emits a gate realizing a small prototype SOP (over local variables
+    /// `Var(0)..Var(k)`) applied to the given signals.
+    fn emit_proto_gate(
+        &mut self,
+        proto: &Sop,
+        inputs: Vec<TnId>,
+        name_hint: Option<&str>,
+    ) -> Result<TnId, SynthError> {
+        self.stats.ilp_calls += 1;
+        let r = check_threshold(proto, self.config)?.ok_or_else(|| {
+            SynthError::Internal(format!("prototype {proto} is not a threshold function"))
+        })?;
+        // Variables absent from the realization (redundant inputs) are
+        // dropped; the realization's variables index `inputs`.
+        let gate_inputs: Vec<TnId> = r
+            .weights
+            .iter()
+            .map(|&(v, _)| inputs[v.0 as usize])
+            .collect();
+        let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+        self.emit_raw_gate(gate_inputs, weights, r.threshold, name_hint)
+    }
+
+    /// Divide-and-conquer synthesis of a non-trivial expression: Shannon
+    /// expansion on the most binate (else most frequent) variable, with
+    /// special cases when a cofactor is constant (the paper's future-work
+    /// strategy; see [`SynthStrategy::Shannon`](crate::SynthStrategy)).
+    fn shannon_expr(&mut self, expr: &Sop, name_hint: Option<&str>) -> Result<TnId, SynthError> {
+        let support = expr.support();
+        let v = expr
+            .binate_vars()
+            .into_iter()
+            .max_by_key(|&v| expr.occurrence_count(v))
+            .or_else(|| support.iter().max_by_key(|&v| expr.occurrence_count(v)))
+            .expect("non-constant expression has support");
+        let f1 = expr.cofactor(v, true);
+        let f0 = expr.cofactor(v, false);
+        if f1.equivalent(&f0) {
+            // The variable is functionally redundant in this cover.
+            return self.synth_expr(&f1, name_hint);
+        }
+        let x = self.leaf_signal(v)?;
+        let lit = |phase: bool| Sop::literal(Var(0), phase);
+        if f1.is_one() {
+            // f = x ∨ f0.
+            let c0 = self.synth_expr(&f0, None)?;
+            let proto = lit(true).or(&Sop::literal(Var(1), true));
+            return self.emit_proto_gate(&proto, vec![x, c0], name_hint);
+        }
+        if f0.is_one() {
+            // f = x̄ ∨ f1.
+            let c1 = self.synth_expr(&f1, None)?;
+            let proto = lit(false).or(&Sop::literal(Var(1), true));
+            return self.emit_proto_gate(&proto, vec![x, c1], name_hint);
+        }
+        if f0.is_zero() {
+            // f = x·f1.
+            let c1 = self.synth_expr(&f1, None)?;
+            return self.and_terms(vec![(x, true), (c1, true)], name_hint);
+        }
+        if f1.is_zero() {
+            // f = x̄·f0.
+            let c0 = self.synth_expr(&f0, None)?;
+            return self.and_terms(vec![(x, false), (c0, true)], name_hint);
+        }
+        // General 2:1 mux recombination.
+        let c1 = self.synth_expr(&f1, None)?;
+        let c0 = self.synth_expr(&f0, None)?;
+        let and1 = self.and_terms(vec![(x, true), (c1, true)], None)?;
+        let and0 = self.and_terms(vec![(x, false), (c0, true)], None)?;
+        self.or_gate(vec![and1, and0], name_hint)
+    }
+
+    /// Recursively synthesizes an expression over global variables, mapping
+    /// leaves to threshold-network signals on demand.
+    fn synth_expr(&mut self, expr: &Sop, name_hint: Option<&str>) -> Result<TnId, SynthError> {
+        // Every expression — original node or split product — goes through
+        // collapsing first (the Fig. 3 feedback edge).
+        let expr = &self.collapse_expr(expr.clone());
+        // Constants.
+        if expr.is_zero() || expr.is_one() {
+            let r = Realization::constant(expr.is_one(), self.config);
+            return self.emit_gate(&r, name_hint);
+        }
+        // Single literal: reuse the leaf (or a shared inverter). A root
+        // needing a stable name still gets a buffer gate.
+        if expr.num_cubes() == 1 && expr.cubes()[0].literal_count() == 1 {
+            let (v, phase) = expr.cubes()[0].literals().next().expect("one literal");
+            let sig = self.leaf_signal(v)?;
+            if phase && name_hint.is_none() {
+                return Ok(sig);
+            }
+            if name_hint.is_none() {
+                return self.literal_gate(sig, phase);
+            }
+            let proto = Sop::literal(Var(0), phase);
+            self.stats.ilp_calls += 1;
+            let r = check_threshold(&proto, self.config)?
+                .expect("single literals are threshold functions");
+            let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+            return self.emit_raw_gate(vec![sig], weights, r.threshold, name_hint);
+        }
+
+        // Divide-and-conquer strategy: after the trivial cases, decompose by
+        // Shannon expansion instead of the paper's Fig. 7/8 splitting.
+        if self.config.strategy == crate::config::SynthStrategy::Shannon {
+            if expr.is_unate() && expr.support().len() <= self.config.psi {
+                if let Some(r) = self.checked_threshold(expr)? {
+                    return self.emit_gate(&r, name_hint);
+                }
+            }
+            return self.shannon_expr(expr, name_hint);
+        }
+
+        // Binate node: split per Fig. 8, OR the parts together.
+        if !expr.is_unate() {
+            self.stats.binate_splits += 1;
+            let parts = split_binate(expr, self.config.psi);
+            let children: Vec<TnId> = parts
+                .iter()
+                .map(|p| self.synth_expr(p, None))
+                .collect::<Result<_, _>>()?;
+            return self.or_gate(children, name_hint);
+        }
+
+        // Unate node within the fanin bound: try a single gate.
+        if expr.support().len() <= self.config.psi {
+            if let Some(r) = self.checked_threshold(expr)? {
+                return self.emit_gate(&r, name_hint);
+            }
+        }
+
+        // Single cube: an AND tree.
+        if expr.num_cubes() == 1 {
+            let mut terms: Vec<(TnId, bool)> = Vec::new();
+            for (v, phase) in expr.cubes()[0].literals() {
+                terms.push((self.leaf_signal(v)?, phase));
+            }
+            return self.and_terms(terms, name_hint);
+        }
+
+        // Unate splitting (Fig. 7).
+        self.stats.unate_splits += 1;
+        match split_unate_with(expr, self.config.split_heuristic) {
+            UnateSplit::AndCube(cube, rest) => {
+                let child = self.synth_expr(&rest, None)?;
+                let mut terms: Vec<(TnId, bool)> = Vec::new();
+                for (v, phase) in cube.literals() {
+                    terms.push((self.leaf_signal(v)?, phase));
+                }
+                terms.push((child, true));
+                self.and_terms(terms, name_hint)
+            }
+            UnateSplit::Or(a, b) => {
+                // Check the larger half first (§V-C), then the smaller; on
+                // success absorb the other half via Theorem 2. Ties on cube
+                // count are broken by leaf depth: keeping the deeper signals
+                // in the root gate avoids an extra level (delay balance,
+                // §VI's "well-balanced" property).
+                let leaf_depth = |s: &Sop| -> usize {
+                    s.support()
+                        .iter()
+                        .map(|v| self.net_levels[v.0 as usize])
+                        .max()
+                        .unwrap_or(0)
+                };
+                let (big, small) = if (a.num_cubes(), leaf_depth(&a))
+                    >= (b.num_cubes(), leaf_depth(&b))
+                {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                for (gate_half, rec_half) in [(&big, &small), (&small, &big)] {
+                    if gate_half.support().len() + 1 > self.config.psi {
+                        continue;
+                    }
+                    if let Some(r) = self.checked_threshold(gate_half)? {
+                        // The extra OR input gets weight T_pos + δ_on, which
+                        // must also respect the dynamic-range cap.
+                        let (_, w_extra) =
+                            theorem2_extend(&r, Var(u32::MAX), self.config);
+                        if self.config.weight_cap.is_some_and(|cap| w_extra > cap) {
+                            continue;
+                        }
+                        let child = self.synth_expr(rec_half, None)?;
+                        let mut inputs: Vec<TnId> = r
+                            .weights
+                            .iter()
+                            .map(|&(v, _)| self.leaf_signal(v))
+                            .collect::<Result<_, _>>()?;
+                        let mut weights: Vec<i64> =
+                            r.weights.iter().map(|&(_, w)| w).collect();
+                        inputs.push(child);
+                        weights.push(w_extra);
+                        self.stats.theorem2_combines += 1;
+                        return self.emit_raw_gate(inputs, weights, r.threshold, name_hint);
+                    }
+                }
+                // Neither half is a usable gate: k-way cube split glued by
+                // the OR gate ⟨1,…,1;1⟩.
+                let k = self.config.psi.min(expr.num_cubes());
+                let parts = split_cubes_k(expr, k);
+                let children: Vec<TnId> = parts
+                    .iter()
+                    .map(|p| self.synth_expr(p, None))
+                    .collect::<Result<_, _>>()?;
+                self.or_gate(children, name_hint)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_logic::blif;
+
+    fn synth_and_verify(src: &str, config: &TelsConfig) -> (ThresholdNetwork, SynthStats) {
+        let net = blif::parse(src).unwrap();
+        let (tn, stats) = synthesize_with_stats(&net, config).unwrap();
+        let cex = tn.verify_against(&net, 16, 2048, 7).unwrap();
+        assert_eq!(cex, None, "synthesized network differs from input");
+        // Every gate respects the fanin restriction.
+        for (_, g) in tn.gates() {
+            assert!(
+                g.inputs.len() <= config.psi,
+                "gate fanin {} exceeds ψ = {}",
+                g.inputs.len(),
+                config.psi
+            );
+        }
+        (tn, stats)
+    }
+
+    #[test]
+    fn and_or_network() {
+        let (tn, _) = synth_and_verify(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n",
+            &TelsConfig::default(),
+        );
+        // a·b ∨ c is a threshold function ⟨1,1,2;2⟩ → one gate.
+        assert_eq!(tn.num_gates(), 1);
+        assert_eq!(tn.depth(), 1);
+    }
+
+    #[test]
+    fn motivational_example_fig2() {
+        // Fig. 2(a): f = n1 ∨ n2, n1 = n3·x5, n2 = x6·x7,
+        // n3 = x1·x2·x3 ∨ x̄1·x4 — 7 Boolean gates, 5 levels.
+        // TELS with ψ=4 yields 5 gates, 3 levels (Fig. 2(b)).
+        let src = "\
+.model fig2
+.inputs x1 x2 x3 x4 x5 x6 x7
+.outputs f
+.names x1 x2 x3 x4 n3
+111- 1
+0--1 1
+.names n3 x5 n1
+11 1
+.names x6 x7 n2
+11 1
+.names n1 n2 f
+1- 1
+-1 1
+.end
+";
+        let config = TelsConfig {
+            psi: 4,
+            ..TelsConfig::default()
+        };
+        let (tn, stats) = synth_and_verify(src, &config);
+        assert_eq!(tn.num_gates(), 5, "paper reports 5 threshold gates");
+        assert_eq!(tn.depth(), 3, "paper reports 3 levels");
+        assert!(stats.ilp_calls > 0);
+    }
+
+    #[test]
+    fn fanout_nodes_are_shared() {
+        // n3 = a·b drives both f and g; it must be synthesized once.
+        let src = "\
+.model share
+.inputs a b c d
+.outputs f g
+.names a b n3
+11 1
+.names n3 c f
+11 1
+.names n3 d g
+11 1
+.end
+";
+        let (tn, _) = synth_and_verify(src, &TelsConfig::default());
+        // Gates: n3, f, g — not 4+ (no duplication of n3).
+        assert_eq!(tn.num_gates(), 3);
+    }
+
+    #[test]
+    fn xor_needs_multiple_gates() {
+        let src = ".model x\n.inputs a b\n.outputs f\n.names a b f\n10 1\n01 1\n.end\n";
+        let (tn, stats) = synth_and_verify(src, &TelsConfig::default());
+        assert!(tn.num_gates() >= 2, "xor is not a threshold function");
+        assert!(stats.binate_splits >= 1);
+    }
+
+    #[test]
+    fn non_threshold_unate_function_splits() {
+        // x1x2 ∨ x3x4 with ψ=4: not threshold → split.
+        let src = ".model u\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n--11 1\n.end\n";
+        let config = TelsConfig {
+            psi: 4,
+            ..TelsConfig::default()
+        };
+        let (tn, stats) = synth_and_verify(src, &config);
+        assert!(tn.num_gates() >= 2);
+        assert!(stats.unate_splits >= 1);
+    }
+
+    #[test]
+    fn theorem2_combining_happens() {
+        // x1x2 ∨ x1x3 ∨ x4x5 (§V-C example): with ψ=4, the larger half
+        // x1x2 ∨ x1x3 is threshold ⟨2,1,1;3⟩ and absorbs the n2 input with
+        // weight 3 → exactly two gates.
+        let src =
+            ".model t2\n.inputs x1 x2 x3 x4 x5\n.outputs n\n.names x1 x2 x3 x4 x5 n\n11--- 1\n1-1-- 1\n---11 1\n.end\n";
+        let config = TelsConfig {
+            psi: 4,
+            ..TelsConfig::default()
+        };
+        let (tn, stats) = synth_and_verify(src, &config);
+        assert_eq!(stats.theorem2_combines, 1);
+        assert_eq!(tn.num_gates(), 2);
+        // The combined gate must carry weight vector ⟨2,1,1,3;3⟩.
+        let root = tn.find("n").expect("root gate keeps the node name");
+        let g = tn.gate(root).unwrap();
+        let mut ws = g.weights.clone();
+        ws.sort_unstable();
+        assert_eq!(ws, vec![1, 1, 2, 3]);
+        assert_eq!(g.threshold, 3);
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let src = ".model c\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let net = blif::parse(src).unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        assert_eq!(tn.eval(&[false]).unwrap(), vec![true, false]);
+        assert_eq!(tn.eval(&[true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn wide_and_respects_psi() {
+        // 8-input AND with ψ=3 → an AND tree.
+        let src = ".model w\n.inputs a b c d e f g h\n.outputs y\n.names a b c d e f g h y\n11111111 1\n.end\n";
+        let (tn, _) = synth_and_verify(src, &TelsConfig::default());
+        assert!(tn.num_gates() >= 3);
+    }
+
+    #[test]
+    fn po_aliasing_a_pi() {
+        let src = ".model alias\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n";
+        let (tn, _) = synth_and_verify(src, &TelsConfig::default());
+        assert!(tn.num_gates() >= 1);
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        // Two nodes both needing ā as a split product share one inverter
+        // when ā appears as a split leaf.
+        let src = "\
+.model inv
+.inputs a b c d e
+.outputs f
+.names a b c d e f
+01--- 1
+0-1-- 1
+--011 1
+.end
+";
+        let (tn, _) = synth_and_verify(src, &TelsConfig::default());
+        let inverter_gates = tn
+            .gates()
+            .filter(|(_, g)| g.weights == vec![-1])
+            .count();
+        assert!(inverter_gates <= 1, "inverters should be shared");
+    }
+
+    #[test]
+    fn psi_respected_across_range() {
+        let src = "\
+.model r
+.inputs a b c d e f g h
+.outputs y z
+.names a b c d t
+11-- 1
+--11 1
+.names t e f y
+1-0 1
+-10 1
+.names t g h z
+111 1
+.end
+";
+        for psi in 2..=6 {
+            let config = TelsConfig {
+                psi,
+                ..TelsConfig::default()
+            };
+            let net = blif::parse(src).unwrap();
+            let tn = synthesize(&net, &config).unwrap();
+            assert_eq!(tn.verify_against(&net, 16, 1024, 3).unwrap(), None);
+            for (_, g) in tn.gates() {
+                assert!(g.inputs.len() <= psi);
+            }
+        }
+    }
+}

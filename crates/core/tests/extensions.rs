@@ -1,0 +1,188 @@
+//! Tests for the extensions beyond the paper's baseline algorithm: the
+//! weight-magnitude cap, dead-gate compaction, and network reports.
+
+use tels_core::{
+    check_threshold, map_one_to_one, parse_tnet, synthesize, TelsConfig, ThresholdGate,
+    ThresholdNetwork,
+};
+use tels_logic::{blif, Cube, Sop, Var};
+
+fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+    Sop::from_cubes(
+        cubes
+            .iter()
+            .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+    )
+}
+
+#[test]
+fn weight_cap_rejects_large_weight_functions() {
+    // a·b ∨ c needs weight 2 on c (⟨1,1,2;2⟩); with a cap of 1 it is no
+    // longer single-gate realizable.
+    let f = sop(&[&[(0, true), (1, true)], &[(2, true)]]);
+    let unlimited = TelsConfig::default();
+    let capped = TelsConfig {
+        weight_cap: Some(1),
+        ..TelsConfig::default()
+    };
+    assert!(check_threshold(&f, &unlimited).unwrap().is_some());
+    assert!(check_threshold(&f, &capped).unwrap().is_none());
+    // AND and OR survive a cap of 1... AND2 needs T=2 though, so cap 1
+    // kills AND2 as well (T is capped too); cap 2 admits it.
+    let and2 = sop(&[&[(0, true), (1, true)]]);
+    let cap2 = TelsConfig {
+        weight_cap: Some(2),
+        ..TelsConfig::default()
+    };
+    assert!(check_threshold(&and2, &cap2).unwrap().is_some());
+}
+
+#[test]
+fn weight_cap_bounds_all_synthesized_weights() {
+    let src = "\
+.model capped
+.inputs a b c d e
+.outputs f g
+.names a b c d t
+11-- 1
+1-1- 1
+---1 1
+.names t e f
+1- 1
+-1 1
+.names a d e g
+1-0 1
+-10 1
+.end
+";
+    let net = blif::parse(src).unwrap();
+    for cap in [2i64, 3, 5] {
+        let config = TelsConfig {
+            weight_cap: Some(cap),
+            psi: 4,
+            ..TelsConfig::default()
+        };
+        let tn = synthesize(&net, &config).unwrap();
+        assert_eq!(tn.verify_against(&net, 12, 512, cap as u64).unwrap(), None);
+        for (_, gate) in tn.gates() {
+            for &w in &gate.weights {
+                assert!(w.abs() <= cap, "weight {w} exceeds cap {cap}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tight_cap_costs_gates() {
+    // The cap can only increase gate count, never change function.
+    let src = ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n1-1- 1\n---1 1\n.end\n";
+    let net = blif::parse(src).unwrap();
+    let free = synthesize(
+        &net,
+        &TelsConfig {
+            psi: 4,
+            ..TelsConfig::default()
+        },
+    )
+    .unwrap();
+    let capped = synthesize(
+        &net,
+        &TelsConfig {
+            psi: 4,
+            weight_cap: Some(2),
+            ..TelsConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(capped.num_gates() >= free.num_gates());
+    assert_eq!(capped.verify_against(&net, 12, 512, 1).unwrap(), None);
+}
+
+#[test]
+fn one_to_one_respects_weight_cap() {
+    let src = ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n";
+    let net = blif::parse(src).unwrap();
+    let config = TelsConfig {
+        weight_cap: Some(4),
+        ..TelsConfig::default()
+    };
+    let tn = map_one_to_one(&net, &config).unwrap();
+    for (_, g) in tn.gates() {
+        for &w in &g.weights {
+            assert!(w.abs() <= 4);
+        }
+    }
+}
+
+#[test]
+fn compact_removes_dead_gates() {
+    let mut tn = ThresholdNetwork::new("dead");
+    let a = tn.add_input("a").unwrap();
+    let b = tn.add_input("b").unwrap();
+    let live = tn
+        .add_gate(
+            "live",
+            ThresholdGate {
+                inputs: vec![a, b],
+                weights: vec![1, 1],
+                threshold: 2,
+            },
+        )
+        .unwrap();
+    let _dead = tn
+        .add_gate(
+            "dead",
+            ThresholdGate {
+                inputs: vec![a],
+                weights: vec![-1],
+                threshold: 0,
+            },
+        )
+        .unwrap();
+    tn.add_output("f", live).unwrap();
+    assert_eq!(tn.num_gates(), 2);
+    let c = tn.compact();
+    assert_eq!(c.num_gates(), 1);
+    assert_eq!(c.num_inputs(), 2);
+    for m in 0..4u32 {
+        let assign = [(m & 1) != 0, (m & 2) != 0];
+        assert_eq!(c.eval(&assign).unwrap(), tn.eval(&assign).unwrap());
+    }
+}
+
+#[test]
+fn compact_is_idempotent_on_live_networks() {
+    let src = ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n";
+    let net = blif::parse(src).unwrap();
+    let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+    let c = tn.compact();
+    assert_eq!(c.num_gates(), tn.num_gates());
+    assert_eq!(c.to_tnet(), tn.to_tnet());
+}
+
+#[test]
+fn report_summarizes_network() {
+    let src = ".model m\n.inputs a b c\n.outputs f g\n.names a b t\n11 1\n.names t c f\n1- 1\n-1 1\n.names a g\n0 1\n.end\n";
+    let net = blif::parse(src).unwrap();
+    let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+    let r = tn.report();
+    assert_eq!(r.inputs, 3);
+    assert_eq!(r.outputs, 2);
+    assert_eq!(r.gates, tn.num_gates());
+    assert_eq!(r.levels, tn.depth());
+    assert_eq!(r.area, tn.area());
+    assert_eq!(r.fanin_histogram.iter().sum::<usize>(), tn.num_gates());
+    assert!(r.negative_weights >= 1, "the inverter output needs one");
+    let text = r.to_string();
+    assert!(text.contains("gates:"));
+    assert!(text.contains("fanin histogram"));
+}
+
+#[test]
+fn report_round_trips_through_tnet() {
+    let src = ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n--11 1\n.end\n";
+    let net = blif::parse(src).unwrap();
+    let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+    let reparsed = parse_tnet(&tn.to_tnet()).unwrap();
+    assert_eq!(tn.report(), reparsed.report());
+}

@@ -1,0 +1,36 @@
+//! Error type for the solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the LP/ILP solver.
+///
+/// Note that *infeasibility* and *unboundedness* are not errors — they are
+/// legitimate answers reported through
+/// [`Status`](crate::Status). `SolveError` covers conditions under which no
+/// answer can be produced at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// Exact rational arithmetic overflowed `i128`.
+    ///
+    /// This indicates pathological constraint coefficients; TELS-scale
+    /// problems stay far below this bound.
+    Overflow,
+    /// A constraint or the objective referenced a variable that was not
+    /// created through [`Problem::add_var`](crate::Problem::add_var).
+    UnknownVariable,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Overflow => write!(f, "exact rational arithmetic overflowed i128"),
+            SolveError::UnknownVariable => {
+                write!(f, "constraint references an unknown variable id")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}

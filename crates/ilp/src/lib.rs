@@ -1,0 +1,57 @@
+//! # tels-ilp — exact integer linear programming for threshold-function identification
+//!
+//! This crate replaces the `LP_SOLVE` package the TELS paper integrated into
+//! SIS. It provides a small, self-contained, **exact** (rational-arithmetic)
+//! linear-programming solver with branch-and-bound integer support.
+//!
+//! Exactness matters here: the threshold-function decision problem reduces to
+//! LP feasibility, and floating-point LP can misclassify functions whose
+//! optimal weight assignments sit exactly on constraint boundaries (which is
+//! the common case when minimizing `Σwᵢ + T`). All pivoting is performed on
+//! [`Rat`] values — `i128` fractions in lowest terms — so feasibility answers
+//! are never subject to rounding.
+//!
+//! The solver is deliberately scoped to the problem sizes TELS produces
+//! (tens of variables, tens of constraints): a dense two-phase primal simplex
+//! with Bland's anti-cycling rule, plus depth-first branch-and-bound on
+//! fractional integer variables. Per §V-E of the paper, the solver accepts
+//! effort limits and reports [`Status::LimitReached`] when they are exhausted,
+//! which the synthesis layer treats as "not a threshold function" and splits
+//! the node further.
+//!
+//! ## Example
+//!
+//! Minimize `w1 + w2 + t` subject to the AND-gate threshold constraints
+//! `w1 + w2 ≥ t`, `w1 ≤ t − 1`, `w2 ≤ t − 1` with all variables integer:
+//!
+//! ```
+//! use tels_ilp::{Problem, Cmp, Limits, Status};
+//!
+//! # fn main() -> Result<(), tels_ilp::SolveError> {
+//! let mut p = Problem::new();
+//! let w1 = p.add_int_var();
+//! let w2 = p.add_int_var();
+//! let t = p.add_int_var();
+//! p.set_objective([(w1, 1), (w2, 1), (t, 1)]);
+//! p.add_constraint([(w1, 1), (w2, 1), (t, -1)], Cmp::Ge, 0);
+//! p.add_constraint([(w1, 1), (t, -1)], Cmp::Le, -1);
+//! p.add_constraint([(w2, 1), (t, -1)], Cmp::Le, -1);
+//! let sol = p.solve(&Limits::default())?;
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert_eq!(sol.int_values(), Some(vec![1, 1, 2]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod error;
+mod problem;
+mod rational;
+mod simplex;
+
+pub use error::SolveError;
+pub use problem::{Cmp, Limits, Problem, Solution, Status, VarId};
+pub use rational::Rat;

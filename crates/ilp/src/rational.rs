@@ -1,0 +1,340 @@
+//! Exact rational numbers over `i128` in lowest terms.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::error::SolveError;
+
+/// An exact rational number `num / den` with `den > 0`, kept in lowest terms.
+///
+/// All arithmetic is checked: overflow surfaces as [`SolveError::Overflow`]
+/// through the fallible `checked_*` methods. The `std::ops` implementations
+/// panic on overflow and are intended for tests and small literals; the
+/// solver core uses the checked forms exclusively.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational denominator must be non-zero");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// Creates an integral rational.
+    pub fn from_int(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+
+    /// The numerator (sign-carrying, lowest terms).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive, lowest terms).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether this value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// The floor of this rational as an integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The ceiling of this rational as an integer.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Converts to an `i64`, if integral and within range.
+    pub fn to_i64(self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Approximates as `f64` (for diagnostics only; never used in pivoting).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Rat) -> Result<Rat, SolveError> {
+        // Reduce by gcd of denominators before cross-multiplying to delay
+        // overflow as long as possible.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .ok_or(SolveError::Overflow)?;
+        let den = self.den.checked_mul(lhs_scale).ok_or(SolveError::Overflow)?;
+        Ok(Rat::new(num, den))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Rat) -> Result<Rat, SolveError> {
+        self.checked_add(Rat {
+            num: rhs.num.checked_neg().ok_or(SolveError::Overflow)?,
+            den: rhs.den,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: Rat) -> Result<Rat, SolveError> {
+        // Cross-reduce first: gcd(self.num, rhs.den) and gcd(rhs.num, self.den).
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let (a, d) = if g1 == 0 { (self.num, rhs.den) } else { (self.num / g1, rhs.den / g1) };
+        let (c, b) = if g2 == 0 { (rhs.num, self.den) } else { (rhs.num / g2, self.den / g2) };
+        let num = a.checked_mul(c).ok_or(SolveError::Overflow)?;
+        let den = b.checked_mul(d).ok_or(SolveError::Overflow)?;
+        Ok(Rat::new(num, den))
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Overflow`] on overflow; panics if `rhs` is zero
+    /// (a zero pivot is a solver bug, not an input condition).
+    pub fn checked_div(self, rhs: Rat) -> Result<Rat, SolveError> {
+        assert!(!rhs.is_zero(), "division by rational zero");
+        self.checked_mul(Rat {
+            num: rhs.den * rhs.num.signum(),
+            den: rhs.num.abs(),
+        })
+    }
+
+    /// The fractional part `self - floor(self)`, in `[0, 1)`.
+    pub fn fract(self) -> Rat {
+        Rat::new(self.num.rem_euclid(self.den), self.den)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from_int(v as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Self {
+        Rat::from_int(v as i128)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d with b,d > 0  ⇔  a*d vs c*b. Use gcd reduction to avoid
+        // overflow in the common comparison path.
+        let g = gcd(self.den, other.den);
+        let l = self.num.checked_mul(other.den / g);
+        let r = other.num.checked_mul(self.den / g);
+        match (l, r) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // Extremely large comparands: fall back to sign + f64 ordering.
+            // This is unreachable for the magnitudes the solver produces but
+            // keeps Ord total.
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs).expect("rational overflow in add")
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self.checked_sub(rhs).expect("rational overflow in sub")
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs).expect("rational overflow in mul")
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self.checked_div(rhs).expect("rational overflow in div")
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_on_construction() {
+        let r = Rat::new(4, -6);
+        assert_eq!(r.numer(), -2);
+        assert_eq!(r.denom(), 3);
+    }
+
+    #[test]
+    fn zero_numerator_normalizes_denominator() {
+        let r = Rat::new(0, -17);
+        assert_eq!(r, Rat::ZERO);
+        assert_eq!(r.denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::from_int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(7, 7) == Rat::ONE);
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::new(7, 2).fract(), Rat::new(1, 2));
+        assert_eq!(Rat::new(-7, 2).fract(), Rat::new(1, 2));
+        assert_eq!(Rat::from_int(5).fract(), Rat::ZERO);
+    }
+
+    #[test]
+    fn integer_conversion() {
+        assert_eq!(Rat::from_int(42).to_i64(), Some(42));
+        assert_eq!(Rat::new(1, 2).to_i64(), None);
+        assert!(Rat::from_int(42).is_integer());
+        assert!(!Rat::new(3, 2).is_integer());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rat::from_int(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn checked_overflow_is_reported() {
+        let big = Rat::from_int(i128::MAX);
+        assert!(big.checked_mul(Rat::from_int(4)).is_err());
+        assert!(big.checked_add(big).is_err());
+    }
+}

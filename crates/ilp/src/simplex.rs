@@ -1,0 +1,393 @@
+//! Dense two-phase primal simplex over exact rationals.
+//!
+//! The implementation favours clarity and exactness over speed: TELS-scale
+//! problems have tens of rows/columns, for which a dense rational tableau is
+//! entirely adequate. Bland's rule is used for both the entering and leaving
+//! variable, which guarantees termination (no cycling) at the cost of a few
+//! extra pivots.
+
+use crate::error::SolveError;
+use crate::problem::Cmp;
+use crate::rational::Rat;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum LpOutcome {
+    /// An optimal basic feasible solution.
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<Rat>,
+        /// Objective value at the optimum.
+        obj: Rat,
+    },
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The pivot limit was exhausted before reaching an answer.
+    LimitReached,
+}
+
+/// A single `lhs (cmp) rhs` row with a dense coefficient vector.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseRow {
+    pub coeffs: Vec<Rat>,
+    pub cmp: Cmp,
+    pub rhs: Rat,
+}
+
+struct Tableau {
+    /// `rows × (cols + 1)`; the final column is the RHS.
+    a: Vec<Vec<Rat>>,
+    /// Reduced-cost row, length `cols + 1` (last entry = −objective value).
+    cost: Vec<Rat>,
+    /// Basis: column index of the basic variable of each row.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> Rat {
+        self.a[row][self.cols]
+    }
+
+    /// Performs one pivot on `(prow, pcol)`.
+    fn pivot(&mut self, prow: usize, pcol: usize) -> Result<(), SolveError> {
+        let pivot = self.a[prow][pcol];
+        debug_assert!(!pivot.is_zero());
+        // Normalize pivot row.
+        for j in 0..=self.cols {
+            self.a[prow][j] = self.a[prow][j].checked_div(pivot)?;
+        }
+        // Eliminate the pivot column from all other rows and the cost row.
+        for i in 0..self.a.len() {
+            if i == prow || self.a[i][pcol].is_zero() {
+                continue;
+            }
+            let factor = self.a[i][pcol];
+            for j in 0..=self.cols {
+                let delta = factor.checked_mul(self.a[prow][j])?;
+                self.a[i][j] = self.a[i][j].checked_sub(delta)?;
+            }
+        }
+        if !self.cost[pcol].is_zero() {
+            let factor = self.cost[pcol];
+            for j in 0..=self.cols {
+                let delta = factor.checked_mul(self.a[prow][j])?;
+                self.cost[j] = self.cost[j].checked_sub(delta)?;
+            }
+        }
+        self.basis[prow] = pcol;
+        Ok(())
+    }
+
+    /// Runs simplex iterations until optimality, unboundedness, or the pivot
+    /// budget runs out. `allowed` masks columns that may enter the basis.
+    fn iterate(
+        &mut self,
+        allowed: &[bool],
+        pivots_left: &mut u64,
+    ) -> Result<IterEnd, SolveError> {
+        loop {
+            // Bland: entering column = lowest index with negative reduced cost.
+            let entering = (0..self.cols)
+                .find(|&j| allowed[j] && self.cost[j].is_negative());
+            let Some(pcol) = entering else {
+                return Ok(IterEnd::Optimal);
+            };
+            // Ratio test; Bland tie-break on the basic variable index.
+            let mut best: Option<(usize, Rat)> = None;
+            for i in 0..self.a.len() {
+                if self.a[i][pcol].is_positive() {
+                    let ratio = self.rhs(i).checked_div(self.a[i][pcol])?;
+                    let better = match &best {
+                        None => true,
+                        Some((bi, br)) => {
+                            ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi])
+                        }
+                    };
+                    if better {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((prow, _)) = best else {
+                return Ok(IterEnd::Unbounded);
+            };
+            if *pivots_left == 0 {
+                return Ok(IterEnd::LimitReached);
+            }
+            *pivots_left -= 1;
+            self.pivot(prow, pcol)?;
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum IterEnd {
+    Optimal,
+    Unbounded,
+    LimitReached,
+}
+
+/// Solves `min c·x` subject to the given rows and `x ≥ 0`.
+///
+/// `pivots_left` is decremented per pivot; when it reaches zero the solve
+/// stops with [`LpOutcome::LimitReached`].
+pub(crate) fn solve_lp(
+    n_vars: usize,
+    rows: &[DenseRow],
+    objective: &[Rat],
+    pivots_left: &mut u64,
+) -> Result<LpOutcome, SolveError> {
+    debug_assert_eq!(objective.len(), n_vars);
+    let m = rows.len();
+
+    // Normalize rows to non-negative RHS, then count auxiliary columns.
+    let mut norm: Vec<DenseRow> = rows.to_vec();
+    for r in &mut norm {
+        if r.rhs.is_negative() {
+            for c in &mut r.coeffs {
+                *c = -*c;
+            }
+            r.rhs = -r.rhs;
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+    let n_slack = norm.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let n_art = norm.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let cols = n_vars + n_slack + n_art;
+
+    let mut a = vec![vec![Rat::ZERO; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut is_artificial = vec![false; cols];
+    let mut slack_at = n_vars;
+    let mut art_at = n_vars + n_slack;
+    for (i, r) in norm.iter().enumerate() {
+        a[i][..n_vars].copy_from_slice(&r.coeffs);
+        a[i][cols] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                a[i][slack_at] = Rat::ONE;
+                basis[i] = slack_at;
+                slack_at += 1;
+            }
+            Cmp::Ge => {
+                a[i][slack_at] = -Rat::ONE;
+                slack_at += 1;
+                a[i][art_at] = Rat::ONE;
+                is_artificial[art_at] = true;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+            Cmp::Eq => {
+                a[i][art_at] = Rat::ONE;
+                is_artificial[art_at] = true;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        cost: vec![Rat::ZERO; cols + 1],
+        basis,
+        cols,
+    };
+
+    // Phase 1: minimize the sum of artificials. Reduced costs start as
+    // c₁ − Σ (rows with artificial basics), since those basics have cost 1.
+    if n_art > 0 {
+        for (j, cost) in t.cost.iter_mut().enumerate().take(cols) {
+            if is_artificial[j] {
+                *cost = Rat::ONE;
+            }
+        }
+        for i in 0..m {
+            if is_artificial[t.basis[i]] {
+                for j in 0..=cols {
+                    t.cost[j] = t.cost[j].checked_sub(t.a[i][j])?;
+                }
+            }
+        }
+        let allowed = vec![true; cols];
+        match t.iterate(&allowed, pivots_left)? {
+            IterEnd::Optimal => {}
+            IterEnd::Unbounded => unreachable!("phase-1 objective is bounded below by zero"),
+            IterEnd::LimitReached => return Ok(LpOutcome::LimitReached),
+        }
+        // Phase-1 optimum is −cost[cols]; nonzero ⇒ infeasible.
+        if !t.cost[cols].is_zero() {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive any remaining (degenerate, value-0) artificials out of the basis.
+        for i in 0..m {
+            if is_artificial[t.basis[i]] {
+                if let Some(pcol) =
+                    (0..cols).find(|&j| !is_artificial[j] && !t.a[i][j].is_zero())
+                {
+                    t.pivot(i, pcol)?;
+                }
+                // If the row is all-zero over real columns it is redundant;
+                // the artificial stays basic at zero and never re-enters.
+            }
+        }
+    }
+
+    // Phase 2: real objective. Recompute reduced costs from scratch.
+    t.cost = vec![Rat::ZERO; cols + 1];
+    t.cost[..n_vars].copy_from_slice(objective);
+    for i in 0..m {
+        let b = t.basis[i];
+        let cb = if b < n_vars { objective[b] } else { Rat::ZERO };
+        if !cb.is_zero() {
+            for j in 0..=cols {
+                let delta = cb.checked_mul(t.a[i][j])?;
+                t.cost[j] = t.cost[j].checked_sub(delta)?;
+            }
+        }
+    }
+    let allowed: Vec<bool> = (0..cols).map(|j| !is_artificial[j]).collect();
+    match t.iterate(&allowed, pivots_left)? {
+        IterEnd::Optimal => {}
+        IterEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+        IterEnd::LimitReached => return Ok(LpOutcome::LimitReached),
+    }
+
+    let mut x = vec![Rat::ZERO; n_vars];
+    for i in 0..m {
+        if t.basis[i] < n_vars {
+            x[t.basis[i]] = t.rhs(i);
+        }
+    }
+    // cost[cols] holds −(objective − const); objective value = −cost[cols].
+    Ok(LpOutcome::Optimal {
+        x,
+        obj: -t.cost[cols],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    fn row(coeffs: &[i64], cmp: Cmp, rhs: i64) -> DenseRow {
+        DenseRow {
+            coeffs: coeffs.iter().map(|&c| r(c)).collect(),
+            cmp,
+            rhs: r(rhs),
+        }
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x+y s.t. x+y >= 2, x >= 0, y >= 0 → obj 2.
+        let out = solve_lp(2, &[row(&[1, 1], Cmp::Ge, 2)], &[r(1), r(1)], &mut 10_000).unwrap();
+        match out {
+            LpOutcome::Optimal { obj, .. } => assert_eq!(obj, r(2)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 3.
+        let out = solve_lp(
+            1,
+            &[row(&[1], Cmp::Le, 1), row(&[1], Cmp::Ge, 3)],
+            &[r(1)],
+            &mut 10_000,
+        )
+        .unwrap();
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x >= 1.
+        let out = solve_lp(1, &[row(&[1], Cmp::Ge, 1)], &[r(-1)], &mut 10_000).unwrap();
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 → x = 2, y = 1.
+        let out = solve_lp(
+            2,
+            &[row(&[1, 2], Cmp::Eq, 4), row(&[1, -1], Cmp::Eq, 1)],
+            &[r(1), r(1)],
+            &mut 10_000,
+        )
+        .unwrap();
+        match out {
+            LpOutcome::Optimal { x, obj } => {
+                assert_eq!(x, vec![r(2), r(1)]);
+                assert_eq!(obj, r(3));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // min x s.t. 2x >= 1 → x = 1/2.
+        let out = solve_lp(1, &[row(&[2], Cmp::Ge, 1)], &[r(1)], &mut 10_000).unwrap();
+        match out {
+            LpOutcome::Optimal { x, obj } => {
+                assert_eq!(x[0], Rat::new(1, 2));
+                assert_eq!(obj, Rat::new(1, 2));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. -x <= -3 (i.e. x >= 3).
+        let out = solve_lp(1, &[row(&[-1], Cmp::Le, -3)], &[r(1)], &mut 10_000).unwrap();
+        match out {
+            LpOutcome::Optimal { x, .. } => assert_eq!(x[0], r(3)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pivot_limit_reported() {
+        let out = solve_lp(
+            2,
+            &[row(&[1, 1], Cmp::Ge, 2), row(&[1, -1], Cmp::Ge, 0)],
+            &[r(1), r(1)],
+            &mut 0,
+        )
+        .unwrap();
+        assert_eq!(out, LpOutcome::LimitReached);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 twice; min x → x = 0, y = 2.
+        let out = solve_lp(
+            2,
+            &[row(&[1, 1], Cmp::Eq, 2), row(&[1, 1], Cmp::Eq, 2)],
+            &[r(1), r(0)],
+            &mut 10_000,
+        )
+        .unwrap();
+        match out {
+            LpOutcome::Optimal { x, .. } => {
+                assert_eq!(x[0], r(0));
+                assert_eq!(x[1], r(2));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

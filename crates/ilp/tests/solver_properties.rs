@@ -1,0 +1,193 @@
+//! Property-based validation of the exact LP/ILP solver against brute-force
+//! oracles on small random systems.
+
+use proptest::prelude::*;
+use tels_ilp::{Cmp, Limits, Problem, Rat, Status};
+
+#[derive(Debug, Clone)]
+struct SmallIlp {
+    n_vars: usize,
+    objective: Vec<i64>,
+    /// (coefficients, cmp, rhs)
+    rows: Vec<(Vec<i64>, Cmp, i64)>,
+}
+
+fn arb_cmp() -> impl Strategy<Value = Cmp> {
+    prop_oneof![Just(Cmp::Le), Just(Cmp::Ge), Just(Cmp::Eq)]
+}
+
+fn arb_ilp() -> impl Strategy<Value = SmallIlp> {
+    (2usize..=3).prop_flat_map(|n| {
+        let obj = prop::collection::vec(0i64..=4, n);
+        let row = (
+            prop::collection::vec(-3i64..=3, n),
+            arb_cmp(),
+            -6i64..=8,
+        );
+        let rows = prop::collection::vec(row, 1..=4);
+        (obj, rows).prop_map(move |(objective, rows)| SmallIlp {
+            n_vars: n,
+            objective,
+            rows,
+        })
+    })
+}
+
+/// Exhaustive search over the integer box [0, bound]^n.
+fn brute_force(ilp: &SmallIlp, bound: i64) -> Option<(Vec<i64>, i64)> {
+    let n = ilp.n_vars;
+    let mut best: Option<(Vec<i64>, i64)> = None;
+    let mut x = vec![0i64; n];
+    loop {
+        let feasible = ilp.rows.iter().all(|(coef, cmp, rhs)| {
+            let lhs: i64 = coef.iter().zip(&x).map(|(c, v)| c * v).sum();
+            match cmp {
+                Cmp::Le => lhs <= *rhs,
+                Cmp::Ge => lhs >= *rhs,
+                Cmp::Eq => lhs == *rhs,
+            }
+        });
+        if feasible {
+            let obj: i64 = ilp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+            if best.as_ref().is_none_or(|(_, b)| obj < *b) {
+                best = Some((x.clone(), obj));
+            }
+        }
+        // Increment the box counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            if x[i] < bound {
+                x[i] += 1;
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn build(ilp: &SmallIlp) -> Problem {
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..ilp.n_vars).map(|_| p.add_int_var()).collect();
+    p.set_objective(vars.iter().zip(&ilp.objective).map(|(&v, &c)| (v, c)));
+    for (coef, cmp, rhs) in &ilp.rows {
+        p.add_constraint(
+            vars.iter().zip(coef).map(|(&v, &c)| (v, c)),
+            *cmp,
+            *rhs,
+        );
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// On bounded problems (explicit box constraints added), the solver's
+    /// optimum matches exhaustive search exactly.
+    #[test]
+    fn matches_brute_force_on_bounded_problems(ilp in arb_ilp()) {
+        const BOUND: i64 = 6;
+        let mut bounded = ilp.clone();
+        for i in 0..ilp.n_vars {
+            let mut coef = vec![0i64; ilp.n_vars];
+            coef[i] = 1;
+            bounded.rows.push((coef, Cmp::Le, BOUND));
+        }
+        let p = build(&bounded);
+        let s = p.solve(&Limits::default()).unwrap();
+        let brute = brute_force(&bounded, BOUND);
+        match brute {
+            None => prop_assert_eq!(s.status, Status::Infeasible),
+            Some((_, best_obj)) => {
+                prop_assert_eq!(s.status, Status::Optimal, "expected optimal, brute={}", best_obj);
+                prop_assert_eq!(s.objective, Some(Rat::from(best_obj)));
+                // The returned point satisfies every constraint.
+                let values = s.int_values().expect("integer solution");
+                for (coef, cmp, rhs) in &bounded.rows {
+                    let lhs: i64 = coef.iter().zip(&values).map(|(c, v)| c * v).sum();
+                    let ok = match cmp {
+                        Cmp::Le => lhs <= *rhs,
+                        Cmp::Ge => lhs >= *rhs,
+                        Cmp::Eq => lhs == *rhs,
+                    };
+                    prop_assert!(ok, "constraint violated: {:?} lhs={}", (coef, cmp, rhs), lhs);
+                }
+            }
+        }
+    }
+
+    /// The LP relaxation never exceeds the ILP optimum (weak duality of the
+    /// relaxation) on bounded problems.
+    #[test]
+    fn relaxation_bounds_ilp(ilp in arb_ilp()) {
+        const BOUND: i64 = 6;
+        let mut bounded = ilp.clone();
+        for i in 0..ilp.n_vars {
+            let mut coef = vec![0i64; ilp.n_vars];
+            coef[i] = 1;
+            bounded.rows.push((coef, Cmp::Le, BOUND));
+        }
+        // Continuous version.
+        let mut lp = Problem::new();
+        let vars: Vec<_> = (0..bounded.n_vars).map(|_| lp.add_var()).collect();
+        lp.set_objective(vars.iter().zip(&bounded.objective).map(|(&v, &c)| (v, c)));
+        for (coef, cmp, rhs) in &bounded.rows {
+            lp.add_constraint(vars.iter().zip(coef).map(|(&v, &c)| (v, c)), *cmp, *rhs);
+        }
+        let relaxed = lp.solve(&Limits::default()).unwrap();
+        let integral = build(&bounded).solve(&Limits::default()).unwrap();
+        if integral.status == Status::Optimal {
+            prop_assert_eq!(relaxed.status, Status::Optimal);
+            prop_assert!(relaxed.objective.unwrap() <= integral.objective.unwrap());
+        }
+    }
+}
+
+#[test]
+fn large_threshold_style_system_solves() {
+    // A 20-variable threshold-identification style system.
+    let n = 20;
+    let mut p = Problem::new();
+    let w: Vec<_> = (0..n).map(|_| p.add_int_var()).collect();
+    let t = p.add_int_var();
+    p.set_objective(w.iter().map(|&v| (v, 1i64)).chain([(t, 1i64)]));
+    for i in 1..n {
+        p.add_constraint([(w[0], 1), (w[i], 1), (t, -1)], Cmp::Ge, 0);
+    }
+    let mut off: Vec<_> = (1..n).map(|i| (w[i], 1i64)).collect();
+    off.push((t, -1));
+    p.add_constraint(off, Cmp::Le, -1);
+    p.add_constraint([(w[0], 1), (t, -1)], Cmp::Le, -1);
+    let s = p.solve(&Limits::default()).unwrap();
+    assert_eq!(s.status, Status::Optimal);
+    let v = s.int_values().unwrap();
+    // w0 must dominate the sum of the others' slack; verify constraints.
+    for i in 1..n {
+        assert!(v[0] + v[i] >= v[n]);
+    }
+    assert!(v[1..n].iter().sum::<i64>() < v[n]);
+    assert!(v[0] < v[n]);
+}
+
+#[test]
+fn empty_problem_is_trivially_optimal() {
+    let p = Problem::new();
+    let s = p.solve(&Limits::default()).unwrap();
+    assert_eq!(s.status, Status::Optimal);
+    assert_eq!(s.objective, Some(Rat::ZERO));
+}
+
+#[test]
+fn objective_free_feasibility_check() {
+    // No objective set: any feasible point works; status must be Optimal.
+    let mut p = Problem::new();
+    let x = p.add_int_var();
+    p.add_constraint([(x, 3)], Cmp::Ge, 7);
+    let s = p.solve(&Limits::default()).unwrap();
+    assert_eq!(s.status, Status::Optimal);
+    assert!(s.int_values().unwrap()[0] >= 3);
+}

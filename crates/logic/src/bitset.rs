@@ -1,0 +1,269 @@
+//! Growable bitsets over variable indices.
+
+use std::fmt;
+
+use crate::cube::Var;
+
+/// A set of [`Var`] indices, stored as a growable bitset.
+///
+/// The word vector never carries trailing zero words, so the derived
+/// `PartialEq`/`Hash` implementations compare set contents.
+///
+/// # Example
+///
+/// ```
+/// use tels_logic::{Var, VarSet};
+///
+/// let mut s = VarSet::new();
+/// s.insert(Var(3));
+/// s.insert(Var(70));
+/// assert!(s.contains(Var(3)));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![Var(3), Var(70)]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarSet {
+    words: Vec<u64>,
+}
+
+impl VarSet {
+    /// Creates an empty set.
+    pub fn new() -> VarSet {
+        VarSet::default()
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Inserts a variable. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, v: Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes a variable. Returns `true` if it was present.
+    pub fn remove(&mut self, v: Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.trim();
+        present
+    }
+
+    /// Whether the variable is in the set.
+    pub fn contains(&self, v: Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &VarSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &VarSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= other.words.get(i).copied().unwrap_or(0);
+        }
+        self.trim();
+    }
+
+    /// In-place difference (`self − other`).
+    pub fn difference_with(&mut self, other: &VarSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        self.trim();
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &VarSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the two sets share any variable.
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the variables in ascending index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest variable in the set, if any.
+    pub fn min_var(&self) -> Option<Var> {
+        self.iter().next()
+    }
+
+    /// The largest variable in the set, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        let w = self.words.len().checked_sub(1)?;
+        let word = self.words[w];
+        Some(Var((w * 64 + 63 - word.leading_zeros() as usize) as u32))
+    }
+}
+
+/// Iterator over the variables of a [`VarSet`] in ascending order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a VarSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Var;
+
+    fn next(&mut self) -> Option<Var> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                return Some(Var((self.word * 64) as u32 + b));
+            }
+            self.word += 1;
+            self.bits = *self.set.words.get(self.word)?;
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = Var;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        let mut s = VarSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<Var> for VarSet {
+    fn extend<I: IntoIterator<Item = Var>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|v| v.0)).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.insert(Var(5)));
+        assert!(!s.insert(Var(5)));
+        assert!(s.contains(Var(5)));
+        assert!(!s.contains(Var(6)));
+        assert!(s.remove(Var(5)));
+        assert!(!s.remove(Var(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = VarSet::new();
+        a.insert(Var(200));
+        a.remove(Var(200));
+        a.insert(Var(1));
+        let b: VarSet = [Var(1)].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a: VarSet = [Var(1), Var(2), Var(65)].into_iter().collect();
+        let b: VarSet = [Var(2), Var(65), Var(100)].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![Var(2), Var(65)]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![Var(1)]);
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+        assert!(a.intersects(&b));
+        assert!(!d.intersects(&i));
+    }
+
+    #[test]
+    fn min_max() {
+        let s: VarSet = [Var(7), Var(64), Var(3)].into_iter().collect();
+        assert_eq!(s.min_var(), Some(Var(3)));
+        assert_eq!(s.max_var(), Some(Var(64)));
+        assert_eq!(VarSet::new().min_var(), None);
+        assert_eq!(VarSet::new().max_var(), None);
+    }
+
+    #[test]
+    fn iterate_across_words() {
+        let vars = [Var(0), Var(63), Var(64), Var(127), Var(128)];
+        let s: VarSet = vars.into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vars);
+    }
+
+    #[test]
+    fn subset_with_shorter_other() {
+        let a: VarSet = [Var(100)].into_iter().collect();
+        let b: VarSet = [Var(1)].into_iter().collect();
+        assert!(!a.is_subset_of(&b));
+        assert!(VarSet::new().is_subset_of(&b));
+    }
+}

@@ -1,0 +1,506 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! Supports the combinational subset used by the MCNC benchmarks:
+//! `.model`, `.inputs`, `.outputs`, `.names` with ON-set or OFF-set covers,
+//! line continuations (`\`), comments (`#`), and `.end`. Latches and
+//! subcircuits are rejected with a parse error.
+//!
+//! # Example
+//!
+//! ```
+//! use tels_logic::blif;
+//!
+//! # fn main() -> Result<(), tels_logic::LogicError> {
+//! let src = "\
+//! .model and2
+//! .inputs a b
+//! .outputs f
+//! .names a b f
+//! 11 1
+//! .end
+//! ";
+//! let net = blif::parse(src)?;
+//! assert_eq!(net.eval(&[true, true])?, vec![true]);
+//! let round_trip = blif::parse(&blif::write(&net))?;
+//! assert_eq!(round_trip.num_logic_nodes(), net.num_logic_nodes());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::cube::{Cube, Var};
+use crate::error::LogicError;
+use crate::network::{Network, NodeKind};
+use crate::sop::Sop;
+
+struct NamesDecl {
+    inputs: Vec<String>,
+    output: String,
+    /// `(input pattern, output value)` rows.
+    rows: Vec<(String, bool)>,
+    line: usize,
+}
+
+fn err(line: usize, message: impl Into<String>) -> LogicError {
+    LogicError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Joins continuation lines and strips comments, preserving line numbers of
+/// the first physical line of each logical line.
+fn logical_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in source.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let (cont, text) = match no_comment.trim_end().strip_suffix('\\') {
+            Some(t) => (true, t.to_string()),
+            None => (false, no_comment.to_string()),
+        };
+        match pending.take() {
+            Some((l, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&text);
+                if cont {
+                    pending = Some((l, acc));
+                } else {
+                    out.push((l, acc));
+                }
+            }
+            None => {
+                if cont {
+                    pending = Some((i + 1, text));
+                } else if !text.trim().is_empty() {
+                    out.push((i + 1, text));
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    out
+}
+
+/// Parses BLIF source into a [`Network`].
+///
+/// Covers may be given as ON-set rows (output value `1`) or OFF-set rows
+/// (output value `0`); mixing the two in one `.names` block is rejected, as
+/// in SIS. A `.names` block with no rows defines the constant 0.
+///
+/// # Errors
+///
+/// Returns [`LogicError::Parse`] with a line number for malformed input,
+/// [`LogicError::Cycle`] for cyclic netlists, and name-resolution errors for
+/// dangling references.
+pub fn parse(source: &str) -> Result<Network, LogicError> {
+    let lines = logical_lines(source);
+    let mut model = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut decls: Vec<NamesDecl> = Vec::new();
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (line_no, line) = &lines[i];
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().unwrap_or("");
+        match head {
+            ".model" => {
+                model = tokens
+                    .next()
+                    .ok_or_else(|| err(*line_no, ".model requires a name"))?
+                    .to_string();
+                i += 1;
+            }
+            ".inputs" => {
+                inputs.extend(tokens.map(String::from));
+                i += 1;
+            }
+            ".outputs" => {
+                outputs.extend(tokens.map(String::from));
+                i += 1;
+            }
+            ".names" => {
+                let mut signals: Vec<String> = tokens.map(String::from).collect();
+                let output = signals
+                    .pop()
+                    .ok_or_else(|| err(*line_no, ".names requires at least an output"))?;
+                let mut rows = Vec::new();
+                i += 1;
+                while i < lines.len() && !lines[i].1.trim_start().starts_with('.') {
+                    let (row_line, row) = &lines[i];
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = match (signals.is_empty(), parts.as_slice()) {
+                        (true, [v]) => (String::new(), *v),
+                        (false, [p, v]) => (p.to_string(), *v),
+                        _ => return Err(err(*row_line, format!("malformed cover row `{row}`"))),
+                    };
+                    if pattern.len() != signals.len() {
+                        return Err(err(
+                            *row_line,
+                            format!(
+                                "pattern `{pattern}` has {} columns, expected {}",
+                                pattern.len(),
+                                signals.len()
+                            ),
+                        ));
+                    }
+                    let value = match value {
+                        "1" => true,
+                        "0" => false,
+                        other => {
+                            return Err(err(*row_line, format!("invalid output value `{other}`")))
+                        }
+                    };
+                    rows.push((pattern, value));
+                    i += 1;
+                }
+                decls.push(NamesDecl {
+                    inputs: signals,
+                    output,
+                    rows,
+                    line: *line_no,
+                });
+            }
+            ".end" => {
+                i = lines.len();
+            }
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(err(
+                    *line_no,
+                    format!("`{head}` is not supported (combinational subset only)"),
+                ));
+            }
+            other if other.starts_with('.') => {
+                // Unknown directives (e.g. .default_input_arrival) are skipped.
+                i += 1;
+            }
+            _ => {
+                return Err(err(*line_no, format!("unexpected line `{line}`")));
+            }
+        }
+    }
+
+    build_network(model, &inputs, &outputs, decls)
+}
+
+fn decl_to_sop(decl: &NamesDecl) -> Result<Sop, LogicError> {
+    let on_rows: Vec<&String> = decl
+        .rows
+        .iter()
+        .filter(|(_, v)| *v)
+        .map(|(p, _)| p)
+        .collect();
+    let off_rows: Vec<&String> = decl
+        .rows
+        .iter()
+        .filter(|(_, v)| !*v)
+        .map(|(p, _)| p)
+        .collect();
+    if !on_rows.is_empty() && !off_rows.is_empty() {
+        return Err(err(decl.line, "cover mixes ON-set and OFF-set rows"));
+    }
+    let rows_to_sop = |rows: &[&String]| -> Result<Sop, LogicError> {
+        let mut cubes = Vec::new();
+        for pattern in rows {
+            let mut cube = Cube::one();
+            for (i, ch) in pattern.chars().enumerate() {
+                let phase = match ch {
+                    '1' => true,
+                    '0' => false,
+                    '-' => continue,
+                    other => {
+                        return Err(err(
+                            decl.line,
+                            format!("invalid pattern character `{other}`"),
+                        ))
+                    }
+                };
+                if !cube.set_literal(Var(i as u32), phase) {
+                    return Err(err(decl.line, "pattern repeats a column"));
+                }
+            }
+            cubes.push(cube);
+        }
+        Ok(Sop::from_cubes(cubes))
+    };
+    if !off_rows.is_empty() {
+        // OFF-set cover: the function is the complement.
+        Ok(rows_to_sop(&off_rows)?.complement())
+    } else {
+        rows_to_sop(&on_rows)
+    }
+}
+
+fn build_network(
+    model: String,
+    inputs: &[String],
+    outputs: &[String],
+    decls: Vec<NamesDecl>,
+) -> Result<Network, LogicError> {
+    let mut net = Network::new(model);
+    for name in inputs {
+        net.add_input(name.clone())?;
+    }
+    // Topologically order declarations (BLIF allows forward references).
+    let by_output: HashMap<&str, usize> = decls
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.output.as_str(), i))
+        .collect();
+    if by_output.len() != decls.len() {
+        let dup = decls
+            .iter()
+            .enumerate()
+            .find(|(i, d)| by_output[d.output.as_str()] != *i)
+            .map(|(_, d)| d.output.clone())
+            .unwrap_or_default();
+        return Err(LogicError::DuplicateName(dup));
+    }
+    let mut state = vec![0u8; decls.len()]; // 0 = unvisited, 1 = visiting, 2 = done
+    let mut order: Vec<usize> = Vec::with_capacity(decls.len());
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..decls.len() {
+        if state[root] != 0 {
+            continue;
+        }
+        stack.push((root, 0));
+        state[root] = 1;
+        while let Some(&mut (d, ref mut next)) = stack.last_mut() {
+            let decl = &decls[d];
+            if *next < decl.inputs.len() {
+                let dep_name = &decl.inputs[*next];
+                *next += 1;
+                if let Some(&dep) = by_output.get(dep_name.as_str()) {
+                    match state[dep] {
+                        0 => {
+                            state[dep] = 1;
+                            stack.push((dep, 0));
+                        }
+                        1 => return Err(LogicError::Cycle),
+                        _ => {}
+                    }
+                }
+            } else {
+                state[d] = 2;
+                order.push(d);
+                stack.pop();
+            }
+        }
+    }
+
+    for d in order {
+        let decl = &decls[d];
+        let fanin_ids: Vec<_> = decl
+            .inputs
+            .iter()
+            .map(|n| {
+                net.find(n)
+                    .ok_or_else(|| LogicError::UnknownSignal(n.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let sop = decl_to_sop(decl)?;
+        // Deduplicate fanins if the BLIF repeated a signal name.
+        let (fanin_ids, sop) = dedup_fanins(fanin_ids, sop);
+        net.add_node(decl.output.clone(), fanin_ids, sop)?;
+    }
+    for name in outputs {
+        let id = net
+            .find(name)
+            .ok_or_else(|| LogicError::UnknownSignal(name.clone()))?;
+        net.add_output(name.clone(), id)?;
+    }
+    Ok(net)
+}
+
+/// Merges duplicate fanin entries, remapping the SOP onto unique fanins.
+fn dedup_fanins(
+    fanins: Vec<crate::network::NodeId>,
+    sop: Sop,
+) -> (Vec<crate::network::NodeId>, Sop) {
+    let mut unique = Vec::new();
+    let mut map = Vec::with_capacity(fanins.len());
+    for f in fanins {
+        let idx = match unique.iter().position(|&u| u == f) {
+            Some(i) => i,
+            None => {
+                unique.push(f);
+                unique.len() - 1
+            }
+        };
+        map.push(Var(idx as u32));
+    }
+    // A merged pair in opposite phases makes the cube vanish; filter those.
+    let cubes = sop.cubes().iter().filter_map(|c| {
+        let mut out = Cube::one();
+        for (v, phase) in c.literals() {
+            if !out.set_literal(map[v.0 as usize], phase) {
+                return None;
+            }
+        }
+        Some(out)
+    });
+    let new_sop = Sop::from_cubes(cubes.collect::<Vec<_>>());
+    (unique, new_sop)
+}
+
+/// Writes a network as BLIF text (ON-set covers).
+pub fn write(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", net.model());
+    let input_names: Vec<&str> = net.inputs().iter().map(|&id| net.name(id)).collect();
+    let _ = writeln!(out, ".inputs {}", input_names.join(" "));
+    let output_names: Vec<&str> = net.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
+
+    let order = net.topo_order().expect("network is acyclic");
+    for id in order {
+        if let NodeKind::Logic { fanins, sop } = net.kind(id) {
+            let fanin_names: Vec<&str> = fanins.iter().map(|&f| net.name(f)).collect();
+            let _ = writeln!(out, ".names {} {}", fanin_names.join(" "), net.name(id));
+            if sop.is_one() {
+                let _ = writeln!(out, "{}1", "-".repeat(fanins.len()));
+                continue;
+            }
+            for cube in sop.cubes() {
+                let mut pattern = vec!['-'; fanins.len()];
+                for (v, phase) in cube.literals() {
+                    pattern[v.0 as usize] = if phase { '1' } else { '0' };
+                }
+                let _ = writeln!(out, "{} 1", pattern.iter().collect::<String>());
+            }
+        }
+    }
+    // Outputs that alias inputs or other signals need a buffer in BLIF if the
+    // output name differs from the node name.
+    for (name, id) in net.outputs() {
+        if net.name(*id) != name {
+            let _ = writeln!(out, ".names {} {}\n1 1", net.name(*id), name);
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{check_equivalence, EquivOptions};
+
+    #[test]
+    fn parse_simple_model() {
+        let net = parse(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b g\n11 1\n.names g c f\n1- 1\n-1 1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.model(), "m");
+        assert_eq!(net.num_inputs(), 3);
+        assert_eq!(net.num_logic_nodes(), 2);
+        assert_eq!(net.eval(&[true, true, false]).unwrap(), vec![true]);
+        assert_eq!(net.eval(&[false, true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let net = parse(
+            ".model m\n.inputs a b\n.outputs f\n.names g f\n1 1\n.names a b g\n11 1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.eval(&[true, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn off_set_cover_is_complemented() {
+        // f defined by its OFF-set: f = 0 when a=1,b=1 → f = NAND.
+        let net =
+            parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n").unwrap();
+        assert_eq!(net.eval(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(net.eval(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn constants() {
+        let net = parse(
+            ".model m\n.inputs a\n.outputs one zero f\n.names one\n1\n.names zero\n.names a f\n1 1\n.end\n",
+        )
+        .unwrap();
+        let out = net.eval(&[false]).unwrap();
+        assert_eq!(out, vec![true, false, false]);
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let net = parse(
+            ".model m # a model\n.inputs a \\\nb\n.outputs f\n.names a b f # and\n11 1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.num_inputs(), 2);
+        assert_eq!(net.eval(&[true, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let r = parse(".model m\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n");
+        assert!(matches!(r, Err(LogicError::Cycle)));
+    }
+
+    #[test]
+    fn latch_rejected() {
+        let r = parse(".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { .. })));
+    }
+
+    #[test]
+    fn mixed_cover_rejected() {
+        let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { .. })));
+    }
+
+    #[test]
+    fn bad_pattern_width_rejected() {
+        let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { .. })));
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let r = parse(".model m\n.inputs a\n.outputs nope\n.end\n");
+        assert!(matches!(r, Err(LogicError::UnknownSignal(n)) if n == "nope"));
+    }
+
+    #[test]
+    fn duplicate_fanin_names_merged() {
+        let net =
+            parse(".model m\n.inputs a\n.outputs f\n.names a a f\n11 1\n.end\n").unwrap();
+        assert_eq!(net.eval(&[true]).unwrap(), vec![true]);
+        assert_eq!(net.eval(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let src = ".model m\n.inputs a b c d\n.outputs f g\n.names a b t1\n11 1\n.names t1 c t2\n1- 1\n-1 1\n.names t2 d f\n10 1\n.names a d g\n00 1\n.end\n";
+        let net = parse(src).unwrap();
+        let round = parse(&write(&net)).unwrap();
+        let r = check_equivalence(&net, &round, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn output_aliasing_input_round_trips() {
+        // PO "f" points directly at input node "a" — the writer must emit a buffer.
+        let mut net = Network::new("alias");
+        let a = net.add_input("a").unwrap();
+        net.add_output("f", a).unwrap();
+        let round = parse(&write(&net)).unwrap();
+        assert_eq!(round.eval(&[true]).unwrap(), vec![true]);
+        assert_eq!(round.eval(&[false]).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the logic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction, BLIF parsing, and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A BLIF file failed to parse; carries the 1-based line number and a
+    /// description.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The network contains a combinational cycle.
+    Cycle,
+    /// Two signals were declared with the same name.
+    DuplicateName(String),
+    /// A referenced signal name was never defined.
+    UnknownSignal(String),
+    /// A node was given an invalid fanin list or function.
+    InvalidNode(String),
+    /// Two networks cannot be compared (mismatched interface).
+    InterfaceMismatch(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            LogicError::Cycle => write!(f, "network contains a combinational cycle"),
+            LogicError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            LogicError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
+            LogicError::InvalidNode(m) => write!(f, "invalid node: {m}"),
+            LogicError::InterfaceMismatch(m) => write!(f, "interface mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for LogicError {}

@@ -1,0 +1,731 @@
+//! Multi-level combinational Boolean networks.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cube::Var;
+use crate::error::LogicError;
+use crate::sop::Sop;
+
+/// Identifier of a node within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node (also its global-space
+    /// [`Var`](crate::Var) index, see [`opt::global_sop`](crate::opt::global_sop)).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index, the inverse of [`Self::index`].
+    ///
+    /// Meaningful only for indices obtained from the same network (e.g.
+    /// global-space SOP variables).
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a network node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input.
+    Input,
+    /// An internal logic node: an [`Sop`] over the fanin list, where
+    /// `Var(i)` in the SOP denotes `fanins[i]`.
+    Logic {
+        /// Driving nodes, in SOP-variable order.
+        fanins: Vec<NodeId>,
+        /// The node function over the fanins.
+        sop: Sop,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    name: String,
+    kind: NodeKind,
+}
+
+/// A multi-output combinational Boolean network (the paper's network `G`).
+///
+/// Nodes are either primary inputs or logic nodes carrying an [`Sop`] over
+/// their fanins. Primary outputs are named references to nodes. This is the
+/// same structural model SIS uses, which TELS synthesizes from.
+///
+/// # Example
+///
+/// ```
+/// use tels_logic::{Cube, Network, Sop, Var};
+///
+/// # fn main() -> Result<(), tels_logic::LogicError> {
+/// let mut net = Network::new("and2");
+/// let a = net.add_input("a")?;
+/// let b = net.add_input("b")?;
+/// let f = net.add_node(
+///     "f",
+///     vec![a, b],
+///     Sop::from_cubes([Cube::from_literals([(Var(0), true), (Var(1), true)])]),
+/// )?;
+/// net.add_output("f", f)?;
+/// assert_eq!(net.num_logic_nodes(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    model: String,
+    nodes: Vec<NodeData>,
+    names: HashMap<String, NodeId>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Network {
+    /// Creates an empty network with the given model name.
+    pub fn new(model: impl Into<String>) -> Network {
+        Network {
+            model: model.into(),
+            nodes: Vec::new(),
+            names: HashMap::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<NodeId, LogicError> {
+        self.add_raw(name.into(), NodeKind::Input)
+    }
+
+    /// Adds a logic node computing `sop` over `fanins`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken, a fanin id is invalid or
+    /// duplicated, or the SOP references a variable outside the fanin list.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        fanins: Vec<NodeId>,
+        sop: Sop,
+    ) -> Result<NodeId, LogicError> {
+        self.validate_function(&fanins, &sop)?;
+        self.add_raw(name.into(), NodeKind::Logic { fanins, sop })
+    }
+
+    fn validate_function(&self, fanins: &[NodeId], sop: &Sop) -> Result<(), LogicError> {
+        for (i, f) in fanins.iter().enumerate() {
+            if f.0 as usize >= self.nodes.len() {
+                return Err(LogicError::InvalidNode(format!("fanin {f} does not exist")));
+            }
+            if fanins[..i].contains(f) {
+                return Err(LogicError::InvalidNode(format!("duplicate fanin {f}")));
+            }
+        }
+        if let Some(v) = sop.support().max_var() {
+            if v.0 as usize >= fanins.len() {
+                return Err(LogicError::InvalidNode(format!(
+                    "SOP references {v} but node has only {} fanins",
+                    fanins.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn add_raw(&mut self, name: String, kind: NodeKind) -> Result<NodeId, LogicError> {
+        if self.names.contains_key(&name) {
+            return Err(LogicError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.names.insert(name.clone(), id);
+        self.nodes.push(NodeData { name, kind });
+        Ok(id)
+    }
+
+    /// Generates a fresh node name with the given prefix.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut i = self.nodes.len();
+        loop {
+            let candidate = format!("{prefix}{i}");
+            if !self.names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Declares `node` as the primary output `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an output of that name already exists or the node
+    /// id is invalid.
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+    ) -> Result<(), LogicError> {
+        let name = name.into();
+        if node.0 as usize >= self.nodes.len() {
+            return Err(LogicError::InvalidNode(format!("output {node} does not exist")));
+        }
+        if self.outputs.iter().any(|(n, _)| *n == name) {
+            return Err(LogicError::DuplicateName(name));
+        }
+        self.outputs.push((name, node));
+        Ok(())
+    }
+
+    /// Re-points an existing primary output at a different node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::UnknownSignal`] if no output of that name
+    /// exists, or [`LogicError::InvalidNode`] for a dangling node id.
+    pub fn set_output(&mut self, name: &str, node: NodeId) -> Result<(), LogicError> {
+        if node.0 as usize >= self.nodes.len() {
+            return Err(LogicError::InvalidNode(format!("output {node} does not exist")));
+        }
+        match self.outputs.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => {
+                slot.1 = node;
+                Ok(())
+            }
+            None => Err(LogicError::UnknownSignal(name.to_string())),
+        }
+    }
+
+    /// Looks a node up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// The name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].name
+    }
+
+    /// The kind (and function) of a node.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0 as usize].kind
+    }
+
+    /// Whether the node is a primary input.
+    pub fn is_input(&self, id: NodeId) -> bool {
+        matches!(self.kind(id), NodeKind::Input)
+    }
+
+    /// The fanins of a node (empty for inputs).
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        match self.kind(id) {
+            NodeKind::Input => &[],
+            NodeKind::Logic { fanins, .. } => fanins,
+        }
+    }
+
+    /// The SOP of a logic node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a primary input.
+    pub fn sop(&self, id: NodeId) -> &Sop {
+        match self.kind(id) {
+            NodeKind::Input => panic!("node {id} is a primary input"),
+            NodeKind::Logic { sop, .. } => sop,
+        }
+    }
+
+    /// Replaces the function of a logic node.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Self::add_node`]; additionally rejects making the
+    /// node (transitively) depend on itself.
+    pub fn set_function(
+        &mut self,
+        id: NodeId,
+        fanins: Vec<NodeId>,
+        sop: Sop,
+    ) -> Result<(), LogicError> {
+        self.validate_function(&fanins, &sop)?;
+        if self.is_input(id) {
+            return Err(LogicError::InvalidNode(format!("{id} is a primary input")));
+        }
+        // Reject self-dependency (direct or through existing nodes).
+        for &f in &fanins {
+            if f == id || self.transitive_fanin(f).contains(&id) {
+                return Err(LogicError::Cycle);
+            }
+        }
+        self.nodes[id.0 as usize].kind = NodeKind::Logic { fanins, sop };
+        Ok(())
+    }
+
+    fn transitive_fanin(&self, id: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.0 as usize], true) {
+                continue;
+            }
+            out.push(n);
+            stack.extend(self.fanins(n).iter().copied());
+        }
+        out
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Primary input ids, in declaration order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.is_input(id)).collect()
+    }
+
+    /// Primary outputs as `(name, node)` pairs, in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Input))
+            .count()
+    }
+
+    /// Number of logic nodes.
+    pub fn num_logic_nodes(&self) -> usize {
+        self.nodes.len() - self.num_inputs()
+    }
+
+    /// Total literal count over all logic nodes (the factored-form cost).
+    pub fn num_literals(&self) -> usize {
+        self.node_ids()
+            .filter(|&id| !self.is_input(id))
+            .map(|id| self.sop(id).num_literals())
+            .sum()
+    }
+
+    /// Nodes in topological order (inputs first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Cycle`] if the network is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, LogicError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for id in self.node_ids() {
+            indeg[id.0 as usize] = self.fanins(id).len();
+        }
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for id in self.node_ids() {
+            for &f in self.fanins(id) {
+                fanouts[f.0 as usize].push(id);
+            }
+        }
+        let mut queue: Vec<NodeId> = self
+            .node_ids()
+            .filter(|&id| indeg[id.0 as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &succ in &fanouts[id.0 as usize] {
+                indeg[succ.0 as usize] -= 1;
+                if indeg[succ.0 as usize] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(LogicError::Cycle)
+        }
+    }
+
+    /// Fanout count per node: uses as a fanin plus uses as a primary output.
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for id in self.node_ids() {
+            for &f in self.fanins(id) {
+                counts[f.0 as usize] += 1;
+            }
+        }
+        for (_, id) in &self.outputs {
+            counts[id.0 as usize] += 1;
+        }
+        counts
+    }
+
+    /// Logic depth per node: inputs are level 0, logic nodes are
+    /// `1 + max(fanin levels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Cycle`] if the network is cyclic.
+    pub fn levels(&self) -> Result<Vec<usize>, LogicError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0usize; self.nodes.len()];
+        for id in order {
+            if !self.is_input(id) {
+                level[id.0 as usize] = 1 + self
+                    .fanins(id)
+                    .iter()
+                    .map(|f| level[f.0 as usize])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        Ok(level)
+    }
+
+    /// The maximum level over the primary outputs (the network depth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Cycle`] if the network is cyclic.
+    pub fn depth(&self) -> Result<usize, LogicError> {
+        let levels = self.levels()?;
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(_, id)| levels[id.0 as usize])
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// Inlines fanin position `pos` of `node`: substitutes the fanin's
+    /// function into the node's SOP (complementing where the fanin appears
+    /// negatively) and merges the fanin lists.
+    ///
+    /// Returns the new fanin count of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `node` is an input or `pos` is out of range, or
+    /// if the fanin at `pos` is a primary input (inputs have no function).
+    pub fn inline_fanin(&mut self, node: NodeId, pos: usize) -> Result<usize, LogicError> {
+        let (fanins, sop) = match self.kind(node) {
+            NodeKind::Input => {
+                return Err(LogicError::InvalidNode(format!("{node} is a primary input")))
+            }
+            NodeKind::Logic { fanins, sop } => (fanins.clone(), sop.clone()),
+        };
+        let victim = *fanins
+            .get(pos)
+            .ok_or_else(|| LogicError::InvalidNode(format!("fanin position {pos} out of range")))?;
+        let (vic_fanins, vic_sop) = match self.kind(victim) {
+            NodeKind::Input => {
+                return Err(LogicError::InvalidNode(format!(
+                    "fanin {victim} is a primary input and cannot be inlined"
+                )))
+            }
+            NodeKind::Logic { fanins, sop } => (fanins.clone(), sop.clone()),
+        };
+
+        // New fanin list: old fanins (minus the victim) plus the victim's
+        // fanins, deduplicated, order-preserving.
+        let mut new_fanins: Vec<NodeId> = fanins
+            .iter()
+            .copied()
+            .filter(|&f| f != victim)
+            .collect();
+        for &f in &vic_fanins {
+            if !new_fanins.contains(&f) {
+                new_fanins.push(f);
+            }
+        }
+
+        let index_of = |list: &[NodeId], id: NodeId| -> Var {
+            Var(list.iter().position(|&f| f == id).unwrap() as u32)
+        };
+        // Remap the victim's SOP into the new variable space.
+        let vic_map: Vec<Var> = vic_fanins
+            .iter()
+            .map(|&f| index_of(&new_fanins, f))
+            .collect();
+        let vic_remapped = vic_sop.remap(&vic_map);
+        // Remap the node's SOP: the victim variable is temporarily given a
+        // fresh index past the new fanins, substituted away afterwards.
+        let tmp = Var(new_fanins.len() as u32);
+        let node_map: Vec<Var> = fanins
+            .iter()
+            .map(|&f| if f == victim { tmp } else { index_of(&new_fanins, f) })
+            .collect();
+        let node_remapped = sop.remap(&node_map);
+        let mut new_sop = node_remapped.substitute(tmp, &vic_remapped);
+        new_sop.scc();
+
+        // Drop fanins that fell out of the support (e.g. victim-only vars).
+        let support = new_sop.support();
+        let kept: Vec<usize> = (0..new_fanins.len())
+            .filter(|&i| support.contains(Var(i as u32)))
+            .collect();
+        let final_fanins: Vec<NodeId> = kept.iter().map(|&i| new_fanins[i]).collect();
+        let mut final_map = vec![Var(0); new_fanins.len()];
+        for (new_i, &old_i) in kept.iter().enumerate() {
+            final_map[old_i] = Var(new_i as u32);
+        }
+        let final_sop = new_sop.remap(&final_map);
+
+        let count = final_fanins.len();
+        self.set_function(node, final_fanins, final_sop)?;
+        Ok(count)
+    }
+
+    /// Evaluates the network on a single input assignment (inputs in
+    /// [`Self::inputs`] order). Returns output values in output order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Cycle`] for cyclic networks, or
+    /// [`LogicError::InterfaceMismatch`] if `assignment` has the wrong arity.
+    pub fn eval(&self, assignment: &[bool]) -> Result<Vec<bool>, LogicError> {
+        let inputs = self.inputs();
+        if assignment.len() != inputs.len() {
+            return Err(LogicError::InterfaceMismatch(format!(
+                "expected {} input values, got {}",
+                inputs.len(),
+                assignment.len()
+            )));
+        }
+        let mut value = vec![false; self.nodes.len()];
+        for (i, &id) in inputs.iter().enumerate() {
+            value[id.0 as usize] = assignment[i];
+        }
+        for id in self.topo_order()? {
+            if let NodeKind::Logic { fanins, sop } = self.kind(id) {
+                value[id.0 as usize] = sop.eval(|v| value[fanins[v.0 as usize].0 as usize]);
+            }
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(_, id)| value[id.0 as usize])
+            .collect())
+    }
+
+    /// Returns a compacted copy containing only inputs and logic nodes
+    /// reachable from the primary outputs (dead-node elimination).
+    ///
+    /// Primary inputs are always retained so the interface is unchanged.
+    pub fn compact(&self) -> Network {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|&(_, id)| id).collect();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut live[id.0 as usize], true) {
+                continue;
+            }
+            stack.extend(self.fanins(id).iter().copied());
+        }
+        let mut out = Network::new(self.model.clone());
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        // Inputs first, preserving order.
+        for id in self.node_ids() {
+            if self.is_input(id) {
+                let new = out
+                    .add_input(self.name(id).to_string())
+                    .expect("names unique in source network");
+                map.insert(id, new);
+            }
+        }
+        // Logic nodes in topological order so fanins exist before use.
+        let order = self.topo_order().expect("source network is acyclic");
+        for id in order {
+            if self.is_input(id) || !live[id.0 as usize] {
+                continue;
+            }
+            if let NodeKind::Logic { fanins, sop } = self.kind(id) {
+                let new_fanins: Vec<NodeId> = fanins.iter().map(|f| map[f]).collect();
+                let new = out
+                    .add_node(self.name(id).to_string(), new_fanins, sop.clone())
+                    .expect("validated in source network");
+                map.insert(id, new);
+            }
+        }
+        for (name, id) in &self.outputs {
+            out.add_output(name.clone(), map[id]).expect("unique output names");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+        )
+    }
+
+    /// f = (a·b) ∨ c, built as g = a·b; f = g ∨ c.
+    fn two_level_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g = net
+            .add_node("g", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node("f", vec![g, c], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        (net, g, f)
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let (net, _, _) = two_level_net();
+        assert_eq!(net.num_inputs(), 3);
+        assert_eq!(net.num_logic_nodes(), 2);
+        assert_eq!(net.eval(&[true, true, false]).unwrap(), vec![true]);
+        assert_eq!(net.eval(&[true, false, false]).unwrap(), vec![false]);
+        assert_eq!(net.eval(&[false, false, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut net = Network::new("t");
+        net.add_input("a").unwrap();
+        assert!(matches!(
+            net.add_input("a"),
+            Err(LogicError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn sop_var_out_of_range_rejected() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let r = net.add_node("f", vec![a], sop(&[&[(1, true)]]));
+        assert!(matches!(r, Err(LogicError::InvalidNode(_))));
+    }
+
+    #[test]
+    fn duplicate_fanin_rejected() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let r = net.add_node("f", vec![a, a], sop(&[&[(0, true), (1, true)]]));
+        assert!(matches!(r, Err(LogicError::InvalidNode(_))));
+    }
+
+    #[test]
+    fn cycle_rejected_by_set_function() {
+        let (mut net, g, f) = two_level_net();
+        let r = net.set_function(g, vec![f], sop(&[&[(0, true)]]));
+        assert_eq!(r, Err(LogicError::Cycle));
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (net, g, f) = two_level_net();
+        let levels = net.levels().unwrap();
+        assert_eq!(levels[g.0 as usize], 1);
+        assert_eq!(levels[f.0 as usize], 2);
+        assert_eq!(net.depth().unwrap(), 2);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let (net, g, f) = two_level_net();
+        let counts = net.fanout_counts();
+        assert_eq!(counts[g.0 as usize], 1);
+        assert_eq!(counts[f.0 as usize], 1); // the PO reference
+    }
+
+    #[test]
+    fn inline_fanin_preserves_function() {
+        let (mut net, _, f) = two_level_net();
+        // Inline g into f: f = a·b ∨ c directly.
+        net.inline_fanin(f, 0).unwrap();
+        assert_eq!(net.fanins(f).len(), 3);
+        for m in 0..8u32 {
+            let assign = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            let expect = (assign[0] && assign[1]) || assign[2];
+            assert_eq!(net.eval(&assign).unwrap(), vec![expect], "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn inline_negative_literal_uses_complement() {
+        // f = ḡ where g = a·b ⇒ f = ā ∨ b̄.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net
+            .add_node("g", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net.add_node("f", vec![g], sop(&[&[(0, false)]])).unwrap();
+        net.add_output("f", f).unwrap();
+        net.inline_fanin(f, 0).unwrap();
+        for m in 0..4u32 {
+            let assign = [(m & 1) != 0, (m & 2) != 0];
+            let expect = !(assign[0] && assign[1]);
+            assert_eq!(net.eval(&assign).unwrap(), vec![expect], "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn compact_removes_dead_nodes() {
+        let (mut net, _, f) = two_level_net();
+        let a = net.find("a").unwrap();
+        net.add_node("dead", vec![a], sop(&[&[(0, false)]])).unwrap();
+        assert_eq!(net.num_logic_nodes(), 3);
+        let c = net.compact();
+        assert_eq!(c.num_logic_nodes(), 2);
+        assert_eq!(c.num_inputs(), 3);
+        let _ = f;
+        assert_eq!(
+            c.eval(&[true, true, false]).unwrap(),
+            net.eval(&[true, true, false]).unwrap()
+        );
+    }
+
+    #[test]
+    fn topo_order_visits_fanins_first() {
+        let (net, _, _) = two_level_net();
+        let order = net.topo_order().unwrap();
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for id in net.node_ids() {
+            for &fin in net.fanins(id) {
+                assert!(pos[&fin] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let (net, _, _) = two_level_net();
+        let n = net.fresh_name("g");
+        assert!(net.find(&n).is_none());
+    }
+}

@@ -1,0 +1,930 @@
+//! Multi-level network optimization scripts.
+//!
+//! These passes stand in for the SIS scripts the paper runs before
+//! synthesis: [`script_algebraic`] (the input to TELS proper) and
+//! [`script_boolean`] (the input to the one-to-one mapping baseline), plus
+//! the [`decompose`] pass that turns a network into simple AND/OR/NOT gates
+//! with a fanin bound.
+//!
+//! All passes preserve network function; the integration test suite checks
+//! this by equivalence after every script.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::cube::{Cube, Var};
+use crate::error::LogicError;
+use crate::factor::{divide, kernels};
+use crate::network::{Network, NodeId, NodeKind};
+use crate::sop::Sop;
+
+/// Tuning knobs for the optimization scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptOptions {
+    /// Maximum kernel-extraction rounds.
+    pub max_extract_rounds: usize,
+    /// Maximum kernels enumerated per node per round.
+    pub max_kernels_per_node: usize,
+    /// Nodes with more cubes than this are skipped during kerneling.
+    pub max_cubes_for_kernels: usize,
+    /// Maximum divisor candidates evaluated per round.
+    pub max_candidates_per_round: usize,
+    /// Skip cube-blowup-prone eliminations past this many result literals.
+    pub max_elim_literals: usize,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions {
+            max_extract_rounds: 200,
+            max_kernels_per_node: 60,
+            max_cubes_for_kernels: 40,
+            max_candidates_per_round: 400,
+            max_elim_literals: 120,
+        }
+    }
+}
+
+/// Reads a node's SOP remapped into the *global* variable space, where
+/// `Var(i)` denotes the node with `NodeId(i)`.
+pub fn global_sop(net: &Network, id: NodeId) -> Sop {
+    match net.kind(id) {
+        NodeKind::Input => Sop::literal(Var(id.0), true),
+        NodeKind::Logic { fanins, sop } => {
+            let map: Vec<Var> = fanins.iter().map(|f| Var(f.0)).collect();
+            sop.remap(&map)
+        }
+    }
+}
+
+/// Writes a node function given in the global variable space, deriving the
+/// fanin list from the SOP support.
+///
+/// # Errors
+///
+/// Propagates [`Network::set_function`] validation (including cycle checks).
+pub fn set_global_sop(net: &mut Network, id: NodeId, sop: &Sop) -> Result<(), LogicError> {
+    let support = sop.support();
+    let fanins: Vec<NodeId> = support.iter().map(|v| NodeId(v.0)).collect();
+    let mut map = vec![Var(0); (support.max_var().map_or(0, |v| v.0) + 1) as usize];
+    for (i, v) in support.iter().enumerate() {
+        map[v.0 as usize] = Var(i as u32);
+    }
+    let local = sop.remap(&map);
+    net.set_function(id, fanins, local)
+}
+
+fn users_of(net: &Network) -> Vec<Vec<NodeId>> {
+    let mut users: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_ids().count()];
+    for id in net.node_ids() {
+        for &f in net.fanins(id) {
+            users[f.0 as usize].push(id);
+        }
+    }
+    users
+}
+
+fn drives_output(net: &Network) -> Vec<bool> {
+    let mut po = vec![false; net.node_ids().count()];
+    for (_, id) in net.outputs() {
+        po[id.0 as usize] = true;
+    }
+    po
+}
+
+/// Removes constant and buffer nodes by inlining them into their users.
+///
+/// Nodes that drive primary outputs are kept (the output needs a driver).
+/// Returns the number of inlined uses.
+pub fn sweep(net: &mut Network) -> usize {
+    let mut total = 0;
+    loop {
+        let users = users_of(net);
+        let mut changed = 0;
+        for victim in net.node_ids().collect::<Vec<_>>() {
+            if net.is_input(victim) {
+                continue;
+            }
+            let sop = net.sop(victim);
+            let trivial = sop.is_zero()
+                || sop.is_one()
+                || (sop.num_cubes() == 1 && sop.cubes()[0].literal_count() == 1);
+            if !trivial {
+                continue;
+            }
+            for &user in &users[victim.0 as usize] {
+                // The fanin list may have changed since `users` was computed.
+                if let Some(pos) = net.fanins(user).iter().position(|&f| f == victim) {
+                    if net.inline_fanin(user, pos).is_ok() {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        total += changed;
+        if changed == 0 {
+            return total;
+        }
+    }
+}
+
+/// Two-level minimization of every node function.
+pub fn simplify(net: &mut Network) {
+    for id in net.node_ids().collect::<Vec<_>>() {
+        if net.is_input(id) {
+            continue;
+        }
+        let minimized = net.sop(id).minimize();
+        let fanins = net.fanins(id).to_vec();
+        // Minimization can drop variables; route through the global space to
+        // refresh the fanin list.
+        let map: Vec<Var> = fanins.iter().map(|f| Var(f.0)).collect();
+        let global = minimized.remap(&map);
+        set_global_sop(net, id, &global).expect("minimized function is valid");
+    }
+}
+
+/// Inlines nodes whose elimination does not grow the network by more than
+/// `threshold` literals (SIS `eliminate`). Returns eliminated node count.
+pub fn eliminate(net: &mut Network, threshold: isize, opts: &OptOptions) -> usize {
+    let mut removed = 0;
+    loop {
+        let users = users_of(net);
+        let po = drives_output(net);
+        let mut progress = false;
+        for victim in net.node_ids().collect::<Vec<_>>() {
+            if net.is_input(victim) || po[victim.0 as usize] {
+                continue;
+            }
+            let uses: Vec<NodeId> = users[victim.0 as usize]
+                .iter()
+                .copied()
+                .filter(|&u| net.fanins(u).contains(&victim))
+                .collect();
+            if uses.is_empty() {
+                continue;
+            }
+            let victim_global = global_sop(net, victim);
+            let victim_lits = victim_global.num_literals();
+            // Tentatively substitute into every user and measure.
+            let mut new_sops: Vec<(NodeId, Sop)> = Vec::with_capacity(uses.len());
+            let mut delta: isize = -(victim_lits as isize);
+            let mut abort = false;
+            for &u in &uses {
+                let old = global_sop(net, u);
+                let new = old.substitute(Var(victim.0), &victim_global);
+                if new.num_literals() > opts.max_elim_literals {
+                    abort = true;
+                    break;
+                }
+                delta += new.num_literals() as isize - old.num_literals() as isize;
+                new_sops.push((u, new));
+            }
+            if abort || delta > threshold {
+                continue;
+            }
+            let mut committed = true;
+            for (u, sop) in new_sops {
+                if set_global_sop(net, u, &sop).is_err() {
+                    committed = false;
+                    break;
+                }
+            }
+            if committed {
+                removed += 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            return removed;
+        }
+    }
+}
+
+/// Canonical key of an SOP for candidate deduplication.
+fn canon_key(s: &Sop) -> Vec<Cube> {
+    let mut cubes = s.cubes().to_vec();
+    cubes.sort();
+    cubes
+}
+
+/// A rarest literal of the divisor, used to pre-filter candidate nodes.
+fn filter_literal(d: &Sop) -> Option<(Var, bool)> {
+    d.cubes().first().and_then(|c| c.literals().next())
+}
+
+/// Greedy kernel- and cube-extraction (SIS `fx`/`gkx`). Returns the number
+/// of new divisor nodes created.
+pub fn extract(net: &mut Network, opts: &OptOptions) -> usize {
+    let mut created = 0;
+    for _round in 0..opts.max_extract_rounds {
+        let logic_nodes: Vec<NodeId> = net
+            .node_ids()
+            .filter(|&id| !net.is_input(id))
+            .collect();
+        // Literal → nodes whose cover contains it (for candidate filtering).
+        let mut lit_index: HashMap<(Var, bool), Vec<NodeId>> = HashMap::new();
+        let mut globals: HashMap<NodeId, Sop> = HashMap::new();
+        for &id in &logic_nodes {
+            let g = global_sop(net, id);
+            for c in g.cubes() {
+                for lit in c.literals() {
+                    let entry = lit_index.entry(lit).or_default();
+                    if entry.last() != Some(&id) {
+                        entry.push(id);
+                    }
+                }
+            }
+            globals.insert(id, g);
+        }
+
+        // Candidate divisors: kernels of each node, plus common cubes of
+        // intra-node cube pairs. A BTreeMap keeps candidate evaluation order
+        // deterministic across runs.
+        let mut candidates: BTreeMap<Vec<Cube>, Sop> = BTreeMap::new();
+        for &id in &logic_nodes {
+            let g = &globals[&id];
+            if g.num_cubes() > opts.max_cubes_for_kernels {
+                continue;
+            }
+            for k in kernels(g, opts.max_kernels_per_node) {
+                if k.num_cubes() >= 2 {
+                    candidates.entry(canon_key(&k)).or_insert(k);
+                }
+            }
+            // Intra-node cube intersections with ≥ 2 literals.
+            let cubes = g.cubes();
+            for i in 0..cubes.len().min(30) {
+                for j in i + 1..cubes.len().min(30) {
+                    let mut pos = cubes[i].positive_vars().clone();
+                    pos.intersect_with(cubes[j].positive_vars());
+                    let mut neg = cubes[i].negative_vars().clone();
+                    neg.intersect_with(cubes[j].negative_vars());
+                    if pos.len() + neg.len() >= 2 {
+                        let c = Cube::from_literals(
+                            pos.iter()
+                                .map(|v| (v, true))
+                                .chain(neg.iter().map(|v| (v, false))),
+                        );
+                        let s = Sop::from_cubes([c]);
+                        candidates.entry(canon_key(&s)).or_insert(s);
+                    }
+                }
+            }
+            if candidates.len() > opts.max_candidates_per_round * 4 {
+                break;
+            }
+        }
+
+        // Evaluate candidates: literal savings over all divisible nodes.
+        type Rewrite = (NodeId, Sop, Sop);
+        let mut best: Option<(isize, Sop, Vec<Rewrite>)> = None;
+        for (_, d) in candidates.into_iter().take(opts.max_candidates_per_round) {
+            let d_lits = d.num_literals();
+            let Some(flit) = filter_literal(&d) else { continue };
+            let Some(nodes) = lit_index.get(&flit) else { continue };
+            let mut value: isize = -(d_lits as isize) - 1;
+            let mut rewrites: Vec<(NodeId, Sop, Sop)> = Vec::new();
+            for &id in nodes {
+                let g = &globals[&id];
+                let (q, r) = divide(g, &d);
+                if q.is_zero() {
+                    continue;
+                }
+                let new_lits = q.num_literals() + q.num_cubes() + r.num_literals();
+                let saving = g.num_literals() as isize - new_lits as isize;
+                if saving > 0 {
+                    value += saving;
+                    rewrites.push((id, q, r));
+                }
+            }
+            if rewrites.is_empty() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(bv, _, _)| value > *bv) {
+                best = Some((value, d, rewrites));
+            }
+        }
+
+        let Some((value, d, rewrites)) = best else {
+            return created;
+        };
+        if value <= 0 {
+            return created;
+        }
+
+        // Materialize the divisor as a new node and rewrite the users.
+        let name = net.fresh_name("ext");
+        let new_id = {
+            let support = d.support();
+            let fanins: Vec<NodeId> = support.iter().map(|v| NodeId(v.0)).collect();
+            let mut map = vec![Var(0); (support.max_var().map_or(0, |v| v.0) + 1) as usize];
+            for (i, v) in support.iter().enumerate() {
+                map[v.0 as usize] = Var(i as u32);
+            }
+            net.add_node(name, fanins, d.remap(&map))
+                .expect("fresh divisor node is valid")
+        };
+        let mut applied = false;
+        for (id, q, r) in rewrites {
+            let new_lit = Sop::literal(Var(new_id.0), true);
+            let rebuilt = q.and(&new_lit).or(&r);
+            if set_global_sop(net, id, &rebuilt).is_ok() {
+                applied = true;
+            }
+        }
+        if !applied {
+            return created;
+        }
+        created += 1;
+    }
+    created
+}
+
+/// Structural hashing: merges logic nodes with identical fanins and covers
+/// (and, transitively, cones that become identical after earlier merges).
+/// Returns the number of nodes merged away.
+///
+/// Node functions are compared on their canonical (sorted-cube, global
+/// variable) form, so reordered fanin lists still merge.
+pub fn strash(net: &mut Network) -> usize {
+    let mut merged = 0;
+    loop {
+        let mut seen: HashMap<Vec<Cube>, NodeId> = HashMap::new();
+        let mut progress = false;
+        let order = match net.topo_order() {
+            Ok(o) => o,
+            Err(_) => return merged, // cyclic networks are left untouched
+        };
+        for id in order {
+            if net.is_input(id) {
+                continue;
+            }
+            let key = canon_key(&global_sop(net, id));
+            match seen.get(&key) {
+                None => {
+                    seen.insert(key, id);
+                }
+                Some(&keeper) => {
+                    // Rewire every user of `id` to `keeper`, then re-point
+                    // any outputs. The duplicate becomes dead and is removed
+                    // by the caller's compact().
+                    let users: Vec<NodeId> = net
+                        .node_ids()
+                        .filter(|&u| net.fanins(u).contains(&id))
+                        .collect();
+                    let drives_po = net.outputs().iter().any(|&(_, n)| n == id);
+                    if users.is_empty() && !drives_po {
+                        // Already dead: nothing to rewire, and counting it
+                        // as a merge would loop forever.
+                        continue;
+                    }
+                    let mut ok = true;
+                    for u in users {
+                        let rebuilt = global_sop(net, u)
+                            .substitute(Var(id.0), &Sop::literal(Var(keeper.0), true));
+                        if set_global_sop(net, u, &rebuilt).is_err() {
+                            ok = false;
+                        }
+                    }
+                    if ok {
+                        let po_names: Vec<String> = net
+                            .outputs()
+                            .iter()
+                            .filter(|(_, n)| *n == id)
+                            .map(|(name, _)| name.clone())
+                            .collect();
+                        for name in po_names {
+                            net.set_output(&name, keeper).expect("existing output");
+                        }
+                        merged += 1;
+                        progress = true;
+                    }
+                }
+            }
+        }
+        if !progress {
+            return merged;
+        }
+    }
+}
+
+/// Algebraic resubstitution: rewrites node covers in terms of existing
+/// nodes when that saves literals. Returns the number of rewrites.
+pub fn resubstitute(net: &mut Network) -> usize {
+    let mut rewrites = 0;
+    let logic_nodes: Vec<NodeId> = net
+        .node_ids()
+        .filter(|&id| !net.is_input(id))
+        .collect();
+    for &d in &logic_nodes {
+        let d_global = global_sop(net, d);
+        if d_global.num_cubes() < 1 || d_global.num_literals() < 2 {
+            continue;
+        }
+        for &f in &logic_nodes {
+            if f == d {
+                continue;
+            }
+            let f_global = global_sop(net, f);
+            // Skip if f already uses d.
+            if f_global.support().contains(Var(d.0)) {
+                continue;
+            }
+            let (q, r) = divide(&f_global, &d_global);
+            if q.is_zero() {
+                continue;
+            }
+            let new_lits = q.num_literals() + q.num_cubes() + r.num_literals();
+            if new_lits >= f_global.num_literals() {
+                continue;
+            }
+            let rebuilt = q.and(&Sop::literal(Var(d.0), true)).or(&r);
+            // set_function rejects cycles, so an invalid d (in f's fanout
+            // cone) is skipped automatically.
+            if set_global_sop(net, f, &rebuilt).is_ok() {
+                rewrites += 1;
+            }
+        }
+    }
+    rewrites
+}
+
+/// The SIS `script.algebraic` equivalent: sweep, simplify, eliminate,
+/// kernel/cube extraction, resubstitution, final cleanup.
+///
+/// The result is an algebraically-factored network — the required input form
+/// for TELS synthesis (§V).
+pub fn script_algebraic(net: &Network) -> Network {
+    script_algebraic_with(net, &OptOptions::default())
+}
+
+/// [`script_algebraic`] with explicit tuning options.
+///
+/// The pass sequence mirrors SIS's `script.algebraic`:
+/// `sweep; eliminate -1; simplify; eliminate -1; sweep; eliminate 5;
+/// simplify; resub; fx; resub; sweep; eliminate -1; sweep; full_simplify`.
+pub fn script_algebraic_with(net: &Network, opts: &OptOptions) -> Network {
+    let mut n = net.compact();
+    sweep(&mut n);
+    eliminate(&mut n, -1, opts);
+    simplify(&mut n);
+    eliminate(&mut n, -1, opts);
+    sweep(&mut n);
+    eliminate(&mut n, 5, opts);
+    simplify(&mut n);
+    resubstitute(&mut n);
+    extract(&mut n, opts);
+    resubstitute(&mut n);
+    strash(&mut n);
+    sweep(&mut n);
+    eliminate(&mut n, -1, opts);
+    sweep(&mut n);
+    simplify(&mut n);
+    n.compact()
+}
+
+/// The SIS `script.boolean` equivalent: the algebraic script plus an extra
+/// eliminate/simplify round with a positive growth allowance.
+///
+/// Used to prepare the one-to-one mapping baseline network (§VI-A).
+pub fn script_boolean(net: &Network) -> Network {
+    script_boolean_with(net, &OptOptions::default())
+}
+
+/// [`script_boolean`] with explicit tuning options.
+///
+/// The final eliminate/simplify rounds coarsen node granularity the way
+/// SIS's `full_simplify` does: node covers grow back to multi-fanin
+/// functions, leaving the fanin restriction to mapping-time decomposition
+/// (which is what makes the one-to-one gate count sensitive to the fanin
+/// restriction, Fig. 10).
+pub fn script_boolean_with(net: &Network, opts: &OptOptions) -> Network {
+    let mut n = script_algebraic_with(net, opts);
+    eliminate(&mut n, 10, opts);
+    simplify(&mut n);
+    eliminate(&mut n, 5, opts);
+    simplify(&mut n);
+    sweep(&mut n);
+    n.compact()
+}
+
+/// Decomposes a network into simple AND/OR/NOT gates with at most
+/// `max_fanin` inputs per gate (SIS technology decomposition).
+///
+/// Inverters are shared per signal. This is the gate-level network whose
+/// gates the one-to-one baseline replaces with threshold gates.
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+pub fn decompose(net: &Network, max_fanin: usize) -> Network {
+    assert!(max_fanin >= 2, "decomposition needs fanin of at least 2");
+    let mut out = Network::new(net.model().to_string());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut inverters: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in net.inputs() {
+        let new = out
+            .add_input(net.name(id).to_string())
+            .expect("unique names");
+        map.insert(id, new);
+    }
+    let order = net.topo_order().expect("acyclic input network");
+
+    fn tree(
+        out: &mut Network,
+        mut signals: Vec<NodeId>,
+        or: bool,
+        max_fanin: usize,
+        name_hint: Option<&str>,
+    ) -> NodeId {
+        debug_assert!(!signals.is_empty());
+        while signals.len() > 1 || name_hint.is_some() {
+            let take = signals.len().min(max_fanin);
+            let group: Vec<NodeId> = signals.drain(..take).collect();
+            let sop = if or {
+                Sop::from_cubes(
+                    (0..group.len()).map(|i| Cube::from_literals([(Var(i as u32), true)])),
+                )
+            } else {
+                Sop::from_cubes([Cube::from_literals(
+                    (0..group.len()).map(|i| (Var(i as u32), true)),
+                )])
+            };
+            let last = signals.is_empty();
+            let name = if last {
+                match name_hint {
+                    Some(n) => n.to_string(),
+                    None => out.fresh_name(if or { "or" } else { "and" }),
+                }
+            } else {
+                out.fresh_name(if or { "or" } else { "and" })
+            };
+            let gate = out.add_node(name, group, sop).expect("fresh gate");
+            if last {
+                return gate;
+            }
+            signals.push(gate);
+        }
+        signals[0]
+    }
+
+    for id in order {
+        let NodeKind::Logic { fanins, sop } = net.kind(id) else {
+            continue;
+        };
+        let name = net.name(id).to_string();
+        // Constant nodes become constant gates directly.
+        if sop.is_zero() || sop.is_one() {
+            let gate = out
+                .add_node(name, Vec::new(), sop.clone())
+                .expect("constant gate");
+            map.insert(id, gate);
+            continue;
+        }
+        // Single-literal nodes become a named buffer/inverter directly
+        // (avoiding a shared inverter plus a redundant buffer).
+        if sop.num_cubes() == 1 && sop.cubes()[0].literal_count() == 1 {
+            let (v, phase) = sop.cubes()[0].literals().next().expect("one literal");
+            let src = map[&fanins[v.0 as usize]];
+            let gate = out
+                .add_node(name, vec![src], Sop::literal(Var(0), phase))
+                .expect("fresh buffer/inverter");
+            if !phase {
+                inverters.entry(src).or_insert(gate);
+            }
+            map.insert(id, gate);
+            continue;
+        }
+        // Literal signals (with shared inverters).
+        let mut literal_signal = |out: &mut Network, v: Var, phase: bool| -> NodeId {
+            let src = map[&fanins[v.0 as usize]];
+            if phase {
+                src
+            } else {
+                *inverters.entry(src).or_insert_with(|| {
+                    let n = out.fresh_name("inv");
+                    out.add_node(n, vec![src], Sop::literal(Var(0), false))
+                        .expect("fresh inverter")
+                })
+            }
+        };
+        let mut cube_signals = Vec::with_capacity(sop.num_cubes());
+        let single_cube = sop.num_cubes() == 1;
+        for cube in sop.cubes() {
+            let lits: Vec<NodeId> = cube
+                .literals()
+                .map(|(v, phase)| literal_signal(&mut out, v, phase))
+                .collect();
+            if lits.len() == 1 {
+                cube_signals.push(lits[0]);
+            } else {
+                let hint = if single_cube { Some(name.as_str()) } else { None };
+                cube_signals.push(tree(&mut out, lits, false, max_fanin, hint));
+            }
+        }
+        let root = if cube_signals.len() == 1 {
+            let sig = cube_signals[0];
+            if out.find(&name).is_none() {
+                // The node reduced to a wire (e.g. a buffer of a mapped
+                // signal); emit a named buffer so outputs keep their names.
+                out.add_node(name.clone(), vec![sig], Sop::literal(Var(0), true))
+                    .expect("fresh buffer")
+            } else {
+                sig
+            }
+        } else {
+            tree(&mut out, cube_signals, true, max_fanin, Some(&name))
+        };
+        map.insert(id, root);
+    }
+    for (po, id) in net.outputs() {
+        let target = map[id];
+        out.add_output(po.clone(), target).expect("unique outputs");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{check_equivalence, EquivOptions};
+
+    fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+        )
+    }
+
+    /// f = a·c ∨ a·d ∨ b·c ∨ b·d ∨ e and g = a·c ∨ a·d (shared kernels).
+    fn extraction_net() -> Network {
+        let mut net = Network::new("x");
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| net.add_input(*n).unwrap())
+            .collect();
+        let f = net
+            .add_node(
+                "f",
+                ids.clone(),
+                sop(&[
+                    &[(0, true), (2, true)],
+                    &[(0, true), (3, true)],
+                    &[(1, true), (2, true)],
+                    &[(1, true), (3, true)],
+                    &[(4, true)],
+                ]),
+            )
+            .unwrap();
+        let g = net
+            .add_node(
+                "g",
+                vec![ids[0], ids[2], ids[3]],
+                sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+            )
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        net
+    }
+
+    fn assert_equiv(a: &Network, b: &Network) {
+        let r = check_equivalence(a, b, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent(), "networks differ: {r:?}");
+    }
+
+    #[test]
+    fn global_sop_round_trip() {
+        let net = extraction_net();
+        let f = net.find("f").unwrap();
+        let g = global_sop(&net, f);
+        let mut net2 = net.clone();
+        set_global_sop(&mut net2, f, &g).unwrap();
+        assert_equiv(&net, &net2);
+    }
+
+    #[test]
+    fn sweep_removes_buffers() {
+        let mut net = Network::new("s");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let buf = net.add_node("buf", vec![a], Sop::literal(Var(0), true)).unwrap();
+        let f = net
+            .add_node("f", vec![buf, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        let before = net.clone();
+        sweep(&mut net);
+        let swept = net.compact();
+        assert_eq!(swept.num_logic_nodes(), 1);
+        assert_equiv(&before, &swept);
+    }
+
+    #[test]
+    fn sweep_propagates_constants() {
+        let mut net = Network::new("s");
+        let a = net.add_input("a").unwrap();
+        let one = net.add_node("one", Vec::new(), Sop::one()).unwrap();
+        let f = net
+            .add_node("f", vec![a, one], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        sweep(&mut net);
+        let c = net.compact();
+        assert_eq!(c.num_logic_nodes(), 1);
+        assert_eq!(c.eval(&[true]).unwrap(), vec![true]);
+        assert_eq!(c.eval(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn eliminate_inlines_cheap_nodes() {
+        let mut net = Network::new("e");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let t = net
+            .add_node("t", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node("f", vec![t, c], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        let before = net.clone();
+        let n = eliminate(&mut net, 0, &OptOptions::default());
+        assert_eq!(n, 1);
+        let after = net.compact();
+        assert_eq!(after.num_logic_nodes(), 1);
+        assert_equiv(&before, &after);
+    }
+
+    #[test]
+    fn extract_finds_shared_kernel() {
+        let mut net = extraction_net();
+        let before = net.clone();
+        let created = extract(&mut net, &OptOptions::default());
+        assert!(created >= 1, "expected at least one divisor");
+        assert_equiv(&before, &net);
+        assert!(net.num_literals() < before.num_literals());
+    }
+
+    #[test]
+    fn resubstitute_reuses_nodes() {
+        // g = c ∨ d exists; f = a·c ∨ a·d should be rewritten as a·g.
+        let mut net = Network::new("r");
+        let a = net.add_input("a").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let g = net
+            .add_node("g", vec![c, d], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node(
+                "f",
+                vec![a, c, d],
+                sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+            )
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let before = net.clone();
+        let n = resubstitute(&mut net);
+        assert_eq!(n, 1);
+        assert_equiv(&before, &net);
+        assert_eq!(net.fanins(f), &[a, g]);
+    }
+
+    #[test]
+    fn script_algebraic_preserves_function() {
+        let net = extraction_net();
+        let opt = script_algebraic(&net);
+        assert_equiv(&net, &opt);
+        assert!(opt.num_literals() <= net.num_literals());
+    }
+
+    #[test]
+    fn script_boolean_preserves_function() {
+        let net = extraction_net();
+        let opt = script_boolean(&net);
+        assert_equiv(&net, &opt);
+    }
+
+    #[test]
+    fn decompose_bounds_fanin() {
+        let net = extraction_net();
+        for k in 2..=4 {
+            let dec = decompose(&net, k);
+            assert_equiv(&net, &dec);
+            for id in dec.node_ids() {
+                assert!(dec.fanins(id).len() <= k, "gate exceeds fanin {k}");
+            }
+            // Every gate is AND, OR, NOT, or a constant.
+            for id in dec.node_ids() {
+                if dec.is_input(id) {
+                    continue;
+                }
+                let s = dec.sop(id);
+                let fanin_count = dec.fanins(id).len();
+                let is_and = s.num_cubes() == 1
+                    && s.cubes()[0].negative_vars().is_empty()
+                    && s.cubes()[0].literal_count() == fanin_count;
+                let is_or = s.num_cubes() == fanin_count
+                    && s.cubes().iter().all(|c| {
+                        c.literal_count() == 1 && c.negative_vars().is_empty()
+                    });
+                let is_not = fanin_count == 1
+                    && s.num_cubes() == 1
+                    && s.cubes()[0].positive_vars().is_empty()
+                    && s.cubes()[0].literal_count() == 1;
+                let is_const = fanin_count == 0;
+                assert!(
+                    is_and || is_or || is_not || is_const,
+                    "node {} is not a simple gate: {s}",
+                    dec.name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strash_merges_duplicate_nodes() {
+        let mut net = Network::new("dup");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g1 = net
+            .add_node("g1", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        // Same function, fanins listed in the other order.
+        let g2 = net
+            .add_node("g2", vec![b, a], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node("f", vec![g1, g2], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g2", g2).unwrap();
+        let before = net.clone();
+        let merged = strash(&mut net);
+        assert_eq!(merged, 1);
+        assert_equiv(&before, &net);
+        let compacted = net.compact();
+        assert_eq!(compacted.num_logic_nodes(), 2);
+    }
+
+    #[test]
+    fn strash_cascades_through_cones() {
+        // Two structurally identical 2-level cones merge completely.
+        let mut net = Network::new("cones");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let t1 = net
+            .add_node("t1", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let t2 = net
+            .add_node("t2", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node("f", vec![t1, c], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        let g = net
+            .add_node("g", vec![t2, c], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let before = net.clone();
+        let merged = strash(&mut net);
+        assert_eq!(merged, 2, "t2 merges into t1, then g into f");
+        assert_equiv(&before, &net);
+        assert_eq!(net.compact().num_logic_nodes(), 2);
+    }
+
+    #[test]
+    fn decompose_shares_inverters() {
+        // f = ā·b, g = ā·c — one inverter for a.
+        let mut net = Network::new("i");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let f = net
+            .add_node("f", vec![a, b], sop(&[&[(0, false), (1, true)]]))
+            .unwrap();
+        let g = net
+            .add_node("g", vec![a, c], sop(&[&[(0, false), (1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let dec = decompose(&net, 4);
+        assert_equiv(&net, &dec);
+        let inverter_count = dec
+            .node_ids()
+            .filter(|&id| {
+                !dec.is_input(id)
+                    && dec.fanins(id).len() == 1
+                    && dec.sop(id).cubes().len() == 1
+                    && dec.sop(id).cubes()[0].positive_vars().is_empty()
+            })
+            .count();
+        assert_eq!(inverter_count, 1);
+    }
+}

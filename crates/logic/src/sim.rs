@@ -1,0 +1,375 @@
+//! 64-way packed simulation and equivalence checking.
+//!
+//! Networks are simulated 64 input patterns at a time by evaluating node
+//! SOPs over `u64` words. Equivalence checking is exhaustive for small input
+//! counts and falls back to seeded random vectors beyond that (the paper
+//! validates synthesized networks by simulation, §VI).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::LogicError;
+use crate::network::{Network, NodeKind};
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// No differing pattern found. `exhaustive` tells whether the entire
+    /// input space was covered (a proof) or only random samples (evidence).
+    Equivalent {
+        /// `true` if all 2ⁿ patterns were simulated.
+        exhaustive: bool,
+    },
+    /// A differing input pattern, with the first mismatching output name.
+    CounterExample {
+        /// Input assignment, in the *reference* network's input order.
+        assignment: Vec<bool>,
+        /// Name of the first output that differs.
+        output: String,
+    },
+}
+
+impl EquivResult {
+    /// Whether the check found no mismatch.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivResult::Equivalent { .. })
+    }
+}
+
+/// Options controlling [`check_equivalence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivOptions {
+    /// Use exhaustive simulation when the input count is at most this.
+    pub exhaustive_limit: u32,
+    /// Number of random patterns when beyond the exhaustive limit.
+    pub random_patterns: usize,
+    /// RNG seed for the random phase.
+    pub seed: u64,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            exhaustive_limit: 14,
+            random_patterns: 4096,
+            seed: 0x7e15,
+        }
+    }
+}
+
+/// Simulates `net` on packed patterns.
+///
+/// `patterns[i]` carries the word-stream for the i-th primary input (in
+/// [`Network::inputs`] order); all streams must have equal length. Returns
+/// one word-stream per primary output, in output order.
+///
+/// # Errors
+///
+/// Returns [`LogicError::InterfaceMismatch`] on arity/length mismatch and
+/// [`LogicError::Cycle`] for cyclic networks.
+pub fn simulate(net: &Network, patterns: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, LogicError> {
+    let inputs = net.inputs();
+    if patterns.len() != inputs.len() {
+        return Err(LogicError::InterfaceMismatch(format!(
+            "expected {} input streams, got {}",
+            inputs.len(),
+            patterns.len()
+        )));
+    }
+    let words = patterns.first().map_or(0, Vec::len);
+    if patterns.iter().any(|p| p.len() != words) {
+        return Err(LogicError::InterfaceMismatch(
+            "input streams have different lengths".into(),
+        ));
+    }
+
+    let n = net.node_ids().count();
+    let mut values: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (i, &id) in inputs.iter().enumerate() {
+        values[id.0 as usize] = patterns[i].clone();
+    }
+    for id in net.topo_order()? {
+        if let NodeKind::Logic { fanins, sop } = net.kind(id) {
+            let mut out = vec![0u64; words];
+            for cube in sop.cubes() {
+                let mut acc = vec![!0u64; words];
+                for (v, phase) in cube.literals() {
+                    let src = &values[fanins[v.0 as usize].0 as usize];
+                    for (a, &s) in acc.iter_mut().zip(src) {
+                        *a &= if phase { s } else { !s };
+                    }
+                }
+                for (o, a) in out.iter_mut().zip(&acc) {
+                    *o |= a;
+                }
+            }
+            values[id.0 as usize] = out;
+        }
+    }
+    Ok(net
+        .outputs()
+        .iter()
+        .map(|(_, id)| values[id.0 as usize].clone())
+        .collect())
+}
+
+/// Generates `count` packed random patterns for `n_inputs` inputs.
+pub fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<u64>> {
+    let words = count.div_ceil(64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_inputs)
+        .map(|_| (0..words).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// Generates the exhaustive pattern set for `n_inputs ≤ 20` inputs.
+///
+/// # Panics
+///
+/// Panics if `n_inputs > 20` (the pattern set would exceed 2²⁰ rows).
+pub fn exhaustive_patterns(n_inputs: usize) -> Vec<Vec<u64>> {
+    assert!(n_inputs <= 20, "exhaustive simulation limited to 20 inputs");
+    let rows = 1usize << n_inputs;
+    let words = rows.div_ceil(64);
+    (0..n_inputs)
+        .map(|i| {
+            (0..words)
+                .map(|w| {
+                    let mut word = 0u64;
+                    for b in 0..64 {
+                        let row = w * 64 + b;
+                        if row < rows && row >> i & 1 != 0 {
+                            word |= 1 << b;
+                        }
+                    }
+                    word
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Checks functional equivalence of two networks with matching interfaces.
+///
+/// Inputs and outputs are matched **by name**; the networks may order them
+/// differently.
+///
+/// # Errors
+///
+/// Returns [`LogicError::InterfaceMismatch`] if the input or output name
+/// sets differ, or [`LogicError::Cycle`] for cyclic networks.
+pub fn check_equivalence(
+    reference: &Network,
+    candidate: &Network,
+    options: &EquivOptions,
+) -> Result<EquivResult, LogicError> {
+    let ref_inputs = reference.inputs();
+    let cand_inputs = candidate.inputs();
+    if ref_inputs.len() != cand_inputs.len() {
+        return Err(LogicError::InterfaceMismatch(format!(
+            "input counts differ: {} vs {}",
+            ref_inputs.len(),
+            cand_inputs.len()
+        )));
+    }
+    // cand_perm[j] = index into reference input order for candidate input j.
+    let cand_perm: Vec<usize> = cand_inputs
+        .iter()
+        .map(|&id| {
+            let name = candidate.name(id);
+            ref_inputs
+                .iter()
+                .position(|&rid| reference.name(rid) == name)
+                .ok_or_else(|| LogicError::InterfaceMismatch(format!("input `{name}` missing")))
+        })
+        .collect::<Result<_, _>>()?;
+    let ref_outputs = reference.outputs();
+    let out_perm: Vec<usize> = ref_outputs
+        .iter()
+        .map(|(name, _)| {
+            candidate
+                .outputs()
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| LogicError::InterfaceMismatch(format!("output `{name}` missing")))
+        })
+        .collect::<Result<_, _>>()?;
+    if candidate.outputs().len() != ref_outputs.len() {
+        return Err(LogicError::InterfaceMismatch(format!(
+            "output counts differ: {} vs {}",
+            ref_outputs.len(),
+            candidate.outputs().len()
+        )));
+    }
+
+    let n = ref_inputs.len();
+    let exhaustive = n as u32 <= options.exhaustive_limit;
+    let patterns = if exhaustive {
+        exhaustive_patterns(n)
+    } else {
+        random_patterns(n, options.random_patterns, options.seed)
+    };
+    let valid_rows = if exhaustive {
+        1usize << n
+    } else {
+        patterns.first().map_or(0, |p| p.len() * 64)
+    };
+
+    let ref_out = simulate(reference, &patterns)?;
+    let cand_patterns: Vec<Vec<u64>> =
+        cand_perm.iter().map(|&i| patterns[i].clone()).collect();
+    let cand_out = simulate(candidate, &cand_patterns)?;
+
+    for (oi, (name, _)) in ref_outputs.iter().enumerate() {
+        let r = &ref_out[oi];
+        let c = &cand_out[out_perm[oi]];
+        for (w, (&rw, &cw)) in r.iter().zip(c).enumerate() {
+            let diff = rw ^ cw;
+            if diff != 0 {
+                let bit = diff.trailing_zeros() as usize;
+                let row = w * 64 + bit;
+                if row >= valid_rows {
+                    continue;
+                }
+                let assignment = (0..n)
+                    .map(|i| patterns[i][w] >> bit & 1 != 0)
+                    .collect();
+                return Ok(EquivResult::CounterExample {
+                    assignment,
+                    output: name.clone(),
+                });
+            }
+        }
+    }
+    Ok(EquivResult::Equivalent { exhaustive })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{Cube, Var};
+    use crate::sop::Sop;
+
+    fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+        )
+    }
+
+    fn and_or_net() -> Network {
+        let mut net = Network::new("f");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g = net
+            .add_node("g", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node("f", vec![g, c], sop(&[&[(0, true)], &[(1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net
+    }
+
+    fn flat_net() -> Network {
+        let mut net = Network::new("f");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b, c],
+                sop(&[&[(0, true), (1, true)], &[(2, true)]]),
+            )
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net
+    }
+
+    #[test]
+    fn packed_simulation_matches_eval() {
+        let net = and_or_net();
+        let patterns = exhaustive_patterns(3);
+        let out = simulate(&net, &patterns).unwrap();
+        for m in 0..8usize {
+            let assign = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            let expect = net.eval(&assign).unwrap()[0];
+            assert_eq!(out[0][m / 64] >> (m % 64) & 1 != 0, expect, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn equivalent_networks() {
+        let r = check_equivalence(&and_or_net(), &flat_net(), &EquivOptions::default()).unwrap();
+        assert_eq!(r, EquivResult::Equivalent { exhaustive: true });
+    }
+
+    #[test]
+    fn counterexample_found() {
+        let mut bad = flat_net();
+        let f = bad.find("f").unwrap();
+        let fanins = bad.fanins(f).to_vec();
+        bad.set_function(f, fanins, sop(&[&[(0, true)], &[(2, true)]]))
+            .unwrap();
+        let r = check_equivalence(&and_or_net(), &bad, &EquivOptions::default()).unwrap();
+        match r {
+            EquivResult::CounterExample { assignment, output } => {
+                assert_eq!(output, "f");
+                // a=1, b=0 distinguishes a·b∨c from a∨c (with c=0).
+                assert!(assignment[0] && !assignment[1] && !assignment[2]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let mut other = Network::new("g");
+        other.add_input("x").unwrap();
+        let r = check_equivalence(&and_or_net(), &other, &EquivOptions::default());
+        assert!(matches!(r, Err(LogicError::InterfaceMismatch(_))));
+    }
+
+    #[test]
+    fn input_order_independence() {
+        // Same function, inputs declared in a different order.
+        let mut net = Network::new("f2");
+        let c = net.add_input("c").unwrap();
+        let b = net.add_input("b").unwrap();
+        let a = net.add_input("a").unwrap();
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b, c],
+                sop(&[&[(0, true), (1, true)], &[(2, true)]]),
+            )
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        let r = check_equivalence(&and_or_net(), &net, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn random_path_used_beyond_limit() {
+        let net = and_or_net();
+        let opts = EquivOptions {
+            exhaustive_limit: 1,
+            random_patterns: 256,
+            seed: 1,
+        };
+        let r = check_equivalence(&net, &flat_net(), &opts).unwrap();
+        assert_eq!(r, EquivResult::Equivalent { exhaustive: false });
+    }
+
+    #[test]
+    fn exhaustive_pattern_shape() {
+        let p = exhaustive_patterns(2);
+        assert_eq!(p.len(), 2);
+        // rows: 00 01 10 11 → input0 = 0,1,0,1 → 0b0110? bit per row.
+        assert_eq!(p[0][0] & 0xf, 0b1010);
+        assert_eq!(p[1][0] & 0xf, 0b1100);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of algebraic division and kerneling.
+
+use proptest::prelude::*;
+use tels_logic::factor::{common_cube, divide, divide_by_cube, is_cube_free, kernels};
+use tels_logic::{Cube, Sop, Var};
+
+const N: u32 = 6;
+
+fn arb_cube(n: u32) -> impl Strategy<Value = Cube> {
+    prop::collection::vec(prop::option::of(prop::bool::ANY), n as usize).prop_map(|lits| {
+        Cube::from_literals(
+            lits.into_iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.map(|p| (Var(i as u32), p))),
+        )
+    })
+}
+
+fn arb_sop(n: u32, max_cubes: usize) -> impl Strategy<Value = Sop> {
+    prop::collection::vec(arb_cube(n), 1..=max_cubes).prop_map(Sop::from_cubes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Weak division invariant: f = q·d ∨ r as functions, and the quotient
+    /// shares no support with the divisor.
+    #[test]
+    fn division_invariant(f in arb_sop(N, 6), d in arb_sop(N, 3)) {
+        let (q, r) = divide(&f, &d);
+        let rebuilt = q.and(&d).or(&r);
+        prop_assert!(rebuilt.equivalent(&f), "f={} d={} q={} r={}", f, d, q, r);
+        prop_assert!(
+            !q.support().intersects(&d.support()),
+            "quotient shares support with divisor"
+        );
+    }
+
+    /// Dividing by a single cube is exact on the cube level: every cube of
+    /// q concatenated with the divisor literals is a cube of f.
+    #[test]
+    fn cube_division_is_exact(f in arb_sop(N, 6), c in arb_cube(N)) {
+        let q = divide_by_cube(&f, &c);
+        for qc in q.cubes() {
+            let product = qc.and(&c);
+            prop_assert!(product.is_some());
+            let product = product.unwrap();
+            prop_assert!(
+                f.cubes().iter().any(|fc| fc.covers(&product)),
+                "q·c cube {} not covered by f = {}", product, f
+            );
+        }
+    }
+
+    /// The common cube divides every cube of f.
+    #[test]
+    fn common_cube_divides_all(f in arb_sop(N, 6)) {
+        let cc = common_cube(&f);
+        for c in f.cubes() {
+            prop_assert!(cc.covers(c), "common cube {} does not divide {}", cc, c);
+        }
+        // After dividing it out, the result is cube-free (or singleton).
+        if !cc.is_one() {
+            let core = divide_by_cube(&f, &cc);
+            prop_assert!(core.num_cubes() < 2 || is_cube_free(&core));
+        }
+    }
+
+    /// Every kernel is a cube-free algebraic divisor of f.
+    #[test]
+    fn kernels_are_cube_free_divisors(f in arb_sop(N, 6)) {
+        for k in kernels(&f, 200) {
+            prop_assert!(is_cube_free(&k), "kernel {} is not cube-free", k);
+            // Dividing the cube-free core of f by the kernel must give a
+            // non-empty quotient.
+            let cc = common_cube(&f);
+            let core = if cc.is_one() { f.clone() } else { divide_by_cube(&f, &cc) };
+            let (q, _) = divide(&core, &k);
+            prop_assert!(
+                !q.is_zero() || k.equivalent(&core),
+                "kernel {} does not divide the core {}", k, core
+            );
+        }
+    }
+
+    /// Dividing by the constant-1 SOP returns f itself as the quotient.
+    #[test]
+    fn divide_by_one(f in arb_sop(N, 5)) {
+        let (q, r) = divide(&f, &Sop::one());
+        prop_assert!(q.equivalent(&f));
+        prop_assert!(r.is_zero());
+    }
+}
+
+#[test]
+fn divide_by_zero_divisor() {
+    let f = Sop::from_cubes([Cube::from_literals([(Var(0), true)])]);
+    let (q, r) = divide(&f, &Sop::zero());
+    assert!(q.is_zero());
+    assert!(r.equivalent(&f));
+}
+
+#[test]
+fn kernel_budget_is_respected() {
+    // A dense function with many kernels; the budget caps the enumeration.
+    let mut cubes = Vec::new();
+    for i in 0..6u32 {
+        for j in 0..6u32 {
+            if i != j {
+                cubes.push(Cube::from_literals([
+                    (Var(i), true),
+                    (Var(j + 6), true),
+                ]));
+            }
+        }
+    }
+    let f = Sop::from_cubes(cubes);
+    let few = kernels(&f, 5);
+    let many = kernels(&f, 500);
+    assert!(few.len() <= many.len());
+    assert!(!many.is_empty());
+}

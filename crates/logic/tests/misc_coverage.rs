@@ -1,0 +1,144 @@
+//! Miscellaneous coverage: simulation helpers, option-limited optimization,
+//! and truth-table guard rails.
+
+use tels_logic::opt::{extract, OptOptions};
+use tels_logic::sim::{random_patterns, simulate};
+use tels_logic::{Cube, Network, Sop, TruthTable, Var};
+
+fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+    Sop::from_cubes(
+        cubes
+            .iter()
+            .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+    )
+}
+
+#[test]
+fn random_patterns_are_seeded_and_shaped() {
+    let a = random_patterns(4, 130, 99);
+    let b = random_patterns(4, 130, 99);
+    let c = random_patterns(4, 130, 100);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a.len(), 4);
+    // 130 patterns → 3 words.
+    assert!(a.iter().all(|stream| stream.len() == 3));
+}
+
+#[test]
+fn simulate_rejects_wrong_arity() {
+    let mut net = Network::new("m");
+    let _ = net.add_input("a").unwrap();
+    let r = simulate(&net, &[]);
+    assert!(r.is_err());
+    let r2 = simulate(&net, &[vec![0], vec![0]]);
+    assert!(r2.is_err());
+}
+
+#[test]
+fn simulate_rejects_ragged_streams() {
+    let mut net = Network::new("m");
+    let _ = net.add_input("a").unwrap();
+    let _ = net.add_input("b").unwrap();
+    let r = simulate(&net, &[vec![0, 0], vec![0]]);
+    assert!(r.is_err());
+}
+
+#[test]
+fn extract_respects_candidate_budget() {
+    // With a zero candidate budget, extraction finds nothing.
+    let mut net = Network::new("budget");
+    let a = net.add_input("a").unwrap();
+    let b = net.add_input("b").unwrap();
+    let c = net.add_input("c").unwrap();
+    let d = net.add_input("d").unwrap();
+    // f = a·(b ∨ c) and g = d·(b ∨ c): the kernel b ∨ c is shared.
+    let f = net
+        .add_node(
+            "f",
+            vec![a, b, c],
+            sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+        )
+        .unwrap();
+    let g = net
+        .add_node(
+            "g",
+            vec![d, b, c],
+            sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+        )
+        .unwrap();
+    net.add_output("f", f).unwrap();
+    net.add_output("g", g).unwrap();
+    let opts = OptOptions {
+        max_candidates_per_round: 0,
+        ..OptOptions::default()
+    };
+    let created = extract(&mut net, &opts);
+    assert_eq!(created, 0);
+    // With the default budget there is a shared divisor to find.
+    let created = extract(&mut net, &OptOptions::default());
+    assert!(created >= 1);
+}
+
+#[test]
+fn extract_round_cap_limits_work() {
+    let mut net = Network::new("rounds");
+    let inputs: Vec<_> = (0..8)
+        .map(|i| net.add_input(format!("x{i}")).unwrap())
+        .collect();
+    // Several nodes sharing pairwise products.
+    for n in 0..4 {
+        let cubes: Vec<Vec<(u32, bool)>> = (0..3)
+            .map(|k| vec![((n + k) as u32 % 8, true), ((n + k + 1) as u32 % 8, true)])
+            .collect();
+        let refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();
+        let node = net
+            .add_node(format!("n{n}"), inputs.clone(), sop(&refs))
+            .unwrap();
+        net.add_output(format!("o{n}"), node).unwrap();
+    }
+    let one_round = OptOptions {
+        max_extract_rounds: 1,
+        ..OptOptions::default()
+    };
+    let mut limited = net.clone();
+    let c1 = extract(&mut limited, &one_round);
+    assert!(c1 <= 1);
+}
+
+#[test]
+fn truth_table_row_bounds_panic() {
+    let t = TruthTable::constant(2, false);
+    assert!(std::panic::catch_unwind(|| t.bit(4)).is_err());
+}
+
+#[test]
+#[should_panic(expected = "limited")]
+fn truth_table_var_limit_enforced() {
+    let _ = TruthTable::constant(25, false);
+}
+
+#[test]
+fn truth_table_count_and_set() {
+    let mut t = TruthTable::constant(3, false);
+    t.set_bit(0, true);
+    t.set_bit(7, true);
+    assert_eq!(t.count_ones(), 2);
+    t.set_bit(0, false);
+    assert_eq!(t.count_ones(), 1);
+    assert!(t.bit(7));
+}
+
+#[test]
+fn network_set_output_repoints() {
+    let mut net = Network::new("re");
+    let a = net.add_input("a").unwrap();
+    let b = net.add_input("b").unwrap();
+    let n1 = net.add_node("n1", vec![a], sop(&[&[(0, true)]])).unwrap();
+    let n2 = net.add_node("n2", vec![b], sop(&[&[(0, true)]])).unwrap();
+    net.add_output("f", n1).unwrap();
+    assert_eq!(net.eval(&[true, false]).unwrap(), vec![true]);
+    net.set_output("f", n2).unwrap();
+    assert_eq!(net.eval(&[true, false]).unwrap(), vec![false]);
+    assert!(net.set_output("nope", n1).is_err());
+}

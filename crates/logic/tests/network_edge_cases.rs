@@ -1,0 +1,272 @@
+//! Edge-case tests for networks, optimization scripts, decomposition, and
+//! BLIF handling on degenerate inputs.
+
+use tels_logic::opt::{
+    decompose, eliminate, extract, script_algebraic, script_boolean, simplify, sweep, OptOptions,
+};
+use tels_logic::sim::{check_equivalence, simulate, EquivOptions, EquivResult};
+use tels_logic::{blif, Cube, LogicError, Network, Sop, Var};
+
+fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+    Sop::from_cubes(
+        cubes
+            .iter()
+            .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+    )
+}
+
+fn assert_equiv(a: &Network, b: &Network) {
+    let r = check_equivalence(a, b, &EquivOptions::default()).unwrap();
+    assert!(r.is_equivalent(), "{r:?}");
+}
+
+#[test]
+fn empty_network_survives_scripts() {
+    let net = Network::new("empty");
+    let opt = script_algebraic(&net);
+    assert_eq!(opt.num_logic_nodes(), 0);
+    assert_eq!(opt.num_inputs(), 0);
+}
+
+#[test]
+fn inputs_only_network() {
+    let mut net = Network::new("wires");
+    let a = net.add_input("a").unwrap();
+    net.add_output("f", a).unwrap();
+    let opt = script_algebraic(&net);
+    assert_equiv(&net, &opt);
+    let dec = decompose(&opt, 3);
+    assert_equiv(&net, &dec);
+}
+
+#[test]
+fn constant_only_outputs() {
+    let mut net = Network::new("consts");
+    let _a = net.add_input("a").unwrap();
+    let one = net.add_node("one", Vec::new(), Sop::one()).unwrap();
+    let zero = net.add_node("zero", Vec::new(), Sop::zero()).unwrap();
+    net.add_output("hi", one).unwrap();
+    net.add_output("lo", zero).unwrap();
+    for f in [script_algebraic, script_boolean] {
+        let opt = f(&net);
+        assert_eq!(opt.eval(&[false]).unwrap(), vec![true, false]);
+        assert_eq!(opt.eval(&[true]).unwrap(), vec![true, false]);
+    }
+    let dec = decompose(&net, 3);
+    assert_eq!(dec.eval(&[true]).unwrap(), vec![true, false]);
+}
+
+#[test]
+fn multiple_outputs_on_one_node() {
+    let mut net = Network::new("shared_po");
+    let a = net.add_input("a").unwrap();
+    let b = net.add_input("b").unwrap();
+    let g = net
+        .add_node("g", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+        .unwrap();
+    net.add_output("f1", g).unwrap();
+    net.add_output("f2", g).unwrap();
+    let opt = script_algebraic(&net);
+    assert_equiv(&net, &opt);
+    let dec = decompose(&opt, 2);
+    assert_equiv(&net, &dec);
+}
+
+#[test]
+fn deep_chain_optimizes_correctly() {
+    // 16-deep AND chain; eliminate/extract must keep it equivalent.
+    let mut net = Network::new("chain");
+    let mut prev = net.add_input("x0").unwrap();
+    for i in 1..16 {
+        let x = net.add_input(format!("x{i}")).unwrap();
+        let n = net
+            .add_node(
+                format!("n{i}"),
+                vec![prev, x],
+                sop(&[&[(0, true), (1, true)]]),
+            )
+            .unwrap();
+        prev = n;
+    }
+    net.add_output("f", prev).unwrap();
+    let opt = script_algebraic(&net);
+    assert_equiv(&net, &opt);
+    // The chain must shrink node-wise (eliminate merges 2-input ANDs).
+    assert!(opt.num_logic_nodes() < 15);
+}
+
+#[test]
+fn redundant_cover_simplifies() {
+    // f = a ∨ a·b ∨ ā·b ≡ a ∨ b.
+    let mut net = Network::new("red");
+    let a = net.add_input("a").unwrap();
+    let b = net.add_input("b").unwrap();
+    let f = net
+        .add_node(
+            "f",
+            vec![a, b],
+            sop(&[
+                &[(0, true)],
+                &[(0, true), (1, true)],
+                &[(0, false), (1, true)],
+            ]),
+        )
+        .unwrap();
+    net.add_output("f", f).unwrap();
+    let mut opt = net.clone();
+    simplify(&mut opt);
+    assert_equiv(&net, &opt);
+    assert_eq!(opt.sop(f).num_literals(), 2);
+}
+
+#[test]
+fn sweep_keeps_po_buffers() {
+    let mut net = Network::new("pobuf");
+    let a = net.add_input("a").unwrap();
+    let buf = net.add_node("buf", vec![a], sop(&[&[(0, true)]])).unwrap();
+    net.add_output("f", buf).unwrap();
+    sweep(&mut net);
+    // The buffer drives a PO; it must survive so the output has a driver.
+    assert_eq!(net.compact().num_logic_nodes(), 1);
+}
+
+#[test]
+fn eliminate_threshold_controls_growth() {
+    // A shared node whose elimination duplicates logic: threshold -1
+    // forbids it, a large threshold allows it.
+    let mut net = Network::new("dup");
+    let a = net.add_input("a").unwrap();
+    let b = net.add_input("b").unwrap();
+    let c = net.add_input("c").unwrap();
+    let t = net
+        .add_node("t", vec![a, b], sop(&[&[(0, true)], &[(1, true)]]))
+        .unwrap();
+    let f = net
+        .add_node("f", vec![t, c], sop(&[&[(0, true), (1, true)]]))
+        .unwrap();
+    let g = net
+        .add_node("g", vec![t, c], sop(&[&[(0, true), (1, false)]]))
+        .unwrap();
+    net.add_output("f", f).unwrap();
+    net.add_output("g", g).unwrap();
+    let opts = OptOptions::default();
+
+    let mut strict = net.clone();
+    eliminate(&mut strict, -1, &opts);
+    assert!(strict.find("t").is_some());
+    assert_equiv(&net, &strict);
+
+    let mut loose = net.clone();
+    let removed = eliminate(&mut loose, 10, &opts);
+    assert!(removed >= 1);
+    assert_equiv(&net, &loose);
+}
+
+#[test]
+fn extract_does_nothing_without_sharing() {
+    // Two unrelated AND gates: no divisor is worth extracting.
+    let mut net = Network::new("nosharing");
+    let a = net.add_input("a").unwrap();
+    let b = net.add_input("b").unwrap();
+    let c = net.add_input("c").unwrap();
+    let d = net.add_input("d").unwrap();
+    let f = net
+        .add_node("f", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+        .unwrap();
+    let g = net
+        .add_node("g", vec![c, d], sop(&[&[(0, true), (1, true)]]))
+        .unwrap();
+    net.add_output("f", f).unwrap();
+    net.add_output("g", g).unwrap();
+    let mut opt = net.clone();
+    let created = extract(&mut opt, &OptOptions::default());
+    assert_eq!(created, 0);
+}
+
+#[test]
+fn simulate_word_boundary_counts() {
+    // 65 patterns crosses the u64 boundary.
+    let mut net = Network::new("w");
+    let a = net.add_input("a").unwrap();
+    let f = net.add_node("f", vec![a], sop(&[&[(0, false)]])).unwrap();
+    net.add_output("f", f).unwrap();
+    let patterns = vec![vec![u64::MAX, 1]]; // input a = 1 for 65 patterns
+    let out = simulate(&net, &patterns).unwrap();
+    assert_eq!(out[0][0], 0);
+    assert_eq!(out[0][1] & 1, 0);
+}
+
+#[test]
+fn equivalence_detects_output_permutation_mismatch() {
+    // Same functions under swapped output names must be caught.
+    let mut a = Network::new("a");
+    let x = a.add_input("x").unwrap();
+    let y = a.add_input("y").unwrap();
+    let n1 = a.add_node("n1", vec![x, y], sop(&[&[(0, true), (1, true)]])).unwrap();
+    let n2 = a.add_node("n2", vec![x, y], sop(&[&[(0, true)], &[(1, true)]])).unwrap();
+    a.add_output("and", n1).unwrap();
+    a.add_output("or", n2).unwrap();
+
+    let mut b = Network::new("b");
+    let x = b.add_input("x").unwrap();
+    let y = b.add_input("y").unwrap();
+    let n1 = b.add_node("n1", vec![x, y], sop(&[&[(0, true), (1, true)]])).unwrap();
+    let n2 = b.add_node("n2", vec![x, y], sop(&[&[(0, true)], &[(1, true)]])).unwrap();
+    b.add_output("and", n2).unwrap(); // swapped!
+    b.add_output("or", n1).unwrap();
+
+    let r = check_equivalence(&a, &b, &EquivOptions::default()).unwrap();
+    assert!(matches!(r, EquivResult::CounterExample { .. }));
+}
+
+#[test]
+fn blif_empty_model_parses() {
+    let net = blif::parse(".model empty\n.inputs\n.outputs\n.end\n").unwrap();
+    assert_eq!(net.num_inputs(), 0);
+    assert_eq!(net.outputs().len(), 0);
+}
+
+#[test]
+fn blif_missing_names_body_is_constant_zero() {
+    let net = blif::parse(".model m\n.inputs a\n.outputs f\n.names a f\n.end\n").unwrap();
+    assert_eq!(net.eval(&[true]).unwrap(), vec![false]);
+    assert_eq!(net.eval(&[false]).unwrap(), vec![false]);
+}
+
+#[test]
+fn blif_duplicate_node_definition_rejected() {
+    let r = blif::parse(".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n");
+    assert!(matches!(r, Err(LogicError::DuplicateName(_))));
+}
+
+#[test]
+fn decompose_handles_single_input_gates() {
+    // A network that is all inverters/buffers.
+    let mut net = Network::new("inv");
+    let a = net.add_input("a").unwrap();
+    let i1 = net.add_node("i1", vec![a], sop(&[&[(0, false)]])).unwrap();
+    let i2 = net.add_node("i2", vec![i1], sop(&[&[(0, false)]])).unwrap();
+    net.add_output("f", i2).unwrap();
+    let dec = decompose(&net, 3);
+    assert_equiv(&net, &dec);
+    assert_eq!(dec.num_logic_nodes(), 2);
+}
+
+#[test]
+fn scripts_handle_wide_flat_node() {
+    // One node with 10 fanins and a dense cover.
+    let mut net = Network::new("wide");
+    let inputs: Vec<_> = (0..10)
+        .map(|i| net.add_input(format!("x{i}")).unwrap())
+        .collect();
+    let cubes: Vec<Vec<(u32, bool)>> = (0..10)
+        .map(|i| vec![(i as u32, true), ((i as u32 + 1) % 10, false)])
+        .collect();
+    let cube_refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();
+    let f = net.add_node("f", inputs, sop(&cube_refs)).unwrap();
+    net.add_output("f", f).unwrap();
+    let opt = script_algebraic(&net);
+    assert_equiv(&net, &opt);
+    let dec = decompose(&opt, 4);
+    assert_equiv(&net, &dec);
+}

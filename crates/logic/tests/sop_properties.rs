@@ -1,0 +1,150 @@
+//! Property-based tests of the cube/SOP algebra against truth-table
+//! semantics.
+
+use proptest::prelude::*;
+use tels_logic::{Cube, Sop, TruthTable, Var};
+
+const N: u32 = 5;
+
+fn arb_cube(n: u32) -> impl Strategy<Value = Cube> {
+    prop::collection::vec(prop::option::of(prop::bool::ANY), n as usize).prop_map(|lits| {
+        Cube::from_literals(
+            lits.into_iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.map(|p| (Var(i as u32), p))),
+        )
+    })
+}
+
+fn arb_sop(n: u32, max_cubes: usize) -> impl Strategy<Value = Sop> {
+    prop::collection::vec(arb_cube(n), 0..=max_cubes).prop_map(Sop::from_cubes)
+}
+
+fn tt(f: &Sop) -> TruthTable {
+    TruthTable::from_sop(f, &(0..N).map(Var).collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// OR/AND agree with pointwise truth-table semantics.
+    #[test]
+    fn or_and_match_semantics(f in arb_sop(N, 5), g in arb_sop(N, 5)) {
+        let fo = f.or(&g);
+        let fa = f.and(&g);
+        for m in 0..1usize << N {
+            let assign = |v: Var| m >> v.0 & 1 != 0;
+            prop_assert_eq!(fo.eval(assign), f.eval(assign) || g.eval(assign));
+            prop_assert_eq!(fa.eval(assign), f.eval(assign) && g.eval(assign));
+        }
+    }
+
+    /// De Morgan: (f ∨ g)' ≡ f'·g'.
+    #[test]
+    fn de_morgan(f in arb_sop(N, 4), g in arb_sop(N, 4)) {
+        let lhs = f.or(&g).complement();
+        let rhs = f.complement().and(&g.complement());
+        prop_assert!(lhs.equivalent(&rhs));
+    }
+
+    /// Double complement is the identity.
+    #[test]
+    fn double_complement(f in arb_sop(N, 5)) {
+        prop_assert!(f.complement().complement().equivalent(&f));
+    }
+
+    /// Shannon expansion: f ≡ x·f_x ∨ x̄·f_x̄.
+    #[test]
+    fn shannon_expansion(f in arb_sop(N, 5), v in 0..N) {
+        let v = Var(v);
+        let expanded = Sop::literal(v, true)
+            .and(&f.cofactor(v, true))
+            .or(&Sop::literal(v, false).and(&f.cofactor(v, false)));
+        prop_assert!(expanded.equivalent(&f));
+    }
+
+    /// Tautology checking agrees with the truth table.
+    #[test]
+    fn tautology_matches_truth_table(f in arb_sop(N, 6)) {
+        let full = tt(&f).count_ones() == 1 << N;
+        prop_assert_eq!(f.is_tautology(), full);
+    }
+
+    /// `covers_cube` agrees with minterm containment.
+    #[test]
+    fn covers_cube_matches_semantics(f in arb_sop(N, 5), c in arb_cube(N)) {
+        let covered = (0..1usize << N)
+            .filter(|&m| c.eval(|v| m >> v.0 & 1 != 0))
+            .all(|m| f.eval(|v| m >> v.0 & 1 != 0));
+        prop_assert_eq!(f.covers_cube(&c), covered);
+    }
+
+    /// `implies` is a partial order embedding of minterm-set inclusion.
+    #[test]
+    fn implies_matches_inclusion(f in arb_sop(N, 4), g in arb_sop(N, 4)) {
+        let inclusion = (0..1usize << N).all(|m| {
+            let assign = |v: Var| m >> v.0 & 1 != 0;
+            !f.eval(assign) || g.eval(assign)
+        });
+        prop_assert_eq!(f.implies(&g), inclusion);
+    }
+
+    /// SCC keeps the function and never grows the cover; it is idempotent.
+    #[test]
+    fn scc_sound_and_idempotent(f in arb_sop(N, 8)) {
+        // from_cubes already applies SCC once.
+        let g = Sop::from_cubes(f.cubes().to_vec());
+        prop_assert_eq!(g.num_cubes(), f.num_cubes());
+        prop_assert!(g.equivalent(&f));
+    }
+
+    /// Minimization yields a cover where no literal can be dropped and no
+    /// cube removed (prime and irredundant).
+    #[test]
+    fn minimize_is_prime_and_irredundant(f in arb_sop(4, 5)) {
+        let m = f.minimize();
+        // Irredundant: removing any cube changes the function.
+        for i in 0..m.num_cubes() {
+            let rest = Sop::from_cubes(
+                m.cubes().iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| c.clone()),
+            );
+            prop_assert!(!rest.equivalent(&m), "cube {i} of {m} is redundant");
+        }
+        // Prime: expanding any literal away changes the function.
+        for (i, cube) in m.cubes().iter().enumerate() {
+            for (v, _) in cube.literals() {
+                let mut cubes = m.cubes().to_vec();
+                cubes[i] = cube.without_var(v);
+                let grown = Sop::from_cubes(cubes);
+                prop_assert!(
+                    !grown.equivalent(&m) || grown.num_cubes() < m.num_cubes(),
+                    "literal {v} of cube {i} in {m} is expendable"
+                );
+            }
+        }
+    }
+
+    /// Unate covers satisfy the unate tautology property used by the
+    /// recursive algorithms: tautology iff the universal cube is present.
+    #[test]
+    fn unate_tautology_theorem(f in arb_sop(N, 6)) {
+        if f.is_unate() {
+            prop_assert_eq!(f.is_tautology(), f.is_one());
+        }
+    }
+
+    /// Syntactic unateness implies functional unateness for minimized
+    /// covers.
+    #[test]
+    fn minimized_unateness_is_functional(f in arb_sop(4, 5)) {
+        let m = f.minimize();
+        let table = TruthTable::from_sop(&m, &(0..4).map(Var).collect::<Vec<_>>());
+        if m.is_unate() {
+            prop_assert!(table.is_unate());
+        } else {
+            // A minimized (prime, irredundant) cover of a function is
+            // syntactically binate only if the function is binate.
+            prop_assert!(!table.is_unate(), "{} minimized to {} stayed binate", f, m);
+        }
+    }
+}

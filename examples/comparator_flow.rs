@@ -1,0 +1,62 @@
+//! Domain scenario: map an n-bit magnitude comparator (the paper's `comp`
+//! benchmark family) onto RTD threshold gates, sweeping the fanin
+//! restriction to find the area/delay sweet spot (§VI-B).
+//!
+//! Run with `cargo run --release --example comparator_flow`.
+
+use tels::circuits::comparator;
+use tels::logic::opt::{script_algebraic, script_boolean};
+use tels::{map_one_to_one, synthesize, TelsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 8;
+    let net = comparator(bits);
+    println!(
+        "{}-bit comparator: {} inputs, {} outputs, {} Boolean nodes",
+        bits,
+        net.num_inputs(),
+        net.outputs().len(),
+        net.num_logic_nodes()
+    );
+
+    let boolean_net = script_boolean(&net);
+    let algebraic_net = script_algebraic(&net);
+    println!(
+        "after optimization: {} nodes / {} literals (boolean), {} nodes / {} literals (algebraic)",
+        boolean_net.num_logic_nodes(),
+        boolean_net.num_literals(),
+        algebraic_net.num_logic_nodes(),
+        algebraic_net.num_literals()
+    );
+    println!();
+    println!(
+        "{:<6} | {:>10} {:>7} {:>6} | {:>10} {:>7} {:>6}",
+        "fanin", "1:1 gates", "levels", "area", "TELS gates", "levels", "area"
+    );
+    println!("{}", "-".repeat(66));
+
+    for psi in 3..=6 {
+        let config = TelsConfig {
+            psi,
+            ..TelsConfig::default()
+        };
+        let baseline = map_one_to_one(&boolean_net, &config)?;
+        let tels = synthesize(&algebraic_net, &config)?;
+        // Validate both implementations against the original circuit.
+        assert!(baseline.verify_against(&net, 12, 1024, 1)?.is_none());
+        assert!(tels.verify_against(&net, 12, 1024, 2)?.is_none());
+        println!(
+            "{:<6} | {:>10} {:>7} {:>6} | {:>10} {:>7} {:>6}",
+            psi,
+            baseline.num_gates(),
+            baseline.depth(),
+            baseline.area(),
+            tels.num_gates(),
+            tels.depth(),
+            tels.area()
+        );
+    }
+    println!();
+    println!("both flows verified against the specification by simulation");
+    Ok(())
+}

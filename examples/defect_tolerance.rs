@@ -1,0 +1,61 @@
+//! Domain scenario: nanodevice weight variations (§VI-C). RTD weights
+//! deviate from their nominal values after fabrication; synthesizing with a
+//! larger δ_on margin buys robustness at an area cost. This example
+//! quantifies that trade-off for one circuit, reproducing the Fig. 11/12
+//! trends at example scale.
+//!
+//! Run with `cargo run --release --example defect_tolerance`.
+
+use tels::circuits::priority_encoder;
+use tels::core::perturb::{failure_rate, PerturbOptions};
+use tels::logic::opt::script_algebraic;
+use tels::{synthesize, TelsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = priority_encoder(8); // the cmb-like control block
+    let algebraic = script_algebraic(&net);
+    println!(
+        "circuit: {} ({} inputs, {} outputs)",
+        net.model(),
+        net.num_inputs(),
+        net.outputs().len()
+    );
+    println!();
+    println!(
+        "{:<8} {:>6} {:>6} | instance failure rate at v = 0.4 / 0.8 / 1.2",
+        "δ_on", "gates", "area"
+    );
+    println!("{}", "-".repeat(72));
+
+    for delta_on in 0..=3i64 {
+        let config = TelsConfig {
+            delta_on,
+            ..TelsConfig::default()
+        };
+        let tn = synthesize(&algebraic, &config)?;
+        assert!(tn.verify_against(&net, 12, 1024, 9)?.is_none());
+        let mut rates = Vec::new();
+        for &v in &[0.4, 0.8, 1.2] {
+            let opts = PerturbOptions {
+                variation: v,
+                trials: 200,
+                exhaustive_limit: 12,
+                vectors: 512,
+                seed: 0xdef_ec7 + delta_on as u64,
+            };
+            rates.push(100.0 * failure_rate(&tn, &net, &opts)?);
+        }
+        println!(
+            "{:<8} {:>6} {:>6} | {:>6.1}% / {:>6.1}% / {:>6.1}%",
+            delta_on,
+            tn.num_gates(),
+            tn.area(),
+            rates[0],
+            rates[1],
+            rates[2]
+        );
+    }
+    println!();
+    println!("expected: failure rates fall as δ_on grows; area rises (Figs. 11-12)");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Integration tests over the extra circuit generators: both synthesis
+//! strategies, QCA mapping, and parser robustness.
+
+use proptest::prelude::*;
+
+use tels::circuits::{alu_slice, barrel_shifter, c17, gray_code};
+use tels::core::parse_tnet;
+use tels::logic::blif;
+use tels::logic::opt::script_algebraic;
+use tels::{map_to_majority, synthesize, SynthStrategy, TelsConfig};
+
+#[test]
+fn extra_circuits_synthesize_under_both_strategies() {
+    let circuits = [
+        ("c17", c17()),
+        ("alu_slice", alu_slice()),
+        ("barrel8", barrel_shifter(8)),
+        ("gray5", gray_code(5)),
+    ];
+    for (name, net) in circuits {
+        let algebraic = script_algebraic(&net);
+        for strategy in [SynthStrategy::PaperBackward, SynthStrategy::Shannon] {
+            let config = TelsConfig {
+                strategy,
+                ..TelsConfig::default()
+            };
+            let tn = synthesize(&algebraic, &config)
+                .unwrap_or_else(|e| panic!("{name}/{strategy:?}: {e}"));
+            assert_eq!(
+                tn.verify_against(&net, 12, 1024, 11).unwrap(),
+                None,
+                "{name} under {strategy:?} differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn extra_circuits_map_to_qca() {
+    for (name, net) in [("c17", c17()), ("gray4", gray_code(4))] {
+        let algebraic = script_algebraic(&net);
+        let tn = synthesize(&algebraic, &TelsConfig::default()).unwrap();
+        let (qca, stats) = map_to_majority(&tn).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(stats.majority_gates > 0);
+        let r = tels::logic::sim::check_equivalence(
+            &net,
+            &qca,
+            &tels::logic::sim::EquivOptions::default(),
+        )
+        .unwrap();
+        assert!(r.is_equivalent(), "{name}: {r:?}");
+    }
+}
+
+#[test]
+fn c17_is_tiny_after_synthesis() {
+    // c17's six NAND2 gates synthesize into at most six threshold gates
+    // (every NAND2 is a single gate; collapsing merges some).
+    let net = c17();
+    let algebraic = script_algebraic(&net);
+    let tn = synthesize(&algebraic, &TelsConfig::default()).unwrap();
+    assert!(tn.num_gates() <= 6, "got {}", tn.num_gates());
+    assert_eq!(tn.verify_against(&net, 12, 64, 0).unwrap(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The BLIF parser never panics on arbitrary input (errors only).
+    #[test]
+    fn blif_parser_never_panics(input in ".{0,200}") {
+        let _ = blif::parse(&input);
+    }
+
+    /// The BLIF parser never panics on directive-shaped garbage.
+    #[test]
+    fn blif_parser_survives_directive_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just(".model m".to_string()),
+                Just(".inputs a b".to_string()),
+                Just(".outputs f".to_string()),
+                Just(".names a b f".to_string()),
+                Just("11 1".to_string()),
+                Just("0- 0".to_string()),
+                Just("1".to_string()),
+                Just(".end".to_string()),
+                Just(".names f".to_string()),
+                "[a-z01\\- .]{0,12}",
+            ],
+            0..20,
+        )
+    ) {
+        let input = parts.join("\n");
+        let _ = blif::parse(&input);
+    }
+
+    /// The .tnet parser never panics on arbitrary input.
+    #[test]
+    fn tnet_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_tnet(&input);
+    }
+
+    /// The .tnet parser never panics on gate-shaped garbage.
+    #[test]
+    fn tnet_parser_survives_gate_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just(".model m".to_string()),
+                Just(".inputs a b".to_string()),
+                Just(".outputs f".to_string()),
+                Just(".gate f T=2 a:1 b:1".to_string()),
+                Just(".gate g T=x a:y".to_string()),
+                Just(".alias f g".to_string()),
+                Just(".end".to_string()),
+                "[a-z0-9:=\\- .]{0,16}",
+            ],
+            0..16,
+        )
+    ) {
+        let input = parts.join("\n");
+        let _ = parse_tnet(&input);
+    }
+}

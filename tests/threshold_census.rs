@@ -1,0 +1,150 @@
+//! Census tests against the classical threshold-function counts (Muroga)
+//! and a brute-force realizability oracle, validating the ILP-based checker
+//! end to end.
+
+use tels::logic::{Cube, Sop, Var};
+use tels::{check_threshold, TelsConfig};
+
+fn minterm_sop(n: u32, bits: u64) -> Sop {
+    let cubes: Vec<Cube> = (0..1u64 << n)
+        .filter(|m| bits >> m & 1 != 0)
+        .map(|m| Cube::from_literals((0..n).map(|i| (Var(i), m >> i & 1 != 0))))
+        .collect();
+    Sop::from_cubes(cubes)
+}
+
+/// Brute-force oracle: is there any integer weight vector in [-bound,bound]
+/// and threshold realizing `bits` over `n` variables?
+fn brute_force_threshold(n: u32, bits: u64, bound: i64) -> bool {
+    let rows = 1u64 << n;
+    let mut weights = vec![-bound; n as usize];
+    loop {
+        // Feasible iff min ON-sum > max OFF-sum is achievable with some T:
+        // min over ON minterms of Σ ≥ max over OFF minterms of Σ + 1.
+        let mut min_on = i64::MAX;
+        let mut max_off = i64::MIN;
+        for m in 0..rows {
+            let sum: i64 = (0..n)
+                .filter(|i| m >> i & 1 != 0)
+                .map(|i| weights[i as usize])
+                .sum();
+            if bits >> m & 1 != 0 {
+                min_on = min_on.min(sum);
+            } else {
+                max_off = max_off.max(sum);
+            }
+        }
+        let ok = match (min_on == i64::MAX, max_off == i64::MIN) {
+            (true, _) | (_, true) => true, // constant function
+            _ => min_on > max_off,
+        };
+        if ok {
+            return true;
+        }
+        // Next weight vector.
+        let mut i = 0;
+        loop {
+            if i == n as usize {
+                return false;
+            }
+            if weights[i] < bound {
+                weights[i] += 1;
+                break;
+            }
+            weights[i] = -bound;
+            i += 1;
+        }
+    }
+}
+
+/// All 16 two-variable functions: exactly 14 are threshold (all but XOR and
+/// XNOR).
+#[test]
+fn census_2_vars() {
+    let config = TelsConfig::default();
+    let mut count = 0;
+    for bits in 0u64..16 {
+        let f = minterm_sop(2, bits).minimize();
+        if check_threshold(&f, &config).unwrap().is_some() {
+            count += 1;
+        } else {
+            assert!(bits == 0b0110 || bits == 0b1001, "only xor/xnor fail: {bits:04b}");
+        }
+    }
+    assert_eq!(count, 14);
+}
+
+/// 104 of the 256 three-variable functions are threshold functions
+/// (Muroga, *Threshold Logic and its Applications*).
+#[test]
+fn census_3_vars() {
+    let config = TelsConfig::default();
+    let count = (0u64..256)
+        .filter(|&bits| {
+            let f = minterm_sop(3, bits).minimize();
+            check_threshold(&f, &config).unwrap().is_some()
+        })
+        .count();
+    assert_eq!(count, 104);
+}
+
+/// ILP checker agrees with a brute-force weight-enumeration oracle on a
+/// deterministic sample of 3-variable functions (weights of 3-var threshold
+/// functions need magnitude at most 2).
+#[test]
+fn checker_matches_brute_force_3_vars() {
+    let config = TelsConfig::default();
+    for bits in 0u64..256 {
+        let f = minterm_sop(3, bits).minimize();
+        let ilp = check_threshold(&f, &config).unwrap().is_some();
+        let brute = brute_force_threshold(3, bits, 2);
+        assert_eq!(ilp, brute, "disagreement on {bits:08b}: {f}");
+    }
+}
+
+/// Spot check on 4-variable functions against the oracle (weights of 4-var
+/// threshold functions need magnitude at most 3). A deterministic stride
+/// keeps this fast; the full 1,882 census runs under `--ignored`.
+#[test]
+fn checker_matches_brute_force_4_vars_sampled() {
+    let config = TelsConfig::default();
+    for step in 0u64..256 {
+        let bits = step.wrapping_mul(0x9e37_79b9_7f4a_7c15) & 0xffff;
+        let f = minterm_sop(4, bits).minimize();
+        let ilp = check_threshold(&f, &config).unwrap().is_some();
+        let brute = brute_force_threshold(4, bits, 3);
+        assert_eq!(ilp, brute, "disagreement on {bits:016b}: {f}");
+    }
+}
+
+/// The full 4-variable census: 1,882 of 65,536 functions are threshold.
+/// Slow in debug builds — run with
+/// `cargo test --release -- --ignored census_4_vars`.
+#[test]
+#[ignore = "full 65,536-function census; run in release mode"]
+fn census_4_vars() {
+    let config = TelsConfig::default();
+    let count = (0u64..65_536)
+        .filter(|&bits| {
+            let f = minterm_sop(4, bits).minimize();
+            check_threshold(&f, &config).unwrap().is_some()
+        })
+        .count();
+    assert_eq!(count, 1_882);
+}
+
+/// The paper's §VI-B statistic: every positive-unate function of up to 3
+/// variables is a threshold function.
+#[test]
+fn all_small_positive_unate_functions_are_threshold() {
+    let config = TelsConfig::default();
+    for bits in 0u64..256 {
+        let f = minterm_sop(3, bits).minimize();
+        if f.is_positive_unate() {
+            assert!(
+                check_threshold(&f, &config).unwrap().is_some(),
+                "positive unate ≤3-var function not threshold: {f}"
+            );
+        }
+    }
+}
