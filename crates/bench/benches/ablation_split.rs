@@ -2,7 +2,8 @@
 //! naive half split. The frequency rule should produce fewer gates because
 //! split halves are more likely to be threshold functions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tels_bench::harness::Criterion;
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::paper_suite;
 use tels_core::{synthesize, SplitHeuristic, TelsConfig};
 use tels_logic::opt::script_algebraic;
@@ -21,7 +22,10 @@ fn bench_split(c: &mut Criterion) {
             ("frequency", SplitHeuristic::Frequency),
             ("halves", SplitHeuristic::Halves),
         ] {
-            let config = TelsConfig { split_heuristic: heuristic, ..TelsConfig::default() };
+            let config = TelsConfig {
+                split_heuristic: heuristic,
+                ..TelsConfig::default()
+            };
             group.bench_function(format!("{}/{label}", b.name), |bench| {
                 bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
             });

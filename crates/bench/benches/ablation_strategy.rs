@@ -3,7 +3,8 @@
 //! work. Expected outcome: the paper's heuristics win on gate count, which
 //! is evidence for the design choices of §V.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tels_bench::harness::Criterion;
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::paper_suite;
 use tels_core::{synthesize, SynthStrategy, TelsConfig};
 use tels_logic::opt::script_algebraic;
@@ -24,13 +25,17 @@ fn bench_strategy(c: &mut Criterion) {
         .into_iter()
         .enumerate()
         {
-            let config = TelsConfig { strategy, ..TelsConfig::default() };
+            let config = TelsConfig {
+                strategy,
+                ..TelsConfig::default()
+            };
             group.bench_function(format!("{}/{label}", b.name), |bench| {
                 bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
             });
             let tn = synthesize(&algebraic, &config).expect("synthesize");
             assert_eq!(
-                tn.verify_against(&b.network, 12, 256, 5).expect("interfaces"),
+                tn.verify_against(&b.network, 12, 256, 5)
+                    .expect("interfaces"),
                 None,
                 "{label} strategy broke {}",
                 b.name

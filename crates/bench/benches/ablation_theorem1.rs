@@ -2,7 +2,8 @@
 //! pre-filter (§IV). The filter skips ILP calls for provably non-threshold
 //! nodes; the result quality must be identical either way.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tels_bench::harness::Criterion;
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::paper_suite;
 use tels_core::{synthesize_with_stats, TelsConfig};
 use tels_logic::opt::script_algebraic;
@@ -16,7 +17,10 @@ fn bench_theorem1(c: &mut Criterion) {
         }
         let algebraic = script_algebraic(&b.network);
         for (label, use_theorem1) in [("with", true), ("without", false)] {
-            let config = TelsConfig { use_theorem1, ..TelsConfig::default() };
+            let config = TelsConfig {
+                use_theorem1,
+                ..TelsConfig::default()
+            };
             group.bench_function(format!("{}/{label}", b.name), |bench| {
                 bench.iter(|| synthesize_with_stats(&algebraic, &config).expect("synthesize"));
             });
@@ -25,7 +29,10 @@ fn bench_theorem1(c: &mut Criterion) {
         let on = synthesize_with_stats(&algebraic, &TelsConfig::default()).expect("on");
         let off = synthesize_with_stats(
             &algebraic,
-            &TelsConfig { use_theorem1: false, ..TelsConfig::default() },
+            &TelsConfig {
+                use_theorem1: false,
+                ..TelsConfig::default()
+            },
         )
         .expect("off");
         assert_eq!(on.0.num_gates(), off.0.num_gates());

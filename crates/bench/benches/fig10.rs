@@ -2,7 +2,8 @@
 //! restriction sweep (3..=8) on the comp stand-in, printing the gate-count
 //! series once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_bench::harness::{BenchmarkId, Criterion};
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::comparator;
 use tels_core::{map_one_to_one, synthesize, TelsConfig};
 use tels_logic::opt::{script_algebraic, script_boolean};
@@ -15,7 +16,10 @@ fn bench_fig10(c: &mut Criterion) {
     group.sample_size(10);
     let mut series = Vec::new();
     for psi in 3..=8usize {
-        let config = TelsConfig { psi, ..TelsConfig::default() };
+        let config = TelsConfig {
+            psi,
+            ..TelsConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("tels", psi), &psi, |bench, _| {
             bench.iter(|| synthesize(&algebraic_net, &config).expect("synthesize"));
         });

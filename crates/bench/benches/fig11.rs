@@ -2,7 +2,8 @@
 //! estimation under weight variation, printing the failure-rate matrix
 //! (variation multiplier × δ_on) once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_bench::harness::{BenchmarkId, Criterion};
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::paper_suite;
 use tels_core::perturb::{failure_rate, PerturbOptions};
 use tels_core::{synthesize, TelsConfig};
@@ -10,12 +11,18 @@ use tels_logic::opt::script_algebraic;
 
 fn bench_fig11(c: &mut Criterion) {
     // One small representative benchmark for the timed portion.
-    let b = paper_suite().into_iter().find(|b| b.name == "cmb_like").expect("cmb_like");
+    let b = paper_suite()
+        .into_iter()
+        .find(|b| b.name == "cmb_like")
+        .expect("cmb_like");
     let algebraic = script_algebraic(&b.network);
     let mut group = c.benchmark_group("fig11");
     group.sample_size(10);
     for delta_on in 0..=3i64 {
-        let config = TelsConfig { delta_on, ..TelsConfig::default() };
+        let config = TelsConfig {
+            delta_on,
+            ..TelsConfig::default()
+        };
         let tn = synthesize(&algebraic, &config).expect("synthesize");
         let opts = PerturbOptions {
             variation: 0.8,
@@ -24,9 +31,13 @@ fn bench_fig11(c: &mut Criterion) {
             vectors: 128,
             seed: 11,
         };
-        group.bench_with_input(BenchmarkId::new("failure_rate", delta_on), &delta_on, |bench, _| {
-            bench.iter(|| failure_rate(&tn, &b.network, &opts).expect("rate"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("failure_rate", delta_on),
+            &delta_on,
+            |bench, _| {
+                bench.iter(|| failure_rate(&tn, &b.network, &opts).expect("rate"));
+            },
+        );
     }
     group.finish();
 
@@ -40,7 +51,10 @@ fn bench_fig11(c: &mut Criterion) {
     for &v in &[0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
         print!("{:<6}", v);
         for delta_on in 0..=3i64 {
-            let config = TelsConfig { delta_on, ..TelsConfig::default() };
+            let config = TelsConfig {
+                delta_on,
+                ..TelsConfig::default()
+            };
             let mut failing = 0usize;
             let mut count = 0usize;
             for b in paper_suite() {

@@ -1,30 +1,47 @@
 //! Criterion bench for the Fig. 12 experiment: the failure-rate/area
 //! trade-off at v = 0.8 as δ_on grows, printing the series once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_bench::harness::{BenchmarkId, Criterion};
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::paper_suite;
 use tels_core::perturb::{failure_rate, PerturbOptions};
 use tels_core::{synthesize, TelsConfig};
 use tels_logic::opt::script_algebraic;
 
 fn bench_fig12(c: &mut Criterion) {
-    let b = paper_suite().into_iter().find(|b| b.name == "pm1_like").expect("pm1_like");
+    let b = paper_suite()
+        .into_iter()
+        .find(|b| b.name == "pm1_like")
+        .expect("pm1_like");
     let algebraic = script_algebraic(&b.network);
     let mut group = c.benchmark_group("fig12");
     group.sample_size(10);
     for delta_on in 0..=3i64 {
-        let config = TelsConfig { delta_on, ..TelsConfig::default() };
-        group.bench_with_input(BenchmarkId::new("synthesize", delta_on), &delta_on, |bench, _| {
-            bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
-        });
+        let config = TelsConfig {
+            delta_on,
+            ..TelsConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", delta_on),
+            &delta_on,
+            |bench, _| {
+                bench.iter(|| synthesize(&algebraic, &config).expect("synthesize"));
+            },
+        );
     }
     group.finish();
 
     println!("\nFig. 12: failure rate and area vs δ_on (v = 0.8)");
-    println!("{:<8} {:>12} {:>12} {:>12}", "δ_on", "fail rate %", "area", "area ratio");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "δ_on", "fail rate %", "area", "area ratio"
+    );
     let mut base_area = 0u64;
     for delta_on in 0..=3i64 {
-        let config = TelsConfig { delta_on, ..TelsConfig::default() };
+        let config = TelsConfig {
+            delta_on,
+            ..TelsConfig::default()
+        };
         let mut area = 0u64;
         let mut failing = 0usize;
         let mut count = 0usize;

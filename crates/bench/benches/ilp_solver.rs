@@ -2,7 +2,8 @@
 //! growing size (the AND-OR ladder f = x₁x₂ ∨ x₁x₃ ∨ … ∨ x₁x_n, which is a
 //! threshold function with linearly growing weights).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_bench::harness::{BenchmarkId, Criterion};
+use tels_bench::{criterion_group, criterion_main};
 use tels_ilp::{Cmp, Limits, Problem, Status};
 
 /// Builds the ILP for f = x₁·(x₂ ∨ … ∨ x_n) directly.

@@ -2,7 +2,8 @@
 //! §VI-A runtime observation (total under a second per benchmark; about
 //! 42% of the time in threshold synthesis, the rest in factoring).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tels_bench::harness::Criterion;
+use tels_bench::{criterion_group, criterion_main};
 use tels_circuits::paper_suite;
 use tels_core::{synthesize, TelsConfig};
 use tels_logic::opt::script_algebraic;

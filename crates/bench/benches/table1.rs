@@ -2,7 +2,8 @@
 //! optimize → one-to-one / TELS pipeline per benchmark and prints the
 //! reproduced table once at the end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tels_bench::harness::Criterion;
+use tels_bench::{criterion_group, criterion_main};
 use tels_bench::{format_table1, run_table1_flow};
 use tels_circuits::paper_suite;
 use tels_core::TelsConfig;

@@ -1,7 +1,8 @@
 //! Benchmarks the full threshold check (unate transform + complement +
 //! ILP) on representative function families across variable counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tels_bench::harness::{BenchmarkId, Criterion};
+use tels_bench::{criterion_group, criterion_main};
 use tels_core::{check_threshold, TelsConfig};
 use tels_logic::{Cube, Sop, Var};
 
@@ -11,7 +12,9 @@ fn majority_sop(n: usize) -> Sop {
     // All k-subsets of n.
     let mut idx: Vec<usize> = (0..k).collect();
     loop {
-        cubes.push(Cube::from_literals(idx.iter().map(|&i| (Var(i as u32), true))));
+        cubes.push(Cube::from_literals(
+            idx.iter().map(|&i| (Var(i as u32), true)),
+        ));
         // next combination
         let mut i = k;
         loop {
@@ -31,9 +34,7 @@ fn majority_sop(n: usize) -> Sop {
 }
 
 fn ladder_sop(n: usize) -> Sop {
-    Sop::from_cubes((1..n).map(|i| {
-        Cube::from_literals([(Var(0), true), (Var(i as u32), true)])
-    }))
+    Sop::from_cubes((1..n).map(|i| Cube::from_literals([(Var(0), true), (Var(i as u32), true)])))
 }
 
 fn bench_check(c: &mut Criterion) {
@@ -42,13 +43,21 @@ fn bench_check(c: &mut Criterion) {
     for n in [3usize, 5, 7] {
         let f = majority_sop(n);
         group.bench_with_input(BenchmarkId::new("majority", n), &n, |bench, _| {
-            bench.iter(|| check_threshold(&f, &config).expect("check").expect("threshold"));
+            bench.iter(|| {
+                check_threshold(&f, &config)
+                    .expect("check")
+                    .expect("threshold")
+            });
         });
     }
     for n in [4usize, 8, 12] {
         let f = ladder_sop(n);
         group.bench_with_input(BenchmarkId::new("ladder", n), &n, |bench, _| {
-            bench.iter(|| check_threshold(&f, &config).expect("check").expect("threshold"));
+            bench.iter(|| {
+                check_threshold(&f, &config)
+                    .expect("check")
+                    .expect("threshold")
+            });
         });
     }
     group.finish();

@@ -11,8 +11,7 @@
 //!
 //! Run with `cargo run --release -p tels-bench --bin fig11`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tels_logic::rng::Xoshiro256;
 
 use tels_circuits::paper_suite;
 use tels_core::perturb::{draw_disturbance, instance_fails, PerturbOptions};
@@ -63,7 +62,7 @@ fn main() {
             };
             let mut failing_benchmarks = 0usize;
             for (name, reference, tn) in &suite {
-                let mut rng = StdRng::seed_from_u64(opts.seed ^ name.len() as u64);
+                let mut rng = Xoshiro256::seed_from_u64(opts.seed ^ name.len() as u64);
                 let mut failed = false;
                 for _ in 0..opts.trials {
                     let disturbed = draw_disturbance(tn, opts.variation, &mut rng);

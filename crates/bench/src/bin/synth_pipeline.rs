@@ -1,0 +1,186 @@
+//! Benchmarks the synthesis pipeline with and without the canonical
+//! realization cache, ILP pre-filters, and warming threads, and writes the
+//! results to `BENCH_synthesis.json`.
+//!
+//! Two configurations are compared over a mixed circuit suite:
+//!
+//! * **serial**: `use_cache = false`, `num_threads = 1` — the pre-cache
+//!   flow, every threshold query solved by the ILP in its original order;
+//! * **cached**: `use_cache = true`, `num_threads = 4` — the canonical
+//!   cache with the 2-monotonicity pre-filter and the level-parallel
+//!   warming pass.
+//!
+//! Both runs of every circuit are checked functionally equivalent against
+//! the source network before being timed.
+//!
+//! Run with `cargo run --release -p tels-bench --bin synth_pipeline`.
+
+use std::time::Instant;
+
+use tels_circuits::{
+    alu_slice, barrel_shifter, c17, comparator, decoder, gray_code, mux_tree, parity_tree,
+    random_network, ripple_adder, RandomNetOptions,
+};
+use tels_core::{synthesize_with_stats, SynthStats, TelsConfig};
+use tels_logic::opt::script_algebraic;
+use tels_logic::Network;
+
+/// Timed samples per configuration; the minimum is reported.
+const SAMPLES: usize = 5;
+
+struct Measurement {
+    millis: f64,
+    gates: usize,
+    stats: SynthStats,
+}
+
+fn measure(net: &Network, config: &TelsConfig) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let (tn, stats) = synthesize_with_stats(net, config).expect("synthesis failed");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            tn.verify_against(net, 12, 1024, 0xBE)
+                .expect("simulation failed")
+                .is_none(),
+            "synthesized network differs from input"
+        );
+        if elapsed < best {
+            best = elapsed;
+            result = Some((tn.num_gates(), stats));
+        }
+    }
+    let (gates, stats) = result.expect("at least one sample");
+    Measurement {
+        millis: best,
+        gates,
+        stats,
+    }
+}
+
+fn json_row(name: &str, serial: &Measurement, cached: &Measurement) -> String {
+    format!(
+        concat!(
+            "    {{\"circuit\": \"{}\", \"serial_ms\": {:.3}, \"cached_ms\": {:.3}, ",
+            "\"speedup\": {:.2}, \"gates_serial\": {}, \"gates_cached\": {}, ",
+            "\"ilp_calls\": {}, \"ilp_solves_serial\": {}, \"ilp_solves_cached\": {}, ",
+            "\"cache_hits\": {}, \"prefilter_rejections\": {}, \"ilp_avoided\": {}}}"
+        ),
+        name,
+        serial.millis,
+        cached.millis,
+        serial.millis / cached.millis,
+        serial.gates,
+        cached.gates,
+        cached.stats.ilp_calls,
+        serial.stats.ilp_solves,
+        cached.stats.ilp_solves,
+        cached.stats.cache_hits,
+        cached.stats.prefilter_rejections,
+        cached.stats.ilp_avoided(),
+    )
+}
+
+fn main() {
+    // (name, network, ψ): the default ψ = 3 plus a few ψ = 5 entries,
+    // where wider unate covers reach the 2-monotonicity pre-filter.
+    let circuits: Vec<(String, Network, usize)> = vec![
+        ("c17".to_string(), c17(), 3),
+        ("alu_slice".to_string(), alu_slice(), 3),
+        ("barrel_shifter_8".to_string(), barrel_shifter(8), 3),
+        ("gray_code_8".to_string(), gray_code(8), 3),
+        ("ripple_adder_8".to_string(), ripple_adder(8), 3),
+        ("comparator_6".to_string(), comparator(6), 3),
+        ("mux_tree_3".to_string(), mux_tree(3), 3),
+        ("decoder_5".to_string(), decoder(5), 3),
+        ("parity_tree_10".to_string(), parity_tree(10), 3),
+        (
+            "random_48".to_string(),
+            random_network("random_48", 0x7e15, &RandomNetOptions::default()),
+            3,
+        ),
+        (
+            "random_96".to_string(),
+            random_network(
+                "random_96",
+                0xcafe,
+                &RandomNetOptions {
+                    nodes: 96,
+                    inputs: 20,
+                    outputs: 10,
+                    ..RandomNetOptions::default()
+                },
+            ),
+            3,
+        ),
+        ("ripple_adder_8_psi5".to_string(), ripple_adder(8), 5),
+        ("comparator_6_psi5".to_string(), comparator(6), 5),
+        (
+            "random_48_psi5".to_string(),
+            random_network("random_48", 0x7e15, &RandomNetOptions::default()),
+            5,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut total_serial = 0.0;
+    let mut total_cached = 0.0;
+    let mut total_avoided = 0usize;
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}",
+        "circuit", "serial ms", "cached ms", "speedup", "solves", "hits", "prefilter"
+    );
+    for (name, net, psi) in &circuits {
+        let serial_config = TelsConfig {
+            use_cache: false,
+            num_threads: 1,
+            psi: *psi,
+            ..TelsConfig::default()
+        };
+        let cached_config = TelsConfig {
+            use_cache: true,
+            num_threads: 4,
+            psi: *psi,
+            ..TelsConfig::default()
+        };
+        let prepared = script_algebraic(net);
+        let serial = measure(&prepared, &serial_config);
+        let cached = measure(&prepared, &cached_config);
+        println!(
+            "{:<18} {:>10.2} {:>10.2} {:>7.2}x {:>8} {:>8} {:>9}",
+            name,
+            serial.millis,
+            cached.millis,
+            serial.millis / cached.millis,
+            cached.stats.ilp_solves,
+            cached.stats.cache_hits,
+            cached.stats.prefilter_rejections,
+        );
+        total_serial += serial.millis;
+        total_cached += cached.millis;
+        total_avoided += cached.stats.ilp_avoided();
+        rows.push(json_row(name, &serial, &cached));
+    }
+
+    let speedup = total_serial / total_cached;
+    println!(
+        "\ntotal: serial {total_serial:.1} ms, cached {total_cached:.1} ms — {speedup:.2}x \
+         ({total_avoided} ILP solves avoided)"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"synth_pipeline\",\n  \"serial\": {{\"use_cache\": false, \
+         \"num_threads\": 1}},\n  \"cached\": {{\"use_cache\": true, \"num_threads\": 4}},\n  \
+         \"total_serial_ms\": {total_serial:.3},\n  \"total_cached_ms\": {total_cached:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"ilp_avoided\": {total_avoided},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_synthesis.json", &json).expect("write BENCH_synthesis.json");
+    println!("wrote BENCH_synthesis.json");
+    assert!(
+        speedup >= 1.0,
+        "cached pipeline slower than serial ({speedup:.2}x)"
+    );
+}

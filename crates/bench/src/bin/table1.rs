@@ -18,8 +18,7 @@ fn main() {
         // Functional validation, as the paper does for every benchmark.
         let tels = synthesize(&script_algebraic(&b.network), &config).expect("synthesize");
         assert_equivalent(&tels, &b.network, 0xAB);
-        let baseline =
-            map_one_to_one(&script_boolean(&b.network), &config).expect("one-to-one");
+        let baseline = map_one_to_one(&script_boolean(&b.network), &config).expect("one-to-one");
         assert_equivalent(&baseline, &b.network, 0xCD);
         println!(
             "{:<14} verified OK   (paper 1:1 {:?}  tels {:?})",

@@ -1,0 +1,173 @@
+//! Minimal benchmark harness with a Criterion-compatible surface.
+//!
+//! The bench targets in `benches/` only use a small slice of the Criterion
+//! API (`benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the two entry-point macros), so
+//! this module provides exactly that slice with wall-clock timing and no
+//! external dependencies. Results are printed as
+//! `group/id  time: [min median max]` per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context handed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &mut bencher.times);
+    }
+
+    /// Times `f` with a borrowed input, mirroring Criterion's signature.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), &mut bencher.times);
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark as `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs and times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Executes `f` once for warm-up, then `sample_size` timed times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f());
+        self.times = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn report(group: &str, id: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{group}/{id}  (no samples)");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "{group}/{id}  time: [{:?} {:?} {:?}]",
+        times[0],
+        median,
+        times[times.len() - 1]
+    );
+}
+
+/// Registers benchmark functions under a group entry point, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] entry points.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // One warm-up plus three samples.
+        assert_eq!(runs, 4);
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("tels", 4).to_string(), "tels/4");
+    }
+}

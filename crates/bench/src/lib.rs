@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::time::Instant;
 
 use tels_core::{map_one_to_one, synthesize_with_stats, SynthStats, TelsConfig, ThresholdNetwork};
@@ -101,7 +103,15 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         out,
         "{:<14} | {:>6} {:>6} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>8}",
-        "Benchmark", "G(1:1)", "L(1:1)", "A(1:1)", "G(TELS)", "L(TELS)", "A(TELS)", "opt ms", "synth ms"
+        "Benchmark",
+        "G(1:1)",
+        "L(1:1)",
+        "A(1:1)",
+        "G(TELS)",
+        "L(TELS)",
+        "A(TELS)",
+        "opt ms",
+        "synth ms"
     );
     let _ = writeln!(out, "{}", "-".repeat(96));
     let mut g_sum = 0.0;

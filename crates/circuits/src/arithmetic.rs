@@ -99,11 +99,8 @@ pub fn cordic_like(width: usize, stages: usize) -> Network {
 
     for (k, &dir) in dirs.iter().enumerate() {
         // Arithmetic shift right by k (sign-extend with the MSB).
-        let shift = |w: &Word| -> Vec<NodeId> {
-            (0..width)
-                .map(|i| w.0[(i + k).min(width - 1)])
-                .collect()
-        };
+        let shift =
+            |w: &Word| -> Vec<NodeId> { (0..width).map(|i| w.0[(i + k).min(width - 1)]).collect() };
         let ys = shift(&y);
         let xs = shift(&x);
         // x' = x + (dir ? −ys : ys); y' = y + (dir ? xs : −xs).
@@ -149,11 +146,7 @@ fn add_conditional(
     // Carry-in equals the negation condition.
     let cin_name = net.fresh_name(&format!("{tag}{stage}_cin_"));
     let cin = net
-        .add_node(
-            cin_name,
-            vec![ctrl],
-            sop(&[&[(0, negate_when_ctrl)]]),
-        )
+        .add_node(cin_name, vec![ctrl], sop(&[&[(0, negate_when_ctrl)]]))
         .expect("fresh");
     let mut carry = cin;
     let mut out = Vec::with_capacity(width);

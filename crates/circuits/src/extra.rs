@@ -29,8 +29,12 @@ pub fn c17() -> Network {
     let i: Vec<NodeId> = (1..=5)
         .map(|k| net.add_input(format!("i{k}")).expect("fresh"))
         .collect();
-    let g1 = net.add_node("g1", vec![i[0], i[2]], nand2()).expect("fresh");
-    let g2 = net.add_node("g2", vec![i[2], i[3]], nand2()).expect("fresh");
+    let g1 = net
+        .add_node("g1", vec![i[0], i[2]], nand2())
+        .expect("fresh");
+    let g2 = net
+        .add_node("g2", vec![i[2], i[3]], nand2())
+        .expect("fresh");
     let g3 = net.add_node("g3", vec![i[1], g2], nand2()).expect("fresh");
     let g4 = net.add_node("g4", vec![g2, i[4]], nand2()).expect("fresh");
     let o1 = net.add_node("o1", vec![g1, g3], nand2()).expect("fresh");
@@ -181,7 +185,8 @@ pub fn gray_code(width: usize) -> Network {
     }
     // Gray decode: v[msb] = b[msb]; v[i] = b[i] ⊕ v[i+1] (a serial chain).
     let mut prev = b[width - 1];
-    net.add_output(format!("v{}", width - 1), prev).expect("fresh");
+    net.add_output(format!("v{}", width - 1), prev)
+        .expect("fresh");
     for i in (0..width - 1).rev() {
         let v = net
             .add_node(format!("v{i}_n"), vec![b[i], prev], xor2.clone())

@@ -5,9 +5,7 @@
 //! output count, and sharing. Identical options and seed always produce an
 //! identical network.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use tels_logic::rng::Xoshiro256;
 use tels_logic::{Cube, Network, NodeId, Sop, Var};
 
 /// Parameters for [`random_network`].
@@ -57,7 +55,7 @@ pub fn random_network(name: &str, seed: u64, options: &RandomNetOptions) -> Netw
     assert!(options.inputs >= 2);
     assert!(options.nodes >= options.outputs && options.outputs >= 1);
     assert!(options.max_fanin >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut net = Network::new(name.to_string());
     let mut signals: Vec<NodeId> = (0..options.inputs)
         .map(|i| net.add_input(format!("i{i}")).expect("fresh"))
@@ -70,7 +68,7 @@ pub fn random_network(name: &str, seed: u64, options: &RandomNetOptions) -> Netw
         let mut guard = 0;
         while fanins.len() < fanin_count && guard < 100 {
             guard += 1;
-            let idx = if rng.gen_range(0..100) < options.locality_pct
+            let idx = if rng.gen_range(0..100u32) < options.locality_pct
                 && signals.len() > options.inputs
             {
                 rng.gen_range(signals.len().saturating_sub(options.inputs)..signals.len())
@@ -88,14 +86,14 @@ pub fn random_network(name: &str, seed: u64, options: &RandomNetOptions) -> Netw
         for _ in 0..n_cubes {
             let mut cube = Cube::one();
             for v in 0..k {
-                if rng.gen_range(0..100) < 60 {
-                    let phase = rng.gen_range(0..100) >= options.negation_pct;
+                if rng.gen_range(0..100u32) < 60 {
+                    let phase = rng.gen_range(0..100u32) >= options.negation_pct;
                     cube.set_literal(Var(v), phase);
                 }
             }
             if cube.is_one() {
                 // Ensure at least one literal so the node is not constant 1.
-                let phase = rng.gen_range(0..100) >= options.negation_pct;
+                let phase = rng.gen_range(0..100u32) >= options.negation_pct;
                 cube.set_literal(Var(rng.gen_range(0..k)), phase);
             }
             cubes.push(cube);

@@ -110,11 +110,7 @@ pub fn comparator(n: usize) -> Network {
                 .expect("fresh");
             let eq_name = net.fresh_name("eqc");
             let eq = net
-                .add_node(
-                    eq_name,
-                    vec![eq_h, eq_l],
-                    sop(&[&[(0, true), (1, true)]]),
-                )
+                .add_node(eq_name, vec![eq_h, eq_l], sop(&[&[(0, true), (1, true)]]))
                 .expect("fresh");
             next.push((gt, eq));
         }
@@ -212,7 +208,14 @@ pub fn majority(n: usize) -> Network {
     let k = n / 2 + 1;
     let mut cubes: Vec<Cube> = Vec::new();
     let mut pick = vec![0usize; k];
-    fn rec(start: usize, depth: usize, k: usize, n: usize, pick: &mut Vec<usize>, cubes: &mut Vec<Cube>) {
+    fn rec(
+        start: usize,
+        depth: usize,
+        k: usize,
+        n: usize,
+        pick: &mut Vec<usize>,
+        cubes: &mut Vec<Cube>,
+    ) {
         if depth == k {
             cubes.push(Cube::from_literals(
                 pick.iter().map(|&i| (Var(i as u32), true)),
@@ -297,7 +300,10 @@ pub fn priority_encoder(n: usize) -> Network {
         .collect();
     // Binary index bits: y_b = OR of grants whose index has bit b set.
     for b in 0..bits {
-        let fanins: Vec<NodeId> = (0..n).filter(|i| i >> b & 1 == 1).map(|i| grant[i]).collect();
+        let fanins: Vec<NodeId> = (0..n)
+            .filter(|i| i >> b & 1 == 1)
+            .map(|i| grant[i])
+            .collect();
         let cubes: Vec<Vec<(u32, bool)>> =
             (0..fanins.len()).map(|i| vec![(i as u32, true)]).collect();
         let cube_refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();

@@ -18,8 +18,10 @@
 use std::fs;
 use std::process::ExitCode;
 
-use tels_core::{map_one_to_one, map_to_majority, parse_tnet, synthesize, synthesize_best,
-    synthesize_with_stats, to_verilog, TelsConfig, ThresholdNetwork};
+use tels_core::{
+    map_one_to_one, map_to_majority, parse_tnet, synthesize, synthesize_best,
+    synthesize_with_stats, to_verilog, TelsConfig, ThresholdNetwork,
+};
 use tels_logic::opt::{script_algebraic, script_boolean};
 use tels_logic::{blif, Network};
 
@@ -37,7 +39,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage: tels <command> [args]
   synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
-         [--weight-cap N] [--no-factor] [--no-theorem1] [--best]
+         [--weight-cap N] [--threads N] [--no-cache] [--no-factor]
+         [--no-theorem1] [--best]
   map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
   sim    <file.blif|file.tnet> <bits...>
   verify <spec.blif> <impl.tnet>
@@ -103,6 +106,14 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
             "--delta-on" => out.config.delta_on = num("--delta-on")?,
             "--delta-off" => out.config.delta_off = num("--delta-off")?,
             "--weight-cap" => out.config.weight_cap = Some(num("--weight-cap")?),
+            "--threads" => {
+                let n = num("--threads")?;
+                if n < 0 {
+                    return Err("--threads requires a non-negative integer".to_string());
+                }
+                out.config.num_threads = n as usize;
+            }
+            "--no-cache" => out.config.use_cache = false,
             "--no-factor" => out.factor = false,
             "--no-theorem1" => out.config.use_theorem1 = false,
             "--best" => out.best = true,
@@ -145,7 +156,11 @@ fn emit_tnet(tn: &ThresholdNetwork, output: &Option<String>) -> Result<(), Strin
 fn cmd_synth(args: &[String]) -> Result<(), String> {
     let a = parse_synth_args(args)?;
     let net = read_blif(&a.input)?;
-    let prepared = if a.factor { script_algebraic(&net) } else { net.clone() };
+    let prepared = if a.factor {
+        script_algebraic(&net)
+    } else {
+        net.clone()
+    };
     let tn = if a.best {
         synthesize_best(&prepared, &a.config).map_err(|e| e.to_string())?
     } else {
@@ -159,9 +174,19 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
             stats.theorem1_refutations,
             stats.theorem2_combines
         );
+        eprintln!(
+            "tels: {} ILP solves, {} cache hits, {} pre-filter rejections ({} solves avoided)",
+            stats.ilp_solves,
+            stats.cache_hits,
+            stats.prefilter_rejections,
+            stats.ilp_avoided()
+        );
         tn
     };
-    match tn.verify_against(&net, 12, 1024, 1).map_err(|e| e.to_string())? {
+    match tn
+        .verify_against(&net, 12, 1024, 1)
+        .map_err(|e| e.to_string())?
+    {
         None => eprintln!("tels: simulation check passed"),
         Some(cex) => return Err(format!("internal error: mismatch at {cex:?}")),
     }
@@ -183,7 +208,10 @@ fn cmd_map11(args: &[String]) -> Result<(), String> {
 
 fn parse_bits(bits: &str, expected: usize) -> Result<Vec<bool>, String> {
     if bits.len() != expected {
-        return Err(format!("expected {expected} input bits, got {}", bits.len()));
+        return Err(format!(
+            "expected {expected} input bits, got {}",
+            bits.len()
+        ));
     }
     bits.chars()
         .map(|c| match c {
@@ -206,14 +234,24 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         for v in vectors {
             let assign = parse_bits(v, tn.num_inputs())?;
             let out = tn.eval(&assign).map_err(|e| e.to_string())?;
-            println!("{v} -> {}", out.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>());
+            println!(
+                "{v} -> {}",
+                out.iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>()
+            );
         }
     } else {
         let net = read_blif(path)?;
         for v in vectors {
             let assign = parse_bits(v, net.num_inputs())?;
             let out = net.eval(&assign).map_err(|e| e.to_string())?;
-            println!("{v} -> {}", out.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>());
+            println!(
+                "{v} -> {}",
+                out.iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>()
+            );
         }
     }
     Ok(())
@@ -225,14 +263,19 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     };
     let net = read_blif(spec)?;
     let tn = read_tnet(imp)?;
-    match tn.verify_against(&net, 14, 4096, 0x5eed).map_err(|e| e.to_string())? {
+    match tn
+        .verify_against(&net, 14, 4096, 0x5eed)
+        .map_err(|e| e.to_string())?
+    {
         None => {
             println!("equivalent (up to simulation effort)");
             Ok(())
         }
         Some(cex) => Err(format!(
             "NOT equivalent: counterexample {}",
-            cex.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+            cex.iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect::<String>()
         )),
     }
 }
@@ -264,7 +307,11 @@ fn cmd_qca(args: &[String]) -> Result<(), String> {
     }
     a.config.psi = a.config.psi.min(3);
     let net = read_blif(&a.input)?;
-    let prepared = if a.factor { script_algebraic(&net) } else { net.clone() };
+    let prepared = if a.factor {
+        script_algebraic(&net)
+    } else {
+        net.clone()
+    };
     let tn = synthesize(&prepared, &a.config).map_err(|e| e.to_string())?;
     let (qca, stats) = map_to_majority(&tn).map_err(|e| e.to_string())?;
     eprintln!(
@@ -289,7 +336,11 @@ fn cmd_verilog(args: &[String]) -> Result<(), String> {
         read_tnet(&a.input)?
     } else {
         let net = read_blif(&a.input)?;
-        let prepared = if a.factor { script_algebraic(&net) } else { net.clone() };
+        let prepared = if a.factor {
+            script_algebraic(&net)
+        } else {
+            net.clone()
+        };
         synthesize(&prepared, &a.config).map_err(|e| e.to_string())?
     };
     let text = to_verilog(&tn);

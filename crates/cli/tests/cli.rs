@@ -96,7 +96,12 @@ fn sim_blif_and_tnet_agree() {
     let blif = dir.join("sample.blif");
     let tnet = dir.join("sample.tnet");
     fs::write(&blif, SAMPLE).unwrap();
-    let o = tels(&["synth", blif.to_str().unwrap(), "-o", tnet.to_str().unwrap()]);
+    let o = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "-o",
+        tnet.to_str().unwrap(),
+    ]);
     assert!(o.status.success(), "{}", stderr(&o));
 
     for bits in ["0000", "1100", "1010", "0110", "1111"] {

@@ -6,12 +6,27 @@
 //! weight-threshold vector; infeasibility proves the function is not a
 //! threshold function (over the cube constraints, which are exact for unate
 //! covers).
+//!
+//! Two cheap necessary conditions run before the ILP: duplicate
+//! inequalities are dropped when the problem is built, and functions that
+//! violate 2-monotonicity (pairwise cofactor comparability — a property of
+//! every threshold function) are rejected in time proportional to the
+//! truth table, skipping the complement and the solver entirely.
+//!
+//! [`check_threshold_cached`] additionally memoizes answers in a
+//! [`RealizationCache`] keyed by the canonical positive-unate form, so
+//! repeated queries for the same function — under any variable renaming or
+//! phase assignment — are answered by an exact remap instead of a solve.
+
+use std::collections::{HashMap, HashSet};
 
 use tels_ilp::{Cmp, Problem, Status};
-use tels_logic::{Polarity, Sop, Var};
+use tels_logic::{Cube, Polarity, Sop, TruthTable, Var};
 
+use crate::cache::{CanonicalRealization, RealizationCache};
 use crate::config::TelsConfig;
 use crate::error::SynthError;
+use crate::theorems::theorem1_refutes;
 
 /// A threshold-gate realization of a logic function.
 ///
@@ -82,45 +97,212 @@ impl Realization {
 ///
 /// Returns [`SynthError::Solver`] only on arithmetic failure inside the
 /// exact solver.
-pub fn check_threshold(
+pub fn check_threshold(f: &Sop, config: &TelsConfig) -> Result<Option<Realization>, SynthError> {
+    Ok(check_threshold_counted(f, config)?.0)
+}
+
+/// [`check_threshold`], also reporting whether the ILP solver actually ran
+/// (`false` when a constant, a binate rejection, or the 2-monotonicity
+/// pre-filter decided the query).
+pub(crate) fn check_threshold_counted(
     f: &Sop,
     config: &TelsConfig,
-) -> Result<Option<Realization>, SynthError> {
+) -> Result<(Option<Realization>, bool), SynthError> {
     if f.is_zero() {
-        return Ok(Some(Realization::constant(false, config)));
+        return Ok((Some(Realization::constant(false, config)), false));
     }
     if f.is_one() {
-        return Ok(Some(Realization::constant(true, config)));
+        return Ok((Some(Realization::constant(true, config)), false));
     }
+    let Some(pf) = positive_form(f) else {
+        return Ok((None, false));
+    };
+    if !passes_two_monotonicity(&pf.positive, &pf.support) {
+        return Ok((None, false));
+    }
+    let solved = solve_positive(&pf.positive, &pf.support, config)?;
+    Ok((solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)), true))
+}
 
-    // Phase map; bail out on binate covers.
+/// How a [`check_threshold_cached`] query was decided (statistics
+/// bucketing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CheckVia {
+    /// Constant or syntactically binate — decided before any heavy work.
+    Trivial,
+    /// Served from the canonical realization cache.
+    CacheHit,
+    /// Refuted by the Theorem-1 substitution filter (miss path).
+    Theorem1,
+    /// Rejected by the 2-monotonicity necessary condition (miss path).
+    Prefilter,
+    /// Decided by an actual ILP solve (miss path).
+    Ilp,
+}
+
+/// [`check_threshold`] through the canonical realization cache.
+///
+/// On a miss the query is decided *in canonical space* — the Theorem-1
+/// filter (when enabled), the 2-monotonicity pre-filter, then the ILP over
+/// the canonical cover — and the canonical answer is memoized. Hit or
+/// miss, the caller receives the canonical answer remapped onto the
+/// query's variables and phases, so the result depends only on the
+/// function's canonical form, never on which query populated the cache or
+/// on thread scheduling.
+pub(crate) fn check_threshold_cached(
+    f: &Sop,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+) -> Result<(Option<Realization>, CheckVia), SynthError> {
+    if f.is_zero() {
+        return Ok((
+            Some(Realization::constant(false, config)),
+            CheckVia::Trivial,
+        ));
+    }
+    if f.is_one() {
+        return Ok((Some(Realization::constant(true, config)), CheckVia::Trivial));
+    }
+    let Some(pf) = positive_form(f) else {
+        return Ok((None, CheckVia::Trivial));
+    };
+    let Some((key, order)) = pf.positive.canonical_signature() else {
+        // Support too wide for a 64-bit canonical key: solve uncached.
+        let solved = solve_positive(&pf.positive, &pf.support, config)?;
+        return Ok((
+            solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)),
+            CheckVia::Ilp,
+        ));
+    };
+    if let Some(entry) = cache.lookup(&key) {
+        return Ok((
+            realize_canonical(entry.as_ref(), &order, &pf),
+            CheckVia::CacheHit,
+        ));
+    }
+    // Miss. Theorem 1 is a sound refutation (it never rejects a true
+    // threshold function), so its verdict may be memoized under the
+    // canonical key as well.
+    if config.use_theorem1 && theorem1_refutes(f) {
+        cache.insert(key, None);
+        return Ok((None, CheckVia::Theorem1));
+    }
+    let k = key[0] as usize;
+    let canon_order: Vec<Var> = (0..k as u32).map(Var).collect();
+    let canon = Sop::from_cubes(key[1..].iter().map(|&m| {
+        Cube::from_literals(
+            (0..k as u32)
+                .filter(|&j| m >> j & 1 == 1)
+                .map(|j| (Var(j), true)),
+        )
+    }));
+    if !passes_two_monotonicity(&canon, &canon_order) {
+        cache.insert(key, None);
+        return Ok((None, CheckVia::Prefilter));
+    }
+    let entry = solve_positive(&canon, &canon_order, config)?
+        .map(|(weights, threshold)| CanonicalRealization { weights, threshold });
+    let result = realize_canonical(entry.as_ref(), &order, &pf);
+    cache.insert(key, entry);
+    Ok((result, CheckVia::Ilp))
+}
+
+/// Largest support for which the 2-monotonicity pre-filter builds a truth
+/// table; larger supports go straight to the ILP.
+const PREFILTER_VAR_LIMIT: usize = 11;
+
+/// The positive-unate normal form of a unate cover.
+struct PositiveForm {
+    /// Support in ascending variable order.
+    support: Vec<Var>,
+    /// Phase flip per support position.
+    negated: Vec<bool>,
+    /// The cover with every negative-phase literal flipped positive.
+    positive: Sop,
+}
+
+/// Computes the positive-unate form; `None` for binate covers (every
+/// threshold function is unate, §II-B).
+fn positive_form(f: &Sop) -> Option<PositiveForm> {
     let support: Vec<Var> = f.support().iter().collect();
-    let mut negated = Vec::new();
+    let mut negated = Vec::with_capacity(support.len());
     for &v in &support {
         match f.polarity(v) {
             Some(Polarity::Positive) => negated.push(false),
             Some(Polarity::Negative) => negated.push(true),
-            Some(Polarity::Binate) => return Ok(None),
+            Some(Polarity::Binate) => return None,
             None => unreachable!("support variable must appear"),
         }
     }
-
-    // Positive-unate form: flip negative-phase literals.
+    // Var → phase flip, built once per call rather than scanned per literal.
+    let flip: HashMap<Var, bool> = support
+        .iter()
+        .copied()
+        .zip(negated.iter().copied())
+        .collect();
     let positive = Sop::from_cubes(f.cubes().iter().map(|c| {
-        tels_logic::Cube::from_literals(c.literals().map(|(v, phase)| {
-            let idx = support.iter().position(|&s| s == v).expect("in support");
-            (v, if negated[idx] { !phase } else { phase })
-        }))
+        Cube::from_literals(
+            c.literals()
+                .map(|(v, phase)| (v, if flip[&v] { !phase } else { phase })),
+        )
     }));
     debug_assert!(positive.is_positive_unate());
+    Some(PositiveForm {
+        support,
+        negated,
+        positive,
+    })
+}
 
+/// Necessary-condition pre-filter: every threshold function is 2-monotonic
+/// — for every variable pair `(i, j)`, the cofactor at `xᵢ=1, xⱼ=0`
+/// dominates the cofactor at `xᵢ=0, xⱼ=1` pointwise, or vice versa. An
+/// incomparable pair proves the function is not threshold without touching
+/// the complement or the ILP. Supports beyond [`PREFILTER_VAR_LIMIT`] skip
+/// the check (the truth table would be too large).
+fn passes_two_monotonicity(positive: &Sop, order: &[Var]) -> bool {
+    let k = order.len();
+    if !(2..=PREFILTER_VAR_LIMIT).contains(&k) {
+        return true;
+    }
+    let tt = TruthTable::from_sop(positive, order);
+    for i in 0..k {
+        for j in i + 1..k {
+            let (mut ge, mut le) = (true, true);
+            for m in 0..1usize << k {
+                if m >> i & 1 == 1 && m >> j & 1 == 0 {
+                    let a = tt.bit(m);
+                    let b = tt.bit(m ^ (1 << i) ^ (1 << j));
+                    ge &= a | !b;
+                    le &= b | !a;
+                    if !ge && !le {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Builds and solves the ON/OFF ILP for the positive-unate cover
+/// `positive`, with ILP column `i` holding the weight of `order[i]`.
+/// Returns the non-negative positive-form weights plus threshold, or
+/// `None` when the cover is not a threshold function (or the effort limits
+/// ran out without a feasible incumbent, §V-E).
+fn solve_positive(
+    positive: &Sop,
+    order: &[Var],
+    config: &TelsConfig,
+) -> Result<Option<(Vec<i64>, i64)>, SynthError> {
     // OFF-set cubes: ON-set of the complement. Minimization brings the
     // cover to its prime (negative-unate) form, which gives the fewest,
     // tightest OFF inequalities.
     let off = positive.complement().minimize();
+    let index_of: HashMap<Var, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     let mut problem = Problem::new();
-    let w: Vec<_> = support.iter().map(|_| problem.add_int_var()).collect();
+    let w: Vec<_> = order.iter().map(|_| problem.add_int_var()).collect();
     let t = problem.add_int_var();
     problem.set_objective(w.iter().map(|&v| (v, 1i64)).chain([(t, 1i64)]));
     // Optional dynamic-range cap on weights and threshold.
@@ -130,13 +312,20 @@ pub fn check_threshold(
         }
     }
 
+    // Inequalities over identical index sets are identical rows; dedup
+    // them as the problem is built (the side is part of the key since ON
+    // and OFF rows differ in sense and right-hand side).
+    let mut seen: HashSet<(bool, Vec<usize>)> = HashSet::new();
     // ON inequalities: for each cube C, Σ_{v ∈ C} w_v − T ≥ δ_on.
     for cube in positive.cubes() {
-        let terms: Vec<_> = support
+        let mut idx: Vec<usize> = cube.literals().map(|(v, _)| index_of[&v]).collect();
+        idx.sort_unstable();
+        if !seen.insert((true, idx.clone())) {
+            continue;
+        }
+        let terms: Vec<_> = idx
             .iter()
-            .enumerate()
-            .filter(|(_, &v)| cube.literal(v).is_some())
-            .map(|(i, _)| (w[i], 1i64))
+            .map(|&i| (w[i], 1i64))
             .chain([(t, -1i64)])
             .collect();
         problem.add_constraint(terms, Cmp::Ge, config.delta_on);
@@ -147,11 +336,18 @@ pub fn check_threshold(
     // For a negative-unate prime cover this is exactly the paper's
     // "don't-care positions" rule.
     for cube in off.cubes() {
-        let terms: Vec<_> = support
+        let idx: Vec<usize> = order
             .iter()
             .enumerate()
             .filter(|(_, &v)| cube.literal(v) != Some(false))
-            .map(|(i, _)| (w[i], 1i64))
+            .map(|(i, _)| i)
+            .collect();
+        if !seen.insert((false, idx.clone())) {
+            continue;
+        }
+        let terms: Vec<_> = idx
+            .iter()
+            .map(|&i| (w[i], 1i64))
             .chain([(t, -1i64)])
             .collect();
         problem.add_constraint(terms, Cmp::Le, -config.delta_off);
@@ -177,27 +373,56 @@ pub fn check_threshold(
             None => return Ok(None),
         },
     };
-    let t_pos = values[support.len()];
-    // Back-substitution (§IV): negate weights of negative-phase variables;
-    // the threshold drops by the sum of those (positive-form) weights.
+    let t_pos = values[order.len()];
+    Ok(Some((values[..order.len()].to_vec(), t_pos)))
+}
+
+/// Back-substitution (§IV): negate weights of negative-phase variables;
+/// the threshold drops by the sum of those (positive-form) weights.
+fn back_substitute(weights_pos: &[i64], t_pos: i64, pf: &PositiveForm) -> Realization {
     let mut threshold = t_pos;
-    let weights: Vec<(Var, i64)> = support
+    let weights: Vec<(Var, i64)> = pf
+        .support
         .iter()
         .enumerate()
         .map(|(i, &v)| {
-            if negated[i] {
-                threshold -= values[i];
-                (v, -values[i])
+            if pf.negated[i] {
+                threshold -= weights_pos[i];
+                (v, -weights_pos[i])
             } else {
-                (v, values[i])
+                (v, weights_pos[i])
             }
         })
         .collect();
-    Ok(Some(Realization {
+    Realization {
         weights,
         threshold,
         positive_threshold: t_pos,
-    }))
+    }
+}
+
+/// Remaps a canonical realization onto a query: canonical position `j`
+/// carries the weight of the query variable `order[j]`; phases are then
+/// back-substituted like a fresh solve.
+fn realize_canonical(
+    entry: Option<&CanonicalRealization>,
+    order: &[Var],
+    pf: &PositiveForm,
+) -> Option<Realization> {
+    let e = entry?;
+    debug_assert_eq!(e.weights.len(), order.len());
+    let mut by_var: Vec<(Var, i64)> = order
+        .iter()
+        .copied()
+        .zip(e.weights.iter().copied())
+        .collect();
+    by_var.sort_unstable_by_key(|&(v, _)| v.0);
+    let wpos: Vec<i64> = by_var.iter().map(|&(_, w)| w).collect();
+    debug_assert!(by_var
+        .iter()
+        .map(|&(v, _)| v)
+        .eq(pf.support.iter().copied()));
+    Some(back_substitute(&wpos, e.threshold, pf))
 }
 
 #[cfg(test)]
@@ -337,6 +562,107 @@ mod tests {
     }
 
     #[test]
+    fn prefilter_rejects_disjoint_ands_without_ilp() {
+        let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
+        let pf = positive_form(&f).unwrap();
+        assert!(!passes_two_monotonicity(&pf.positive, &pf.support));
+        // The counted path therefore reports that no solve happened.
+        let (r, solved) = check_threshold_counted(&f, &TelsConfig::default()).unwrap();
+        assert_eq!(r, None);
+        assert!(!solved);
+    }
+
+    #[test]
+    fn prefilter_accepts_threshold_functions() {
+        for f in [
+            sop(&[
+                &[(0, true), (1, true)][..],
+                &[(0, true), (2, true)],
+                &[(1, true), (2, true)],
+            ]),
+            sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+            sop(&[&[(0, true)], &[(1, false)]]),
+            sop(&[&[(0, false), (1, false), (2, false)]]),
+        ] {
+            let pf = positive_form(&f).unwrap();
+            assert!(passes_two_monotonicity(&pf.positive, &pf.support), "{f}");
+        }
+    }
+
+    #[test]
+    fn cached_path_matches_uncached() {
+        use crate::cache::RealizationCache;
+        let cfg = TelsConfig::default();
+        let cache = RealizationCache::new();
+        let fns = [
+            sop(&[&[(0, true), (1, true)]]),
+            sop(&[&[(0, true)], &[(1, true)], &[(2, true)]]),
+            sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+            sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]),
+            sop(&[&[(0, true)], &[(1, false)]]),
+            sop(&[&[(0, false)]]),
+            sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]), // binate
+        ];
+        for f in &fns {
+            let direct = check_threshold(f, &cfg).unwrap();
+            let (first, _) = check_threshold_cached(f, &cfg, &cache).unwrap();
+            let (second, _) = check_threshold_cached(f, &cfg, &cache).unwrap();
+            // Hit must equal miss bit-for-bit, and agree with the plain
+            // checker on the decision.
+            assert_eq!(first, second, "{f}");
+            assert_eq!(direct.is_some(), first.is_some(), "{f}");
+            if let Some(r) = &first {
+                validate(f, r);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_across_renamings_and_phases() {
+        use crate::cache::RealizationCache;
+        let cfg = TelsConfig::default();
+        let cache = RealizationCache::new();
+        // x₁x₂ ∨ x₁x₃ populates the cache ...
+        let a = sop(&[&[(1, true), (2, true)], &[(1, true), (3, true)]]);
+        let (ra, via_a) = check_threshold_cached(&a, &cfg, &cache).unwrap();
+        assert_eq!(via_a, CheckVia::Ilp);
+        // ... and x̄₅x₇ ∨ x̄₅x₉ — the same function up to renaming and
+        // phase — must hit and remap exactly.
+        let b = sop(&[&[(5, false), (7, true)], &[(5, false), (9, true)]]);
+        let (rb, via_b) = check_threshold_cached(&b, &cfg, &cache).unwrap();
+        assert_eq!(via_b, CheckVia::CacheHit);
+        let (ra, rb) = (ra.unwrap(), rb.unwrap());
+        validate(&b, &rb);
+        assert_eq!(ra.positive_threshold, rb.positive_threshold);
+        assert_eq!(rb.weights, vec![(Var(5), -2), (Var(7), 1), (Var(9), 1)]);
+        assert_eq!(rb.threshold, 1); // T_pos = 3 minus the flipped weight 2
+    }
+
+    #[test]
+    fn cached_non_threshold_is_remembered() {
+        use crate::cache::RealizationCache;
+        let cfg = TelsConfig::default();
+        let cache = RealizationCache::new();
+        let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
+        let (r1, via1) = check_threshold_cached(&f, &cfg, &cache).unwrap();
+        assert_eq!(r1, None);
+        // Theorem 1 (enabled by default) refutes this one before the
+        // pre-filter gets a look.
+        assert_eq!(via1, CheckVia::Theorem1);
+        let (r2, via2) = check_threshold_cached(&f, &cfg, &cache).unwrap();
+        assert_eq!(r2, None);
+        assert_eq!(via2, CheckVia::CacheHit);
+        // With Theorem 1 disabled, the 2-monotonicity pre-filter catches it.
+        let cfg2 = TelsConfig {
+            use_theorem1: false,
+            ..TelsConfig::default()
+        };
+        let cache2 = RealizationCache::new();
+        let (_, via3) = check_threshold_cached(&f, &cfg2, &cache2).unwrap();
+        assert_eq!(via3, CheckVia::Prefilter);
+    }
+
+    #[test]
     fn counts_threshold_functions_of_3_vars() {
         // 104 of the 256 three-variable functions are threshold functions
         // (Muroga). Functional unateness is required first: syntactically
@@ -347,11 +673,7 @@ mod tests {
         for bits in 0u32..256 {
             let cubes: Vec<Cube> = (0..8u32)
                 .filter(|m| bits >> m & 1 != 0)
-                .map(|m| {
-                    Cube::from_literals(
-                        (0..3).map(|i| (vars[i as usize], m >> i & 1 != 0)),
-                    )
-                })
+                .map(|m| Cube::from_literals((0..3).map(|i| (vars[i as usize], m >> i & 1 != 0))))
                 .collect();
             let f = Sop::from_cubes(cubes).minimize();
             if check(&f).is_some() {

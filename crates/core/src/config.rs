@@ -88,6 +88,23 @@ pub struct TelsConfig {
     /// treated as non-threshold and split further. `None` (the paper's
     /// setting) leaves weights unbounded.
     pub weight_cap: Option<i64>,
+    /// Memoize threshold-check answers in a canonical-form cache shared
+    /// across the whole run (and across the warming worker threads).
+    ///
+    /// Cached answers are decided in canonical space, so the synthesized
+    /// network is a pure function of the input and the configuration —
+    /// but its gate weights may differ from a `use_cache = false` run
+    /// (which solves every query in its original variable order). Both are
+    /// exact realizations of the same functions.
+    pub use_cache: bool,
+    /// Worker threads for the level-parallel cache-warming pass
+    /// (`0` = auto-detect from [`std::thread::available_parallelism`]).
+    ///
+    /// `1` skips warming entirely: the single serial pass populates the
+    /// cache on the fly and reproduces the emission order bit-for-bit.
+    /// Because warming only pre-populates the cache with canonical-space
+    /// answers, the output network is identical for every thread count.
+    pub num_threads: usize,
 }
 
 impl Default for TelsConfig {
@@ -101,6 +118,8 @@ impl Default for TelsConfig {
             split_heuristic: SplitHeuristic::default(),
             strategy: SynthStrategy::default(),
             weight_cap: None,
+            use_cache: true,
+            num_threads: 0,
         }
     }
 }
@@ -140,6 +159,21 @@ impl TelsConfig {
             assert!(cap >= 1, "weight cap must be at least 1");
         }
     }
+
+    /// The number of warming worker threads this configuration resolves to:
+    /// `num_threads`, or the machine's available parallelism when it is `0`,
+    /// clamped to 256 (spawning is per-run; absurd counts would only burn
+    /// memory on idle workers).
+    pub fn effective_threads(&self) -> usize {
+        let n = if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        n.min(256)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +185,24 @@ mod tests {
         let c = TelsConfig::default();
         assert_eq!((c.psi, c.delta_on, c.delta_off), (3, 0, 1));
         assert!(c.use_theorem1);
+    }
+
+    #[test]
+    fn cache_and_threads_defaults() {
+        let c = TelsConfig::default();
+        assert!(c.use_cache);
+        assert_eq!(c.num_threads, 0);
+        assert!(c.effective_threads() >= 1);
+        let fixed = TelsConfig {
+            num_threads: 3,
+            ..TelsConfig::default()
+        };
+        assert_eq!(fixed.effective_threads(), 3);
+        let absurd = TelsConfig {
+            num_threads: usize::MAX,
+            ..TelsConfig::default()
+        };
+        assert_eq!(absurd.effective_threads(), 256);
     }
 
     #[test]

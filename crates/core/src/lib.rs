@@ -51,25 +51,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod check;
 mod config;
 mod error;
 mod map11;
 pub mod perturb;
 mod qca;
-mod verilog;
 mod split;
 mod synth;
 mod theorems;
 mod tnet;
+mod verilog;
 
+pub use cache::{CanonicalRealization, RealizationCache};
 pub use check::{check_threshold, Realization};
 pub use config::{SplitHeuristic, SynthStrategy, TelsConfig};
 pub use error::SynthError;
 pub use map11::{map_one_to_one, synthesize_best};
 pub use qca::{map_to_majority, MajorityStats};
-pub use verilog::to_verilog;
 pub use split::{split_binate, split_cubes_k, split_unate, split_unate_with, UnateSplit};
 pub use synth::{synthesize, synthesize_with_stats, SynthStats};
 pub use theorems::{theorem1_refutes, theorem2_extend};
 pub use tnet::{parse_tnet, NetworkReport, ThresholdGate, ThresholdNetwork, TnId};
+pub use verilog::to_verilog;

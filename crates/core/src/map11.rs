@@ -39,10 +39,7 @@ use crate::tnet::{ThresholdGate, ThresholdNetwork};
 /// # Ok(())
 /// # }
 /// ```
-pub fn map_one_to_one(
-    net: &Network,
-    config: &TelsConfig,
-) -> Result<ThresholdNetwork, SynthError> {
+pub fn map_one_to_one(net: &Network, config: &TelsConfig) -> Result<ThresholdNetwork, SynthError> {
     config.assert_valid();
     let simple = decompose(net, config.psi);
     let mut tn = ThresholdNetwork::new(simple.model().to_string());
@@ -110,10 +107,7 @@ pub fn map_one_to_one(
 /// # Errors
 ///
 /// Propagates errors from either flow.
-pub fn synthesize_best(
-    net: &Network,
-    config: &TelsConfig,
-) -> Result<ThresholdNetwork, SynthError> {
+pub fn synthesize_best(net: &Network, config: &TelsConfig) -> Result<ThresholdNetwork, SynthError> {
     let tels = crate::synth::synthesize(net, config)?;
     let baseline = map_one_to_one(net, config)?;
     Ok(if tels.num_gates() <= baseline.num_gates() {
@@ -141,7 +135,8 @@ mod tests {
 
     #[test]
     fn gate_count_matches_decomposition() {
-        let src = ".model m\n.inputs a b c d e f\n.outputs y\n.names a b c d e f y\n111111 1\n.end\n";
+        let src =
+            ".model m\n.inputs a b c d e f\n.outputs y\n.names a b c d e f y\n111111 1\n.end\n";
         let net = blif::parse(src).unwrap();
         let config = TelsConfig::default();
         let dec = decompose(&net, config.psi);

@@ -9,9 +9,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use tels_logic::rng::Xoshiro256;
 use tels_logic::Network;
 
 use crate::error::SynthError;
@@ -48,14 +46,14 @@ impl Default for PerturbOptions {
 pub fn draw_disturbance(
     tn: &ThresholdNetwork,
     variation: f64,
-    rng: &mut StdRng,
+    rng: &mut Xoshiro256,
 ) -> HashMap<TnId, Vec<f64>> {
     tn.gates()
         .map(|(id, g)| {
             let ws = g
                 .weights
                 .iter()
-                .map(|&w| w as f64 + variation * (rng.gen::<f64>() - 0.5))
+                .map(|&w| w as f64 + variation * (rng.gen_f64() - 0.5))
                 .collect();
             (id, ws)
         })
@@ -73,7 +71,7 @@ pub fn instance_fails(
     reference: &Network,
     disturbed: &HashMap<TnId, Vec<f64>>,
     options: &PerturbOptions,
-    rng: &mut StdRng,
+    rng: &mut Xoshiro256,
 ) -> Result<bool, SynthError> {
     let ref_inputs = reference.inputs();
     let my_inputs = tn.inputs();
@@ -108,12 +106,16 @@ pub fn instance_fails(
 
     let n = ref_inputs.len();
     let exhaustive = n as u32 <= options.exhaustive_limit;
-    let total = if exhaustive { 1usize << n } else { options.vectors };
+    let total = if exhaustive {
+        1usize << n
+    } else {
+        options.vectors
+    };
     for t in 0..total {
         let assign: Vec<bool> = if exhaustive {
             (0..n).map(|i| t >> i & 1 != 0).collect()
         } else {
-            (0..n).map(|_| rng.gen()).collect()
+            (0..n).map(|_| rng.gen_bool()).collect()
         };
         let expect = reference.eval(&assign)?;
         let my_assign: Vec<bool> = my_perm.iter().map(|&i| assign[i]).collect();
@@ -138,7 +140,7 @@ pub fn failure_rate(
     reference: &Network,
     options: &PerturbOptions,
 ) -> Result<f64, SynthError> {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Xoshiro256::seed_from_u64(options.seed);
     let mut failures = 0usize;
     for _ in 0..options.trials {
         let disturbed = draw_disturbance(tn, options.variation, &mut rng);
@@ -217,8 +219,8 @@ mod tests {
     fn disturbance_draw_is_seeded() {
         let net = blif::parse(SRC).unwrap();
         let tn = synthesize(&net, &TelsConfig::default()).unwrap();
-        let mut rng1 = StdRng::seed_from_u64(9);
-        let mut rng2 = StdRng::seed_from_u64(9);
+        let mut rng1 = Xoshiro256::seed_from_u64(9);
+        let mut rng2 = Xoshiro256::seed_from_u64(9);
         let d1 = draw_disturbance(&tn, 0.5, &mut rng1);
         let d2 = draw_disturbance(&tn, 0.5, &mut rng2);
         assert_eq!(d1.len(), d2.len());

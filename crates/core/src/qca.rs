@@ -173,9 +173,7 @@ pub struct MajorityStats {
 /// # Ok(())
 /// # }
 /// ```
-pub fn map_to_majority(
-    tn: &ThresholdNetwork,
-) -> Result<(Network, MajorityStats), SynthError> {
+pub fn map_to_majority(tn: &ThresholdNetwork) -> Result<(Network, MajorityStats), SynthError> {
     let mut out = Network::new(format!("{}_qca", tn.model()));
     let mut stats = MajorityStats::default();
     let mut map: HashMap<TnId, NodeId> = HashMap::new();
@@ -249,11 +247,8 @@ pub fn map_to_majority(
                             Some(&i) => i,
                             None => {
                                 let name = out.fresh_name("qinv");
-                                let i = out.add_node(
-                                    name,
-                                    vec![src],
-                                    Sop::literal(Var(0), false),
-                                )?;
+                                let i =
+                                    out.add_node(name, vec![src], Sop::literal(Var(0), false))?;
                                 stats.inverters += 1;
                                 inverters.insert(src, i);
                                 i
@@ -349,9 +344,7 @@ mod tests {
         for bits in 0u16..256 {
             let cubes: Vec<Cube> = (0..8u32)
                 .filter(|m| bits >> m & 1 != 0)
-                .map(|m| {
-                    Cube::from_literals((0..3).map(|i| (Var(i), m >> i & 1 != 0)))
-                })
+                .map(|m| Cube::from_literals((0..3).map(|i| (Var(i), m >> i & 1 != 0))))
                 .collect();
             let f = Sop::from_cubes(cubes).minimize();
             if check_threshold(&f, &cfg).unwrap().is_some() {
@@ -420,16 +413,14 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(
-            map_to_majority(&tn),
-            Err(SynthError::Internal(_))
-        ));
+        assert!(matches!(map_to_majority(&tn), Err(SynthError::Internal(_))));
     }
 
     #[test]
     fn inverters_are_shared_in_mapping() {
         // Two gates both using ā.
-        let src = ".model i\n.inputs a b c\n.outputs f g\n.names a b f\n01 1\n.names a c g\n01 1\n.end\n";
+        let src =
+            ".model i\n.inputs a b c\n.outputs f g\n.names a b f\n01 1\n.names a c g\n01 1\n.end\n";
         let net = blif::parse(src).unwrap();
         let tn = synthesize(&net, &TelsConfig::default()).unwrap();
         let (qca, stats) = map_to_majority(&tn).unwrap();

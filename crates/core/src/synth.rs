@@ -1,12 +1,24 @@
 //! The TELS synthesis driver (Fig. 3): collapse → threshold-check → split,
 //! recursively, from the primary outputs backwards.
+//!
+//! When the canonical realization cache is enabled (the default), the
+//! driver may first run a *level-parallel warming pass*: worker threads
+//! walk the same collapse/split decision tree over independent boundary
+//! nodes — deepest levels first — issuing every threshold query through
+//! the shared cache without emitting gates. The serial emission pass then
+//! replays the flow deterministically, answering almost every query from
+//! the warmed cache. Because cache entries are decided in canonical space
+//! (see [`crate::cache`]), the emitted network is identical for every
+//! thread count.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
 
 use tels_logic::opt::global_sop;
-use tels_logic::{Network, NodeId, Sop, Var};
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
 
-use crate::check::{check_threshold, Realization};
+use crate::cache::RealizationCache;
+use crate::check::{check_threshold_cached, check_threshold_counted, CheckVia, Realization};
 use crate::config::TelsConfig;
 use crate::error::SynthError;
 use crate::split::{split_binate, split_cubes_k, split_unate_with, UnateSplit};
@@ -16,7 +28,8 @@ use crate::tnet::{ThresholdGate, ThresholdNetwork, TnId};
 /// Statistics of a synthesis run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SynthStats {
-    /// Number of ILP threshold checks performed.
+    /// Threshold queries issued by the emission pass (constants, cache
+    /// hits, pre-filter rejections, and actual solves alike).
     pub ilp_calls: usize,
     /// Threshold checks skipped thanks to the Theorem-1 pre-filter.
     pub theorem1_refutations: usize,
@@ -29,6 +42,19 @@ pub struct SynthStats {
     pub unate_splits: usize,
     /// Binate splits performed (Fig. 8).
     pub binate_splits: usize,
+    /// Queries answered from the canonical realization cache.
+    pub cache_hits: usize,
+    /// Queries rejected by the 2-monotonicity pre-filter before the ILP.
+    pub prefilter_rejections: usize,
+    /// Actual ILP solver runs, across the warming and emission passes.
+    pub ilp_solves: usize,
+}
+
+impl SynthStats {
+    /// ILP solves avoided by memoization and the cheap pre-filters.
+    pub fn ilp_avoided(&self) -> usize {
+        self.cache_hits + self.prefilter_rejections
+    }
 }
 
 /// Synthesizes an algebraically-factored Boolean network into a functionally
@@ -54,10 +80,7 @@ pub struct SynthStats {
 /// # Ok(())
 /// # }
 /// ```
-pub fn synthesize(
-    net: &Network,
-    config: &TelsConfig,
-) -> Result<ThresholdNetwork, SynthError> {
+pub fn synthesize(net: &Network, config: &TelsConfig) -> Result<ThresholdNetwork, SynthError> {
     synthesize_with_stats(net, config).map(|(tn, _)| tn)
 }
 
@@ -71,7 +94,15 @@ pub fn synthesize_with_stats(
     config: &TelsConfig,
 ) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
     config.assert_valid();
-    let mut s = Synth::new(net, config)?;
+    let cache = config.use_cache.then(RealizationCache::new);
+    let mut s = Synth::new(net, config, cache.as_ref())?;
+    if let Some(cache) = &cache {
+        let threads = config.effective_threads();
+        if threads > 1 {
+            s.stats.ilp_solves +=
+                warm_cache(net, config, cache, &s.boundary, &s.net_levels, threads);
+        }
+    }
     s.run()?;
     Ok((s.tn, s.stats))
 }
@@ -81,9 +112,45 @@ pub fn synthesize_with_stats(
 /// this many cubes the substitution is undone.
 const COLLAPSE_CUBE_CAP: usize = 64;
 
+/// Node collapsing (Fig. 4), shared by the emission pass and the warming
+/// planner so both walk identical expressions: substitute non-boundary
+/// fanin functions into the expression while the support stays within ψ;
+/// undo any substitution that pushes it past ψ (or past the starting
+/// support, for nodes that already exceed ψ).
+fn collapse_with(
+    net: &Network,
+    config: &TelsConfig,
+    boundary: &[bool],
+    mut expr: Sop,
+    collapses: &mut usize,
+) -> Sop {
+    let limit = config.psi.max(expr.support().len());
+    let mut blocked: Vec<Var> = Vec::new();
+    loop {
+        let candidate_var = expr.support().iter().find(|&v| {
+            let node = NodeId::from_index(v.0 as usize);
+            !boundary[node.index()] && !blocked.contains(&v)
+        });
+        let Some(v) = candidate_var else { break };
+        let inner = global_sop(net, NodeId::from_index(v.0 as usize));
+        let substituted = expr.substitute(v, &inner);
+        if substituted.support().len() <= limit && substituted.num_cubes() <= COLLAPSE_CUBE_CAP {
+            expr = substituted;
+            *collapses += 1;
+        } else {
+            blocked.push(v);
+        }
+    }
+    expr
+}
+
 struct Synth<'a> {
     net: &'a Network,
     config: &'a TelsConfig,
+    /// Canonical threshold-check cache (None when `config.use_cache` is
+    /// off; the run then solves every query in its original variable
+    /// order, reproducing the pre-cache flow bit-for-bit).
+    cache: Option<&'a RealizationCache>,
     tn: ThresholdNetwork,
     /// Boundary nodes (PIs and fanout nodes) and synthesized roots, mapped
     /// to their threshold-network signal.
@@ -99,7 +166,11 @@ struct Synth<'a> {
 }
 
 impl<'a> Synth<'a> {
-    fn new(net: &'a Network, config: &'a TelsConfig) -> Result<Synth<'a>, SynthError> {
+    fn new(
+        net: &'a Network,
+        config: &'a TelsConfig,
+        cache: Option<&'a RealizationCache>,
+    ) -> Result<Synth<'a>, SynthError> {
         let mut tn = ThresholdNetwork::new(net.model().to_string());
         let mut signal_map = HashMap::new();
         for pi in net.inputs() {
@@ -115,6 +186,7 @@ impl<'a> Synth<'a> {
         Ok(Synth {
             net,
             config,
+            cache,
             tn,
             signal_map,
             boundary,
@@ -150,35 +222,18 @@ impl<'a> Synth<'a> {
         Ok(signal)
     }
 
-    /// Node collapsing (Fig. 4): substitute non-boundary fanin functions
-    /// into the expression while the support stays within ψ; undo any
-    /// substitution that pushes it past ψ (or past the starting support,
-    /// for nodes that already exceed ψ).
-    ///
-    /// Also applied to split products — the Fig. 3 flow feeds split nodes
-    /// back through collapsing, so a leaf blocked by ψ at the parent can be
-    /// absorbed once a split shrinks the support.
-    fn collapse_expr(&mut self, mut expr: Sop) -> Sop {
-        let limit = self.config.psi.max(expr.support().len());
-        let mut blocked: Vec<Var> = Vec::new();
-        loop {
-            let candidate_var = expr.support().iter().find(|&v| {
-                let node = NodeId::from_index(v.0 as usize);
-                !self.boundary[node.index()] && !blocked.contains(&v)
-            });
-            let Some(v) = candidate_var else { break };
-            let inner = global_sop(self.net, NodeId::from_index(v.0 as usize));
-            let substituted = expr.substitute(v, &inner);
-            if substituted.support().len() <= limit
-                && substituted.num_cubes() <= COLLAPSE_CUBE_CAP
-            {
-                expr = substituted;
-                self.stats.collapses += 1;
-            } else {
-                blocked.push(v);
-            }
-        }
-        expr
+    /// Node collapsing (Fig. 4) — see [`collapse_with`]. Also applied to
+    /// split products: the Fig. 3 flow feeds split nodes back through
+    /// collapsing, so a leaf blocked by ψ at the parent can be absorbed
+    /// once a split shrinks the support.
+    fn collapse_expr(&mut self, expr: Sop) -> Sop {
+        collapse_with(
+            self.net,
+            self.config,
+            &self.boundary,
+            expr,
+            &mut self.stats.collapses,
+        )
     }
 
     /// The threshold-network signal for a leaf variable of an expression,
@@ -188,11 +243,7 @@ impl<'a> Synth<'a> {
     }
 
     /// Emits a gate for a realization over *global-variable* weights.
-    fn emit_gate(
-        &mut self,
-        r: &Realization,
-        name_hint: Option<&str>,
-    ) -> Result<TnId, SynthError> {
+    fn emit_gate(&mut self, r: &Realization, name_hint: Option<&str>) -> Result<TnId, SynthError> {
         let inputs: Vec<TnId> = r
             .weights
             .iter()
@@ -224,12 +275,39 @@ impl<'a> Synth<'a> {
     }
 
     fn checked_threshold(&mut self, expr: &Sop) -> Result<Option<Realization>, SynthError> {
-        if self.config.use_theorem1 && theorem1_refutes(expr) {
+        // With the cache enabled, Theorem 1 runs inside the cached checker
+        // (miss path only) so a cache hit skips it; without, it runs here
+        // as the pre-cache flow did.
+        if self.cache.is_none() && self.config.use_theorem1 && theorem1_refutes(expr) {
             self.stats.theorem1_refutations += 1;
             return Ok(None);
         }
+        self.query_threshold(expr)
+    }
+
+    /// One threshold query, through the canonical cache when enabled.
+    fn query_threshold(&mut self, f: &Sop) -> Result<Option<Realization>, SynthError> {
         self.stats.ilp_calls += 1;
-        check_threshold(expr, self.config)
+        match self.cache {
+            Some(cache) => {
+                let (r, via) = check_threshold_cached(f, self.config, cache)?;
+                match via {
+                    CheckVia::CacheHit => self.stats.cache_hits += 1,
+                    CheckVia::Theorem1 => self.stats.theorem1_refutations += 1,
+                    CheckVia::Prefilter => self.stats.prefilter_rejections += 1,
+                    CheckVia::Ilp => self.stats.ilp_solves += 1,
+                    CheckVia::Trivial => {}
+                }
+                Ok(r)
+            }
+            None => {
+                let (r, solved) = check_threshold_counted(f, self.config)?;
+                if solved {
+                    self.stats.ilp_solves += 1;
+                }
+                Ok(r)
+            }
+        }
     }
 
     /// A shared buffer/inverter gate over a leaf signal.
@@ -241,8 +319,8 @@ impl<'a> Synth<'a> {
         // w ≥ T + δ_on with T ≥ δ_off; inverter needs 0 ≥ T + δ_on with
         // −w ≤ T − δ_off.
         let proto = Sop::literal(Var(0), phase);
-        self.stats.ilp_calls += 1;
-        let r = check_threshold(&proto, self.config)?
+        let r = self
+            .query_threshold(&proto)?
             .expect("single literals are threshold functions");
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
         let g = self.emit_raw_gate(vec![signal], weights, r.threshold, None)?;
@@ -257,13 +335,9 @@ impl<'a> Synth<'a> {
         name_hint: Option<&str>,
     ) -> Result<TnId, SynthError> {
         debug_assert!(children.len() >= 2 && children.len() <= self.config.psi);
-        let proto = Sop::from_cubes(
-            (0..children.len()).map(|i| {
-                tels_logic::Cube::from_literals([(Var(i as u32), true)])
-            }),
-        );
-        self.stats.ilp_calls += 1;
-        let r = check_threshold(&proto, self.config)?
+        let proto = or_proto(children.len());
+        let r = self
+            .query_threshold(&proto)?
             .expect("disjunctions are threshold functions");
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
         self.emit_raw_gate(children, weights, r.threshold, name_hint)
@@ -288,14 +362,9 @@ impl<'a> Synth<'a> {
         loop {
             let take = terms.len().min(self.config.psi);
             let group: Vec<(TnId, bool)> = terms.drain(..take).collect();
-            let proto = Sop::from_cubes([tels_logic::Cube::from_literals(
-                group
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(_, phase))| (Var(i as u32), phase)),
-            )]);
-            self.stats.ilp_calls += 1;
-            let r = check_threshold(&proto, self.config)?
+            let proto = and_proto(group.iter().map(|&(_, phase)| phase));
+            let r = self
+                .query_threshold(&proto)?
                 .expect("cubes are threshold functions");
             let inputs: Vec<TnId> = group.iter().map(|&(s, _)| s).collect();
             let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
@@ -321,8 +390,7 @@ impl<'a> Synth<'a> {
         inputs: Vec<TnId>,
         name_hint: Option<&str>,
     ) -> Result<TnId, SynthError> {
-        self.stats.ilp_calls += 1;
-        let r = check_threshold(proto, self.config)?.ok_or_else(|| {
+        let r = self.query_threshold(proto)?.ok_or_else(|| {
             SynthError::Internal(format!("prototype {proto} is not a threshold function"))
         })?;
         // Variables absent from the realization (redundant inputs) are
@@ -409,8 +477,8 @@ impl<'a> Synth<'a> {
                 return self.literal_gate(sig, phase);
             }
             let proto = Sop::literal(Var(0), phase);
-            self.stats.ilp_calls += 1;
-            let r = check_threshold(&proto, self.config)?
+            let r = self
+                .query_threshold(&proto)?
                 .expect("single literals are threshold functions");
             let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
             return self.emit_raw_gate(vec![sig], weights, r.threshold, name_hint);
@@ -479,13 +547,12 @@ impl<'a> Synth<'a> {
                         .max()
                         .unwrap_or(0)
                 };
-                let (big, small) = if (a.num_cubes(), leaf_depth(&a))
-                    >= (b.num_cubes(), leaf_depth(&b))
-                {
-                    (a, b)
-                } else {
-                    (b, a)
-                };
+                let (big, small) =
+                    if (a.num_cubes(), leaf_depth(&a)) >= (b.num_cubes(), leaf_depth(&b)) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
                 for (gate_half, rec_half) in [(&big, &small), (&small, &big)] {
                     if gate_half.support().len() + 1 > self.config.psi {
                         continue;
@@ -493,8 +560,7 @@ impl<'a> Synth<'a> {
                     if let Some(r) = self.checked_threshold(gate_half)? {
                         // The extra OR input gets weight T_pos + δ_on, which
                         // must also respect the dynamic-range cap.
-                        let (_, w_extra) =
-                            theorem2_extend(&r, Var(u32::MAX), self.config);
+                        let (_, w_extra) = theorem2_extend(&r, Var(u32::MAX), self.config);
                         if self.config.weight_cap.is_some_and(|cap| w_extra > cap) {
                             continue;
                         }
@@ -504,8 +570,7 @@ impl<'a> Synth<'a> {
                             .iter()
                             .map(|&(v, _)| self.leaf_signal(v))
                             .collect::<Result<_, _>>()?;
-                        let mut weights: Vec<i64> =
-                            r.weights.iter().map(|&(_, w)| w).collect();
+                        let mut weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
                         inputs.push(child);
                         weights.push(w_extra);
                         self.stats.theorem2_combines += 1;
@@ -524,6 +589,309 @@ impl<'a> Synth<'a> {
             }
         }
     }
+}
+
+/// The OR-of-`n`-literals prototype ⟨1,…,1;1⟩ candidate.
+fn or_proto(n: usize) -> Sop {
+    Sop::from_cubes((0..n).map(|i| Cube::from_literals([(Var(i as u32), true)])))
+}
+
+/// The single-cube AND prototype over the given term phases.
+fn and_proto(phases: impl Iterator<Item = bool>) -> Sop {
+    Sop::from_cubes([Cube::from_literals(
+        phases.enumerate().map(|(i, phase)| (Var(i as u32), phase)),
+    )])
+}
+
+/// The cache-warming planner: mirrors [`Synth::synth_expr`]'s decision tree
+/// without emitting gates, so worker threads can pre-answer every threshold
+/// query of independent nodes through the shared canonical cache.
+///
+/// Planning is *advisory*: cache entries are decided in canonical space, so
+/// any divergence between a plan and the later emission pass costs at worst
+/// a cache miss, never correctness — which is also why planning errors are
+/// swallowed by [`warm_cache`] (the emission pass reproduces and reports
+/// any real failure deterministically).
+struct Planner<'a> {
+    net: &'a Network,
+    config: &'a TelsConfig,
+    cache: &'a RealizationCache,
+    boundary: &'a [bool],
+    net_levels: &'a [usize],
+    /// ILP solves performed by this worker (merged into the run stats).
+    ilp_solves: usize,
+    /// Non-input nodes demanded as expression leaves while planning.
+    discovered: Vec<NodeId>,
+}
+
+impl Planner<'_> {
+    fn query(&mut self, f: &Sop) -> Result<Option<Realization>, SynthError> {
+        let (r, via) = check_threshold_cached(f, self.config, self.cache)?;
+        if via == CheckVia::Ilp {
+            self.ilp_solves += 1;
+        }
+        Ok(r)
+    }
+
+    fn leaf(&mut self, v: Var) {
+        let node = NodeId::from_index(v.0 as usize);
+        if !self.net.is_input(node) {
+            self.discovered.push(node);
+        }
+    }
+
+    /// Mirror of [`Synth::or_gate`]'s prototype query.
+    fn plan_or(&mut self, n: usize) -> Result<(), SynthError> {
+        if n >= 2 {
+            self.query(&or_proto(n))?;
+        }
+        Ok(())
+    }
+
+    /// Mirror of [`Synth::and_terms`]'s chunked prototype queries.
+    fn plan_and_terms(&mut self, mut phases: Vec<bool>) -> Result<(), SynthError> {
+        if phases.len() == 1 {
+            if !phases[0] {
+                self.query(&Sop::literal(Var(0), false))?;
+            }
+            return Ok(());
+        }
+        loop {
+            let take = phases.len().min(self.config.psi);
+            let group: Vec<bool> = phases.drain(..take).collect();
+            self.query(&and_proto(group.into_iter()))?;
+            if phases.is_empty() {
+                return Ok(());
+            }
+            phases.push(true);
+        }
+    }
+
+    /// Mirror of [`Synth::shannon_expr`].
+    fn plan_shannon(&mut self, expr: &Sop) -> Result<(), SynthError> {
+        let support = expr.support();
+        let v = expr
+            .binate_vars()
+            .into_iter()
+            .max_by_key(|&v| expr.occurrence_count(v))
+            .or_else(|| support.iter().max_by_key(|&v| expr.occurrence_count(v)))
+            .expect("non-constant expression has support");
+        let f1 = expr.cofactor(v, true);
+        let f0 = expr.cofactor(v, false);
+        if f1.equivalent(&f0) {
+            return self.plan_expr(&f1);
+        }
+        self.leaf(v);
+        let lit = |phase: bool| Sop::literal(Var(0), phase);
+        if f1.is_one() {
+            self.plan_expr(&f0)?;
+            self.query(&lit(true).or(&Sop::literal(Var(1), true)))?;
+            return Ok(());
+        }
+        if f0.is_one() {
+            self.plan_expr(&f1)?;
+            self.query(&lit(false).or(&Sop::literal(Var(1), true)))?;
+            return Ok(());
+        }
+        if f0.is_zero() {
+            self.plan_expr(&f1)?;
+            return self.plan_and_terms(vec![true, true]);
+        }
+        if f1.is_zero() {
+            self.plan_expr(&f0)?;
+            return self.plan_and_terms(vec![false, true]);
+        }
+        self.plan_expr(&f1)?;
+        self.plan_expr(&f0)?;
+        self.plan_and_terms(vec![true, true])?;
+        self.plan_and_terms(vec![false, true])?;
+        self.plan_or(2)
+    }
+
+    /// Mirror of [`Synth::synth_expr`]: same collapse, same splits, same
+    /// threshold queries — minus the gate bookkeeping.
+    fn plan_expr(&mut self, expr: &Sop) -> Result<(), SynthError> {
+        let mut collapses = 0;
+        let expr = &collapse_with(
+            self.net,
+            self.config,
+            self.boundary,
+            expr.clone(),
+            &mut collapses,
+        );
+        if expr.is_zero() || expr.is_one() {
+            return Ok(());
+        }
+        if expr.num_cubes() == 1 && expr.cubes()[0].literal_count() == 1 {
+            let (v, phase) = expr.cubes()[0].literals().next().expect("one literal");
+            self.leaf(v);
+            if !phase {
+                self.query(&Sop::literal(Var(0), false))?;
+            }
+            return Ok(());
+        }
+        if self.config.strategy == crate::config::SynthStrategy::Shannon {
+            if expr.is_unate() && expr.support().len() <= self.config.psi {
+                if let Some(r) = self.query(expr)? {
+                    for &(v, _) in &r.weights {
+                        self.leaf(v);
+                    }
+                    return Ok(());
+                }
+            }
+            return self.plan_shannon(expr);
+        }
+        if !expr.is_unate() {
+            let parts = split_binate(expr, self.config.psi);
+            for p in &parts {
+                self.plan_expr(p)?;
+            }
+            return self.plan_or(parts.len());
+        }
+        if expr.support().len() <= self.config.psi {
+            if let Some(r) = self.query(expr)? {
+                for &(v, _) in &r.weights {
+                    self.leaf(v);
+                }
+                return Ok(());
+            }
+        }
+        if expr.num_cubes() == 1 {
+            let phases: Vec<bool> = expr.cubes()[0]
+                .literals()
+                .map(|(v, phase)| {
+                    self.leaf(v);
+                    phase
+                })
+                .collect();
+            return self.plan_and_terms(phases);
+        }
+        match split_unate_with(expr, self.config.split_heuristic) {
+            UnateSplit::AndCube(cube, rest) => {
+                self.plan_expr(&rest)?;
+                let mut phases: Vec<bool> = cube
+                    .literals()
+                    .map(|(v, phase)| {
+                        self.leaf(v);
+                        phase
+                    })
+                    .collect();
+                phases.push(true);
+                self.plan_and_terms(phases)
+            }
+            UnateSplit::Or(a, b) => {
+                let leaf_depth = |s: &Sop| -> usize {
+                    s.support()
+                        .iter()
+                        .map(|v| self.net_levels[v.0 as usize])
+                        .max()
+                        .unwrap_or(0)
+                };
+                let (big, small) =
+                    if (a.num_cubes(), leaf_depth(&a)) >= (b.num_cubes(), leaf_depth(&b)) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                for (gate_half, rec_half) in [(&big, &small), (&small, &big)] {
+                    if gate_half.support().len() + 1 > self.config.psi {
+                        continue;
+                    }
+                    if let Some(r) = self.query(gate_half)? {
+                        let (_, w_extra) = theorem2_extend(&r, Var(u32::MAX), self.config);
+                        if self.config.weight_cap.is_some_and(|cap| w_extra > cap) {
+                            continue;
+                        }
+                        self.plan_expr(rec_half)?;
+                        for &(v, _) in &r.weights {
+                            self.leaf(v);
+                        }
+                        return Ok(());
+                    }
+                }
+                let k = self.config.psi.min(expr.num_cubes());
+                let parts = split_cubes_k(expr, k);
+                for p in &parts {
+                    self.plan_expr(p)?;
+                }
+                self.plan_or(parts.len())
+            }
+        }
+    }
+}
+
+/// The level-parallel warming pass: plans every boundary node reachable
+/// from the outputs — deepest net levels first, so shared subfunctions are
+/// cached before their consumers ask — with `threads` scoped workers
+/// sharing one claim set and the canonical cache. Returns the total number
+/// of ILP solves the workers performed.
+fn warm_cache(
+    net: &Network,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+    boundary: &[bool],
+    net_levels: &[usize],
+    threads: usize,
+) -> usize {
+    // Roots the backward flow will synthesize as shared signals: output
+    // drivers plus every fanout boundary node reachable from an output.
+    let mut reachable: HashSet<NodeId> = HashSet::new();
+    let mut stack: Vec<NodeId> = net.outputs().iter().map(|&(_, id)| id).collect();
+    while let Some(n) = stack.pop() {
+        if reachable.insert(n) {
+            stack.extend(net.fanins(n).iter().copied());
+        }
+    }
+    let mut roots: Vec<NodeId> = reachable
+        .into_iter()
+        .filter(|&n| !net.is_input(n))
+        .filter(|&n| boundary[n.index()] || net.outputs().iter().any(|&(_, o)| o == n))
+        .collect();
+    // Deepest first; ties in a stable order for reproducible scheduling.
+    roots.sort_by_key(|&n| (std::cmp::Reverse(net_levels[n.index()]), n.index()));
+
+    let queue: Mutex<VecDeque<NodeId>> = Mutex::new(roots.iter().copied().collect());
+    let claimed: Mutex<HashSet<NodeId>> = Mutex::new(roots.into_iter().collect());
+    let total_solves = Mutex::new(0usize);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut planner = Planner {
+                    net,
+                    config,
+                    cache,
+                    boundary,
+                    net_levels,
+                    ilp_solves: 0,
+                    discovered: Vec::new(),
+                };
+                let mut local: Vec<NodeId> = Vec::new();
+                loop {
+                    let node = match local.pop() {
+                        Some(n) => n,
+                        None => match queue.lock().expect("queue poisoned").pop_front() {
+                            Some(n) => n,
+                            None => break,
+                        },
+                    };
+                    // Advisory: a planning error is left for the serial
+                    // pass to reproduce and report.
+                    let _ = planner.plan_expr(&global_sop(net, node));
+                    if !planner.discovered.is_empty() {
+                        let mut seen = claimed.lock().expect("claim set poisoned");
+                        for d in planner.discovered.drain(..) {
+                            if seen.insert(d) {
+                                local.push(d);
+                            }
+                        }
+                    }
+                }
+                *total_solves.lock().expect("counter poisoned") += planner.ilp_solves;
+            });
+        }
+    });
+    total_solves.into_inner().expect("counter poisoned")
 }
 
 #[cfg(test)]
@@ -693,10 +1061,7 @@ mod tests {
 .end
 ";
         let (tn, _) = synth_and_verify(src, &TelsConfig::default());
-        let inverter_gates = tn
-            .gates()
-            .filter(|(_, g)| g.weights == vec![-1])
-            .count();
+        let inverter_gates = tn.gates().filter(|(_, g)| g.weights == vec![-1]).count();
         assert!(inverter_gates <= 1, "inverters should be shared");
     }
 

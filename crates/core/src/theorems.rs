@@ -55,16 +55,14 @@ pub fn theorem1_refutes(f: &Sop) -> bool {
             // Replace literal (vi, phase_i) by the complement-phase literal
             // of vj. Cubes where the two conflict become constant 0.
             let new_lit = (vj, !phase[jj]);
-            let cubes = f.cubes().iter().filter_map(|c| {
-                match c.literal(vi) {
-                    None => Some(c.clone()),
-                    Some(_) => {
-                        let mut out = c.without_var(vi);
-                        if out.set_literal(new_lit.0, new_lit.1) {
-                            Some(out)
-                        } else {
-                            None
-                        }
+            let cubes = f.cubes().iter().filter_map(|c| match c.literal(vi) {
+                None => Some(c.clone()),
+                Some(_) => {
+                    let mut out = c.without_var(vi);
+                    if out.set_literal(new_lit.0, new_lit.1) {
+                        Some(out)
+                    } else {
+                        None
                     }
                 }
             });
@@ -162,7 +160,9 @@ mod tests {
         ];
         for f in &cases {
             assert!(
-                check_threshold(f, &TelsConfig::default()).unwrap().is_some(),
+                check_threshold(f, &TelsConfig::default())
+                    .unwrap()
+                    .is_some(),
                 "test premise: {f} is threshold"
             );
             assert!(!theorem1_refutes(f), "filter wrongly refuted {f}");
@@ -177,9 +177,7 @@ mod tests {
         for bits in 0u32..256 {
             let cubes: Vec<Cube> = (0..8u32)
                 .filter(|m| bits >> m & 1 != 0)
-                .map(|m| {
-                    Cube::from_literals((0..3).map(|i| (vars[i as usize], m >> i & 1 != 0)))
-                })
+                .map(|m| Cube::from_literals((0..3).map(|i| (vars[i as usize], m >> i & 1 != 0))))
                 .collect();
             let f = Sop::from_cubes(cubes).minimize();
             if !f.is_unate() {

@@ -71,8 +71,7 @@ impl ThresholdGate {
 
     /// The RTD area model of Eq. (14): `Σ|wᵢ| + |T|` (unit area `A_u = 1`).
     pub fn area(&self) -> u64 {
-        self.weights.iter().map(|w| w.unsigned_abs()).sum::<u64>()
-            + self.threshold.unsigned_abs()
+        self.weights.iter().map(|w| w.unsigned_abs()).sum::<u64>() + self.threshold.unsigned_abs()
     }
 
     /// The weight-threshold vector as the paper prints it: `⟨w₁,…,w_l; T⟩`.
@@ -180,7 +179,9 @@ impl ThresholdNetwork {
         }
         for &i in &gate.inputs {
             if i.0 as usize >= self.nodes.len() {
-                return Err(SynthError::Internal(format!("gate input {i} does not exist")));
+                return Err(SynthError::Internal(format!(
+                    "gate input {i} does not exist"
+                )));
             }
         }
         self.add_raw(name.into(), TnKind::Gate(gate))
@@ -194,7 +195,9 @@ impl ThresholdNetwork {
     pub fn add_output(&mut self, name: impl Into<String>, node: TnId) -> Result<(), SynthError> {
         let name = name.into();
         if node.0 as usize >= self.nodes.len() {
-            return Err(SynthError::Internal(format!("output {node} does not exist")));
+            return Err(SynthError::Internal(format!(
+                "output {node} does not exist"
+            )));
         }
         if self.outputs.iter().any(|(n, _)| *n == name) {
             return Err(SynthError::Logic(LogicError::DuplicateName(name)));
@@ -265,7 +268,8 @@ impl ThresholdNetwork {
 
     /// Iterates over all gates with their ids.
     pub fn gates(&self) -> impl Iterator<Item = (TnId, &ThresholdGate)> + '_ {
-        self.node_ids().filter_map(|id| self.gate(id).map(|g| (id, g)))
+        self.node_ids()
+            .filter_map(|id| self.gate(id).map(|g| (id, g)))
     }
 
     /// Total network area per Eq. (14): `Σ_gates (Σ|wᵢ| + |T|)`.
@@ -377,8 +381,7 @@ impl ThresholdNetwork {
         patterns: usize,
         seed: u64,
     ) -> Result<Option<Vec<bool>>, SynthError> {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use tels_logic::rng::Xoshiro256;
 
         let ref_inputs = reference.inputs();
         let my_inputs = self.inputs();
@@ -420,14 +423,14 @@ impl ThresholdNetwork {
             .collect::<Result<_, _>>()?;
 
         let n = ref_inputs.len();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let exhaustive = n as u32 <= exhaustive_limit;
         let total = if exhaustive { 1usize << n } else { patterns };
         for t in 0..total {
             let assign: Vec<bool> = if exhaustive {
                 (0..n).map(|i| t >> i & 1 != 0).collect()
             } else {
-                (0..n).map(|_| rng.gen()).collect()
+                (0..n).map(|_| rng.gen_bool()).collect()
             };
             let expect = reference.eval(&assign)?;
             let my_assign: Vec<bool> = my_perm.iter().map(|&i| assign[i]).collect();
@@ -481,7 +484,8 @@ impl ThresholdNetwork {
             }
         }
         for (name, id) in &self.outputs {
-            out.add_output(name.clone(), map[id]).expect("unique outputs");
+            out.add_output(name.clone(), map[id])
+                .expect("unique outputs");
         }
         out
     }
@@ -585,7 +589,11 @@ impl fmt::Display for NetworkReport {
         writeln!(f, "gates:   {}", self.gates)?;
         writeln!(f, "levels:  {}", self.levels)?;
         writeln!(f, "area:    {}", self.area)?;
-        writeln!(f, "max |w|: {}   max |T|: {}", self.max_weight, self.max_threshold)?;
+        writeln!(
+            f,
+            "max |w|: {}   max |T|: {}",
+            self.max_weight, self.max_threshold
+        )?;
         writeln!(f, "negative weights: {}", self.negative_weights)?;
         write!(f, "fanin histogram: ")?;
         for (k, n) in self.fanin_histogram.iter().enumerate() {
@@ -684,12 +692,10 @@ pub fn parse_tnet(source: &str) -> Result<ThresholdNetwork, SynthError> {
             .find(|(o, _)| *o == name)
             .map(|(_, n)| n.clone())
             .unwrap_or_else(|| name.clone());
-        let id = tn
-            .find(&target)
-            .ok_or_else(|| SynthError::Parse {
-                line: 0,
-                message: format!("output `{name}` references unknown signal `{target}`"),
-            })?;
+        let id = tn.find(&target).ok_or_else(|| SynthError::Parse {
+            line: 0,
+            message: format!("output `{name}` references unknown signal `{target}`"),
+        })?;
         tn.add_output(name, id)?;
     }
     Ok(tn)

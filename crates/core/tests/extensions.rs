@@ -75,7 +75,8 @@ fn weight_cap_bounds_all_synthesized_weights() {
 #[test]
 fn tight_cap_costs_gates() {
     // The cap can only increase gate count, never change function.
-    let src = ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n1-1- 1\n---1 1\n.end\n";
+    let src =
+        ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n1-1- 1\n---1 1\n.end\n";
     let net = blif::parse(src).unwrap();
     let free = synthesize(
         &net,

@@ -246,7 +246,8 @@ fn many_outputs_share_synthesized_roots() {
 fn ilp_limit_exhaustion_degrades_gracefully() {
     // With a starved ILP budget, everything is declared non-threshold and
     // split down to trivial gates — the result must still be correct.
-    let src = ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n1-1- 1\n---1 1\n.end\n";
+    let src =
+        ".model m\n.inputs a b c d\n.outputs f\n.names a b c d f\n11-- 1\n1-1- 1\n---1 1\n.end\n";
     let net = blif::parse(src).unwrap();
     let config = TelsConfig {
         ilp_limits: tels_ilp::Limits {

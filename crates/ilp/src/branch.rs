@@ -96,12 +96,20 @@ pub(crate) fn solve_ilp(
         // still returned (status `LimitReached`, values populated) because a
         // feasible weight assignment is a valid threshold-gate realization.
         Some((values, obj)) => Ok(Solution {
-            status: if hit_limit { Status::LimitReached } else { Status::Optimal },
+            status: if hit_limit {
+                Status::LimitReached
+            } else {
+                Status::Optimal
+            },
             values,
             objective: Some(obj),
         }),
         None => Ok(Solution {
-            status: if hit_limit { Status::LimitReached } else { Status::Infeasible },
+            status: if hit_limit {
+                Status::LimitReached
+            } else {
+                Status::Infeasible
+            },
             values: Vec::new(),
             objective: None,
         }),

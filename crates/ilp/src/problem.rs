@@ -245,7 +245,10 @@ mod tests {
         let x2b = p2.add_var();
         p1.add_constraint([(x2b, 1)], Cmp::Ge, 0);
         let _ = x2a;
-        assert_eq!(p1.solve(&Limits::default()), Err(SolveError::UnknownVariable));
+        assert_eq!(
+            p1.solve(&Limits::default()),
+            Err(SolveError::UnknownVariable)
+        );
     }
 
     #[test]

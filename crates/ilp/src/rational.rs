@@ -120,9 +120,16 @@ impl Rat {
         let num = self
             .num
             .checked_mul(lhs_scale)
-            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .and_then(|a| {
+                rhs.num
+                    .checked_mul(rhs_scale)
+                    .and_then(|b| a.checked_add(b))
+            })
             .ok_or(SolveError::Overflow)?;
-        let den = self.den.checked_mul(lhs_scale).ok_or(SolveError::Overflow)?;
+        let den = self
+            .den
+            .checked_mul(lhs_scale)
+            .ok_or(SolveError::Overflow)?;
         Ok(Rat::new(num, den))
     }
 
@@ -139,8 +146,16 @@ impl Rat {
         // Cross-reduce first: gcd(self.num, rhs.den) and gcd(rhs.num, self.den).
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
-        let (a, d) = if g1 == 0 { (self.num, rhs.den) } else { (self.num / g1, rhs.den / g1) };
-        let (c, b) = if g2 == 0 { (rhs.num, self.den) } else { (rhs.num / g2, self.den / g2) };
+        let (a, d) = if g1 == 0 {
+            (self.num, rhs.den)
+        } else {
+            (self.num / g1, rhs.den / g1)
+        };
+        let (c, b) = if g2 == 0 {
+            (rhs.num, self.den)
+        } else {
+            (rhs.num / g2, self.den / g2)
+        };
         let num = a.checked_mul(c).ok_or(SolveError::Overflow)?;
         let den = b.checked_mul(d).ok_or(SolveError::Overflow)?;
         Ok(Rat::new(num, den))

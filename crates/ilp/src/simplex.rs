@@ -83,15 +83,10 @@ impl Tableau {
 
     /// Runs simplex iterations until optimality, unboundedness, or the pivot
     /// budget runs out. `allowed` masks columns that may enter the basis.
-    fn iterate(
-        &mut self,
-        allowed: &[bool],
-        pivots_left: &mut u64,
-    ) -> Result<IterEnd, SolveError> {
+    fn iterate(&mut self, allowed: &[bool], pivots_left: &mut u64) -> Result<IterEnd, SolveError> {
         loop {
             // Bland: entering column = lowest index with negative reduced cost.
-            let entering = (0..self.cols)
-                .find(|&j| allowed[j] && self.cost[j].is_negative());
+            let entering = (0..self.cols).find(|&j| allowed[j] && self.cost[j].is_negative());
             let Some(pcol) = entering else {
                 return Ok(IterEnd::Optimal);
             };
@@ -228,9 +223,7 @@ pub(crate) fn solve_lp(
         // Drive any remaining (degenerate, value-0) artificials out of the basis.
         for i in 0..m {
             if is_artificial[t.basis[i]] {
-                if let Some(pcol) =
-                    (0..cols).find(|&j| !is_artificial[j] && !t.a[i][j].is_zero())
-                {
+                if let Some(pcol) = (0..cols).find(|&j| !is_artificial[j] && !t.a[i][j].is_zero()) {
                     t.pivot(i, pcol)?;
                 }
                 // If the row is all-zero over real columns it is redundant;

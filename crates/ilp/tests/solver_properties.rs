@@ -1,8 +1,10 @@
-//! Property-based validation of the exact LP/ILP solver against brute-force
-//! oracles on small random systems.
+//! Randomized validation of the exact LP/ILP solver against brute-force
+//! oracles on small random systems, driven by the in-tree seeded PRNG.
 
-use proptest::prelude::*;
 use tels_ilp::{Cmp, Limits, Problem, Rat, Status};
+use tels_logic::rng::Xoshiro256;
+
+const CASES: u64 = 512;
 
 #[derive(Debug, Clone)]
 struct SmallIlp {
@@ -12,25 +14,31 @@ struct SmallIlp {
     rows: Vec<(Vec<i64>, Cmp, i64)>,
 }
 
-fn arb_cmp() -> impl Strategy<Value = Cmp> {
-    prop_oneof![Just(Cmp::Le), Just(Cmp::Ge), Just(Cmp::Eq)]
+fn arb_cmp(rng: &mut Xoshiro256) -> Cmp {
+    match rng.gen_range(0..3u32) {
+        0 => Cmp::Le,
+        1 => Cmp::Ge,
+        _ => Cmp::Eq,
+    }
 }
 
-fn arb_ilp() -> impl Strategy<Value = SmallIlp> {
-    (2usize..=3).prop_flat_map(|n| {
-        let obj = prop::collection::vec(0i64..=4, n);
-        let row = (
-            prop::collection::vec(-3i64..=3, n),
-            arb_cmp(),
-            -6i64..=8,
-        );
-        let rows = prop::collection::vec(row, 1..=4);
-        (obj, rows).prop_map(move |(objective, rows)| SmallIlp {
-            n_vars: n,
-            objective,
-            rows,
+fn arb_ilp(rng: &mut Xoshiro256) -> SmallIlp {
+    let n = rng.gen_range(2..=3usize);
+    let objective: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=4i64)).collect();
+    let n_rows = rng.gen_range(1..=4usize);
+    let rows = (0..n_rows)
+        .map(|_| {
+            let coef: Vec<i64> = (0..n).map(|_| rng.gen_range(-3..=3i64)).collect();
+            let cmp = arb_cmp(rng);
+            let rhs = rng.gen_range(-6..=8i64);
+            (coef, cmp, rhs)
         })
-    })
+        .collect();
+    SmallIlp {
+        n_vars: n,
+        objective,
+        rows,
+    }
 }
 
 /// Exhaustive search over the integer box [0, bound]^n.
@@ -74,75 +82,80 @@ fn build(ilp: &SmallIlp) -> Problem {
     let vars: Vec<_> = (0..ilp.n_vars).map(|_| p.add_int_var()).collect();
     p.set_objective(vars.iter().zip(&ilp.objective).map(|(&v, &c)| (v, c)));
     for (coef, cmp, rhs) in &ilp.rows {
-        p.add_constraint(
-            vars.iter().zip(coef).map(|(&v, &c)| (v, c)),
-            *cmp,
-            *rhs,
-        );
+        p.add_constraint(vars.iter().zip(coef).map(|(&v, &c)| (v, c)), *cmp, *rhs);
     }
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn bounded(ilp: &SmallIlp, bound: i64) -> SmallIlp {
+    let mut out = ilp.clone();
+    for i in 0..ilp.n_vars {
+        let mut coef = vec![0i64; ilp.n_vars];
+        coef[i] = 1;
+        out.rows.push((coef, Cmp::Le, bound));
+    }
+    out
+}
 
-    /// On bounded problems (explicit box constraints added), the solver's
-    /// optimum matches exhaustive search exactly.
-    #[test]
-    fn matches_brute_force_on_bounded_problems(ilp in arb_ilp()) {
-        const BOUND: i64 = 6;
-        let mut bounded = ilp.clone();
-        for i in 0..ilp.n_vars {
-            let mut coef = vec![0i64; ilp.n_vars];
-            coef[i] = 1;
-            bounded.rows.push((coef, Cmp::Le, BOUND));
-        }
-        let p = build(&bounded);
+/// On bounded problems (explicit box constraints added), the solver's
+/// optimum matches exhaustive search exactly.
+#[test]
+fn matches_brute_force_on_bounded_problems() {
+    const BOUND: i64 = 6;
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let ilp = bounded(&arb_ilp(&mut rng), BOUND);
+        let p = build(&ilp);
         let s = p.solve(&Limits::default()).unwrap();
-        let brute = brute_force(&bounded, BOUND);
+        let brute = brute_force(&ilp, BOUND);
         match brute {
-            None => prop_assert_eq!(s.status, Status::Infeasible),
+            None => assert_eq!(s.status, Status::Infeasible, "seed {seed}"),
             Some((_, best_obj)) => {
-                prop_assert_eq!(s.status, Status::Optimal, "expected optimal, brute={}", best_obj);
-                prop_assert_eq!(s.objective, Some(Rat::from(best_obj)));
+                assert_eq!(
+                    s.status,
+                    Status::Optimal,
+                    "seed {seed}: expected optimal, brute={best_obj}"
+                );
+                assert_eq!(s.objective, Some(Rat::from(best_obj)), "seed {seed}");
                 // The returned point satisfies every constraint.
                 let values = s.int_values().expect("integer solution");
-                for (coef, cmp, rhs) in &bounded.rows {
+                for (coef, cmp, rhs) in &ilp.rows {
                     let lhs: i64 = coef.iter().zip(&values).map(|(c, v)| c * v).sum();
                     let ok = match cmp {
                         Cmp::Le => lhs <= *rhs,
                         Cmp::Ge => lhs >= *rhs,
                         Cmp::Eq => lhs == *rhs,
                     };
-                    prop_assert!(ok, "constraint violated: {:?} lhs={}", (coef, cmp, rhs), lhs);
+                    assert!(ok, "seed {seed}: constraint violated, lhs={lhs}");
                 }
             }
         }
     }
+}
 
-    /// The LP relaxation never exceeds the ILP optimum (weak duality of the
-    /// relaxation) on bounded problems.
-    #[test]
-    fn relaxation_bounds_ilp(ilp in arb_ilp()) {
-        const BOUND: i64 = 6;
-        let mut bounded = ilp.clone();
-        for i in 0..ilp.n_vars {
-            let mut coef = vec![0i64; ilp.n_vars];
-            coef[i] = 1;
-            bounded.rows.push((coef, Cmp::Le, BOUND));
-        }
+/// The LP relaxation never exceeds the ILP optimum (weak duality of the
+/// relaxation) on bounded problems.
+#[test]
+fn relaxation_bounds_ilp() {
+    const BOUND: i64 = 6;
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let ilp = bounded(&arb_ilp(&mut rng), BOUND);
         // Continuous version.
         let mut lp = Problem::new();
-        let vars: Vec<_> = (0..bounded.n_vars).map(|_| lp.add_var()).collect();
-        lp.set_objective(vars.iter().zip(&bounded.objective).map(|(&v, &c)| (v, c)));
-        for (coef, cmp, rhs) in &bounded.rows {
+        let vars: Vec<_> = (0..ilp.n_vars).map(|_| lp.add_var()).collect();
+        lp.set_objective(vars.iter().zip(&ilp.objective).map(|(&v, &c)| (v, c)));
+        for (coef, cmp, rhs) in &ilp.rows {
             lp.add_constraint(vars.iter().zip(coef).map(|(&v, &c)| (v, c)), *cmp, *rhs);
         }
         let relaxed = lp.solve(&Limits::default()).unwrap();
-        let integral = build(&bounded).solve(&Limits::default()).unwrap();
+        let integral = build(&ilp).solve(&Limits::default()).unwrap();
         if integral.status == Status::Optimal {
-            prop_assert_eq!(relaxed.status, Status::Optimal);
-            prop_assert!(relaxed.objective.unwrap() <= integral.objective.unwrap());
+            assert_eq!(relaxed.status, Status::Optimal, "seed {seed}");
+            assert!(
+                relaxed.objective.unwrap() <= integral.objective.unwrap(),
+                "seed {seed}"
+            );
         }
     }
 }

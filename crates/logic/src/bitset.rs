@@ -113,10 +113,7 @@ impl VarSet {
 
     /// Whether the two sets share any variable.
     pub fn intersects(&self, other: &VarSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterates over the variables in ascending index order.

@@ -410,18 +410,16 @@ mod tests {
 
     #[test]
     fn forward_references_allowed() {
-        let net = parse(
-            ".model m\n.inputs a b\n.outputs f\n.names g f\n1 1\n.names a b g\n11 1\n.end\n",
-        )
-        .unwrap();
+        let net =
+            parse(".model m\n.inputs a b\n.outputs f\n.names g f\n1 1\n.names a b g\n11 1\n.end\n")
+                .unwrap();
         assert_eq!(net.eval(&[true, true]).unwrap(), vec![true]);
     }
 
     #[test]
     fn off_set_cover_is_complemented() {
         // f defined by its OFF-set: f = 0 when a=1,b=1 → f = NAND.
-        let net =
-            parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n").unwrap();
+        let net = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n").unwrap();
         assert_eq!(net.eval(&[true, true]).unwrap(), vec![false]);
         assert_eq!(net.eval(&[true, false]).unwrap(), vec![true]);
     }
@@ -478,8 +476,7 @@ mod tests {
 
     #[test]
     fn duplicate_fanin_names_merged() {
-        let net =
-            parse(".model m\n.inputs a\n.outputs f\n.names a a f\n11 1\n.end\n").unwrap();
+        let net = parse(".model m\n.inputs a\n.outputs f\n.names a a f\n11 1\n.end\n").unwrap();
         assert_eq!(net.eval(&[true]).unwrap(), vec![true]);
         assert_eq!(net.eval(&[false]).unwrap(), vec![false]);
     }

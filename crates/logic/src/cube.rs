@@ -277,10 +277,7 @@ mod tests {
     fn literal_iteration_sorted() {
         let c = cube(&[(3, false), (1, true), (2, true)]);
         let lits: Vec<_> = c.literals().collect();
-        assert_eq!(
-            lits,
-            vec![(Var(1), true), (Var(2), true), (Var(3), false)]
-        );
+        assert_eq!(lits, vec![(Var(1), true), (Var(2), true), (Var(3), false)]);
     }
 
     #[test]

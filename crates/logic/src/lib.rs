@@ -43,6 +43,7 @@ mod error;
 pub mod factor;
 mod network;
 pub mod opt;
+pub mod rng;
 pub mod sim;
 mod sop;
 mod truth;

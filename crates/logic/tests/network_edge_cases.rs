@@ -202,16 +202,24 @@ fn equivalence_detects_output_permutation_mismatch() {
     let mut a = Network::new("a");
     let x = a.add_input("x").unwrap();
     let y = a.add_input("y").unwrap();
-    let n1 = a.add_node("n1", vec![x, y], sop(&[&[(0, true), (1, true)]])).unwrap();
-    let n2 = a.add_node("n2", vec![x, y], sop(&[&[(0, true)], &[(1, true)]])).unwrap();
+    let n1 = a
+        .add_node("n1", vec![x, y], sop(&[&[(0, true), (1, true)]]))
+        .unwrap();
+    let n2 = a
+        .add_node("n2", vec![x, y], sop(&[&[(0, true)], &[(1, true)]]))
+        .unwrap();
     a.add_output("and", n1).unwrap();
     a.add_output("or", n2).unwrap();
 
     let mut b = Network::new("b");
     let x = b.add_input("x").unwrap();
     let y = b.add_input("y").unwrap();
-    let n1 = b.add_node("n1", vec![x, y], sop(&[&[(0, true), (1, true)]])).unwrap();
-    let n2 = b.add_node("n2", vec![x, y], sop(&[&[(0, true)], &[(1, true)]])).unwrap();
+    let n1 = b
+        .add_node("n1", vec![x, y], sop(&[&[(0, true), (1, true)]]))
+        .unwrap();
+    let n2 = b
+        .add_node("n2", vec![x, y], sop(&[&[(0, true)], &[(1, true)]]))
+        .unwrap();
     b.add_output("and", n2).unwrap(); // swapped!
     b.add_output("or", n1).unwrap();
 
@@ -235,7 +243,8 @@ fn blif_missing_names_body_is_constant_zero() {
 
 #[test]
 fn blif_duplicate_node_definition_rejected() {
-    let r = blif::parse(".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n");
+    let r =
+        blif::parse(".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n");
     assert!(matches!(r, Err(LogicError::DuplicateName(_))));
 }
 

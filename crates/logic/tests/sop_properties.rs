@@ -1,114 +1,154 @@
-//! Property-based tests of the cube/SOP algebra against truth-table
-//! semantics.
+//! Randomized tests of the cube/SOP algebra against truth-table semantics,
+//! driven by the in-tree seeded PRNG.
 
-use proptest::prelude::*;
+use tels_logic::rng::Xoshiro256;
 use tels_logic::{Cube, Sop, TruthTable, Var};
 
 const N: u32 = 5;
+const CASES: u64 = 256;
 
-fn arb_cube(n: u32) -> impl Strategy<Value = Cube> {
-    prop::collection::vec(prop::option::of(prop::bool::ANY), n as usize).prop_map(|lits| {
-        Cube::from_literals(
-            lits.into_iter()
-                .enumerate()
-                .filter_map(|(i, p)| p.map(|p| (Var(i as u32), p))),
-        )
-    })
+fn arb_cube(rng: &mut Xoshiro256, n: u32) -> Cube {
+    Cube::from_literals((0..n).filter_map(|i| match rng.gen_range(0..4u32) {
+        0 => Some((Var(i), true)),
+        1 => Some((Var(i), false)),
+        _ => None,
+    }))
 }
 
-fn arb_sop(n: u32, max_cubes: usize) -> impl Strategy<Value = Sop> {
-    prop::collection::vec(arb_cube(n), 0..=max_cubes).prop_map(Sop::from_cubes)
+fn arb_sop(rng: &mut Xoshiro256, n: u32, max_cubes: usize) -> Sop {
+    let k = rng.gen_range(0..=max_cubes);
+    Sop::from_cubes((0..k).map(|_| arb_cube(rng, n)).collect::<Vec<_>>())
 }
 
 fn tt(f: &Sop) -> TruthTable {
     TruthTable::from_sop(f, &(0..N).map(Var).collect::<Vec<_>>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// OR/AND agree with pointwise truth-table semantics.
-    #[test]
-    fn or_and_match_semantics(f in arb_sop(N, 5), g in arb_sop(N, 5)) {
+/// OR/AND agree with pointwise truth-table semantics.
+#[test]
+fn or_and_match_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 5);
+        let g = arb_sop(&mut rng, N, 5);
         let fo = f.or(&g);
         let fa = f.and(&g);
         for m in 0..1usize << N {
             let assign = |v: Var| m >> v.0 & 1 != 0;
-            prop_assert_eq!(fo.eval(assign), f.eval(assign) || g.eval(assign));
-            prop_assert_eq!(fa.eval(assign), f.eval(assign) && g.eval(assign));
+            assert_eq!(fo.eval(assign), f.eval(assign) || g.eval(assign));
+            assert_eq!(fa.eval(assign), f.eval(assign) && g.eval(assign));
         }
     }
+}
 
-    /// De Morgan: (f ∨ g)' ≡ f'·g'.
-    #[test]
-    fn de_morgan(f in arb_sop(N, 4), g in arb_sop(N, 4)) {
+/// De Morgan: (f ∨ g)' ≡ f'·g'.
+#[test]
+fn de_morgan() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 4);
+        let g = arb_sop(&mut rng, N, 4);
         let lhs = f.or(&g).complement();
         let rhs = f.complement().and(&g.complement());
-        prop_assert!(lhs.equivalent(&rhs));
+        assert!(lhs.equivalent(&rhs), "seed {seed}: f={f} g={g}");
     }
+}
 
-    /// Double complement is the identity.
-    #[test]
-    fn double_complement(f in arb_sop(N, 5)) {
-        prop_assert!(f.complement().complement().equivalent(&f));
+/// Double complement is the identity.
+#[test]
+fn double_complement() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 5);
+        assert!(f.complement().complement().equivalent(&f), "seed {seed}");
     }
+}
 
-    /// Shannon expansion: f ≡ x·f_x ∨ x̄·f_x̄.
-    #[test]
-    fn shannon_expansion(f in arb_sop(N, 5), v in 0..N) {
-        let v = Var(v);
+/// Shannon expansion: f ≡ x·f_x ∨ x̄·f_x̄.
+#[test]
+fn shannon_expansion() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 5);
+        let v = Var(rng.gen_range(0..N));
         let expanded = Sop::literal(v, true)
             .and(&f.cofactor(v, true))
             .or(&Sop::literal(v, false).and(&f.cofactor(v, false)));
-        prop_assert!(expanded.equivalent(&f));
+        assert!(expanded.equivalent(&f), "seed {seed}: f={f} v={v}");
     }
+}
 
-    /// Tautology checking agrees with the truth table.
-    #[test]
-    fn tautology_matches_truth_table(f in arb_sop(N, 6)) {
+/// Tautology checking agrees with the truth table.
+#[test]
+fn tautology_matches_truth_table() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 6);
         let full = tt(&f).count_ones() == 1 << N;
-        prop_assert_eq!(f.is_tautology(), full);
+        assert_eq!(f.is_tautology(), full, "seed {seed}: f={f}");
     }
+}
 
-    /// `covers_cube` agrees with minterm containment.
-    #[test]
-    fn covers_cube_matches_semantics(f in arb_sop(N, 5), c in arb_cube(N)) {
+/// `covers_cube` agrees with minterm containment.
+#[test]
+fn covers_cube_matches_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 5);
+        let c = arb_cube(&mut rng, N);
         let covered = (0..1usize << N)
             .filter(|&m| c.eval(|v| m >> v.0 & 1 != 0))
             .all(|m| f.eval(|v| m >> v.0 & 1 != 0));
-        prop_assert_eq!(f.covers_cube(&c), covered);
+        assert_eq!(f.covers_cube(&c), covered, "seed {seed}: f={f} c={c}");
     }
+}
 
-    /// `implies` is a partial order embedding of minterm-set inclusion.
-    #[test]
-    fn implies_matches_inclusion(f in arb_sop(N, 4), g in arb_sop(N, 4)) {
+/// `implies` is a partial order embedding of minterm-set inclusion.
+#[test]
+fn implies_matches_inclusion() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 4);
+        let g = arb_sop(&mut rng, N, 4);
         let inclusion = (0..1usize << N).all(|m| {
             let assign = |v: Var| m >> v.0 & 1 != 0;
             !f.eval(assign) || g.eval(assign)
         });
-        prop_assert_eq!(f.implies(&g), inclusion);
+        assert_eq!(f.implies(&g), inclusion, "seed {seed}: f={f} g={g}");
     }
+}
 
-    /// SCC keeps the function and never grows the cover; it is idempotent.
-    #[test]
-    fn scc_sound_and_idempotent(f in arb_sop(N, 8)) {
+/// SCC keeps the function and never grows the cover; it is idempotent.
+#[test]
+fn scc_sound_and_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 8);
         // from_cubes already applies SCC once.
         let g = Sop::from_cubes(f.cubes().to_vec());
-        prop_assert_eq!(g.num_cubes(), f.num_cubes());
-        prop_assert!(g.equivalent(&f));
+        assert_eq!(g.num_cubes(), f.num_cubes(), "seed {seed}");
+        assert!(g.equivalent(&f), "seed {seed}");
     }
+}
 
-    /// Minimization yields a cover where no literal can be dropped and no
-    /// cube removed (prime and irredundant).
-    #[test]
-    fn minimize_is_prime_and_irredundant(f in arb_sop(4, 5)) {
+/// Minimization yields a cover where no literal can be dropped and no cube
+/// removed (prime and irredundant).
+#[test]
+fn minimize_is_prime_and_irredundant() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 4, 5);
         let m = f.minimize();
         // Irredundant: removing any cube changes the function.
         for i in 0..m.num_cubes() {
             let rest = Sop::from_cubes(
-                m.cubes().iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| c.clone()),
+                m.cubes()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, c)| c.clone()),
             );
-            prop_assert!(!rest.equivalent(&m), "cube {i} of {m} is redundant");
+            assert!(!rest.equivalent(&m), "cube {i} of {m} is redundant");
         }
         // Prime: expanding any literal away changes the function.
         for (i, cube) in m.cubes().iter().enumerate() {
@@ -116,35 +156,42 @@ proptest! {
                 let mut cubes = m.cubes().to_vec();
                 cubes[i] = cube.without_var(v);
                 let grown = Sop::from_cubes(cubes);
-                prop_assert!(
+                assert!(
                     !grown.equivalent(&m) || grown.num_cubes() < m.num_cubes(),
                     "literal {v} of cube {i} in {m} is expendable"
                 );
             }
         }
     }
+}
 
-    /// Unate covers satisfy the unate tautology property used by the
-    /// recursive algorithms: tautology iff the universal cube is present.
-    #[test]
-    fn unate_tautology_theorem(f in arb_sop(N, 6)) {
+/// Unate covers satisfy the unate tautology property used by the recursive
+/// algorithms: tautology iff the universal cube is present.
+#[test]
+fn unate_tautology_theorem() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, N, 6);
         if f.is_unate() {
-            prop_assert_eq!(f.is_tautology(), f.is_one());
+            assert_eq!(f.is_tautology(), f.is_one(), "seed {seed}: f={f}");
         }
     }
+}
 
-    /// Syntactic unateness implies functional unateness for minimized
-    /// covers.
-    #[test]
-    fn minimized_unateness_is_functional(f in arb_sop(4, 5)) {
+/// Syntactic unateness implies functional unateness for minimized covers.
+#[test]
+fn minimized_unateness_is_functional() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 4, 5);
         let m = f.minimize();
         let table = TruthTable::from_sop(&m, &(0..4).map(Var).collect::<Vec<_>>());
         if m.is_unate() {
-            prop_assert!(table.is_unate());
+            assert!(table.is_unate());
         } else {
             // A minimized (prime, irredundant) cover of a function is
             // syntactically binate only if the function is binate.
-            prop_assert!(!table.is_unate(), "{} minimized to {} stayed binate", f, m);
+            assert!(!table.is_unate(), "{f} minimized to {m} stayed binate");
         }
     }
 }

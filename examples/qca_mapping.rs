@@ -14,10 +14,7 @@ use tels::logic::sim::{check_equivalence, EquivOptions};
 use tels::{map_to_majority, synthesize, to_verilog, TelsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (name, net) in [
-        ("comparator4", comparator(4)),
-        ("mux8", mux_tree(3)),
-    ] {
+    for (name, net) in [("comparator4", comparator(4)), ("mux8", mux_tree(3))] {
         let factored = script_algebraic(&net);
         let config = TelsConfig::default(); // ψ = 3 keeps every gate QCA-mappable
         let tn = synthesize(&factored, &config)?;

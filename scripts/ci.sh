@@ -1,0 +1,21 @@
+#!/bin/sh
+# Local CI gate: everything a pull request must pass, in the order the
+# failures are cheapest to find. Run from anywhere inside the repo.
+# Works fully offline — the workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build"
+cargo build --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "ci.sh: all checks passed"

@@ -56,8 +56,8 @@ pub use tels_ilp as ilp;
 pub use tels_logic as logic;
 
 pub use tels_core::{
-    map_to_majority, theorem1_refutes, theorem2_extend, to_verilog, MajorityStats,
-    check_threshold, map_one_to_one, synthesize, synthesize_best, synthesize_with_stats,
+    check_threshold, map_one_to_one, map_to_majority, synthesize, synthesize_best,
+    synthesize_with_stats, theorem1_refutes, theorem2_extend, to_verilog, MajorityStats,
     NetworkReport, Realization, SplitHeuristic, SynthError, SynthStats, SynthStrategy, TelsConfig,
     ThresholdGate, ThresholdNetwork,
 };

@@ -1,0 +1,154 @@
+//! Properties of the canonical realization cache and the level-parallel
+//! warming pass: cached answers must be exact after remapping, and the
+//! synthesized network must not depend on the thread count.
+
+use tels::circuits::{comparator, random_network, ripple_adder, RandomNetOptions};
+use tels::logic::opt::script_algebraic;
+use tels::logic::rng::Xoshiro256;
+use tels::logic::{Cube, Network, Sop, Var};
+use tels::{check_threshold, synthesize, synthesize_with_stats, Realization, TelsConfig};
+
+/// Exhaustively validates a realization against the function it claims to
+/// compute.
+fn assert_exact(f: &Sop, r: &Realization) {
+    let vars: Vec<Var> = f.support().iter().collect();
+    for m in 0..1u32 << vars.len() {
+        let assign = |v: Var| {
+            let i = vars.iter().position(|&x| x == v).unwrap();
+            m >> i & 1 != 0
+        };
+        let expect = f.eval(assign);
+        let sum: i64 = r
+            .weights
+            .iter()
+            .map(|&(v, w)| if assign(v) { w } else { 0 })
+            .sum();
+        assert_eq!(
+            sum >= r.threshold,
+            expect,
+            "minterm {m} of {f}: sum {sum} vs T {}",
+            r.threshold
+        );
+    }
+}
+
+fn random_nets() -> Vec<Network> {
+    (0..6u64)
+        .map(|seed| {
+            random_network(
+                &format!("net_{seed}"),
+                0x5eed ^ seed,
+                &RandomNetOptions::default(),
+            )
+        })
+        .collect()
+}
+
+/// The emitted network is identical — byte for byte — for every warming
+/// thread count, because cache entries are decided in canonical space.
+#[test]
+fn synthesis_is_thread_count_invariant() {
+    for net in random_nets() {
+        let prepared = script_algebraic(&net);
+        let texts: Vec<String> = [1, 2, 4, 8]
+            .into_iter()
+            .map(|num_threads| {
+                let config = TelsConfig {
+                    num_threads,
+                    ..TelsConfig::default()
+                };
+                synthesize(&prepared, &config).expect("synthesis").to_tnet()
+            })
+            .collect();
+        for t in &texts[1..] {
+            assert_eq!(&texts[0], t, "thread count changed the output network");
+        }
+    }
+}
+
+/// Cache on and cache off may pick different (but equally exact) gate
+/// weights; both must realize the source network.
+#[test]
+fn cached_synthesis_matches_uncached_functionally() {
+    let mut nets = random_nets();
+    nets.push(ripple_adder(4));
+    nets.push(comparator(4));
+    for net in &nets {
+        let prepared = script_algebraic(net);
+        for psi in [3, 5] {
+            let cached = TelsConfig {
+                psi,
+                use_cache: true,
+                num_threads: 4,
+                ..TelsConfig::default()
+            };
+            let uncached = TelsConfig {
+                psi,
+                use_cache: false,
+                num_threads: 1,
+                ..TelsConfig::default()
+            };
+            let (tn_c, stats_c) = synthesize_with_stats(&prepared, &cached).expect("cached");
+            let (tn_u, stats_u) = synthesize_with_stats(&prepared, &uncached).expect("uncached");
+            assert_eq!(
+                tn_c.verify_against(net, 14, 2048, 0xC0FE).expect("sim"),
+                None,
+                "cached synthesis diverged from the source network"
+            );
+            assert_eq!(
+                tn_u.verify_against(net, 14, 2048, 0xC0FE).expect("sim"),
+                None,
+                "uncached synthesis diverged from the source network"
+            );
+            // The cached pass counts every emission-time query (the
+            // uncached one returns before counting on a Theorem-1
+            // refutation), and must answer some without the solver.
+            assert!(stats_c.ilp_calls >= stats_u.ilp_calls);
+            assert!(stats_c.ilp_avoided() > 0, "cache never hit");
+            assert!(stats_c.ilp_solves + stats_c.ilp_avoided() >= stats_c.ilp_calls);
+        }
+    }
+}
+
+/// A cache hit after renaming and phase flips must reproduce exactly the
+/// realization a fresh solve finds: every remapped realization from a
+/// cache-enabled run must satisfy the original cover, which `validate`
+/// checks exhaustively.
+#[test]
+fn cached_realizations_are_exact_on_random_unate_sops() {
+    let mut rng = Xoshiro256::seed_from_u64(0xCAC4E);
+    let config = TelsConfig::default();
+    let mut checked = 0;
+    for _ in 0..200 {
+        let n = rng.gen_range(1..=4u32);
+        let cubes = rng.gen_range(1..=3usize);
+        // Random unate SOP: one global phase per variable.
+        let phases: Vec<bool> = (0..n).map(|_| rng.gen_range(0..2u32) == 0).collect();
+        let f = Sop::from_cubes(
+            (0..cubes)
+                .map(|_| {
+                    Cube::from_literals((0..n).filter_map(|i| {
+                        (rng.gen_range(0..3u32) > 0).then_some((Var(i), phases[i as usize]))
+                    }))
+                })
+                .collect::<Vec<_>>(),
+        );
+        if let Some(r) = check_threshold(&f, &config).expect("check") {
+            assert_exact(&f, &r);
+            checked += 1;
+        }
+        // And the same function under a renaming + phase flip of every
+        // variable still checks out (this is the transformation the cache
+        // undoes on a hit).
+        let renamed = Sop::from_cubes(
+            f.cubes()
+                .iter()
+                .map(|c| Cube::from_literals(c.literals().map(|(v, ph)| (Var(v.0 * 2 + 7), !ph))))
+                .collect::<Vec<_>>(),
+        );
+        if let Some(r) = check_threshold(&renamed, &config).expect("check") {
+            assert_exact(&renamed, &r);
+        }
+    }
+    assert!(checked > 20, "suite produced too few threshold functions");
+}

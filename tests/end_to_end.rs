@@ -140,7 +140,10 @@ fn fanin_sweep_trend() {
         };
         let baseline = map_one_to_one(&boolean, &config).unwrap();
         let tels = synthesize(&algebraic, &config).unwrap();
-        assert_eq!(tels.verify_against(&net, 12, 512, psi as u64).unwrap(), None);
+        assert_eq!(
+            tels.verify_against(&net, 12, 512, psi as u64).unwrap(),
+            None
+        );
         baseline_counts.push(baseline.num_gates());
         tels_counts.push(tels.num_gates());
     }
@@ -179,7 +182,10 @@ fn stats_are_consistent() {
     let algebraic = script_algebraic(&net);
     let (tn, stats) = synthesize_with_stats(&algebraic, &TelsConfig::default()).unwrap();
     assert!(stats.ilp_calls >= tn.num_gates() / 2);
-    assert!(stats.collapses > 0, "collapsing should fire on a comparator");
+    assert!(
+        stats.collapses > 0,
+        "collapsing should fire on a comparator"
+    );
     // Theorem 1 only ever skips ILP calls, never gates.
     let (tn_nof, _) = synthesize_with_stats(
         &algebraic,

@@ -1,12 +1,11 @@
 //! Integration tests over the extra circuit generators: both synthesis
 //! strategies, QCA mapping, and parser robustness.
 
-use proptest::prelude::*;
-
 use tels::circuits::{alu_slice, barrel_shifter, c17, gray_code};
 use tels::core::parse_tnet;
 use tels::logic::blif;
 use tels::logic::opt::script_algebraic;
+use tels::logic::rng::Xoshiro256;
 use tels::{map_to_majority, synthesize, SynthStrategy, TelsConfig};
 
 #[test]
@@ -63,62 +62,88 @@ fn c17_is_tiny_after_synthesis() {
     assert_eq!(tn.verify_against(&net, 12, 64, 0).unwrap(), None);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random ASCII string of up to `max_len` characters drawn from a
+/// printable alphabet plus whitespace.
+fn arb_garbage(rng: &mut Xoshiro256, max_len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 .:-=_\t\n\"'()[]{}#@!$%^&*";
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
 
-    /// The BLIF parser never panics on arbitrary input (errors only).
-    #[test]
-    fn blif_parser_never_panics(input in ".{0,200}") {
+/// A random line assembled from directive-shaped fragments.
+fn arb_soup(rng: &mut Xoshiro256, fragments: &[&str], max_lines: usize) -> String {
+    let n = rng.gen_range(0..=max_lines);
+    (0..n)
+        .map(|_| {
+            let pick = rng.gen_range(0..=fragments.len());
+            if pick == fragments.len() {
+                arb_garbage(rng, 16)
+            } else {
+                fragments[pick].to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The BLIF parser never panics on arbitrary input (errors only).
+#[test]
+fn blif_parser_never_panics() {
+    for seed in 0..256 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let input = arb_garbage(&mut rng, 200);
         let _ = blif::parse(&input);
     }
+}
 
-    /// The BLIF parser never panics on directive-shaped garbage.
-    #[test]
-    fn blif_parser_survives_directive_soup(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just(".model m".to_string()),
-                Just(".inputs a b".to_string()),
-                Just(".outputs f".to_string()),
-                Just(".names a b f".to_string()),
-                Just("11 1".to_string()),
-                Just("0- 0".to_string()),
-                Just("1".to_string()),
-                Just(".end".to_string()),
-                Just(".names f".to_string()),
-                "[a-z01\\- .]{0,12}",
-            ],
-            0..20,
-        )
-    ) {
-        let input = parts.join("\n");
+/// The BLIF parser never panics on directive-shaped garbage.
+#[test]
+fn blif_parser_survives_directive_soup() {
+    let fragments = [
+        ".model m",
+        ".inputs a b",
+        ".outputs f",
+        ".names a b f",
+        "11 1",
+        "0- 0",
+        "1",
+        ".end",
+        ".names f",
+    ];
+    for seed in 0..256 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let input = arb_soup(&mut rng, &fragments, 20);
         let _ = blif::parse(&input);
     }
+}
 
-    /// The .tnet parser never panics on arbitrary input.
-    #[test]
-    fn tnet_parser_never_panics(input in ".{0,200}") {
+/// The .tnet parser never panics on arbitrary input.
+#[test]
+fn tnet_parser_never_panics() {
+    for seed in 0..256 {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7e57);
+        let input = arb_garbage(&mut rng, 200);
         let _ = parse_tnet(&input);
     }
+}
 
-    /// The .tnet parser never panics on gate-shaped garbage.
-    #[test]
-    fn tnet_parser_survives_gate_soup(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just(".model m".to_string()),
-                Just(".inputs a b".to_string()),
-                Just(".outputs f".to_string()),
-                Just(".gate f T=2 a:1 b:1".to_string()),
-                Just(".gate g T=x a:y".to_string()),
-                Just(".alias f g".to_string()),
-                Just(".end".to_string()),
-                "[a-z0-9:=\\- .]{0,16}",
-            ],
-            0..16,
-        )
-    ) {
-        let input = parts.join("\n");
+/// The .tnet parser never panics on gate-shaped garbage.
+#[test]
+fn tnet_parser_survives_gate_soup() {
+    let fragments = [
+        ".model m",
+        ".inputs a b",
+        ".outputs f",
+        ".gate f T=2 a:1 b:1",
+        ".gate g T=x a:y",
+        ".alias f g",
+        ".end",
+    ];
+    for seed in 0..256 {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x50a9);
+        let input = arb_soup(&mut rng, &fragments, 16);
         let _ = parse_tnet(&input);
     }
 }

@@ -1,82 +1,98 @@
-//! Property-based tests over the core data structures and the synthesis
-//! invariants, using random SOPs and random networks.
-
-use proptest::prelude::*;
+//! Randomized tests over the core data structures and the synthesis
+//! invariants, using seeded random SOPs and random networks.
 
 use tels::circuits::{random_network, RandomNetOptions};
 use tels::logic::opt::{script_algebraic, script_boolean};
+use tels::logic::rng::Xoshiro256;
 use tels::logic::sim::{check_equivalence, EquivOptions};
 use tels::logic::{blif, Cube, Sop, TruthTable, Var};
 use tels::{check_threshold, synthesize, theorem1_refutes, TelsConfig};
 
-/// Strategy: a random SOP over `n` variables with up to `max_cubes` cubes.
-fn arb_sop(n: u32, max_cubes: usize) -> impl Strategy<Value = Sop> {
-    prop::collection::vec(
-        prop::collection::vec(prop::option::of(prop::bool::ANY), n as usize),
-        0..=max_cubes,
+const CASES: u64 = 128;
+
+/// A random SOP over `n` variables with up to `max_cubes` cubes.
+fn arb_sop(rng: &mut Xoshiro256, n: u32, max_cubes: usize) -> Sop {
+    let k = rng.gen_range(0..=max_cubes);
+    Sop::from_cubes(
+        (0..k)
+            .map(|_| {
+                Cube::from_literals((0..n).filter_map(|i| match rng.gen_range(0..4u32) {
+                    0 => Some((Var(i), true)),
+                    1 => Some((Var(i), false)),
+                    _ => None,
+                }))
+            })
+            .collect::<Vec<_>>(),
     )
-    .prop_map(move |cubes| {
-        Sop::from_cubes(cubes.into_iter().map(|lits| {
-            Cube::from_literals(
-                lits.into_iter()
-                    .enumerate()
-                    .filter_map(|(i, phase)| phase.map(|p| (Var(i as u32), p))),
-            )
-        }))
-    })
 }
 
 fn vars(n: u32) -> Vec<Var> {
     (0..n).map(Var).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// f ∨ f̄ is a tautology and f ∧ f̄ is empty, for arbitrary covers.
-    #[test]
-    fn complement_partitions_space(f in arb_sop(5, 6)) {
+/// f ∨ f̄ is a tautology and f ∧ f̄ is empty, for arbitrary covers.
+#[test]
+fn complement_partitions_space() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 5, 6);
         let g = f.complement();
-        prop_assert!(f.or(&g).is_tautology());
-        prop_assert!(f.and(&g).is_zero());
+        assert!(f.or(&g).is_tautology(), "seed {seed}: f={f}");
+        assert!(f.and(&g).is_zero(), "seed {seed}: f={f}");
     }
+}
 
-    /// Minimization preserves the function and never grows the cover.
-    #[test]
-    fn minimize_preserves_function(f in arb_sop(5, 6)) {
+/// Minimization preserves the function and never grows the cover.
+#[test]
+fn minimize_preserves_function() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 5, 6);
         let m = f.minimize();
-        prop_assert!(m.equivalent(&f));
-        prop_assert!(m.num_literals() <= f.num_literals());
-        prop_assert!(m.num_cubes() <= f.num_cubes());
+        assert!(m.equivalent(&f), "seed {seed}: f={f} m={m}");
+        assert!(m.num_literals() <= f.num_literals());
+        assert!(m.num_cubes() <= f.num_cubes());
     }
+}
 
-    /// Truth-table round trip is exact.
-    #[test]
-    fn truth_table_round_trip(f in arb_sop(4, 5)) {
+/// Truth-table round trip is exact.
+#[test]
+fn truth_table_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 4, 5);
         let order = vars(4);
         let tt = TruthTable::from_sop(&f, &order);
-        prop_assert!(tt.to_sop(&order).equivalent(&f));
+        assert!(tt.to_sop(&order).equivalent(&f), "seed {seed}: f={f}");
     }
+}
 
-    /// Substitution is semantically correct: f[v := g] evaluates like
-    /// composing the two functions.
-    #[test]
-    fn substitution_composes(f in arb_sop(4, 4), g in arb_sop(3, 3)) {
+/// Substitution is semantically correct: f[v := g] evaluates like composing
+/// the two functions.
+#[test]
+fn substitution_composes() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 4, 4);
+        let g = arb_sop(&mut rng, 3, 3);
         // Substitute var 3 of f by g (over vars 0..3).
         let h = f.substitute(Var(3), &g);
         for m in 0u32..8 {
             let assign = |v: Var| m >> v.0 & 1 != 0;
             let gv = g.eval(assign);
             let expect = f.eval(|v| if v == Var(3) { gv } else { assign(v) });
-            prop_assert_eq!(h.eval(assign), expect, "minterm {}", m);
+            assert_eq!(h.eval(assign), expect, "seed {seed} minterm {m}");
         }
     }
+}
 
-    /// Any weight vector returned by the threshold checker realizes the
-    /// function exactly (on every minterm).
-    #[test]
-    fn threshold_realizations_are_exact(f in arb_sop(4, 4)) {
-        let f = f.minimize();
+/// Any weight vector returned by the threshold checker realizes the
+/// function exactly (on every minterm).
+#[test]
+fn threshold_realizations_are_exact() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 4, 4).minimize();
         if let Some(r) = check_threshold(&f, &TelsConfig::default()).unwrap() {
             let support: Vec<Var> = f.support().iter().collect();
             for m in 0u32..1 << support.len() {
@@ -89,28 +105,39 @@ proptest! {
                     .iter()
                     .map(|&(v, w)| if assign(v) { w } else { 0 })
                     .sum();
-                prop_assert_eq!(sum >= r.threshold, f.eval(assign), "minterm {}", m);
+                assert_eq!(
+                    sum >= r.threshold,
+                    f.eval(assign),
+                    "seed {seed} minterm {m}"
+                );
             }
         }
     }
+}
 
-    /// The Theorem-1 filter never refutes an actual threshold function
-    /// (soundness against the exact ILP answer).
-    #[test]
-    fn theorem1_filter_is_sound(f in arb_sop(4, 4)) {
-        let f = f.minimize();
+/// The Theorem-1 filter never refutes an actual threshold function
+/// (soundness against the exact ILP answer).
+#[test]
+fn theorem1_filter_is_sound() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f = arb_sop(&mut rng, 4, 4).minimize();
         if f.is_unate() && theorem1_refutes(&f) {
-            prop_assert!(
-                check_threshold(&f, &TelsConfig::default()).unwrap().is_none(),
-                "filter refuted a threshold function: {}", f
+            assert!(
+                check_threshold(&f, &TelsConfig::default())
+                    .unwrap()
+                    .is_none(),
+                "filter refuted a threshold function: {f}"
             );
         }
     }
+}
 
-    /// Both optimization scripts preserve network function on random
-    /// networks, and synthesis of the result matches the original.
-    #[test]
-    fn random_network_flow_is_sound(seed in 0u64..64) {
+/// Both optimization scripts preserve network function on random networks,
+/// and synthesis of the result matches the original.
+#[test]
+fn random_network_flow_is_sound() {
+    for seed in 0..64 {
         let opts = RandomNetOptions {
             inputs: 8,
             outputs: 4,
@@ -127,16 +154,32 @@ proptest! {
             seed,
         };
         let alg = script_algebraic(&net);
-        prop_assert!(check_equivalence(&net, &alg, &eq_opts).unwrap().is_equivalent());
+        assert!(
+            check_equivalence(&net, &alg, &eq_opts)
+                .unwrap()
+                .is_equivalent(),
+            "seed {seed}"
+        );
         let boolean = script_boolean(&net);
-        prop_assert!(check_equivalence(&net, &boolean, &eq_opts).unwrap().is_equivalent());
+        assert!(
+            check_equivalence(&net, &boolean, &eq_opts)
+                .unwrap()
+                .is_equivalent(),
+            "seed {seed}"
+        );
         let tn = synthesize(&alg, &TelsConfig::default()).unwrap();
-        prop_assert_eq!(tn.verify_against(&net, 10, 512, seed).unwrap(), None);
+        assert_eq!(
+            tn.verify_against(&net, 10, 512, seed).unwrap(),
+            None,
+            "seed {seed}"
+        );
     }
+}
 
-    /// BLIF round trips preserve the function of random networks.
-    #[test]
-    fn blif_round_trip_random(seed in 0u64..64) {
+/// BLIF round trips preserve the function of random networks.
+#[test]
+fn blif_round_trip_random() {
+    for seed in 0..64 {
         let opts = RandomNetOptions {
             inputs: 6,
             outputs: 3,
@@ -153,6 +196,11 @@ proptest! {
             random_patterns: 256,
             seed,
         };
-        prop_assert!(check_equivalence(&net, &round, &eq_opts).unwrap().is_equivalent());
+        assert!(
+            check_equivalence(&net, &round, &eq_opts)
+                .unwrap()
+                .is_equivalent(),
+            "seed {seed}"
+        );
     }
 }

@@ -68,7 +68,10 @@ fn census_2_vars() {
         if check_threshold(&f, &config).unwrap().is_some() {
             count += 1;
         } else {
-            assert!(bits == 0b0110 || bits == 0b1001, "only xor/xnor fail: {bits:04b}");
+            assert!(
+                bits == 0b0110 || bits == 0b1001,
+                "only xor/xnor fail: {bits:04b}"
+            );
         }
     }
     assert_eq!(count, 14);
