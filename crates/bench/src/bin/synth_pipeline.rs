@@ -1,19 +1,27 @@
 //! Benchmarks the synthesis pipeline with and without the canonical
 //! realization cache, ILP pre-filters, and warming threads, and writes the
-//! results to `BENCH_synthesis.json`.
+//! results to `BENCH_synthesis.json` — including a per-tier solver-stage
+//! breakdown (Chow merging, integer fast path, rational fallbacks) so
+//! speedups are attributable to a stage.
 //!
 //! Two configurations are compared over a mixed circuit suite:
 //!
 //! * **serial**: `use_cache = false`, `num_threads = 1` — the pre-cache
 //!   flow, every threshold query solved by the ILP in its original order;
 //! * **cached**: `use_cache = true`, `num_threads = 4` — the canonical
-//!   cache with the 2-monotonicity pre-filter and the level-parallel
-//!   warming pass.
+//!   cache with the structure pre-filter and the level-parallel warming
+//!   pass (the whole machinery disengages below `parallel_min_nodes`,
+//!   so c17-sized circuits run the serial flow in both columns).
 //!
 //! Both runs of every circuit are checked functionally equivalent against
-//! the source network before being timed.
+//! the source network before being timed, and the run doubles as a
+//! consistency gate: it fails if any circuit's serial and cached runs
+//! disagree on gate count or threshold-query count, or if the
+//! rational-fallback rate exceeds a sanity bound.
 //!
-//! Run with `cargo run --release -p tels-bench --bin synth_pipeline`.
+//! Run with `cargo run --release -p tels-bench --bin synth_pipeline`;
+//! pass `--quick` for a single-sample smoke run that skips the JSON write
+//! (what `scripts/ci.sh` uses).
 
 use std::time::Instant;
 
@@ -28,16 +36,22 @@ use tels_logic::Network;
 /// Timed samples per configuration; the minimum is reported.
 const SAMPLES: usize = 5;
 
+/// Largest tolerated share of ILP solves that fell back to the rational
+/// simplex, across the whole suite and both configurations. TELS ILPs are
+/// tiny (ψ+1 columns, small coefficients), so the integer fast path should
+/// essentially never overflow; a burst of fallbacks signals a regression.
+const MAX_FALLBACK_RATE: f64 = 0.02;
+
 struct Measurement {
     millis: f64,
     gates: usize,
     stats: SynthStats,
 }
 
-fn measure(net: &Network, config: &TelsConfig) -> Measurement {
+fn measure(net: &Network, config: &TelsConfig, samples: usize) -> Measurement {
     let mut best = f64::INFINITY;
     let mut result = None;
-    for _ in 0..SAMPLES {
+    for _ in 0..samples {
         let start = Instant::now();
         let (tn, stats) = synthesize_with_stats(net, config).expect("synthesis failed");
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
@@ -61,12 +75,17 @@ fn measure(net: &Network, config: &TelsConfig) -> Measurement {
 }
 
 fn json_row(name: &str, serial: &Measurement, cached: &Measurement) -> String {
+    let sv = &serial.stats.solver;
     format!(
         concat!(
             "    {{\"circuit\": \"{}\", \"serial_ms\": {:.3}, \"cached_ms\": {:.3}, ",
             "\"speedup\": {:.2}, \"gates_serial\": {}, \"gates_cached\": {}, ",
-            "\"ilp_calls\": {}, \"ilp_solves_serial\": {}, \"ilp_solves_cached\": {}, ",
-            "\"cache_hits\": {}, \"prefilter_rejections\": {}, \"ilp_avoided\": {}}}"
+            "\"ilp_calls_serial\": {}, \"ilp_calls_cached\": {}, ",
+            "\"ilp_solves_serial\": {}, \"ilp_solves_cached\": {}, ",
+            "\"cache_hits\": {}, \"prefilter_rejections\": {}, \"ilp_avoided\": {}, ",
+            "\"solver_serial\": {{\"chow_merged_vars\": {}, \"int_fast_path_solves\": {}, ",
+            "\"rational_fallbacks\": {}, \"structure_ms\": {:.3}, \"int_solve_ms\": {:.3}, ",
+            "\"rational_solve_ms\": {:.3}}}}}"
         ),
         name,
         serial.millis,
@@ -74,18 +93,28 @@ fn json_row(name: &str, serial: &Measurement, cached: &Measurement) -> String {
         serial.millis / cached.millis,
         serial.gates,
         cached.gates,
+        serial.stats.ilp_calls,
         cached.stats.ilp_calls,
         serial.stats.ilp_solves,
         cached.stats.ilp_solves,
         cached.stats.cache_hits,
         cached.stats.prefilter_rejections,
         cached.stats.ilp_avoided(),
+        sv.chow_merged_vars,
+        sv.int_fast_path_solves,
+        sv.rational_fallbacks,
+        sv.structure_ns as f64 / 1e6,
+        sv.int_solve_ns as f64 / 1e6,
+        sv.rational_solve_ns as f64 / 1e6,
     )
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { SAMPLES };
+
     // (name, network, ψ): the default ψ = 3 plus a few ψ = 5 entries,
-    // where wider unate covers reach the 2-monotonicity pre-filter.
+    // where wider unate covers reach the structure pre-filter.
     let circuits: Vec<(String, Network, usize)> = vec![
         ("c17".to_string(), c17(), 3),
         ("alu_slice".to_string(), alu_slice(), 3),
@@ -128,9 +157,12 @@ fn main() {
     let mut total_serial = 0.0;
     let mut total_cached = 0.0;
     let mut total_avoided = 0usize;
+    let mut total_int_solves = 0usize;
+    let mut total_fallbacks = 0usize;
+    let mut total_merged = 0usize;
     println!(
-        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}",
-        "circuit", "serial ms", "cached ms", "speedup", "solves", "hits", "prefilter"
+        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "circuit", "serial ms", "cached ms", "speedup", "solves", "hits", "prefilter", "fallbk"
     );
     for (name, net, psi) in &circuits {
         let serial_config = TelsConfig {
@@ -146,10 +178,10 @@ fn main() {
             ..TelsConfig::default()
         };
         let prepared = script_algebraic(net);
-        let serial = measure(&prepared, &serial_config);
-        let cached = measure(&prepared, &cached_config);
+        let serial = measure(&prepared, &serial_config, samples);
+        let cached = measure(&prepared, &cached_config, samples);
         println!(
-            "{:<18} {:>10.2} {:>10.2} {:>7.2}x {:>8} {:>8} {:>9}",
+            "{:<18} {:>10.2} {:>10.2} {:>7.2}x {:>8} {:>8} {:>9} {:>8}",
             name,
             serial.millis,
             cached.millis,
@@ -157,28 +189,62 @@ fn main() {
             cached.stats.ilp_solves,
             cached.stats.cache_hits,
             cached.stats.prefilter_rejections,
+            serial.stats.solver.rational_fallbacks + cached.stats.solver.rational_fallbacks,
+        );
+        // Consistency gates: both configurations must emit the same gate
+        // count and issue the same number of threshold queries (counters
+        // thread-merge and tally identically on both paths).
+        assert_eq!(
+            serial.gates, cached.gates,
+            "{name}: gates_cached != gates_serial"
+        );
+        assert_eq!(
+            serial.stats.ilp_calls, cached.stats.ilp_calls,
+            "{name}: cached and serial runs disagree on threshold-query count"
         );
         total_serial += serial.millis;
         total_cached += cached.millis;
         total_avoided += cached.stats.ilp_avoided();
+        for m in [&serial, &cached] {
+            total_int_solves += m.stats.solver.int_fast_path_solves;
+            total_fallbacks += m.stats.solver.rational_fallbacks;
+            total_merged += m.stats.solver.chow_merged_vars;
+        }
         rows.push(json_row(name, &serial, &cached));
     }
 
     let speedup = total_serial / total_cached;
+    let fallback_rate = if total_int_solves + total_fallbacks > 0 {
+        total_fallbacks as f64 / (total_int_solves + total_fallbacks) as f64
+    } else {
+        0.0
+    };
     println!(
         "\ntotal: serial {total_serial:.1} ms, cached {total_cached:.1} ms — {speedup:.2}x \
-         ({total_avoided} ILP solves avoided)"
+         ({total_avoided} ILP solves avoided, {total_merged} Chow-merged vars, \
+         {total_fallbacks} rational fallbacks / {:.2}% rate)",
+        fallback_rate * 1e2
     );
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"synth_pipeline\",\n  \"serial\": {{\"use_cache\": false, \
-         \"num_threads\": 1}},\n  \"cached\": {{\"use_cache\": true, \"num_threads\": 4}},\n  \
-         \"total_serial_ms\": {total_serial:.3},\n  \"total_cached_ms\": {total_cached:.3},\n  \
-         \"speedup\": {speedup:.3},\n  \"ilp_avoided\": {total_avoided},\n  \"circuits\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+    if !quick {
+        let json = format!(
+            "{{\n  \"benchmark\": \"synth_pipeline\",\n  \"serial\": {{\"use_cache\": false, \
+             \"num_threads\": 1}},\n  \"cached\": {{\"use_cache\": true, \"num_threads\": 4}},\n  \
+             \"total_serial_ms\": {total_serial:.3},\n  \"total_cached_ms\": {total_cached:.3},\n  \
+             \"speedup\": {speedup:.3},\n  \"ilp_avoided\": {total_avoided},\n  \
+             \"chow_merged_vars\": {total_merged},\n  \"int_fast_path_solves\": {total_int_solves},\n  \
+             \"rational_fallbacks\": {total_fallbacks},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        std::fs::write("BENCH_synthesis.json", &json).expect("write BENCH_synthesis.json");
+        println!("wrote BENCH_synthesis.json");
+    }
+    assert!(
+        fallback_rate <= MAX_FALLBACK_RATE,
+        "rational-fallback rate {:.2}% exceeds the {:.0}% sanity bound",
+        fallback_rate * 1e2,
+        MAX_FALLBACK_RATE * 1e2
     );
-    std::fs::write("BENCH_synthesis.json", &json).expect("write BENCH_synthesis.json");
-    println!("wrote BENCH_synthesis.json");
     assert!(
         speedup >= 1.0,
         "cached pipeline slower than serial ({speedup:.2}x)"

@@ -40,7 +40,7 @@ const USAGE: &str = "\
 usage: tels <command> [args]
   synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
          [--weight-cap N] [--threads N] [--no-cache] [--no-factor]
-         [--no-theorem1] [--best]
+         [--no-theorem1] [--no-int-solver] [--best]
   map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
   sim    <file.blif|file.tnet> <bits...>
   verify <spec.blif> <impl.tnet>
@@ -116,6 +116,7 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
             "--no-cache" => out.config.use_cache = false,
             "--no-factor" => out.factor = false,
             "--no-theorem1" => out.config.use_theorem1 = false,
+            "--no-int-solver" => out.config.use_int_solver = false,
             "--best" => out.best = true,
             other if !other.starts_with('-') && out.input.is_empty() => {
                 out.input = other.to_string()
@@ -180,6 +181,16 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
             stats.cache_hits,
             stats.prefilter_rejections,
             stats.ilp_avoided()
+        );
+        let sv = &stats.solver;
+        eprintln!(
+            "tels: solver: {} int fast-path, {} rational fallbacks, {} Chow-merged vars | structure {:.2} ms, int {:.2} ms, rational {:.2} ms",
+            sv.int_fast_path_solves,
+            sv.rational_fallbacks,
+            sv.chow_merged_vars,
+            sv.structure_ns as f64 / 1e6,
+            sv.int_solve_ns as f64 / 1e6,
+            sv.rational_solve_ns as f64 / 1e6
         );
         tn
     };

@@ -7,11 +7,19 @@
 //! threshold function (over the cube constraints, which are exact for unate
 //! covers).
 //!
-//! Two cheap necessary conditions run before the ILP: duplicate
-//! inequalities are dropped when the problem is built, and functions that
-//! violate 2-monotonicity (pairwise cofactor comparability — a property of
-//! every threshold function) are rejected in time proportional to the
-//! truth table, skipping the complement and the solver entirely.
+//! A one-pass *structure analysis* ([`crate::chow`]) runs before the ILP:
+//! functions that violate 2-monotonicity (pairwise cofactor comparability
+//! — a property of every threshold function) are rejected in time
+//! proportional to the truth table, and for the functions that pass, the
+//! Chow parameters computed on the same table shrink the ILP — equal-Chow
+//! variables merge into one weight column and the Chow ordering adds
+//! weight-chain constraints that prune the branch-and-bound. Duplicate
+//! inequalities are dropped when the problem is built.
+//!
+//! The ILP itself is tiered ([`tels_ilp`]): every LP relaxation first runs
+//! on a fraction-free `i128` integer simplex and falls back to the
+//! exact-rational oracle only on overflow. [`SolverBreakdown`] reports
+//! where each check spent its time across these tiers.
 //!
 //! [`check_threshold_cached`] additionally memoizes answers in a
 //! [`RealizationCache`] keyed by the canonical positive-unate form, so
@@ -19,14 +27,59 @@
 //! phase assignment — are answered by an exact remap instead of a solve.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use tels_ilp::{Cmp, Problem, Status};
-use tels_logic::{Cube, Polarity, Sop, TruthTable, Var};
+use tels_logic::{Cube, Polarity, Sop, Var};
 
 use crate::cache::{CanonicalRealization, RealizationCache};
+use crate::chow::{self, ChowAnalysis, Structure};
 use crate::config::TelsConfig;
 use crate::error::SynthError;
 use crate::theorems::theorem1_refutes;
+
+/// Per-tier breakdown of where the threshold-check solver spent its work.
+///
+/// `int_fast_path_solves + rational_fallbacks` is the number of ILP solves
+/// that actually ran; a solve lands in `rational_fallbacks` as soon as any
+/// of its LP relaxations needed the exact-rational simplex (including all
+/// solves when the integer fast path is disabled via
+/// [`TelsConfig::use_int_solver`]). The `*_ns` fields are wall-clock
+/// nanoseconds, bucketed the same way; `structure_ns` covers the combined
+/// 2-monotonicity/Chow truth-table pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverBreakdown {
+    /// ILP weight columns eliminated by merging equal-Chow variables.
+    pub chow_merged_vars: usize,
+    /// ILP solves that ran entirely on the fraction-free integer simplex.
+    pub int_fast_path_solves: usize,
+    /// ILP solves where at least one LP relaxation ran on the
+    /// exact-rational simplex.
+    pub rational_fallbacks: usize,
+    /// Wall time of the structure pass (2-monotonicity + Chow parameters).
+    pub structure_ns: u64,
+    /// Wall time of ILP solves decided entirely on the integer fast path.
+    pub int_solve_ns: u64,
+    /// Wall time of ILP solves that touched the rational simplex.
+    pub rational_solve_ns: u64,
+}
+
+impl SolverBreakdown {
+    /// Accumulates another breakdown into this one (thread-merge).
+    pub fn merge(&mut self, other: &SolverBreakdown) {
+        self.chow_merged_vars += other.chow_merged_vars;
+        self.int_fast_path_solves += other.int_fast_path_solves;
+        self.rational_fallbacks += other.rational_fallbacks;
+        self.structure_ns += other.structure_ns;
+        self.int_solve_ns += other.int_solve_ns;
+        self.rational_solve_ns += other.rational_solve_ns;
+    }
+
+    /// Total ILP solves that ran (either tier).
+    pub fn ilp_solves(&self) -> usize {
+        self.int_fast_path_solves + self.rational_fallbacks
+    }
+}
 
 /// A threshold-gate realization of a logic function.
 ///
@@ -98,15 +151,26 @@ impl Realization {
 /// Returns [`SynthError::Solver`] only on arithmetic failure inside the
 /// exact solver.
 pub fn check_threshold(f: &Sop, config: &TelsConfig) -> Result<Option<Realization>, SynthError> {
-    Ok(check_threshold_counted(f, config)?.0)
+    let mut solver = SolverBreakdown::default();
+    Ok(check_threshold_counted(f, config, &mut solver)?.0)
+}
+
+/// Runs the structure pass with its time billed to `solver`.
+fn timed_structure(positive: &Sop, order: &[Var], solver: &mut SolverBreakdown) -> Structure {
+    let t0 = Instant::now();
+    let structure = chow::analyze(positive, order);
+    solver.structure_ns += t0.elapsed().as_nanos() as u64;
+    structure
 }
 
 /// [`check_threshold`], also reporting whether the ILP solver actually ran
 /// (`false` when a constant, a binate rejection, or the 2-monotonicity
-/// pre-filter decided the query).
+/// pre-filter decided the query). Solver-tier counters accumulate into
+/// `solver`.
 pub(crate) fn check_threshold_counted(
     f: &Sop,
     config: &TelsConfig,
+    solver: &mut SolverBreakdown,
 ) -> Result<(Option<Realization>, bool), SynthError> {
     if f.is_zero() {
         return Ok((Some(Realization::constant(false, config)), false));
@@ -117,10 +181,12 @@ pub(crate) fn check_threshold_counted(
     let Some(pf) = positive_form(f) else {
         return Ok((None, false));
     };
-    if !passes_two_monotonicity(&pf.positive, &pf.support) {
-        return Ok((None, false));
-    }
-    let solved = solve_positive(&pf.positive, &pf.support, config)?;
+    let chow = match timed_structure(&pf.positive, &pf.support, solver) {
+        Structure::NotThreshold => return Ok((None, false)),
+        Structure::TwoMonotonic(a) => Some(a),
+        Structure::Unknown => None,
+    };
+    let solved = solve_positive(&pf.positive, &pf.support, chow.as_ref(), config, solver)?;
     Ok((solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)), true))
 }
 
@@ -153,6 +219,7 @@ pub(crate) fn check_threshold_cached(
     f: &Sop,
     config: &TelsConfig,
     cache: &RealizationCache,
+    solver: &mut SolverBreakdown,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
     if f.is_zero() {
         return Ok((
@@ -167,8 +234,14 @@ pub(crate) fn check_threshold_cached(
         return Ok((None, CheckVia::Trivial));
     };
     let Some((key, order)) = pf.positive.canonical_signature() else {
-        // Support too wide for a 64-bit canonical key: solve uncached.
-        let solved = solve_positive(&pf.positive, &pf.support, config)?;
+        // Support too wide for a 64-bit canonical key: solve uncached
+        // (such supports are also past the structure pass's limit).
+        let chow = match timed_structure(&pf.positive, &pf.support, solver) {
+            Structure::NotThreshold => return Ok((None, CheckVia::Prefilter)),
+            Structure::TwoMonotonic(a) => Some(a),
+            Structure::Unknown => None,
+        };
+        let solved = solve_positive(&pf.positive, &pf.support, chow.as_ref(), config, solver)?;
         return Ok((
             solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)),
             CheckVia::Ilp,
@@ -196,20 +269,20 @@ pub(crate) fn check_threshold_cached(
                 .map(|j| (Var(j), true)),
         )
     }));
-    if !passes_two_monotonicity(&canon, &canon_order) {
-        cache.insert(key, None);
-        return Ok((None, CheckVia::Prefilter));
-    }
-    let entry = solve_positive(&canon, &canon_order, config)?
+    let chow = match timed_structure(&canon, &canon_order, solver) {
+        Structure::NotThreshold => {
+            cache.insert(key, None);
+            return Ok((None, CheckVia::Prefilter));
+        }
+        Structure::TwoMonotonic(a) => Some(a),
+        Structure::Unknown => None,
+    };
+    let entry = solve_positive(&canon, &canon_order, chow.as_ref(), config, solver)?
         .map(|(weights, threshold)| CanonicalRealization { weights, threshold });
     let result = realize_canonical(entry.as_ref(), &order, &pf);
     cache.insert(key, entry);
     Ok((result, CheckVia::Ilp))
 }
-
-/// Largest support for which the 2-monotonicity pre-filter builds a truth
-/// table; larger supports go straight to the ILP.
-const PREFILTER_VAR_LIMIT: usize = 11;
 
 /// The positive-unate normal form of a unate cover.
 struct PositiveForm {
@@ -254,47 +327,49 @@ fn positive_form(f: &Sop) -> Option<PositiveForm> {
     })
 }
 
-/// Necessary-condition pre-filter: every threshold function is 2-monotonic
-/// — for every variable pair `(i, j)`, the cofactor at `xᵢ=1, xⱼ=0`
-/// dominates the cofactor at `xᵢ=0, xⱼ=1` pointwise, or vice versa. An
-/// incomparable pair proves the function is not threshold without touching
-/// the complement or the ILP. Supports beyond [`PREFILTER_VAR_LIMIT`] skip
-/// the check (the truth table would be too large).
-fn passes_two_monotonicity(positive: &Sop, order: &[Var]) -> bool {
-    let k = order.len();
-    if !(2..=PREFILTER_VAR_LIMIT).contains(&k) {
-        return true;
-    }
-    let tt = TruthTable::from_sop(positive, order);
-    for i in 0..k {
-        for j in i + 1..k {
-            let (mut ge, mut le) = (true, true);
-            for m in 0..1usize << k {
-                if m >> i & 1 == 1 && m >> j & 1 == 0 {
-                    let a = tt.bit(m);
-                    let b = tt.bit(m ^ (1 << i) ^ (1 << j));
-                    ge &= a | !b;
-                    le &= b | !a;
-                    if !ge && !le {
-                        return false;
-                    }
-                }
-            }
-        }
-    }
-    true
-}
-
 /// Builds and solves the ON/OFF ILP for the positive-unate cover
-/// `positive`, with ILP column `i` holding the weight of `order[i]`.
-/// Returns the non-negative positive-form weights plus threshold, or
-/// `None` when the cover is not a threshold function (or the effort limits
-/// ran out without a feasible incumbent, §V-E).
+/// `positive`, with `order[i]`'s weight held by the column of its Chow
+/// class (or its own column without Chow structure). Returns the
+/// non-negative positive-form weights plus threshold, or `None` when the
+/// cover is not a threshold function (or the effort limits ran out without
+/// a feasible incumbent, §V-E).
+///
+/// With `chow` available the ILP is reduced two ways (see [`crate::chow`]
+/// for the soundness arguments): equal-Chow variables share one weight
+/// column scaled by multiplicity — skipped under a `weight_cap`, where the
+/// completeness argument breaks — and consecutive columns are chained by
+/// `wₐ ≥ w_b` ordering constraints, which are always sound.
 fn solve_positive(
     positive: &Sop,
     order: &[Var],
+    chow: Option<&ChowAnalysis>,
     config: &TelsConfig,
+    solver: &mut SolverBreakdown,
 ) -> Result<Option<(Vec<i64>, i64)>, SynthError> {
+    let k = order.len();
+    debug_assert!(chow.is_none_or(|a| a.num_vars() == k));
+    let merge = chow.is_some() && config.weight_cap.is_none();
+    // One column per class; without merging, singleton classes in Chow
+    // order (or plain index order when no structure is known).
+    let classes: Vec<Vec<usize>> = match chow {
+        Some(a) if merge => a.classes.clone(),
+        Some(a) => a
+            .classes
+            .iter()
+            .flat_map(|c| c.iter().map(|&i| vec![i]))
+            .collect(),
+        None => (0..k).map(|i| vec![i]).collect(),
+    };
+    let mut class_of = vec![0usize; k];
+    for (ci, c) in classes.iter().enumerate() {
+        for &i in c {
+            class_of[i] = ci;
+        }
+    }
+    if merge {
+        solver.chow_merged_vars += k - classes.len();
+    }
+
     // OFF-set cubes: ON-set of the complement. Minimization brings the
     // cover to its prime (negative-unate) form, which gives the fewest,
     // tightest OFF inequalities.
@@ -302,30 +377,53 @@ fn solve_positive(
     let index_of: HashMap<Var, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     let mut problem = Problem::new();
-    let w: Vec<_> = order.iter().map(|_| problem.add_int_var()).collect();
+    let w: Vec<_> = classes.iter().map(|_| problem.add_int_var()).collect();
     let t = problem.add_int_var();
-    problem.set_objective(w.iter().map(|&v| (v, 1i64)).chain([(t, 1i64)]));
+    // Objective Σwᵢ + T over the *original* variables: a merged column
+    // counts once per class member.
+    problem.set_objective(
+        classes
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| (w[ci], c.len() as i64))
+            .chain([(t, 1i64)]),
+    );
     // Optional dynamic-range cap on weights and threshold.
     if let Some(cap) = config.weight_cap {
         for &v in w.iter().chain([&t]) {
             problem.add_constraint([(v, 1i64)], Cmp::Le, cap);
         }
     }
+    // Chow ordering: weights descend along the class order.
+    if chow.is_some() {
+        for pair in w.windows(2) {
+            problem.add_constraint([(pair[0], 1i64), (pair[1], -1i64)], Cmp::Ge, 0);
+        }
+    }
 
-    // Inequalities over identical index sets are identical rows; dedup
-    // them as the problem is built (the side is part of the key since ON
-    // and OFF rows differ in sense and right-hand side).
-    let mut seen: HashSet<(bool, Vec<usize>)> = HashSet::new();
+    // Inequalities with identical per-class multiplicities are identical
+    // rows; dedup them as the problem is built (the side is part of the
+    // key since ON and OFF rows differ in sense and right-hand side).
+    let counts_of = |positions: &[usize]| {
+        let mut counts = vec![0i64; classes.len()];
+        for &i in positions {
+            counts[class_of[i]] += 1;
+        }
+        counts
+    };
+    let mut seen: HashSet<(bool, Vec<i64>)> = HashSet::new();
     // ON inequalities: for each cube C, Σ_{v ∈ C} w_v − T ≥ δ_on.
     for cube in positive.cubes() {
-        let mut idx: Vec<usize> = cube.literals().map(|(v, _)| index_of[&v]).collect();
-        idx.sort_unstable();
-        if !seen.insert((true, idx.clone())) {
+        let idx: Vec<usize> = cube.literals().map(|(v, _)| index_of[&v]).collect();
+        let counts = counts_of(&idx);
+        if !seen.insert((true, counts.clone())) {
             continue;
         }
-        let terms: Vec<_> = idx
+        let terms: Vec<_> = counts
             .iter()
-            .map(|&i| (w[i], 1i64))
+            .enumerate()
+            .filter(|&(_, &n)| n != 0)
+            .map(|(ci, &n)| (w[ci], n))
             .chain([(t, -1i64)])
             .collect();
         problem.add_constraint(terms, Cmp::Ge, config.delta_on);
@@ -342,18 +440,34 @@ fn solve_positive(
             .filter(|(_, &v)| cube.literal(v) != Some(false))
             .map(|(i, _)| i)
             .collect();
-        if !seen.insert((false, idx.clone())) {
+        let counts = counts_of(&idx);
+        if !seen.insert((false, counts.clone())) {
             continue;
         }
-        let terms: Vec<_> = idx
+        let terms: Vec<_> = counts
             .iter()
-            .map(|&i| (w[i], 1i64))
+            .enumerate()
+            .filter(|&(_, &n)| n != 0)
+            .map(|(ci, &n)| (w[ci], n))
             .chain([(t, -1i64)])
             .collect();
         problem.add_constraint(terms, Cmp::Le, -config.delta_off);
     }
 
-    let solution = problem.solve(&config.ilp_limits)?;
+    let t0 = Instant::now();
+    let (solution, solve_stats) = if config.use_int_solver {
+        problem.solve_with_stats(&config.ilp_limits)?
+    } else {
+        problem.solve_rational(&config.ilp_limits)?
+    };
+    let solve_ns = t0.elapsed().as_nanos() as u64;
+    if solve_stats.rational_lp_solves == 0 {
+        solver.int_fast_path_solves += 1;
+        solver.int_solve_ns += solve_ns;
+    } else {
+        solver.rational_fallbacks += 1;
+        solver.rational_solve_ns += solve_ns;
+    }
     let usable = matches!(solution.status, Status::Optimal)
         || (matches!(solution.status, Status::LimitReached) && !solution.values.is_empty());
     if !usable {
@@ -373,8 +487,15 @@ fn solve_positive(
             None => return Ok(None),
         },
     };
-    let t_pos = values[order.len()];
-    Ok(Some((values[..order.len()].to_vec(), t_pos)))
+    // Expand class columns back to per-variable weights.
+    let t_pos = values[classes.len()];
+    let mut wpos = vec![0i64; k];
+    for (ci, c) in classes.iter().enumerate() {
+        for &i in c {
+            wpos[i] = values[ci];
+        }
+    }
+    Ok(Some((wpos, t_pos)))
 }
 
 /// Back-substitution (§IV): negate weights of negative-phase variables;
@@ -565,11 +686,16 @@ mod tests {
     fn prefilter_rejects_disjoint_ands_without_ilp() {
         let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
         let pf = positive_form(&f).unwrap();
-        assert!(!passes_two_monotonicity(&pf.positive, &pf.support));
+        assert!(matches!(
+            chow::analyze(&pf.positive, &pf.support),
+            Structure::NotThreshold
+        ));
         // The counted path therefore reports that no solve happened.
-        let (r, solved) = check_threshold_counted(&f, &TelsConfig::default()).unwrap();
+        let mut solver = SolverBreakdown::default();
+        let (r, solved) = check_threshold_counted(&f, &TelsConfig::default(), &mut solver).unwrap();
         assert_eq!(r, None);
         assert!(!solved);
+        assert_eq!(solver.ilp_solves(), 0);
     }
 
     #[test]
@@ -585,7 +711,78 @@ mod tests {
             sop(&[&[(0, false), (1, false), (2, false)]]),
         ] {
             let pf = positive_form(&f).unwrap();
-            assert!(passes_two_monotonicity(&pf.positive, &pf.support), "{f}");
+            assert!(
+                !matches!(
+                    chow::analyze(&pf.positive, &pf.support),
+                    Structure::NotThreshold
+                ),
+                "{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_chow_variables_get_equal_weights() {
+        // Majority-of-5 is fully symmetric: one Chow class, one weight.
+        let cubes: Vec<Vec<(u32, bool)>> = (0..5u32)
+            .flat_map(|i| {
+                (i + 1..5).flat_map(move |j| {
+                    (j + 1..5).map(move |l| vec![(i, true), (j, true), (l, true)])
+                })
+            })
+            .collect();
+        let refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();
+        let f = sop(&refs);
+        let mut solver = SolverBreakdown::default();
+        let (r, solved) = check_threshold_counted(&f, &TelsConfig::default(), &mut solver).unwrap();
+        let r = r.expect("majority-of-5 is threshold");
+        assert!(solved);
+        validate(&f, &r);
+        let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
+        assert!(weights.windows(2).all(|p| p[0] == p[1]));
+        // All 5 variables shared one column: 4 merged away.
+        assert_eq!(solver.chow_merged_vars, 4);
+        assert_eq!(solver.ilp_solves(), 1);
+    }
+
+    #[test]
+    fn weight_cap_disables_merging_but_stays_correct() {
+        let cfg = TelsConfig {
+            weight_cap: Some(4),
+            ..TelsConfig::default()
+        };
+        let g = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
+        let mut solver = SolverBreakdown::default();
+        let (r, _) = check_threshold_counted(&g, &cfg, &mut solver).unwrap();
+        let r = r.expect("threshold within cap");
+        validate(&g, &r);
+        assert!(r.weights.iter().all(|&(_, w)| w.abs() <= 4));
+        assert_eq!(solver.chow_merged_vars, 0, "merging must be off under cap");
+    }
+
+    #[test]
+    fn rational_oracle_mode_matches_tiered() {
+        let tiered_cfg = TelsConfig::default();
+        let oracle_cfg = TelsConfig {
+            use_int_solver: false,
+            ..TelsConfig::default()
+        };
+        for f in [
+            sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+            sop(&[
+                &[(0, true), (1, true)][..],
+                &[(0, true), (2, true)],
+                &[(1, true), (2, true)],
+            ]),
+            sop(&[&[(0, true)], &[(1, false)]]),
+            sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]),
+        ] {
+            let mut st = SolverBreakdown::default();
+            let mut so = SolverBreakdown::default();
+            let (rt, _) = check_threshold_counted(&f, &tiered_cfg, &mut st).unwrap();
+            let (ro, _) = check_threshold_counted(&f, &oracle_cfg, &mut so).unwrap();
+            assert_eq!(rt, ro, "{f}");
+            assert_eq!(so.int_fast_path_solves, 0);
         }
     }
 
@@ -603,10 +800,11 @@ mod tests {
             sop(&[&[(0, false)]]),
             sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]), // binate
         ];
+        let mut solver = SolverBreakdown::default();
         for f in &fns {
             let direct = check_threshold(f, &cfg).unwrap();
-            let (first, _) = check_threshold_cached(f, &cfg, &cache).unwrap();
-            let (second, _) = check_threshold_cached(f, &cfg, &cache).unwrap();
+            let (first, _) = check_threshold_cached(f, &cfg, &cache, &mut solver).unwrap();
+            let (second, _) = check_threshold_cached(f, &cfg, &cache, &mut solver).unwrap();
             // Hit must equal miss bit-for-bit, and agree with the plain
             // checker on the decision.
             assert_eq!(first, second, "{f}");
@@ -622,14 +820,15 @@ mod tests {
         use crate::cache::RealizationCache;
         let cfg = TelsConfig::default();
         let cache = RealizationCache::new();
+        let mut solver = SolverBreakdown::default();
         // x₁x₂ ∨ x₁x₃ populates the cache ...
         let a = sop(&[&[(1, true), (2, true)], &[(1, true), (3, true)]]);
-        let (ra, via_a) = check_threshold_cached(&a, &cfg, &cache).unwrap();
+        let (ra, via_a) = check_threshold_cached(&a, &cfg, &cache, &mut solver).unwrap();
         assert_eq!(via_a, CheckVia::Ilp);
         // ... and x̄₅x₇ ∨ x̄₅x₉ — the same function up to renaming and
         // phase — must hit and remap exactly.
         let b = sop(&[&[(5, false), (7, true)], &[(5, false), (9, true)]]);
-        let (rb, via_b) = check_threshold_cached(&b, &cfg, &cache).unwrap();
+        let (rb, via_b) = check_threshold_cached(&b, &cfg, &cache, &mut solver).unwrap();
         assert_eq!(via_b, CheckVia::CacheHit);
         let (ra, rb) = (ra.unwrap(), rb.unwrap());
         validate(&b, &rb);
@@ -643,13 +842,14 @@ mod tests {
         use crate::cache::RealizationCache;
         let cfg = TelsConfig::default();
         let cache = RealizationCache::new();
+        let mut solver = SolverBreakdown::default();
         let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
-        let (r1, via1) = check_threshold_cached(&f, &cfg, &cache).unwrap();
+        let (r1, via1) = check_threshold_cached(&f, &cfg, &cache, &mut solver).unwrap();
         assert_eq!(r1, None);
         // Theorem 1 (enabled by default) refutes this one before the
         // pre-filter gets a look.
         assert_eq!(via1, CheckVia::Theorem1);
-        let (r2, via2) = check_threshold_cached(&f, &cfg, &cache).unwrap();
+        let (r2, via2) = check_threshold_cached(&f, &cfg, &cache, &mut solver).unwrap();
         assert_eq!(r2, None);
         assert_eq!(via2, CheckVia::CacheHit);
         // With Theorem 1 disabled, the 2-monotonicity pre-filter catches it.
@@ -658,7 +858,7 @@ mod tests {
             ..TelsConfig::default()
         };
         let cache2 = RealizationCache::new();
-        let (_, via3) = check_threshold_cached(&f, &cfg2, &cache2).unwrap();
+        let (_, via3) = check_threshold_cached(&f, &cfg2, &cache2, &mut solver).unwrap();
         assert_eq!(via3, CheckVia::Prefilter);
     }
 

@@ -1,0 +1,180 @@
+//! Chow-parameter structure analysis of positive-unate covers.
+//!
+//! The *Chow parameters* of a positive function `f` are
+//! `pᵢ = |{m : f(m) = 1, mᵢ = 1}|` — how many ON minterms set each
+//! variable. For 2-monotonic positive functions they order the variables:
+//! `pᵢ ≥ pⱼ` iff the cofactor `f|xᵢ=1,xⱼ=0` dominates `f|xᵢ=0,xⱼ=1`
+//! pointwise, so any feasible weight assignment can be re-sorted into Chow
+//! order by a swap argument (exchanging the weights of a comparable pair
+//! preserves every minterm inequality). When `pᵢ = pⱼ` the two dominations
+//! hold simultaneously, the cofactors coincide, and the function is
+//! *symmetric* in `(xᵢ, xⱼ)` — equal-Chow variables can share one ILP
+//! weight column.
+//!
+//! The threshold checker uses both facts to shrink its ILP
+//! ([`crate::check`]): weight-ordering chain constraints prune the
+//! branch-and-bound without changing feasibility *or* the optimum, and
+//! merging each equal-Chow class into one column collapses the symmetric
+//! structures (majority, adder carries, comparators) that dominate
+//! synthesis workloads. Merging preserves feasibility — average a
+//! realization's weights over the class (the class is fully symmetric, so
+//! the average still realizes `f` over the rationals) and scale by the
+//! class size to restore integrality; `δ_on ≥ 0` and `δ_off ≥ 1` keep both
+//! margin inequalities valid under scaling by `k ≥ 1`. Scaling can grow
+//! weights, though, so the checker keeps classes *unmerged* whenever a
+//! dynamic-range `weight_cap` is in force (the ordering constraints remain
+//! sound: a swap never changes the multiset of weights).
+//!
+//! One truth-table pass answers both questions the checker needs — the
+//! 2-monotonicity necessary condition (every threshold function is
+//! 2-monotonic) and the Chow classes — so the former PR 1 pre-filter and
+//! the new reduction share their dominant cost.
+
+use tels_logic::{Sop, TruthTable, Var};
+
+/// Largest support for which the structure pass builds a truth table;
+/// larger supports go straight to the ILP with no pre-filter or reduction.
+pub(crate) const STRUCTURE_VAR_LIMIT: usize = 11;
+
+/// Chow-parameter structure of a 2-monotonic positive cover.
+pub(crate) struct ChowAnalysis {
+    /// Positions into the checker's variable order, grouped into classes
+    /// of equal Chow parameter, classes sorted by strictly descending
+    /// parameter (positions ascending within a class).
+    pub classes: Vec<Vec<usize>>,
+}
+
+impl ChowAnalysis {
+    /// Number of variables covered by the classes.
+    pub fn num_vars(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+}
+
+/// Verdict of the one-pass structure analysis.
+pub(crate) enum Structure {
+    /// Not 2-monotonic — provably not a threshold function, no ILP needed.
+    NotThreshold,
+    /// 2-monotonic, with the Chow classes for ILP reduction.
+    TwoMonotonic(ChowAnalysis),
+    /// Support outside `2..=`[`STRUCTURE_VAR_LIMIT`]: no table was built.
+    Unknown,
+}
+
+/// Analyzes the positive-unate cover `positive` over the variable order
+/// `order` in a single truth-table pass: 2-monotonicity first (an
+/// incomparable cofactor pair exits early), then the Chow classes.
+pub(crate) fn analyze(positive: &Sop, order: &[Var]) -> Structure {
+    let k = order.len();
+    if !(2..=STRUCTURE_VAR_LIMIT).contains(&k) {
+        return Structure::Unknown;
+    }
+    let tt = TruthTable::from_sop(positive, order);
+    // 2-monotonicity: for every pair, one of the swapped cofactors must
+    // dominate the other pointwise.
+    for i in 0..k {
+        for j in i + 1..k {
+            let (mut ge, mut le) = (true, true);
+            for m in 0..1usize << k {
+                if m >> i & 1 == 1 && m >> j & 1 == 0 {
+                    let a = tt.bit(m);
+                    let b = tt.bit(m ^ (1 << i) ^ (1 << j));
+                    ge &= a | !b;
+                    le &= b | !a;
+                    if !ge && !le {
+                        return Structure::NotThreshold;
+                    }
+                }
+            }
+        }
+    }
+    // Chow parameters over the same table.
+    let mut p = vec![0u32; k];
+    for m in 0..1usize << k {
+        if tt.bit(m) {
+            for (i, pi) in p.iter_mut().enumerate() {
+                *pi += (m >> i & 1) as u32;
+            }
+        }
+    }
+    let mut by_param: Vec<usize> = (0..k).collect();
+    by_param.sort_unstable_by_key(|&i| (std::cmp::Reverse(p[i]), i));
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for i in by_param {
+        match classes.last_mut() {
+            Some(c) if p[c[0]] == p[i] => c.push(i),
+            _ => classes.push(vec![i]),
+        }
+    }
+    Structure::TwoMonotonic(ChowAnalysis { classes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_logic::Cube;
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&v| (Var(v), true)))),
+        )
+    }
+
+    fn order(k: u32) -> Vec<Var> {
+        (0..k).map(Var).collect()
+    }
+
+    #[test]
+    fn majority_is_one_class() {
+        let f = sop(&[&[0, 1], &[0, 2], &[1, 2]]);
+        match analyze(&f, &order(3)) {
+            Structure::TwoMonotonic(a) => {
+                assert_eq!(a.classes, vec![vec![0, 1, 2]]);
+                assert_eq!(a.num_vars(), 3);
+            }
+            _ => panic!("majority is 2-monotonic"),
+        }
+    }
+
+    #[test]
+    fn worked_example_splits_by_chow() {
+        // x₀x₁ ∨ x₀x₂: p₀ = 3, p₁ = p₂ = 2.
+        let f = sop(&[&[0, 1], &[0, 2]]);
+        match analyze(&f, &order(3)) {
+            Structure::TwoMonotonic(a) => {
+                assert_eq!(a.classes, vec![vec![0], vec![1, 2]]);
+            }
+            _ => panic!("expected 2-monotonic"),
+        }
+    }
+
+    #[test]
+    fn disjoint_ands_rejected() {
+        let f = sop(&[&[0, 1], &[2, 3]]);
+        assert!(matches!(analyze(&f, &order(4)), Structure::NotThreshold));
+    }
+
+    #[test]
+    fn out_of_range_supports_are_unknown() {
+        let f = sop(&[&[0]]);
+        assert!(matches!(analyze(&f, &order(1)), Structure::Unknown));
+        let wide: Vec<Vec<u32>> = (0..12u32).map(|v| vec![v]).collect();
+        let cubes: Vec<&[u32]> = wide.iter().map(Vec::as_slice).collect();
+        let f = sop(&cubes);
+        assert!(matches!(analyze(&f, &order(12)), Structure::Unknown));
+    }
+
+    #[test]
+    fn chow_order_is_descending() {
+        // f = x₀ ∨ x₁x₂x₃: p₀ = 8, p₁ = p₂ = p₃ = 5.
+        let f = sop(&[&[0], &[1, 2, 3]]);
+        match analyze(&f, &order(4)) {
+            Structure::TwoMonotonic(a) => {
+                assert_eq!(a.classes, vec![vec![0], vec![1, 2, 3]]);
+            }
+            _ => panic!("expected 2-monotonic"),
+        }
+    }
+}

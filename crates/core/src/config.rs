@@ -105,6 +105,21 @@ pub struct TelsConfig {
     /// Because warming only pre-populates the cache with canonical-space
     /// answers, the output network is identical for every thread count.
     pub num_threads: usize,
+    /// Smallest logic-node count for which the cached/parallel synthesis
+    /// machinery (canonical cache + warming threads) engages at all. A
+    /// c17-sized circuit issues a handful of threshold queries, and
+    /// canonicalizing, hashing, and warm-thread spawning cost more than
+    /// just solving them (such circuits were measurably *slower* with
+    /// `use_cache`/threads on), so below the gate the run uses the plain
+    /// serial flow regardless of `use_cache` and `num_threads`. Default
+    /// tuned on the bundled bench suite.
+    pub parallel_min_nodes: usize,
+    /// Attempt each LP relaxation on the fraction-free `i128` integer
+    /// simplex before the exact-rational one (overflow always falls back,
+    /// so answers are identical either way). Disable to force every solve
+    /// onto the rational oracle — the differential-testing and
+    /// field-debugging mode.
+    pub use_int_solver: bool,
 }
 
 impl Default for TelsConfig {
@@ -120,6 +135,8 @@ impl Default for TelsConfig {
             weight_cap: None,
             use_cache: true,
             num_threads: 0,
+            parallel_min_nodes: 8,
+            use_int_solver: true,
         }
     }
 }

@@ -53,6 +53,7 @@
 
 mod cache;
 mod check;
+mod chow;
 mod config;
 mod error;
 mod map11;
@@ -65,7 +66,7 @@ mod tnet;
 mod verilog;
 
 pub use cache::{CanonicalRealization, RealizationCache};
-pub use check::{check_threshold, Realization};
+pub use check::{check_threshold, Realization, SolverBreakdown};
 pub use config::{SplitHeuristic, SynthStrategy, TelsConfig};
 pub use error::SynthError;
 pub use map11::{map_one_to_one, synthesize_best};

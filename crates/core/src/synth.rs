@@ -18,7 +18,9 @@ use tels_logic::opt::global_sop;
 use tels_logic::{Cube, Network, NodeId, Sop, Var};
 
 use crate::cache::RealizationCache;
-use crate::check::{check_threshold_cached, check_threshold_counted, CheckVia, Realization};
+use crate::check::{
+    check_threshold_cached, check_threshold_counted, CheckVia, Realization, SolverBreakdown,
+};
 use crate::config::TelsConfig;
 use crate::error::SynthError;
 use crate::split::{split_binate, split_cubes_k, split_unate_with, UnateSplit};
@@ -48,6 +50,9 @@ pub struct SynthStats {
     pub prefilter_rejections: usize,
     /// Actual ILP solver runs, across the warming and emission passes.
     pub ilp_solves: usize,
+    /// Per-tier solver breakdown (Chow reduction, integer fast path,
+    /// rational fallbacks, per-stage wall time) across all passes.
+    pub solver: SolverBreakdown,
 }
 
 impl SynthStats {
@@ -94,13 +99,28 @@ pub fn synthesize_with_stats(
     config: &TelsConfig,
 ) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
     config.assert_valid();
-    let cache = config.use_cache.then(RealizationCache::new);
+    // Tiny circuits issue a handful of threshold queries; canonicalizing
+    // and hashing them costs more than just solving, and spawning warm
+    // threads costs more still (the c17-sized regression). Below the gate
+    // the run uses the plain serial flow.
+    let logic_nodes = net.node_ids().filter(|&n| !net.is_input(n)).count();
+    let big_enough = logic_nodes >= config.parallel_min_nodes;
+    let cache = (config.use_cache && big_enough).then(RealizationCache::new);
     let mut s = Synth::new(net, config, cache.as_ref())?;
     if let Some(cache) = &cache {
         let threads = config.effective_threads();
-        if threads > 1 {
-            s.stats.ilp_solves +=
+        // Warming additionally needs hardware that can actually run the
+        // workers concurrently: on a single hardware thread the planner's
+        // extra decision-tree walk is pure overhead no matter what
+        // `num_threads` asks for.
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if threads > 1 && hw > 1 {
+            let (solves, solver) =
                 warm_cache(net, config, cache, &s.boundary, &s.net_levels, threads);
+            s.stats.ilp_solves += solves;
+            s.stats.solver.merge(&solver);
         }
     }
     s.run()?;
@@ -277,8 +297,12 @@ impl<'a> Synth<'a> {
     fn checked_threshold(&mut self, expr: &Sop) -> Result<Option<Realization>, SynthError> {
         // With the cache enabled, Theorem 1 runs inside the cached checker
         // (miss path only) so a cache hit skips it; without, it runs here
-        // as the pre-cache flow did.
+        // as the pre-cache flow did. Either way the query counts toward
+        // `ilp_calls` — the cached flow tallies it inside query_threshold,
+        // so the serial refutation must tally it too or the two runs'
+        // call counts diverge.
         if self.cache.is_none() && self.config.use_theorem1 && theorem1_refutes(expr) {
+            self.stats.ilp_calls += 1;
             self.stats.theorem1_refutations += 1;
             return Ok(None);
         }
@@ -288,9 +312,10 @@ impl<'a> Synth<'a> {
     /// One threshold query, through the canonical cache when enabled.
     fn query_threshold(&mut self, f: &Sop) -> Result<Option<Realization>, SynthError> {
         self.stats.ilp_calls += 1;
+        let config = self.config;
         match self.cache {
             Some(cache) => {
-                let (r, via) = check_threshold_cached(f, self.config, cache)?;
+                let (r, via) = check_threshold_cached(f, config, cache, &mut self.stats.solver)?;
                 match via {
                     CheckVia::CacheHit => self.stats.cache_hits += 1,
                     CheckVia::Theorem1 => self.stats.theorem1_refutations += 1,
@@ -301,7 +326,7 @@ impl<'a> Synth<'a> {
                 Ok(r)
             }
             None => {
-                let (r, solved) = check_threshold_counted(f, self.config)?;
+                let (r, solved) = check_threshold_counted(f, config, &mut self.stats.solver)?;
                 if solved {
                     self.stats.ilp_solves += 1;
                 }
@@ -620,13 +645,15 @@ struct Planner<'a> {
     net_levels: &'a [usize],
     /// ILP solves performed by this worker (merged into the run stats).
     ilp_solves: usize,
+    /// Per-tier solver counters of this worker (merged into the run stats).
+    solver: SolverBreakdown,
     /// Non-input nodes demanded as expression leaves while planning.
     discovered: Vec<NodeId>,
 }
 
 impl Planner<'_> {
     fn query(&mut self, f: &Sop) -> Result<Option<Realization>, SynthError> {
-        let (r, via) = check_threshold_cached(f, self.config, self.cache)?;
+        let (r, via) = check_threshold_cached(f, self.config, self.cache, &mut self.solver)?;
         if via == CheckVia::Ilp {
             self.ilp_solves += 1;
         }
@@ -824,7 +851,7 @@ impl Planner<'_> {
 /// from the outputs — deepest net levels first, so shared subfunctions are
 /// cached before their consumers ask — with `threads` scoped workers
 /// sharing one claim set and the canonical cache. Returns the total number
-/// of ILP solves the workers performed.
+/// of ILP solves the workers performed plus their merged solver counters.
 fn warm_cache(
     net: &Network,
     config: &TelsConfig,
@@ -832,7 +859,7 @@ fn warm_cache(
     boundary: &[bool],
     net_levels: &[usize],
     threads: usize,
-) -> usize {
+) -> (usize, SolverBreakdown) {
     // Roots the backward flow will synthesize as shared signals: output
     // drivers plus every fanout boundary node reachable from an output.
     let mut reachable: HashSet<NodeId> = HashSet::new();
@@ -852,7 +879,7 @@ fn warm_cache(
 
     let queue: Mutex<VecDeque<NodeId>> = Mutex::new(roots.iter().copied().collect());
     let claimed: Mutex<HashSet<NodeId>> = Mutex::new(roots.into_iter().collect());
-    let total_solves = Mutex::new(0usize);
+    let totals: Mutex<(usize, SolverBreakdown)> = Mutex::new((0, SolverBreakdown::default()));
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -864,6 +891,7 @@ fn warm_cache(
                     boundary,
                     net_levels,
                     ilp_solves: 0,
+                    solver: SolverBreakdown::default(),
                     discovered: Vec::new(),
                 };
                 let mut local: Vec<NodeId> = Vec::new();
@@ -887,11 +915,13 @@ fn warm_cache(
                         }
                     }
                 }
-                *total_solves.lock().expect("counter poisoned") += planner.ilp_solves;
+                let mut totals = totals.lock().expect("counter poisoned");
+                totals.0 += planner.ilp_solves;
+                totals.1.merge(&planner.solver);
             });
         }
     });
-    total_solves.into_inner().expect("counter poisoned")
+    totals.into_inner().expect("counter poisoned")
 }
 
 #[cfg(test)]

@@ -1,0 +1,559 @@
+//! Fraction-free integer simplex — the fast path of the tiered solver.
+//!
+//! This module re-implements the two-phase primal simplex of
+//! [`crate::simplex`] in *integer pivoting* form (Edmonds-style, as used by
+//! `lrs`): the tableau is held as `i128` integers together with one common
+//! denominator equal to the value of the previous pivot element, so a
+//! tableau entry `a[i][j]` represents the rational `a[i][j] / den`. A pivot
+//! on `(r, s)` updates every other entry as
+//!
+//! ```text
+//! a'[i][j] = (a[r][s]·a[i][j] − a[i][s]·a[r][j]) / den
+//! ```
+//!
+//! where the division is exact by the Desnanot–Jacobi identity (each entry
+//! is a minor of the original integer matrix), and the new denominator is
+//! the pivot `a[r][s]`. No gcd reduction is ever needed, which removes the
+//! dominant cost of the exact-rational path on TELS-scale problems.
+//!
+//! Exactness is preserved by construction; *completeness* is not: every
+//! multiplication is checked, and any `i128` overflow (or a failed exact
+//! division, which would indicate a logic error rather than an input
+//! condition) aborts the solve with [`IntLpOutcome::Abort`]. The caller
+//! ([`crate::branch`]) then re-solves the node with the rational oracle,
+//! so the integer path can never change an answer — only speed one up.
+
+use std::cmp::Ordering;
+
+use crate::problem::Cmp;
+use crate::rational::Rat;
+use crate::simplex::DenseRow;
+
+/// Outcome of an integer-pivoting LP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum IntLpOutcome {
+    /// An optimal basic feasible solution (values already rational).
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<Rat>,
+        /// Objective value at the optimum.
+        obj: Rat,
+    },
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The pivot limit was exhausted before reaching an answer.
+    LimitReached,
+    /// `i128` arithmetic overflowed — fall back to the rational simplex.
+    Abort,
+}
+
+/// A constraint row in pure integer form.
+#[derive(Debug, Clone)]
+pub(crate) struct IntRow {
+    pub coeffs: Vec<i128>,
+    pub cmp: Cmp,
+    pub rhs: i128,
+}
+
+/// Converts dense rational rows to integer rows. Returns `None` when any
+/// coefficient or right-hand side is non-integral (the threshold-check
+/// ILPs, and the bound rows branch-and-bound appends, are always integral;
+/// anything else simply skips the fast path).
+pub(crate) fn to_int_rows(rows: &[DenseRow]) -> Option<Vec<IntRow>> {
+    rows.iter()
+        .map(|r| {
+            let coeffs = r
+                .coeffs
+                .iter()
+                .map(|c| c.is_integer().then(|| c.numer()))
+                .collect::<Option<Vec<i128>>>()?;
+            let rhs = r.rhs.is_integer().then(|| r.rhs.numer())?;
+            Some(IntRow {
+                coeffs,
+                cmp: r.cmp,
+                rhs,
+            })
+        })
+        .collect()
+}
+
+/// Converts a rational objective to integer form, `None` when fractional.
+pub(crate) fn to_int_objective(objective: &[Rat]) -> Option<Vec<i128>> {
+    objective
+        .iter()
+        .map(|c| c.is_integer().then(|| c.numer()))
+        .collect()
+}
+
+/// Internal signal that `i128` arithmetic overflowed; converted to
+/// [`IntLpOutcome::Abort`] at the solver boundary.
+struct Overflow;
+
+type IntResult<T> = Result<T, Overflow>;
+
+fn mul(a: i128, b: i128) -> IntResult<i128> {
+    a.checked_mul(b).ok_or(Overflow)
+}
+
+fn sub(a: i128, b: i128) -> IntResult<i128> {
+    a.checked_sub(b).ok_or(Overflow)
+}
+
+struct IntTableau {
+    /// `rows × (cols + 1)`; the final column is the RHS. Entry values are
+    /// `a[i][j] / den`.
+    a: Vec<Vec<i128>>,
+    /// Reduced-cost row, length `cols + 1` (last entry = −objective·den).
+    cost: Vec<i128>,
+    /// Basis: column index of the basic variable of each row.
+    basis: Vec<usize>,
+    cols: usize,
+    /// Common denominator, always positive (= the previous pivot element).
+    den: i128,
+}
+
+impl IntTableau {
+    /// One integer pivot on `(prow, pcol)`. The pivot entry must be
+    /// non-zero; a negative pivot first negates the whole row (rows are
+    /// equations, so sign flips are free).
+    fn pivot(&mut self, prow: usize, pcol: usize) -> IntResult<()> {
+        if self.a[prow][pcol] < 0 {
+            for e in &mut self.a[prow] {
+                *e = e.checked_neg().ok_or(Overflow)?;
+            }
+        }
+        let p = self.a[prow][pcol];
+        debug_assert!(p > 0, "pivot element must be non-zero");
+        for i in 0..self.a.len() {
+            if i == prow {
+                continue;
+            }
+            let factor = self.a[i][pcol];
+            for j in 0..=self.cols {
+                let num = sub(mul(p, self.a[i][j])?, mul(factor, self.a[prow][j])?)?;
+                // Exact by the Desnanot–Jacobi identity; a non-zero
+                // remainder would be a solver bug, which the rational
+                // fallback absorbs rather than miscomputes.
+                if num % self.den != 0 {
+                    debug_assert!(false, "inexact division in integer pivot");
+                    return Err(Overflow);
+                }
+                self.a[i][j] = num / self.den;
+            }
+        }
+        let factor = self.cost[pcol];
+        for j in 0..=self.cols {
+            let num = sub(mul(p, self.cost[j])?, mul(factor, self.a[prow][j])?)?;
+            if num % self.den != 0 {
+                debug_assert!(false, "inexact division in integer cost update");
+                return Err(Overflow);
+            }
+            self.cost[j] = num / self.den;
+        }
+        self.den = p;
+        self.basis[prow] = pcol;
+        Ok(())
+    }
+
+    /// Compares `rhs(i)/a[i][pcol]` with `rhs(b)/a[b][pcol]` (both pivot
+    /// candidates, so both column entries are positive) by
+    /// cross-multiplication.
+    fn ratio_cmp(&self, i: usize, b: usize, pcol: usize) -> IntResult<Ordering> {
+        let lhs = mul(self.a[i][self.cols], self.a[b][pcol])?;
+        let rhs = mul(self.a[b][self.cols], self.a[i][pcol])?;
+        Ok(lhs.cmp(&rhs))
+    }
+
+    /// Runs simplex iterations until optimality, unboundedness, or the
+    /// pivot budget runs out. `allowed` masks columns that may enter the
+    /// basis. Bland's rule on both choices, mirroring the rational path.
+    fn iterate(&mut self, allowed: &[bool], pivots_left: &mut u64) -> IntResult<IterEnd> {
+        loop {
+            let entering = (0..self.cols).find(|&j| allowed[j] && self.cost[j] < 0);
+            let Some(pcol) = entering else {
+                return Ok(IterEnd::Optimal);
+            };
+            let mut best: Option<usize> = None;
+            for i in 0..self.a.len() {
+                if self.a[i][pcol] > 0 {
+                    let better = match best {
+                        None => true,
+                        Some(b) => match self.ratio_cmp(i, b, pcol)? {
+                            Ordering::Less => true,
+                            Ordering::Equal => self.basis[i] < self.basis[b],
+                            Ordering::Greater => false,
+                        },
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(prow) = best else {
+                return Ok(IterEnd::Unbounded);
+            };
+            if *pivots_left == 0 {
+                return Ok(IterEnd::LimitReached);
+            }
+            *pivots_left -= 1;
+            self.pivot(prow, pcol)?;
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum IterEnd {
+    Optimal,
+    Unbounded,
+    LimitReached,
+}
+
+/// Solves `min c·x` subject to the given integer rows and `x ≥ 0` using
+/// fraction-free integer pivoting.
+///
+/// `pivots_left` is shared with the rational path: pivots spent here count
+/// against the same effort budget.
+pub(crate) fn solve_lp_int(
+    n_vars: usize,
+    rows: &[IntRow],
+    objective: &[i128],
+    pivots_left: &mut u64,
+) -> IntLpOutcome {
+    match solve_inner(n_vars, rows, objective, pivots_left) {
+        Ok(outcome) => outcome,
+        Err(Overflow) => IntLpOutcome::Abort,
+    }
+}
+
+fn solve_inner(
+    n_vars: usize,
+    rows: &[IntRow],
+    objective: &[i128],
+    pivots_left: &mut u64,
+) -> IntResult<IntLpOutcome> {
+    debug_assert_eq!(objective.len(), n_vars);
+    let m = rows.len();
+
+    // Normalize rows to non-negative RHS, then count auxiliary columns —
+    // the same preparation as the rational path.
+    let mut norm: Vec<IntRow> = rows.to_vec();
+    for r in &mut norm {
+        if r.rhs < 0 {
+            for c in &mut r.coeffs {
+                *c = c.checked_neg().ok_or(Overflow)?;
+            }
+            r.rhs = r.rhs.checked_neg().ok_or(Overflow)?;
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+    let n_slack = norm.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let n_art = norm.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let cols = n_vars + n_slack + n_art;
+
+    let mut a = vec![vec![0i128; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut is_artificial = vec![false; cols];
+    let mut slack_at = n_vars;
+    let mut art_at = n_vars + n_slack;
+    for (i, r) in norm.iter().enumerate() {
+        a[i][..n_vars].copy_from_slice(&r.coeffs);
+        a[i][cols] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                a[i][slack_at] = 1;
+                basis[i] = slack_at;
+                slack_at += 1;
+            }
+            Cmp::Ge => {
+                a[i][slack_at] = -1;
+                slack_at += 1;
+                a[i][art_at] = 1;
+                is_artificial[art_at] = true;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+            Cmp::Eq => {
+                a[i][art_at] = 1;
+                is_artificial[art_at] = true;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+        }
+    }
+
+    let mut t = IntTableau {
+        a,
+        cost: vec![0i128; cols + 1],
+        basis,
+        cols,
+        den: 1,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        for (j, cost) in t.cost.iter_mut().enumerate().take(cols) {
+            if is_artificial[j] {
+                *cost = 1;
+            }
+        }
+        for i in 0..m {
+            if is_artificial[t.basis[i]] {
+                for j in 0..=cols {
+                    t.cost[j] = sub(t.cost[j], t.a[i][j])?;
+                }
+            }
+        }
+        let allowed = vec![true; cols];
+        match t.iterate(&allowed, pivots_left)? {
+            IterEnd::Optimal => {}
+            IterEnd::Unbounded => unreachable!("phase-1 objective is bounded below by zero"),
+            IterEnd::LimitReached => return Ok(IntLpOutcome::LimitReached),
+        }
+        // Phase-1 optimum is −cost[cols]/den; den > 0, so sign suffices.
+        if t.cost[cols] != 0 {
+            return Ok(IntLpOutcome::Infeasible);
+        }
+        // Drive any remaining (degenerate, value-0) artificials out.
+        for i in 0..m {
+            if is_artificial[t.basis[i]] {
+                if let Some(pcol) = (0..cols).find(|&j| !is_artificial[j] && t.a[i][j] != 0) {
+                    t.pivot(i, pcol)?;
+                }
+            }
+        }
+    }
+
+    // Phase 2: real objective, rescaled by the current denominator so the
+    // cost row stays on the tableau's common scale:
+    // cost[j] = den·c_j − Σ_{basic i} c_{basis[i]}·a[i][j].
+    t.cost = vec![0i128; cols + 1];
+    for (j, &c) in objective.iter().enumerate().take(n_vars) {
+        t.cost[j] = mul(c, t.den)?;
+    }
+    for i in 0..m {
+        let b = t.basis[i];
+        let cb = if b < n_vars { objective[b] } else { 0 };
+        if cb != 0 {
+            for j in 0..=t.cols {
+                t.cost[j] = sub(t.cost[j], mul(cb, t.a[i][j])?)?;
+            }
+        }
+    }
+    let allowed: Vec<bool> = (0..cols).map(|j| !is_artificial[j]).collect();
+    match t.iterate(&allowed, pivots_left)? {
+        IterEnd::Optimal => {}
+        IterEnd::Unbounded => return Ok(IntLpOutcome::Unbounded),
+        IterEnd::LimitReached => return Ok(IntLpOutcome::LimitReached),
+    }
+
+    let mut x = vec![Rat::ZERO; n_vars];
+    for i in 0..m {
+        if t.basis[i] < n_vars {
+            x[t.basis[i]] = Rat::new(t.a[i][t.cols], t.den);
+        }
+    }
+    Ok(IntLpOutcome::Optimal {
+        x,
+        obj: Rat::new(-t.cost[cols], t.den),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn irow(coeffs: &[i128], cmp: Cmp, rhs: i128) -> IntRow {
+        IntRow {
+            coeffs: coeffs.to_vec(),
+            cmp,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x+y s.t. x+y >= 2 → obj 2.
+        let out = solve_lp_int(2, &[irow(&[1, 1], Cmp::Ge, 2)], &[1, 1], &mut 10_000);
+        match out {
+            IntLpOutcome::Optimal { obj, .. } => assert_eq!(obj, Rat::from_int(2)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // min x s.t. 2x >= 1 → x = 1/2.
+        let out = solve_lp_int(1, &[irow(&[2], Cmp::Ge, 1)], &[1], &mut 10_000);
+        match out {
+            IntLpOutcome::Optimal { x, obj } => {
+                assert_eq!(x[0], Rat::new(1, 2));
+                assert_eq!(obj, Rat::new(1, 2));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let out = solve_lp_int(
+            1,
+            &[irow(&[1], Cmp::Le, 1), irow(&[1], Cmp::Ge, 3)],
+            &[1],
+            &mut 10_000,
+        );
+        assert_eq!(out, IntLpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let out = solve_lp_int(1, &[irow(&[1], Cmp::Ge, 1)], &[-1], &mut 10_000);
+        assert_eq!(out, IntLpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x − y = 1 → x = 2, y = 1.
+        let out = solve_lp_int(
+            2,
+            &[irow(&[1, 2], Cmp::Eq, 4), irow(&[1, -1], Cmp::Eq, 1)],
+            &[1, 1],
+            &mut 10_000,
+        );
+        match out {
+            IntLpOutcome::Optimal { x, obj } => {
+                assert_eq!(x, vec![Rat::from_int(2), Rat::from_int(1)]);
+                assert_eq!(obj, Rat::from_int(3));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. −x ≤ −3 (i.e. x ≥ 3).
+        let out = solve_lp_int(1, &[irow(&[-1], Cmp::Le, -3)], &[1], &mut 10_000);
+        match out {
+            IntLpOutcome::Optimal { x, .. } => assert_eq!(x[0], Rat::from_int(3)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pivot_limit_reported() {
+        let out = solve_lp_int(
+            2,
+            &[irow(&[1, 1], Cmp::Ge, 2), irow(&[1, -1], Cmp::Ge, 0)],
+            &[1, 1],
+            &mut 0,
+        );
+        assert_eq!(out, IntLpOutcome::LimitReached);
+    }
+
+    #[test]
+    fn overflow_aborts_instead_of_erroring() {
+        // Coefficients near i128::MAX overflow the very first pivot.
+        let big = i128::MAX / 2;
+        let out = solve_lp_int(
+            2,
+            &[
+                irow(&[big, big], Cmp::Ge, big),
+                irow(&[big, -big], Cmp::Ge, 1),
+            ],
+            &[1, 1],
+            &mut 10_000,
+        );
+        assert_eq!(out, IntLpOutcome::Abort);
+    }
+
+    #[test]
+    fn conversion_rejects_fractional_data() {
+        let frac = DenseRow {
+            coeffs: vec![Rat::new(1, 2)],
+            cmp: Cmp::Ge,
+            rhs: Rat::ONE,
+        };
+        assert!(to_int_rows(&[frac]).is_none());
+        assert!(to_int_objective(&[Rat::new(1, 3)]).is_none());
+        assert_eq!(to_int_objective(&[Rat::from_int(7)]), Some(vec![7]));
+    }
+
+    /// Random small LPs agree with the rational simplex exactly.
+    #[test]
+    fn matches_rational_simplex_on_random_lps() {
+        use crate::simplex::{solve_lp, LpOutcome};
+        // Tiny deterministic LCG; the ILP-level differential test in
+        // tests/integer_vs_rational.rs covers the full solver.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |bound: i64| -> i64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % (2 * bound as u64 + 1)) as i64 - bound
+        };
+        for _case in 0..200 {
+            let n = 2 + (next(100).unsigned_abs() as usize % 3);
+            let m = 1 + (next(100).unsigned_abs() as usize % 4);
+            let obj: Vec<i64> = (0..n).map(|_| next(4).abs()).collect();
+            let rows: Vec<(Vec<i64>, Cmp, i64)> = (0..m)
+                .map(|_| {
+                    let coeffs: Vec<i64> = (0..n).map(|_| next(3)).collect();
+                    let cmp = match next(100).rem_euclid(3) {
+                        0 => Cmp::Le,
+                        1 => Cmp::Ge,
+                        _ => Cmp::Eq,
+                    };
+                    (coeffs, cmp, next(6))
+                })
+                .collect();
+            let dense: Vec<DenseRow> = rows
+                .iter()
+                .map(|(c, cmp, rhs)| DenseRow {
+                    coeffs: c.iter().map(|&v| Rat::from(v)).collect(),
+                    cmp: *cmp,
+                    rhs: Rat::from(*rhs),
+                })
+                .collect();
+            let int_rows: Vec<IntRow> = rows
+                .iter()
+                .map(|(c, cmp, rhs)| {
+                    irow(
+                        &c.iter().map(|&v| v as i128).collect::<Vec<_>>(),
+                        *cmp,
+                        *rhs as i128,
+                    )
+                })
+                .collect();
+            let robj: Vec<Rat> = obj.iter().map(|&v| Rat::from(v)).collect();
+            let iobj: Vec<i128> = obj.iter().map(|&v| v as i128).collect();
+            let r = solve_lp(n, &dense, &robj, &mut 100_000).unwrap();
+            let i = solve_lp_int(n, &int_rows, &iobj, &mut 100_000);
+            match (&r, &i) {
+                (LpOutcome::Optimal { obj: ro, .. }, IntLpOutcome::Optimal { obj: io, x }) => {
+                    assert_eq!(ro, io, "objective mismatch");
+                    // The integer path's point must satisfy every row.
+                    for (c, cmp, rhs) in &rows {
+                        let lhs = c
+                            .iter()
+                            .zip(x)
+                            .fold(Rat::ZERO, |acc, (&cf, xv)| acc + Rat::from(cf) * *xv);
+                        let ok = match cmp {
+                            Cmp::Le => lhs <= Rat::from(*rhs),
+                            Cmp::Ge => lhs >= Rat::from(*rhs),
+                            Cmp::Eq => lhs == Rat::from(*rhs),
+                        };
+                        assert!(ok, "integer-path point violates a constraint");
+                    }
+                }
+                (LpOutcome::Infeasible, IntLpOutcome::Infeasible) => {}
+                (LpOutcome::Unbounded, IntLpOutcome::Unbounded) => {}
+                other => panic!("outcome mismatch: {other:?}"),
+            }
+        }
+    }
+}

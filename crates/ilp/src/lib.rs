@@ -13,8 +13,12 @@
 //!
 //! The solver is deliberately scoped to the problem sizes TELS produces
 //! (tens of variables, tens of constraints): a dense two-phase primal simplex
-//! with Bland's anti-cycling rule, plus depth-first branch-and-bound on
-//! fractional integer variables. Per §V-E of the paper, the solver accepts
+//! with Bland's anti-cycling rule, plus best-bound branch-and-bound with
+//! most-fractional branching on the integer variables. Each node's relaxation
+//! is first attempted on a fraction-free `i128` integer simplex (Edmonds-style
+//! integer pivoting, where every division is exact); an overflow falls back to
+//! the [`Rat`]-arithmetic simplex for that node, so the fast path changes cost
+//! but never answers. Per §V-E of the paper, the solver accepts
 //! effort limits and reports [`Status::LimitReached`] when they are exhausted,
 //! which the synthesis layer treats as "not a threshold function" and splits
 //! the node further.
@@ -48,10 +52,11 @@
 
 mod branch;
 mod error;
+mod integer;
 mod problem;
 mod rational;
 mod simplex;
 
 pub use error::SolveError;
-pub use problem::{Cmp, Limits, Problem, Solution, Status, VarId};
+pub use problem::{Cmp, Limits, Problem, Solution, SolveStats, Status, VarId};
 pub use rational::Rat;

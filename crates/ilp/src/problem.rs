@@ -61,6 +61,39 @@ pub enum Status {
     LimitReached,
 }
 
+/// Solver-level counters from one [`Problem::solve_with_stats`] run.
+///
+/// The tiered solver attempts every branch-and-bound node's LP relaxation
+/// on the fraction-free `i128` integer simplex first and falls back to the
+/// exact-rational simplex only when the integer tableau would overflow, so
+/// `int_lp_solves` counts *attempts* (including the `int_aborts` that fell
+/// back) and `rational_lp_solves` counts relaxations ultimately solved by
+/// the rational oracle. A solve ran entirely on the fast path iff
+/// `rational_lp_solves == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes whose LP relaxation was solved.
+    pub nodes: u64,
+    /// LP relaxations attempted on the integer fast path.
+    pub int_lp_solves: u64,
+    /// LP relaxations solved by the exact-rational simplex (overflow
+    /// fallbacks plus forced-rational solves).
+    pub rational_lp_solves: u64,
+    /// Integer fast-path attempts that hit an `i128` overflow and fell
+    /// back to the rational simplex for that node.
+    pub int_aborts: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.int_lp_solves += other.int_lp_solves;
+        self.rational_lp_solves += other.rational_lp_solves;
+        self.int_aborts += other.int_aborts;
+    }
+}
+
 /// Result of [`Problem::solve`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
@@ -204,9 +237,38 @@ impl Problem {
     /// Returns [`SolveError`] on arithmetic overflow or if a constraint
     /// references a variable from a different problem.
     pub fn solve(&self, limits: &Limits) -> Result<Solution, SolveError> {
+        self.solve_with_stats(limits).map(|(s, _)| s)
+    }
+
+    /// Solves the problem and reports solver-level statistics.
+    ///
+    /// Identical answers to [`Problem::solve`]; additionally returns the
+    /// per-tier [`SolveStats`] counters (integer fast-path attempts,
+    /// rational fallbacks, nodes explored).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`].
+    pub fn solve_with_stats(&self, limits: &Limits) -> Result<(Solution, SolveStats), SolveError> {
         let rows = self.dense_rows()?;
         let obj = self.dense_objective()?;
-        branch::solve_ilp(self.num_vars(), &self.integer, &rows, &obj, limits)
+        branch::solve_ilp(self.num_vars(), &self.integer, &rows, &obj, limits, true)
+    }
+
+    /// Solves the problem with the integer fast path disabled: every LP
+    /// relaxation runs on the exact-rational simplex.
+    ///
+    /// This is the correctness oracle the differential tests compare the
+    /// tiered solver against; it is also useful to isolate a suspected
+    /// fast-path bug in the field.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`].
+    pub fn solve_rational(&self, limits: &Limits) -> Result<(Solution, SolveStats), SolveError> {
+        let rows = self.dense_rows()?;
+        let obj = self.dense_objective()?;
+        branch::solve_ilp(self.num_vars(), &self.integer, &rows, &obj, limits, false)
     }
 }
 

@@ -1,0 +1,145 @@
+//! Differential validation of the fraction-free integer fast path against
+//! the exact-rational simplex oracle: on the same problem, the tiered
+//! solver ([`Problem::solve_with_stats`]) and the forced-rational solver
+//! ([`Problem::solve_rational`]) must report the same status and the same
+//! optimal objective value. Both are exact, so this is an equality check,
+//! not a tolerance check.
+
+use tels_ilp::{Cmp, Limits, Problem, Status};
+use tels_logic::rng::Xoshiro256;
+
+const CASES: u64 = 600;
+
+/// Builds a random small (I)LP: 2–4 variables, 1–6 constraints, mixed
+/// senses, and a random subset of integer variables so branch-and-bound is
+/// exercised alongside plain LP solves.
+fn arb_problem(rng: &mut Xoshiro256) -> Problem {
+    let n = rng.gen_range(2..=4usize);
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|_| {
+            if rng.gen_bool() {
+                p.add_int_var()
+            } else {
+                p.add_var()
+            }
+        })
+        .collect();
+    p.set_objective(
+        vars.iter()
+            .map(|&v| (v, rng.gen_range(0..=5i64)))
+            .collect::<Vec<_>>(),
+    );
+    let n_rows = rng.gen_range(1..=6usize);
+    for _ in 0..n_rows {
+        let coef: Vec<(_, i64)> = vars
+            .iter()
+            .map(|&v| (v, rng.gen_range(-4..=4i64)))
+            .collect();
+        let cmp = match rng.gen_range(0..3u32) {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        p.add_constraint(coef, cmp, rng.gen_range(-8..=10i64));
+    }
+    // Box every variable so the objective cannot be unbounded in a way the
+    // two paths could legitimately report with different certificates.
+    for &v in &vars {
+        p.add_constraint([(v, 1)], Cmp::Le, rng.gen_range(4..=9i64));
+    }
+    p
+}
+
+/// The tiered solver and the rational oracle agree on status and optimal
+/// objective for hundreds of seeded random problems, and the suite as a
+/// whole actually exercises the integer fast path (otherwise the test
+/// would be vacuous).
+#[test]
+fn tiered_solver_matches_rational_oracle() {
+    let limits = Limits::default();
+    let mut int_solves = 0u64;
+    let mut int_aborts = 0u64;
+    let mut optimal = 0u64;
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x1A7E ^ seed);
+        let p = arb_problem(&mut rng);
+        let (tiered, ts) = p.solve_with_stats(&limits).expect("tiered solve");
+        let (oracle, os) = p.solve_rational(&limits).expect("rational solve");
+        assert_eq!(
+            tiered.status, oracle.status,
+            "seed {seed}: status diverged (tiered {ts:?}, oracle {os:?})"
+        );
+        assert_eq!(
+            tiered.objective, oracle.objective,
+            "seed {seed}: optimal objective diverged"
+        );
+        // The oracle must never have touched the integer simplex, and the
+        // tiered run's rational solves must all be accounted-for aborts.
+        assert_eq!(os.int_lp_solves, 0, "seed {seed}: oracle used fast path");
+        assert!(
+            ts.rational_lp_solves <= ts.int_aborts,
+            "seed {seed}: tiered solver fell back without an abort"
+        );
+        if tiered.status == Status::Optimal {
+            optimal += 1;
+            // Both answers must satisfy the (shared) constraint system;
+            // the objective equality above pins optimality itself.
+            assert_eq!(tiered.values.len(), oracle.values.len(), "seed {seed}");
+        }
+        int_solves += ts.int_lp_solves;
+        int_aborts += ts.int_aborts;
+    }
+    assert!(
+        int_solves > CASES,
+        "fast path under-exercised: {int_solves} integer LP attempts"
+    );
+    assert!(
+        int_aborts * 50 <= int_solves,
+        "unexpectedly many overflow aborts on tiny coefficients: {int_aborts}"
+    );
+    assert!(
+        optimal > CASES / 4,
+        "suite produced too few optimal instances: {optimal}"
+    );
+}
+
+/// Threshold-identification-shaped systems (the solver's production
+/// workload: ψ+1 columns, ±1 coefficients, Σw+T objective) stay entirely
+/// on the integer fast path and match the oracle exactly.
+#[test]
+fn threshold_shaped_systems_stay_on_fast_path() {
+    let limits = Limits::default();
+    for seed in 0..200u64 {
+        let mut rng = Xoshiro256::seed_from_u64(0x7E15 ^ seed);
+        let n = rng.gen_range(2..=5usize);
+        let mut p = Problem::new();
+        let w: Vec<_> = (0..n).map(|_| p.add_int_var()).collect();
+        let t = p.add_int_var();
+        p.set_objective(w.iter().map(|&v| (v, 1i64)).chain([(t, 1i64)]));
+        // Random ON rows (subset sum must reach T) and OFF rows (subset
+        // sum must stay below T), like Eq. (12)-(13) instances.
+        for _ in 0..rng.gen_range(1..=2 * n) {
+            let on = rng.gen_bool();
+            let mut terms: Vec<(_, i64)> = w
+                .iter()
+                .filter(|_| rng.gen_bool())
+                .map(|&v| (v, 1i64))
+                .collect();
+            terms.push((t, -1));
+            if on {
+                p.add_constraint(terms, Cmp::Ge, 0);
+            } else {
+                p.add_constraint(terms, Cmp::Le, -1);
+            }
+        }
+        let (tiered, ts) = p.solve_with_stats(&limits).expect("tiered solve");
+        let (oracle, _) = p.solve_rational(&limits).expect("rational solve");
+        assert_eq!(tiered.status, oracle.status, "seed {seed}");
+        assert_eq!(tiered.objective, oracle.objective, "seed {seed}");
+        assert_eq!(
+            ts.rational_lp_solves, 0,
+            "seed {seed}: production-shaped system left the fast path"
+        );
+    }
+}

@@ -18,4 +18,10 @@ cargo build --workspace --all-targets
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> synth_pipeline smoke (consistency gates)"
+# Single-sample run over the bench suite; the binary asserts that serial
+# and cached synthesis agree on gate and threshold-query counts and that
+# the integer fast path's rational-fallback rate stays bounded.
+cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
+
 echo "ci.sh: all checks passed"

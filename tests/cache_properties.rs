@@ -80,6 +80,9 @@ fn cached_synthesis_matches_uncached_functionally() {
                 psi,
                 use_cache: true,
                 num_threads: 4,
+                // The suite includes circuits below the default engagement
+                // gate; force the cache on — it is what is under test.
+                parallel_min_nodes: 0,
                 ..TelsConfig::default()
             };
             let uncached = TelsConfig {
@@ -100,12 +103,11 @@ fn cached_synthesis_matches_uncached_functionally() {
                 None,
                 "uncached synthesis diverged from the source network"
             );
-            // The cached pass counts every emission-time query (the
-            // uncached one returns before counting on a Theorem-1
-            // refutation), and must answer some without the solver.
-            assert!(stats_c.ilp_calls >= stats_u.ilp_calls);
+            // Theorem-1 refutations are tallied identically on both paths,
+            // so the two emission passes issue the same query count — and
+            // the cached one must answer some without the solver.
+            assert_eq!(stats_c.ilp_calls, stats_u.ilp_calls);
             assert!(stats_c.ilp_avoided() > 0, "cache never hit");
-            assert!(stats_c.ilp_solves + stats_c.ilp_avoided() >= stats_c.ilp_calls);
         }
     }
 }
