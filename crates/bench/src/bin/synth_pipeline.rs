@@ -19,6 +19,12 @@
 //! disagree on gate count or threshold-query count, or if the
 //! rational-fallback rate exceeds a sanity bound.
 //!
+//! A third pass re-runs the suite once untraced and once with `tels-trace`
+//! collecting (spans + provenance journal), asserts that tracing changes
+//! neither gate counts nor threshold-query counts and journals exactly one
+//! provenance event per emitted gate, and reports the wall-clock overhead
+//! (`trace_overhead_pct` in the JSON).
+//!
 //! Run with `cargo run --release -p tels-bench --bin synth_pipeline`;
 //! pass `--quick` for a single-sample smoke run that skips the JSON write
 //! (what `scripts/ci.sh` uses).
@@ -32,6 +38,7 @@ use tels_circuits::{
 use tels_core::{synthesize_with_stats, SynthStats, TelsConfig};
 use tels_logic::opt::script_algebraic;
 use tels_logic::Network;
+use tels_trace::json::Json;
 
 /// Timed samples per configuration; the minimum is reported.
 const SAMPLES: usize = 5;
@@ -74,39 +81,58 @@ fn measure(net: &Network, config: &TelsConfig, samples: usize) -> Measurement {
     }
 }
 
-fn json_row(name: &str, serial: &Measurement, cached: &Measurement) -> String {
-    let sv = &serial.stats.solver;
-    format!(
-        concat!(
-            "    {{\"circuit\": \"{}\", \"serial_ms\": {:.3}, \"cached_ms\": {:.3}, ",
-            "\"speedup\": {:.2}, \"gates_serial\": {}, \"gates_cached\": {}, ",
-            "\"ilp_calls_serial\": {}, \"ilp_calls_cached\": {}, ",
-            "\"ilp_solves_serial\": {}, \"ilp_solves_cached\": {}, ",
-            "\"cache_hits\": {}, \"prefilter_rejections\": {}, \"ilp_avoided\": {}, ",
-            "\"solver_serial\": {{\"chow_merged_vars\": {}, \"int_fast_path_solves\": {}, ",
-            "\"rational_fallbacks\": {}, \"structure_ms\": {:.3}, \"int_solve_ms\": {:.3}, ",
-            "\"rational_solve_ms\": {:.3}}}}}"
-        ),
-        name,
-        serial.millis,
-        cached.millis,
-        serial.millis / cached.millis,
-        serial.gates,
-        cached.gates,
-        serial.stats.ilp_calls,
-        cached.stats.ilp_calls,
-        serial.stats.ilp_solves,
-        cached.stats.ilp_solves,
-        cached.stats.cache_hits,
-        cached.stats.prefilter_rejections,
-        cached.stats.ilp_avoided(),
-        sv.chow_merged_vars,
-        sv.int_fast_path_solves,
-        sv.rational_fallbacks,
-        sv.structure_ns as f64 / 1e6,
-        sv.int_solve_ns as f64 / 1e6,
-        sv.rational_solve_ns as f64 / 1e6,
-    )
+/// One circuit's JSON row. The per-configuration counters are the shared
+/// [`SynthStats::to_json`] serialization — the same object `tels synth
+/// --stats-json` prints — so downstream tooling parses one schema.
+fn json_row(name: &str, serial: &Measurement, cached: &Measurement) -> Json {
+    Json::obj([
+        ("circuit", Json::str(name)),
+        ("serial_ms", Json::Num(serial.millis)),
+        ("cached_ms", Json::Num(cached.millis)),
+        ("speedup", Json::Num(serial.millis / cached.millis)),
+        ("gates_serial", Json::Num(serial.gates as f64)),
+        ("gates_cached", Json::Num(cached.gates as f64)),
+        ("serial", serial.stats.to_json()),
+        ("cached", cached.stats.to_json()),
+    ])
+}
+
+/// Re-runs every circuit once untraced and once traced (cached
+/// configuration, one sample each), asserting that tracing is behaviorally
+/// inert and that the provenance journal holds exactly one event per
+/// emitted gate. Returns `(untraced_ms, traced_ms)` suite totals.
+fn measure_trace_overhead(suite: &[(String, Network, TelsConfig)]) -> (f64, f64) {
+    let mut untraced_ms = 0.0;
+    let mut traced_ms = 0.0;
+    for (name, prepared, config) in suite {
+        let start = Instant::now();
+        let (tn_u, st_u) = synthesize_with_stats(prepared, config).expect("synthesis failed");
+        untraced_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        tels_trace::drain();
+        tels_trace::enable();
+        let start = Instant::now();
+        let (tn_t, st_t) = synthesize_with_stats(prepared, config).expect("synthesis failed");
+        traced_ms += start.elapsed().as_secs_f64() * 1e3;
+        tels_trace::disable();
+        let trace = tels_trace::drain();
+
+        assert_eq!(
+            tn_u.num_gates(),
+            tn_t.num_gates(),
+            "{name}: tracing changed the gate count"
+        );
+        assert_eq!(
+            st_u.ilp_calls, st_t.ilp_calls,
+            "{name}: tracing changed the threshold-query count"
+        );
+        assert_eq!(
+            trace.provenance_events().count(),
+            tn_t.num_gates(),
+            "{name}: provenance journal != one event per emitted gate"
+        );
+    }
+    (untraced_ms, traced_ms)
 }
 
 fn main() {
@@ -153,7 +179,7 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<Json> = Vec::new();
     let mut total_serial = 0.0;
     let mut total_cached = 0.0;
     let mut total_avoided = 0usize;
@@ -164,6 +190,7 @@ fn main() {
         "{:<18} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9} {:>8}",
         "circuit", "serial ms", "cached ms", "speedup", "solves", "hits", "prefilter", "fallbk"
     );
+    let mut traced_suite: Vec<(String, Network, TelsConfig)> = Vec::new();
     for (name, net, psi) in &circuits {
         let serial_config = TelsConfig {
             use_cache: false,
@@ -180,6 +207,7 @@ fn main() {
         let prepared = script_algebraic(net);
         let serial = measure(&prepared, &serial_config, samples);
         let cached = measure(&prepared, &cached_config, samples);
+        traced_suite.push((name.clone(), prepared.clone(), cached_config));
         println!(
             "{:<18} {:>10.2} {:>10.2} {:>7.2}x {:>8} {:>8} {:>9} {:>8}",
             name,
@@ -226,16 +254,44 @@ fn main() {
         fallback_rate * 1e2
     );
 
+    let (suite_untraced, suite_traced) = measure_trace_overhead(&traced_suite);
+    let overhead_pct = (suite_traced - suite_untraced) / suite_untraced * 1e2;
+    println!(
+        "trace overhead: untraced {suite_untraced:.1} ms, traced {suite_traced:.1} ms \
+         ({overhead_pct:+.1}%)"
+    );
+
     if !quick {
-        let json = format!(
-            "{{\n  \"benchmark\": \"synth_pipeline\",\n  \"serial\": {{\"use_cache\": false, \
-             \"num_threads\": 1}},\n  \"cached\": {{\"use_cache\": true, \"num_threads\": 4}},\n  \
-             \"total_serial_ms\": {total_serial:.3},\n  \"total_cached_ms\": {total_cached:.3},\n  \
-             \"speedup\": {speedup:.3},\n  \"ilp_avoided\": {total_avoided},\n  \
-             \"chow_merged_vars\": {total_merged},\n  \"int_fast_path_solves\": {total_int_solves},\n  \
-             \"rational_fallbacks\": {total_fallbacks},\n  \"circuits\": [\n{}\n  ]\n}}\n",
-            rows.join(",\n")
-        );
+        let doc = Json::obj([
+            ("benchmark", Json::str("synth_pipeline")),
+            (
+                "serial",
+                Json::obj([
+                    ("use_cache", Json::Bool(false)),
+                    ("num_threads", Json::Num(1.0)),
+                ]),
+            ),
+            (
+                "cached",
+                Json::obj([
+                    ("use_cache", Json::Bool(true)),
+                    ("num_threads", Json::Num(4.0)),
+                ]),
+            ),
+            ("total_serial_ms", Json::Num(total_serial)),
+            ("total_cached_ms", Json::Num(total_cached)),
+            ("speedup", Json::Num(speedup)),
+            ("ilp_avoided", Json::Num(total_avoided as f64)),
+            ("chow_merged_vars", Json::Num(total_merged as f64)),
+            ("int_fast_path_solves", Json::Num(total_int_solves as f64)),
+            ("rational_fallbacks", Json::Num(total_fallbacks as f64)),
+            ("suite_ms_untraced", Json::Num(suite_untraced)),
+            ("suite_ms_traced", Json::Num(suite_traced)),
+            ("trace_overhead_pct", Json::Num(overhead_pct)),
+            ("circuits", Json::Arr(rows)),
+        ]);
+        let mut json = doc.pretty();
+        json.push('\n');
         std::fs::write("BENCH_synthesis.json", &json).expect("write BENCH_synthesis.json");
         println!("wrote BENCH_synthesis.json");
     }

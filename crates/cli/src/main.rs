@@ -7,12 +7,14 @@
 //! ```text
 //! tels synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
 //!             [--no-factor] [--best]          threshold network synthesis
+//!             [--trace out.json] [--profile] [--stats-json]
 //! tels map11  <in.blif> [-o out.tnet] [--psi N] ...
 //!                                             one-to-one mapping baseline
 //! tels sim    <file.blif|file.tnet> <bits...> simulate input vectors
 //! tels verify <spec.blif> <impl.tnet>         check functional equivalence
 //! tels info   <file.blif|file.tnet>           gate/level/area statistics
 //! tels print  <file.blif|file.tnet>           dump the netlist
+//! tels trace-check <trace.json> [stats.json]  validate trace/stats artifacts
 //! ```
 
 use std::fs;
@@ -24,6 +26,8 @@ use tels_core::{
 };
 use tels_logic::opt::{script_algebraic, script_boolean};
 use tels_logic::{blif, Network};
+use tels_trace::export;
+use tels_trace::json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +45,7 @@ usage: tels <command> [args]
   synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
          [--weight-cap N] [--threads N] [--no-cache] [--no-factor]
          [--no-theorem1] [--no-int-solver] [--best]
+         [--trace out.json] [--profile] [--stats-json]
   map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
   sim    <file.blif|file.tnet> <bits...>
   verify <spec.blif> <impl.tnet>
@@ -48,7 +53,8 @@ usage: tels <command> [args]
   print  <file.blif|file.tnet>
   qca    <in.blif> [-o out.blif]         synthesize at psi=3 and map to majority logic
   verilog <in.blif|in.tnet> [-o out.v]   emit structural Verilog
-  suite  [--psi N]                       run the built-in Table-I benchmark suite";
+  suite  [--psi N]                       run the built-in Table-I benchmark suite
+  trace-check <trace.json> [stats.json]  validate --trace / --stats-json artifacts";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or(USAGE.to_string())?;
@@ -62,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "qca" => cmd_qca(rest),
         "verilog" => cmd_verilog(rest),
         "suite" => cmd_suite(rest),
+        "trace-check" => cmd_trace_check(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +83,14 @@ struct SynthArgs {
     config: TelsConfig,
     factor: bool,
     best: bool,
+    /// Write a Chrome-trace JSON of the run to this path.
+    trace: Option<String>,
+    /// Print the aggregated profile tree to stderr.
+    profile: bool,
+    /// Print a machine-readable stats object to stdout instead of the
+    /// human-readable stderr summary (and instead of the netlist, unless
+    /// `-o` redirects it).
+    stats_json: bool,
 }
 
 fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
@@ -85,6 +100,9 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
         config: TelsConfig::default(),
         factor: true,
         best: false,
+        trace: None,
+        profile: false,
+        stats_json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -118,6 +136,15 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
             "--no-theorem1" => out.config.use_theorem1 = false,
             "--no-int-solver" => out.config.use_int_solver = false,
             "--best" => out.best = true,
+            "--trace" => {
+                out.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--profile" => out.profile = true,
+            "--stats-json" => out.stats_json = true,
             other if !other.starts_with('-') && out.input.is_empty() => {
                 out.input = other.to_string()
             }
@@ -156,43 +183,60 @@ fn emit_tnet(tn: &ThresholdNetwork, output: &Option<String>) -> Result<(), Strin
 
 fn cmd_synth(args: &[String]) -> Result<(), String> {
     let a = parse_synth_args(args)?;
+    if a.best && a.stats_json {
+        return Err("--best collects no run statistics; drop --stats-json".to_string());
+    }
+    let tracing = a.trace.is_some() || a.profile;
+    if tracing {
+        tels_trace::enable();
+        tels_trace::set_thread_label("main");
+    }
     let net = read_blif(&a.input)?;
-    let prepared = if a.factor {
-        script_algebraic(&net)
-    } else {
-        net.clone()
-    };
-    let tn = if a.best {
-        synthesize_best(&prepared, &a.config).map_err(|e| e.to_string())?
-    } else {
-        let (tn, stats) = synthesize_with_stats(&prepared, &a.config).map_err(|e| e.to_string())?;
-        eprintln!(
-            "tels: {} gates, {} levels, area {} | {} ILP calls, {} theorem-1 prunes, {} theorem-2 combines",
-            tn.num_gates(),
-            tn.depth(),
-            tn.area(),
-            stats.ilp_calls,
-            stats.theorem1_refutations,
-            stats.theorem2_combines
-        );
-        eprintln!(
-            "tels: {} ILP solves, {} cache hits, {} pre-filter rejections ({} solves avoided)",
-            stats.ilp_solves,
-            stats.cache_hits,
-            stats.prefilter_rejections,
-            stats.ilp_avoided()
-        );
-        let sv = &stats.solver;
-        eprintln!(
-            "tels: solver: {} int fast-path, {} rational fallbacks, {} Chow-merged vars | structure {:.2} ms, int {:.2} ms, rational {:.2} ms",
-            sv.int_fast_path_solves,
-            sv.rational_fallbacks,
-            sv.chow_merged_vars,
-            sv.structure_ns as f64 / 1e6,
-            sv.int_solve_ns as f64 / 1e6,
-            sv.rational_solve_ns as f64 / 1e6
-        );
-        tn
+    let (tn, stats) = {
+        let _span = tels_trace::span("cli", "synth");
+        let prepared = if a.factor {
+            script_algebraic(&net)
+        } else {
+            net.clone()
+        };
+        if a.best {
+            (
+                synthesize_best(&prepared, &a.config).map_err(|e| e.to_string())?,
+                None,
+            )
+        } else {
+            let (tn, stats) =
+                synthesize_with_stats(&prepared, &a.config).map_err(|e| e.to_string())?;
+            if !a.stats_json {
+                eprintln!(
+                    "tels: {} gates, {} levels, area {} | {} ILP calls, {} theorem-1 prunes, {} theorem-2 combines",
+                    tn.num_gates(),
+                    tn.depth(),
+                    tn.area(),
+                    stats.ilp_calls,
+                    stats.theorem1_refutations,
+                    stats.theorem2_combines
+                );
+                eprintln!(
+                    "tels: {} ILP solves, {} cache hits, {} pre-filter rejections ({} solves avoided)",
+                    stats.ilp_solves,
+                    stats.cache_hits,
+                    stats.prefilter_rejections,
+                    stats.ilp_avoided()
+                );
+                let sv = &stats.solver;
+                eprintln!(
+                    "tels: solver: {} int fast-path, {} rational fallbacks, {} Chow-merged vars | structure {:.2} ms, int {:.2} ms, rational {:.2} ms",
+                    sv.int_fast_path_solves,
+                    sv.rational_fallbacks,
+                    sv.chow_merged_vars,
+                    sv.structure_ns as f64 / 1e6,
+                    sv.int_solve_ns as f64 / 1e6,
+                    sv.rational_solve_ns as f64 / 1e6
+                );
+            }
+            (tn, Some(stats))
+        }
     };
     match tn
         .verify_against(&net, 12, 1024, 1)
@@ -201,7 +245,97 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         None => eprintln!("tels: simulation check passed"),
         Some(cex) => return Err(format!("internal error: mismatch at {cex:?}")),
     }
+    let trace = if tracing {
+        tels_trace::disable();
+        Some(tels_trace::drain())
+    } else {
+        None
+    };
+    if let Some(trace) = &trace {
+        if let Some(path) = &a.trace {
+            fs::write(path, export::chrome_trace(trace)).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if a.profile {
+            eprint!("{}", export::profile_tree(trace)?);
+        }
+    }
+    if a.stats_json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("model", Json::str(tn.model())),
+            ("gates", Json::Num(tn.num_gates() as f64)),
+            ("levels", Json::Num(tn.depth() as f64)),
+            ("area", Json::Num(tn.area() as f64)),
+        ];
+        if let Some(stats) = &stats {
+            pairs.push(("stats", stats.to_json()));
+        }
+        if let Some(trace) = &trace {
+            pairs.push(("ilp_histograms", export::ilp_histograms(trace)));
+        }
+        println!("{}", Json::obj(pairs).pretty());
+        if a.output.is_none() {
+            // stdout carries the JSON object; the netlist needs `-o`.
+            return Ok(());
+        }
+    }
     emit_tnet(&tn, &a.output)
+}
+
+/// Validates a `--trace` Chrome-trace file (and optionally a `--stats-json`
+/// object): the JSON must parse with the in-tree parser, begin/end events
+/// must nest per thread, spans from all four instrumented crates must be
+/// present, and the provenance journal must hold exactly one entry per
+/// emitted gate.
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let (trace_path, stats_path) = match args {
+        [t] => (t, None),
+        [t, s] => (t, Some(s)),
+        _ => return Err("trace-check requires <trace.json> [stats.json]".to_string()),
+    };
+    let text = fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+    let doc = tels_trace::json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+    let summary = export::validate_chrome_json(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
+    for cat in ["cli", "core", "ilp", "logic"] {
+        if !summary.categories.iter().any(|c| c == cat) {
+            return Err(format!("{trace_path}: no `{cat}` events recorded"));
+        }
+    }
+    if summary.provenance == 0 {
+        return Err(format!("{trace_path}: provenance journal is empty"));
+    }
+    if let Some(stats_path) = stats_path {
+        let text = fs::read_to_string(stats_path).map_err(|e| format!("{stats_path}: {e}"))?;
+        let stats = tels_trace::json::parse(&text).map_err(|e| format!("{stats_path}: {e}"))?;
+        for key in ["model", "gates", "levels", "area", "stats"] {
+            if stats.get(key).is_none() {
+                return Err(format!("{stats_path}: missing key `{key}`"));
+            }
+        }
+        let run = stats.get("stats").expect("checked above");
+        for key in ["ilp_calls", "ilp_solves", "cache_hits", "solver"] {
+            if run.get(key).is_none() {
+                return Err(format!("{stats_path}: missing key `stats.{key}`"));
+            }
+        }
+        let gates = stats
+            .get("gates")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{stats_path}: `gates` is not a count"))?;
+        if summary.provenance as u64 != gates {
+            return Err(format!(
+                "{trace_path}: {} provenance entries for {} gates",
+                summary.provenance, gates
+            ));
+        }
+    }
+    println!(
+        "trace-check: ok ({} events, {} spans, {} provenance entries, categories: {})",
+        summary.events,
+        summary.spans,
+        summary.provenance,
+        summary.categories.join(",")
+    );
+    Ok(())
 }
 
 fn cmd_map11(args: &[String]) -> Result<(), String> {

@@ -213,3 +213,103 @@ fn qca_rejects_large_psi() {
     assert!(!o.status.success());
     assert!(stderr(&o).contains("psi"));
 }
+
+#[test]
+fn synth_trace_profile_and_trace_check() {
+    let dir = workdir("trace");
+    let blif = dir.join("sample.blif");
+    let trace = dir.join("sample_trace.json");
+    let stats = dir.join("sample_stats.json");
+    fs::write(&blif, SAMPLE).unwrap();
+
+    let o = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--profile",
+        "--stats-json",
+    ]);
+    assert!(o.status.success(), "traced synth failed: {}", stderr(&o));
+    // --profile renders the aggregated span tree on stderr.
+    let err = stderr(&o);
+    assert!(err.contains("total ms"), "missing profile header: {err}");
+    assert!(err.contains("synthesize"), "missing profile rows: {err}");
+    // --stats-json puts one JSON object (and nothing else) on stdout.
+    let doc = tels_trace::json::parse(&stdout(&o)).expect("stats output is not valid JSON");
+    assert_eq!(
+        doc.get("model").and_then(|m| m.as_str()),
+        Some("sample"),
+        "stats object missing model"
+    );
+    for key in ["gates", "levels", "area", "stats", "ilp_histograms"] {
+        assert!(doc.get(key).is_some(), "stats object missing `{key}`");
+    }
+    fs::write(&stats, stdout(&o)).unwrap();
+
+    // The trace file is a valid Chrome trace with spans from all four
+    // instrumented crates and one provenance event per gate.
+    let text = fs::read_to_string(&trace).unwrap();
+    let chrome = tels_trace::json::parse(&text).expect("trace is not valid JSON");
+    let summary =
+        tels_trace::export::validate_chrome_json(&chrome).expect("trace failed validation");
+    for cat in ["cli", "core", "ilp", "logic"] {
+        assert!(
+            summary.categories.iter().any(|c| c == cat),
+            "missing category {cat}"
+        );
+    }
+    let gates = doc.get("gates").and_then(|g| g.as_u64()).unwrap();
+    assert_eq!(summary.provenance as u64, gates);
+
+    // The bundled validator agrees.
+    let check = tels(&[
+        "trace-check",
+        trace.to_str().unwrap(),
+        stats.to_str().unwrap(),
+    ]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    assert!(stdout(&check).contains("trace-check: ok"));
+}
+
+#[test]
+fn synth_stats_json_respects_output_redirect() {
+    let dir = workdir("statsjson");
+    let blif = dir.join("sample.blif");
+    let tnet = dir.join("sample.tnet");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "-o",
+        tnet.to_str().unwrap(),
+        "--stats-json",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    // Netlist goes to the file; stdout still holds only the JSON object.
+    assert!(tnet.exists());
+    let doc = tels_trace::json::parse(&stdout(&o)).expect("stats output is not valid JSON");
+    // Without --trace there is no journal, hence no histograms key.
+    assert!(doc.get("ilp_histograms").is_none());
+    // The legacy human-readable summary is suppressed.
+    assert!(!stderr(&o).contains("ILP calls"));
+}
+
+#[test]
+fn synth_best_rejects_stats_json() {
+    let dir = workdir("beststats");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["synth", blif.to_str().unwrap(), "--best", "--stats-json"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--best"));
+}
+
+#[test]
+fn trace_check_rejects_garbage() {
+    let dir = workdir("tracecheck");
+    let bogus = dir.join("bogus.json");
+    fs::write(&bogus, "{\"traceEvents\": [{\"ph\": \"E\", \"cat\": \"x\", \"name\": \"n\", \"tid\": 1, \"ts\": 0}]}").unwrap();
+    let o = tels(&["trace-check", bogus.to_str().unwrap()]);
+    assert!(!o.status.success());
+}

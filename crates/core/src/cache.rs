@@ -70,17 +70,24 @@ impl RealizationCache {
     /// Looks up a canonical key. Outer `None` = not cached; inner value is
     /// the memoized answer.
     pub fn lookup(&self, key: &[u64]) -> Option<Option<CanonicalRealization>> {
-        self.shard(key)
+        let entry = self
+            .shard(key)
             .lock()
             .expect("cache shard poisoned")
             .get(key)
-            .cloned()
+            .cloned();
+        if tels_trace::enabled() {
+            let name = if entry.is_some() { "hit" } else { "miss" };
+            tels_trace::instant("cache", name, Vec::new());
+        }
+        entry
     }
 
     /// Stores the answer for a canonical key. Double inserts under the same
     /// key are benign: values are decided in canonical space, so every
     /// writer computes the same answer.
     pub fn insert(&self, key: Vec<u64>, value: Option<CanonicalRealization>) {
+        tels_trace::instant("cache", "insert", Vec::new());
         self.shard(&key)
             .lock()
             .expect("cache shard poisoned")

@@ -79,6 +79,29 @@ impl SolverBreakdown {
     pub fn ilp_solves(&self) -> usize {
         self.int_fast_path_solves + self.rational_fallbacks
     }
+
+    /// Machine-readable form, shared by the CLI's `--stats-json` output
+    /// and the bench harness.
+    pub fn to_json(&self) -> tels_trace::json::Json {
+        use tels_trace::json::Json;
+        Json::obj([
+            ("chow_merged_vars", Json::Num(self.chow_merged_vars as f64)),
+            (
+                "int_fast_path_solves",
+                Json::Num(self.int_fast_path_solves as f64),
+            ),
+            (
+                "rational_fallbacks",
+                Json::Num(self.rational_fallbacks as f64),
+            ),
+            ("structure_ns", Json::Num(self.structure_ns as f64)),
+            ("int_solve_ns", Json::Num(self.int_solve_ns as f64)),
+            (
+                "rational_solve_ns",
+                Json::Num(self.rational_solve_ns as f64),
+            ),
+        ])
+    }
 }
 
 /// A threshold-gate realization of a logic function.
@@ -172,6 +195,19 @@ pub(crate) fn check_threshold_counted(
     config: &TelsConfig,
     solver: &mut SolverBreakdown,
 ) -> Result<(Option<Realization>, bool), SynthError> {
+    let mut span = tels_trace::span("core", "threshold_check");
+    let result = check_threshold_counted_impl(f, config, solver);
+    if let Ok((_, solved)) = &result {
+        span.arg("via", if *solved { "ilp" } else { "trivial" });
+    }
+    result
+}
+
+fn check_threshold_counted_impl(
+    f: &Sop,
+    config: &TelsConfig,
+    solver: &mut SolverBreakdown,
+) -> Result<(Option<Realization>, bool), SynthError> {
     if f.is_zero() {
         return Ok((Some(Realization::constant(false, config)), false));
     }
@@ -206,6 +242,19 @@ pub(crate) enum CheckVia {
     Ilp,
 }
 
+impl CheckVia {
+    /// Stable tag used in trace span arguments.
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            CheckVia::Trivial => "trivial",
+            CheckVia::CacheHit => "cache-hit",
+            CheckVia::Theorem1 => "theorem1",
+            CheckVia::Prefilter => "prefilter",
+            CheckVia::Ilp => "ilp",
+        }
+    }
+}
+
 /// [`check_threshold`] through the canonical realization cache.
 ///
 /// On a miss the query is decided *in canonical space* — the Theorem-1
@@ -216,6 +265,20 @@ pub(crate) enum CheckVia {
 /// function's canonical form, never on which query populated the cache or
 /// on thread scheduling.
 pub(crate) fn check_threshold_cached(
+    f: &Sop,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+    solver: &mut SolverBreakdown,
+) -> Result<(Option<Realization>, CheckVia), SynthError> {
+    let mut span = tels_trace::span("core", "threshold_check");
+    let result = check_threshold_cached_impl(f, config, cache, solver);
+    if let Ok((_, via)) = &result {
+        span.arg("via", via.as_str());
+    }
+    result
+}
+
+fn check_threshold_cached_impl(
     f: &Sop,
     config: &TelsConfig,
     cache: &RealizationCache,

@@ -72,7 +72,7 @@ pub use error::SynthError;
 pub use map11::{map_one_to_one, synthesize_best};
 pub use qca::{map_to_majority, MajorityStats};
 pub use split::{split_binate, split_cubes_k, split_unate, split_unate_with, UnateSplit};
-pub use synth::{synthesize, synthesize_with_stats, SynthStats};
+pub use synth::{synthesize, synthesize_with_stats, GatePath, SynthStats};
 pub use theorems::{theorem1_refutes, theorem2_extend};
 pub use tnet::{parse_tnet, NetworkReport, ThresholdGate, ThresholdNetwork, TnId};
 pub use verilog::to_verilog;

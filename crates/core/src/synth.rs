@@ -60,6 +60,86 @@ impl SynthStats {
     pub fn ilp_avoided(&self) -> usize {
         self.cache_hits + self.prefilter_rejections
     }
+
+    /// Machine-readable form of the run statistics (including the
+    /// [`SolverBreakdown`]), shared by the CLI's `--stats-json` output and
+    /// the bench harness.
+    pub fn to_json(&self) -> tels_trace::json::Json {
+        use tels_trace::json::Json;
+        let n = |v: usize| Json::Num(v as f64);
+        Json::obj([
+            ("ilp_calls", n(self.ilp_calls)),
+            ("theorem1_refutations", n(self.theorem1_refutations)),
+            ("theorem2_combines", n(self.theorem2_combines)),
+            ("collapses", n(self.collapses)),
+            ("unate_splits", n(self.unate_splits)),
+            ("binate_splits", n(self.binate_splits)),
+            ("cache_hits", n(self.cache_hits)),
+            ("prefilter_rejections", n(self.prefilter_rejections)),
+            ("ilp_solves", n(self.ilp_solves)),
+            ("ilp_avoided", n(self.ilp_avoided())),
+            ("solver", self.solver.to_json()),
+        ])
+    }
+}
+
+/// Which synthesis path produced an emitted threshold gate.
+///
+/// Every gate emission records one provenance journal entry (when tracing
+/// is enabled) tagging the gate with its path, the original-network node
+/// being synthesized, and the run's ψ — the per-gate audit trail of the
+/// Fig. 3 flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GatePath {
+    /// Constant-0/1 gate.
+    Constant,
+    /// Buffer or inverter over a single literal.
+    Literal,
+    /// Direct ILP threshold identification of the collapsed expression.
+    DirectIlp,
+    /// Realization replayed from the canonical realization cache.
+    CacheHit,
+    /// AND-tree chunk emitted to honor the fanin restriction ψ.
+    AndChunk,
+    /// Glue emitted after a Theorem-1 refutation forced a split.
+    Theorem1Split,
+    /// Glue emitted for a unate split (Fig. 7).
+    UnateSplit,
+    /// OR glue over the parts of a binate split (Fig. 8).
+    BinateSplit,
+    /// Theorem-2 combine: an OR input absorbed into an existing gate.
+    Theorem2Combine,
+    /// Shannon-expansion recombination (the divide-and-conquer strategy).
+    Shannon,
+}
+
+impl GatePath {
+    /// Stable kebab-case tag used in the provenance journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GatePath::Constant => "constant",
+            GatePath::Literal => "literal",
+            GatePath::DirectIlp => "direct-ilp",
+            GatePath::CacheHit => "cache-hit",
+            GatePath::AndChunk => "and-chunk",
+            GatePath::Theorem1Split => "theorem1-split",
+            GatePath::UnateSplit => "unate-split",
+            GatePath::BinateSplit => "binate-split",
+            GatePath::Theorem2Combine => "theorem2-combine",
+            GatePath::Shannon => "shannon",
+        }
+    }
+}
+
+/// Provenance path for a successful direct threshold check: either the
+/// cache replayed the realization or the ILP (with its pre-filters)
+/// decided it fresh.
+fn path_for(via: CheckVia) -> GatePath {
+    if via == CheckVia::CacheHit {
+        GatePath::CacheHit
+    } else {
+        GatePath::DirectIlp
+    }
 }
 
 /// Synthesizes an algebraically-factored Boolean network into a functionally
@@ -99,6 +179,7 @@ pub fn synthesize_with_stats(
     config: &TelsConfig,
 ) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
     config.assert_valid();
+    let mut span = tels_trace::span("core", "synthesize");
     // Tiny circuits issue a handful of threshold queries; canonicalizing
     // and hashing them costs more than just solving, and spawning warm
     // threads costs more still (the c17-sized regression). Below the gate
@@ -117,6 +198,7 @@ pub fn synthesize_with_stats(
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
         if threads > 1 && hw > 1 {
+            let _warm_span = tels_trace::span("core", "warm_cache");
             let (solves, solver) =
                 warm_cache(net, config, cache, &s.boundary, &s.net_levels, threads);
             s.stats.ilp_solves += solves;
@@ -124,6 +206,8 @@ pub fn synthesize_with_stats(
         }
     }
     s.run()?;
+    span.arg("gates", s.tn.num_gates() as u64);
+    span.arg("ilp_calls", s.stats.ilp_calls as u64);
     Ok((s.tn, s.stats))
 }
 
@@ -183,6 +267,9 @@ struct Synth<'a> {
     stats: SynthStats,
     /// Shared single-literal gates: (leaf signal, phase) → gate.
     literal_cache: HashMap<(TnId, bool), TnId>,
+    /// Name of the original-network node currently being synthesized
+    /// (provenance context for emitted gates; tracing only).
+    current_node: Option<String>,
 }
 
 impl<'a> Synth<'a> {
@@ -213,6 +300,7 @@ impl<'a> Synth<'a> {
             net_levels,
             stats: SynthStats::default(),
             literal_cache: HashMap::new(),
+            current_node: None,
         })
     }
 
@@ -237,7 +325,14 @@ impl<'a> Synth<'a> {
         }
         let expr = global_sop(self.net, id);
         let name = self.net.name(id).to_string();
+        let mut span = tels_trace::span("core", "synth_node");
+        if tels_trace::enabled() {
+            span.arg("node", name.as_str());
+        }
+        let prev = self.current_node.replace(name.clone());
         let signal = self.synth_expr(&expr, Some(&name))?;
+        self.current_node = prev;
+        drop(span);
         self.signal_map.insert(id, signal);
         Ok(signal)
     }
@@ -263,27 +358,44 @@ impl<'a> Synth<'a> {
     }
 
     /// Emits a gate for a realization over *global-variable* weights.
-    fn emit_gate(&mut self, r: &Realization, name_hint: Option<&str>) -> Result<TnId, SynthError> {
+    fn emit_gate(
+        &mut self,
+        r: &Realization,
+        name_hint: Option<&str>,
+        path: GatePath,
+    ) -> Result<TnId, SynthError> {
         let inputs: Vec<TnId> = r
             .weights
             .iter()
             .map(|&(v, _)| self.leaf_signal(v))
             .collect::<Result<_, _>>()?;
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
-        self.emit_raw_gate(inputs, weights, r.threshold, name_hint)
+        self.emit_raw_gate(inputs, weights, r.threshold, name_hint, path)
     }
 
+    /// Emits a gate and records its provenance journal entry. Every gate
+    /// of a synthesis run flows through here, so the journal holds exactly
+    /// one entry per emitted gate.
     fn emit_raw_gate(
         &mut self,
         inputs: Vec<TnId>,
         weights: Vec<i64>,
         threshold: i64,
         name_hint: Option<&str>,
+        path: GatePath,
     ) -> Result<TnId, SynthError> {
         let name = match name_hint {
             Some(n) if self.tn.find(n).is_none() => n.to_string(),
             _ => self.tn.fresh_name("t"),
         };
+        if tels_trace::enabled() {
+            tels_trace::provenance(
+                &name,
+                path.as_str(),
+                self.current_node.as_deref(),
+                self.config.psi,
+            );
+        }
         self.tn.add_gate(
             name,
             ThresholdGate {
@@ -294,7 +406,12 @@ impl<'a> Synth<'a> {
         )
     }
 
-    fn checked_threshold(&mut self, expr: &Sop) -> Result<Option<Realization>, SynthError> {
+    /// One threshold check with the Theorem-1 filter, also reporting how
+    /// the query was decided (provenance tagging for the emitted gate).
+    fn checked_threshold(
+        &mut self,
+        expr: &Sop,
+    ) -> Result<(Option<Realization>, CheckVia), SynthError> {
         // With the cache enabled, Theorem 1 runs inside the cached checker
         // (miss path only) so a cache hit skips it; without, it runs here
         // as the pre-cache flow did. Either way the query counts toward
@@ -304,13 +421,13 @@ impl<'a> Synth<'a> {
         if self.cache.is_none() && self.config.use_theorem1 && theorem1_refutes(expr) {
             self.stats.ilp_calls += 1;
             self.stats.theorem1_refutations += 1;
-            return Ok(None);
+            return Ok((None, CheckVia::Theorem1));
         }
         self.query_threshold(expr)
     }
 
     /// One threshold query, through the canonical cache when enabled.
-    fn query_threshold(&mut self, f: &Sop) -> Result<Option<Realization>, SynthError> {
+    fn query_threshold(&mut self, f: &Sop) -> Result<(Option<Realization>, CheckVia), SynthError> {
         self.stats.ilp_calls += 1;
         let config = self.config;
         match self.cache {
@@ -323,14 +440,17 @@ impl<'a> Synth<'a> {
                     CheckVia::Ilp => self.stats.ilp_solves += 1,
                     CheckVia::Trivial => {}
                 }
-                Ok(r)
+                Ok((r, via))
             }
             None => {
                 let (r, solved) = check_threshold_counted(f, config, &mut self.stats.solver)?;
-                if solved {
+                let via = if solved {
                     self.stats.ilp_solves += 1;
-                }
-                Ok(r)
+                    CheckVia::Ilp
+                } else {
+                    CheckVia::Trivial
+                };
+                Ok((r, via))
             }
         }
     }
@@ -346,9 +466,10 @@ impl<'a> Synth<'a> {
         let proto = Sop::literal(Var(0), phase);
         let r = self
             .query_threshold(&proto)?
+            .0
             .expect("single literals are threshold functions");
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
-        let g = self.emit_raw_gate(vec![signal], weights, r.threshold, None)?;
+        let g = self.emit_raw_gate(vec![signal], weights, r.threshold, None, GatePath::Literal)?;
         self.literal_cache.insert((signal, phase), g);
         Ok(g)
     }
@@ -358,14 +479,16 @@ impl<'a> Synth<'a> {
         &mut self,
         children: Vec<TnId>,
         name_hint: Option<&str>,
+        path: GatePath,
     ) -> Result<TnId, SynthError> {
         debug_assert!(children.len() >= 2 && children.len() <= self.config.psi);
         let proto = or_proto(children.len());
         let r = self
             .query_threshold(&proto)?
+            .0
             .expect("disjunctions are threshold functions");
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
-        self.emit_raw_gate(children, weights, r.threshold, name_hint)
+        self.emit_raw_gate(children, weights, r.threshold, name_hint, path)
     }
 
     /// Emits an AND over `(signal, phase)` terms, chunking into a tree when
@@ -374,6 +497,7 @@ impl<'a> Synth<'a> {
         &mut self,
         mut terms: Vec<(TnId, bool)>,
         name_hint: Option<&str>,
+        path: GatePath,
     ) -> Result<TnId, SynthError> {
         debug_assert!(!terms.is_empty());
         if terms.len() == 1 {
@@ -390,6 +514,7 @@ impl<'a> Synth<'a> {
             let proto = and_proto(group.iter().map(|&(_, phase)| phase));
             let r = self
                 .query_threshold(&proto)?
+                .0
                 .expect("cubes are threshold functions");
             let inputs: Vec<TnId> = group.iter().map(|&(s, _)| s).collect();
             let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
@@ -399,6 +524,7 @@ impl<'a> Synth<'a> {
                 weights,
                 r.threshold,
                 if last { name_hint } else { None },
+                if last { path } else { GatePath::AndChunk },
             )?;
             if last {
                 return Ok(gate);
@@ -414,8 +540,9 @@ impl<'a> Synth<'a> {
         proto: &Sop,
         inputs: Vec<TnId>,
         name_hint: Option<&str>,
+        path: GatePath,
     ) -> Result<TnId, SynthError> {
-        let r = self.query_threshold(proto)?.ok_or_else(|| {
+        let r = self.query_threshold(proto)?.0.ok_or_else(|| {
             SynthError::Internal(format!("prototype {proto} is not a threshold function"))
         })?;
         // Variables absent from the realization (redundant inputs) are
@@ -426,7 +553,7 @@ impl<'a> Synth<'a> {
             .map(|&(v, _)| inputs[v.0 as usize])
             .collect();
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
-        self.emit_raw_gate(gate_inputs, weights, r.threshold, name_hint)
+        self.emit_raw_gate(gate_inputs, weights, r.threshold, name_hint, path)
     }
 
     /// Divide-and-conquer synthesis of a non-trivial expression: Shannon
@@ -453,30 +580,30 @@ impl<'a> Synth<'a> {
             // f = x ∨ f0.
             let c0 = self.synth_expr(&f0, None)?;
             let proto = lit(true).or(&Sop::literal(Var(1), true));
-            return self.emit_proto_gate(&proto, vec![x, c0], name_hint);
+            return self.emit_proto_gate(&proto, vec![x, c0], name_hint, GatePath::Shannon);
         }
         if f0.is_one() {
             // f = x̄ ∨ f1.
             let c1 = self.synth_expr(&f1, None)?;
             let proto = lit(false).or(&Sop::literal(Var(1), true));
-            return self.emit_proto_gate(&proto, vec![x, c1], name_hint);
+            return self.emit_proto_gate(&proto, vec![x, c1], name_hint, GatePath::Shannon);
         }
         if f0.is_zero() {
             // f = x·f1.
             let c1 = self.synth_expr(&f1, None)?;
-            return self.and_terms(vec![(x, true), (c1, true)], name_hint);
+            return self.and_terms(vec![(x, true), (c1, true)], name_hint, GatePath::Shannon);
         }
         if f1.is_zero() {
             // f = x̄·f0.
             let c0 = self.synth_expr(&f0, None)?;
-            return self.and_terms(vec![(x, false), (c0, true)], name_hint);
+            return self.and_terms(vec![(x, false), (c0, true)], name_hint, GatePath::Shannon);
         }
         // General 2:1 mux recombination.
         let c1 = self.synth_expr(&f1, None)?;
         let c0 = self.synth_expr(&f0, None)?;
-        let and1 = self.and_terms(vec![(x, true), (c1, true)], None)?;
-        let and0 = self.and_terms(vec![(x, false), (c0, true)], None)?;
-        self.or_gate(vec![and1, and0], name_hint)
+        let and1 = self.and_terms(vec![(x, true), (c1, true)], None, GatePath::Shannon)?;
+        let and0 = self.and_terms(vec![(x, false), (c0, true)], None, GatePath::Shannon)?;
+        self.or_gate(vec![and1, and0], name_hint, GatePath::Shannon)
     }
 
     /// Recursively synthesizes an expression over global variables, mapping
@@ -488,7 +615,7 @@ impl<'a> Synth<'a> {
         // Constants.
         if expr.is_zero() || expr.is_one() {
             let r = Realization::constant(expr.is_one(), self.config);
-            return self.emit_gate(&r, name_hint);
+            return self.emit_gate(&r, name_hint, GatePath::Constant);
         }
         // Single literal: reuse the leaf (or a shared inverter). A root
         // needing a stable name still gets a buffer gate.
@@ -504,17 +631,25 @@ impl<'a> Synth<'a> {
             let proto = Sop::literal(Var(0), phase);
             let r = self
                 .query_threshold(&proto)?
+                .0
                 .expect("single literals are threshold functions");
             let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
-            return self.emit_raw_gate(vec![sig], weights, r.threshold, name_hint);
+            return self.emit_raw_gate(
+                vec![sig],
+                weights,
+                r.threshold,
+                name_hint,
+                GatePath::Literal,
+            );
         }
 
         // Divide-and-conquer strategy: after the trivial cases, decompose by
         // Shannon expansion instead of the paper's Fig. 7/8 splitting.
         if self.config.strategy == crate::config::SynthStrategy::Shannon {
             if expr.is_unate() && expr.support().len() <= self.config.psi {
-                if let Some(r) = self.checked_threshold(expr)? {
-                    return self.emit_gate(&r, name_hint);
+                let (r, via) = self.checked_threshold(expr)?;
+                if let Some(r) = r {
+                    return self.emit_gate(&r, name_hint, path_for(via));
                 }
             }
             return self.shannon_expr(expr, name_hint);
@@ -528,15 +663,25 @@ impl<'a> Synth<'a> {
                 .iter()
                 .map(|p| self.synth_expr(p, None))
                 .collect::<Result<_, _>>()?;
-            return self.or_gate(children, name_hint);
+            return self.or_gate(children, name_hint, GatePath::BinateSplit);
         }
 
-        // Unate node within the fanin bound: try a single gate.
+        // Unate node within the fanin bound: try a single gate. A failing
+        // check's verdict tags the glue gates of the split that follows
+        // (Theorem-1 refutation vs. a plain non-threshold answer).
+        let mut refuted_by_t1 = false;
         if expr.support().len() <= self.config.psi {
-            if let Some(r) = self.checked_threshold(expr)? {
-                return self.emit_gate(&r, name_hint);
+            let (r, via) = self.checked_threshold(expr)?;
+            if let Some(r) = r {
+                return self.emit_gate(&r, name_hint, path_for(via));
             }
+            refuted_by_t1 = via == CheckVia::Theorem1;
         }
+        let split_path = if refuted_by_t1 {
+            GatePath::Theorem1Split
+        } else {
+            GatePath::UnateSplit
+        };
 
         // Single cube: an AND tree.
         if expr.num_cubes() == 1 {
@@ -544,7 +689,7 @@ impl<'a> Synth<'a> {
             for (v, phase) in expr.cubes()[0].literals() {
                 terms.push((self.leaf_signal(v)?, phase));
             }
-            return self.and_terms(terms, name_hint);
+            return self.and_terms(terms, name_hint, GatePath::AndChunk);
         }
 
         // Unate splitting (Fig. 7).
@@ -557,7 +702,7 @@ impl<'a> Synth<'a> {
                     terms.push((self.leaf_signal(v)?, phase));
                 }
                 terms.push((child, true));
-                self.and_terms(terms, name_hint)
+                self.and_terms(terms, name_hint, split_path)
             }
             UnateSplit::Or(a, b) => {
                 // Check the larger half first (§V-C), then the smaller; on
@@ -582,7 +727,7 @@ impl<'a> Synth<'a> {
                     if gate_half.support().len() + 1 > self.config.psi {
                         continue;
                     }
-                    if let Some(r) = self.checked_threshold(gate_half)? {
+                    if let (Some(r), _) = self.checked_threshold(gate_half)? {
                         // The extra OR input gets weight T_pos + δ_on, which
                         // must also respect the dynamic-range cap.
                         let (_, w_extra) = theorem2_extend(&r, Var(u32::MAX), self.config);
@@ -599,7 +744,13 @@ impl<'a> Synth<'a> {
                         inputs.push(child);
                         weights.push(w_extra);
                         self.stats.theorem2_combines += 1;
-                        return self.emit_raw_gate(inputs, weights, r.threshold, name_hint);
+                        return self.emit_raw_gate(
+                            inputs,
+                            weights,
+                            r.threshold,
+                            name_hint,
+                            GatePath::Theorem2Combine,
+                        );
                     }
                 }
                 // Neither half is a usable gate: k-way cube split glued by
@@ -610,7 +761,7 @@ impl<'a> Synth<'a> {
                     .iter()
                     .map(|p| self.synth_expr(p, None))
                     .collect::<Result<_, _>>()?;
-                self.or_gate(children, name_hint)
+                self.or_gate(children, name_hint, split_path)
             }
         }
     }
@@ -882,8 +1033,11 @@ fn warm_cache(
     let totals: Mutex<(usize, SolverBreakdown)> = Mutex::new((0, SolverBreakdown::default()));
 
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
+        for worker in 0..threads {
+            let (queue, claimed, totals) = (&queue, &claimed, &totals);
+            s.spawn(move || {
+                tels_trace::set_thread_label(format!("warm-{worker}"));
+                let _span = tels_trace::span("core", "warm_worker");
                 let mut planner = Planner {
                     net,
                     config,

@@ -87,7 +87,10 @@ fn solve_node_lp(
                 IntLpOutcome::Infeasible => return Ok(LpOutcome::Infeasible),
                 IntLpOutcome::Unbounded => return Ok(LpOutcome::Unbounded),
                 IntLpOutcome::LimitReached => return Ok(LpOutcome::LimitReached),
-                IntLpOutcome::Abort => stats.int_aborts += 1,
+                IntLpOutcome::Abort => {
+                    stats.int_aborts += 1;
+                    tels_trace::instant("ilp", "int_abort", Vec::new());
+                }
             }
         }
     }
@@ -132,6 +135,7 @@ pub(crate) fn solve_ilp(
     limits: &Limits,
     use_int: bool,
 ) -> Result<(Solution, SolveStats), SolveError> {
+    let mut span = tels_trace::span("ilp", "solve");
     let mut stats = SolveStats::default();
     let mut pivots_left = limits.max_pivots;
     let mut nodes_left = limits.max_nodes;
@@ -187,6 +191,8 @@ pub(crate) fn solve_ilp(
                 // the MILP is unbounded too; with integrality the MILP is
                 // unbounded or infeasible — report unbounded, which callers
                 // treat as "no usable solution".
+                stats.pivots = limits.max_pivots - pivots_left;
+                finish_span(&mut span, &stats);
                 return Ok((
                     Solution {
                         status: Status::Unbounded,
@@ -270,7 +276,24 @@ pub(crate) fn solve_ilp(
             objective: None,
         },
     };
+    stats.pivots = limits.max_pivots - pivots_left;
+    finish_span(&mut span, &stats);
     Ok((solution, stats))
+}
+
+/// Attaches the end-of-solve counters to the `ilp:solve` span: which tier
+/// finished the solve, branch-and-bound nodes, pivots, and overflow
+/// fallbacks. No-op (empty span) when tracing is disabled.
+fn finish_span(span: &mut tels_trace::Span, stats: &SolveStats) {
+    let tier = if stats.rational_lp_solves == 0 {
+        "int"
+    } else {
+        "rational"
+    };
+    span.arg("tier", tier);
+    span.arg("nodes", stats.nodes);
+    span.arg("pivots", stats.pivots);
+    span.arg("int_aborts", stats.int_aborts);
 }
 
 #[cfg(test)]

@@ -82,6 +82,8 @@ pub struct SolveStats {
     /// Integer fast-path attempts that hit an `i128` overflow and fell
     /// back to the rational simplex for that node.
     pub int_aborts: u64,
+    /// Simplex pivots consumed across the whole solve (both tiers).
+    pub pivots: u64,
 }
 
 impl SolveStats {
@@ -91,6 +93,7 @@ impl SolveStats {
         self.int_lp_solves += other.int_lp_solves;
         self.rational_lp_solves += other.rational_lp_solves;
         self.int_aborts += other.int_aborts;
+        self.pivots += other.pivots;
     }
 }
 

@@ -96,6 +96,7 @@ fn drives_output(net: &Network) -> Vec<bool> {
 /// Nodes that drive primary outputs are kept (the output needs a driver).
 /// Returns the number of inlined uses.
 pub fn sweep(net: &mut Network) -> usize {
+    let _span = tels_trace::span("logic", "sweep");
     let mut total = 0;
     loop {
         let users = users_of(net);
@@ -129,6 +130,7 @@ pub fn sweep(net: &mut Network) -> usize {
 
 /// Two-level minimization of every node function.
 pub fn simplify(net: &mut Network) {
+    let _span = tels_trace::span("logic", "simplify");
     for id in net.node_ids().collect::<Vec<_>>() {
         if net.is_input(id) {
             continue;
@@ -146,6 +148,7 @@ pub fn simplify(net: &mut Network) {
 /// Inlines nodes whose elimination does not grow the network by more than
 /// `threshold` literals (SIS `eliminate`). Returns eliminated node count.
 pub fn eliminate(net: &mut Network, threshold: isize, opts: &OptOptions) -> usize {
+    let _span = tels_trace::span("logic", "eliminate");
     let mut removed = 0;
     loop {
         let users = users_of(net);
@@ -215,6 +218,7 @@ fn filter_literal(d: &Sop) -> Option<(Var, bool)> {
 /// Greedy kernel- and cube-extraction (SIS `fx`/`gkx`). Returns the number
 /// of new divisor nodes created.
 pub fn extract(net: &mut Network, opts: &OptOptions) -> usize {
+    let _span = tels_trace::span("logic", "extract");
     let mut created = 0;
     for _round in 0..opts.max_extract_rounds {
         let logic_nodes: Vec<NodeId> = net.node_ids().filter(|&id| !net.is_input(id)).collect();
@@ -348,6 +352,7 @@ pub fn extract(net: &mut Network, opts: &OptOptions) -> usize {
 /// Node functions are compared on their canonical (sorted-cube, global
 /// variable) form, so reordered fanin lists still merge.
 pub fn strash(net: &mut Network) -> usize {
+    let _span = tels_trace::span("logic", "strash");
     let mut merged = 0;
     loop {
         let mut seen: HashMap<Vec<Cube>, NodeId> = HashMap::new();
@@ -412,6 +417,7 @@ pub fn strash(net: &mut Network) -> usize {
 /// Algebraic resubstitution: rewrites node covers in terms of existing
 /// nodes when that saves literals. Returns the number of rewrites.
 pub fn resubstitute(net: &mut Network) -> usize {
+    let _span = tels_trace::span("logic", "resubstitute");
     let mut rewrites = 0;
     let logic_nodes: Vec<NodeId> = net.node_ids().filter(|&id| !net.is_input(id)).collect();
     for &d in &logic_nodes {
@@ -462,6 +468,7 @@ pub fn script_algebraic(net: &Network) -> Network {
 /// `sweep; eliminate -1; simplify; eliminate -1; sweep; eliminate 5;
 /// simplify; resub; fx; resub; sweep; eliminate -1; sweep; full_simplify`.
 pub fn script_algebraic_with(net: &Network, opts: &OptOptions) -> Network {
+    let _span = tels_trace::span("logic", "script_algebraic");
     let mut n = net.compact();
     sweep(&mut n);
     eliminate(&mut n, -1, opts);
@@ -497,6 +504,7 @@ pub fn script_boolean(net: &Network) -> Network {
 /// (which is what makes the one-to-one gate count sensitive to the fanin
 /// restriction, Fig. 10).
 pub fn script_boolean_with(net: &Network, opts: &OptOptions) -> Network {
+    let _span = tels_trace::span("logic", "script_boolean");
     let mut n = script_algebraic_with(net, opts);
     eliminate(&mut n, 10, opts);
     simplify(&mut n);
@@ -516,6 +524,7 @@ pub fn script_boolean_with(net: &Network, opts: &OptOptions) -> Network {
 ///
 /// Panics if `max_fanin < 2`.
 pub fn decompose(net: &Network, max_fanin: usize) -> Network {
+    let _span = tels_trace::span("logic", "decompose");
     assert!(max_fanin >= 2, "decomposition needs fanin of at least 2");
     let mut out = Network::new(net.model().to_string());
     let mut map: HashMap<NodeId, NodeId> = HashMap::new();

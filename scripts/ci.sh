@@ -20,8 +20,33 @@ cargo test --workspace --quiet
 
 echo "==> synth_pipeline smoke (consistency gates)"
 # Single-sample run over the bench suite; the binary asserts that serial
-# and cached synthesis agree on gate and threshold-query counts and that
-# the integer fast path's rational-fallback rate stays bounded.
+# and cached synthesis agree on gate and threshold-query counts, that the
+# integer fast path's rational-fallback rate stays bounded, and that
+# tracing is behaviorally inert (equal gates/queries traced vs. untraced).
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
+
+echo "==> traced synthesis smoke (trace/stats round-trip)"
+# One traced CLI run: the Chrome trace must parse, nest, cover all four
+# instrumented crates, and journal one provenance event per emitted gate;
+# the --stats-json object must carry the machine-readable stats schema.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cat > "$smoke_dir/smoke.blif" <<'BLIF'
+.model ci_smoke
+.inputs a b c d e
+.outputs f g
+.names a b c d f
+11-- 1
+1-1- 1
+---1 1
+.names a c e g
+111 1
+--0 1
+.end
+BLIF
+cargo run --release --quiet -p tels-cli --bin tels -- synth "$smoke_dir/smoke.blif" \
+    --trace "$smoke_dir/trace.json" --stats-json > "$smoke_dir/stats.json"
+cargo run --release --quiet -p tels-cli --bin tels -- trace-check \
+    "$smoke_dir/trace.json" "$smoke_dir/stats.json"
 
 echo "ci.sh: all checks passed"

@@ -13,6 +13,8 @@
 //!   collapsing, splitting, one-to-one baseline, perturbation analysis).
 //! * [`circuits`] — deterministic benchmark circuits standing in for the
 //!   MCNC suite of the paper's evaluation.
+//! * [`trace`] — span-based tracing, the per-gate synthesis provenance
+//!   journal, and Chrome-trace / profile exporters.
 //!
 //! The most common entry points are also re-exported at the top level.
 //!
@@ -54,10 +56,11 @@ pub use tels_circuits as circuits;
 pub use tels_core as core;
 pub use tels_ilp as ilp;
 pub use tels_logic as logic;
+pub use tels_trace as trace;
 
 pub use tels_core::{
     check_threshold, map_one_to_one, map_to_majority, synthesize, synthesize_best,
-    synthesize_with_stats, theorem1_refutes, theorem2_extend, to_verilog, MajorityStats,
+    synthesize_with_stats, theorem1_refutes, theorem2_extend, to_verilog, GatePath, MajorityStats,
     NetworkReport, Realization, SplitHeuristic, SynthError, SynthStats, SynthStrategy, TelsConfig,
     ThresholdGate, ThresholdNetwork,
 };
