@@ -6,18 +6,24 @@
 //!
 //! Two configurations are compared over a mixed circuit suite:
 //!
-//! * **serial**: `use_cache = false`, `num_threads = 1` — the pre-cache
-//!   flow, every threshold query solved by the ILP in its original order;
-//! * **cached**: `use_cache = true`, `num_threads = 4` — the canonical
-//!   cache with the structure pre-filter and the level-parallel warming
-//!   pass (the whole machinery disengages below `parallel_min_nodes`,
-//!   so c17-sized circuits run the serial flow in both columns).
+//! * **serial**: `use_cache = false`, `num_threads = 1`,
+//!   `use_tier0 = false` — the pre-cache, pre-oracle flow, every
+//!   threshold query solved by the ILP in its original order;
+//! * **cached**: `use_cache = true`, `num_threads = 4`, `use_tier0 =
+//!   true` — the full pipeline: the tier-0 truth-table oracle answers
+//!   every small-support query, the canonical cache with the structure
+//!   pre-filter and the level-parallel warming pass covers the rest (the
+//!   cache machinery disengages below `parallel_min_nodes`, so c17-sized
+//!   circuits run the serial flow in both columns).
 //!
 //! Both runs of every circuit are checked functionally equivalent against
 //! the source network before being timed, and the run doubles as a
 //! consistency gate: it fails if any circuit's serial and cached runs
-//! disagree on gate count or threshold-query count, or if the
-//! rational-fallback rate exceeds a sanity bound.
+//! disagree on gate count or threshold-query count, if the tier-0 oracle
+//! changes a single byte of any synthesized netlist (each circuit is also
+//! synthesized with `use_tier0 = false` and the `.tnet` text compared), if
+//! the oracle does not cut the suite's ILP solves by at least half, or if
+//! the rational-fallback rate exceeds a sanity bound.
 //!
 //! A third pass re-runs the suite once untraced and once with `tels-trace`
 //! collecting (spans + provenance journal), asserts that tracing changes
@@ -53,6 +59,8 @@ struct Measurement {
     millis: f64,
     gates: usize,
     stats: SynthStats,
+    /// The synthesized netlist text (bit-identicality gates compare it).
+    tnet: String,
 }
 
 fn measure(net: &Network, config: &TelsConfig, samples: usize) -> Measurement {
@@ -70,14 +78,15 @@ fn measure(net: &Network, config: &TelsConfig, samples: usize) -> Measurement {
         );
         if elapsed < best {
             best = elapsed;
-            result = Some((tn.num_gates(), stats));
+            result = Some((tn.num_gates(), tn.to_tnet(), stats));
         }
     }
-    let (gates, stats) = result.expect("at least one sample");
+    let (gates, tnet, stats) = result.expect("at least one sample");
     Measurement {
         millis: best,
         gates,
         stats,
+        tnet,
     }
 }
 
@@ -138,6 +147,9 @@ fn measure_trace_overhead(suite: &[(String, Network, TelsConfig)]) -> (f64, f64)
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let samples = if quick { 1 } else { SAMPLES };
+    // Build the tier-0 oracle before any clock starts: its one-time
+    // construction cost must not be charged to the first circuit.
+    tels_core::prewarm_tier0();
 
     // (name, network, ψ): the default ψ = 3 plus a few ψ = 5 entries,
     // where wider unate covers reach the structure pre-filter.
@@ -186,15 +198,28 @@ fn main() {
     let mut total_int_solves = 0usize;
     let mut total_fallbacks = 0usize;
     let mut total_merged = 0usize;
+    let mut total_tier0_lookups = 0usize;
+    let mut solves_tier0_on = 0usize;
+    let mut solves_tier0_off = 0usize;
+    let mut support_hist = [0u64; tels_core::SolverBreakdown::SUPPORT_BUCKETS];
     println!(
-        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9} {:>8}",
-        "circuit", "serial ms", "cached ms", "speedup", "solves", "hits", "prefilter", "fallbk"
+        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "circuit",
+        "serial ms",
+        "cached ms",
+        "speedup",
+        "solves",
+        "tier0",
+        "hits",
+        "prefilter",
+        "fallbk"
     );
     let mut traced_suite: Vec<(String, Network, TelsConfig)> = Vec::new();
     for (name, net, psi) in &circuits {
         let serial_config = TelsConfig {
             use_cache: false,
             num_threads: 1,
+            use_tier0: false,
             psi: *psi,
             ..TelsConfig::default()
         };
@@ -207,21 +232,38 @@ fn main() {
         let prepared = script_algebraic(net);
         let serial = measure(&prepared, &serial_config, samples);
         let cached = measure(&prepared, &cached_config, samples);
+        // The oracle's bit-identicality contract, checked per circuit: the
+        // cached configuration with tier 0 disabled (untimed, one sample)
+        // must produce byte-for-byte the same netlist.
+        let no_tier0 = measure(
+            &prepared,
+            &TelsConfig {
+                use_tier0: false,
+                ..cached_config.clone()
+            },
+            1,
+        );
+        assert_eq!(
+            cached.tnet, no_tier0.tnet,
+            "{name}: tier 0 changed the synthesized netlist"
+        );
         traced_suite.push((name.clone(), prepared.clone(), cached_config));
         println!(
-            "{:<18} {:>10.2} {:>10.2} {:>7.2}x {:>8} {:>8} {:>9} {:>8}",
+            "{:<18} {:>10.2} {:>10.2} {:>7.2}x {:>8} {:>8} {:>8} {:>9} {:>8}",
             name,
             serial.millis,
             cached.millis,
             serial.millis / cached.millis,
             cached.stats.ilp_solves,
+            cached.stats.solver.tier0_lookups,
             cached.stats.cache_hits,
             cached.stats.prefilter_rejections,
             serial.stats.solver.rational_fallbacks + cached.stats.solver.rational_fallbacks,
         );
         // Consistency gates: both configurations must emit the same gate
         // count and issue the same number of threshold queries (counters
-        // thread-merge and tally identically on both paths).
+        // thread-merge and tally identically on both paths, and tier 0
+        // answers queries without changing which queries are issued).
         assert_eq!(
             serial.gates, cached.gates,
             "{name}: gates_cached != gates_serial"
@@ -230,9 +272,22 @@ fn main() {
             serial.stats.ilp_calls, cached.stats.ilp_calls,
             "{name}: cached and serial runs disagree on threshold-query count"
         );
+        assert!(
+            cached.stats.ilp_solves <= no_tier0.stats.ilp_solves,
+            "{name}: tier 0 increased the ILP solve count"
+        );
         total_serial += serial.millis;
         total_cached += cached.millis;
         total_avoided += cached.stats.ilp_avoided();
+        total_tier0_lookups += cached.stats.solver.tier0_lookups;
+        solves_tier0_on += cached.stats.ilp_solves;
+        solves_tier0_off += no_tier0.stats.ilp_solves;
+        for (bucket, &count) in support_hist
+            .iter_mut()
+            .zip(cached.stats.solver.support_hist.iter())
+        {
+            *bucket += u64::from(count);
+        }
         for m in [&serial, &cached] {
             total_int_solves += m.stats.solver.int_fast_path_solves;
             total_fallbacks += m.stats.solver.rational_fallbacks;
@@ -240,6 +295,16 @@ fn main() {
         }
         rows.push(json_row(name, &serial, &cached));
     }
+
+    // The tentpole acceptance gate: with tier 0 on, the full pipeline must
+    // construct at most half the ILPs the same pipeline needs without it.
+    println!(
+        "tier 0: {total_tier0_lookups} lookups; suite ILP solves {solves_tier0_on} (on) vs          {solves_tier0_off} (off)"
+    );
+    assert!(
+        solves_tier0_on * 2 <= solves_tier0_off,
+        "tier 0 cut ILP solves only from {solves_tier0_off} to {solves_tier0_on} (< 50%)"
+    );
 
     let speedup = total_serial / total_cached;
     let fallback_rate = if total_int_solves + total_fallbacks > 0 {
@@ -261,7 +326,36 @@ fn main() {
          ({overhead_pct:+.1}%)"
     );
 
-    if !quick {
+    if quick {
+        // Quick (CI) mode: regression-gate the oracle against the
+        // committed baseline instead of rewriting it — the suite's solve
+        // count with tier 0 on must stay at most half the committed
+        // tier-0-off count.
+        match std::fs::read_to_string("BENCH_synthesis.json") {
+            Ok(text) => {
+                let committed = tels_trace::json::parse(&text)
+                    .ok()
+                    .and_then(|doc| doc.get("ilp_solves_tier0_off").and_then(Json::as_u64));
+                match committed {
+                    Some(committed_off) => assert!(
+                        solves_tier0_on as u64 * 2 <= committed_off,
+                        "suite ILP solves {solves_tier0_on} not halved vs committed \
+                         tier-0-off baseline {committed_off}"
+                    ),
+                    None => eprintln!(
+                        "synth_pipeline: committed BENCH_synthesis.json predates the \
+                         tier-0 keys; skipping the solve-reduction gate"
+                    ),
+                }
+            }
+            Err(e) => eprintln!("synth_pipeline: no committed BENCH_synthesis.json ({e})"),
+        }
+    } else {
+        let reduction = if solves_tier0_off > 0 {
+            1.0 - solves_tier0_on as f64 / solves_tier0_off as f64
+        } else {
+            0.0
+        };
         let doc = Json::obj([
             ("benchmark", Json::str("synth_pipeline")),
             (
@@ -269,6 +363,7 @@ fn main() {
                 Json::obj([
                     ("use_cache", Json::Bool(false)),
                     ("num_threads", Json::Num(1.0)),
+                    ("use_tier0", Json::Bool(false)),
                 ]),
             ),
             (
@@ -276,12 +371,21 @@ fn main() {
                 Json::obj([
                     ("use_cache", Json::Bool(true)),
                     ("num_threads", Json::Num(4.0)),
+                    ("use_tier0", Json::Bool(true)),
                 ]),
             ),
             ("total_serial_ms", Json::Num(total_serial)),
             ("total_cached_ms", Json::Num(total_cached)),
             ("speedup", Json::Num(speedup)),
             ("ilp_avoided", Json::Num(total_avoided as f64)),
+            ("tier0_lookups", Json::Num(total_tier0_lookups as f64)),
+            ("ilp_solves_tier0_on", Json::Num(solves_tier0_on as f64)),
+            ("ilp_solves_tier0_off", Json::Num(solves_tier0_off as f64)),
+            ("ilp_solve_reduction", Json::Num(reduction)),
+            (
+                "query_support_hist",
+                Json::Arr(support_hist.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
             ("chow_merged_vars", Json::Num(total_merged as f64)),
             ("int_fast_path_solves", Json::Num(total_int_solves as f64)),
             ("rational_fallbacks", Json::Num(total_fallbacks as f64)),

@@ -44,7 +44,7 @@ const USAGE: &str = "\
 usage: tels <command> [args]
   synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
          [--weight-cap N] [--threads N] [--no-cache] [--no-factor]
-         [--no-theorem1] [--no-int-solver] [--best]
+         [--no-theorem1] [--no-int-solver] [--no-tier0] [--best]
          [--trace out.json] [--profile] [--stats-json]
   map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
   sim    <file.blif|file.tnet> <bits...>
@@ -135,6 +135,7 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
             "--no-factor" => out.factor = false,
             "--no-theorem1" => out.config.use_theorem1 = false,
             "--no-int-solver" => out.config.use_int_solver = false,
+            "--no-tier0" => out.config.use_tier0 = false,
             "--best" => out.best = true,
             "--trace" => {
                 out.trace = Some(
@@ -218,8 +219,9 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
                     stats.theorem2_combines
                 );
                 eprintln!(
-                    "tels: {} ILP solves, {} cache hits, {} pre-filter rejections ({} solves avoided)",
+                    "tels: {} ILP solves, {} tier-0 lookups, {} cache hits, {} pre-filter rejections ({} solves avoided)",
                     stats.ilp_solves,
+                    stats.solver.tier0_lookups,
                     stats.cache_hits,
                     stats.prefilter_rejections,
                     stats.ilp_avoided()
@@ -315,6 +317,12 @@ fn cmd_trace_check(args: &[String]) -> Result<(), String> {
         for key in ["ilp_calls", "ilp_solves", "cache_hits", "solver"] {
             if run.get(key).is_none() {
                 return Err(format!("{stats_path}: missing key `stats.{key}`"));
+            }
+        }
+        let solver = run.get("solver").expect("checked above");
+        for key in ["tier0_lookups", "support_hist"] {
+            if solver.get(key).is_none() {
+                return Err(format!("{stats_path}: missing key `stats.solver.{key}`"));
             }
         }
         let gates = stats

@@ -222,9 +222,13 @@ fn synth_trace_profile_and_trace_check() {
     let stats = dir.join("sample_stats.json");
     fs::write(&blif, SAMPLE).unwrap();
 
+    // --no-tier0 so the run reaches the ILP layer: with the oracle on,
+    // every query of this small circuit is a truth-table lookup and no
+    // "ilp" category events would exist for the assertions below.
     let o = tels(&[
         "synth",
         blif.to_str().unwrap(),
+        "--no-tier0",
         "--trace",
         trace.to_str().unwrap(),
         "--profile",
@@ -270,6 +274,43 @@ fn synth_trace_profile_and_trace_check() {
     ]);
     assert!(check.status.success(), "{}", stderr(&check));
     assert!(stdout(&check).contains("trace-check: ok"));
+}
+
+#[test]
+fn synth_tier0_matches_ilp_path_byte_for_byte() {
+    let dir = workdir("tier0");
+    let blif = dir.join("sample.blif");
+    let with = dir.join("with_tier0.tnet");
+    let without = dir.join("without_tier0.tnet");
+    fs::write(&blif, SAMPLE).unwrap();
+
+    let on = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "-o",
+        with.to_str().unwrap(),
+    ]);
+    assert!(on.status.success(), "{}", stderr(&on));
+    // The default run reports its oracle traffic ...
+    assert!(
+        stderr(&on).contains("tier-0 lookups"),
+        "missing tier-0 stderr report: {}",
+        stderr(&on)
+    );
+    let off = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "--no-tier0",
+        "-o",
+        without.to_str().unwrap(),
+    ]);
+    assert!(off.status.success(), "{}", stderr(&off));
+    // ... and synthesizes exactly the network the ILP path does.
+    assert_eq!(
+        fs::read_to_string(&with).unwrap(),
+        fs::read_to_string(&without).unwrap(),
+        "tier 0 changed the synthesized network"
+    );
 }
 
 #[test]

@@ -9,9 +9,10 @@
 //! single cache entry, and the stored canonical realization is remapped
 //! exactly onto each query's variables and phases.
 //!
-//! The map is sharded behind [`std::sync::Mutex`]es so the cache-warming
+//! The map is sharded behind [`std::sync::RwLock`]s so the cache-warming
 //! worker threads and the serial emission pass can share it without a
-//! global lock. Entries are decided *in canonical space*, so the value
+//! global lock, and the read-heavy lookup path never serializes readers
+//! against each other. Entries are decided *in canonical space*, so the value
 //! stored under a key is a pure function of the key (and the run's
 //! [`TelsConfig`](crate::TelsConfig)) — concurrent insert races are benign
 //! and the synthesized network is independent of thread count.
@@ -19,7 +20,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 /// Number of independently locked shards.
 const SHARDS: usize = 16;
@@ -44,7 +45,7 @@ pub struct CanonicalRealization {
 /// be shared across configurations.
 #[derive(Debug)]
 pub struct RealizationCache {
-    shards: Vec<Mutex<HashMap<Vec<u64>, Option<CanonicalRealization>>>>,
+    shards: Vec<RwLock<HashMap<Vec<u64>, Option<CanonicalRealization>>>>,
 }
 
 impl Default for RealizationCache {
@@ -57,11 +58,11 @@ impl RealizationCache {
     /// An empty cache.
     pub fn new() -> RealizationCache {
         RealizationCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         }
     }
 
-    fn shard(&self, key: &[u64]) -> &Mutex<HashMap<Vec<u64>, Option<CanonicalRealization>>> {
+    fn shard(&self, key: &[u64]) -> &RwLock<HashMap<Vec<u64>, Option<CanonicalRealization>>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[h.finish() as usize % SHARDS]
@@ -72,7 +73,7 @@ impl RealizationCache {
     pub fn lookup(&self, key: &[u64]) -> Option<Option<CanonicalRealization>> {
         let entry = self
             .shard(key)
-            .lock()
+            .read()
             .expect("cache shard poisoned")
             .get(key)
             .cloned();
@@ -89,7 +90,7 @@ impl RealizationCache {
     pub fn insert(&self, key: Vec<u64>, value: Option<CanonicalRealization>) {
         tels_trace::instant("cache", "insert", Vec::new());
         self.shard(&key)
-            .lock()
+            .write()
             .expect("cache shard poisoned")
             .insert(key, value);
     }
@@ -98,7 +99,7 @@ impl RealizationCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
     }
 

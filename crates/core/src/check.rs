@@ -30,13 +30,14 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use tels_ilp::{Cmp, Problem, Status};
-use tels_logic::{Cube, Polarity, Sop, Var};
+use tels_logic::{Cube, Polarity, SignatureScratch, Sop, TruthTable, Var};
 
 use crate::cache::{CanonicalRealization, RealizationCache};
 use crate::chow::{self, ChowAnalysis, Structure};
 use crate::config::TelsConfig;
 use crate::error::SynthError;
 use crate::theorems::theorem1_refutes;
+use crate::tier0;
 
 /// Per-tier breakdown of where the threshold-check solver spent its work.
 ///
@@ -49,6 +50,9 @@ use crate::theorems::theorem1_refutes;
 /// 2-monotonicity/Chow truth-table pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverBreakdown {
+    /// Queries answered by the tier-0 truth-table oracle (hit or
+    /// definitive miss) — each one is an ILP that never got built.
+    pub tier0_lookups: usize,
     /// ILP weight columns eliminated by merging equal-Chow variables.
     pub chow_merged_vars: usize,
     /// ILP solves that ran entirely on the fraction-free integer simplex.
@@ -56,23 +60,38 @@ pub struct SolverBreakdown {
     /// ILP solves where at least one LP relaxation ran on the
     /// exact-rational simplex.
     pub rational_fallbacks: usize,
+    /// Wall time of tier-0 lookups (truth-table pass + table probe).
+    pub tier0_ns: u64,
     /// Wall time of the structure pass (2-monotonicity + Chow parameters).
     pub structure_ns: u64,
     /// Wall time of ILP solves decided entirely on the integer fast path.
     pub int_solve_ns: u64,
     /// Wall time of ILP solves that touched the rational simplex.
     pub rational_solve_ns: u64,
+    /// Post-merge query support sizes: bucket `k` counts queries whose
+    /// positive form had `k` variables, with the last bucket collecting
+    /// everything at or past [`Self::SUPPORT_BUCKETS`]` − 1`.
+    pub support_hist: [u32; Self::SUPPORT_BUCKETS],
 }
 
 impl SolverBreakdown {
+    /// Buckets of [`Self::support_hist`]: supports `0..=11` exactly, 12+
+    /// collapsed (11 is the structure pass's truth-table limit).
+    pub const SUPPORT_BUCKETS: usize = 13;
+
     /// Accumulates another breakdown into this one (thread-merge).
     pub fn merge(&mut self, other: &SolverBreakdown) {
+        self.tier0_lookups += other.tier0_lookups;
         self.chow_merged_vars += other.chow_merged_vars;
         self.int_fast_path_solves += other.int_fast_path_solves;
         self.rational_fallbacks += other.rational_fallbacks;
+        self.tier0_ns += other.tier0_ns;
         self.structure_ns += other.structure_ns;
         self.int_solve_ns += other.int_solve_ns;
         self.rational_solve_ns += other.rational_solve_ns;
+        for (a, b) in self.support_hist.iter_mut().zip(other.support_hist.iter()) {
+            *a += b;
+        }
     }
 
     /// Total ILP solves that ran (either tier).
@@ -85,6 +104,17 @@ impl SolverBreakdown {
     pub fn to_json(&self) -> tels_trace::json::Json {
         use tels_trace::json::Json;
         Json::obj([
+            ("tier0_lookups", Json::Num(self.tier0_lookups as f64)),
+            ("tier0_ns", Json::Num(self.tier0_ns as f64)),
+            (
+                "support_hist",
+                Json::Arr(
+                    self.support_hist
+                        .iter()
+                        .map(|&n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
             ("chow_merged_vars", Json::Num(self.chow_merged_vars as f64)),
             (
                 "int_fast_path_solves",
@@ -186,19 +216,20 @@ fn timed_structure(positive: &Sop, order: &[Var], solver: &mut SolverBreakdown) 
     structure
 }
 
-/// [`check_threshold`], also reporting whether the ILP solver actually ran
-/// (`false` when a constant, a binate rejection, or the 2-monotonicity
-/// pre-filter decided the query). Solver-tier counters accumulate into
-/// `solver`.
+/// [`check_threshold`], also reporting *how* the query was decided
+/// ([`CheckVia::Trivial`] for constants and binate rejections,
+/// [`CheckVia::Tier0`] for oracle answers, [`CheckVia::Prefilter`] for
+/// 2-monotonicity rejections, [`CheckVia::Ilp`] for actual solves).
+/// Solver-tier counters accumulate into `solver`.
 pub(crate) fn check_threshold_counted(
     f: &Sop,
     config: &TelsConfig,
     solver: &mut SolverBreakdown,
-) -> Result<(Option<Realization>, bool), SynthError> {
+) -> Result<(Option<Realization>, CheckVia), SynthError> {
     let mut span = tels_trace::span("core", "threshold_check");
     let result = check_threshold_counted_impl(f, config, solver);
-    if let Ok((_, solved)) = &result {
-        span.arg("via", if *solved { "ilp" } else { "trivial" });
+    if let Ok((_, via)) = &result {
+        span.arg("via", via.as_str());
     }
     result
 }
@@ -207,23 +238,66 @@ fn check_threshold_counted_impl(
     f: &Sop,
     config: &TelsConfig,
     solver: &mut SolverBreakdown,
-) -> Result<(Option<Realization>, bool), SynthError> {
+) -> Result<(Option<Realization>, CheckVia), SynthError> {
     if f.is_zero() {
-        return Ok((Some(Realization::constant(false, config)), false));
+        return Ok((
+            Some(Realization::constant(false, config)),
+            CheckVia::Trivial,
+        ));
     }
     if f.is_one() {
-        return Ok((Some(Realization::constant(true, config)), false));
+        return Ok((Some(Realization::constant(true, config)), CheckVia::Trivial));
     }
     let Some(pf) = positive_form(f) else {
-        return Ok((None, false));
+        return Ok((None, CheckVia::Trivial));
     };
+    record_support(&pf, solver);
+    if let Some(answer) = tier0_answer(&pf, config, solver) {
+        return Ok((answer, CheckVia::Tier0));
+    }
     let chow = match timed_structure(&pf.positive, &pf.support, solver) {
-        Structure::NotThreshold => return Ok((None, false)),
+        Structure::NotThreshold => return Ok((None, CheckVia::Prefilter)),
         Structure::TwoMonotonic(a) => Some(a),
         Structure::Unknown => None,
     };
     let solved = solve_positive(&pf.positive, &pf.support, chow.as_ref(), config, solver)?;
-    Ok((solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)), true))
+    Ok((
+        solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)),
+        CheckVia::Ilp,
+    ))
+}
+
+/// Buckets one post-merge query support size into the solver histogram.
+fn record_support(pf: &PositiveForm, solver: &mut SolverBreakdown) {
+    let bucket = pf.support.len().min(SolverBreakdown::SUPPORT_BUCKETS - 1);
+    solver.support_hist[bucket] += 1;
+}
+
+/// Decides the query through the tier-0 oracle when the configuration and
+/// support allow it: one truth-table pass — the same pass the Chow
+/// analysis would have made, now doubling as the oracle key — then a
+/// table probe. Returns `None` when tier 0 does not apply; `Some(None)`
+/// is a definitive "not a threshold function".
+fn tier0_answer(
+    pf: &PositiveForm,
+    config: &TelsConfig,
+    solver: &mut SolverBreakdown,
+) -> Option<Option<Realization>> {
+    let k = pf.support.len();
+    if !config.tier0_active() || !(1..=tier0::MAX_VARS).contains(&k) {
+        return None;
+    }
+    let t0 = Instant::now();
+    let mut span = tels_trace::span("core", "tier0_lookup");
+    let key = TruthTable::from_sop(&pf.positive, &pf.support).as_u32();
+    let entry = tier0::lookup(k, key);
+    span.arg("support", k as u64);
+    solver.tier0_lookups += 1;
+    solver.tier0_ns += t0.elapsed().as_nanos() as u64;
+    Some(entry.map(|e| {
+        let wpos: Vec<i64> = e.weights[..k].iter().map(|&w| i64::from(w)).collect();
+        back_substitute(&wpos, i64::from(e.threshold), pf)
+    }))
 }
 
 /// How a [`check_threshold_cached`] query was decided (statistics
@@ -232,6 +306,9 @@ fn check_threshold_counted_impl(
 pub(crate) enum CheckVia {
     /// Constant or syntactically binate — decided before any heavy work.
     Trivial,
+    /// Answered by the tier-0 truth-table oracle (hit or definitive
+    /// miss); never touches the cache or the ILP.
+    Tier0,
     /// Served from the canonical realization cache.
     CacheHit,
     /// Refuted by the Theorem-1 substitution filter (miss path).
@@ -247,6 +324,7 @@ impl CheckVia {
     pub(crate) fn as_str(self) -> &'static str {
         match self {
             CheckVia::Trivial => "trivial",
+            CheckVia::Tier0 => "tier0",
             CheckVia::CacheHit => "cache-hit",
             CheckVia::Theorem1 => "theorem1",
             CheckVia::Prefilter => "prefilter",
@@ -257,21 +335,25 @@ impl CheckVia {
 
 /// [`check_threshold`] through the canonical realization cache.
 ///
-/// On a miss the query is decided *in canonical space* — the Theorem-1
-/// filter (when enabled), the 2-monotonicity pre-filter, then the ILP over
-/// the canonical cover — and the canonical answer is memoized. Hit or
-/// miss, the caller receives the canonical answer remapped onto the
-/// query's variables and phases, so the result depends only on the
-/// function's canonical form, never on which query populated the cache or
-/// on thread scheduling.
+/// Small-support queries are answered by the tier-0 oracle first (when
+/// [`TelsConfig::tier0_active`]) and never touch the cache. On a miss the
+/// query is decided *in canonical space* — the Theorem-1 filter (when
+/// enabled), the 2-monotonicity pre-filter, then the ILP over the
+/// canonical cover — and the canonical answer is memoized. Hit or miss,
+/// the caller receives the canonical answer remapped onto the query's
+/// variables and phases, so the result depends only on the function's
+/// canonical form, never on which query populated the cache or on thread
+/// scheduling. `scratch` carries the canonicalization buffers, reused
+/// across calls by hot loops.
 pub(crate) fn check_threshold_cached(
     f: &Sop,
     config: &TelsConfig,
     cache: &RealizationCache,
     solver: &mut SolverBreakdown,
+    scratch: &mut SignatureScratch,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
     let mut span = tels_trace::span("core", "threshold_check");
-    let result = check_threshold_cached_impl(f, config, cache, solver);
+    let result = check_threshold_cached_impl(f, config, cache, solver, scratch);
     if let Ok((_, via)) = &result {
         span.arg("via", via.as_str());
     }
@@ -283,6 +365,7 @@ fn check_threshold_cached_impl(
     config: &TelsConfig,
     cache: &RealizationCache,
     solver: &mut SolverBreakdown,
+    scratch: &mut SignatureScratch,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
     if f.is_zero() {
         return Ok((
@@ -296,7 +379,14 @@ fn check_threshold_cached_impl(
     let Some(pf) = positive_form(f) else {
         return Ok((None, CheckVia::Trivial));
     };
-    let Some((key, order)) = pf.positive.canonical_signature() else {
+    record_support(&pf, solver);
+    // Tier 0 bypasses the cache entirely: oracle lookups are cheaper than
+    // canonicalize-hash-probe, so the cache only ever stores
+    // large-support answers.
+    if let Some(answer) = tier0_answer(&pf, config, solver) {
+        return Ok((answer, CheckVia::Tier0));
+    }
+    if !pf.positive.canonical_signature_into(scratch) {
         // Support too wide for a 64-bit canonical key: solve uncached
         // (such supports are also past the structure pass's limit).
         let chow = match timed_structure(&pf.positive, &pf.support, solver) {
@@ -309,18 +399,20 @@ fn check_threshold_cached_impl(
             solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)),
             CheckVia::Ilp,
         ));
-    };
-    if let Some(entry) = cache.lookup(&key) {
+    }
+    let (key, order) = (scratch.key(), scratch.order());
+    if let Some(entry) = cache.lookup(key) {
         return Ok((
-            realize_canonical(entry.as_ref(), &order, &pf),
+            realize_canonical(entry.as_ref(), order, &pf),
             CheckVia::CacheHit,
         ));
     }
     // Miss. Theorem 1 is a sound refutation (it never rejects a true
     // threshold function), so its verdict may be memoized under the
-    // canonical key as well.
+    // canonical key as well. Keys are copied out of the scratch only at
+    // the (rare) insert points.
     if config.use_theorem1 && theorem1_refutes(f) {
-        cache.insert(key, None);
+        cache.insert(key.to_vec(), None);
         return Ok((None, CheckVia::Theorem1));
     }
     let k = key[0] as usize;
@@ -334,7 +426,7 @@ fn check_threshold_cached_impl(
     }));
     let chow = match timed_structure(&canon, &canon_order, solver) {
         Structure::NotThreshold => {
-            cache.insert(key, None);
+            cache.insert(key.to_vec(), None);
             return Ok((None, CheckVia::Prefilter));
         }
         Structure::TwoMonotonic(a) => Some(a),
@@ -342,8 +434,8 @@ fn check_threshold_cached_impl(
     };
     let entry = solve_positive(&canon, &canon_order, chow.as_ref(), config, solver)?
         .map(|(weights, threshold)| CanonicalRealization { weights, threshold });
-    let result = realize_canonical(entry.as_ref(), &order, &pf);
-    cache.insert(key, entry);
+    let result = realize_canonical(entry.as_ref(), order, &pf);
+    cache.insert(key.to_vec(), entry);
     Ok((result, CheckVia::Ilp))
 }
 
@@ -753,12 +845,18 @@ mod tests {
             chow::analyze(&pf.positive, &pf.support),
             Structure::NotThreshold
         ));
-        // The counted path therefore reports that no solve happened.
+        // The counted path therefore reports that no solve happened
+        // (tier 0 off so the pre-filter, not the oracle, answers).
+        let cfg = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
         let mut solver = SolverBreakdown::default();
-        let (r, solved) = check_threshold_counted(&f, &TelsConfig::default(), &mut solver).unwrap();
+        let (r, via) = check_threshold_counted(&f, &cfg, &mut solver).unwrap();
         assert_eq!(r, None);
-        assert!(!solved);
+        assert_eq!(via, CheckVia::Prefilter);
         assert_eq!(solver.ilp_solves(), 0);
+        assert_eq!(solver.tier0_lookups, 0);
     }
 
     #[test]
@@ -796,10 +894,16 @@ mod tests {
             .collect();
         let refs: Vec<&[(u32, bool)]> = cubes.iter().map(Vec::as_slice).collect();
         let f = sop(&refs);
+        // Tier 0 off: this test exercises the Chow column merging of the
+        // ILP path, which the 5-var oracle would otherwise answer first.
+        let cfg = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
         let mut solver = SolverBreakdown::default();
-        let (r, solved) = check_threshold_counted(&f, &TelsConfig::default(), &mut solver).unwrap();
+        let (r, via) = check_threshold_counted(&f, &cfg, &mut solver).unwrap();
         let r = r.expect("majority-of-5 is threshold");
-        assert!(solved);
+        assert_eq!(via, CheckVia::Ilp);
         validate(&f, &r);
         let weights: Vec<i64> = r.weights.iter().map(|&(_, w)| w).collect();
         assert!(weights.windows(2).all(|p| p[0] == p[1]));
@@ -825,9 +929,15 @@ mod tests {
 
     #[test]
     fn rational_oracle_mode_matches_tiered() {
-        let tiered_cfg = TelsConfig::default();
+        // Tier 0 off on both sides: the point is comparing the two ILP
+        // backends, which the truth-table oracle would otherwise preempt.
+        let tiered_cfg = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
         let oracle_cfg = TelsConfig {
             use_int_solver: false,
+            use_tier0: false,
             ..TelsConfig::default()
         };
         for f in [
@@ -852,7 +962,12 @@ mod tests {
     #[test]
     fn cached_path_matches_uncached() {
         use crate::cache::RealizationCache;
-        let cfg = TelsConfig::default();
+        // Tier 0 off so these small-support queries actually reach the
+        // cache (the oracle bypasses it entirely).
+        let cfg = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
         let cache = RealizationCache::new();
         let fns = [
             sop(&[&[(0, true), (1, true)]]),
@@ -864,10 +979,13 @@ mod tests {
             sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]), // binate
         ];
         let mut solver = SolverBreakdown::default();
+        let mut scratch = SignatureScratch::new();
         for f in &fns {
             let direct = check_threshold(f, &cfg).unwrap();
-            let (first, _) = check_threshold_cached(f, &cfg, &cache, &mut solver).unwrap();
-            let (second, _) = check_threshold_cached(f, &cfg, &cache, &mut solver).unwrap();
+            let (first, _) =
+                check_threshold_cached(f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            let (second, _) =
+                check_threshold_cached(f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
             // Hit must equal miss bit-for-bit, and agree with the plain
             // checker on the decision.
             assert_eq!(first, second, "{f}");
@@ -881,17 +999,24 @@ mod tests {
     #[test]
     fn cache_hits_across_renamings_and_phases() {
         use crate::cache::RealizationCache;
-        let cfg = TelsConfig::default();
+        // Tier 0 off so the cache (not the oracle) answers these queries.
+        let cfg = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
         let cache = RealizationCache::new();
         let mut solver = SolverBreakdown::default();
+        let mut scratch = SignatureScratch::new();
         // x₁x₂ ∨ x₁x₃ populates the cache ...
         let a = sop(&[&[(1, true), (2, true)], &[(1, true), (3, true)]]);
-        let (ra, via_a) = check_threshold_cached(&a, &cfg, &cache, &mut solver).unwrap();
+        let (ra, via_a) =
+            check_threshold_cached(&a, &cfg, &cache, &mut solver, &mut scratch).unwrap();
         assert_eq!(via_a, CheckVia::Ilp);
         // ... and x̄₅x₇ ∨ x̄₅x₉ — the same function up to renaming and
         // phase — must hit and remap exactly.
         let b = sop(&[&[(5, false), (7, true)], &[(5, false), (9, true)]]);
-        let (rb, via_b) = check_threshold_cached(&b, &cfg, &cache, &mut solver).unwrap();
+        let (rb, via_b) =
+            check_threshold_cached(&b, &cfg, &cache, &mut solver, &mut scratch).unwrap();
         assert_eq!(via_b, CheckVia::CacheHit);
         let (ra, rb) = (ra.unwrap(), rb.unwrap());
         validate(&b, &rb);
@@ -903,25 +1028,34 @@ mod tests {
     #[test]
     fn cached_non_threshold_is_remembered() {
         use crate::cache::RealizationCache;
-        let cfg = TelsConfig::default();
+        // Tier 0 off so the Theorem-1/pre-filter/memoization chain runs.
+        let cfg = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
         let cache = RealizationCache::new();
         let mut solver = SolverBreakdown::default();
+        let mut scratch = SignatureScratch::new();
         let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
-        let (r1, via1) = check_threshold_cached(&f, &cfg, &cache, &mut solver).unwrap();
+        let (r1, via1) =
+            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
         assert_eq!(r1, None);
         // Theorem 1 (enabled by default) refutes this one before the
         // pre-filter gets a look.
         assert_eq!(via1, CheckVia::Theorem1);
-        let (r2, via2) = check_threshold_cached(&f, &cfg, &cache, &mut solver).unwrap();
+        let (r2, via2) =
+            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
         assert_eq!(r2, None);
         assert_eq!(via2, CheckVia::CacheHit);
         // With Theorem 1 disabled, the 2-monotonicity pre-filter catches it.
         let cfg2 = TelsConfig {
             use_theorem1: false,
+            use_tier0: false,
             ..TelsConfig::default()
         };
         let cache2 = RealizationCache::new();
-        let (_, via3) = check_threshold_cached(&f, &cfg2, &cache2, &mut solver).unwrap();
+        let (_, via3) =
+            check_threshold_cached(&f, &cfg2, &cache2, &mut solver, &mut scratch).unwrap();
         assert_eq!(via3, CheckVia::Prefilter);
     }
 
@@ -944,5 +1078,114 @@ mod tests {
             }
         }
         assert_eq!(count, 104);
+    }
+
+    /// The minimized cover of an arbitrary `n`-variable function given by
+    /// its truth-table bits (minterm `m` is ON iff bit `m` is set).
+    fn sop_of_bits(n: u32, bits: u32) -> Sop {
+        let cubes: Vec<Cube> = (0..1u32 << n)
+            .filter(|m| bits >> m & 1 != 0)
+            .map(|m| Cube::from_literals((0..n).map(|i| (Var(i), m >> i & 1 != 0))))
+            .collect();
+        Sop::from_cubes(cubes).minimize()
+    }
+
+    #[test]
+    fn tier0_answers_small_queries_identically() {
+        let on = TelsConfig::default();
+        let off = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
+        assert!(on.tier0_active());
+        for f in [
+            sop(&[&[(0, true), (1, true)]]),
+            sop(&[&[(0, true)], &[(1, true)], &[(2, true)]]),
+            sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]),
+            sop(&[&[(0, true)], &[(1, false)]]),
+            sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]),
+        ] {
+            let mut s_on = SolverBreakdown::default();
+            let mut s_off = SolverBreakdown::default();
+            let (r_on, via) = check_threshold_counted(&f, &on, &mut s_on).unwrap();
+            let (r_off, _) = check_threshold_counted(&f, &off, &mut s_off).unwrap();
+            // Same Option<Realization>, bit for bit: same weights, same
+            // threshold, same variable order.
+            assert_eq!(r_on, r_off, "{f}");
+            assert_eq!(via, CheckVia::Tier0, "{f}");
+            assert_eq!(s_on.tier0_lookups, 1, "{f}");
+            assert_eq!(s_on.ilp_solves(), 0, "oracle path must not solve: {f}");
+            assert_eq!(s_off.tier0_lookups, 0, "{f}");
+            if let Some(r) = &r_on {
+                validate(&f, r);
+            }
+        }
+    }
+
+    #[test]
+    fn tier0_bypasses_the_cache() {
+        use crate::cache::RealizationCache;
+        let cfg = TelsConfig::default();
+        let cache = RealizationCache::new();
+        let mut solver = SolverBreakdown::default();
+        let mut scratch = SignatureScratch::new();
+        let f = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
+        let (r1, via1) =
+            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+        assert_eq!(via1, CheckVia::Tier0);
+        assert!(r1.is_some());
+        assert!(
+            cache.is_empty(),
+            "small-support answers must not be memoized"
+        );
+        // Second query re-resolves through the oracle, identically.
+        let (r2, via2) =
+            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+        assert_eq!(via2, CheckVia::Tier0);
+        assert_eq!(r1, r2);
+        assert_eq!(solver.tier0_lookups, 2);
+    }
+
+    /// Differential sweep of the *cached* path over 4-variable functions:
+    /// tier 0 on (oracle, cache bypassed) vs off (Theorem 1 + pre-filter +
+    /// ILP + cache) must agree bit for bit. Debug builds sample the space;
+    /// release builds (and `--ignored` runs) sweep all 65,536.
+    fn cached_tier0_differential(stride: u32) {
+        use crate::cache::RealizationCache;
+        let on = TelsConfig::default();
+        let off = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
+        let cache_on = RealizationCache::new();
+        let cache_off = RealizationCache::new();
+        let mut s_on = SolverBreakdown::default();
+        let mut s_off = SolverBreakdown::default();
+        let mut scratch = SignatureScratch::new();
+        for bits in (0u32..=u16::MAX as u32).step_by(stride as usize) {
+            let f = sop_of_bits(4, bits);
+            let (r_on, _) =
+                check_threshold_cached(&f, &on, &cache_on, &mut s_on, &mut scratch).unwrap();
+            let (r_off, _) =
+                check_threshold_cached(&f, &off, &cache_off, &mut s_off, &mut scratch).unwrap();
+            assert_eq!(r_on, r_off, "tt {bits:#06x}: {f}");
+            if let Some(r) = &r_on {
+                validate(&f, r);
+            }
+        }
+        assert!(s_on.tier0_lookups > 0);
+    }
+
+    #[test]
+    fn cached_tier0_differential_sampled() {
+        // 331 is odd and coprime to 2^16, so the sample walks the whole
+        // ring rather than an aligned sublattice.
+        cached_tier0_differential(331);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "exhaustive sweep; run in release")]
+    fn cached_tier0_differential_exhaustive() {
+        cached_tier0_differential(1);
     }
 }

@@ -69,7 +69,19 @@ pub(crate) fn analyze(positive: &Sop, order: &[Var]) -> Structure {
     if !(2..=STRUCTURE_VAR_LIMIT).contains(&k) {
         return Structure::Unknown;
     }
-    let tt = TruthTable::from_sop(positive, order);
+    analyze_table(&TruthTable::from_sop(positive, order))
+}
+
+/// [`analyze`] on a prebuilt truth table, so the checker can share one
+/// table pass between this analysis and the tier-0 oracle key.
+///
+/// The caller is responsible for the `2..=`[`STRUCTURE_VAR_LIMIT`] support
+/// gate; tables outside that range return [`Structure::Unknown`].
+pub(crate) fn analyze_table(tt: &TruthTable) -> Structure {
+    let k = tt.num_vars() as usize;
+    if !(2..=STRUCTURE_VAR_LIMIT).contains(&k) {
+        return Structure::Unknown;
+    }
     // 2-monotonicity: for every pair, one of the swapped cofactors must
     // dominate the other pointwise.
     for i in 0..k {

@@ -120,6 +120,17 @@ pub struct TelsConfig {
     /// onto the rational oracle — the differential-testing and
     /// field-debugging mode.
     pub use_int_solver: bool,
+    /// Answer small-support queries from the tier-0 truth-table oracle: a
+    /// lazily built enumeration of every threshold function of up to 5
+    /// variables, keyed by truth table and storing the same minimal
+    /// realization the ILP would return. Queries it covers never construct
+    /// an ILP *and never touch the realization cache* — the cache only
+    /// stores large-support answers. The oracle tabulates the paper's
+    /// default margins, so it silently disengages (see
+    /// [`Self::tier0_active`]) for non-default `delta_on`/`delta_off`, a
+    /// `weight_cap`, or non-default ILP limits; results are bit-identical
+    /// either way.
+    pub use_tier0: bool,
 }
 
 impl Default for TelsConfig {
@@ -137,6 +148,7 @@ impl Default for TelsConfig {
             num_threads: 0,
             parallel_min_nodes: 8,
             use_int_solver: true,
+            use_tier0: true,
         }
     }
 }
@@ -175,6 +187,22 @@ impl TelsConfig {
         if let Some(cap) = self.weight_cap {
             assert!(cap >= 1, "weight cap must be at least 1");
         }
+    }
+
+    /// Whether the tier-0 truth-table oracle may answer queries under this
+    /// configuration.
+    ///
+    /// The oracle tabulates realizations for the paper's default margins
+    /// (`δ_on = 0`, `δ_off = 1`), no weight cap, and unlimited ILP effort;
+    /// any other setting changes which realizations are feasible or
+    /// optimal, so those runs bypass tier 0 entirely and behave exactly as
+    /// before this tier existed.
+    pub fn tier0_active(&self) -> bool {
+        self.use_tier0
+            && self.delta_on == 0
+            && self.delta_off == 1
+            && self.weight_cap.is_none()
+            && self.ilp_limits == Limits::default()
     }
 
     /// The number of warming worker threads this configuration resolves to:
@@ -220,6 +248,35 @@ mod tests {
             ..TelsConfig::default()
         };
         assert_eq!(absurd.effective_threads(), 256);
+    }
+
+    #[test]
+    fn tier0_gating() {
+        assert!(TelsConfig::default().tier0_active());
+        assert!(TelsConfig::classical().tier0_active());
+        let off = TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        };
+        assert!(!off.tier0_active());
+        let margins = TelsConfig {
+            delta_on: 1,
+            ..TelsConfig::default()
+        };
+        assert!(!margins.tier0_active());
+        let capped = TelsConfig {
+            weight_cap: Some(4),
+            ..TelsConfig::default()
+        };
+        assert!(!capped.tier0_active());
+        let limited = TelsConfig {
+            ilp_limits: Limits {
+                max_nodes: 7,
+                ..Limits::default()
+            },
+            ..TelsConfig::default()
+        };
+        assert!(!limited.tier0_active());
     }
 
     #[test]

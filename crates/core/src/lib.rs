@@ -62,6 +62,7 @@ mod qca;
 mod split;
 mod synth;
 mod theorems;
+mod tier0;
 mod tnet;
 mod verilog;
 
@@ -74,5 +75,6 @@ pub use qca::{map_to_majority, MajorityStats};
 pub use split::{split_binate, split_cubes_k, split_unate, split_unate_with, UnateSplit};
 pub use synth::{synthesize, synthesize_with_stats, GatePath, SynthStats};
 pub use theorems::{theorem1_refutes, theorem2_extend};
+pub use tier0::prewarm_tier0;
 pub use tnet::{parse_tnet, NetworkReport, ThresholdGate, ThresholdNetwork, TnId};
 pub use verilog::to_verilog;

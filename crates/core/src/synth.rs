@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Mutex;
 
 use tels_logic::opt::global_sop;
-use tels_logic::{Cube, Network, NodeId, Sop, Var};
+use tels_logic::{Cube, Network, NodeId, SignatureScratch, Sop, Var};
 
 use crate::cache::RealizationCache;
 use crate::check::{
@@ -56,9 +56,10 @@ pub struct SynthStats {
 }
 
 impl SynthStats {
-    /// ILP solves avoided by memoization and the cheap pre-filters.
+    /// ILP solves avoided by the tier-0 oracle, memoization, and the
+    /// cheap pre-filters.
     pub fn ilp_avoided(&self) -> usize {
-        self.cache_hits + self.prefilter_rejections
+        self.cache_hits + self.prefilter_rejections + self.solver.tier0_lookups
     }
 
     /// Machine-readable form of the run statistics (including the
@@ -97,6 +98,8 @@ pub enum GatePath {
     Literal,
     /// Direct ILP threshold identification of the collapsed expression.
     DirectIlp,
+    /// Realization answered by the tier-0 truth-table oracle.
+    Tier0,
     /// Realization replayed from the canonical realization cache.
     CacheHit,
     /// AND-tree chunk emitted to honor the fanin restriction ψ.
@@ -120,6 +123,7 @@ impl GatePath {
             GatePath::Constant => "constant",
             GatePath::Literal => "literal",
             GatePath::DirectIlp => "direct-ilp",
+            GatePath::Tier0 => "tier0",
             GatePath::CacheHit => "cache-hit",
             GatePath::AndChunk => "and-chunk",
             GatePath::Theorem1Split => "theorem1-split",
@@ -131,14 +135,14 @@ impl GatePath {
     }
 }
 
-/// Provenance path for a successful direct threshold check: either the
-/// cache replayed the realization or the ILP (with its pre-filters)
-/// decided it fresh.
+/// Provenance path for a successful direct threshold check: the tier-0
+/// oracle answered it, the cache replayed the realization, or the ILP
+/// (with its pre-filters) decided it fresh.
 fn path_for(via: CheckVia) -> GatePath {
-    if via == CheckVia::CacheHit {
-        GatePath::CacheHit
-    } else {
-        GatePath::DirectIlp
+    match via {
+        CheckVia::Tier0 => GatePath::Tier0,
+        CheckVia::CacheHit => GatePath::CacheHit,
+        _ => GatePath::DirectIlp,
     }
 }
 
@@ -270,6 +274,9 @@ struct Synth<'a> {
     /// Name of the original-network node currently being synthesized
     /// (provenance context for emitted gates; tracing only).
     current_node: Option<String>,
+    /// Canonicalization buffers, reused across every cached query of the
+    /// run instead of allocating fresh vectors per node.
+    scratch: SignatureScratch,
 }
 
 impl<'a> Synth<'a> {
@@ -301,6 +308,7 @@ impl<'a> Synth<'a> {
             stats: SynthStats::default(),
             literal_cache: HashMap::new(),
             current_node: None,
+            scratch: SignatureScratch::new(),
         })
     }
 
@@ -417,8 +425,14 @@ impl<'a> Synth<'a> {
         // as the pre-cache flow did. Either way the query counts toward
         // `ilp_calls` — the cached flow tallies it inside query_threshold,
         // so the serial refutation must tally it too or the two runs'
-        // call counts diverge.
-        if self.cache.is_none() && self.config.use_theorem1 && theorem1_refutes(expr) {
+        // call counts diverge. Queries the tier-0 oracle will answer skip
+        // the filter: the lookup is definitive and cheaper than the
+        // substitution test.
+        if self.cache.is_none()
+            && self.config.use_theorem1
+            && !(self.config.tier0_active() && expr.support().len() <= crate::tier0::MAX_VARS)
+            && theorem1_refutes(expr)
+        {
             self.stats.ilp_calls += 1;
             self.stats.theorem1_refutations += 1;
             return Ok((None, CheckVia::Theorem1));
@@ -432,26 +446,33 @@ impl<'a> Synth<'a> {
         let config = self.config;
         match self.cache {
             Some(cache) => {
-                let (r, via) = check_threshold_cached(f, config, cache, &mut self.stats.solver)?;
-                match via {
-                    CheckVia::CacheHit => self.stats.cache_hits += 1,
-                    CheckVia::Theorem1 => self.stats.theorem1_refutations += 1,
-                    CheckVia::Prefilter => self.stats.prefilter_rejections += 1,
-                    CheckVia::Ilp => self.stats.ilp_solves += 1,
-                    CheckVia::Trivial => {}
-                }
+                let (r, via) = check_threshold_cached(
+                    f,
+                    config,
+                    cache,
+                    &mut self.stats.solver,
+                    &mut self.scratch,
+                )?;
+                self.bucket_via(via);
                 Ok((r, via))
             }
             None => {
-                let (r, solved) = check_threshold_counted(f, config, &mut self.stats.solver)?;
-                let via = if solved {
-                    self.stats.ilp_solves += 1;
-                    CheckVia::Ilp
-                } else {
-                    CheckVia::Trivial
-                };
+                let (r, via) = check_threshold_counted(f, config, &mut self.stats.solver)?;
+                self.bucket_via(via);
                 Ok((r, via))
             }
+        }
+    }
+
+    /// Folds one query verdict into the run statistics (`tier0_lookups`
+    /// lives in the solver breakdown, tallied by the checker itself).
+    fn bucket_via(&mut self, via: CheckVia) {
+        match via {
+            CheckVia::CacheHit => self.stats.cache_hits += 1,
+            CheckVia::Theorem1 => self.stats.theorem1_refutations += 1,
+            CheckVia::Prefilter => self.stats.prefilter_rejections += 1,
+            CheckVia::Ilp => self.stats.ilp_solves += 1,
+            CheckVia::Trivial | CheckVia::Tier0 => {}
         }
     }
 
@@ -800,11 +821,20 @@ struct Planner<'a> {
     solver: SolverBreakdown,
     /// Non-input nodes demanded as expression leaves while planning.
     discovered: Vec<NodeId>,
+    /// Canonicalization buffers, reused across the worker's whole node
+    /// loop instead of allocating fresh vectors per query.
+    scratch: SignatureScratch,
 }
 
 impl Planner<'_> {
     fn query(&mut self, f: &Sop) -> Result<Option<Realization>, SynthError> {
-        let (r, via) = check_threshold_cached(f, self.config, self.cache, &mut self.solver)?;
+        let (r, via) = check_threshold_cached(
+            f,
+            self.config,
+            self.cache,
+            &mut self.solver,
+            &mut self.scratch,
+        )?;
         if via == CheckVia::Ilp {
             self.ilp_solves += 1;
         }
@@ -1047,6 +1077,7 @@ fn warm_cache(
                     ilp_solves: 0,
                     solver: SolverBreakdown::default(),
                     discovered: Vec::new(),
+                    scratch: SignatureScratch::new(),
                 };
                 let mut local: Vec<NodeId> = Vec::new();
                 loop {

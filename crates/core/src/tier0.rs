@@ -1,0 +1,443 @@
+//! Tier-0 threshold oracle: exhaustive tabulation of every threshold
+//! function of up to [`MAX_VARS`] variables.
+//!
+//! TELS collapses nodes only up to the fanin restriction ψ, so nearly all
+//! threshold queries have small support. Threshold functions of few
+//! variables are completely enumerable with small integer weights (the
+//! classical Muroga tabulations), so those queries can be answered by one
+//! truth-table lookup instead of a simplex + branch-and-bound run.
+//!
+//! The table is built lazily, once per process, by enumerating weight
+//! vectors: every *descending* positive vector `w₁ ≥ … ≥ w_k ≥ 1` with
+//! `wᵢ ≤` [`MAX_WEIGHT`], and for each vector the distinct subset-sum
+//! levels as thresholds. A candidate `(w, T)` is kept only when it is
+//! *Chow-consistent* — equal Chow parameters imply equal weights — because
+//! that is exactly the solution space of the checker's reduced ILP
+//! (equal-Chow variables share one weight column and consecutive columns
+//! are chained `wₐ ≥ w_b`; see [`crate::chow`]). For each truth table the
+//! minimal candidate under the ILP's own objective `Σwᵢ + T` is stored,
+//! then expanded to every variable permutation, so a query in any support
+//! order — canonical or not — receives the same answer the ILP would have
+//! produced. Absence from the table is a *definitive* "not a threshold
+//! function": the enumeration is exhaustive for the tabulated margins
+//! (`δ_on = 0`, `δ_off = 1`; see [`crate::config::TelsConfig::tier0_active`]).
+//!
+//! Equality with the ILP's answers — weights and thresholds, not just
+//! verdicts — is enforced by the differential tests
+//! (`tests/tier0_differential.rs` and the exhaustive sweeps below).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Largest query support the oracle answers.
+pub(crate) const MAX_VARS: usize = 5;
+
+/// Weight-enumeration bound. Empirically the minimal Chow-consistent
+/// realizations of all ≤5-variable threshold functions stay well below
+/// this (see the `bound_is_saturated` test, which rebuilds with a larger
+/// bound and compares); the slack is deliberate.
+const MAX_WEIGHT: u8 = 12;
+
+/// A tabulated minimal realization: positive weights per truth-table bit
+/// position (only the first `k` entries of a `k`-variable entry are
+/// meaningful) and the positive-form threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Tier0Entry {
+    /// Positive weights, indexed by truth-table bit position.
+    pub weights: [u8; MAX_VARS],
+    /// Positive-form threshold.
+    pub threshold: u8,
+}
+
+struct Tables {
+    /// Directly indexed tables for `k = 1..=4` (`2^2^k` slots each).
+    direct: [Vec<Option<Tier0Entry>>; 4],
+    /// `k = 5` entries, keyed by 32-row truth table.
+    five: HashMap<u32, Tier0Entry>,
+}
+
+static TABLES: OnceLock<Tables> = OnceLock::new();
+
+fn tables() -> &'static Tables {
+    TABLES.get_or_init(|| build(MAX_WEIGHT))
+}
+
+/// Forces construction of the oracle tables.
+///
+/// The tables build lazily on the first small-support query; benchmarks
+/// call this first so the one-time construction cost is not attributed to
+/// the first measured circuit.
+pub fn prewarm_tier0() {
+    let _ = tables();
+}
+
+/// Looks up the `k`-variable function with truth table `tt` (bit `m` is
+/// the row where support position `i` takes bit `i` of `m`).
+///
+/// `Some(entry)` is the minimal realization the checker's ILP would
+/// return; `None` means the function is definitively not a threshold
+/// function under the tabulated margins. The caller must have excluded
+/// constants and must pass `1 ≤ k ≤` [`MAX_VARS`].
+pub(crate) fn lookup(k: usize, tt: u32) -> Option<Tier0Entry> {
+    debug_assert!((1..=MAX_VARS).contains(&k));
+    let t = tables();
+    if k <= 4 {
+        t.direct[k - 1][tt as usize]
+    } else {
+        t.five.get(&tt).copied()
+    }
+}
+
+/// Truth-table rows (of a `k`-variable table) where position `i` is 1.
+fn stripe(k: usize, i: usize) -> u32 {
+    let mut s = 0u32;
+    for m in 0..1u32 << k {
+        if m >> i & 1 == 1 {
+            s |= 1 << m;
+        }
+    }
+    s
+}
+
+fn build(max_weight: u8) -> Tables {
+    let mut t = Tables {
+        direct: [
+            vec![None; 1 << 2],
+            vec![None; 1 << 4],
+            vec![None; 1 << 8],
+            vec![None; 1 << 16],
+        ],
+        five: HashMap::new(),
+    };
+    for k in 1..=MAX_VARS {
+        build_k(&mut t, k, max_weight);
+    }
+    t
+}
+
+/// Candidate ranking key: the ILP objective, then a lexicographic
+/// tie-break on the weight vector (ties never survive to a query in
+/// practice — the differential tests would catch a divergence).
+type Ranked = (u32, [u8; MAX_VARS], u8);
+
+fn build_k(t: &mut Tables, k: usize, max_weight: u8) {
+    let rows = 1u32 << k;
+    let hi: Vec<u32> = (0..k).map(|i| stripe(k, i)).collect();
+    let full: u32 = if rows == 32 {
+        u32::MAX
+    } else {
+        (1 << rows) - 1
+    };
+    // Best candidate per *sorted-orientation* truth table.
+    let mut sorted_best: HashMap<u32, Ranked> = HashMap::new();
+    let mut w = [0u8; MAX_VARS];
+    enumerate_descending(&mut w, 0, k, max_weight, &mut |w| {
+        visit_vector(w, k, rows, &hi, full, &mut sorted_best);
+    });
+    // Expand each winner to every variable permutation. Entries are
+    // permutation-equivariant: a permutation that maps one generated
+    // table onto another maps their minimal realizations onto each other
+    // (it preserves the Chow classes and the objective), so overlapping
+    // insertions always agree.
+    let mut perm = [0usize; MAX_VARS];
+    let mut used = [false; MAX_VARS];
+    for (&tt, &(_, w, threshold)) in &sorted_best {
+        expand_perms(t, k, tt, &w, threshold, &mut perm, &mut used, 0);
+    }
+}
+
+/// Calls `visit` with every descending vector `w[0] ≥ … ≥ w[k−1] ≥ 1`.
+fn enumerate_descending(
+    w: &mut [u8; MAX_VARS],
+    i: usize,
+    k: usize,
+    max_weight: u8,
+    visit: &mut impl FnMut(&[u8; MAX_VARS]),
+) {
+    if i == k {
+        visit(w);
+        return;
+    }
+    let hi = if i == 0 { max_weight } else { w[i - 1] };
+    for v in 1..=hi {
+        w[i] = v;
+        enumerate_descending(w, i + 1, k, max_weight, visit);
+    }
+}
+
+/// Processes one weight vector: walks its distinct subset-sum levels from
+/// the top, taking for each generated truth table the smallest threshold
+/// realizing it, and records Chow-consistent candidates.
+fn visit_vector(
+    w: &[u8; MAX_VARS],
+    k: usize,
+    rows: u32,
+    hi: &[u32],
+    full: u32,
+    sorted_best: &mut HashMap<u32, Ranked>,
+) {
+    // Subset sums via DP on the lowest set bit, then rows bucketed by sum.
+    let total: usize = w[..k].iter().map(|&x| x as usize).sum();
+    let mut sums = [0usize; 32];
+    // Sized for `MAX_VARS × u8::MAX`, the worst any caller can request.
+    let mut by_sum = [0u32; 1 + MAX_VARS * u8::MAX as usize];
+    by_sum[0] = 1; // row 0 (empty assignment) has sum 0
+    for m in 1..rows {
+        let low = m.trailing_zeros() as usize;
+        let s = sums[(m & (m - 1)) as usize] + w[low] as usize;
+        sums[m as usize] = s;
+        by_sum[s] |= 1 << m;
+    }
+    let obj_w: u32 = total as u32;
+    // Truth tables of (w, T) for T = total down to 1 change only when T
+    // crosses a populated sum level; the minimal T for each table is one
+    // above the next populated level.
+    let mut acc = 0u32;
+    let mut s = total;
+    while s >= 1 {
+        if by_sum[s] == 0 {
+            s -= 1;
+            continue;
+        }
+        acc |= by_sum[s];
+        let mut next = s - 1;
+        while by_sum[next] == 0 {
+            next -= 1; // terminates: by_sum[0] is populated
+        }
+        let t_min = (next + 1) as u8;
+        consider(acc, w, k, t_min, obj_w, hi, full, sorted_best);
+        s = next;
+    }
+}
+
+/// Records candidate `(w, t)` realizing `tt` if every variable is
+/// relevant and the vector is Chow-consistent, keeping the minimum per
+/// table under the ILP objective.
+#[allow(clippy::too_many_arguments)]
+fn consider(
+    tt: u32,
+    w: &[u8; MAX_VARS],
+    k: usize,
+    t: u8,
+    obj_w: u32,
+    hi: &[u32],
+    full: u32,
+    sorted_best: &mut HashMap<u32, Ranked>,
+) {
+    // Every tabulated function must depend on all k positions: queries
+    // always do (their support is syntactic support of an SCC-minimal
+    // positive cover), so independent tables would only bloat the map.
+    for (i, &stripe_i) in hi.iter().enumerate() {
+        let lo = full & !stripe_i;
+        if (tt ^ tt >> (1u32 << i)) & lo == 0 {
+            return;
+        }
+    }
+    // Chow consistency: weights are descending, hence Chow parameters
+    // are non-increasing; equal parameters must mean equal weights
+    // (they share one ILP column).
+    let mut p = [0u32; MAX_VARS];
+    for (pi, &stripe_i) in p[..k].iter_mut().zip(hi) {
+        *pi = (tt & stripe_i).count_ones();
+    }
+    for i in 0..k - 1 {
+        debug_assert!(p[i] >= p[i + 1], "descending weights order Chow params");
+        if p[i] == p[i + 1] && w[i] != w[i + 1] {
+            return;
+        }
+    }
+    let cand: Ranked = (obj_w + t as u32, *w, t);
+    match sorted_best.entry(tt) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            if cand < *e.get() {
+                e.insert(cand);
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(cand);
+        }
+    }
+}
+
+/// Inserts `(tt, w, t)` under every permutation of its `k` positions.
+#[allow(clippy::too_many_arguments)]
+fn expand_perms(
+    t: &mut Tables,
+    k: usize,
+    tt: u32,
+    w: &[u8; MAX_VARS],
+    threshold: u8,
+    perm: &mut [usize; MAX_VARS],
+    used: &mut [bool; MAX_VARS],
+    depth: usize,
+) {
+    if depth == k {
+        let mut new_tt = 0u32;
+        for m in 0..1u32 << k {
+            let mut src = 0u32;
+            for (j, &pj) in perm[..k].iter().enumerate() {
+                src |= (m >> j & 1) << pj;
+            }
+            new_tt |= (tt >> src & 1) << m;
+        }
+        let mut new_w = [0u8; MAX_VARS];
+        for (j, &pj) in perm[..k].iter().enumerate() {
+            new_w[j] = w[pj];
+        }
+        let entry = Tier0Entry {
+            weights: new_w,
+            threshold,
+        };
+        if k <= 4 {
+            match &mut t.direct[k - 1][new_tt as usize] {
+                Some(existing) => {
+                    debug_assert_eq!(*existing, entry, "permutation expansion collided");
+                }
+                slot => *slot = Some(entry),
+            }
+        } else {
+            let existing = *t.five.entry(new_tt).or_insert(entry);
+            debug_assert_eq!(existing, entry, "permutation expansion collided");
+        }
+        return;
+    }
+    for i in 0..k {
+        if !used[i] {
+            used[i] = true;
+            perm[depth] = i;
+            expand_perms(t, k, tt, w, threshold, perm, used, depth + 1);
+            used[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every stored entry must realize its own truth table under the
+    /// tabulated margins (Σ ≥ T on ON rows, Σ ≤ T − 1 on OFF rows).
+    fn verify_entry(k: usize, tt: u32, e: &Tier0Entry) {
+        for m in 0..1u32 << k {
+            let sum: u32 = (0..k)
+                .filter(|&i| m >> i & 1 == 1)
+                .map(|i| e.weights[i] as u32)
+                .sum();
+            let on = tt >> m & 1 == 1;
+            assert_eq!(
+                on,
+                sum >= e.threshold as u32,
+                "k={k} tt={tt:#x} row {m}: w={:?} T={}",
+                &e.weights[..k],
+                e.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn entries_simulate_correctly() {
+        let t = tables();
+        for k in 1..=4usize {
+            for (tt, e) in t.direct[k - 1].iter().enumerate() {
+                if let Some(e) = e {
+                    verify_entry(k, tt as u32, e);
+                }
+            }
+        }
+        for (&tt, e) in &t.five {
+            verify_entry(5, tt, e);
+        }
+    }
+
+    #[test]
+    fn known_small_realizations() {
+        // x0 over one variable.
+        assert_eq!(
+            lookup(1, 0b10),
+            Some(Tier0Entry {
+                weights: [1, 0, 0, 0, 0],
+                threshold: 1
+            })
+        );
+        // AND2 / OR2.
+        assert_eq!(
+            lookup(2, 0b1000),
+            Some(Tier0Entry {
+                weights: [1, 1, 0, 0, 0],
+                threshold: 2
+            })
+        );
+        assert_eq!(
+            lookup(2, 0b1110),
+            Some(Tier0Entry {
+                weights: [1, 1, 0, 0, 0],
+                threshold: 1
+            })
+        );
+        // 3-input majority: ⟨1,1,1;2⟩.
+        let maj3: u32 = (0..8u32)
+            .filter(|m| m.count_ones() >= 2)
+            .fold(0, |acc, m| acc | 1 << m);
+        assert_eq!(
+            lookup(3, maj3),
+            Some(Tier0Entry {
+                weights: [1, 1, 1, 0, 0],
+                threshold: 2
+            })
+        );
+        // x0·x1 ∨ x0·x2 — the paper's worked positive form ⟨2,1,1;3⟩.
+        let f: u32 = (0..8u32)
+            .filter(|m| m & 1 == 1 && m & 0b110 != 0)
+            .fold(0, |acc, m| acc | 1 << m);
+        assert_eq!(
+            lookup(3, f),
+            Some(Tier0Entry {
+                weights: [2, 1, 1, 0, 0],
+                threshold: 3
+            })
+        );
+    }
+
+    #[test]
+    fn table_sizes_match_known_censuses() {
+        let t = tables();
+        // Positive functions with exactly k relevant variables that are
+        // threshold: every ≤3-variable positive function is (paper §VI-B),
+        // so the counts are the all-relevant monotone counts 1, 2, 9.
+        let count = |k: usize| t.direct[k - 1].iter().flatten().count();
+        assert_eq!(count(1), 1);
+        assert_eq!(count(2), 2);
+        assert_eq!(count(3), 9);
+        // 4 and 5 variables: strict subsets of the all-relevant monotone
+        // functions (114 of Dedekind(4) = 168), nonempty and symmetric
+        // under permutation by construction.
+        assert!(count(4) > 0 && count(4) < 114);
+        assert!(!t.five.is_empty());
+    }
+
+    #[test]
+    fn non_threshold_functions_miss() {
+        // x0·x1 ∨ x2·x3 — the classic 2-monotonicity failure.
+        let f: u32 = (0..16u32)
+            .filter(|m| m & 0b0011 == 0b0011 || m & 0b1100 == 0b1100)
+            .fold(0, |acc, m| acc | 1 << m);
+        assert_eq!(lookup(4, f), None);
+    }
+
+    /// Rebuilding with a larger weight bound must not add or change any
+    /// entry — i.e. `MAX_WEIGHT` saturates the ≤5-variable space. Slow in
+    /// debug; run with `cargo test --release -- --ignored`.
+    #[test]
+    #[ignore = "rebuilds the full table at a larger bound; run in release"]
+    fn bound_is_saturated() {
+        let base = build(MAX_WEIGHT);
+        let wider = build(MAX_WEIGHT + 3);
+        for k in 1..=4usize {
+            assert_eq!(base.direct[k - 1], wider.direct[k - 1], "k = {k}");
+        }
+        assert_eq!(base.five.len(), wider.five.len());
+        for (tt, e) in &base.five {
+            assert_eq!(wider.five.get(tt), Some(e), "tt = {tt:#010x}");
+        }
+    }
+}

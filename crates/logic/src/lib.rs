@@ -52,5 +52,5 @@ pub use bitset::VarSet;
 pub use cube::{Cube, Polarity, Var};
 pub use error::LogicError;
 pub use network::{Network, NodeId, NodeKind};
-pub use sop::Sop;
+pub use sop::{SignatureScratch, Sop};
 pub use truth::TruthTable;

@@ -31,6 +31,44 @@ pub struct Sop {
     cubes: Vec<Cube>,
 }
 
+/// Reusable working buffers for [`Sop::canonical_signature_into`].
+///
+/// Canonicalization needs half a dozen temporary vectors (support, per-var
+/// cube-size profiles, the permutation and its inverse, the sorted masks).
+/// Callers that canonicalize in a loop keep one scratch alive and amortize
+/// every allocation; the outputs of the most recent call are exposed via
+/// [`Self::key`] and [`Self::order`].
+#[derive(Default)]
+pub struct SignatureScratch {
+    support: Vec<Var>,
+    index_of: std::collections::HashMap<Var, usize>,
+    sizes: Vec<Vec<u32>>,
+    order_idx: Vec<usize>,
+    pos: Vec<u32>,
+    masks: Vec<u64>,
+    key: Vec<u64>,
+    order: Vec<Var>,
+}
+
+impl SignatureScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> SignatureScratch {
+        SignatureScratch::default()
+    }
+
+    /// The canonical key written by the last successful
+    /// [`Sop::canonical_signature_into`] call.
+    pub fn key(&self) -> &[u64] {
+        &self.key
+    }
+
+    /// The canonical variable order written by the last successful
+    /// [`Sop::canonical_signature_into`] call.
+    pub fn order(&self) -> &[Var] {
+        &self.order
+    }
+}
+
 impl Sop {
     /// The constant-0 function.
     pub fn zero() -> Sop {
@@ -356,54 +394,93 @@ impl Sop {
     /// assert_eq!(gorder[0], Var(1));
     /// ```
     pub fn canonical_signature(&self) -> Option<(Vec<u64>, Vec<Var>)> {
+        let mut scratch = SignatureScratch::new();
+        if self.canonical_signature_into(&mut scratch) {
+            Some((
+                std::mem::take(&mut scratch.key),
+                std::mem::take(&mut scratch.order),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-reusing form of [`Self::canonical_signature`].
+    ///
+    /// Writes the canonical key and order into `scratch` (read them back
+    /// through [`SignatureScratch::key`] / [`SignatureScratch::order`]) and
+    /// returns whether a signature exists (support ≤ 64 variables). The
+    /// outputs stay valid until the next call on the same scratch. Hot
+    /// loops — the cache-warming workers, the serial emission walk — reuse
+    /// one scratch across thousands of covers instead of allocating seven
+    /// fresh `Vec`s per node.
+    pub fn canonical_signature_into(&self, scratch: &mut SignatureScratch) -> bool {
         debug_assert!(
             self.is_positive_unate(),
             "canonical_signature expects a positive-unate cover"
         );
-        let support: Vec<Var> = self.support().iter().collect();
+        let SignatureScratch {
+            support,
+            index_of,
+            sizes,
+            order_idx,
+            pos,
+            masks,
+            key,
+            order,
+        } = scratch;
+        support.clear();
+        support.extend(self.support().iter());
         let k = support.len();
         if k > 64 {
-            return None;
+            return false;
         }
-        let index_of: std::collections::HashMap<Var, usize> =
-            support.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        index_of.clear();
+        index_of.extend(support.iter().enumerate().map(|(i, &v)| (v, i)));
         // Renaming-invariant profile per variable: (occurrence count,
         // sorted sizes of the cubes it appears in).
-        let mut sizes: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for s in sizes.iter_mut() {
+            s.clear();
+        }
+        if sizes.len() < k {
+            sizes.resize_with(k, Vec::new);
+        }
         for cube in &self.cubes {
             let len = cube.literal_count() as u32;
             for (v, _) in cube.literals() {
                 sizes[index_of[&v]].push(len);
             }
         }
-        for s in &mut sizes {
+        for s in sizes.iter_mut().take(k) {
             s.sort_unstable();
         }
-        let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by(|&a, &b| {
+        order_idx.clear();
+        order_idx.extend(0..k);
+        order_idx.sort_by(|&a, &b| {
             sizes[b]
                 .len()
                 .cmp(&sizes[a].len())
                 .then_with(|| sizes[a].cmp(&sizes[b]))
                 .then(a.cmp(&b))
         });
-        let mut pos = vec![0u32; k];
-        for (j, &i) in order.iter().enumerate() {
+        pos.clear();
+        pos.resize(k, 0);
+        for (j, &i) in order_idx.iter().enumerate() {
             pos[i] = j as u32;
         }
-        let mut masks: Vec<u64> = self
-            .cubes
-            .iter()
-            .map(|c| {
-                c.literals()
-                    .fold(0u64, |m, (v, _)| m | 1 << pos[index_of[&v]])
-            })
-            .collect();
+        masks.clear();
+        masks.extend(self.cubes.iter().map(|c| {
+            c.literals()
+                .fold(0u64, |m, (v, _)| m | 1 << pos[index_of[&v]])
+        }));
         masks.sort_unstable();
-        let mut key = Vec::with_capacity(masks.len() + 1);
+        key.clear();
+        key.reserve(masks.len() + 1);
         key.push(k as u64);
-        key.extend(masks);
-        Some((key, order.into_iter().map(|i| support[i]).collect()))
+        key.extend_from_slice(masks);
+        order.clear();
+        order.extend(order_idx.iter().map(|&i| support[i]));
+        true
     }
 
     /// Two-level minimization: literal expansion followed by removal of

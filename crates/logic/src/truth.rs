@@ -99,6 +99,11 @@ impl TruthTable {
 
     /// Builds the table of `f` using `order[i]` as the variable at bit `i`.
     ///
+    /// Each cube is reduced to a pair of position masks (required-one,
+    /// required-zero) and its covered rows are enumerated directly as
+    /// submasks of the unconstrained positions — no per-row [`Sop::eval`]
+    /// and no materialized minterm expansion.
+    ///
     /// # Panics
     ///
     /// Panics if `order` is longer than [`Self::MAX_VARS`] or does not cover
@@ -110,13 +115,45 @@ impl TruthTable {
             assert!(order.contains(&v), "variable {v} missing from order");
         }
         let mut t = TruthTable::constant(n, false);
-        let pos = |v: Var| order.iter().position(|&o| o == v).unwrap();
-        for m in 0..1usize << n {
-            if f.eval(|v| m >> pos(v) & 1 != 0) {
-                t.set_bit(m, true);
+        let full = (1u64 << n) - 1;
+        for cube in f.cubes() {
+            let mut ones = 0u64;
+            let mut zeros = 0u64;
+            for (v, phase) in cube.literals() {
+                let bit = 1u64 << order.iter().position(|&o| o == v).unwrap();
+                if phase {
+                    ones |= bit;
+                } else {
+                    zeros |= bit;
+                }
+            }
+            // Rows covered by the cube: `ones` set, `zeros` clear, the rest
+            // free. Walk the free positions by submask enumeration.
+            let free = full & !ones & !zeros;
+            let mut sub = free;
+            loop {
+                t.set_bit((ones | sub) as usize, true);
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & free;
             }
         }
         t
+    }
+
+    /// The table packed into one `u32` word; only valid for `n ≤ 5`.
+    ///
+    /// Row `m` of the function is bit `m` of the result, matching the row
+    /// encoding of [`Self::bit`]. This is the canonical key format of the
+    /// small-support threshold oracle in `tels-core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 5`.
+    pub fn as_u32(&self) -> u32 {
+        assert!(self.n <= 5, "as_u32 requires ≤5 variables");
+        self.words[0] as u32
     }
 
     /// Converts the table to a minterm-canonical [`Sop`] over `order`.
@@ -236,6 +273,31 @@ mod tests {
         let t = TruthTable::from_sop(&f, &[Var(0), Var(1)]);
         assert_eq!(t.polarity(1), None);
         assert!(t.is_unate());
+    }
+
+    #[test]
+    fn masked_from_sop_matches_eval() {
+        // Mixed-phase cubes with overlapping covers and an unused order
+        // variable: the mask-based builder must agree with row-by-row eval.
+        let f = sop(&[
+            &[(0, true), (2, false)],
+            &[(1, false), (3, true)],
+            &[(0, false)],
+        ]);
+        let order = [Var(0), Var(1), Var(2), Var(3), Var(4)];
+        let t = TruthTable::from_sop(&f, &order);
+        for m in 0..32usize {
+            assert_eq!(t.bit(m), f.eval(|v| m >> v.0 & 1 != 0), "row {m}");
+        }
+    }
+
+    #[test]
+    fn packed_u32_view() {
+        // x0·x1 over 2 vars: only row 0b11 is ON.
+        let f = sop(&[&[(0, true), (1, true)]]);
+        let t = TruthTable::from_sop(&f, &[Var(0), Var(1)]);
+        assert_eq!(t.as_u32(), 0b1000);
+        assert_eq!(TruthTable::constant(5, true).as_u32(), u32::MAX);
     }
 
     #[test]

@@ -246,11 +246,13 @@ fn render_children(node: &ProfileNode, depth: usize, out: &mut String) {
     }
 }
 
-/// Per-tier ILP solve histograms, aggregated from the `ilp:solve` spans:
-/// wall time (ns) and simplex pivots, for the integer fast path and the
-/// rational-fallback tier separately.
+/// Per-tier threshold-solve histograms: wall time (ns) and simplex pivots
+/// for the integer fast path and the rational-fallback tier (from
+/// `ilp:solve` spans), plus wall time for the tier-0 truth-table oracle
+/// (from `core:tier0_lookup` spans; the oracle runs no simplex, so its
+/// bucket carries no pivot histogram).
 ///
-/// Returns an empty object when the trace holds no solve spans (e.g.
+/// Returns an empty object when the trace holds no such spans (e.g.
 /// tracing was disabled).
 pub fn ilp_histograms(trace: &Trace) -> Json {
     let Ok(records) = spans(trace) else {
@@ -258,13 +260,20 @@ pub fn ilp_histograms(trace: &Trace) -> Json {
     };
     let mut tiers: BTreeMap<&str, (Histogram, Histogram)> = BTreeMap::new();
     for r in records {
-        if r.cat != "ilp" || r.name != "solve" {
-            continue;
-        }
-        let Some(ArgValue::Str(tier)) = r.arg("tier") else {
+        let tier = if r.cat == "ilp" && r.name == "solve" {
+            let Some(ArgValue::Str(tier)) = r.arg("tier") else {
+                continue;
+            };
+            if tier == "int" {
+                "int"
+            } else {
+                "rational"
+            }
+        } else if r.cat == "core" && r.name == "tier0_lookup" {
+            "tier0"
+        } else {
             continue;
         };
-        let tier = if tier == "int" { "int" } else { "rational" };
         let entry = tiers.entry(tier).or_default();
         entry.0.record(r.dur_ns);
         if let Some(ArgValue::UInt(p)) = r.arg("pivots") {
@@ -275,10 +284,11 @@ pub fn ilp_histograms(trace: &Trace) -> Json {
         tiers
             .into_iter()
             .map(|(tier, (wall, pivots))| {
-                (
-                    tier.to_string(),
-                    Json::obj([("wall_ns", wall.to_json()), ("pivots", pivots.to_json())]),
-                )
+                let mut fields = vec![("wall_ns", wall.to_json())];
+                if tier != "tier0" {
+                    fields.push(("pivots", pivots.to_json()));
+                }
+                (tier.to_string(), Json::obj(fields))
             })
             .collect(),
     )
@@ -493,5 +503,34 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(12)
         );
+        assert!(j.get("tier0").is_none(), "no oracle spans in this trace");
+    }
+
+    #[test]
+    fn ilp_histograms_include_tier0_lookups() {
+        let mut trace = sample_trace();
+        trace.events.insert(1, begin(2, 1, "core", "tier0_lookup"));
+        trace.events.insert(
+            2,
+            end(
+                7,
+                1,
+                "core",
+                "tier0_lookup",
+                vec![("support", ArgValue::UInt(3))],
+            ),
+        );
+        let j = ilp_histograms(&trace);
+        let t0 = j.get("tier0").expect("tier0 bucket");
+        assert_eq!(
+            t0.get("wall_ns")
+                .and_then(|w| w.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // The oracle runs no simplex: no pivot histogram.
+        assert!(t0.get("pivots").is_none());
+        // The ILP buckets are unaffected.
+        assert!(j.get("int").is_some());
     }
 }

@@ -21,7 +21,9 @@ cargo test --workspace --quiet
 echo "==> synth_pipeline smoke (consistency gates)"
 # Single-sample run over the bench suite; the binary asserts that serial
 # and cached synthesis agree on gate and threshold-query counts, that the
-# integer fast path's rational-fallback rate stays bounded, and that
+# tier-0 oracle changes no netlist byte yet at least halves the suite's
+# ILP solves (also vs the committed BENCH_synthesis.json baseline), that
+# the integer fast path's rational-fallback rate stays bounded, and that
 # tracing is behaviorally inert (equal gates/queries traced vs. untraced).
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
 
@@ -29,6 +31,7 @@ echo "==> traced synthesis smoke (trace/stats round-trip)"
 # One traced CLI run: the Chrome trace must parse, nest, cover all four
 # instrumented crates, and journal one provenance event per emitted gate;
 # the --stats-json object must carry the machine-readable stats schema.
+# --no-tier0 keeps the run on the ILP path so `ilp` category events exist.
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 cat > "$smoke_dir/smoke.blif" <<'BLIF'
@@ -45,7 +48,7 @@ cat > "$smoke_dir/smoke.blif" <<'BLIF'
 .end
 BLIF
 cargo run --release --quiet -p tels-cli --bin tels -- synth "$smoke_dir/smoke.blif" \
-    --trace "$smoke_dir/trace.json" --stats-json > "$smoke_dir/stats.json"
+    --no-tier0 --trace "$smoke_dir/trace.json" --stats-json > "$smoke_dir/stats.json"
 cargo run --release --quiet -p tels-cli --bin tels -- trace-check \
     "$smoke_dir/trace.json" "$smoke_dir/stats.json"
 

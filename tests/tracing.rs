@@ -28,6 +28,7 @@ fn config(psi: usize) -> TelsConfig {
 /// Wall-clock solver counters are the one legitimately nondeterministic
 /// part of [`SynthStats`]; zero them before comparing runs.
 fn zero_clocks(mut stats: SynthStats) -> SynthStats {
+    stats.solver.tier0_ns = 0;
     stats.solver.structure_ns = 0;
     stats.solver.int_solve_ns = 0;
     stats.solver.rational_solve_ns = 0;
@@ -94,7 +95,14 @@ fn chrome_trace_export_is_well_formed() {
     tels::trace::enable();
     tels::trace::set_thread_label("main");
     let prepared = script_algebraic(&net);
-    let (tn, _stats) = synthesize_with_stats(&prepared, &config(3)).expect("synthesis failed");
+    // Tier 0 off so the run actually reaches the ILP layer: with the
+    // oracle on, every query of this small-support circuit is answered
+    // without constructing a single ILP, and no "ilp" spans exist.
+    let cfg = TelsConfig {
+        use_tier0: false,
+        ..config(3)
+    };
+    let (tn, _stats) = synthesize_with_stats(&prepared, &cfg).expect("synthesis failed");
     tels::trace::disable();
     let trace = tels::trace::drain();
 
@@ -141,6 +149,7 @@ fn chrome_trace_export_is_well_formed() {
         "literal",
         "direct-ilp",
         "cache-hit",
+        "tier0",
         "and-chunk",
         "theorem1-split",
         "unate-split",
@@ -162,4 +171,46 @@ fn chrome_trace_export_is_well_formed() {
             .expect("provenance event without a path arg");
         assert!(known.contains(&path), "unknown provenance path {path}");
     }
+}
+
+/// With the tier-0 oracle on (the default), a small-support circuit is
+/// decided entirely by truth-table lookups: the trace carries
+/// `core/tier0_lookup` spans, no `ilp/solve` spans at all, and every
+/// directly realized gate carries the `tier0` provenance path.
+#[test]
+fn tier0_lookups_are_traced() {
+    let _g = lock();
+    tels::trace::disable();
+    tels::trace::drain();
+
+    let net = ripple_adder(8);
+    tels::trace::enable();
+    let prepared = script_algebraic(&net);
+    let (_tn, stats) = synthesize_with_stats(&prepared, &config(3)).expect("synthesis failed");
+    tels::trace::disable();
+    let trace = tels::trace::drain();
+
+    assert!(stats.solver.tier0_lookups > 0, "oracle never engaged");
+    let spans = export::spans(&trace).expect("span reconstruction failed");
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "core" && s.name == "tier0_lookup"),
+        "missing tier0_lookup spans"
+    );
+    assert!(
+        !spans.iter().any(|s| s.cat == "ilp" && s.name == "solve"),
+        "tier 0 should have answered every query of this circuit"
+    );
+    assert!(
+        trace.provenance_events().any(|event| {
+            let tels::trace::EventKind::Instant { args, .. } = &event.kind else {
+                return false;
+            };
+            args.iter().any(|(k, v)| {
+                *k == "path" && matches!(v, tels::trace::ArgValue::Str(s) if s == "tier0")
+            })
+        }),
+        "no gate carries the tier0 provenance path"
+    );
 }
