@@ -54,6 +54,10 @@ usage: tels <command> [args]
   qca    <in.blif> [-o out.blif]         synthesize at psi=3 and map to majority logic
   verilog <in.blif|in.tnet> [-o out.v]   emit structural Verilog
   suite  [--psi N]                       run the built-in Table-I benchmark suite
+  fuzz   [--cases N] [--seed N] [--psi N] [--threads N] [--max-inputs N]
+         [--max-nodes N] [--corpus DIR] [--no-shrink] [--progress N]
+         differentially fuzz the synthesis pipeline
+  fuzz   --replay DIR                    replay a reproducer corpus
   trace-check <trace.json> [stats.json]  validate --trace / --stats-json artifacts";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -68,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "qca" => cmd_qca(rest),
         "verilog" => cmd_verilog(rest),
         "suite" => cmd_suite(rest),
+        "fuzz" => cmd_fuzz(rest),
         "trace-check" => cmd_trace_check(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
@@ -542,6 +547,98 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut opts = tels_fuzz::FuzzOptions {
+        progress_every: 1000,
+        ..tels_fuzz::FuzzOptions::default()
+    };
+    let mut replay: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} requires a non-negative integer"))
+        };
+        match a.as_str() {
+            "--cases" => opts.cases = num("--cases")?,
+            "--seed" => opts.seed = num("--seed")? as u64,
+            "--psi" => opts.oracle.psi = num("--psi")?,
+            "--threads" => opts.oracle.alt_threads = num("--threads")?.max(2),
+            "--max-inputs" => opts.gen.max_inputs = num("--max-inputs")?.max(2),
+            "--max-nodes" => opts.gen.max_nodes = num("--max-nodes")?.max(1),
+            "--progress" => opts.progress_every = num("--progress")?,
+            "--no-shrink" => opts.shrink = false,
+            "--corpus" => {
+                opts.corpus_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--corpus requires a directory".to_string())?
+                        .into(),
+                )
+            }
+            "--replay" => {
+                replay = Some(
+                    it.next()
+                        .ok_or_else(|| "--replay requires a directory".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    if let Some(dir) = replay {
+        // replay_corpus tolerates a missing directory (Ok(0)) so the corpus
+        // test passes on a fresh checkout; from the CLI a typo'd path must
+        // not silently count as a clean replay.
+        if !std::path::Path::new(&dir).is_dir() {
+            return Err(format!("--replay: no such directory `{dir}`"));
+        }
+        return match tels_fuzz::replay_corpus(std::path::Path::new(&dir), &opts.oracle) {
+            Ok(n) => {
+                println!("corpus replay: {n} reproducer(s) pass the oracle");
+                Ok(())
+            }
+            Err(bad) => {
+                for (path, why) in &bad {
+                    eprintln!("FAIL {}: {}", path.display(), why);
+                }
+                Err(format!("{} corpus file(s) failed", bad.len()))
+            }
+        };
+    }
+
+    let report = tels_fuzz::fuzz(&opts);
+    if report.failures.is_empty() {
+        println!(
+            "fuzz: {} case(s) passed the full oracle matrix (seed {}, psi {})",
+            report.cases, opts.seed, opts.oracle.psi
+        );
+        return Ok(());
+    }
+    for f in &report.failures {
+        eprintln!(
+            "FAIL case {} (seed {:#x}) on the {} leg: {}",
+            f.case_index,
+            f.case_seed,
+            f.kind.tag(),
+            f.detail
+        );
+        match &f.corpus_path {
+            Some(p) => eprintln!("  reproducer: {}", p.display()),
+            None => eprintln!(
+                "  reproducer (rerun with --corpus DIR to save):\n{}",
+                tels_fuzz::reproducer_blif(f)
+            ),
+        }
+    }
+    Err(format!(
+        "{} of {} case(s) failed the differential oracle",
+        report.failures.len(),
+        report.cases
+    ))
 }
 
 fn cmd_print(args: &[String]) -> Result<(), String> {

@@ -21,6 +21,9 @@ pub enum SynthError {
         /// Description of the problem.
         message: String,
     },
+    /// A cover reached a splitting routine that cannot decompose it (for
+    /// example a single-cube or constant cover handed to the unate split).
+    Split(String),
     /// An internal invariant was violated (a bug in the synthesizer).
     Internal(String),
 }
@@ -33,6 +36,7 @@ impl fmt::Display for SynthError {
             SynthError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            SynthError::Split(m) => write!(f, "split error: {m}"),
             SynthError::Internal(m) => write!(f, "internal synthesis error: {m}"),
         }
     }

@@ -3,6 +3,7 @@
 use tels_logic::{Polarity, Sop, Var};
 
 use crate::config::SplitHeuristic;
+use crate::error::SynthError;
 
 /// Result of splitting a unate node (Fig. 7).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,11 +34,12 @@ fn most_frequent_var(f: &Sop) -> Option<Var> {
 /// 3. otherwise → split on the most frequent variable (cubes containing it
 ///    vs. the rest), ties broken deterministically (condition 4).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `f` has fewer than two cubes (a single cube is an AND gate and
-/// never needs splitting).
-pub fn split_unate(f: &Sop) -> UnateSplit {
+/// Returns [`SynthError::Split`] if `f` has fewer than two cubes (a single
+/// cube is an AND gate and never needs splitting; a constant cannot be
+/// split at all).
+pub fn split_unate(f: &Sop) -> Result<UnateSplit, SynthError> {
     split_unate_with(f, SplitHeuristic::Frequency)
 }
 
@@ -45,17 +47,22 @@ pub fn split_unate(f: &Sop) -> UnateSplit {
 /// ablation bench; `Halves` replaces the frequency rule with a plain cube
 /// partition).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `f` has fewer than two cubes.
-pub fn split_unate_with(f: &Sop, heuristic: SplitHeuristic) -> UnateSplit {
-    assert!(f.num_cubes() >= 2, "splitting needs at least two cubes");
+/// Returns [`SynthError::Split`] if `f` has fewer than two cubes.
+pub fn split_unate_with(f: &Sop, heuristic: SplitHeuristic) -> Result<UnateSplit, SynthError> {
+    if f.num_cubes() < 2 {
+        return Err(SynthError::Split(format!(
+            "unate split needs at least two cubes, got {} in `{f}`",
+            f.num_cubes()
+        )));
+    }
 
     // Condition 2: factor out the common cube.
     let common = tels_logic::factor::common_cube(f);
     if !common.is_one() {
         let quotient = tels_logic::factor::divide_by_cube(f, &common);
-        return UnateSplit::AndCube(common, quotient);
+        return Ok(UnateSplit::AndCube(common, quotient));
     }
 
     // Condition 1: all variables appear exactly once (or the ablation
@@ -64,21 +71,32 @@ pub fn split_unate_with(f: &Sop, heuristic: SplitHeuristic) -> UnateSplit {
     if all_once || heuristic == SplitHeuristic::Halves {
         let cubes = f.cubes();
         let mid = cubes.len().div_ceil(2);
-        return UnateSplit::Or(
+        return Ok(UnateSplit::Or(
             Sop::from_cubes(cubes[..mid].iter().cloned()),
             Sop::from_cubes(cubes[mid..].iter().cloned()),
-        );
+        ));
     }
 
     // Condition 3 (+4): split on the most frequent variable.
-    let v = most_frequent_var(f).expect("non-constant cover has support");
+    let v = most_frequent_var(f)
+        .ok_or_else(|| SynthError::Split(format!("cover `{f}` has no support to split on")))?;
     let (with_v, without_v): (Vec<_>, Vec<_>) = f
         .cubes()
         .iter()
         .cloned()
         .partition(|c| c.literal(v).is_some());
-    debug_assert!(!without_v.is_empty(), "condition 2 would have caught this");
-    UnateSplit::Or(Sop::from_cubes(with_v), Sop::from_cubes(without_v))
+    if without_v.is_empty() {
+        // Unreachable in theory — a variable in every cube is a common
+        // cube, which condition 2 factors out — but a graceful error beats
+        // an empty OR half if a future cover representation breaks that.
+        return Err(SynthError::Split(format!(
+            "most frequent variable {v} appears in every cube of `{f}`"
+        )));
+    }
+    Ok(UnateSplit::Or(
+        Sop::from_cubes(with_v),
+        Sop::from_cubes(without_v),
+    ))
 }
 
 /// Splits a cover into `k` cube groups (the fallback when neither split
@@ -119,11 +137,20 @@ fn most_frequent_binate_var(f: &Sop) -> Option<Var> {
 /// unate parts, until the part budget is reached. The original node equals
 /// the OR of the returned parts.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `psi < 2` or `f` has no cubes.
-pub fn split_binate(f: &Sop, psi: usize) -> Vec<Sop> {
-    assert!(psi >= 2 && !f.is_zero());
+/// Returns [`SynthError::Split`] if `psi < 2` or `f` has no cubes.
+pub fn split_binate(f: &Sop, psi: usize) -> Result<Vec<Sop>, SynthError> {
+    if psi < 2 {
+        return Err(SynthError::Split(format!(
+            "binate split needs psi >= 2, got {psi}"
+        )));
+    }
+    if f.is_zero() {
+        return Err(SynthError::Split(
+            "binate split of the constant-0 cover".to_string(),
+        ));
+    }
     let k = psi.min(f.num_cubes());
     let mut parts: Vec<Sop> = vec![f.clone()];
 
@@ -153,7 +180,7 @@ pub fn split_binate(f: &Sop, psi: usize) -> Vec<Sop> {
             break;
         };
         let p = parts.remove(idx);
-        match split_unate(&p) {
+        match split_unate(&p)? {
             UnateSplit::Or(a, b) => {
                 parts.insert(idx, a);
                 parts.insert(idx + 1, b);
@@ -168,7 +195,7 @@ pub fn split_binate(f: &Sop, psi: usize) -> Vec<Sop> {
             }
         }
     }
-    parts
+    Ok(parts)
 }
 
 #[cfg(test)]
@@ -196,7 +223,7 @@ mod tests {
             &[(2, true), (3, true)],
             &[(4, true), (5, true)],
         ]);
-        match split_unate(&f) {
+        match split_unate(&f).unwrap() {
             UnateSplit::Or(a, b) => {
                 assert_eq!(a.num_cubes() + b.num_cubes(), 3);
                 assert!(a.num_cubes() == 2 && b.num_cubes() == 1);
@@ -214,7 +241,7 @@ mod tests {
             &[(0, true), (2, true), (3, true)],
             &[(0, true), (4, true), (5, true)],
         ]);
-        match split_unate(&f) {
+        match split_unate(&f).unwrap() {
             UnateSplit::AndCube(c, rest) => {
                 assert_eq!(c, Cube::from_literals([(Var(0), true)]));
                 let expect = sop(&[
@@ -236,7 +263,7 @@ mod tests {
             &[(0, true), (2, true)],
             &[(3, true), (4, true)],
         ]);
-        match split_unate(&f) {
+        match split_unate(&f).unwrap() {
             UnateSplit::Or(a, b) => {
                 let n1 = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
                 let n2 = sop(&[&[(3, true), (4, true)]]);
@@ -251,7 +278,7 @@ mod tests {
     fn negative_common_literal_factored() {
         // x̄1x2 ∨ x̄1x3 → common cube x̄1.
         let f = sop(&[&[(0, false), (1, true)], &[(0, false), (2, true)]]);
-        match split_unate(&f) {
+        match split_unate(&f).unwrap() {
             UnateSplit::AndCube(c, rest) => {
                 assert_eq!(c, Cube::from_literals([(Var(0), false)]));
                 assert!(rest.equivalent(&sop(&[&[(1, true)], &[(2, true)]])));
@@ -289,7 +316,7 @@ mod tests {
             &[(1, true), (2, true)],
             &[(1, false), (3, true), (4, true)],
         ]);
-        let parts = split_binate(&f, 5);
+        let parts = split_binate(&f, 5).unwrap();
         assert_eq!(parts.len(), 3);
         assert!(or_all(&parts).equivalent(&f));
         for p in &parts {
@@ -305,7 +332,7 @@ mod tests {
             &[(1, false), (3, true)],
             &[(2, false), (4, true)],
         ]);
-        let parts = split_binate(&f, 2);
+        let parts = split_binate(&f, 2).unwrap();
         assert_eq!(parts.len(), 2);
         assert!(or_all(&parts).equivalent(&f));
     }
@@ -314,7 +341,7 @@ mod tests {
     fn binate_split_single_binate_var() {
         // xor: x0x̄1 ∨ x̄0x1.
         let f = sop(&[&[(0, true), (1, false)], &[(0, false), (1, true)]]);
-        let parts = split_binate(&f, 3);
+        let parts = split_binate(&f, 3).unwrap();
         assert_eq!(parts.len(), 2);
         assert!(or_all(&parts).equivalent(&f));
         for p in &parts {
@@ -331,5 +358,66 @@ mod tests {
             &[(1, true), (8, true)],
         ]);
         assert_eq!(most_frequent_var(&f), Some(Var(1)));
+    }
+
+    #[test]
+    fn most_frequent_tie_breaks_low_index_regardless_of_order() {
+        // Same tie presented in both support orders: the comparator must
+        // pick the lowest index either way (condition-4 determinism).
+        let a = sop(&[&[(1, true), (9, true)], &[(4, true), (9, true)]]);
+        let b = sop(&[&[(4, true), (9, true)], &[(1, true), (9, true)]]);
+        assert_eq!(most_frequent_var(&a), Some(Var(9)));
+        assert_eq!(most_frequent_var(&b), Some(Var(9)));
+        // Strip the dominant variable: x1 and x4 now tie at one occurrence.
+        let a = sop(&[&[(1, true), (2, true)], &[(4, true), (5, true)]]);
+        assert_eq!(most_frequent_var(&a), Some(Var(1)));
+    }
+
+    #[test]
+    fn most_frequent_binate_tie_breaks_low_index() {
+        // x3 and x5 are both binate with two occurrences each; x0 is unate
+        // and more frequent but must be ignored.
+        let f = sop(&[
+            &[(0, true), (3, true)],
+            &[(0, true), (3, false)],
+            &[(0, true), (5, true)],
+            &[(5, false), (6, true)],
+        ]);
+        assert_eq!(most_frequent_binate_var(&f), Some(Var(3)));
+    }
+
+    #[test]
+    fn single_cube_split_is_an_error_not_a_panic() {
+        // Regression: a single-cube cover reaching the unate split used to
+        // trip an assert; it must now surface as SynthError::Split.
+        let f = sop(&[&[(0, true), (1, true)]]);
+        assert!(matches!(split_unate(&f), Err(SynthError::Split(_))));
+        assert!(matches!(
+            split_unate_with(&f, SplitHeuristic::Halves),
+            Err(SynthError::Split(_))
+        ));
+    }
+
+    #[test]
+    fn constant_cover_split_is_an_error() {
+        assert!(matches!(
+            split_unate(&Sop::zero()),
+            Err(SynthError::Split(_))
+        ));
+        assert!(matches!(
+            split_unate(&Sop::one()),
+            Err(SynthError::Split(_))
+        ));
+        assert!(matches!(
+            split_binate(&Sop::zero(), 3),
+            Err(SynthError::Split(_))
+        ));
+    }
+
+    #[test]
+    fn binate_split_rejects_psi_below_two() {
+        let f = sop(&[&[(0, true)], &[(1, true)]]);
+        assert!(matches!(split_binate(&f, 1), Err(SynthError::Split(_))));
+        assert!(matches!(split_binate(&f, 0), Err(SynthError::Split(_))));
     }
 }

@@ -679,7 +679,7 @@ impl<'a> Synth<'a> {
         // Binate node: split per Fig. 8, OR the parts together.
         if !expr.is_unate() {
             self.stats.binate_splits += 1;
-            let parts = split_binate(expr, self.config.psi);
+            let parts = split_binate(expr, self.config.psi)?;
             let children: Vec<TnId> = parts
                 .iter()
                 .map(|p| self.synth_expr(p, None))
@@ -715,7 +715,7 @@ impl<'a> Synth<'a> {
 
         // Unate splitting (Fig. 7).
         self.stats.unate_splits += 1;
-        match split_unate_with(expr, self.config.split_heuristic) {
+        match split_unate_with(expr, self.config.split_heuristic)? {
             UnateSplit::AndCube(cube, rest) => {
                 let child = self.synth_expr(&rest, None)?;
                 let mut terms: Vec<(TnId, bool)> = Vec::new();
@@ -950,7 +950,7 @@ impl Planner<'_> {
             return self.plan_shannon(expr);
         }
         if !expr.is_unate() {
-            let parts = split_binate(expr, self.config.psi);
+            let parts = split_binate(expr, self.config.psi)?;
             for p in &parts {
                 self.plan_expr(p)?;
             }
@@ -974,7 +974,7 @@ impl Planner<'_> {
                 .collect();
             return self.plan_and_terms(phases);
         }
-        match split_unate_with(expr, self.config.split_heuristic) {
+        match split_unate_with(expr, self.config.split_heuristic)? {
             UnateSplit::AndCube(cube, rest) => {
                 self.plan_expr(&rest)?;
                 let mut phases: Vec<bool> = cube

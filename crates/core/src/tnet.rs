@@ -12,6 +12,15 @@ use crate::error::SynthError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TnId(pub(crate) u32);
 
+impl TnId {
+    /// The dense index of this node, mirroring
+    /// [`NodeId::index`](tels_logic::NodeId::index): inputs and gates share
+    /// one id space, assigned in insertion (hence topological) order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl fmt::Display for TnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)

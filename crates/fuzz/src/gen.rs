@@ -1,0 +1,289 @@
+//! Seeded random Boolean-network generation for the differential fuzzer.
+//!
+//! Unlike [`tels_circuits`]' benchmark-shaped generator, the fuzz
+//! generator aims for *coverage of the synthesizer's case analysis*, not
+//! realism: networks are small enough that exhaustive equivalence checking
+//! is a proof, and the distribution deliberately over-samples degenerate
+//! shapes — constant nodes, single-cube nodes, buffers and inverters,
+//! fully unate covers and heavily binate ones — because those are the
+//! covers that reach the synthesizer's edge paths (empty splits, trivial
+//! checks, Theorem-1 refutations).
+//!
+//! The entire case shape is derived from one `u64` seed: the same seed
+//! always produces the same network, so every failure is reproducible from
+//! its seed alone.
+//!
+//! [`tels_circuits`]: https://docs.rs/tels-circuits
+
+use tels_logic::rng::Xoshiro256;
+use tels_logic::{Cube, Network, NodeId, Sop, Var};
+
+/// Bounds on the generated case shape.
+///
+/// The per-case parameters (input count, node count, cube density, literal
+/// density, unate/binate mix) are drawn *per case* from within these
+/// bounds, so one fuzz run sweeps the whole distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Maximum primary inputs (at least 2). Keep at or below the oracle's
+    /// exhaustive limit so equivalence checks are proofs.
+    pub max_inputs: usize,
+    /// Maximum internal logic nodes (at least 1).
+    pub max_nodes: usize,
+    /// Maximum fanins drawn per node (at least 2).
+    pub max_fanin: usize,
+    /// Maximum cubes per node function (at least 1).
+    pub max_cubes: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            max_inputs: 8,
+            max_nodes: 10,
+            max_fanin: 5,
+            max_cubes: 4,
+        }
+    }
+}
+
+/// Per-mille chance that a node is a degenerate special instead of a
+/// random SOP (split between constants, buffers, inverters, single cubes).
+const SPECIAL_PCT: u32 = 12;
+
+/// Generates one fuzz case from a seed.
+///
+/// The model name encodes the seed (`fuzz_<seed>`) so reproducers written
+/// to the corpus are self-describing.
+///
+/// # Panics
+///
+/// Panics if `opts` violates its documented minimums.
+pub fn gen_case(seed: u64, opts: &GenOptions) -> Network {
+    assert!(opts.max_inputs >= 2 && opts.max_nodes >= 1);
+    assert!(opts.max_fanin >= 2 && opts.max_cubes >= 1);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+
+    // Case shape: drawn once per seed.
+    let n_inputs = rng.gen_range(2..=opts.max_inputs);
+    let n_nodes = rng.gen_range(1..=opts.max_nodes);
+    // Unate/binate mix: 0 = fully positive-unate, 50 = heavily binate.
+    let negation_pct = *pick(&mut rng, &[0u32, 5, 15, 30, 50]);
+    // Chance that a candidate fanin variable enters a cube.
+    let literal_pct = rng.gen_range(35..=90u32);
+    // Bias toward recent nodes as fanins (depth knob).
+    let locality_pct = rng.gen_range(0..=90u32);
+
+    let mut net = Network::new(format!("fuzz_{seed}"));
+    let mut signals: Vec<NodeId> = (0..n_inputs)
+        .map(|i| net.add_input(format!("i{i}")).expect("fresh input name"))
+        .collect();
+
+    for n in 0..n_nodes {
+        let node = if rng.gen_range(0..100u32) < SPECIAL_PCT {
+            special_node(&mut rng, &mut net, n, &signals)
+        } else {
+            random_sop_node(
+                &mut rng,
+                &mut net,
+                n,
+                &signals,
+                opts,
+                negation_pct,
+                literal_pct,
+                locality_pct,
+                n_inputs,
+            )
+        };
+        signals.push(node);
+    }
+
+    // Outputs: 1–3 distinct logic nodes, always including the last (the
+    // deepest), the rest drawn at random.
+    let logic: Vec<NodeId> = signals[n_inputs..].to_vec();
+    let n_outputs = rng.gen_range(1..=3.min(logic.len()));
+    let mut chosen: Vec<NodeId> = vec![*logic.last().expect("n_nodes >= 1")];
+    let mut guard = 0;
+    while chosen.len() < n_outputs && guard < 32 {
+        guard += 1;
+        let cand = logic[rng.gen_range(0..logic.len())];
+        if !chosen.contains(&cand) {
+            chosen.push(cand);
+        }
+    }
+    for (o, id) in chosen.iter().enumerate() {
+        net.add_output(format!("o{o}"), *id).expect("fresh output");
+    }
+    net
+}
+
+fn pick<'a, T>(rng: &mut Xoshiro256, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A degenerate node: constant 0/1, buffer, inverter, or a single cube.
+fn special_node(rng: &mut Xoshiro256, net: &mut Network, n: usize, signals: &[NodeId]) -> NodeId {
+    let name = format!("n{n}");
+    let choice = rng.gen_range(0..5u32);
+    match choice {
+        0 => net.add_node(name, Vec::new(), Sop::zero()),
+        1 => net.add_node(name, Vec::new(), Sop::one()),
+        2 | 3 => {
+            // Buffer (2) or inverter (3) of a random existing signal.
+            let phase = choice == 2;
+            let src = *pick(rng, signals);
+            net.add_node(
+                name,
+                vec![src],
+                Sop::from_cubes([Cube::from_literals([(Var(0), phase)])]),
+            )
+        }
+        _ => {
+            // Single wide cube: the shape that historically hit the unate
+            // split's <2-cube precondition.
+            let k = rng.gen_range(2..=4.min(signals.len()));
+            let fanins = draw_distinct(rng, signals, k, 0);
+            let cube = Cube::from_literals(
+                (0..fanins.len()).map(|v| (Var(v as u32), rng.gen_range(0..100u32) >= 30)),
+            );
+            net.add_node(name, fanins, Sop::from_cubes([cube]))
+        }
+    }
+    .expect("valid special node")
+}
+
+/// Draws `k` distinct fanins, biased toward the last `recent` signals when
+/// `recent > 0`.
+fn draw_distinct(
+    rng: &mut Xoshiro256,
+    signals: &[NodeId],
+    k: usize,
+    locality_pct: u32,
+) -> Vec<NodeId> {
+    let mut fanins: Vec<NodeId> = Vec::with_capacity(k);
+    let mut guard = 0;
+    while fanins.len() < k && guard < 100 {
+        guard += 1;
+        let idx = if rng.gen_range(0..100u32) < locality_pct && signals.len() > k {
+            rng.gen_range(signals.len() - k..signals.len())
+        } else {
+            rng.gen_range(0..signals.len())
+        };
+        if !fanins.contains(&signals[idx]) {
+            fanins.push(signals[idx]);
+        }
+    }
+    fanins
+}
+
+#[allow(clippy::too_many_arguments)]
+fn random_sop_node(
+    rng: &mut Xoshiro256,
+    net: &mut Network,
+    n: usize,
+    signals: &[NodeId],
+    opts: &GenOptions,
+    negation_pct: u32,
+    literal_pct: u32,
+    locality_pct: u32,
+    n_inputs: usize,
+) -> NodeId {
+    let fanin_count = rng.gen_range(2..=opts.max_fanin.min(signals.len()));
+    let locality = if signals.len() > n_inputs {
+        locality_pct
+    } else {
+        0
+    };
+    let mut fanins = draw_distinct(rng, signals, fanin_count, locality);
+    let k = fanins.len() as u32;
+
+    let n_cubes = rng.gen_range(1..=opts.max_cubes);
+    let mut cubes = Vec::with_capacity(n_cubes);
+    for _ in 0..n_cubes {
+        let mut cube = Cube::one();
+        for v in 0..k {
+            if rng.gen_range(0..100u32) < literal_pct {
+                cube.set_literal(Var(v), rng.gen_range(0..100u32) >= negation_pct);
+            }
+        }
+        if cube.is_one() {
+            // Guarantee at least one literal so the cube is not the
+            // tautology (constant-1 nodes come from `special_node`).
+            cube.set_literal(
+                Var(rng.gen_range(0..k)),
+                rng.gen_range(0..100u32) >= negation_pct,
+            );
+        }
+        cubes.push(cube);
+    }
+    let mut f = Sop::from_cubes(cubes);
+
+    // Drop declared fanins that fell outside the support.
+    let support = f.support();
+    let kept: Vec<usize> = (0..fanins.len())
+        .filter(|&i| support.contains(Var(i as u32)))
+        .collect();
+    if kept.len() != fanins.len() {
+        let mut map = vec![Var(0); fanins.len()];
+        for (new_i, &old_i) in kept.iter().enumerate() {
+            map[old_i] = Var(new_i as u32);
+        }
+        f = f.remap(&map);
+        fanins = kept.iter().map(|&i| fanins[i]).collect();
+    }
+    net.add_node(format!("n{n}"), fanins, f)
+        .expect("valid random node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = GenOptions::default();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = gen_case(seed, &opts);
+            let b = gen_case(seed, &opts);
+            assert_eq!(a.num_inputs(), b.num_inputs());
+            assert_eq!(a.num_logic_nodes(), b.num_logic_nodes());
+            for m in 0..1usize << a.num_inputs() {
+                let assign: Vec<bool> = (0..a.num_inputs()).map(|i| m >> i & 1 != 0).collect();
+                assert_eq!(a.eval(&assign).unwrap(), b.eval(&assign).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn cases_stay_within_bounds_and_acyclic() {
+        let opts = GenOptions::default();
+        for seed in 0..200u64 {
+            let net = gen_case(seed, &opts);
+            assert!(net.num_inputs() >= 2 && net.num_inputs() <= opts.max_inputs);
+            assert!(net.num_logic_nodes() >= 1 && net.num_logic_nodes() <= opts.max_nodes);
+            assert!(!net.outputs().is_empty());
+            assert!(net.topo_order().is_ok(), "seed {seed} built a cycle");
+        }
+    }
+
+    #[test]
+    fn distribution_hits_degenerate_shapes() {
+        // Over a few hundred seeds the special-node path must produce at
+        // least one constant and one single-cube node.
+        let opts = GenOptions::default();
+        let (mut constants, mut single_cubes) = (0usize, 0usize);
+        for seed in 0..300u64 {
+            let net = gen_case(seed, &opts);
+            for id in net.node_ids().filter(|&id| !net.is_input(id)) {
+                let sop = net.sop(id);
+                if sop.is_zero() || sop.is_one() {
+                    constants += 1;
+                } else if sop.num_cubes() == 1 {
+                    single_cubes += 1;
+                }
+            }
+        }
+        assert!(constants > 0, "no constant nodes generated");
+        assert!(single_cubes > 0, "no single-cube nodes generated");
+    }
+}

@@ -1,0 +1,446 @@
+//! The differential oracle: every configuration pair that must agree.
+//!
+//! One fuzz case runs the same source network through the full matrix and
+//! cross-checks the answers:
+//!
+//! | leg | configurations | must agree on |
+//! |-----|----------------|---------------|
+//! | tier-0 | `use_tier0` on vs off | `.tnet` bytes |
+//! | threads | 1 thread vs N threads | `.tnet` bytes |
+//! | trace | tracing off vs on | `.tnet` bytes |
+//! | cache | `use_cache` on vs off | gate count, depth, function |
+//! | synthesis | TELS result vs source network | function (exhaustive) |
+//! | baseline | `map_one_to_one` vs source and vs TELS | function (exhaustive) |
+//!
+//! Byte-identity legs pin the determinism guarantees established by the
+//! pipeline (canonical-space cache solves, deterministic tie-breaks); the
+//! cache leg is *functional* because cache-off solves in the original
+//! variable order and may pick different (equally optimal) weights.
+//!
+//! Every leg runs under [`std::panic::catch_unwind`], so a panic anywhere
+//! in the pipeline is reported as an ordinary [`Failure`] and can be
+//! shrunk like any other disagreement.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tels_core::{map_one_to_one, synthesize, TelsConfig, ThresholdNetwork};
+use tels_logic::sim::{check_equivalence, EquivOptions};
+use tels_logic::{Cube, Network, Sop, Var};
+
+/// Knobs of one oracle run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleOptions {
+    /// Fanin restriction ψ used for every synthesis leg.
+    pub psi: usize,
+    /// The "N" of the 1-vs-N thread determinism leg.
+    pub alt_threads: usize,
+    /// Exhaustive equivalence up to this many inputs (a proof); random
+    /// patterns beyond.
+    pub exhaustive_limit: u32,
+    /// Random pattern count past the exhaustive limit.
+    pub random_patterns: usize,
+    /// Simulation seed for the random-pattern fallback.
+    pub sim_seed: u64,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            psi: 3,
+            alt_threads: 4,
+            exhaustive_limit: 12,
+            random_patterns: 2048,
+            sim_seed: 0x7e15,
+        }
+    }
+}
+
+/// Which oracle leg disagreed (the classifier the shrinker preserves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The baseline synthesis itself returned an error or panicked.
+    Synth,
+    /// Tier-0 on/off produced different `.tnet` bytes.
+    Tier0Bytes,
+    /// 1 vs N threads produced different `.tnet` bytes.
+    ThreadBytes,
+    /// Tracing on/off produced different `.tnet` bytes.
+    TraceBytes,
+    /// Cache on/off disagreed on gate count, depth, or function.
+    CacheDiff,
+    /// The synthesized network is not equivalent to the source.
+    SynthEquiv,
+    /// The one-to-one baseline errored or is not equivalent to the source.
+    Map11,
+    /// TELS and the one-to-one baseline disagree with each other.
+    Baseline,
+}
+
+impl FailureKind {
+    /// A short lowercase tag used in corpus file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FailureKind::Synth => "synth",
+            FailureKind::Tier0Bytes => "tier0",
+            FailureKind::ThreadBytes => "threads",
+            FailureKind::TraceBytes => "trace",
+            FailureKind::CacheDiff => "cache",
+            FailureKind::SynthEquiv => "equiv",
+            FailureKind::Map11 => "map11",
+            FailureKind::Baseline => "baseline",
+        }
+    }
+}
+
+/// A reported oracle disagreement.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The leg that disagreed.
+    pub kind: FailureKind,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl Failure {
+    fn new(kind: FailureKind, detail: impl Into<String>) -> Failure {
+        Failure {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Runs a pipeline leg, converting panics into [`Failure`]s.
+fn guarded<T>(
+    kind: FailureKind,
+    what: &str,
+    f: impl FnOnce() -> Result<T, tels_core::SynthError>,
+) -> Result<T, Failure> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(Failure::new(kind, format!("{what} failed: {e}"))),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(Failure::new(kind, format!("{what} panicked: {msg}")))
+        }
+    }
+}
+
+fn base_config(opts: &OracleOptions) -> TelsConfig {
+    TelsConfig {
+        psi: opts.psi,
+        num_threads: 1,
+        // Engage the cache/thread machinery even on tiny fuzz networks —
+        // the whole point is to drive the parallel paths.
+        parallel_min_nodes: 0,
+        ..TelsConfig::default()
+    }
+}
+
+/// Converts a threshold network back into a Boolean [`Network`] by
+/// expanding each gate into its ON-minterm SOP, so threshold results can
+/// go through [`check_equivalence`] like any other network.
+///
+/// # Errors
+///
+/// Returns an error (as a `String`) if a gate has more than 16 fanins —
+/// the expansion is exponential in gate fanin, which ψ keeps tiny.
+pub fn tn_to_network(tn: &ThresholdNetwork) -> Result<Network, String> {
+    let mut net = Network::new(tn.model().to_string());
+    let mut map: Vec<Option<tels_logic::NodeId>> = Vec::new();
+    for id in tn.node_ids() {
+        if tn.is_input(id) {
+            let new = net
+                .add_input(tn.name(id).to_string())
+                .map_err(|e| e.to_string())?;
+            map.push(Some(new));
+            continue;
+        }
+        let gate = tn.gate(id).expect("non-input node is a gate");
+        let k = gate.inputs.len();
+        if k > 16 {
+            return Err(format!("gate `{}` has {k} fanins (> 16)", tn.name(id)));
+        }
+        let mut cubes = Vec::new();
+        for m in 0..1u32 << k {
+            let values: Vec<bool> = (0..k).map(|i| m >> i & 1 != 0).collect();
+            if gate.eval(&values) {
+                cubes.push(Cube::from_literals(
+                    values.iter().enumerate().map(|(i, &v)| (Var(i as u32), v)),
+                ));
+            }
+        }
+        let fanins: Vec<tels_logic::NodeId> = gate
+            .inputs
+            .iter()
+            .map(|&f| map[f.index()].expect("tn ids are topologically ordered"))
+            .collect();
+        let mut sop = Sop::from_cubes(cubes);
+        sop.scc();
+        let (fanins, sop) = prune_unused(fanins, sop);
+        let new = net
+            .add_node(tn.name(id).to_string(), fanins, sop)
+            .map_err(|e| e.to_string())?;
+        map.push(Some(new));
+    }
+    for (name, id) in tn.outputs() {
+        net.add_output(name.clone(), map[id.index()].expect("mapped"))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(net)
+}
+
+/// Drops fanins the minimized SOP no longer references (a gate whose
+/// weight never matters, e.g. weight 0, vanishes from the minterm form).
+fn prune_unused(fanins: Vec<tels_logic::NodeId>, sop: Sop) -> (Vec<tels_logic::NodeId>, Sop) {
+    let support = sop.support();
+    let kept: Vec<usize> = (0..fanins.len())
+        .filter(|&i| support.contains(Var(i as u32)))
+        .collect();
+    if kept.len() == fanins.len() {
+        return (fanins, sop);
+    }
+    let mut m = vec![Var(0); fanins.len()];
+    for (new_i, &old_i) in kept.iter().enumerate() {
+        m[old_i] = Var(new_i as u32);
+    }
+    (kept.iter().map(|&i| fanins[i]).collect(), sop.remap(&m))
+}
+
+fn equiv_opts(opts: &OracleOptions) -> EquivOptions {
+    EquivOptions {
+        exhaustive_limit: opts.exhaustive_limit,
+        random_patterns: opts.random_patterns,
+        seed: opts.sim_seed,
+    }
+}
+
+/// Checks `candidate` (a converted threshold network) against `reference`.
+fn expect_equivalent(
+    kind: FailureKind,
+    what: &str,
+    reference: &Network,
+    candidate: &Network,
+    opts: &OracleOptions,
+) -> Result<(), Failure> {
+    match check_equivalence(reference, candidate, &equiv_opts(opts)) {
+        Ok(r) if r.is_equivalent() => Ok(()),
+        Ok(r) => Err(Failure::new(
+            kind,
+            format!("{what} is not equivalent to its reference: {r:?}"),
+        )),
+        Err(e) => Err(Failure::new(
+            kind,
+            format!("{what} equivalence check errored: {e}"),
+        )),
+    }
+}
+
+/// Runs the full oracle matrix on one source network.
+///
+/// Returns `Ok(())` when every leg agrees, or the first [`Failure`].
+pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
+    let cfg = base_config(opts);
+
+    // Baseline synthesis (1 thread, cache + tier-0 on).
+    let base = guarded(FailureKind::Synth, "synthesize", || synthesize(net, &cfg))?;
+    let base_bytes = base.to_tnet();
+
+    // Leg: tier-0 on/off byte identity.
+    let tier0_off = guarded(FailureKind::Tier0Bytes, "synthesize(no-tier0)", || {
+        synthesize(
+            net,
+            &TelsConfig {
+                use_tier0: false,
+                ..cfg.clone()
+            },
+        )
+    })?;
+    if tier0_off.to_tnet() != base_bytes {
+        return Err(Failure::new(
+            FailureKind::Tier0Bytes,
+            "tier-0 on/off produced different .tnet bytes",
+        ));
+    }
+
+    // Leg: 1 vs N threads byte identity.
+    let threaded = guarded(FailureKind::ThreadBytes, "synthesize(threads)", || {
+        synthesize(
+            net,
+            &TelsConfig {
+                num_threads: opts.alt_threads,
+                ..cfg.clone()
+            },
+        )
+    })?;
+    if threaded.to_tnet() != base_bytes {
+        return Err(Failure::new(
+            FailureKind::ThreadBytes,
+            format!(
+                "1 vs {} threads produced different .tnet bytes",
+                opts.alt_threads
+            ),
+        ));
+    }
+
+    // Leg: tracing on/off byte identity. Tracing is process-global, so
+    // enable/disable around the leg and drain the buffer afterwards.
+    tels_trace::enable();
+    let traced = guarded(FailureKind::TraceBytes, "synthesize(traced)", || {
+        synthesize(net, &cfg)
+    });
+    tels_trace::disable();
+    let _ = tels_trace::drain();
+    if traced?.to_tnet() != base_bytes {
+        return Err(Failure::new(
+            FailureKind::TraceBytes,
+            "tracing on/off produced different .tnet bytes",
+        ));
+    }
+
+    // Leg: cache on/off — same gate structure, same function (weights may
+    // legitimately differ: the cache solves in canonical variable order).
+    let no_cache = guarded(FailureKind::CacheDiff, "synthesize(no-cache)", || {
+        synthesize(
+            net,
+            &TelsConfig {
+                use_cache: false,
+                ..cfg.clone()
+            },
+        )
+    })?;
+    if no_cache.num_gates() != base.num_gates() || no_cache.depth() != base.depth() {
+        return Err(Failure::new(
+            FailureKind::CacheDiff,
+            format!(
+                "cache on/off gate structure differs: {} gates depth {} vs {} gates depth {}",
+                base.num_gates(),
+                base.depth(),
+                no_cache.num_gates(),
+                no_cache.depth()
+            ),
+        ));
+    }
+    let base_net = tn_to_network(&base)
+        .map_err(|e| Failure::new(FailureKind::SynthEquiv, format!("tn_to_network: {e}")))?;
+    let no_cache_net = tn_to_network(&no_cache)
+        .map_err(|e| Failure::new(FailureKind::CacheDiff, format!("tn_to_network: {e}")))?;
+    expect_equivalent(
+        FailureKind::CacheDiff,
+        "cache-off synthesis",
+        &base_net,
+        &no_cache_net,
+        opts,
+    )?;
+
+    // Leg: synthesized network vs the source, via two independent paths —
+    // the threshold network's own verifier and packed network simulation.
+    let mismatch = guarded(FailureKind::SynthEquiv, "verify_against", || {
+        base.verify_against(
+            net,
+            opts.exhaustive_limit,
+            opts.random_patterns,
+            opts.sim_seed,
+        )
+    })?;
+    if let Some(assign) = mismatch {
+        return Err(Failure::new(
+            FailureKind::SynthEquiv,
+            format!("synthesized network differs from source at {assign:?}"),
+        ));
+    }
+    expect_equivalent(
+        FailureKind::SynthEquiv,
+        "synthesized network",
+        net,
+        &base_net,
+        opts,
+    )?;
+
+    // Leg: the one-to-one baseline vs the source…
+    let m11 = guarded(FailureKind::Map11, "map_one_to_one", || {
+        map_one_to_one(net, &cfg)
+    })?;
+    let m11_net = tn_to_network(&m11)
+        .map_err(|e| Failure::new(FailureKind::Map11, format!("tn_to_network: {e}")))?;
+    expect_equivalent(
+        FailureKind::Map11,
+        "one-to-one baseline",
+        net,
+        &m11_net,
+        opts,
+    )?;
+
+    // …and vs the TELS result (closing the three-way triangle).
+    expect_equivalent(
+        FailureKind::Baseline,
+        "TELS vs one-to-one baseline",
+        &m11_net,
+        &base_net,
+        opts,
+    )?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_logic::blif;
+
+    #[test]
+    fn known_good_network_passes_all_legs() {
+        let net = blif::parse(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n",
+        )
+        .unwrap();
+        run_case(&net, &OracleOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn tn_round_trip_matches_source() {
+        let net = blif::parse(
+            ".model m\n.inputs a b c d\n.outputs f g\n.names a b t\n11 1\n.names t c d f\n1-0 1\n-1- 1\n.names a d g\n00 1\n.end\n",
+        )
+        .unwrap();
+        let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+        let round = tn_to_network(&tn).unwrap();
+        let r = check_equivalence(&net, &round, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn broken_network_is_caught() {
+        // A "threshold network" that computes the wrong function must trip
+        // the equivalence legs — checked by converting an inverter tnet
+        // against a buffer source.
+        let source =
+            blif::parse(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n").unwrap();
+        let mut tn = ThresholdNetwork::new("m");
+        let a = tn.add_input("a").unwrap();
+        let g = tn
+            .add_gate(
+                "f",
+                tels_core::ThresholdGate {
+                    inputs: vec![a],
+                    weights: vec![-1],
+                    threshold: 0,
+                },
+            )
+            .unwrap();
+        tn.add_output("f", g).unwrap();
+        let cand = tn_to_network(&tn).unwrap();
+        let r = expect_equivalent(
+            FailureKind::SynthEquiv,
+            "inverted",
+            &source,
+            &cand,
+            &OracleOptions::default(),
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Greedy minimization of failing fuzz cases.
+//!
+//! Given a network that fails the oracle, repeatedly try every single-step
+//! structural reduction ([`tels_logic::mutate::shrink_steps`]) and adopt
+//! the first candidate that *still fails with the same classification* and
+//! is strictly smaller. The result is a local minimum: no single cube,
+//! literal, node, or input can be removed without losing the failure.
+//!
+//! Shrinking re-runs the full oracle on every candidate, so it is the
+//! expensive part of a failing fuzz run; `max_steps` bounds the work.
+
+use tels_logic::mutate::{network_size, shrink_steps};
+use tels_logic::Network;
+
+use crate::oracle::{run_case, FailureKind, OracleOptions};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized network (the original if nothing could be removed).
+    pub network: Network,
+    /// Number of accepted reduction steps.
+    pub steps: usize,
+    /// Size of the original network, per [`network_size`].
+    pub from_size: usize,
+    /// Size of the minimized network.
+    pub to_size: usize,
+}
+
+/// Returns the failure kind `net` currently exhibits, if any.
+fn failing_kind(net: &Network, opts: &OracleOptions) -> Option<FailureKind> {
+    run_case(net, opts).err().map(|f| f.kind)
+}
+
+/// Greedily minimizes `net`, preserving failure kind `kind`.
+///
+/// `max_steps` bounds the number of *accepted* reductions (each accepted
+/// step scans at most one full candidate list).
+pub fn shrink(
+    net: &Network,
+    kind: FailureKind,
+    opts: &OracleOptions,
+    max_steps: usize,
+) -> ShrinkResult {
+    let from_size = network_size(net);
+    let mut current = net.clone();
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        let size = network_size(&current);
+        for cand in shrink_steps(&current) {
+            if network_size(&cand) < size && failing_kind(&cand, opts) == Some(kind) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    let to_size = network_size(&current);
+    ShrinkResult {
+        network: current,
+        steps,
+        from_size,
+        to_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_logic::blif;
+
+    #[test]
+    fn passing_network_shrinks_to_itself() {
+        let net = blif::parse(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n",
+        )
+        .unwrap();
+        // The network passes the oracle, so no candidate can "still fail":
+        // shrink must return it unchanged in zero steps.
+        let r = shrink(&net, FailureKind::Synth, &OracleOptions::default(), 64);
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.from_size, r.to_size);
+        assert_eq!(r.network.num_logic_nodes(), net.num_logic_nodes());
+    }
+}

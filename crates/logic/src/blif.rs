@@ -482,6 +482,92 @@ mod tests {
     }
 
     #[test]
+    fn truncated_names_table_missing_output_value() {
+        // Table row cut off before the output column.
+        let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n10\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 6, .. })));
+    }
+
+    #[test]
+    fn truncated_names_table_at_eof_is_constant_zero() {
+        // `.names` with no rows and no `.end` — a truncated file. BLIF
+        // defines the empty cover as the constant 0; must not panic.
+        let net = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n").unwrap();
+        assert_eq!(net.eval(&[true, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn names_without_signals_rejected() {
+        let r = parse(".model m\n.inputs a\n.outputs f\n.names\n1 1\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn bad_cube_character_rejected() {
+        let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n1x 1\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { .. })));
+    }
+
+    #[test]
+    fn bad_output_value_rejected() {
+        let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 2\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 5, .. })));
+    }
+
+    #[test]
+    fn extra_row_tokens_rejected() {
+        let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1 1\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 5, .. })));
+    }
+
+    #[test]
+    fn dangling_latch_variants_rejected() {
+        for head in [".latch", ".mlatch", ".subckt", ".gate"] {
+            // Even a bare dangling directive (no operands) must be a parse
+            // error, not a panic.
+            let src = format!(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n{head}\n.end\n");
+            let r = parse(&src);
+            assert!(
+                matches!(r, Err(LogicError::Parse { line: 6, .. })),
+                "{head} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_after_end_is_ignored() {
+        let net = parse(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\ngarbage here\n")
+            .unwrap();
+        assert_eq!(net.eval(&[true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn missing_end_is_tolerated() {
+        let net = parse(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n").unwrap();
+        assert_eq!(net.eval(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn model_without_name_rejected() {
+        let r = parse(".model\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn names_output_colliding_with_input_rejected() {
+        let r = parse(".model m\n.inputs a\n.outputs a\n.names a\n1\n.end\n");
+        assert!(matches!(r, Err(LogicError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn repeated_column_in_pattern_rejected_via_duplicate_fanin_merge() {
+        // `a a` dedups to one fanin; a conflicting 1/0 row then vanishes,
+        // leaving the constant 0 — exercised to pin that it cannot panic.
+        let net = parse(".model m\n.inputs a\n.outputs f\n.names a a f\n10 1\n.end\n").unwrap();
+        assert_eq!(net.eval(&[true]).unwrap(), vec![false]);
+    }
+
+    #[test]
     fn round_trip_preserves_function() {
         let src = ".model m\n.inputs a b c d\n.outputs f g\n.names a b t1\n11 1\n.names t1 c t2\n1- 1\n-1 1\n.names t2 d f\n10 1\n.names a d g\n00 1\n.end\n";
         let net = parse(src).unwrap();

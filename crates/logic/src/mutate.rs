@@ -1,0 +1,303 @@
+//! Structure-shrinking mutations over [`Network`]s.
+//!
+//! These are the building blocks of the differential fuzzer's greedy
+//! shrinker (`tels-fuzz`): each operation produces a strictly smaller,
+//! still-valid network (or `None` when it does not apply), so a failing
+//! case can be minimized by repeatedly trying every candidate and keeping
+//! any that still fails. The operations are deliberately *not* semantics
+//! preserving — the shrinker re-runs the full oracle on every candidate.
+//!
+//! All returned networks are [compacted](Network::compact), so dead logic
+//! introduced by a mutation (e.g. a node whose only fanout lost its last
+//! reference) disappears immediately.
+
+use crate::cube::{Cube, Var};
+use crate::network::{Network, NodeId, NodeKind};
+use crate::sop::Sop;
+
+/// Drops fanins outside the SOP's support, remapping the SOP onto the
+/// surviving fanin list.
+fn prune_fanins(fanins: &[NodeId], sop: &Sop) -> (Vec<NodeId>, Sop) {
+    let support = sop.support();
+    let kept: Vec<usize> = (0..fanins.len())
+        .filter(|&i| support.contains(Var(i as u32)))
+        .collect();
+    if kept.len() == fanins.len() {
+        return (fanins.to_vec(), sop.clone());
+    }
+    let mut map = vec![Var(0); fanins.len()];
+    for (new_i, &old_i) in kept.iter().enumerate() {
+        map[old_i] = Var(new_i as u32);
+    }
+    let new_fanins = kept.iter().map(|&i| fanins[i]).collect();
+    (new_fanins, sop.remap(&map))
+}
+
+/// Replaces the function of `node`, pruning unused fanins and compacting.
+fn with_function(net: &Network, node: NodeId, sop: Sop) -> Option<Network> {
+    let fanins = match net.kind(node) {
+        NodeKind::Input => return None,
+        NodeKind::Logic { fanins, .. } => fanins.clone(),
+    };
+    let (fanins, sop) = prune_fanins(&fanins, &sop);
+    let mut out = net.clone();
+    out.set_function(node, fanins, sop).ok()?;
+    Some(out.compact())
+}
+
+/// Removes cube `cube` from the SOP of `node`.
+///
+/// Returns `None` if `node` is an input or the index is out of range.
+/// Dropping the last cube turns the node into the constant 0.
+pub fn drop_cube(net: &Network, node: NodeId, cube: usize) -> Option<Network> {
+    let sop = match net.kind(node) {
+        NodeKind::Input => return None,
+        NodeKind::Logic { sop, .. } => sop,
+    };
+    if cube >= sop.num_cubes() {
+        return None;
+    }
+    let cubes: Vec<Cube> = sop
+        .cubes()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != cube)
+        .map(|(_, c)| c.clone())
+        .collect();
+    with_function(net, node, Sop::from_cubes(cubes))
+}
+
+/// Removes the `lit`-th literal (in [`Cube::literals`] order) from cube
+/// `cube` of `node`.
+///
+/// Returns `None` for inputs or out-of-range indices. Removing the last
+/// literal leaves the tautology cube, making the node the constant 1.
+pub fn drop_literal(net: &Network, node: NodeId, cube: usize, lit: usize) -> Option<Network> {
+    let sop = match net.kind(node) {
+        NodeKind::Input => return None,
+        NodeKind::Logic { sop, .. } => sop,
+    };
+    let old = sop.cubes().get(cube)?;
+    let lits: Vec<(Var, bool)> = old.literals().collect();
+    if lit >= lits.len() {
+        return None;
+    }
+    let new_cube = Cube::from_literals(
+        lits.iter()
+            .enumerate()
+            .filter(|&(i, _)| i != lit)
+            .map(|(_, &l)| l),
+    );
+    let cubes: Vec<Cube> = sop
+        .cubes()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == cube {
+                new_cube.clone()
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    with_function(net, node, Sop::from_cubes(cubes))
+}
+
+/// Replaces `node` with the constant `value` (no fanins), then compacts —
+/// the closest thing to "delete this node" that keeps the network valid.
+///
+/// Returns `None` if `node` is an input.
+pub fn constant_node(net: &Network, node: NodeId, value: bool) -> Option<Network> {
+    match net.kind(node) {
+        NodeKind::Input => None,
+        NodeKind::Logic { .. } => {
+            with_function(net, node, if value { Sop::one() } else { Sop::zero() })
+        }
+    }
+}
+
+/// Rebuilds the network without primary inputs that drive nothing (no
+/// fanout and no primary output reference).
+///
+/// Returns `None` when every input is used — i.e. when the operation
+/// would change nothing.
+pub fn remove_unused_inputs(net: &Network) -> Option<Network> {
+    let counts = net.fanout_counts();
+    let dead: Vec<NodeId> = net
+        .inputs()
+        .into_iter()
+        .filter(|id| counts[id.index()] == 0)
+        .collect();
+    if dead.is_empty() {
+        return None;
+    }
+    let mut out = Network::new(net.model().to_string());
+    let mut map: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+    for id in net.inputs() {
+        if dead.contains(&id) {
+            continue;
+        }
+        map.insert(id, out.add_input(net.name(id).to_string()).ok()?);
+    }
+    for id in net.topo_order().ok()? {
+        if let NodeKind::Logic { fanins, sop } = net.kind(id) {
+            let new_fanins: Vec<NodeId> = fanins.iter().map(|f| map[f]).collect();
+            map.insert(
+                id,
+                out.add_node(net.name(id).to_string(), new_fanins, sop.clone())
+                    .ok()?,
+            );
+        }
+    }
+    for (name, id) in net.outputs() {
+        out.add_output(name.clone(), map[id]).ok()?;
+    }
+    Some(out)
+}
+
+/// Every single-step shrink of `net`, in a fixed deterministic order:
+/// node constifications (0 then 1), cube drops, literal drops, then the
+/// unused-input sweep. Candidates that fail validation are skipped.
+///
+/// The order front-loads the most aggressive reductions so a greedy
+/// first-success shrinker converges quickly.
+pub fn shrink_steps(net: &Network) -> Vec<Network> {
+    let mut out = Vec::new();
+    let logic: Vec<NodeId> = net.node_ids().filter(|&id| !net.is_input(id)).collect();
+    for &id in &logic {
+        out.extend(constant_node(net, id, false));
+        out.extend(constant_node(net, id, true));
+    }
+    for &id in &logic {
+        for c in 0..net.sop(id).num_cubes() {
+            out.extend(drop_cube(net, id, c));
+        }
+    }
+    for &id in &logic {
+        let sop = net.sop(id);
+        for c in 0..sop.num_cubes() {
+            let n_lits = sop.cubes()[c].literals().count();
+            for l in 0..n_lits {
+                out.extend(drop_literal(net, id, c, l));
+            }
+        }
+    }
+    out.extend(remove_unused_inputs(net));
+    out
+}
+
+/// A crude size measure for shrink progress: logic nodes, cubes, literals
+/// and inputs, summed. Any [`shrink_steps`] candidate that still fails and
+/// has a strictly smaller size is a better reproducer.
+pub fn network_size(net: &Network) -> usize {
+    let cubes: usize = net
+        .node_ids()
+        .filter(|&id| !net.is_input(id))
+        .map(|id| net.sop(id).num_cubes())
+        .sum();
+    net.num_logic_nodes() + net.num_inputs() + cubes + net.num_literals()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop(cubes: &[&[(u32, bool)]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
+        )
+    }
+
+    /// f = (a·b) ∨ c̄, plus a dangling input d.
+    fn sample_net() -> Network {
+        let mut net = Network::new("m");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        net.add_input("d").unwrap();
+        let g = net
+            .add_node("g", vec![a, b], sop(&[&[(0, true), (1, true)]]))
+            .unwrap();
+        let f = net
+            .add_node("f", vec![g, c], sop(&[&[(0, true)], &[(1, false)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net
+    }
+
+    #[test]
+    fn drop_cube_shrinks_and_prunes() {
+        let net = sample_net();
+        let f = net.find("f").unwrap();
+        // Dropping the c̄ cube leaves f = g; input c loses its fanout.
+        let shrunk = drop_cube(&net, f, 1).unwrap();
+        let sf = shrunk.find("f").unwrap();
+        assert_eq!(shrunk.sop(sf).num_cubes(), 1);
+        assert_eq!(shrunk.fanins(sf).len(), 1);
+        assert_eq!(shrunk.eval(&[true, true, true, false]).unwrap(), vec![true]);
+        // Out-of-range and input targets are rejected.
+        assert!(drop_cube(&net, f, 9).is_none());
+        assert!(drop_cube(&net, net.find("a").unwrap(), 0).is_none());
+    }
+
+    #[test]
+    fn drop_last_cube_gives_constant_zero() {
+        let net = sample_net();
+        let g = net.find("g").unwrap();
+        let shrunk = drop_cube(&net, g, 0).unwrap();
+        let sg = shrunk.find("g").unwrap();
+        assert!(shrunk.sop(sg).is_zero());
+        assert!(shrunk.fanins(sg).is_empty());
+    }
+
+    #[test]
+    fn drop_literal_widens_cube() {
+        let net = sample_net();
+        let g = net.find("g").unwrap();
+        // g = a·b → drop one literal → single-literal cube.
+        let shrunk = drop_literal(&net, g, 0, 0).unwrap();
+        let sg = shrunk.find("g").unwrap();
+        assert_eq!(shrunk.sop(sg).num_literals(), 1);
+        assert!(drop_literal(&net, g, 0, 5).is_none());
+    }
+
+    #[test]
+    fn constant_node_compacts_fanin_cone() {
+        let net = sample_net();
+        let f = net.find("f").unwrap();
+        let shrunk = constant_node(&net, f, false).unwrap();
+        // g is dead once f is constant; inputs are retained by compact().
+        assert_eq!(shrunk.num_logic_nodes(), 1);
+        assert_eq!(shrunk.eval(&[true, true, true, true]).unwrap(), vec![false]);
+        assert!(constant_node(&net, net.find("a").unwrap(), true).is_none());
+    }
+
+    #[test]
+    fn remove_unused_inputs_drops_dangling_pi() {
+        let net = sample_net();
+        let shrunk = remove_unused_inputs(&net).unwrap();
+        assert_eq!(shrunk.num_inputs(), 3);
+        assert!(shrunk.find("d").is_none());
+        assert_eq!(shrunk.eval(&[true, true, true]).unwrap(), vec![true]);
+        // A second sweep has nothing to do.
+        assert!(remove_unused_inputs(&shrunk).is_none());
+    }
+
+    #[test]
+    fn shrink_steps_are_valid_and_smaller_capable() {
+        let net = sample_net();
+        let size = network_size(&net);
+        let steps = shrink_steps(&net);
+        // 2 constifications × 2 nodes + 3 cube drops + 4 literal drops + PI sweep.
+        assert!(steps.len() >= 10, "got {}", steps.len());
+        for s in &steps {
+            // Every candidate evaluates without error (is a valid network).
+            let n = s.num_inputs();
+            s.eval(&vec![false; n]).unwrap();
+            assert!(s.topo_order().is_ok());
+        }
+        assert!(steps.iter().any(|s| network_size(s) < size));
+    }
+}

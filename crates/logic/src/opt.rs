@@ -615,15 +615,25 @@ pub fn decompose(net: &Network, max_fanin: usize) -> Network {
                 })
             }
         };
-        let mut cube_signals = Vec::with_capacity(sop.num_cubes());
+        let mut cube_signals: Vec<NodeId> = Vec::with_capacity(sop.num_cubes());
         let single_cube = sop.num_cubes() == 1;
         for cube in sop.cubes() {
-            let lits: Vec<NodeId> = cube
-                .literals()
-                .map(|(v, phase)| literal_signal(&mut out, v, phase))
-                .collect();
+            // Distinct literals can resolve to the same signal when a fanin
+            // is itself the shared inverter of another fanin (x̄ = y); AND is
+            // idempotent, so deduplicate rather than emit a duplicate fanin.
+            let mut lits: Vec<NodeId> = Vec::new();
+            for (v, phase) in cube.literals() {
+                let s = literal_signal(&mut out, v, phase);
+                if !lits.contains(&s) {
+                    lits.push(s);
+                }
+            }
             if lits.len() == 1 {
-                cube_signals.push(lits[0]);
+                // OR is idempotent too: cubes collapsing to one signal may
+                // repeat a signal another cube already produced.
+                if !cube_signals.contains(&lits[0]) {
+                    cube_signals.push(lits[0]);
+                }
             } else {
                 let hint = if single_cube {
                     Some(name.as_str())
@@ -666,6 +676,39 @@ mod tests {
                 .iter()
                 .map(|c| Cube::from_literals(c.iter().map(|&(v, p)| (Var(v), p)))),
         )
+    }
+
+    #[test]
+    fn decompose_dedups_inverter_aliased_and_literals() {
+        // g = ā; f = ā·g. Both literals of f's cube resolve to the same
+        // shared-inverter signal, which used to build an AND tree with a
+        // duplicate fanin and panic (found by tels-fuzz).
+        let mut net = Network::new("alias");
+        let a = net.add_input("a").unwrap();
+        let g = net.add_node("g", vec![a], sop(&[&[(0, false)]])).unwrap();
+        let f = net
+            .add_node("f", vec![a, g], sop(&[&[(0, false), (1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let d = decompose(&net, 2);
+        let r = check_equivalence(&net, &d, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn decompose_dedups_inverter_aliased_or_cubes() {
+        // f = ā ∨ g with g = ā: both cubes resolve to the same signal.
+        let mut net = Network::new("alias_or");
+        let a = net.add_input("a").unwrap();
+        let g = net.add_node("g", vec![a], sop(&[&[(0, false)]])).unwrap();
+        let f = net
+            .add_node("f", vec![a, g], sop(&[&[(0, false)], &[(1, true)]]))
+            .unwrap();
+        net.add_output("f", f).unwrap();
+        let d = decompose(&net, 2);
+        let r = check_equivalence(&net, &d, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
     }
 
     /// f = a·c ∨ a·d ∨ b·c ∨ b·d ∨ e and g = a·c ∨ a·d (shared kernels).

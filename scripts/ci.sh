@@ -52,4 +52,14 @@ cargo run --release --quiet -p tels-cli --bin tels -- synth "$smoke_dir/smoke.bl
 cargo run --release --quiet -p tels-cli --bin tels -- trace-check \
     "$smoke_dir/trace.json" "$smoke_dir/stats.json"
 
+echo "==> differential fuzz (quick budget) + corpus replay"
+# 500 seeded cases through the full oracle matrix (tier-0/cache/threads/
+# trace determinism, synthesis and one-to-one correctness vs the source),
+# then every committed reproducer in tests/corpus/ — each is a past
+# failure that must stay fixed forever. Any new counterexample is shrunk
+# and written to tests/corpus/ for triage (and must be fixed + committed).
+cargo run --release --quiet -p tels-cli --bin tels -- fuzz \
+    --cases 500 --seed 1 --progress 0 --corpus tests/corpus
+cargo run --release --quiet -p tels-cli --bin tels -- fuzz --replay tests/corpus
+
 echo "ci.sh: all checks passed"

@@ -54,6 +54,7 @@
 
 pub use tels_circuits as circuits;
 pub use tels_core as core;
+pub use tels_fuzz as fuzz;
 pub use tels_ilp as ilp;
 pub use tels_logic as logic;
 pub use tels_trace as trace;

@@ -1,0 +1,125 @@
+//! Corpus replay and fuzz-subsystem regression tests.
+//!
+//! Every file in `tests/corpus/` is a past differential-oracle failure
+//! (shrunk to a minimal reproducer) or a directed edge-case network; each
+//! must pass the **full** oracle matrix on every `cargo test` run, so a
+//! fixed bug can never silently return. The quick campaign keeps the
+//! generator/oracle/shrinker machinery itself exercised.
+
+use std::path::{Path, PathBuf};
+
+use tels::core::perturb::{failure_rate, PerturbOptions};
+use tels::core::{synthesize, TelsConfig};
+use tels::fuzz::{fuzz, gen_case, replay_corpus, FuzzOptions, GenOptions, OracleOptions};
+use tels::logic::blif;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_clean() {
+    match replay_corpus(&corpus_dir(), &OracleOptions::default()) {
+        Ok(n) => assert!(n >= 2, "expected >= 2 committed reproducers, replayed {n}"),
+        Err(bad) => {
+            let detail: Vec<String> = bad
+                .iter()
+                .map(|(p, why)| format!("{}: {why}", p.display()))
+                .collect();
+            panic!("corpus reproducer(s) regressed:\n{}", detail.join("\n"));
+        }
+    }
+}
+
+#[test]
+fn corpus_replays_clean_at_higher_psi() {
+    // The committed reproducers must stay clean under a different fanin
+    // restriction too — ψ changes which splitting paths they reach.
+    let opts = OracleOptions {
+        psi: 4,
+        ..OracleOptions::default()
+    };
+    if let Err(bad) = replay_corpus(&corpus_dir(), &opts) {
+        panic!("corpus regressed at psi 4: {bad:?}");
+    }
+}
+
+#[test]
+fn quick_campaign_finds_nothing() {
+    let report = fuzz(&FuzzOptions {
+        cases: 60,
+        seed: 0xC0FFEE,
+        ..FuzzOptions::default()
+    });
+    assert_eq!(report.cases, 60);
+    let summary: Vec<String> = report
+        .failures
+        .iter()
+        .map(|f| format!("seed {:#x} {} leg: {}", f.case_seed, f.kind.tag(), f.detail))
+        .collect();
+    assert!(summary.is_empty(), "fuzz failures:\n{}", summary.join("\n"));
+}
+
+#[test]
+fn campaign_failure_reports_are_deterministic() {
+    // Two identical campaigns must visit identical cases (the generator is
+    // the only randomness source, and it is seeded).
+    let opts = FuzzOptions {
+        cases: 20,
+        seed: 99,
+        shrink: false,
+        ..FuzzOptions::default()
+    };
+    let a = fuzz(&opts);
+    let b = fuzz(&opts);
+    assert_eq!(a.failures.len(), b.failures.len());
+    // And the cases themselves are reproducible from their seeds.
+    let g = GenOptions::default();
+    let net1 = gen_case(12345, &g);
+    let net2 = gen_case(12345, &g);
+    assert_eq!(blif::write(&net1), blif::write(&net2));
+}
+
+/// §VI-C robustness numbers must be reproducible: a fixed seed gives a
+/// bit-identical failure rate across repeated runs and across the
+/// synthesis thread-count knob (satellite of the fuzzing PR).
+#[test]
+fn perturb_failure_rate_is_deterministic() {
+    let net = blif::parse(
+        ".model m\n.inputs a b c d\n.outputs f g\n.names a b t\n11 1\n.names t c d f\n1-0 1\n-11 1\n.names a d g\n10 1\n01 1\n.end\n",
+    )
+    .unwrap();
+    let popts = PerturbOptions {
+        variation: 0.25,
+        trials: 200,
+        exhaustive_limit: 12,
+        vectors: 64,
+        seed: 7,
+    };
+    let mut rates = Vec::new();
+    for num_threads in [1usize, 4] {
+        let cfg = TelsConfig {
+            num_threads,
+            parallel_min_nodes: 0,
+            ..TelsConfig::default()
+        };
+        let tn = synthesize(&net, &cfg).unwrap();
+        // Repeated runs on the same network: bit-identical.
+        let r1 = failure_rate(&tn, &net, &popts).unwrap();
+        let r2 = failure_rate(&tn, &net, &popts).unwrap();
+        assert_eq!(r1.to_bits(), r2.to_bits(), "repeat runs differ");
+        rates.push(r1);
+    }
+    // Across thread counts: synthesis is thread-invariant, so the measured
+    // robustness of the result is too.
+    assert_eq!(
+        rates[0].to_bits(),
+        rates[1].to_bits(),
+        "failure rate differs across num_threads: {} vs {}",
+        rates[0],
+        rates[1]
+    );
+    // Sanity: a 25% variation on this network does *something* measurable —
+    // guards against the test silently degenerating to 0-trials.
+    assert!((0.0..=1.0).contains(&rates[0]));
+}
