@@ -1,0 +1,413 @@
+//! Benchmarks the `tels serve` daemon path against per-invocation one-shot
+//! synthesis and writes the results to `BENCH_serve.json`.
+//!
+//! Four measurements over the Table-I benchmark suite:
+//!
+//! * **one-shot rate**: every circuit synthesized by spawning the real
+//!   `tels` binary per invocation (process startup, tier-0 construction,
+//!   empty cache, simulation verify — the costs the daemon amortizes).
+//!   When the binary is not built, falls back to an in-process emulation
+//!   (no spawn cost) and skips the throughput gate, noting it in the JSON.
+//! * **serve throughput**: an in-process [`ServeSession`] fed by 1, 4, and
+//!   16 concurrent client threads, cold (fresh caches) and warm (suite
+//!   already seen), in circuits/second.
+//! * **persisted-warm**: the caches saved to disk, reloaded into a fresh
+//!   session, and the first pass over the suite timed — what a daemon
+//!   restart with `--cache-file` delivers.
+//! * **warming A/B**: the work-stealing scheduler warming pass
+//!   ([`warm_cache_scheduler`]) against the preserved pre-scheduler shared
+//!   queue pass ([`warm_cache_queue`]) on identical fresh caches.
+//!
+//! The workload is the *synthesis service* one: clients submit
+//! pre-factored networks (`factor: false`, the one-shot side gets the
+//! same files with `--no-factor`). Algebraic factoring is a one-time
+//! front-end cost — on the Table-I suite it is ~60x the synthesis time —
+//! so folding it into every job would measure the factoring kernel, not
+//! the daemon. Both sides also run with `use_tier0: false` (the CLI's
+//! `--no-tier0`): under the default config the tier-0 truth-table oracle
+//! answers every small-support query without touching the realization
+//! cache, so the cache the daemon shares and persists would sit idle.
+//! Disabling it routes every realization through the ILP + cache path —
+//! the workload the daemon exists for — and does not change any answer
+//! (the fuzz oracle asserts tier0-on/off byte identity, and `CacheKey`
+//! ignores the flag). One-shot `tels synth` always simulation-verifies;
+//! daemon jobs verify only on request (`verify` defaults to false) —
+//! that asymmetry is the product default on both sides and is noted in
+//! the JSON.
+//!
+//! The run doubles as a determinism gate: for every suite circuit the
+//! served `.tnet` bytes must equal the one-shot reference at pool width 1
+//! and at full width, cold and persisted-warm. Acceptance gates: warm
+//! serve throughput at least 3x the one-shot process rate (when the real
+//! binary is available), and scheduler warming no slower than the queue
+//! pass (with a noise allowance).
+//!
+//! Run with `cargo run --release -p tels-bench --bin serve_pipeline`; pass
+//! `--quick` for a single-sample smoke run that skips the JSON write.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tels_circuits::paper_suite;
+use tels_core::{warm_cache_queue, warm_cache_scheduler, RealizationCache, TelsConfig};
+use tels_logic::blif;
+use tels_logic::opt::script_algebraic;
+use tels_serve::protocol::JobRequest;
+use tels_serve::{ServeOptions, ServeSession};
+use tels_trace::json::Json;
+
+/// Warming A/B samples per implementation; the minimum is reported.
+const WARM_SAMPLES: usize = 5;
+
+/// Suite passes each client thread submits in a throughput measurement.
+const ROUNDS: usize = 3;
+
+/// Noise allowance for the scheduler-vs-queue warming gate: the scheduler
+/// pass must not be slower than the queue pass by more than this factor.
+const WARMING_TOLERANCE: f64 = 1.25;
+
+/// The benchmark configuration: tier-0 off so realizations go through the
+/// shared cache (see the module docs); everything else paper defaults.
+fn bench_config() -> TelsConfig {
+    TelsConfig {
+        use_tier0: false,
+        ..TelsConfig::default()
+    }
+}
+
+/// A serve job for one (pre-factored) suite circuit under the benchmark
+/// configuration.
+fn job(blif: &str) -> JobRequest {
+    JobRequest {
+        blif: blif.to_string(),
+        factor: false,
+        config: bench_config(),
+        ..JobRequest::default()
+    }
+}
+
+/// Submits `rounds` passes over the suite from each of `clients` threads
+/// and returns (wall ms, jobs completed).
+fn run_clients(
+    session: &ServeSession,
+    blifs: &[String],
+    clients: usize,
+    rounds: usize,
+) -> (f64, usize) {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                for _ in 0..rounds {
+                    for text in blifs {
+                        session.submit(&job(text)).expect("serve job failed");
+                    }
+                }
+            });
+        }
+    });
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (ms, clients * rounds * blifs.len())
+}
+
+/// Synthesizes every circuit through a session once, returning the `.tnet`
+/// text per circuit (suite order).
+fn serve_suite_tnets(session: &ServeSession, blifs: &[String]) -> Vec<String> {
+    blifs
+        .iter()
+        .map(|text| {
+            session
+                .submit(&job(text))
+                .expect("serve job failed")
+                .tn
+                .to_tnet()
+        })
+        .collect()
+}
+
+/// Locates the release `tels` binary next to this bench binary, if built.
+fn find_tels_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let candidate = exe.parent()?.join("tels");
+    candidate.is_file().then_some(candidate)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 1 } else { ROUNDS };
+    let warm_samples = if quick { 1 } else { WARM_SAMPLES };
+    tels_core::prewarm_tier0();
+
+    let suite = paper_suite();
+    let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+    // Factor once up front; every job (serve and one-shot alike) consumes
+    // the pre-factored text. See the module docs for why.
+    let prepared: Vec<_> = suite.iter().map(|b| script_algebraic(&b.network)).collect();
+    let blifs: Vec<String> = prepared.iter().map(blif::write).collect();
+
+    // --- One-shot reference: bytes and per-invocation rate. -------------
+    let dir = std::env::temp_dir().join(format!("tels-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let tels_bin = find_tels_binary();
+    let mut one_shot_ms = 0.0;
+    let mut references: Vec<String> = Vec::with_capacity(suite.len());
+    match &tels_bin {
+        Some(bin) => {
+            for (name, text) in names.iter().zip(&blifs) {
+                let in_path = dir.join(format!("{name}.blif"));
+                let out_path = dir.join(format!("{name}.tnet"));
+                std::fs::write(&in_path, text).expect("write blif");
+                let start = Instant::now();
+                let status = std::process::Command::new(bin)
+                    .args([
+                        "synth",
+                        "--no-tier0",
+                        "--no-factor",
+                        in_path.to_str().unwrap(),
+                        "-o",
+                        out_path.to_str().unwrap(),
+                    ])
+                    .stderr(std::process::Stdio::null())
+                    .status()
+                    .expect("spawn tels");
+                one_shot_ms += start.elapsed().as_secs_f64() * 1e3;
+                assert!(status.success(), "{name}: one-shot tels synth failed");
+                references.push(std::fs::read_to_string(&out_path).expect("read tnet"));
+            }
+        }
+        None => {
+            eprintln!(
+                "serve_pipeline: target/release/tels not built; timing an in-process \
+                 one-shot emulation (no spawn cost) and skipping the 3x throughput gate"
+            );
+            for (name, text) in names.iter().zip(&blifs) {
+                let start = Instant::now();
+                let net = blif::parse(text).expect("parse blif");
+                let (tn, _) = tels_core::synthesize_with_stats(&net, &bench_config())
+                    .expect("one-shot synthesis failed");
+                assert!(
+                    tn.verify_against(&net, 12, 1024, 1)
+                        .expect("simulation failed")
+                        .is_none(),
+                    "{name}: one-shot verify failed"
+                );
+                one_shot_ms += start.elapsed().as_secs_f64() * 1e3;
+                references.push(tn.to_tnet());
+            }
+        }
+    }
+    let one_shot_rate = suite.len() as f64 / (one_shot_ms / 1e3);
+    println!(
+        "one-shot ({}): {} circuits in {one_shot_ms:.1} ms = {one_shot_rate:.1}/s",
+        if tels_bin.is_some() {
+            "process"
+        } else {
+            "in-process"
+        },
+        suite.len()
+    );
+
+    // --- Byte identity: pool widths 1 and auto, cold. -------------------
+    for threads in [1usize, 0] {
+        let session = ServeSession::new(ServeOptions {
+            threads,
+            cache_file: None,
+        })
+        .expect("session");
+        let served = serve_suite_tnets(&session, &blifs);
+        for ((name, served), reference) in names.iter().zip(&served).zip(&references) {
+            assert_eq!(
+                served,
+                reference,
+                "{name}: served .tnet differs from one-shot at {} pool threads",
+                session.threads()
+            );
+        }
+        println!(
+            "byte identity: {} circuits match one-shot at {} pool threads (cold)",
+            suite.len(),
+            session.threads()
+        );
+    }
+
+    // --- Serve throughput: cold and warm at 1/4/16 clients. -------------
+    let client_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16] };
+    let mut serve_rows: Vec<Json> = Vec::new();
+    let mut best_warm_rate = 0.0f64;
+    let mut last_stats: Option<Json> = None;
+    for &clients in client_counts {
+        // Cold: fresh session, caches start empty.
+        let session = ServeSession::new(ServeOptions::default()).expect("session");
+        let (cold_ms, cold_jobs) = run_clients(&session, &blifs, clients, rounds);
+        let cold_rate = cold_jobs as f64 / (cold_ms / 1e3);
+        // Warm: same session has now seen the whole suite.
+        let (warm_ms, warm_jobs) = run_clients(&session, &blifs, clients, rounds);
+        let warm_rate = warm_jobs as f64 / (warm_ms / 1e3);
+        best_warm_rate = best_warm_rate.max(warm_rate);
+        println!(
+            "serve x{clients:<2}: cold {cold_jobs} jobs in {cold_ms:>8.1} ms = {cold_rate:>7.1}/s | \
+             warm {warm_jobs} jobs in {warm_ms:>8.1} ms = {warm_rate:>7.1}/s"
+        );
+        serve_rows.push(Json::obj([
+            ("clients", Json::Num(clients as f64)),
+            ("cold_ms", Json::Num(cold_ms)),
+            ("cold_jobs", Json::Num(cold_jobs as f64)),
+            ("cold_jobs_per_sec", Json::Num(cold_rate)),
+            ("warm_ms", Json::Num(warm_ms)),
+            ("warm_jobs", Json::Num(warm_jobs as f64)),
+            ("warm_jobs_per_sec", Json::Num(warm_rate)),
+        ]));
+        last_stats = Some(session.stats_json());
+    }
+
+    // --- Persisted-warm: save, reload into a fresh session, first pass. --
+    let cache_path = dir.join("cache.bin");
+    let seed = ServeSession::new(ServeOptions {
+        threads: 0,
+        cache_file: Some(cache_path.clone()),
+    })
+    .expect("session");
+    let _ = serve_suite_tnets(&seed, &blifs);
+    let persisted = seed.persist_now().expect("save cache").unwrap_or(0);
+    drop(seed);
+    let reloaded = ServeSession::new(ServeOptions {
+        threads: 0,
+        cache_file: Some(cache_path.clone()),
+    })
+    .expect("reload session");
+    let start = Instant::now();
+    let served = serve_suite_tnets(&reloaded, &blifs);
+    let persisted_ms = start.elapsed().as_secs_f64() * 1e3;
+    let persisted_rate = suite.len() as f64 / (persisted_ms / 1e3);
+    for ((name, served), reference) in names.iter().zip(&served).zip(&references) {
+        assert_eq!(
+            served, reference,
+            "{name}: persisted-warm .tnet differs from one-shot"
+        );
+    }
+    println!(
+        "persisted-warm: {persisted} entries reloaded; first pass {persisted_ms:.1} ms = \
+         {persisted_rate:.1}/s (bytes identical)"
+    );
+
+    // --- Warming A/B: scheduler vs preserved queue pass. ----------------
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(4);
+    let mut sched_ms = f64::INFINITY;
+    let mut queue_ms = f64::INFINITY;
+    for _ in 0..warm_samples {
+        let mut total = 0.0;
+        for p in &prepared {
+            let cache = RealizationCache::new();
+            let start = Instant::now();
+            warm_cache_scheduler(p, &bench_config(), &cache, threads).expect("warm");
+            total += start.elapsed().as_secs_f64() * 1e3;
+        }
+        sched_ms = sched_ms.min(total);
+        let mut total = 0.0;
+        for p in &prepared {
+            let cache = RealizationCache::new();
+            let start = Instant::now();
+            warm_cache_queue(p, &bench_config(), &cache, threads).expect("warm");
+            total += start.elapsed().as_secs_f64() * 1e3;
+        }
+        queue_ms = queue_ms.min(total);
+    }
+    println!(
+        "warming ({threads} threads): scheduler {sched_ms:.2} ms vs queue {queue_ms:.2} ms \
+         ({:.2}x)",
+        queue_ms / sched_ms
+    );
+    assert!(
+        sched_ms <= queue_ms * WARMING_TOLERANCE,
+        "scheduler warming ({sched_ms:.2} ms) slower than the queue pass ({queue_ms:.2} ms) \
+         beyond the {WARMING_TOLERANCE}x tolerance"
+    );
+
+    // --- Gates and output. ----------------------------------------------
+    let speedup = best_warm_rate / one_shot_rate;
+    println!("warm serve {best_warm_rate:.1}/s vs one-shot {one_shot_rate:.1}/s = {speedup:.1}x");
+    if tels_bin.is_some() {
+        assert!(
+            speedup >= 3.0,
+            "warm serve throughput only {speedup:.2}x the one-shot process rate (< 3x)"
+        );
+    }
+
+    if !quick {
+        let doc = Json::obj([
+            ("benchmark", Json::str("serve_pipeline")),
+            (
+                "config",
+                Json::obj([
+                    ("factor", Json::Bool(false)),
+                    ("use_tier0", Json::Bool(false)),
+                    ("serve_verify", Json::Bool(false)),
+                    (
+                        "note",
+                        Json::str(
+                            "pre-factored inputs on both sides (factoring is a one-time \
+                             front-end cost ~60x synthesis on this suite); tier-0 disabled \
+                             on both sides so realizations exercise the shared ILP cache \
+                             (answers byte-identical either way); one-shot always \
+                             simulation-verifies, daemon jobs verify on request only",
+                        ),
+                    ),
+                ]),
+            ),
+            ("suite_circuits", Json::Num(suite.len() as f64)),
+            ("rounds_per_client", Json::Num(rounds as f64)),
+            (
+                "one_shot",
+                Json::obj([
+                    (
+                        "mode",
+                        Json::str(if tels_bin.is_some() {
+                            "process"
+                        } else {
+                            "in_process"
+                        }),
+                    ),
+                    ("total_ms", Json::Num(one_shot_ms)),
+                    ("jobs", Json::Num(suite.len() as f64)),
+                    ("jobs_per_sec", Json::Num(one_shot_rate)),
+                ]),
+            ),
+            ("serve", Json::Arr(serve_rows)),
+            (
+                "persisted_warm",
+                Json::obj([
+                    ("cache_entries", Json::Num(persisted as f64)),
+                    ("first_pass_ms", Json::Num(persisted_ms)),
+                    ("jobs_per_sec", Json::Num(persisted_rate)),
+                ]),
+            ),
+            ("warm_speedup_vs_one_shot", Json::Num(speedup)),
+            (
+                "warming",
+                Json::obj([
+                    ("threads", Json::Num(threads as f64)),
+                    ("scheduler_ms", Json::Num(sched_ms)),
+                    ("queue_ms", Json::Num(queue_ms)),
+                    ("queue_over_scheduler", Json::Num(queue_ms / sched_ms)),
+                ]),
+            ),
+            (
+                "byte_identity",
+                Json::obj([
+                    ("circuits", Json::Num(suite.len() as f64)),
+                    ("pool_widths_checked", Json::str("1, auto")),
+                    ("cold_and_persisted_warm", Json::Bool(true)),
+                ]),
+            ),
+            ("server_stats", last_stats.unwrap_or(Json::Null)),
+        ]);
+        let mut json = doc.pretty();
+        json.push('\n');
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

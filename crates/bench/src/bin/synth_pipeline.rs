@@ -298,8 +298,14 @@ fn main() {
 
     // The tentpole acceptance gate: with tier 0 on, the full pipeline must
     // construct at most half the ILPs the same pipeline needs without it.
+    let reduction_pct = if solves_tier0_off > 0 {
+        (1.0 - solves_tier0_on as f64 / solves_tier0_off as f64) * 1e2
+    } else {
+        0.0
+    };
     println!(
-        "tier 0: {total_tier0_lookups} lookups; suite ILP solves {solves_tier0_on} (on) vs          {solves_tier0_off} (off)"
+        "tier 0: {total_tier0_lookups} lookups; suite ILP solves {solves_tier0_off} (off) -> \
+         {solves_tier0_on} (on), a {reduction_pct:.1}% reduction"
     );
     assert!(
         solves_tier0_on * 2 <= solves_tier0_off,
@@ -333,10 +339,11 @@ fn main() {
         // tier-0-off count.
         match std::fs::read_to_string("BENCH_synthesis.json") {
             Ok(text) => {
-                let committed = tels_trace::json::parse(&text)
-                    .ok()
+                let doc = tels_trace::json::parse(&text).ok();
+                let committed_off = doc
+                    .as_ref()
                     .and_then(|doc| doc.get("ilp_solves_tier0_off").and_then(Json::as_u64));
-                match committed {
+                match committed_off {
                     Some(committed_off) => assert!(
                         solves_tier0_on as u64 * 2 <= committed_off,
                         "suite ILP solves {solves_tier0_on} not halved vs committed \
@@ -347,15 +354,33 @@ fn main() {
                          tier-0 keys; skipping the solve-reduction gate"
                     ),
                 }
+                // The committed reduction, readable in either form: the
+                // historical bare fraction (`"ilp_solve_reduction": 1`) or
+                // the current object with before/after counts and a `pct`
+                // field. A small slack absorbs benign suite drift; real
+                // regressions (tier 0 losing coverage) blow well past it.
+                let committed_pct = doc
+                    .as_ref()
+                    .and_then(|doc| doc.get("ilp_solve_reduction"))
+                    .and_then(|v| match v {
+                        Json::Num(frac) => Some(frac * 1e2),
+                        obj => obj.get("pct").and_then(Json::as_f64),
+                    });
+                match committed_pct {
+                    Some(committed_pct) => assert!(
+                        reduction_pct >= committed_pct - 5.0,
+                        "tier-0 ILP solve reduction {reduction_pct:.1}% regressed vs \
+                         committed {committed_pct:.1}%"
+                    ),
+                    None => eprintln!(
+                        "synth_pipeline: committed BENCH_synthesis.json has no \
+                         ilp_solve_reduction in either form; skipping the pct gate"
+                    ),
+                }
             }
             Err(e) => eprintln!("synth_pipeline: no committed BENCH_synthesis.json ({e})"),
         }
     } else {
-        let reduction = if solves_tier0_off > 0 {
-            1.0 - solves_tier0_on as f64 / solves_tier0_off as f64
-        } else {
-            0.0
-        };
         let doc = Json::obj([
             ("benchmark", Json::str("synth_pipeline")),
             (
@@ -381,7 +406,14 @@ fn main() {
             ("tier0_lookups", Json::Num(total_tier0_lookups as f64)),
             ("ilp_solves_tier0_on", Json::Num(solves_tier0_on as f64)),
             ("ilp_solves_tier0_off", Json::Num(solves_tier0_off as f64)),
-            ("ilp_solve_reduction", Json::Num(reduction)),
+            (
+                "ilp_solve_reduction",
+                Json::obj([
+                    ("before", Json::Num(solves_tier0_off as f64)),
+                    ("after", Json::Num(solves_tier0_on as f64)),
+                    ("pct", Json::Num(reduction_pct)),
+                ]),
+            ),
             (
                 "query_support_hist",
                 Json::Arr(support_hist.iter().map(|&c| Json::Num(c as f64)).collect()),

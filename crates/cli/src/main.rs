@@ -14,6 +14,8 @@
 //! tels verify <spec.blif> <impl.tnet>         check functional equivalence
 //! tels info   <file.blif|file.tnet>           gate/level/area statistics
 //! tels print  <file.blif|file.tnet>           dump the netlist
+//! tels serve  --socket PATH | --stdio         batched synthesis daemon
+//! tels client --socket PATH <in.blif...>      submit jobs to a daemon
 //! tels trace-check <trace.json> [stats.json]  validate trace/stats artifacts
 //! ```
 
@@ -26,6 +28,8 @@ use tels_core::{
 };
 use tels_logic::opt::{script_algebraic, script_boolean};
 use tels_logic::{blif, Network};
+use tels_serve::protocol::JobRequest;
+use tels_serve::{serve_stdio, serve_unix, Client, ServeOptions, ServeSession};
 use tels_trace::export;
 use tels_trace::json::Json;
 
@@ -58,6 +62,11 @@ usage: tels <command> [args]
          [--max-nodes N] [--corpus DIR] [--no-shrink] [--progress N]
          differentially fuzz the synthesis pipeline
   fuzz   --replay DIR                    replay a reproducer corpus
+  serve  --socket PATH | --stdio         run the batched synthesis daemon
+         [--threads N] [--cache-file PATH]
+  client --socket PATH [in.blif...] [-o out.tnet] [--no-factor] [--verify]
+         [--ping] [--stats] [--malformed] [--shutdown]
+                                         submit jobs to a running daemon
   trace-check <trace.json> [stats.json]  validate --trace / --stats-json artifacts";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -73,6 +82,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "verilog" => cmd_verilog(rest),
         "suite" => cmd_suite(rest),
         "fuzz" => cmd_fuzz(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "trace-check" => cmd_trace_check(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
@@ -286,6 +297,171 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         }
     }
     emit_tnet(&tn, &a.output)
+}
+
+/// Runs the batched synthesis daemon (`tels serve`): a long-lived process
+/// holding one worker pool and per-configuration realization caches, fed
+/// jobs over the framed JSON protocol on stdin/stdout (`--stdio`) or a
+/// unix socket (`--socket`). With `--cache-file`, the realization caches
+/// are loaded at startup and saved on shutdown, so threshold-check results
+/// persist across daemon restarts.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut threads = 0usize;
+    let mut cache_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .ok_or_else(|| "--socket requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--stdio" => stdio = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or_else(|| "--threads requires a value".to_string())?
+                    .parse()
+                    .map_err(|_| "--threads requires a non-negative integer".to_string())?
+            }
+            "--cache-file" => {
+                cache_file = Some(
+                    it.next()
+                        .ok_or_else(|| "--cache-file requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if stdio == socket.is_some() {
+        return Err("serve requires exactly one of --socket <path> or --stdio".to_string());
+    }
+    let session = ServeSession::new(ServeOptions {
+        threads,
+        cache_file: cache_file.map(std::path::PathBuf::from),
+    })?;
+    if stdio {
+        serve_stdio(&session).map_err(|e| e.to_string())?;
+    } else {
+        let path = socket.expect("checked above");
+        eprintln!(
+            "tels: serving on {path} ({} worker threads)",
+            session.threads()
+        );
+        serve_unix(std::sync::Arc::new(session), std::path::Path::new(&path))
+            .map_err(|e| e.to_string())?;
+        eprintln!("tels: daemon stopped");
+    }
+    Ok(())
+}
+
+/// Submits jobs to a running daemon (`tels client`): synthesizes each
+/// positional BLIF file in order, plus optional `--ping`, `--stats`,
+/// `--malformed` (deliberately unparseable frame, to exercise the daemon's
+/// error containment) and `--shutdown` control requests.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut output: Option<String> = None;
+    let mut factor = true;
+    let mut verify = false;
+    let mut ping = false;
+    let mut stats = false;
+    let mut malformed = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .ok_or_else(|| "--socket requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            "-o" => {
+                output = Some(
+                    it.next()
+                        .ok_or_else(|| "-o requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--no-factor" => factor = false,
+            "--verify" => verify = true,
+            "--ping" => ping = true,
+            "--stats" => stats = true,
+            "--malformed" => malformed = true,
+            "--shutdown" => shutdown = true,
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let socket = socket.ok_or("client requires --socket <path>")?;
+    if output.is_some() && files.len() != 1 {
+        return Err("-o requires exactly one input file".to_string());
+    }
+    let mut client =
+        Client::connect(std::path::Path::new(&socket)).map_err(|e| format!("{socket}: {e}"))?;
+    if ping {
+        let reply = client.ping()?;
+        eprintln!("tels: ping -> {reply}");
+    }
+    if malformed {
+        // A framed-but-unparseable payload: the daemon must answer with an
+        // error reply and keep the connection usable for the jobs below.
+        let reply = client.request_raw(b"{this is deliberately not json")?;
+        if reply.get("ok") != Some(&Json::Bool(false)) {
+            return Err(format!("malformed frame was not rejected: {reply}"));
+        }
+        eprintln!("tels: malformed frame rejected as expected: {reply}");
+    }
+    for path in &files {
+        let blif = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let req = JobRequest {
+            blif,
+            factor,
+            verify,
+            ..JobRequest::default()
+        };
+        let reply = client.synth(&req)?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            let msg = reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error");
+            return Err(format!("{path}: job failed: {msg}"));
+        }
+        let tnet = reply
+            .get("tnet")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: reply lacks tnet payload"))?;
+        eprintln!(
+            "tels: {path}: {} gates, {} levels, area {} ({:.1} ms)",
+            reply.get("gates").and_then(Json::as_u64).unwrap_or(0),
+            reply.get("levels").and_then(Json::as_u64).unwrap_or(0),
+            reply.get("area").and_then(Json::as_u64).unwrap_or(0),
+            reply.get("micros").and_then(Json::as_f64).unwrap_or(0.0) / 1e3
+        );
+        match &output {
+            Some(out) => fs::write(out, tnet).map_err(|e| format!("{out}: {e}"))?,
+            None => print!("{tnet}"),
+        }
+    }
+    if stats {
+        let reply = client.stats()?;
+        let body = reply.get("stats").unwrap_or(&reply);
+        println!("{}", body.pretty());
+    }
+    if shutdown {
+        let reply = client.shutdown()?;
+        eprintln!("tels: shutdown -> {reply}");
+    }
+    Ok(())
 }
 
 /// Validates a `--trace` Chrome-trace file (and optionally a `--stats-json`

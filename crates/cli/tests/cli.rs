@@ -354,3 +354,128 @@ fn trace_check_rejects_garbage() {
     let o = tels(&["trace-check", bogus.to_str().unwrap()]);
     assert!(!o.status.success());
 }
+
+#[test]
+fn serve_daemon_round_trip_over_socket() {
+    let dir = workdir("serve");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let sock = dir.join("tels.sock");
+    let cache = dir.join("cache.bin");
+
+    // One-shot reference bytes.
+    let one_shot = dir.join("one_shot.tnet");
+    let o = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "-o",
+        one_shot.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "one-shot synth failed: {}", stderr(&o));
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_tels"))
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache-file",
+            cache.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn daemon");
+    // Wait for the listener to come up.
+    for _ in 0..100 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(sock.exists(), "daemon never bound its socket");
+
+    // Ping, a deliberately malformed frame (daemon must reply with an error
+    // and keep serving), then a real job on the same connection.
+    let served = dir.join("served.tnet");
+    let o = tels(&[
+        "client",
+        "--socket",
+        sock.to_str().unwrap(),
+        "--ping",
+        "--malformed",
+        blif.to_str().unwrap(),
+        "-o",
+        served.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert!(o.status.success(), "client failed: {}", stderr(&o));
+    assert!(stderr(&o).contains("malformed frame rejected"));
+    assert!(stdout(&o).contains("\"jobs_ok\": 1"), "{}", stdout(&o));
+    assert!(stdout(&o).contains("\"bad_frames\": 1"), "{}", stdout(&o));
+    assert_eq!(
+        fs::read(&served).unwrap(),
+        fs::read(&one_shot).unwrap(),
+        "served .tnet must be byte-identical to one-shot"
+    );
+
+    // Clean shutdown; the daemon must exit and save its cache file.
+    let o = tels(&["client", "--socket", sock.to_str().unwrap(), "--shutdown"]);
+    assert!(o.status.success(), "shutdown failed: {}", stderr(&o));
+    let mut exited = false;
+    for _ in 0..100 {
+        if daemon.try_wait().expect("poll daemon").is_some() {
+            exited = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    if !exited {
+        daemon.kill().ok();
+    }
+    assert!(exited, "daemon did not exit after shutdown request");
+    assert!(cache.exists(), "daemon did not save its cache file");
+
+    // A second daemon must load the persisted cache and serve identical
+    // bytes warm.
+    let mut daemon2 = Command::new(env!("CARGO_BIN_EXE_tels"))
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache-file",
+            cache.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn warm daemon");
+    for _ in 0..100 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let warm = dir.join("warm.tnet");
+    let o = tels(&[
+        "client",
+        "--socket",
+        sock.to_str().unwrap(),
+        blif.to_str().unwrap(),
+        "-o",
+        warm.to_str().unwrap(),
+        "--shutdown",
+    ]);
+    assert!(o.status.success(), "warm client failed: {}", stderr(&o));
+    assert_eq!(
+        fs::read(&warm).unwrap(),
+        fs::read(&one_shot).unwrap(),
+        "persisted-warm bytes must match one-shot"
+    );
+    for _ in 0..100 {
+        if daemon2.try_wait().expect("poll daemon").is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    daemon2.kill().ok();
+}

@@ -107,6 +107,34 @@ impl RealizationCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every entry, sorted by key — a deterministic snapshot for disk
+    /// persistence (the same cache contents always serialize to the same
+    /// bytes regardless of insertion order or shard layout).
+    pub fn snapshot(&self) -> Vec<(Vec<u64>, Option<CanonicalRealization>)> {
+        let mut out: Vec<(Vec<u64>, Option<CanonicalRealization>)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read().expect("cache shard poisoned");
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Bulk-inserts entries (a persisted snapshot being reloaded). Keys
+    /// already present are overwritten — harmless under the canonical-space
+    /// discipline, where every writer stores the same value for a key.
+    pub fn extend(
+        &self,
+        entries: impl IntoIterator<Item = (Vec<u64>, Option<CanonicalRealization>)>,
+    ) {
+        for (key, value) in entries {
+            self.shard(&key)
+                .write()
+                .expect("cache shard poisoned")
+                .insert(key, value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,53 @@ pub enum SplitHeuristic {
     Halves,
 }
 
+/// The configuration fields a cached realization *value* depends on.
+///
+/// A [`RealizationCache`](crate::RealizationCache) entry is decided in
+/// canonical space from the function key plus these fields — the margins
+/// δ_on/δ_off, the weight cap, and the ILP effort limits. Two
+/// configurations with equal keys may share (or persist/reload) one cache;
+/// the remaining knobs (ψ, strategy, tier-0, Theorem 1, thread counts)
+/// change which queries are *asked*, never what a given key's answer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// ON-side defect tolerance δ_on.
+    pub delta_on: i64,
+    /// OFF-side defect tolerance δ_off.
+    pub delta_off: i64,
+    /// Weight-magnitude cap (`None` = unbounded).
+    pub weight_cap: Option<i64>,
+    /// ILP pivot limit.
+    pub max_pivots: u64,
+    /// ILP branch-and-bound node limit.
+    pub max_nodes: u64,
+}
+
+impl CacheKey {
+    /// Stable fixed-width encoding for cache-file headers. `weight_cap` is
+    /// stored as the cap itself (caps are ≥ 1) with `0` meaning `None`.
+    pub fn encode(&self) -> [u64; 5] {
+        [
+            self.delta_on as u64,
+            self.delta_off as u64,
+            self.weight_cap.unwrap_or(0) as u64,
+            self.max_pivots,
+            self.max_nodes,
+        ]
+    }
+
+    /// Inverse of [`CacheKey::encode`].
+    pub fn decode(words: [u64; 5]) -> CacheKey {
+        CacheKey {
+            delta_on: words[0] as i64,
+            delta_off: words[1] as i64,
+            weight_cap: (words[2] != 0).then_some(words[2] as i64),
+            max_pivots: words[3],
+            max_nodes: words[4],
+        }
+    }
+}
+
 /// Parameters of a TELS synthesis run.
 ///
 /// Mirrors the user-controllable knobs of the paper's tool: the fanin
@@ -203,6 +250,18 @@ impl TelsConfig {
             && self.delta_off == 1
             && self.weight_cap.is_none()
             && self.ilp_limits == Limits::default()
+    }
+
+    /// The cache-compatibility key of this configuration: configurations
+    /// with equal keys may share one realization cache (see [`CacheKey`]).
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            delta_on: self.delta_on,
+            delta_off: self.delta_off,
+            weight_cap: self.weight_cap,
+            max_pivots: self.ilp_limits.max_pivots,
+            max_nodes: self.ilp_limits.max_nodes,
+        }
     }
 
     /// The number of warming worker threads this configuration resolves to:

@@ -59,6 +59,7 @@ mod error;
 mod map11;
 pub mod perturb;
 mod qca;
+pub mod sched;
 mod split;
 mod synth;
 mod theorems;
@@ -68,12 +69,15 @@ mod verilog;
 
 pub use cache::{CanonicalRealization, RealizationCache};
 pub use check::{check_threshold, Realization, SolverBreakdown};
-pub use config::{SplitHeuristic, SynthStrategy, TelsConfig};
+pub use config::{CacheKey, SplitHeuristic, SynthStrategy, TelsConfig};
 pub use error::SynthError;
 pub use map11::{map_one_to_one, synthesize_best};
 pub use qca::{map_to_majority, MajorityStats};
 pub use split::{split_binate, split_cubes_k, split_unate, split_unate_with, UnateSplit};
-pub use synth::{synthesize, synthesize_with_stats, GatePath, SynthStats};
+pub use synth::{
+    synthesize, synthesize_with_shared_cache, synthesize_with_stats, warm_cache_queue,
+    warm_cache_scheduler, warm_on_pool, GatePath, SynthStats, WarmPlan,
+};
 pub use theorems::{theorem1_refutes, theorem2_extend};
 pub use tier0::prewarm_tier0;
 pub use tnet::{parse_tnet, NetworkReport, ThresholdGate, ThresholdNetwork, TnId};

@@ -2,17 +2,20 @@
 //! recursively, from the primary outputs backwards.
 //!
 //! When the canonical realization cache is enabled (the default), the
-//! driver may first run a *level-parallel warming pass*: worker threads
-//! walk the same collapse/split decision tree over independent boundary
-//! nodes — deepest levels first — issuing every threshold query through
-//! the shared cache without emitting gates. The serial emission pass then
-//! replays the flow deterministically, answering almost every query from
-//! the warmed cache. Because cache entries are decided in canonical space
-//! (see [`crate::cache`]), the emitted network is identical for every
-//! thread count.
+//! driver may first run a *parallel warming pass*: worker threads walk the
+//! same collapse/split decision tree over independent boundary nodes,
+//! issuing every threshold query through the shared cache without emitting
+//! gates. Warming runs as dependency-counted node tasks on the
+//! work-stealing scheduler of [`crate::sched`] — a root becomes runnable
+//! the moment the boundary roots inside its collapse cone have been
+//! planned, so workers never idle at level boundaries. The serial emission
+//! pass then replays the flow deterministically, answering almost every
+//! query from the warmed cache. Because cache entries are decided in
+//! canonical space (see [`crate::cache`]), the emitted network is
+//! identical for every thread count.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 
 use tels_logic::opt::global_sop;
 use tels_logic::{Cube, Network, NodeId, SignatureScratch, Sop, Var};
@@ -23,6 +26,7 @@ use crate::check::{
 };
 use crate::config::TelsConfig;
 use crate::error::SynthError;
+use crate::sched::{DepGraph, Pool, PoolWorker, Scheduler};
 use crate::split::{split_binate, split_cubes_k, split_unate_with, UnateSplit};
 use crate::theorems::{theorem1_refutes, theorem2_extend};
 use crate::tnet::{ThresholdGate, ThresholdNetwork, TnId};
@@ -209,6 +213,41 @@ pub fn synthesize_with_stats(
             s.stats.solver.merge(&solver);
         }
     }
+    s.run()?;
+    span.arg("gates", s.tn.num_gates() as u64);
+    span.arg("ilp_calls", s.stats.ilp_calls as u64);
+    Ok((s.tn, s.stats))
+}
+
+/// [`synthesize_with_stats`] against a caller-owned realization cache —
+/// the `tels serve` entry point, where one cache outlives many jobs.
+///
+/// The cache engages under exactly the same gate as the one-shot flow
+/// (`use_cache` and the `parallel_min_nodes` size threshold), so the
+/// emitted network is byte-identical to a one-shot run of the same
+/// configuration: warming and pre-populated entries only change *when* an
+/// answer is computed, never what it is. No warming threads are spawned
+/// here — a daemon warms through its shared pool via [`warm_on_pool`]
+/// before (or instead of) calling this.
+///
+/// The caller must only reuse a cache across configurations that agree on
+/// [`TelsConfig::cache_key`]; entries are pure functions of the canonical
+/// key and those fields.
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_with_shared_cache(
+    net: &Network,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
+    config.assert_valid();
+    let mut span = tels_trace::span("core", "synthesize_shared");
+    let logic_nodes = net.node_ids().filter(|&n| !net.is_input(n)).count();
+    let big_enough = logic_nodes >= config.parallel_min_nodes;
+    let engaged = (config.use_cache && big_enough).then_some(cache);
+    let mut s = Synth::new(net, config, engaged)?;
     s.run()?;
     span.arg("gates", s.tn.num_gates() as u64);
     span.arg("ilp_calls", s.stats.ilp_calls as u64);
@@ -1028,11 +1067,182 @@ impl Planner<'_> {
     }
 }
 
-/// The level-parallel warming pass: plans every boundary node reachable
-/// from the outputs — deepest net levels first, so shared subfunctions are
-/// cached before their consumers ask — with `threads` scoped workers
-/// sharing one claim set and the canonical cache. Returns the total number
-/// of ILP solves the workers performed plus their merged solver counters.
+/// The static portion of a warming pass: the boundary roots the backward
+/// flow will synthesize as shared signals, plus the dependency edges
+/// between them (root A before root B when A is a boundary leaf inside
+/// B's collapse cone — planning A first means B's queries over A's signal
+/// hit a warm cache).
+///
+/// The plan is *advisory*, exactly like planning itself: collapse can stop
+/// early at the ψ bound and demand a non-boundary leaf no static analysis
+/// predicted, so executors must also handle dynamically discovered nodes
+/// (which enter dependency-free). A wrong or missing edge costs at worst a
+/// cache miss, never correctness.
+pub struct WarmPlan {
+    /// Roots in scheduling order: deepest net level first, ties by index.
+    roots: Vec<NodeId>,
+    /// Dependency edges as `(before, after)` indices into `roots`.
+    edges: Vec<(u32, u32)>,
+    /// Nodes collapse must not look through (PIs and fanout nodes).
+    boundary: Vec<bool>,
+    /// Logic depth per original-network node (split tie-breaking).
+    net_levels: Vec<usize>,
+}
+
+impl WarmPlan {
+    /// Builds the warming plan for a network: boundary, levels, reachable
+    /// roots, and inter-root dependency edges.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the network is cyclic.
+    pub fn build(net: &Network) -> Result<WarmPlan, SynthError> {
+        let fanouts = net.fanout_counts();
+        let boundary: Vec<bool> = net
+            .node_ids()
+            .map(|id| net.is_input(id) || fanouts[id.index()] >= 2)
+            .collect();
+        let net_levels = net.levels()?;
+        Ok(WarmPlan::from_parts(net, boundary, net_levels))
+    }
+
+    /// Builds the plan from precomputed boundary/level tables (the one-shot
+    /// driver already owns both).
+    fn from_parts(net: &Network, boundary: Vec<bool>, net_levels: Vec<usize>) -> WarmPlan {
+        // Roots: output drivers plus every fanout boundary node reachable
+        // from an output.
+        let mut reachable: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = net.outputs().iter().map(|&(_, id)| id).collect();
+        while let Some(n) = stack.pop() {
+            if reachable.insert(n) {
+                stack.extend(net.fanins(n).iter().copied());
+            }
+        }
+        let mut roots: Vec<NodeId> = reachable
+            .into_iter()
+            .filter(|&n| !net.is_input(n))
+            .filter(|&n| boundary[n.index()] || net.outputs().iter().any(|&(_, o)| o == n))
+            .collect();
+        // Deepest first; ties in a stable order for reproducible scheduling.
+        roots.sort_by_key(|&n| (std::cmp::Reverse(net_levels[n.index()]), n.index()));
+        let index_of: HashMap<NodeId, u32> = roots
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        // Edges: DFS each root's fanin cone through non-boundary nodes
+        // (the nodes collapse can absorb); every boundary node the cone
+        // touches is a root this root's plan will query as a leaf.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut visited: Vec<u32> = vec![u32::MAX; boundary.len()];
+        for (i, &root) in roots.iter().enumerate() {
+            let i = i as u32;
+            let mut stack: Vec<NodeId> = net.fanins(root).to_vec();
+            while let Some(n) = stack.pop() {
+                if net.is_input(n) || visited[n.index()] == i {
+                    continue;
+                }
+                visited[n.index()] = i;
+                if boundary[n.index()] {
+                    if let Some(&before) = index_of.get(&n) {
+                        edges.push((before, i));
+                    }
+                } else {
+                    stack.extend(net.fanins(n).iter().copied());
+                }
+            }
+        }
+        WarmPlan {
+            roots,
+            edges,
+            boundary,
+            net_levels,
+        }
+    }
+
+    /// Number of roots to plan.
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of inter-root dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The dependency graph over the roots, one task per root.
+    fn dep_graph(&self) -> DepGraph {
+        let mut g = DepGraph::new(self.roots.len());
+        for &(before, after) in &self.edges {
+            g.add_edge(before, after);
+        }
+        g
+    }
+}
+
+/// Mutable warming state shared by all workers of one pass: the task →
+/// node table (growing as planning discovers new leaves) and the claim
+/// set preventing duplicate planning.
+struct WarmNodes {
+    nodes: Vec<NodeId>,
+    claimed: HashSet<NodeId>,
+}
+
+/// The read-only context one warming pass shares across all of its
+/// workers (the node table rides along because every task resolves and
+/// extends it under the same lock).
+struct WarmShared<'a> {
+    net: &'a Network,
+    config: &'a TelsConfig,
+    cache: &'a RealizationCache,
+    plan: &'a WarmPlan,
+    nodes: &'a Mutex<WarmNodes>,
+}
+
+/// Plans one root and registers dynamically discovered nodes as fresh
+/// dependency-free tasks via `spawn` (which must make task id
+/// `nodes.nodes.len()` runnable). Returns the planner's solve counters.
+fn plan_one(
+    shared: &WarmShared<'_>,
+    task: u32,
+    scratch: SignatureScratch,
+    mut spawn: impl FnMut(&mut WarmNodes),
+) -> (usize, SolverBreakdown, SignatureScratch) {
+    let node = shared.nodes.lock().expect("warm node table poisoned").nodes[task as usize];
+    let mut planner = Planner {
+        net: shared.net,
+        config: shared.config,
+        cache: shared.cache,
+        boundary: &shared.plan.boundary,
+        net_levels: &shared.plan.net_levels,
+        ilp_solves: 0,
+        solver: SolverBreakdown::default(),
+        discovered: Vec::new(),
+        scratch,
+    };
+    // Advisory: a planning error is left for the serial pass to reproduce
+    // and report.
+    let _ = planner.plan_expr(&global_sop(shared.net, node));
+    if !planner.discovered.is_empty() {
+        let mut table = shared.nodes.lock().expect("warm node table poisoned");
+        for d in planner.discovered.drain(..) {
+            if table.claimed.insert(d) {
+                // The new task becomes stealable immediately, but readers
+                // resolve it through this same lock, so the push below is
+                // visible before any worker looks it up.
+                spawn(&mut table);
+                table.nodes.push(d);
+            }
+        }
+    }
+    (planner.ilp_solves, planner.solver, planner.scratch)
+}
+
+/// The parallel warming pass of a one-shot run: plans every reachable
+/// boundary root as a dependency-counted task on the work-stealing
+/// scheduler, with `threads` scoped workers sharing one claim set and the
+/// canonical cache. Returns the total number of ILP solves the workers
+/// performed plus their merged solver counters.
 fn warm_cache(
     net: &Network,
     config: &TelsConfig,
@@ -1041,39 +1251,130 @@ fn warm_cache(
     net_levels: &[usize],
     threads: usize,
 ) -> (usize, SolverBreakdown) {
-    // Roots the backward flow will synthesize as shared signals: output
-    // drivers plus every fanout boundary node reachable from an output.
-    let mut reachable: HashSet<NodeId> = HashSet::new();
-    let mut stack: Vec<NodeId> = net.outputs().iter().map(|&(_, id)| id).collect();
-    while let Some(n) = stack.pop() {
-        if reachable.insert(n) {
-            stack.extend(net.fanins(n).iter().copied());
-        }
+    let plan = WarmPlan::from_parts(net, boundary.to_vec(), net_levels.to_vec());
+    if plan.roots.is_empty() {
+        return (0, SolverBreakdown::default());
     }
-    let mut roots: Vec<NodeId> = reachable
-        .into_iter()
-        .filter(|&n| !net.is_input(n))
-        .filter(|&n| boundary[n.index()] || net.outputs().iter().any(|&(_, o)| o == n))
+    let nodes = Mutex::new(WarmNodes {
+        nodes: plan.roots.clone(),
+        claimed: plan.roots.iter().copied().collect(),
+    });
+    // Per-worker totals and reusable canonicalization buffers (uncontended
+    // locks: only worker `i` touches slot `i`).
+    struct Slot {
+        solves: usize,
+        solver: SolverBreakdown,
+        scratch: SignatureScratch,
+    }
+    let slots: Vec<Mutex<Slot>> = (0..threads.max(1))
+        .map(|_| {
+            Mutex::new(Slot {
+                solves: 0,
+                solver: SolverBreakdown::default(),
+                scratch: SignatureScratch::new(),
+            })
+        })
         .collect();
-    // Deepest first; ties in a stable order for reproducible scheduling.
-    roots.sort_by_key(|&n| (std::cmp::Reverse(net_levels[n.index()]), n.index()));
+    let sched = Scheduler::new(plan.dep_graph());
+    let shared = WarmShared {
+        net,
+        config,
+        cache,
+        plan: &plan,
+        nodes: &nodes,
+    };
+    sched.run(threads, |worker, task| {
+        if tels_trace::enabled() {
+            tels_trace::set_thread_label(format!("warm-{}", worker.index));
+        }
+        let mut slot = slots[worker.index].lock().expect("warm slot poisoned");
+        let scratch = std::mem::replace(&mut slot.scratch, SignatureScratch::new());
+        let (solves, solver, scratch) = plan_one(&shared, task, scratch, |_| {
+            worker.spawn();
+        });
+        slot.solves += solves;
+        slot.solver.merge(&solver);
+        slot.scratch = scratch;
+    });
+    let mut totals = (0, SolverBreakdown::default());
+    for slot in slots {
+        let slot = slot.into_inner().expect("warm slot poisoned");
+        totals.0 += slot.solves;
+        totals.1.merge(&slot.solver);
+    }
+    totals
+}
 
-    let queue: Mutex<VecDeque<NodeId>> = Mutex::new(roots.iter().copied().collect());
-    let claimed: Mutex<HashSet<NodeId>> = Mutex::new(roots.into_iter().collect());
+/// Runs only the work-stealing warming pass against a caller-provided
+/// cache — the standalone entry the `serve_pipeline` bench uses to time
+/// warming in isolation and to compare it against [`warm_cache_queue`].
+/// Returns the ILP solves performed plus the merged solver counters.
+///
+/// # Errors
+///
+/// Fails only when the network is cyclic.
+pub fn warm_cache_scheduler(
+    net: &Network,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+    threads: usize,
+) -> Result<(usize, SolverBreakdown), SynthError> {
+    config.assert_valid();
+    let fanouts = net.fanout_counts();
+    let boundary: Vec<bool> = net
+        .node_ids()
+        .map(|id| net.is_input(id) || fanouts[id.index()] >= 2)
+        .collect();
+    let net_levels = net.levels()?;
+    Ok(warm_cache(
+        net,
+        config,
+        cache,
+        &boundary,
+        &net_levels,
+        threads,
+    ))
+}
+
+/// The pre-scheduler warming pass, preserved verbatim for benchmarking
+/// against [`warm_cache_scheduler`]: scoped workers drain one shared FIFO
+/// of roots (deepest level first) with a claim set, but with no dependency
+/// ordering — a worker can plan a consumer before the subfunctions it
+/// shares are cached, repeating threshold checks the scheduler's
+/// dependency edges let later tasks reuse. Byte-identity is unaffected
+/// either way (warming is advisory); only the work distribution differs.
+///
+/// # Errors
+///
+/// Fails only when the network is cyclic.
+pub fn warm_cache_queue(
+    net: &Network,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+    threads: usize,
+) -> Result<(usize, SolverBreakdown), SynthError> {
+    config.assert_valid();
+    let fanouts = net.fanout_counts();
+    let boundary: Vec<bool> = net
+        .node_ids()
+        .map(|id| net.is_input(id) || fanouts[id.index()] >= 2)
+        .collect();
+    let net_levels = net.levels()?;
+    let plan = WarmPlan::from_parts(net, boundary.clone(), net_levels);
+    let queue: Mutex<std::collections::VecDeque<NodeId>> =
+        Mutex::new(plan.roots.iter().copied().collect());
+    let claimed: Mutex<HashSet<NodeId>> = Mutex::new(plan.roots.iter().copied().collect());
     let totals: Mutex<(usize, SolverBreakdown)> = Mutex::new((0, SolverBreakdown::default()));
-
     std::thread::scope(|s| {
-        for worker in 0..threads {
-            let (queue, claimed, totals) = (&queue, &claimed, &totals);
+        for _ in 0..threads.max(1) {
+            let (queue, claimed, totals, plan) = (&queue, &claimed, &totals, &plan);
             s.spawn(move || {
-                tels_trace::set_thread_label(format!("warm-{worker}"));
-                let _span = tels_trace::span("core", "warm_worker");
                 let mut planner = Planner {
                     net,
                     config,
                     cache,
-                    boundary,
-                    net_levels,
+                    boundary: &plan.boundary,
+                    net_levels: &plan.net_levels,
                     ilp_solves: 0,
                     solver: SolverBreakdown::default(),
                     discovered: Vec::new(),
@@ -1088,8 +1389,7 @@ fn warm_cache(
                             None => break,
                         },
                     };
-                    // Advisory: a planning error is left for the serial
-                    // pass to reproduce and report.
+                    // Advisory, exactly like the scheduler pass.
                     let _ = planner.plan_expr(&global_sop(net, node));
                     if !planner.discovered.is_empty() {
                         let mut seen = claimed.lock().expect("claim set poisoned");
@@ -1106,7 +1406,128 @@ fn warm_cache(
             });
         }
     });
-    totals.into_inner().expect("counter poisoned")
+    Ok(totals.into_inner().expect("counter poisoned"))
+}
+
+/// State of one pool-driven warming job (the `tels serve` path).
+struct PoolWarm {
+    net: Arc<Network>,
+    config: TelsConfig,
+    cache: Arc<RealizationCache>,
+    plan: WarmPlan,
+    nodes: Mutex<WarmNodes>,
+    /// Dependency graph plus the not-yet-completed task count.
+    graph: Mutex<(DepGraph, usize)>,
+    done: Condvar,
+    totals: Mutex<(usize, SolverBreakdown)>,
+    /// Job id attached to worker trace spans while planning this job.
+    job: Option<u64>,
+}
+
+/// Warms a shared realization cache for `net` on a persistent worker
+/// [`Pool`], blocking until every node task of this job has completed.
+/// Tasks from concurrent jobs interleave freely on the same pool.
+///
+/// `job` tags the workers' trace output (see [`tels_trace::set_job`]) so a
+/// daemon profile attributes warming work to the job that asked for it.
+/// Returns the ILP solves performed for this job plus the merged solver
+/// counters; like all warming this is advisory and cannot fail (planning
+/// errors surface in the later emission pass).
+///
+/// # Errors
+///
+/// Fails only when the network is cyclic.
+pub fn warm_on_pool(
+    pool: &Pool,
+    net: Arc<Network>,
+    config: &TelsConfig,
+    cache: Arc<RealizationCache>,
+    job: Option<u64>,
+) -> Result<(usize, SolverBreakdown), SynthError> {
+    config.assert_valid();
+    let plan = WarmPlan::build(&net)?;
+    if plan.roots.is_empty() {
+        return Ok((0, SolverBreakdown::default()));
+    }
+    let graph = plan.dep_graph();
+    let ready = graph.initial_ready();
+    let outstanding = graph.len();
+    let warm = Arc::new(PoolWarm {
+        nodes: Mutex::new(WarmNodes {
+            nodes: plan.roots.clone(),
+            claimed: plan.roots.iter().copied().collect(),
+        }),
+        net,
+        config: config.clone(),
+        cache,
+        plan,
+        graph: Mutex::new((graph, outstanding)),
+        done: Condvar::new(),
+        totals: Mutex::new((0, SolverBreakdown::default())),
+        job,
+    });
+    for task in ready {
+        let warm = Arc::clone(&warm);
+        pool.submit(move |w| pool_warm_task(&warm, w, task));
+    }
+    let mut st = warm.graph.lock().expect("warm graph poisoned");
+    while st.1 > 0 {
+        st = warm.done.wait(st).expect("warm graph poisoned");
+    }
+    drop(st);
+    let totals = warm.totals.lock().expect("warm totals poisoned");
+    Ok((totals.0, totals.1))
+}
+
+/// One node task of a pool-driven warming job: plan the node, release its
+/// dependents, and re-submit whatever became runnable onto this worker's
+/// own deque.
+fn pool_warm_task(warm: &Arc<PoolWarm>, w: &PoolWorker<'_>, task: u32) {
+    if tels_trace::enabled() {
+        tels_trace::set_job(warm.job);
+    }
+    let span = tels_trace::span("core", "warm_task");
+    let shared = WarmShared {
+        net: &warm.net,
+        config: &warm.config,
+        cache: &warm.cache,
+        plan: &warm.plan,
+        nodes: &warm.nodes,
+    };
+    let (solves, solver, _) = plan_one(&shared, task, SignatureScratch::new(), |_| {
+        // Discovered node: register a dependency-free task and submit
+        // it on this worker's own deque right away.
+        let t = {
+            let mut g = warm.graph.lock().expect("warm graph poisoned");
+            g.1 += 1;
+            g.0.push_task()
+        };
+        let warm2 = Arc::clone(warm);
+        w.spawn_local(Box::new(move |w2| pool_warm_task(&warm2, w2, t)));
+    });
+    drop(span);
+    {
+        let mut totals = warm.totals.lock().expect("warm totals poisoned");
+        totals.0 += solves;
+        totals.1.merge(&solver);
+    }
+    let (newly_ready, finished) = {
+        let mut g = warm.graph.lock().expect("warm graph poisoned");
+        let ready = g.0.complete(task);
+        g.1 -= 1;
+        let finished = g.1 == 0;
+        (ready, finished)
+    };
+    for t in newly_ready {
+        let warm2 = Arc::clone(warm);
+        w.spawn_local(Box::new(move |w2| pool_warm_task(&warm2, w2, t)));
+    }
+    if finished {
+        warm.done.notify_all();
+    }
+    if tels_trace::enabled() {
+        tels_trace::set_job(None);
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! | tier-0 | `use_tier0` on vs off | `.tnet` bytes |
 //! | threads | 1 thread vs N threads | `.tnet` bytes |
 //! | trace | tracing off vs on | `.tnet` bytes |
+//! | serve | in-process serve session vs one-shot | `.tnet` bytes |
 //! | cache | `use_cache` on vs off | gate count, depth, function |
 //! | synthesis | TELS result vs source network | function (exhaustive) |
 //! | baseline | `map_one_to_one` vs source and vs TELS | function (exhaustive) |
@@ -66,6 +67,9 @@ pub enum FailureKind {
     ThreadBytes,
     /// Tracing on/off produced different `.tnet` bytes.
     TraceBytes,
+    /// An in-process serve session produced different `.tnet` bytes than
+    /// the one-shot path (scheduler or shared-cache nondeterminism).
+    ServeBytes,
     /// Cache on/off disagreed on gate count, depth, or function.
     CacheDiff,
     /// The synthesized network is not equivalent to the source.
@@ -84,6 +88,7 @@ impl FailureKind {
             FailureKind::Tier0Bytes => "tier0",
             FailureKind::ThreadBytes => "threads",
             FailureKind::TraceBytes => "trace",
+            FailureKind::ServeBytes => "serve",
             FailureKind::CacheDiff => "cache",
             FailureKind::SynthEquiv => "equiv",
             FailureKind::Map11 => "map11",
@@ -240,6 +245,61 @@ fn expect_equivalent(
     }
 }
 
+/// The serve-vs-one-shot byte-identity leg (see [`run_case`]).
+fn serve_leg(net: &Network, cfg: &TelsConfig, opts: &OracleOptions) -> Result<(), Failure> {
+    use tels_serve::protocol::JobRequest;
+    use tels_serve::{ServeOptions, ServeSession};
+
+    let text = tels_logic::blif::write(net);
+    let kind = FailureKind::ServeBytes;
+    let reference = guarded(kind, "synthesize(round-trip)", || {
+        let parsed = tels_logic::blif::parse(&text)
+            .unwrap_or_else(|e| panic!("blif round-trip failed: {e}"));
+        synthesize(&parsed, cfg)
+    })?
+    .to_tnet();
+    let served = catch_unwind(AssertUnwindSafe(|| {
+        let session = ServeSession::new(ServeOptions {
+            threads: opts.alt_threads,
+            cache_file: None,
+        })?;
+        let req = JobRequest {
+            blif: text.clone(),
+            factor: false,
+            config: cfg.clone(),
+            ..JobRequest::default()
+        };
+        let cold = session.submit(&req)?.tn.to_tnet();
+        let warm = session.submit(&req)?.tn.to_tnet();
+        Ok::<(String, String), String>((cold, warm))
+    }));
+    let (cold, warm) = match served {
+        Ok(Ok(pair)) => pair,
+        Ok(Err(e)) => return Err(Failure::new(kind, format!("serve session failed: {e}"))),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return Err(Failure::new(kind, format!("serve session panicked: {msg}")));
+        }
+    };
+    if cold != reference {
+        return Err(Failure::new(
+            kind,
+            "serve session (cold cache) produced different .tnet bytes than one-shot",
+        ));
+    }
+    if warm != reference {
+        return Err(Failure::new(
+            kind,
+            "serve session (warm shared cache) produced different .tnet bytes than one-shot",
+        ));
+    }
+    Ok(())
+}
+
 /// Runs the full oracle matrix on one source network.
 ///
 /// Returns `Ok(())` when every leg agrees, or the first [`Failure`].
@@ -301,6 +361,15 @@ pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
             "tracing on/off produced different .tnet bytes",
         ));
     }
+
+    // Leg: an in-process serve session (pooled scheduler + shared
+    // realization cache) must match the one-shot path byte for byte. The
+    // job is submitted twice — cold, then again against the now-populated
+    // shared cache — so both the scheduler and cross-job cache reuse are
+    // on the hook. `factor: false` because the oracle synthesizes the raw
+    // generated network, and the comparison reference goes through the
+    // same BLIF round-trip the daemon's parser sees.
+    serve_leg(net, &cfg, opts)?;
 
     // Leg: cache on/off — same gate structure, same function (weights may
     // legitimately differ: the cache solves in canonical variable order).

@@ -1,0 +1,100 @@
+//! A minimal synchronous client for the serve protocol — the `tels client`
+//! subcommand, the CI smoke test, and the benches all speak through this.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use tels_trace::json::Json;
+
+use crate::protocol::{
+    read_json_frame, synth_request_json, write_frame, write_json_frame, JobRequest,
+};
+
+/// A connected client on a unix-socket daemon. One request/reply at a time
+/// (the protocol allows pipelining; this helper keeps it simple).
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon listening on `path`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (no daemon, permission, stale socket).
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Sends one JSON request frame and reads one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a closed connection, or an unparseable reply —
+    /// all as displayable strings.
+    pub fn request(&mut self, doc: &Json) -> Result<Json, String> {
+        write_json_frame(&mut self.stream, doc).map_err(|e| format!("send: {e}"))?;
+        self.read_reply()
+    }
+
+    /// Sends raw bytes as one frame (valid framing, arbitrary payload) and
+    /// reads the reply — lets tests and the CLI exercise the daemon's
+    /// malformed-JSON handling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn request_raw(&mut self, payload: &[u8]) -> Result<Json, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send: {e}"))?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<Json, String> {
+        match read_json_frame(&mut self.stream) {
+            Ok(Some(Ok(doc))) => Ok(doc),
+            Ok(Some(Err(e))) => Err(format!("unparseable reply: {e}")),
+            Ok(None) => Err("connection closed by server".to_string()),
+            Err(e) => Err(format!("receive: {e}")),
+        }
+    }
+
+    /// Submits a synthesis job and returns the reply object.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; a server-side job failure comes back as the
+    /// reply object with `ok: false`.
+    pub fn synth(&mut self, req: &JobRequest) -> Result<Json, String> {
+        self.request(&synth_request_json(req))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn ping(&mut self) -> Result<Json, String> {
+        self.request(&Json::obj([("op", Json::str("ping"))]))
+    }
+
+    /// Fetches the server statistics object.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.request(&Json::obj([("op", Json::str("stats"))]))
+    }
+
+    /// Asks the server to save its caches and stop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Json, String> {
+        self.request(&Json::obj([("op", Json::str("shutdown"))]))
+    }
+}

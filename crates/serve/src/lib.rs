@@ -1,0 +1,604 @@
+//! `tels serve`: a batched synthesis daemon.
+//!
+//! One-shot `tels synth` pays its startup costs — tier-0 oracle table
+//! construction, thread spawning, and above all an empty realization cache —
+//! on every invocation. This crate amortizes them across jobs: a
+//! [`ServeSession`] owns one work-stealing [`Pool`](tels_core::sched::Pool)
+//! of workers and one [`RealizationCache`] per configuration fingerprint
+//! ([`CacheKey`]), accepts synthesis jobs over a length-prefixed JSON
+//! protocol ([`protocol`]), and optionally persists the caches to disk
+//! between runs ([`persist`]).
+//!
+//! # Determinism contract
+//!
+//! A job's `.tnet` output is byte-identical to what a one-shot `tels synth`
+//! run of the same input and configuration produces, at any pool width,
+//! with a cold or pre-warmed cache. This follows from the core invariants:
+//! cache entries are pure functions of their canonical key plus the
+//! [`CacheKey`] fields, warming is advisory (it only changes *when* answers
+//! are computed), and [`synthesize_with_shared_cache`] applies exactly the
+//! one-shot cache-engagement gate. The serve layer's contribution is
+//! discipline: caches are keyed by configuration fingerprint so a job can
+//! never observe entries computed under different δ or solver limits.
+//!
+//! # Transports
+//!
+//! [`serve_stdio`] runs the protocol over stdin/stdout (one client, e.g.
+//! a build system holding a child process). [`serve_unix`] listens on a
+//! unix socket and serves concurrent clients, one thread per connection;
+//! jobs from all connections share the pool and caches. A `shutdown`
+//! request from any client stops the listener, and the session saves its
+//! caches if a cache file is configured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod persist;
+pub mod protocol;
+
+mod client;
+mod server;
+
+pub use client::Client;
+pub use server::{serve_connection, serve_stdio, serve_unix, ConnectionEnd};
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tels_core::sched::Pool;
+use tels_core::{
+    prewarm_tier0, synthesize_with_shared_cache, warm_on_pool, CacheKey, RealizationCache,
+    SynthStats, ThresholdNetwork,
+};
+use tels_logic::blif;
+use tels_logic::opt::script_algebraic;
+use tels_trace::json::Json;
+use tels_trace::Histogram;
+
+use protocol::{error_reply, parse_request, validate_config, JobRequest, Request};
+
+/// Daemon construction options.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads in the shared pool (`0` = one per hardware thread).
+    pub threads: usize,
+    /// Cache persistence file: loaded at startup when present, saved on
+    /// shutdown and by [`ServeSession::persist_now`].
+    pub cache_file: Option<PathBuf>,
+}
+
+/// Mutable server counters (everything behind one short-held lock).
+#[derive(Debug, Default)]
+struct Counters {
+    jobs_ok: u64,
+    jobs_failed: u64,
+    bad_frames: u64,
+    latency_us: Histogram,
+}
+
+/// A completed synthesis job.
+#[derive(Debug)]
+pub struct JobReply {
+    /// The job id (client-chosen or session-assigned).
+    pub id: u64,
+    /// The synthesized network.
+    pub tn: ThresholdNetwork,
+    /// Run statistics (warming counters merged in).
+    pub stats: SynthStats,
+    /// Wall-clock latency of the job inside the session, in microseconds.
+    pub micros: u64,
+}
+
+/// A long-lived synthesis session: shared worker pool, per-configuration
+/// realization caches, job counters, and optional disk persistence.
+///
+/// Transport-independent — [`serve_stdio`]/[`serve_unix`] drive it over
+/// byte streams, and in-process callers ([`Client`] alternatives like the
+/// fuzz harness and benches) call [`ServeSession::submit`] directly.
+pub struct ServeSession {
+    pool: Pool,
+    caches: Mutex<HashMap<CacheKey, Arc<RealizationCache>>>,
+    counters: Mutex<Counters>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    cache_file: Option<PathBuf>,
+    started: Instant,
+}
+
+impl ServeSession {
+    /// Builds a session: prewarms the tier-0 oracle, spawns the worker
+    /// pool, and loads the cache file when one is configured and present.
+    ///
+    /// # Errors
+    ///
+    /// A configured cache file that exists but fails validation (wrong
+    /// magic, incompatible version, truncated body) is rejected with a
+    /// descriptive message — delete or move the file to start fresh. A
+    /// *missing* cache file is not an error.
+    pub fn new(opts: ServeOptions) -> Result<ServeSession, String> {
+        prewarm_tier0();
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            opts.threads
+        };
+        let session = ServeSession {
+            pool: Pool::new(threads),
+            caches: Mutex::new(HashMap::new()),
+            counters: Mutex::new(Counters::default()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            cache_file: opts.cache_file,
+            started: Instant::now(),
+        };
+        if let Some(path) = session.cache_file.clone().filter(|p| p.exists()) {
+            let sections = persist::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            for (fingerprint, entries) in sections {
+                session.cache(fingerprint).extend(entries);
+            }
+        }
+        Ok(session)
+    }
+
+    /// Worker threads in the shared pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The shared cache for a configuration fingerprint (created empty on
+    /// first use).
+    pub fn cache(&self, fingerprint: CacheKey) -> Arc<RealizationCache> {
+        Arc::clone(
+            self.caches
+                .lock()
+                .expect("cache map poisoned")
+                .entry(fingerprint)
+                .or_default(),
+        )
+    }
+
+    /// Whether a `shutdown` request has been handled.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Runs one synthesis job against the shared pool and caches. Assigns
+    /// an id when the request carries none; records latency and outcome in
+    /// the server counters either way.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration, unparseable BLIF, synthesis failure, or (when
+    /// `verify` is set) a simulation mismatch — all as displayable strings;
+    /// a bad job never takes the session down.
+    pub fn submit(&self, req: &JobRequest) -> Result<JobReply, String> {
+        let id = req
+            .id
+            .unwrap_or_else(|| self.next_id.fetch_add(1, Ordering::SeqCst));
+        let start = Instant::now();
+        let traced = tels_trace::enabled();
+        if traced {
+            // Label every span this job emits — including those from pool
+            // workers warming on its behalf — with the job id.
+            tels_trace::set_job(Some(id));
+        }
+        let result = {
+            let _span = tels_trace::span("serve", "job");
+            self.run_job(id, req)
+        };
+        if traced {
+            tels_trace::set_job(None);
+        }
+        let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut counters = self.counters.lock().expect("counters poisoned");
+        counters.latency_us.record(micros);
+        match result {
+            Ok((tn, stats)) => {
+                counters.jobs_ok += 1;
+                Ok(JobReply {
+                    id,
+                    tn,
+                    stats,
+                    micros,
+                })
+            }
+            Err(e) => {
+                counters.jobs_failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn run_job(&self, id: u64, req: &JobRequest) -> Result<(ThresholdNetwork, SynthStats), String> {
+        validate_config(&req.config)?;
+        let net = blif::parse(&req.blif).map_err(|e| format!("blif: {e}"))?;
+        // Mirror one-shot `tels synth`: factor by default, synthesize the
+        // prepared network, verify (when asked) against the *original*.
+        let prepared = Arc::new(if req.factor {
+            script_algebraic(&net)
+        } else {
+            net.clone()
+        });
+        let config = &req.config;
+        let cache = self.cache(config.cache_key());
+        let logic_nodes = prepared
+            .node_ids()
+            .filter(|&n| !prepared.is_input(n))
+            .count();
+        let engaged = config.use_cache && logic_nodes >= config.parallel_min_nodes;
+        let mut warm = None;
+        if engaged && self.pool.threads() > 1 {
+            warm = Some(
+                warm_on_pool(
+                    &self.pool,
+                    Arc::clone(&prepared),
+                    config,
+                    Arc::clone(&cache),
+                    Some(id),
+                )
+                .map_err(|e| e.to_string())?,
+            );
+        }
+        // Applies the same engagement gate internally, so sub-threshold
+        // jobs reproduce the uncached one-shot flow bit-for-bit.
+        let (tn, mut stats) =
+            synthesize_with_shared_cache(&prepared, config, &cache).map_err(|e| e.to_string())?;
+        if let Some((solves, solver)) = warm {
+            stats.ilp_solves += solves;
+            stats.solver.merge(&solver);
+        }
+        if req.verify {
+            match tn
+                .verify_against(&net, 12, 1024, 1)
+                .map_err(|e| e.to_string())?
+            {
+                None => {}
+                Some(cex) => return Err(format!("verification mismatch at {cex:?}")),
+            }
+        }
+        Ok((tn, stats))
+    }
+
+    /// Handles one parsed request frame, returning the reply and whether
+    /// this request asked the server to shut down.
+    pub fn handle(&self, doc: &Json) -> (Json, bool) {
+        // Echo a numeric `id` in error replies even when the request is
+        // otherwise malformed, so pipelined clients can correlate.
+        let id = doc.get("id").and_then(Json::as_u64);
+        match parse_request(doc) {
+            Err(e) => (error_reply(id, &e), false),
+            Ok(Request::Ping) => (
+                Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+                false,
+            ),
+            Ok(Request::Stats) => (
+                Json::obj([("ok", Json::Bool(true)), ("stats", self.stats_json())]),
+                false,
+            ),
+            Ok(Request::Shutdown) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("shutting_down", Json::Bool(true)),
+                    ]),
+                    true,
+                )
+            }
+            Ok(Request::Synth(job)) => match self.submit(&job) {
+                Err(e) => (error_reply(job.id, &e), false),
+                Ok(reply) => (
+                    Json::obj([
+                        ("id", Json::Num(reply.id as f64)),
+                        ("ok", Json::Bool(true)),
+                        ("model", Json::str(reply.tn.model())),
+                        ("gates", Json::Num(reply.tn.num_gates() as f64)),
+                        ("levels", Json::Num(reply.tn.depth() as f64)),
+                        ("area", Json::Num(reply.tn.area() as f64)),
+                        ("micros", Json::Num(reply.micros as f64)),
+                        ("tnet", Json::str(reply.tn.to_tnet())),
+                        ("stats", reply.stats.to_json()),
+                    ]),
+                    false,
+                ),
+            },
+        }
+    }
+
+    /// Notes a malformed frame (unparseable JSON / non-UTF-8 payload) in
+    /// the server counters.
+    pub fn note_bad_frame(&self) {
+        self.counters.lock().expect("counters poisoned").bad_frames += 1;
+    }
+
+    /// Server statistics: job counts, per-job latency histogram
+    /// (microseconds, log2 buckets), cache population per configuration
+    /// fingerprint, pool width, uptime.
+    pub fn stats_json(&self) -> Json {
+        let caches = self.caches.lock().expect("cache map poisoned");
+        let mut sections: Vec<(CacheKey, usize)> =
+            caches.iter().map(|(k, c)| (*k, c.len())).collect();
+        drop(caches);
+        sections.sort_by_key(|(k, _)| k.encode());
+        let total: usize = sections.iter().map(|(_, n)| n).sum();
+        let cache_list: Vec<Json> = sections
+            .into_iter()
+            .map(|(k, n)| {
+                Json::obj([
+                    (
+                        "fingerprint",
+                        Json::Arr(k.encode().iter().map(|&w| Json::Num(w as f64)).collect()),
+                    ),
+                    ("entries", Json::Num(n as f64)),
+                ])
+            })
+            .collect();
+        let counters = self.counters.lock().expect("counters poisoned");
+        Json::obj([
+            ("jobs_ok", Json::Num(counters.jobs_ok as f64)),
+            ("jobs_failed", Json::Num(counters.jobs_failed as f64)),
+            ("bad_frames", Json::Num(counters.bad_frames as f64)),
+            ("pool_threads", Json::Num(self.pool.threads() as f64)),
+            (
+                "uptime_ms",
+                Json::Num(self.started.elapsed().as_millis() as f64),
+            ),
+            ("cache_entries", Json::Num(total as f64)),
+            ("caches", Json::Arr(cache_list)),
+            ("job_latency_us", counters.latency_us.to_json()),
+        ])
+    }
+
+    /// Saves every per-configuration cache to the configured cache file
+    /// (atomic temp-file + rename; safe while jobs are running — each cache
+    /// is snapshotted under its shard read locks). Returns the number of
+    /// entries written, or `None` when no cache file is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from writing the file.
+    pub fn persist_now(&self) -> std::io::Result<Option<usize>> {
+        let Some(path) = &self.cache_file else {
+            return Ok(None);
+        };
+        let caches = self.caches.lock().expect("cache map poisoned");
+        let mut held: Vec<(CacheKey, Arc<RealizationCache>)> =
+            caches.iter().map(|(k, c)| (*k, Arc::clone(c))).collect();
+        drop(caches);
+        // Deterministic section order, so identical contents produce an
+        // identical file.
+        held.sort_by_key(|(k, _)| k.encode());
+        let refs: Vec<(CacheKey, &RealizationCache)> =
+            held.iter().map(|(k, c)| (*k, &**c)).collect();
+        persist::save(path, &refs).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tels_core::TelsConfig;
+
+    /// BLIF text of the smallest suite circuit that still engages the
+    /// cache under the default config (>= `parallel_min_nodes` logic nodes
+    /// *after* `script_algebraic` — the count the engagement gate sees).
+    fn big_blif() -> String {
+        let min = TelsConfig::default().parallel_min_nodes;
+        let bench = tels_circuits::paper_suite()
+            .into_iter()
+            .find(|b| {
+                let p = script_algebraic(&b.network);
+                p.node_ids().filter(|&n| !p.is_input(n)).count() >= min
+            })
+            .expect("paper suite must contain a cache-engaging circuit");
+        blif::write(&bench.network)
+    }
+
+    /// Default config with the tier-0 oracle disabled: tier-0 answers
+    /// small-support queries without touching the cache, so tests that
+    /// observe cache population and persistence must route queries past it.
+    /// (`cache_key` ignores `use_tier0` — the fingerprint is unchanged.)
+    fn cacheable_config() -> TelsConfig {
+        TelsConfig {
+            use_tier0: false,
+            ..TelsConfig::default()
+        }
+    }
+
+    fn session(threads: usize) -> ServeSession {
+        ServeSession::new(ServeOptions {
+            threads,
+            cache_file: None,
+        })
+        .expect("session")
+    }
+
+    #[test]
+    fn serve_bytes_match_one_shot() {
+        let s = session(3);
+        let text = big_blif();
+        let req = JobRequest {
+            blif: text.clone(),
+            verify: true,
+            config: cacheable_config(),
+            ..JobRequest::default()
+        };
+        // One-shot reference: same preparation, fresh per-run cache.
+        let net = blif::parse(&text).unwrap();
+        let prepared = script_algebraic(&net);
+        let (reference, _) =
+            tels_core::synthesize_with_stats(&prepared, &cacheable_config()).unwrap();
+        for round in 0..3 {
+            let reply = s.submit(&req).expect("job");
+            assert_eq!(
+                reply.tn.to_tnet(),
+                reference.to_tnet(),
+                "serve output diverged on round {round}"
+            );
+        }
+        // Cache persisted across jobs: the later rounds must have hits.
+        assert!(!s.cache(cacheable_config().cache_key()).is_empty());
+    }
+
+    #[test]
+    fn jobs_isolated_by_config_fingerprint() {
+        let s = session(2);
+        let text = big_blif();
+        let relaxed = cacheable_config();
+        let strict = TelsConfig {
+            delta_off: 2,
+            ..cacheable_config()
+        };
+        let a = s
+            .submit(&JobRequest {
+                blif: text.clone(),
+                config: relaxed.clone(),
+                ..JobRequest::default()
+            })
+            .unwrap();
+        let b = s
+            .submit(&JobRequest {
+                blif: text.clone(),
+                config: strict.clone(),
+                ..JobRequest::default()
+            })
+            .unwrap();
+        // Distinct fingerprints must have populated distinct caches.
+        assert!(!s.cache(relaxed.cache_key()).is_empty());
+        assert!(!s.cache(strict.cache_key()).is_empty());
+        // And the stricter margin must reproduce its own one-shot bytes.
+        let net = blif::parse(&text).unwrap();
+        let prepared = script_algebraic(&net);
+        let (ref_default, _) = tels_core::synthesize_with_stats(&prepared, &relaxed).unwrap();
+        let (ref_strict, _) = tels_core::synthesize_with_stats(&prepared, &strict).unwrap();
+        assert_eq!(a.tn.to_tnet(), ref_default.to_tnet());
+        assert_eq!(b.tn.to_tnet(), ref_strict.to_tnet());
+    }
+
+    #[test]
+    fn bad_jobs_reported_not_fatal() {
+        let s = session(2);
+        let bad = JobRequest {
+            blif: ".model broken\n.inputs a\n.names a a a\n.end\n".to_string(),
+            ..JobRequest::default()
+        };
+        assert!(s.submit(&bad).is_err());
+        // Session still serves good jobs afterwards.
+        let good = JobRequest {
+            blif: big_blif(),
+            ..JobRequest::default()
+        };
+        assert!(s.submit(&good).is_ok());
+        let stats = s.stats_json();
+        assert_eq!(stats.get("jobs_failed").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("jobs_ok").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stats
+                .get("job_latency_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn cache_roundtrips_through_disk_with_identical_answers() {
+        let path =
+            std::env::temp_dir().join(format!("tels-serve-cache-{}.bin", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let req = JobRequest {
+            blif: big_blif(),
+            config: cacheable_config(),
+            ..JobRequest::default()
+        };
+        let cold_tnet;
+        let cold_entries;
+        {
+            let s = ServeSession::new(ServeOptions {
+                threads: 2,
+                cache_file: Some(path.clone()),
+            })
+            .unwrap();
+            cold_tnet = s.submit(&req).unwrap().tn.to_tnet();
+            cold_entries = s.cache(cacheable_config().cache_key()).len();
+            assert!(cold_entries > 0, "cold run must populate the cache");
+            assert!(s.persist_now().unwrap().unwrap() >= cold_entries);
+        }
+        {
+            let s = ServeSession::new(ServeOptions {
+                threads: 2,
+                cache_file: Some(path.clone()),
+            })
+            .unwrap();
+            let loaded = s.cache(cacheable_config().cache_key()).len();
+            assert_eq!(loaded, cold_entries, "persisted entries must reload");
+            let warm_tnet = s.submit(&req).unwrap().tn.to_tnet();
+            assert_eq!(warm_tnet, cold_tnet, "persisted-warm bytes must match cold");
+        }
+        // A corrupt file must reject the session instead of panicking.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ServeSession::new(ServeOptions {
+            threads: 2,
+            cache_file: Some(path.clone()),
+        })
+        .err()
+        .expect("corrupt cache file must be rejected");
+        assert!(err.contains("corrupt"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_save_during_active_synthesis() {
+        let path =
+            std::env::temp_dir().join(format!("tels-serve-concurrent-{}.bin", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let s = ServeSession::new(ServeOptions {
+            threads: 2,
+            cache_file: Some(path.clone()),
+        })
+        .unwrap();
+        std::thread::scope(|scope| {
+            let session = &s;
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(move || {
+                        for _ in 0..4 {
+                            session
+                                .submit(&JobRequest {
+                                    blif: big_blif(),
+                                    ..JobRequest::default()
+                                })
+                                .expect("job under concurrent save");
+                        }
+                    })
+                })
+                .collect();
+            // Saver races the jobs: every intermediate file must load.
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    session.persist_now().expect("save during synthesis");
+                    let sections = persist::load(&path).expect("saved file must be valid");
+                    for (fingerprint, entries) in sections {
+                        // Snapshot consistency: reloading mid-run entries
+                        // into a fresh cache must be accepted wholesale.
+                        let fresh = RealizationCache::new();
+                        fresh.extend(entries);
+                        let _ = fingerprint;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            for w in workers {
+                w.join().unwrap();
+            }
+        });
+        std::fs::remove_file(s.cache_file.as_ref().unwrap()).ok();
+    }
+}

@@ -1,0 +1,437 @@
+//! Length-prefixed JSON framing and the request/response schema.
+//!
+//! Every message on a serve connection — either direction — is one frame:
+//! a 4-byte big-endian length followed by that many bytes of UTF-8 JSON
+//! (the in-tree [`tels_trace::json`] value; no external serializer). The
+//! length prefix makes message boundaries explicit on a byte stream, so a
+//! client can pipeline requests and the daemon never scans for delimiters
+//! inside payloads.
+//!
+//! Error containment is per-frame: malformed JSON inside a well-formed
+//! frame yields an error *reply* and the connection continues; a frame
+//! whose length prefix is oversized is unrecoverable (the stream can no
+//! longer be resynchronized) and closes the connection after an error
+//! reply.
+
+use std::io::{self, Read, Write};
+
+use tels_core::{SplitHeuristic, SynthStrategy, TelsConfig};
+use tels_trace::json::Json;
+
+/// Hard cap on a frame payload (16 MiB): far above any legitimate netlist,
+/// small enough that a garbage length prefix cannot trigger a huge
+/// allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including EOF mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`]; the stream cannot be
+    /// resynchronized.
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte cap")
+            }
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (EOF exactly at a
+/// frame boundary); EOF inside a frame is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            // Distinguish "no more frames" from "frame cut short": probe
+            // whether any length bytes arrived. `read_exact` leaves the
+            // buffer unspecified on error, so re-read conservatively —
+            // a clean close is the common case and reads zero bytes.
+            return Ok(None);
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Serializes a JSON value into one frame.
+pub fn write_json_frame(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    write_frame(w, value.to_string().as_bytes())
+}
+
+/// Reads one frame and parses it as JSON. The outer `Option`/`FrameError`
+/// mirror [`read_frame`]; the inner `Result` is a *recoverable* parse
+/// failure (reply with an error, keep the connection).
+pub fn read_json_frame(r: &mut impl Read) -> Result<Option<Result<Json, String>>, FrameError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let parsed = match std::str::from_utf8(&payload) {
+        Ok(text) => tels_trace::json::parse(text),
+        Err(e) => Err(format!("frame is not UTF-8: {e}")),
+    };
+    Ok(Some(parsed))
+}
+
+/// One synthesis job.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Client-chosen id echoed in the reply (assigned by the session when
+    /// absent).
+    pub id: Option<u64>,
+    /// The circuit, as BLIF text.
+    pub blif: String,
+    /// Apply `script_algebraic` before synthesis — the required input form
+    /// (§V) and what one-shot `tels synth` does by default.
+    pub factor: bool,
+    /// Additionally verify the result against the input by simulation
+    /// (what one-shot `tels synth` always does; off by default here for
+    /// throughput).
+    pub verify: bool,
+    /// Synthesis configuration (defaults + any per-request overrides).
+    pub config: TelsConfig,
+}
+
+impl Default for JobRequest {
+    fn default() -> JobRequest {
+        JobRequest {
+            id: None,
+            blif: String::new(),
+            factor: true,
+            verify: false,
+            config: TelsConfig::default(),
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug)]
+pub enum Request {
+    /// Synthesize one circuit.
+    Synth(Box<JobRequest>),
+    /// Liveness probe.
+    Ping,
+    /// Server statistics snapshot.
+    Stats,
+    /// Save the cache (when configured) and stop the server.
+    Shutdown,
+}
+
+/// Non-panicking configuration validation (wire requests must never be
+/// able to trip the library's `assert_valid`).
+pub fn validate_config(config: &TelsConfig) -> Result<(), String> {
+    if config.psi < 2 {
+        return Err("psi must be at least 2".to_string());
+    }
+    if config.delta_on < 0 {
+        return Err("delta_on must be non-negative".to_string());
+    }
+    if config.delta_off < 1 {
+        return Err("delta_off must be at least 1".to_string());
+    }
+    if config.weight_cap.is_some_and(|cap| cap < 1) {
+        return Err("weight_cap must be at least 1".to_string());
+    }
+    Ok(())
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn field_i64(doc: &Json, key: &str) -> Result<Option<i64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if n.fract() == 0.0 => Ok(Some(*n as i64)),
+        Some(_) => Err(format!("`{key}` must be an integer")),
+    }
+}
+
+fn field_bool(doc: &Json, key: &str) -> Result<Option<bool>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+/// Applies the `config` object of a synth request on top of the defaults.
+fn parse_config(doc: &Json) -> Result<TelsConfig, String> {
+    let mut config = TelsConfig::default();
+    if let Some(v) = field_u64(doc, "psi")? {
+        config.psi = v as usize;
+    }
+    if let Some(v) = field_i64(doc, "delta_on")? {
+        config.delta_on = v;
+    }
+    if let Some(v) = field_i64(doc, "delta_off")? {
+        config.delta_off = v;
+    }
+    if let Some(v) = field_i64(doc, "weight_cap")? {
+        config.weight_cap = Some(v);
+    }
+    if let Some(v) = field_bool(doc, "use_cache")? {
+        config.use_cache = v;
+    }
+    if let Some(v) = field_bool(doc, "use_theorem1")? {
+        config.use_theorem1 = v;
+    }
+    if let Some(v) = field_bool(doc, "use_int_solver")? {
+        config.use_int_solver = v;
+    }
+    if let Some(v) = field_bool(doc, "use_tier0")? {
+        config.use_tier0 = v;
+    }
+    if let Some(v) = field_u64(doc, "parallel_min_nodes")? {
+        config.parallel_min_nodes = v as usize;
+    }
+    match doc.get("strategy").and_then(Json::as_str) {
+        None => {}
+        Some("paper") => config.strategy = SynthStrategy::PaperBackward,
+        Some("shannon") => config.strategy = SynthStrategy::Shannon,
+        Some(other) => return Err(format!("unknown strategy `{other}`")),
+    }
+    match doc.get("split").and_then(Json::as_str) {
+        None => {}
+        Some("frequency") => config.split_heuristic = SplitHeuristic::Frequency,
+        Some("halves") => config.split_heuristic = SplitHeuristic::Halves,
+        Some(other) => return Err(format!("unknown split heuristic `{other}`")),
+    }
+    validate_config(&config)?;
+    Ok(config)
+}
+
+/// Parses a request frame. Errors are recoverable: the server replies with
+/// the message and keeps the connection.
+pub fn parse_request(doc: &Json) -> Result<Request, String> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request must be an object with a string `op`")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "synth" => {
+            let blif = doc
+                .get("blif")
+                .and_then(Json::as_str)
+                .ok_or("synth request requires a `blif` string")?
+                .to_string();
+            let config = match doc.get("config") {
+                None | Some(Json::Null) => TelsConfig::default(),
+                Some(cfg) => parse_config(cfg)?,
+            };
+            Ok(Request::Synth(Box::new(JobRequest {
+                id: field_u64(doc, "id")?,
+                blif,
+                factor: field_bool(doc, "factor")?.unwrap_or(true),
+                verify: field_bool(doc, "verify")?.unwrap_or(false),
+                config,
+            })))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Builds the JSON body of a synth request (the client side of
+/// [`parse_request`]). Only non-default config fields are emitted.
+pub fn synth_request_json(req: &JobRequest) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("op".to_string(), Json::str("synth")),
+        ("blif".to_string(), Json::str(req.blif.clone())),
+    ];
+    if let Some(id) = req.id {
+        pairs.push(("id".to_string(), Json::Num(id as f64)));
+    }
+    if !req.factor {
+        pairs.push(("factor".to_string(), Json::Bool(false)));
+    }
+    if req.verify {
+        pairs.push(("verify".to_string(), Json::Bool(true)));
+    }
+    let d = TelsConfig::default();
+    let c = &req.config;
+    let mut cfg: Vec<(String, Json)> = Vec::new();
+    let mut num = |k: &str, v: f64| cfg.push((k.to_string(), Json::Num(v)));
+    if c.psi != d.psi {
+        num("psi", c.psi as f64);
+    }
+    if c.delta_on != d.delta_on {
+        num("delta_on", c.delta_on as f64);
+    }
+    if c.delta_off != d.delta_off {
+        num("delta_off", c.delta_off as f64);
+    }
+    if let Some(cap) = c.weight_cap {
+        num("weight_cap", cap as f64);
+    }
+    if c.parallel_min_nodes != d.parallel_min_nodes {
+        num("parallel_min_nodes", c.parallel_min_nodes as f64);
+    }
+    for (key, ours, default) in [
+        ("use_cache", c.use_cache, d.use_cache),
+        ("use_theorem1", c.use_theorem1, d.use_theorem1),
+        ("use_int_solver", c.use_int_solver, d.use_int_solver),
+        ("use_tier0", c.use_tier0, d.use_tier0),
+    ] {
+        if ours != default {
+            cfg.push((key.to_string(), Json::Bool(ours)));
+        }
+    }
+    if c.strategy != d.strategy {
+        cfg.push((
+            "strategy".to_string(),
+            Json::str(match c.strategy {
+                SynthStrategy::PaperBackward => "paper",
+                SynthStrategy::Shannon => "shannon",
+            }),
+        ));
+    }
+    if c.split_heuristic != d.split_heuristic {
+        cfg.push((
+            "split".to_string(),
+            Json::str(match c.split_heuristic {
+                SplitHeuristic::Frequency => "frequency",
+                SplitHeuristic::Halves => "halves",
+            }),
+        ));
+    }
+    if !cfg.is_empty() {
+        pairs.push(("config".to_string(), Json::Obj(cfg)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Builds an error reply.
+pub fn error_reply(id: Option<u64>, message: &str) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Json::Num(id as f64)));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(false)));
+    pairs.push(("error".to_string(), Json::str(message)));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\": \"ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"op\": \"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"garbage");
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = 100u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"short");
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_recoverable() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{not json").unwrap();
+        let inner = read_json_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert!(inner.is_err());
+    }
+
+    #[test]
+    fn synth_request_roundtrip() {
+        let req = JobRequest {
+            id: Some(42),
+            blif: ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n".to_string(),
+            factor: false,
+            verify: true,
+            config: TelsConfig {
+                psi: 5,
+                use_tier0: false,
+                ..TelsConfig::default()
+            },
+        };
+        let doc = synth_request_json(&req);
+        match parse_request(&doc).unwrap() {
+            Request::Synth(parsed) => {
+                assert_eq!(parsed.id, Some(42));
+                assert_eq!(parsed.blif, req.blif);
+                assert!(!parsed.factor);
+                assert!(parsed.verify);
+                assert_eq!(parsed.config, req.config);
+            }
+            other => panic!("expected synth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_errors_not_panics() {
+        for bad in [
+            r#"{"no_op": 1}"#,
+            r#"{"op": "warp"}"#,
+            r#"{"op": "synth"}"#,
+            r#"{"op": "synth", "blif": ".model m\n.end\n", "config": {"psi": 1}}"#,
+            r#"{"op": "synth", "blif": ".model m\n.end\n", "config": {"delta_off": 0}}"#,
+            r#"{"op": "synth", "blif": ".model m\n.end\n", "config": {"strategy": "magic"}}"#,
+        ] {
+            let doc = tels_trace::json::parse(bad).unwrap();
+            assert!(parse_request(&doc).is_err(), "{bad} should be rejected");
+        }
+    }
+}

@@ -254,6 +254,28 @@ pub fn set_thread_label(label: impl Into<String>) {
     *buf.label.lock().expect("trace label poisoned") = Some(label.into());
 }
 
+thread_local! {
+    /// The job id spans opened on this thread are attributed to.
+    static CURRENT_JOB: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Attributes subsequent spans opened on this thread to a job: every span
+/// gains a `job` argument until the label is cleared with `set_job(None)`.
+///
+/// Daemon-style callers (`tels serve`) set this around each unit of work —
+/// on the connection thread for a job's emission pass and inside each
+/// pooled warming task — so a drained profile can split shared-pool time
+/// per job. Cheap enough to call unconditionally, but pairs naturally with
+/// an [`enabled`] check since the label only matters while collecting.
+pub fn set_job(job: Option<u64>) {
+    CURRENT_JOB.with(|j| j.set(job));
+}
+
+/// The job id set via [`set_job`] on this thread, if any.
+pub fn current_job() -> Option<u64> {
+    CURRENT_JOB.with(std::cell::Cell::get)
+}
+
 /// An RAII span guard: records a begin event at creation and the matching
 /// end event (carrying any [`Span::arg`] annotations) when dropped.
 ///
@@ -307,12 +329,14 @@ pub fn span(cat: &'static str, name: impl Into<String>) -> Span {
         cat,
         name: name.clone(),
     });
+    // Spans opened while a job label is set (see [`set_job`]) carry the
+    // job id, so daemon profiles attribute shared-pool work to jobs.
+    let args = match current_job() {
+        Some(job) => vec![("job", ArgValue::UInt(job))],
+        None => Vec::new(),
+    };
     Span {
-        active: Some(ActiveSpan {
-            cat,
-            name,
-            args: Vec::new(),
-        }),
+        active: Some(ActiveSpan { cat, name, args }),
     }
 }
 
@@ -487,6 +511,31 @@ mod tests {
         let tids: std::collections::HashSet<u64> = trace.events.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 3, "each thread owns a tid");
         assert_eq!(trace.thread_labels.len(), 3);
+    }
+
+    #[test]
+    fn job_label_attaches_to_spans() {
+        let _g = lock();
+        drain();
+        enable();
+        set_job(Some(7));
+        assert_eq!(current_job(), Some(7));
+        drop(span("t", "labeled"));
+        set_job(None);
+        drop(span("t", "unlabeled"));
+        disable();
+        let trace = drain();
+        let end_args: Vec<&Args> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::End { args, .. } => Some(args),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(end_args.len(), 2);
+        assert_eq!(end_args[0].as_slice(), [("job", ArgValue::UInt(7))]);
+        assert!(end_args[1].is_empty());
     }
 
     #[test]

@@ -27,6 +27,14 @@ echo "==> synth_pipeline smoke (consistency gates)"
 # tracing is behaviorally inert (equal gates/queries traced vs. untraced).
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
 
+echo "==> serve_pipeline smoke (daemon throughput + determinism gates)"
+# Single-round run of the serve benchmark: asserts served `.tnet` bytes
+# match the one-shot binary for every suite circuit (pool widths 1 and
+# auto, cold and persisted-warm), warm serve throughput at least 3x the
+# per-invocation rate, and scheduler warming no slower than the preserved
+# shared-queue pass. Skips the BENCH_serve.json rewrite.
+cargo run --release -p tels-bench --bin serve_pipeline --quiet -- --quick
+
 echo "==> traced synthesis smoke (trace/stats round-trip)"
 # One traced CLI run: the Chrome trace must parse, nest, cover all four
 # instrumented crates, and journal one provenance event per emitted gate;
@@ -51,6 +59,34 @@ cargo run --release --quiet -p tels-cli --bin tels -- synth "$smoke_dir/smoke.bl
     --no-tier0 --trace "$smoke_dir/trace.json" --stats-json > "$smoke_dir/stats.json"
 cargo run --release --quiet -p tels-cli --bin tels -- trace-check \
     "$smoke_dir/trace.json" "$smoke_dir/stats.json"
+
+echo "==> serve daemon smoke (socket protocol, malformed frame, byte identity)"
+# Start the daemon on a unix socket and drive it with `tels client`:
+# three submissions — a deliberately malformed frame (must come back as a
+# clean error reply, not a crash) and two synthesis jobs (cold then warm
+# cache) whose `.tnet` bytes must equal one-shot `tels synth` on the same
+# input. `--shutdown` must stop the daemon cleanly (exit 0) and leave the
+# persisted cache file behind.
+sock="$smoke_dir/tels.sock"
+cargo run --release --quiet -p tels-cli --bin tels -- serve \
+    --socket "$sock" --threads 2 --cache-file "$smoke_dir/cache.bin" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "ci.sh: daemon socket never appeared" >&2; exit 1; }
+cargo run --release --quiet -p tels-cli --bin tels -- synth \
+    "$smoke_dir/smoke.blif" -o "$smoke_dir/oneshot.tnet"
+cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" --malformed
+cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" \
+    "$smoke_dir/smoke.blif" -o "$smoke_dir/served_cold.tnet"
+cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" \
+    "$smoke_dir/smoke.blif" -o "$smoke_dir/served_warm.tnet"
+cmp "$smoke_dir/oneshot.tnet" "$smoke_dir/served_cold.tnet"
+cmp "$smoke_dir/oneshot.tnet" "$smoke_dir/served_warm.tnet"
+cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" --shutdown
+wait "$serve_pid"
+trap 'rm -rf "$smoke_dir"' EXIT
+[ -f "$smoke_dir/cache.bin" ] || { echo "ci.sh: daemon left no cache file" >&2; exit 1; }
 
 echo "==> differential fuzz (quick budget) + corpus replay"
 # 500 seeded cases through the full oracle matrix (tier-0/cache/threads/

@@ -15,6 +15,8 @@
 //!   MCNC suite of the paper's evaluation.
 //! * [`trace`] — span-based tracing, the per-gate synthesis provenance
 //!   journal, and Chrome-trace / profile exporters.
+//! * [`serve`] — the batched synthesis daemon (`tels serve`): framed JSON
+//!   protocol, shared work-stealing pool, persistent realization cache.
 //!
 //! The most common entry points are also re-exported at the top level.
 //!
@@ -57,6 +59,7 @@ pub use tels_core as core;
 pub use tels_fuzz as fuzz;
 pub use tels_ilp as ilp;
 pub use tels_logic as logic;
+pub use tels_serve as serve;
 pub use tels_trace as trace;
 
 pub use tels_core::{
