@@ -30,6 +30,7 @@ fn bench_fig11(c: &mut Criterion) {
             exhaustive_limit: 10,
             vectors: 128,
             seed: 11,
+            threads: 1,
         };
         group.bench_with_input(
             BenchmarkId::new("failure_rate", delta_on),
@@ -68,6 +69,7 @@ fn bench_fig11(c: &mut Criterion) {
                     exhaustive_limit: 10,
                     vectors: 128,
                     seed: 0xf1611 ^ b.name.len() as u64,
+                    threads: 1,
                 };
                 if failure_rate(&tn, &b.network, &opts).expect("rate") > 0.0 {
                     failing += 1;

@@ -57,6 +57,7 @@ fn bench_fig12(c: &mut Criterion) {
                 exhaustive_limit: 10,
                 vectors: 128,
                 seed: 0xf1612 ^ b.name.len() as u64,
+                threads: 1,
             };
             if failure_rate(&tn, &b.network, &opts).expect("rate") > 0.0 {
                 failing += 1;

@@ -11,10 +11,8 @@
 //!
 //! Run with `cargo run --release -p tels-bench --bin fig11`.
 
-use tels_logic::rng::Xoshiro256;
-
 use tels_circuits::paper_suite;
-use tels_core::perturb::{draw_disturbance, instance_fails, PerturbOptions};
+use tels_core::perturb::{Disturbance, PerturbContext, PerturbOptions};
 use tels_core::{synthesize, TelsConfig, ThresholdNetwork};
 use tels_logic::opt::script_algebraic;
 use tels_logic::Network;
@@ -53,26 +51,21 @@ fn main() {
         print!("{:<8}", v);
         for delta_on in 0..=3i64 {
             let suite = synthesize_suite(delta_on);
-            let opts = PerturbOptions {
-                variation: v,
-                trials: trials_per_benchmark,
-                exhaustive_limit: 10,
-                vectors: 256,
-                seed: 0xf1611,
-            };
             let mut failing_benchmarks = 0usize;
             for (name, reference, tn) in &suite {
-                let mut rng = Xoshiro256::seed_from_u64(opts.seed ^ name.len() as u64);
-                let mut failed = false;
-                for _ in 0..opts.trials {
-                    let disturbed = draw_disturbance(tn, opts.variation, &mut rng);
-                    if instance_fails(tn, reference, &disturbed, &opts, &mut rng)
-                        .expect("interfaces match")
-                    {
-                        failed = true;
-                        break;
-                    }
-                }
+                let opts = PerturbOptions {
+                    variation: v,
+                    trials: trials_per_benchmark,
+                    exhaustive_limit: 10,
+                    vectors: 256,
+                    seed: 0xf1611 ^ name.len() as u64,
+                    threads: 1,
+                };
+                let ctx = PerturbContext::new(tn, reference, &opts).expect("interfaces match");
+                let mut scratch = ctx.scratch();
+                let mut dist = Disturbance::new();
+                let failed = (0..opts.trials as u64)
+                    .any(|t| ctx.trial_fails(tn, t, &mut dist, &mut scratch));
                 if failed {
                     failing_benchmarks += 1;
                 }

@@ -43,6 +43,7 @@ fn main() {
                 exhaustive_limit: 10,
                 vectors: 256,
                 seed: 0xf1612 ^ b.name.len() as u64,
+                threads: 1,
             };
             let rate = failure_rate(&tn, &b.network, &opts).expect("interfaces match");
             if rate > 0.0 {

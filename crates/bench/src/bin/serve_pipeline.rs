@@ -330,9 +330,13 @@ fn main() {
     let speedup = best_warm_rate / one_shot_rate;
     println!("warm serve {best_warm_rate:.1}/s vs one-shot {one_shot_rate:.1}/s = {speedup:.1}x");
     if tels_bin.is_some() {
+        // The bar was 3x before the word-parallel engine; packed
+        // `verify_against` removed most of the per-invocation cost the
+        // daemon used to amortize, so one-shot runs are ~7x faster and
+        // the daemon's remaining edge is startup + cache reuse (~2.5-3x).
         assert!(
-            speedup >= 3.0,
-            "warm serve throughput only {speedup:.2}x the one-shot process rate (< 3x)"
+            speedup >= 2.0,
+            "warm serve throughput only {speedup:.2}x the one-shot process rate (< 2x)"
         );
     }
 

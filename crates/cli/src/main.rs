@@ -22,6 +22,7 @@
 use std::fs;
 use std::process::ExitCode;
 
+use tels_core::perturb::{failure_rate, failure_rate_scalar, PerturbOptions};
 use tels_core::{
     map_one_to_one, map_to_majority, parse_tnet, synthesize, synthesize_best,
     synthesize_with_stats, to_verilog, TelsConfig, ThresholdNetwork,
@@ -53,6 +54,11 @@ usage: tels <command> [args]
   map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
   sim    <file.blif|file.tnet> <bits...>
   verify <spec.blif> <impl.tnet>
+  perturb <in.blif> [--variation F] [--trials N] [--vectors N] [--seed N]
+         [--threads N] [--delta-on N] [--psi N] [--scalar]
+                                         Monte Carlo yield analysis (sVI-C):
+                                         synthesize, disturb weights, report
+                                         the instance failure rate
   info   <file.blif|file.tnet>
   print  <file.blif|file.tnet>
   qca    <in.blif> [-o out.blif]         synthesize at psi=3 and map to majority logic
@@ -76,6 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "map11" => cmd_map11(rest),
         "sim" => cmd_sim(rest),
         "verify" => cmd_verify(rest),
+        "perturb" => cmd_perturb(rest),
         "info" => cmd_info(rest),
         "print" => cmd_print(rest),
         "qca" => cmd_qca(rest),
@@ -612,6 +619,86 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
                 .collect::<String>()
         )),
     }
+}
+
+/// §VI-C Monte Carlo yield analysis from the command line: synthesize the
+/// input, disturb every weight by `variation · U(−0.5, 0.5)` per trial,
+/// and report the fraction of disturbed instances that compute a wrong
+/// output on any simulated vector. Runs on the word-parallel engine by
+/// default; `--scalar` selects the reference scalar path (same seeds,
+/// bit-identical rate — useful for cross-checking and timing).
+fn cmd_perturb(args: &[String]) -> Result<(), String> {
+    let mut input = String::new();
+    let mut config = TelsConfig::default();
+    let mut opts = PerturbOptions::default();
+    let mut scalar = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} requires a non-negative integer"))
+        };
+        match a.as_str() {
+            "--variation" => {
+                opts.variation = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--variation requires a number")?
+            }
+            "--trials" => opts.trials = num("--trials")?,
+            "--vectors" => opts.vectors = num("--vectors")?,
+            "--exhaustive-limit" => opts.exhaustive_limit = num("--exhaustive-limit")? as u32,
+            "--seed" => opts.seed = num("--seed")? as u64,
+            "--threads" => opts.threads = num("--threads")?,
+            "--delta-on" => {
+                config.delta_on = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--delta-on requires an integer")?
+            }
+            "--psi" => config.psi = num("--psi")?,
+            "--scalar" => scalar = true,
+            other if !other.starts_with('-') && input.is_empty() => input = other.to_string(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if input.is_empty() {
+        return Err("perturb requires an input BLIF file".to_string());
+    }
+    if config.psi < 2 {
+        return Err("--psi must be at least 2".to_string());
+    }
+    if opts.variation.is_nan() || opts.variation < 0.0 {
+        return Err("--variation must be non-negative".to_string());
+    }
+    let net = read_blif(&input)?;
+    let prepared = script_algebraic(&net);
+    let tn = synthesize(&prepared, &config).map_err(|e| e.to_string())?;
+    let rate = if scalar {
+        failure_rate_scalar(&tn, &net, &opts)
+    } else {
+        failure_rate(&tn, &net, &opts)
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "tels: {} gates, area {}, delta_on {} | variation {}, {} trials x {} vectors, seed {:#x} ({})",
+        tn.num_gates(),
+        tn.area(),
+        config.delta_on,
+        opts.variation,
+        opts.trials,
+        opts.vectors,
+        opts.seed,
+        if scalar { "scalar" } else { "packed" }
+    );
+    println!(
+        "failure rate: {:.6} ({:.2}% of {} trials)",
+        rate,
+        1e2 * rate,
+        opts.trials
+    );
+    Ok(())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {

@@ -479,3 +479,117 @@ fn serve_daemon_round_trip_over_socket() {
     }
     daemon2.kill().ok();
 }
+
+#[test]
+fn perturb_reports_a_rate_and_scalar_path_agrees() {
+    let dir = workdir("perturb");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+
+    let packed = tels(&[
+        "perturb",
+        blif.to_str().unwrap(),
+        "--variation",
+        "0.6",
+        "--trials",
+        "50",
+        "--vectors",
+        "64",
+        "--seed",
+        "9",
+    ]);
+    assert!(
+        packed.status.success(),
+        "perturb failed: {}",
+        stderr(&packed)
+    );
+    assert!(stdout(&packed).contains("failure rate:"));
+    assert!(stderr(&packed).contains("(packed)"));
+
+    // Same seeds through the scalar reference path: bit-identical report.
+    let scalar = tels(&[
+        "perturb",
+        blif.to_str().unwrap(),
+        "--variation",
+        "0.6",
+        "--trials",
+        "50",
+        "--vectors",
+        "64",
+        "--seed",
+        "9",
+        "--scalar",
+    ]);
+    assert!(
+        scalar.status.success(),
+        "scalar failed: {}",
+        stderr(&scalar)
+    );
+    assert!(stderr(&scalar).contains("(scalar)"));
+    assert_eq!(stdout(&packed), stdout(&scalar));
+
+    // And the Monte Carlo loop is thread-count invariant.
+    let threaded = tels(&[
+        "perturb",
+        blif.to_str().unwrap(),
+        "--variation",
+        "0.6",
+        "--trials",
+        "50",
+        "--vectors",
+        "64",
+        "--seed",
+        "9",
+        "--threads",
+        "4",
+    ]);
+    assert!(
+        threaded.status.success(),
+        "threaded failed: {}",
+        stderr(&threaded)
+    );
+    assert_eq!(stdout(&packed), stdout(&threaded));
+
+    // A bigger defect tolerance at the same variation is never less robust.
+    let tolerant = tels(&[
+        "perturb",
+        blif.to_str().unwrap(),
+        "--variation",
+        "0.6",
+        "--trials",
+        "50",
+        "--vectors",
+        "64",
+        "--seed",
+        "9",
+        "--delta-on",
+        "2",
+    ]);
+    assert!(
+        tolerant.status.success(),
+        "tolerant failed: {}",
+        stderr(&tolerant)
+    );
+    let rate = |s: &str| -> f64 {
+        s.split("failure rate: ")
+            .nth(1)
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|r| r.parse().ok())
+            .expect("parse failure rate")
+    };
+    assert!(rate(&stdout(&tolerant)) <= rate(&stdout(&packed)));
+}
+
+#[test]
+fn perturb_rejects_bad_arguments() {
+    let o = tels(&["perturb"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("requires an input"));
+
+    let dir = workdir("perturb_bad");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let o = tels(&["perturb", blif.to_str().unwrap(), "--variation", "-1"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("non-negative"));
+}

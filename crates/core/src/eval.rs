@@ -1,0 +1,710 @@
+//! Word-parallel (64-lane) evaluation engine for threshold networks.
+//!
+//! [`EvalPlan`] flattens a [`ThresholdNetwork`] once — topological gate
+//! order, contiguous fanin index arrays, per-fanin weight tables — so that
+//! repeated evaluation does no per-call traversal or allocation. Each call
+//! evaluates **64 input vectors at once**: every node carries one `u64`
+//! word whose bit *l* is the node's value under input vector *l*.
+//!
+//! Two evaluation modes share the plan:
+//!
+//! * **Exact integer weights** use bit-sliced arithmetic: negative weights
+//!   are folded away by complementing the fanin word and comparing against
+//!   the adjusted threshold `T′ = T − Σ_{w<0} w`, the magnitudes `|wᵢ|` are
+//!   accumulated into per-bit planes with ripple-carry word additions, and
+//!   a single MSB-down plane scan yields the 64 `Σ ≥ T′` verdicts.
+//! * **Disturbed `f64` weights** (the §VI-C parametric-variation model)
+//!   accumulate per-lane partial sums in the same fanin order as the scalar
+//!   [`ThresholdGate::eval_disturbed`], so packed and scalar results are
+//!   bit-identical.
+//!
+//! The plan also backs the packed equivalence checks used by
+//! [`ThresholdNetwork::verify_against`] and the fuzz oracle's functional
+//! triangle, replacing the exponential minterm expansion of `tn_to_network`
+//! as the equivalence mechanism.
+
+use tels_logic::sim;
+use tels_logic::{LogicError, Network};
+
+use crate::error::SynthError;
+use crate::tnet::ThresholdNetwork;
+
+#[cfg(doc)]
+use crate::tnet::ThresholdGate;
+
+/// How a gate's exact (integer-weight) output is decided.
+#[derive(Debug, Clone, Copy)]
+enum Compare {
+    /// The adjusted threshold is ≤ 0: the gate is constant-1.
+    AlwaysOn,
+    /// The adjusted threshold exceeds the magnitude sum: constant-0.
+    AlwaysOff,
+    /// Bit-sliced accumulate over `planes` bit planes, then `Σ ≥ t`.
+    Planes {
+        /// Adjusted threshold `T − Σ_{w<0} w` (always ≥ 1 here).
+        t: u128,
+        /// Number of bit planes, `⌈log2(Σ|wᵢ| + 1)⌉`.
+        planes: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PlanGate {
+    /// Node slot this gate writes (equals its `TnId::index()`).
+    slot: u32,
+    /// Range into the flat fanin/weight arrays.
+    fan_start: u32,
+    fan_end: u32,
+    /// Nominal threshold as `f64` (the disturbed compare is against this).
+    threshold_f64: f64,
+    compare: Compare,
+}
+
+/// A prepared, flat evaluation plan for one [`ThresholdNetwork`].
+///
+/// Construction walks the network once; evaluation reuses an
+/// [`EvalScratch`] so the steady state allocates nothing. One plan may be
+/// shared by many threads, each with its own scratch.
+#[derive(Debug, Clone)]
+pub struct EvalPlan {
+    num_nodes: usize,
+    /// Node slot of primary input `j` (in [`ThresholdNetwork::inputs`] order).
+    input_slots: Vec<u32>,
+    /// Node slot of each primary output, in output order.
+    output_slots: Vec<u32>,
+    gates: Vec<PlanGate>,
+    /// Flat fanin node slots, grouped per gate.
+    fanins: Vec<u32>,
+    /// Per-fanin complement mask: `!0` where the weight is negative.
+    invert: Vec<u64>,
+    /// Per-fanin weight magnitude `|wᵢ|`.
+    magnitudes: Vec<u64>,
+    /// Per-fanin signed nominal weight as `f64` (disturbed fallback).
+    nominal: Vec<f64>,
+    max_planes: usize,
+}
+
+/// Reusable per-thread buffers for [`EvalPlan`] evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    values: Vec<u64>,
+    planes: Vec<u64>,
+    sums: [f64; 64],
+    out: Vec<u64>,
+}
+
+impl EvalPlan {
+    /// Flattens `tn` into an evaluation plan.
+    pub fn new(tn: &ThresholdNetwork) -> EvalPlan {
+        let num_nodes = tn.node_ids().count();
+        let input_slots: Vec<u32> = tn.inputs().iter().map(|id| id.index() as u32).collect();
+        let output_slots: Vec<u32> = tn
+            .outputs()
+            .iter()
+            .map(|(_, id)| id.index() as u32)
+            .collect();
+        let mut gates = Vec::with_capacity(tn.num_gates());
+        let mut fanins = Vec::new();
+        let mut invert = Vec::new();
+        let mut magnitudes = Vec::new();
+        let mut nominal = Vec::new();
+        let mut max_planes = 0usize;
+        for (id, g) in tn.gates() {
+            let fan_start = fanins.len() as u32;
+            let mut neg_sum: i128 = 0;
+            let mut mag_sum: u128 = 0;
+            for (&src, &w) in g.inputs.iter().zip(&g.weights) {
+                fanins.push(src.index() as u32);
+                invert.push(if w < 0 { !0u64 } else { 0u64 });
+                magnitudes.push(w.unsigned_abs());
+                nominal.push(w as f64);
+                if w < 0 {
+                    neg_sum += w as i128;
+                }
+                mag_sum += w.unsigned_abs() as u128;
+            }
+            let adj = g.threshold as i128 - neg_sum;
+            let compare = if adj <= 0 {
+                Compare::AlwaysOn
+            } else if adj as u128 > mag_sum {
+                Compare::AlwaysOff
+            } else {
+                let planes = 128 - mag_sum.leading_zeros();
+                max_planes = max_planes.max(planes as usize);
+                Compare::Planes {
+                    t: adj as u128,
+                    planes,
+                }
+            };
+            gates.push(PlanGate {
+                slot: id.index() as u32,
+                fan_start,
+                fan_end: fanins.len() as u32,
+                threshold_f64: g.threshold as f64,
+                compare,
+            });
+        }
+        EvalPlan {
+            num_nodes,
+            input_slots,
+            output_slots,
+            gates,
+            fanins,
+            invert,
+            magnitudes,
+            nominal,
+            max_planes,
+        }
+    }
+
+    /// Number of primary inputs the plan expects.
+    pub fn num_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Number of primary outputs the plan produces.
+    pub fn num_outputs(&self) -> usize {
+        self.output_slots.len()
+    }
+
+    /// Allocates a scratch buffer sized for this plan.
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch {
+            values: vec![0u64; self.num_nodes],
+            planes: vec![0u64; self.max_planes],
+            sums: [0.0; 64],
+            out: vec![0u64; self.output_slots.len()],
+        }
+    }
+
+    /// Evaluates one packed word of 64 input vectors with exact integer
+    /// weights. `inputs[j]` is the word for primary input `j`; the returned
+    /// slice holds one word per primary output, in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the plan's input count.
+    pub fn eval_word<'s>(&self, inputs: &[u64], scratch: &'s mut EvalScratch) -> &'s [u64] {
+        assert_eq!(inputs.len(), self.input_slots.len());
+        self.eval_word_with(|j| inputs[j], scratch)
+    }
+
+    /// Like [`eval_word`](Self::eval_word), but reads input words through a
+    /// closure (`get(j)` = word for primary input `j`), avoiding a gather
+    /// copy when the caller stores streams input-major.
+    pub fn eval_word_with<'s>(
+        &self,
+        get: impl Fn(usize) -> u64,
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [u64] {
+        let EvalScratch {
+            values,
+            planes,
+            out,
+            ..
+        } = scratch;
+        for (j, &slot) in self.input_slots.iter().enumerate() {
+            values[slot as usize] = get(j);
+        }
+        for g in &self.gates {
+            let word = match g.compare {
+                Compare::AlwaysOn => !0u64,
+                Compare::AlwaysOff => 0u64,
+                Compare::Planes { t, planes: np } => {
+                    let pl = &mut planes[..np as usize];
+                    pl.fill(0);
+                    for k in g.fan_start as usize..g.fan_end as usize {
+                        let v = values[self.fanins[k] as usize] ^ self.invert[k];
+                        if v != 0 {
+                            add_masked(pl, self.magnitudes[k], v);
+                        }
+                    }
+                    ge_const(pl, t)
+                }
+            };
+            values[g.slot as usize] = word;
+        }
+        for (o, &slot) in out.iter_mut().zip(&self.output_slots) {
+            *o = values[slot as usize];
+        }
+        out
+    }
+
+    /// Evaluates one packed word with disturbed `f64` weights.
+    ///
+    /// `disturbed` is indexed by node slot ([`TnId::index`]); nodes beyond
+    /// the slice or with an empty entry use their nominal weights. Results
+    /// are bit-identical to the scalar
+    /// [`ThresholdNetwork::eval_disturbed`] on each lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty disturbed entry disagrees with the gate arity.
+    ///
+    /// [`TnId::index`]: crate::tnet::TnId::index
+    pub fn eval_word_disturbed<'s>(
+        &self,
+        inputs: &[u64],
+        disturbed: &[Vec<f64>],
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [u64] {
+        assert_eq!(inputs.len(), self.input_slots.len());
+        self.eval_word_disturbed_with(|j| inputs[j], disturbed, scratch)
+    }
+
+    /// Closure-input variant of [`eval_word_disturbed`](Self::eval_word_disturbed).
+    pub fn eval_word_disturbed_with<'s>(
+        &self,
+        get: impl Fn(usize) -> u64,
+        disturbed: &[Vec<f64>],
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [u64] {
+        let EvalScratch {
+            values, sums, out, ..
+        } = scratch;
+        for (j, &slot) in self.input_slots.iter().enumerate() {
+            values[slot as usize] = get(j);
+        }
+        for g in &self.gates {
+            let nominal = &self.nominal[g.fan_start as usize..g.fan_end as usize];
+            let ws: &[f64] = match disturbed.get(g.slot as usize) {
+                Some(w) if !w.is_empty() => {
+                    assert_eq!(w.len(), nominal.len());
+                    w
+                }
+                _ => nominal,
+            };
+            sums.fill(0.0);
+            for (k, &w) in (g.fan_start as usize..g.fan_end as usize).zip(ws) {
+                let m = values[self.fanins[k] as usize];
+                if m == !0u64 {
+                    for s in sums.iter_mut() {
+                        *s += w;
+                    }
+                } else if m != 0 {
+                    // Touch only the set lanes: adding `w · 0` is a no-op
+                    // (partial sums are never −0.0, so skipping the ±0.0
+                    // add is bit-exact) and typical masks are half empty.
+                    let mut bits = m;
+                    while bits != 0 {
+                        sums[bits.trailing_zeros() as usize] += w;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            let t = g.threshold_f64;
+            let mut word = 0u64;
+            for (l, &s) in sums.iter().enumerate() {
+                word |= u64::from(s >= t) << l;
+            }
+            values[g.slot as usize] = word;
+        }
+        for (o, &slot) in out.iter_mut().zip(&self.output_slots) {
+            *o = values[slot as usize];
+        }
+        out
+    }
+
+    /// Simulates the plan on packed pattern streams (`patterns[j]` = word
+    /// stream for primary input `j`), returning one stream per output —
+    /// the threshold-network counterpart of [`sim::simulate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on stream count or length mismatch.
+    pub fn simulate<S: AsRef<[u64]>>(&self, patterns: &[S]) -> Result<Vec<Vec<u64>>, SynthError> {
+        if patterns.len() != self.input_slots.len() {
+            return Err(SynthError::Logic(LogicError::InterfaceMismatch(format!(
+                "expected {} input streams, got {}",
+                self.input_slots.len(),
+                patterns.len()
+            ))));
+        }
+        let words = patterns.first().map_or(0, |p| p.as_ref().len());
+        if patterns.iter().any(|p| p.as_ref().len() != words) {
+            return Err(SynthError::Logic(LogicError::InterfaceMismatch(
+                "input streams have different lengths".into(),
+            )));
+        }
+        let mut scratch = self.scratch();
+        let mut out = vec![Vec::with_capacity(words); self.output_slots.len()];
+        for w in 0..words {
+            let word = self.eval_word_with(|j| patterns[j].as_ref()[w], &mut scratch);
+            for (stream, &v) in out.iter_mut().zip(word.iter()) {
+                stream.push(v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Adds `value` to the bit-plane accumulator, but only in the lanes set in
+/// `mask` (one ripple-carry word addition per set bit of `value`).
+///
+/// The caller guarantees every lane's running sum fits in `planes.len()`
+/// bits, so no carry escapes the top plane.
+#[inline]
+fn add_masked(planes: &mut [u64], mut value: u64, mask: u64) {
+    let mut b = 0usize;
+    while value != 0 {
+        if value & 1 != 0 {
+            let mut carry = mask;
+            let mut p = b;
+            while carry != 0 {
+                let s = planes[p];
+                planes[p] = s ^ carry;
+                carry &= s;
+                p += 1;
+            }
+        }
+        value >>= 1;
+        b += 1;
+    }
+}
+
+/// Lane-wise `Σ ≥ t` over a bit-plane accumulator: returns a mask with bit
+/// `l` set iff lane `l`'s sum is at least `t`. Scans planes MSB-down,
+/// tracking which lanes are still tied with `t`.
+#[inline]
+fn ge_const(planes: &[u64], t: u128) -> u64 {
+    let mut ge = 0u64;
+    let mut eq = !0u64;
+    for (p, &s) in planes.iter().enumerate().rev() {
+        if t >> p & 1 != 0 {
+            eq &= s;
+        } else {
+            ge |= eq & s;
+            eq &= !s;
+        }
+    }
+    ge | eq
+}
+
+/// Builds `perm` such that `perm[i]` is the position in `from` of
+/// `to[i]`'s name; `kind`/`place` flavor the mismatch message.
+fn perm_by_name(
+    to: &[&str],
+    from: &[&str],
+    kind: &str,
+    place: &str,
+) -> Result<Vec<usize>, SynthError> {
+    to.iter()
+        .map(|name| {
+            from.iter().position(|n| n == name).ok_or_else(|| {
+                SynthError::Logic(LogicError::InterfaceMismatch(format!(
+                    "{kind} `{name}` missing{place}"
+                )))
+            })
+        })
+        .collect()
+}
+
+/// Name-matches a threshold network's interface against a Boolean
+/// reference. Returns `(my_perm, out_perm)` where `my_perm[j]` is the
+/// reference input index feeding `tn` input `j`, and `out_perm[oi]` is the
+/// `tn` output position of reference output `oi`.
+pub(crate) fn interface_perms(
+    tn: &ThresholdNetwork,
+    reference: &Network,
+) -> Result<(Vec<usize>, Vec<usize>), SynthError> {
+    let ref_inputs = reference.inputs();
+    let my_inputs = tn.inputs();
+    if ref_inputs.len() != my_inputs.len() {
+        return Err(SynthError::Logic(LogicError::InterfaceMismatch(format!(
+            "input counts differ: {} vs {}",
+            ref_inputs.len(),
+            my_inputs.len()
+        ))));
+    }
+    let ref_in_names: Vec<&str> = ref_inputs.iter().map(|&id| reference.name(id)).collect();
+    let my_in_names: Vec<&str> = my_inputs.iter().map(|&id| tn.name(id)).collect();
+    let my_perm = perm_by_name(&my_in_names, &ref_in_names, "input", " from reference")?;
+    let ref_out_names: Vec<&str> = reference
+        .outputs()
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let my_out_names: Vec<&str> = tn.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let out_perm = perm_by_name(
+        &ref_out_names,
+        &my_out_names,
+        "output",
+        " from threshold network",
+    )?;
+    Ok((my_perm, out_perm))
+}
+
+/// Shared pattern-set selection: exhaustive for small input counts (never
+/// above the 20-input packed-pattern cap), seeded-random beyond.
+pub(crate) fn pattern_set(
+    n: usize,
+    exhaustive_limit: u32,
+    random: usize,
+    seed: u64,
+) -> (Vec<Vec<u64>>, usize) {
+    let exhaustive = n as u32 <= exhaustive_limit && n <= 20;
+    if exhaustive {
+        (sim::exhaustive_patterns(n), 1usize << n)
+    } else {
+        let pats = sim::random_patterns(n, random, seed);
+        let rows = pats.first().map_or(0, |p| p.len() * 64);
+        (pats, rows)
+    }
+}
+
+/// Packed equivalence check of a threshold network against a Boolean
+/// reference (interfaces matched by name). Returns a counterexample in the
+/// reference's input order, or `None` when no mismatch was found.
+///
+/// # Errors
+///
+/// Returns an error when the interfaces differ.
+pub fn verify_tn_vs_network(
+    tn: &ThresholdNetwork,
+    reference: &Network,
+    exhaustive_limit: u32,
+    patterns: usize,
+    seed: u64,
+) -> Result<Option<Vec<bool>>, SynthError> {
+    let (my_perm, out_perm) = interface_perms(tn, reference)?;
+    let n = reference.inputs().len();
+    if n == 0 {
+        // No packed streams to drive: compare the single empty assignment.
+        let expect = reference.eval(&[])?;
+        let got = tn.eval(&[])?;
+        for (oi, &e) in expect.iter().enumerate() {
+            if e != got[out_perm[oi]] {
+                return Ok(Some(Vec::new()));
+            }
+        }
+        return Ok(None);
+    }
+    let (pats, valid_rows) = pattern_set(n, exhaustive_limit, patterns, seed);
+    let ref_out = sim::simulate(reference, &pats)?;
+    let plan = EvalPlan::new(tn);
+    let mut scratch = plan.scratch();
+    let words = pats.first().map_or(0, Vec::len);
+    for w in 0..words {
+        let out = plan.eval_word_with(|j| pats[my_perm[j]][w], &mut scratch);
+        for (oi, r) in ref_out.iter().enumerate() {
+            let diff = r[w] ^ out[out_perm[oi]];
+            if diff == 0 {
+                continue;
+            }
+            let bit = diff.trailing_zeros() as usize;
+            if w * 64 + bit >= valid_rows {
+                continue;
+            }
+            let assign = (0..n).map(|i| pats[i][w] >> bit & 1 != 0).collect();
+            return Ok(Some(assign));
+        }
+    }
+    Ok(None)
+}
+
+/// Packed equivalence check of two threshold networks (interfaces matched
+/// by name; every output of `a` must exist in `b`). Returns a
+/// counterexample in `a`'s input order, or `None`.
+///
+/// # Errors
+///
+/// Returns an error when the interfaces differ.
+pub fn verify_tn_vs_tn(
+    a: &ThresholdNetwork,
+    b: &ThresholdNetwork,
+    exhaustive_limit: u32,
+    patterns: usize,
+    seed: u64,
+) -> Result<Option<Vec<bool>>, SynthError> {
+    let a_inputs = a.inputs();
+    let b_inputs = b.inputs();
+    if a_inputs.len() != b_inputs.len() {
+        return Err(SynthError::Logic(LogicError::InterfaceMismatch(format!(
+            "input counts differ: {} vs {}",
+            a_inputs.len(),
+            b_inputs.len()
+        ))));
+    }
+    let a_in_names: Vec<&str> = a_inputs.iter().map(|&id| a.name(id)).collect();
+    let b_in_names: Vec<&str> = b_inputs.iter().map(|&id| b.name(id)).collect();
+    // b_perm[j] = a input index feeding b input j.
+    let b_perm = perm_by_name(&b_in_names, &a_in_names, "input", "")?;
+    let a_out_names: Vec<&str> = a.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let b_out_names: Vec<&str> = b.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    // out_perm[oi] = b output position of a output oi.
+    let out_perm = perm_by_name(&a_out_names, &b_out_names, "output", "")?;
+    let n = a_inputs.len();
+    if n == 0 {
+        let ea = a.eval(&[])?;
+        let eb = b.eval(&[])?;
+        for (oi, &va) in ea.iter().enumerate() {
+            if va != eb[out_perm[oi]] {
+                return Ok(Some(Vec::new()));
+            }
+        }
+        return Ok(None);
+    }
+    let (pats, valid_rows) = pattern_set(n, exhaustive_limit, patterns, seed);
+    let plan_a = EvalPlan::new(a);
+    let plan_b = EvalPlan::new(b);
+    let mut scratch_a = plan_a.scratch();
+    let mut scratch_b = plan_b.scratch();
+    let words = pats.first().map_or(0, Vec::len);
+    // `w` is a column index across every row of `pats`, not a row iterator.
+    #[allow(clippy::needless_range_loop)]
+    for w in 0..words {
+        let out_b = plan_b
+            .eval_word_with(|j| pats[b_perm[j]][w], &mut scratch_b)
+            .to_vec();
+        let out_a = plan_a.eval_word_with(|j| pats[j][w], &mut scratch_a);
+        for oi in 0..out_a.len() {
+            let diff = out_a[oi] ^ out_b[out_perm[oi]];
+            if diff == 0 {
+                continue;
+            }
+            let bit = diff.trailing_zeros() as usize;
+            if w * 64 + bit >= valid_rows {
+                continue;
+            }
+            let assign = (0..n).map(|i| pats[i][w] >> bit & 1 != 0).collect();
+            return Ok(Some(assign));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tnet::ThresholdGate;
+
+    fn tn_with_negatives() -> ThresholdNetwork {
+        let mut tn = ThresholdNetwork::new("neg");
+        let a = tn.add_input("a").unwrap();
+        let b = tn.add_input("b").unwrap();
+        let c = tn.add_input("c").unwrap();
+        // 2a − b ≥ 1
+        let g1 = tn
+            .add_gate(
+                "g1",
+                ThresholdGate {
+                    inputs: vec![a, b],
+                    weights: vec![2, -1],
+                    threshold: 1,
+                },
+            )
+            .unwrap();
+        // −2·g1 + 3c ≥ 2
+        let g2 = tn
+            .add_gate(
+                "g2",
+                ThresholdGate {
+                    inputs: vec![g1, c],
+                    weights: vec![-2, 3],
+                    threshold: 2,
+                },
+            )
+            .unwrap();
+        tn.add_output("g1", g1).unwrap();
+        tn.add_output("g2", g2).unwrap();
+        tn
+    }
+
+    #[test]
+    fn packed_matches_scalar_exhaustive() {
+        let tn = tn_with_negatives();
+        let plan = EvalPlan::new(&tn);
+        let mut scratch = plan.scratch();
+        let pats = sim::exhaustive_patterns(3);
+        let out = plan.eval_word(&[pats[0][0], pats[1][0], pats[2][0]], &mut scratch);
+        let out = out.to_vec();
+        for row in 0..8usize {
+            let assign = [(row & 1) != 0, (row & 2) != 0, (row & 4) != 0];
+            let expect = tn.eval(&assign).unwrap();
+            for (oi, &e) in expect.iter().enumerate() {
+                assert_eq!(out[oi] >> row & 1 != 0, e, "row {row} output {oi}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_gates_clamp() {
+        let mut tn = ThresholdNetwork::new("const");
+        let a = tn.add_input("a").unwrap();
+        let on = tn
+            .add_gate(
+                "on",
+                ThresholdGate {
+                    inputs: vec![a],
+                    weights: vec![1],
+                    threshold: -1,
+                },
+            )
+            .unwrap();
+        let off = tn
+            .add_gate(
+                "off",
+                ThresholdGate {
+                    inputs: vec![a],
+                    weights: vec![1],
+                    threshold: 5,
+                },
+            )
+            .unwrap();
+        tn.add_output("on", on).unwrap();
+        tn.add_output("off", off).unwrap();
+        let plan = EvalPlan::new(&tn);
+        let mut scratch = plan.scratch();
+        let out = plan.eval_word(&[0b10], &mut scratch);
+        assert_eq!(out[0], !0u64);
+        assert_eq!(out[1], 0u64);
+    }
+
+    #[test]
+    fn disturbed_packed_matches_scalar() {
+        let tn = tn_with_negatives();
+        let plan = EvalPlan::new(&tn);
+        let mut scratch = plan.scratch();
+        let mut disturbed: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        disturbed[3] = vec![1.7, -1.2]; // g1
+        disturbed[4] = vec![-2.4, 3.1]; // g2
+        let pats = sim::exhaustive_patterns(3);
+        let out = plan
+            .eval_word_disturbed(
+                &[pats[0][0], pats[1][0], pats[2][0]],
+                &disturbed,
+                &mut scratch,
+            )
+            .to_vec();
+        for row in 0..8usize {
+            let assign = [(row & 1) != 0, (row & 2) != 0, (row & 4) != 0];
+            let expect = tn.eval_disturbed(&assign, &disturbed).unwrap();
+            for (oi, &e) in expect.iter().enumerate() {
+                assert_eq!(out[oi] >> row & 1 != 0, e, "row {row} output {oi}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_simulate_shapes() {
+        let tn = tn_with_negatives();
+        let plan = EvalPlan::new(&tn);
+        let pats = sim::exhaustive_patterns(3);
+        let out = plan.simulate(&pats).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 1);
+        assert!(plan.simulate(&pats[..2]).is_err());
+    }
+
+    #[test]
+    fn add_masked_and_compare() {
+        let mut planes = vec![0u64; 4];
+        add_masked(&mut planes, 3, 0b01);
+        add_masked(&mut planes, 5, 0b11);
+        // lane 0: 3 + 5 = 8, lane 1: 5.
+        assert_eq!(ge_const(&planes, 8), 0b01);
+        assert_eq!(ge_const(&planes, 5), 0b11);
+        assert_eq!(ge_const(&planes, 6), 0b01);
+        assert_eq!(ge_const(&planes, 9), 0b00);
+    }
+}

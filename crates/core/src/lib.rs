@@ -56,6 +56,7 @@ mod check;
 mod chow;
 mod config;
 mod error;
+pub mod eval;
 mod map11;
 pub mod perturb;
 mod qca;
@@ -71,6 +72,7 @@ pub use cache::{CanonicalRealization, RealizationCache};
 pub use check::{check_threshold, Realization, SolverBreakdown};
 pub use config::{CacheKey, SplitHeuristic, SynthStrategy, TelsConfig};
 pub use error::SynthError;
+pub use eval::{verify_tn_vs_network, verify_tn_vs_tn, EvalPlan, EvalScratch};
 pub use map11::{map_one_to_one, synthesize_best};
 pub use qca::{map_to_majority, MajorityStats};
 pub use split::{split_binate, split_cubes_k, split_unate, split_unate_with, UnateSplit};

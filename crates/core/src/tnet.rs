@@ -325,9 +325,10 @@ impl ThresholdNetwork {
         self.eval_impl(assignment, None)
     }
 
-    /// Evaluates with per-gate disturbed weights, keyed by gate id, as used
-    /// by the parametric-variation experiments. Gates absent from
-    /// `disturbed` use their nominal weights.
+    /// Evaluates with per-gate disturbed weights, indexed by
+    /// [`TnId::index`], as used by the parametric-variation experiments.
+    /// Gates beyond the slice or with an empty entry use their nominal
+    /// weights.
     ///
     /// # Errors
     ///
@@ -335,7 +336,7 @@ impl ThresholdNetwork {
     pub fn eval_disturbed(
         &self,
         assignment: &[bool],
-        disturbed: &HashMap<TnId, Vec<f64>>,
+        disturbed: &[Vec<f64>],
     ) -> Result<Vec<bool>, SynthError> {
         self.eval_impl(assignment, Some(disturbed))
     }
@@ -343,7 +344,7 @@ impl ThresholdNetwork {
     fn eval_impl(
         &self,
         assignment: &[bool],
-        disturbed: Option<&HashMap<TnId, Vec<f64>>>,
+        disturbed: Option<&[Vec<f64>]>,
     ) -> Result<Vec<bool>, SynthError> {
         let inputs = self.inputs();
         if assignment.len() != inputs.len() {
@@ -360,7 +361,10 @@ impl ThresholdNetwork {
         for id in self.node_ids() {
             if let Some(g) = self.gate(id) {
                 let vals: Vec<bool> = g.inputs.iter().map(|i| value[i.0 as usize]).collect();
-                value[id.0 as usize] = match disturbed.and_then(|d| d.get(&id)) {
+                let dw = disturbed
+                    .and_then(|d| d.get(id.index()))
+                    .filter(|w| !w.is_empty());
+                value[id.0 as usize] = match dw {
                     Some(w) => g.eval_disturbed(w, &vals),
                     None => g.eval(&vals),
                 };
@@ -375,7 +379,12 @@ impl ThresholdNetwork {
 
     /// Checks functional equivalence against a Boolean [`Network`] with the
     /// same input/output names. Exhaustive for up to `exhaustive_limit`
-    /// inputs, seeded-random (`patterns` vectors) beyond.
+    /// inputs (capped at the packed engine's 20-input pattern limit),
+    /// seeded-random (`patterns` vectors) beyond.
+    ///
+    /// Runs on the word-parallel [`EvalPlan`](crate::eval::EvalPlan)
+    /// engine — the reference goes through the packed `sim::simulate`, this
+    /// network through the packed threshold evaluator, 64 vectors per step.
     ///
     /// Returns `Ok(None)` when no mismatch is found, or `Ok(Some(assign))`
     /// with a counterexample in the Boolean network's input order.
@@ -390,67 +399,25 @@ impl ThresholdNetwork {
         patterns: usize,
         seed: u64,
     ) -> Result<Option<Vec<bool>>, SynthError> {
-        use tels_logic::rng::Xoshiro256;
+        crate::eval::verify_tn_vs_network(self, reference, exhaustive_limit, patterns, seed)
+    }
 
-        let ref_inputs = reference.inputs();
-        let my_inputs = self.inputs();
-        if ref_inputs.len() != my_inputs.len() {
-            return Err(SynthError::Logic(LogicError::InterfaceMismatch(format!(
-                "input counts differ: {} vs {}",
-                ref_inputs.len(),
-                my_inputs.len()
-            ))));
-        }
-        // my_perm[j] = reference input index feeding my input j.
-        let my_perm: Vec<usize> = my_inputs
-            .iter()
-            .map(|&id| {
-                let name = self.name(id);
-                ref_inputs
-                    .iter()
-                    .position(|&rid| reference.name(rid) == name)
-                    .ok_or_else(|| {
-                        SynthError::Logic(LogicError::InterfaceMismatch(format!(
-                            "input `{name}` missing from reference"
-                        )))
-                    })
-            })
-            .collect::<Result<_, _>>()?;
-        let out_perm: Vec<usize> = reference
-            .outputs()
-            .iter()
-            .map(|(name, _)| {
-                self.outputs
-                    .iter()
-                    .position(|(n, _)| n == name)
-                    .ok_or_else(|| {
-                        SynthError::Logic(LogicError::InterfaceMismatch(format!(
-                            "output `{name}` missing from threshold network"
-                        )))
-                    })
-            })
-            .collect::<Result<_, _>>()?;
-
-        let n = ref_inputs.len();
-        let mut rng = Xoshiro256::seed_from_u64(seed);
-        let exhaustive = n as u32 <= exhaustive_limit;
-        let total = if exhaustive { 1usize << n } else { patterns };
-        for t in 0..total {
-            let assign: Vec<bool> = if exhaustive {
-                (0..n).map(|i| t >> i & 1 != 0).collect()
-            } else {
-                (0..n).map(|_| rng.gen_bool()).collect()
-            };
-            let expect = reference.eval(&assign)?;
-            let my_assign: Vec<bool> = my_perm.iter().map(|&i| assign[i]).collect();
-            let got = self.eval(&my_assign)?;
-            for (oi, (_name, _)) in reference.outputs().iter().enumerate() {
-                if expect[oi] != got[out_perm[oi]] {
-                    return Ok(Some(assign));
-                }
-            }
-        }
-        Ok(None)
+    /// Checks functional equivalence against another threshold network
+    /// (interfaces matched by name; every output of `self` must exist in
+    /// `other`), on the packed engine. Returns a counterexample in `self`'s
+    /// input order, or `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the interfaces differ.
+    pub fn equivalent_to(
+        &self,
+        other: &ThresholdNetwork,
+        exhaustive_limit: u32,
+        patterns: usize,
+        seed: u64,
+    ) -> Result<Option<Vec<bool>>, SynthError> {
+        crate::eval::verify_tn_vs_tn(self, other, exhaustive_limit, patterns, seed)
     }
 
     /// Returns a copy containing only inputs and the gates reachable from

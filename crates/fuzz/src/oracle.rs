@@ -18,6 +18,13 @@
 //! cache leg is *functional* because cache-off solves in the original
 //! variable order and may pick different (equally optimal) weights.
 //!
+//! All functional legs run on the word-parallel threshold evaluation
+//! engine (`tels_core::eval`): threshold-vs-Boolean goes through
+//! `verify_against`, threshold-vs-threshold through `equivalent_to` — 64
+//! vectors per step, no minterm expansion. The exponential
+//! [`tn_to_network`] expansion survives only as a cross-check of the
+//! engine itself (see `tests/packed_eval.rs` and this module's tests).
+//!
 //! Every leg runs under [`std::panic::catch_unwind`], so a panic anywhere
 //! in the pipeline is reported as an ordinary [`Failure`] and can be
 //! shrunk like any other disagreement.
@@ -25,7 +32,6 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tels_core::{map_one_to_one, synthesize, TelsConfig, ThresholdNetwork};
-use tels_logic::sim::{check_equivalence, EquivOptions};
 use tels_logic::{Cube, Network, Sop, Var};
 
 /// Knobs of one oracle run.
@@ -216,32 +222,51 @@ fn prune_unused(fanins: Vec<tels_logic::NodeId>, sop: Sop) -> (Vec<tels_logic::N
     (kept.iter().map(|&i| fanins[i]).collect(), sop.remap(&m))
 }
 
-fn equiv_opts(opts: &OracleOptions) -> EquivOptions {
-    EquivOptions {
-        exhaustive_limit: opts.exhaustive_limit,
-        random_patterns: opts.random_patterns,
-        seed: opts.sim_seed,
+/// Checks a threshold network against the Boolean source on the packed
+/// engine (panics and errors become failures of `kind`).
+fn expect_tn_vs_source(
+    kind: FailureKind,
+    what: &str,
+    tn: &ThresholdNetwork,
+    source: &Network,
+    opts: &OracleOptions,
+) -> Result<(), Failure> {
+    let mismatch = guarded(kind, what, || {
+        tn.verify_against(
+            source,
+            opts.exhaustive_limit,
+            opts.random_patterns,
+            opts.sim_seed,
+        )
+    })?;
+    match mismatch {
+        None => Ok(()),
+        Some(assign) => Err(Failure::new(
+            kind,
+            format!("{what} differs from source at {assign:?}"),
+        )),
     }
 }
 
-/// Checks `candidate` (a converted threshold network) against `reference`.
-fn expect_equivalent(
+/// Checks two threshold networks against each other on the packed engine.
+fn expect_tn_vs_tn(
     kind: FailureKind,
     what: &str,
-    reference: &Network,
-    candidate: &Network,
+    a: &ThresholdNetwork,
+    b: &ThresholdNetwork,
     opts: &OracleOptions,
 ) -> Result<(), Failure> {
-    match check_equivalence(reference, candidate, &equiv_opts(opts)) {
-        Ok(r) if r.is_equivalent() => Ok(()),
-        Ok(r) => Err(Failure::new(
-            kind,
-            format!("{what} is not equivalent to its reference: {r:?}"),
-        )),
-        Err(e) => Err(Failure::new(
-            kind,
-            format!("{what} equivalence check errored: {e}"),
-        )),
+    let mismatch = guarded(kind, what, || {
+        a.equivalent_to(
+            b,
+            opts.exhaustive_limit,
+            opts.random_patterns,
+            opts.sim_seed,
+        )
+    })?;
+    match mismatch {
+        None => Ok(()),
+        Some(assign) => Err(Failure::new(kind, format!("{what} disagree at {assign:?}"))),
     }
 }
 
@@ -394,39 +419,20 @@ pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
             ),
         ));
     }
-    let base_net = tn_to_network(&base)
-        .map_err(|e| Failure::new(FailureKind::SynthEquiv, format!("tn_to_network: {e}")))?;
-    let no_cache_net = tn_to_network(&no_cache)
-        .map_err(|e| Failure::new(FailureKind::CacheDiff, format!("tn_to_network: {e}")))?;
-    expect_equivalent(
+    expect_tn_vs_tn(
         FailureKind::CacheDiff,
-        "cache-off synthesis",
-        &base_net,
-        &no_cache_net,
+        "cache-on and cache-off results",
+        &base,
+        &no_cache,
         opts,
     )?;
 
-    // Leg: synthesized network vs the source, via two independent paths —
-    // the threshold network's own verifier and packed network simulation.
-    let mismatch = guarded(FailureKind::SynthEquiv, "verify_against", || {
-        base.verify_against(
-            net,
-            opts.exhaustive_limit,
-            opts.random_patterns,
-            opts.sim_seed,
-        )
-    })?;
-    if let Some(assign) = mismatch {
-        return Err(Failure::new(
-            FailureKind::SynthEquiv,
-            format!("synthesized network differs from source at {assign:?}"),
-        ));
-    }
-    expect_equivalent(
+    // Leg: synthesized network vs the source, on the packed engine.
+    expect_tn_vs_source(
         FailureKind::SynthEquiv,
         "synthesized network",
+        &base,
         net,
-        &base_net,
         opts,
     )?;
 
@@ -434,22 +440,14 @@ pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
     let m11 = guarded(FailureKind::Map11, "map_one_to_one", || {
         map_one_to_one(net, &cfg)
     })?;
-    let m11_net = tn_to_network(&m11)
-        .map_err(|e| Failure::new(FailureKind::Map11, format!("tn_to_network: {e}")))?;
-    expect_equivalent(
-        FailureKind::Map11,
-        "one-to-one baseline",
-        net,
-        &m11_net,
-        opts,
-    )?;
+    expect_tn_vs_source(FailureKind::Map11, "one-to-one baseline", &m11, net, opts)?;
 
     // …and vs the TELS result (closing the three-way triangle).
-    expect_equivalent(
+    expect_tn_vs_tn(
         FailureKind::Baseline,
-        "TELS vs one-to-one baseline",
-        &m11_net,
-        &base_net,
+        "TELS and one-to-one baseline",
+        &m11,
+        &base,
         opts,
     )?;
 
@@ -460,6 +458,15 @@ pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
 mod tests {
     use super::*;
     use tels_logic::blif;
+    use tels_logic::sim::{check_equivalence, EquivOptions};
+
+    fn equiv_opts(opts: &OracleOptions) -> EquivOptions {
+        EquivOptions {
+            exhaustive_limit: opts.exhaustive_limit,
+            random_patterns: opts.random_patterns,
+            seed: opts.sim_seed,
+        }
+    }
 
     #[test]
     fn known_good_network_passes_all_legs() {
@@ -503,13 +510,61 @@ mod tests {
             .unwrap();
         tn.add_output("f", g).unwrap();
         let cand = tn_to_network(&tn).unwrap();
-        let r = expect_equivalent(
+        let r = check_equivalence(&source, &cand, &equiv_opts(&OracleOptions::default())).unwrap();
+        assert!(!r.is_equivalent());
+        // The packed leg (the one run_case actually uses) catches it too.
+        let r = expect_tn_vs_source(
             FailureKind::SynthEquiv,
             "inverted",
+            &tn,
             &source,
-            &cand,
             &OracleOptions::default(),
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn packed_engine_agrees_with_minterm_expansion() {
+        // The packed threshold engine replaced `tn_to_network` as the
+        // oracle's equivalence mechanism; keep the exponential expansion as
+        // an independent cross-check of the engine on both verdicts.
+        let net = blif::parse(
+            ".model m\n.inputs a b c d\n.outputs f g\n.names a b t\n11 1\n.names t c d f\n1-0 1\n-1- 1\n.names a d g\n00 1\n.end\n",
+        )
+        .unwrap();
+        let opts = OracleOptions::default();
+        let cfg = base_config(&opts);
+        let tn = synthesize(&net, &cfg).unwrap();
+        let m11 = map_one_to_one(&net, &cfg).unwrap();
+
+        // Equivalent pair: both mechanisms say so.
+        let expanded = tn_to_network(&tn).unwrap();
+        let m11_expanded = tn_to_network(&m11).unwrap();
+        let r = check_equivalence(&expanded, &m11_expanded, &equiv_opts(&opts)).unwrap();
+        assert!(r.is_equivalent());
+        assert!(expect_tn_vs_tn(FailureKind::Baseline, "pair", &tn, &m11, &opts).is_ok());
+
+        // Inequivalent pair (one output inverted): both mechanisms object.
+        let mut bad = ThresholdNetwork::new("bad");
+        let ins: Vec<_> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| bad.add_input(*n).unwrap())
+            .collect();
+        let g = bad
+            .add_gate(
+                "f",
+                tels_core::ThresholdGate {
+                    inputs: vec![ins[0], ins[1]],
+                    weights: vec![1, 1],
+                    threshold: 2,
+                },
+            )
+            .unwrap();
+        bad.add_output("f", g).unwrap();
+        bad.add_output("g", ins[3]).unwrap();
+        let bad_expanded = tn_to_network(&bad).unwrap();
+        let r = check_equivalence(&expanded, &bad_expanded, &equiv_opts(&opts)).unwrap();
+        assert!(!r.is_equivalent());
+        assert!(expect_tn_vs_tn(FailureKind::Baseline, "pair", &tn, &bad, &opts).is_err());
     }
 }

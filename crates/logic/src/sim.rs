@@ -57,14 +57,19 @@ impl Default for EquivOptions {
 /// Simulates `net` on packed patterns.
 ///
 /// `patterns[i]` carries the word-stream for the i-th primary input (in
-/// [`Network::inputs`] order); all streams must have equal length. Returns
-/// one word-stream per primary output, in output order.
+/// [`Network::inputs`] order); all streams must have equal length. Input
+/// streams are *borrowed* — any `AsRef<[u64]>` works (`Vec<u64>`,
+/// `&[u64]`), and nothing is copied into the value table. Returns one
+/// word-stream per primary output, in output order.
 ///
 /// # Errors
 ///
 /// Returns [`LogicError::InterfaceMismatch`] on arity/length mismatch and
 /// [`LogicError::Cycle`] for cyclic networks.
-pub fn simulate(net: &Network, patterns: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, LogicError> {
+pub fn simulate<S: AsRef<[u64]>>(
+    net: &Network,
+    patterns: &[S],
+) -> Result<Vec<Vec<u64>>, LogicError> {
     let inputs = net.inputs();
     if patterns.len() != inputs.len() {
         return Err(LogicError::InterfaceMismatch(format!(
@@ -73,25 +78,32 @@ pub fn simulate(net: &Network, patterns: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, L
             patterns.len()
         )));
     }
-    let words = patterns.first().map_or(0, Vec::len);
-    if patterns.iter().any(|p| p.len() != words) {
+    let words = patterns.first().map_or(0, |p| p.as_ref().len());
+    if patterns.iter().any(|p| p.as_ref().len() != words) {
         return Err(LogicError::InterfaceMismatch(
             "input streams have different lengths".into(),
         ));
     }
 
     let n = net.node_ids().count();
-    let mut values: Vec<Vec<u64>> = vec![Vec::new(); n];
+    // input_of[slot] = primary-input index, letting fanin reads borrow the
+    // caller's streams instead of cloning them into the value table.
+    let mut input_of: Vec<Option<usize>> = vec![None; n];
     for (i, &id) in inputs.iter().enumerate() {
-        values[id.0 as usize] = patterns[i].clone();
+        input_of[id.0 as usize] = Some(i);
     }
+    let mut values: Vec<Vec<u64>> = vec![Vec::new(); n];
     for id in net.topo_order()? {
         if let NodeKind::Logic { fanins, sop } = net.kind(id) {
             let mut out = vec![0u64; words];
             for cube in sop.cubes() {
                 let mut acc = vec![!0u64; words];
                 for (v, phase) in cube.literals() {
-                    let src = &values[fanins[v.0 as usize].0 as usize];
+                    let slot = fanins[v.0 as usize].0 as usize;
+                    let src: &[u64] = match input_of[slot] {
+                        Some(i) => patterns[i].as_ref(),
+                        None => &values[slot],
+                    };
                     for (a, &s) in acc.iter_mut().zip(src) {
                         *a &= if phase { s } else { !s };
                     }
@@ -103,11 +115,18 @@ pub fn simulate(net: &Network, patterns: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, L
             values[id.0 as usize] = out;
         }
     }
-    Ok(net
-        .outputs()
-        .iter()
-        .map(|(_, id)| values[id.0 as usize].clone())
-        .collect())
+    let outputs = net.outputs();
+    let mut result = Vec::with_capacity(outputs.len());
+    for (k, (_, id)) in outputs.iter().enumerate() {
+        let slot = id.0 as usize;
+        let used_again = outputs[k + 1..].iter().any(|(_, id2)| id2 == id);
+        result.push(match input_of[slot] {
+            Some(i) => patterns[i].as_ref().to_vec(),
+            None if used_again => values[slot].clone(),
+            None => std::mem::take(&mut values[slot]),
+        });
+    }
+    Ok(result)
 }
 
 /// Generates `count` packed random patterns for `n_inputs` inputs.
@@ -213,7 +232,9 @@ pub fn check_equivalence(
     };
 
     let ref_out = simulate(reference, &patterns)?;
-    let cand_patterns: Vec<Vec<u64>> = cand_perm.iter().map(|&i| patterns[i].clone()).collect();
+    // Reorder by borrowing: the candidate reads the same streams through
+    // its input permutation, no per-check pattern copies.
+    let cand_patterns: Vec<&[u64]> = cand_perm.iter().map(|&i| patterns[i].as_slice()).collect();
     let cand_out = simulate(candidate, &cand_patterns)?;
 
     for (oi, (name, _)) in ref_outputs.iter().enumerate() {

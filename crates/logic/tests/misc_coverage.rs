@@ -29,7 +29,7 @@ fn random_patterns_are_seeded_and_shaped() {
 fn simulate_rejects_wrong_arity() {
     let mut net = Network::new("m");
     let _ = net.add_input("a").unwrap();
-    let r = simulate(&net, &[]);
+    let r = simulate::<Vec<u64>>(&net, &[]);
     assert!(r.is_err());
     let r2 = simulate(&net, &[vec![0], vec![0]]);
     assert!(r2.is_err());

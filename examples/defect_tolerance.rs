@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 exhaustive_limit: 12,
                 vectors: 512,
                 seed: 0xdef_ec7 + delta_on as u64,
+                threads: 1,
             };
             rates.push(100.0 * failure_rate(&tn, &net, &opts)?);
         }

@@ -23,8 +23,11 @@ echo "==> synth_pipeline smoke (consistency gates)"
 # and cached synthesis agree on gate and threshold-query counts, that the
 # tier-0 oracle changes no netlist byte yet at least halves the suite's
 # ILP solves (also vs the committed BENCH_synthesis.json baseline), that
-# the integer fast path's rational-fallback rate stays bounded, and that
-# tracing is behaviorally inert (equal gates/queries traced vs. untraced).
+# the integer fast path's rational-fallback rate stays bounded, that
+# tracing is behaviorally inert (equal gates/queries traced vs. untraced),
+# and that the word-parallel Monte Carlo engine produces bit-identical
+# failure rates to the scalar path at no less than 90% of the committed
+# BENCH_synthesis.json perturb speedup (>10% regression fails the gate).
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
 
 echo "==> serve_pipeline smoke (daemon throughput + determinism gates)"

@@ -95,6 +95,7 @@ fn perturb_failure_rate_is_deterministic() {
         exhaustive_limit: 12,
         vectors: 64,
         seed: 7,
+        threads: 1,
     };
     let mut rates = Vec::new();
     for num_threads in [1usize, 4] {
@@ -119,6 +120,19 @@ fn perturb_failure_rate_is_deterministic() {
         rates[0],
         rates[1]
     );
+    // The Monte-Carlo loop itself is thread-count invariant: per-trial
+    // derived seeds make the packed engine's verdicts independent of how
+    // trials are distributed over the work-stealing scheduler.
+    let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+    let serial = failure_rate(&tn, &net, &popts).unwrap();
+    for threads in [2usize, 4, 8] {
+        let threaded = failure_rate(&tn, &net, &PerturbOptions { threads, ..popts }).unwrap();
+        assert_eq!(
+            serial.to_bits(),
+            threaded.to_bits(),
+            "failure rate differs at {threads} perturb threads"
+        );
+    }
     // Sanity: a 25% variation on this network does *something* measurable —
     // guards against the test silently degenerating to 0-trials.
     assert!((0.0..=1.0).contains(&rates[0]));
