@@ -211,7 +211,7 @@ fn main() {
     for threads in [1usize, 0] {
         let session = ServeSession::new(ServeOptions {
             threads,
-            cache_file: None,
+            ..ServeOptions::default()
         })
         .expect("session");
         let served = serve_suite_tnets(&session, &blifs);
@@ -265,6 +265,7 @@ fn main() {
     let seed = ServeSession::new(ServeOptions {
         threads: 0,
         cache_file: Some(cache_path.clone()),
+        ..ServeOptions::default()
     })
     .expect("session");
     let _ = serve_suite_tnets(&seed, &blifs);
@@ -273,6 +274,7 @@ fn main() {
     let reloaded = ServeSession::new(ServeOptions {
         threads: 0,
         cache_file: Some(cache_path.clone()),
+        ..ServeOptions::default()
     })
     .expect("reload session");
     let start = Instant::now();

@@ -154,6 +154,48 @@ fn measure_trace_overhead(suite: &[(String, Network, TelsConfig)]) -> (f64, f64)
     (untraced_ms, traced_ms)
 }
 
+/// Re-runs every circuit with metrics collection off and on (cached
+/// configuration), asserting byte-identical `.tnet` output and an equal
+/// ILP solve count either way. Timing uses min-of-3 per leg to damp timer
+/// noise — the ≤2% overhead gate rides on this number. Returns
+/// `(off_ms, on_ms)` suite totals.
+fn measure_metrics_overhead(suite: &[(String, Network, TelsConfig)]) -> (f64, f64) {
+    let mut off_ms = 0.0;
+    let mut on_ms = 0.0;
+    for (name, prepared, config) in suite {
+        let mut best_off = f64::INFINITY;
+        let mut best_on = f64::INFINITY;
+        let mut last_off = None;
+        let mut last_on = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (tn, st) = synthesize_with_stats(prepared, config).expect("synthesis failed");
+            best_off = best_off.min(start.elapsed().as_secs_f64() * 1e3);
+            last_off = Some((tn.to_tnet(), st.ilp_solves));
+
+            tels_metrics::enable();
+            let start = Instant::now();
+            let (tn, st) = synthesize_with_stats(prepared, config).expect("synthesis failed");
+            best_on = best_on.min(start.elapsed().as_secs_f64() * 1e3);
+            tels_metrics::disable();
+            last_on = Some((tn.to_tnet(), st.ilp_solves));
+        }
+        let (tnet_off, solves_off) = last_off.expect("ran at least once");
+        let (tnet_on, solves_on) = last_on.expect("ran at least once");
+        assert_eq!(
+            tnet_off, tnet_on,
+            "{name}: metrics on/off produced different .tnet bytes"
+        );
+        assert_eq!(
+            solves_off, solves_on,
+            "{name}: metrics changed the ILP solve count"
+        );
+        off_ms += best_off;
+        on_ms += best_on;
+    }
+    (off_ms, on_ms)
+}
+
 /// The word-parallel Monte Carlo scaling leg: §VI-C yield analysis on
 /// large generated circuits, packed engine vs the pre-engine scalar path.
 ///
@@ -449,6 +491,13 @@ fn main() {
          ({overhead_pct:+.1}%)"
     );
 
+    let (suite_metrics_off, suite_metrics_on) = measure_metrics_overhead(&traced_suite);
+    let metrics_overhead_pct = (suite_metrics_on - suite_metrics_off) / suite_metrics_off * 1e2;
+    println!(
+        "metrics overhead: off {suite_metrics_off:.1} ms, on {suite_metrics_on:.1} ms \
+         ({metrics_overhead_pct:+.1}%)"
+    );
+
     let (perturb_section, perturb_speedup) = measure_perturb();
 
     if quick {
@@ -578,6 +627,9 @@ fn main() {
             ("suite_ms_untraced", Json::Num(suite_untraced)),
             ("suite_ms_traced", Json::Num(suite_traced)),
             ("trace_overhead_pct", Json::Num(overhead_pct)),
+            ("suite_ms_metrics_off", Json::Num(suite_metrics_off)),
+            ("suite_ms_metrics_on", Json::Num(suite_metrics_on)),
+            ("metrics_overhead_pct", Json::Num(metrics_overhead_pct)),
             ("perturb", perturb_section),
             ("circuits", Json::Arr(rows)),
         ]);
@@ -595,6 +647,13 @@ fn main() {
     assert!(
         speedup >= 1.0,
         "cached pipeline slower than serial ({speedup:.2}x)"
+    );
+    // The zero-overhead-when-cheap bar for live metrics: enabling the
+    // instrument registry may cost at most 2% wall clock on the synthesis
+    // suite (min-of-3 timing above keeps scheduler noise out of the gate).
+    assert!(
+        metrics_overhead_pct <= 2.0,
+        "metrics overhead {metrics_overhead_pct:+.1}% exceeds the 2% budget"
     );
     // The word-parallel engine's acceptance bar: ≥ 20x Monte Carlo
     // throughput on the large-circuit suite at equal seeds. Quick mode

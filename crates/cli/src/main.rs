@@ -16,6 +16,7 @@
 //! tels print  <file.blif|file.tnet>           dump the netlist
 //! tels serve  --socket PATH | --stdio         batched synthesis daemon
 //! tels client --socket PATH <in.blif...>      submit jobs to a daemon
+//! tels top    --socket PATH                   live daemon metrics display
 //! tels trace-check <trace.json> [stats.json]  validate trace/stats artifacts
 //! ```
 
@@ -69,10 +70,15 @@ usage: tels <command> [args]
          differentially fuzz the synthesis pipeline
   fuzz   --replay DIR                    replay a reproducer corpus
   serve  --socket PATH | --stdio         run the batched synthesis daemon
-         [--threads N] [--cache-file PATH]
+         [--threads N] [--cache-file PATH] [--metrics]
+         [--metrics-interval-ms N] [--recorder-cap N]
   client --socket PATH [in.blif...] [-o out.tnet] [--no-factor] [--verify]
-         [--ping] [--stats] [--malformed] [--shutdown]
+         [--ping] [--stats] [--json] [--metrics] [--metrics-prom]
+         [--lint-prom] [--recorder] [--malformed] [--shutdown]
                                          submit jobs to a running daemon
+  top    --socket PATH [--interval-ms N] [--count N]
+                                         live metrics display for a daemon
+                                         started with --metrics
   trace-check <trace.json> [stats.json]  validate --trace / --stats-json artifacts";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -91,6 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "fuzz" => cmd_fuzz(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "top" => cmd_top(rest),
         "trace-check" => cmd_trace_check(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
@@ -317,8 +324,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut stdio = false;
     let mut threads = 0usize;
     let mut cache_file: Option<String> = None;
+    let mut metrics_enabled = false;
+    let mut metrics_interval_ms = 0u64;
+    let mut recorder_capacity = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} requires a non-negative integer"))
+        };
         match a.as_str() {
             "--socket" => {
                 socket = Some(
@@ -328,13 +343,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 )
             }
             "--stdio" => stdio = true,
-            "--threads" => {
-                threads = it
-                    .next()
-                    .ok_or_else(|| "--threads requires a value".to_string())?
-                    .parse()
-                    .map_err(|_| "--threads requires a non-negative integer".to_string())?
-            }
+            "--threads" => threads = num("--threads")? as usize,
             "--cache-file" => {
                 cache_file = Some(
                     it.next()
@@ -342,6 +351,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         .clone(),
                 )
             }
+            "--metrics" => metrics_enabled = true,
+            "--metrics-interval-ms" => metrics_interval_ms = num("--metrics-interval-ms")?,
+            "--recorder-cap" => recorder_capacity = num("--recorder-cap")? as usize,
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -351,6 +363,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let session = ServeSession::new(ServeOptions {
         threads,
         cache_file: cache_file.map(std::path::PathBuf::from),
+        metrics_enabled,
+        metrics_interval_ms,
+        recorder_capacity,
     })?;
     if stdio {
         serve_stdio(&session).map_err(|e| e.to_string())?;
@@ -368,9 +383,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// Submits jobs to a running daemon (`tels client`): synthesizes each
-/// positional BLIF file in order, plus optional `--ping`, `--stats`,
-/// `--malformed` (deliberately unparseable frame, to exercise the daemon's
-/// error containment) and `--shutdown` control requests.
+/// positional BLIF file in order, plus optional `--ping`, `--stats`
+/// (human-readable; `--json` for the raw object), `--metrics` /
+/// `--metrics-prom` / `--lint-prom` live-metrics scrapes, `--malformed`
+/// (deliberately unparseable frame, to exercise the daemon's error
+/// containment) and `--shutdown` control requests.
 fn cmd_client(args: &[String]) -> Result<(), String> {
     let mut socket: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
@@ -379,6 +396,11 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let mut verify = false;
     let mut ping = false;
     let mut stats = false;
+    let mut json = false;
+    let mut metrics = false;
+    let mut metrics_prom = false;
+    let mut lint_prom = false;
+    let mut recorder = false;
     let mut malformed = false;
     let mut shutdown = false;
     let mut it = args.iter();
@@ -402,6 +424,11 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             "--verify" => verify = true,
             "--ping" => ping = true,
             "--stats" => stats = true,
+            "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--metrics-prom" => metrics_prom = true,
+            "--lint-prom" => lint_prom = true,
+            "--recorder" => recorder = true,
             "--malformed" => malformed = true,
             "--shutdown" => shutdown = true,
             other if !other.starts_with('-') => files.push(other.to_string()),
@@ -462,13 +489,314 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     if stats {
         let reply = client.stats()?;
         let body = reply.get("stats").unwrap_or(&reply);
-        println!("{}", body.pretty());
+        if json {
+            println!("{}", body.pretty());
+        } else {
+            print_stats_pretty(body);
+        }
+    }
+    if metrics {
+        let reply = client.metrics(false, recorder)?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("metrics request failed: {reply}"));
+        }
+        println!("{}", reply.pretty());
+    }
+    if metrics_prom || lint_prom {
+        let reply = client.metrics(true, false)?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("metrics request failed: {reply}"));
+        }
+        let text = reply
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .ok_or("metrics reply lacks prometheus text")?;
+        if lint_prom {
+            tels_metrics::lint_prometheus(text).map_err(|e| format!("prometheus lint: {e}"))?;
+            eprintln!("tels: prometheus exposition passes the lint");
+        }
+        if metrics_prom {
+            print!("{text}");
+        }
     }
     if shutdown {
         let reply = client.shutdown()?;
         eprintln!("tels: shutdown -> {reply}");
     }
     Ok(())
+}
+
+/// Formats a microsecond quantity with a readable unit.
+fn fmt_us(us: f64) -> String {
+    if us < 1e3 {
+        format!("{us:.0} µs")
+    } else if us < 1e6 {
+        format!("{:.1} ms", us / 1e3)
+    } else {
+        format!("{:.2} s", us / 1e6)
+    }
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else {
+        fmt_us(ns / 1e3)
+    }
+}
+
+/// Formats a byte count with a readable unit.
+fn fmt_bytes(b: f64) -> String {
+    if b < 1024.0 {
+        format!("{b:.0} B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    }
+}
+
+/// Human-readable `tels client --stats` output: counters in prose, the
+/// latency histogram's log2 buckets rendered as microsecond ranges with a
+/// scaled bar. `--json` restores the raw object.
+fn print_stats_pretty(body: &Json) {
+    let get = |k: &str| body.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "jobs:        {:.0} ok, {:.0} failed, {:.0} bad frame(s)",
+        get("jobs_ok"),
+        get("jobs_failed"),
+        get("bad_frames")
+    );
+    println!(
+        "pool:        {:.0} worker thread(s), up {}",
+        get("pool_threads"),
+        fmt_us(get("uptime_ms") * 1e3)
+    );
+    let caches = body
+        .get("caches")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    println!(
+        "cache:       {:.0} entries in {caches} configuration(s)",
+        get("cache_entries")
+    );
+    let Some(lat) = body.get("job_latency_us") else {
+        return;
+    };
+    let h = |k: &str| lat.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "job latency: count {:.0}, mean {}, p50 {}, p90 {}, p99 {}, max {}",
+        h("count"),
+        fmt_us(h("mean")),
+        fmt_us(h("p50")),
+        fmt_us(h("p90")),
+        fmt_us(h("p99")),
+        fmt_us(h("max"))
+    );
+    let Some(buckets) = lat.get("buckets").and_then(Json::as_array) else {
+        return;
+    };
+    let pairs: Vec<(u32, f64)> = buckets
+        .iter()
+        .filter_map(|b| {
+            let cell = b.as_array()?;
+            Some((cell.first()?.as_f64()? as u32, cell.get(1)?.as_f64()?))
+        })
+        .collect();
+    let peak = pairs.iter().map(|&(_, n)| n).fold(0.0, f64::max);
+    for (bits, n) in pairs {
+        // Log2 bucket `bits` holds values in [2^(bits-1), 2^bits − 1] µs
+        // (bucket 0 holds exactly 0).
+        let (lo, hi) = if bits == 0 {
+            (0u128, 0u128)
+        } else {
+            (1u128 << (bits - 1), (1u128 << bits) - 1)
+        };
+        let bar = "#".repeat(((n / peak.max(1.0)) * 30.0).ceil() as usize);
+        println!(
+            "  [{:>9} .. {:>9}]  {bar} {n:.0}",
+            fmt_us(lo as f64),
+            fmt_us(hi as f64)
+        );
+    }
+}
+
+/// Reads one metric out of a snapshot's `metrics` map as f64: counters and
+/// gauges are plain numbers, per-index series contribute their `total`.
+fn metric_value(snap: &Json, name: &str) -> f64 {
+    let Some(v) = snap.get("metrics").and_then(|m| m.get(name)) else {
+        return 0.0;
+    };
+    v.as_f64()
+        .or_else(|| v.get("total").and_then(Json::as_f64))
+        .unwrap_or(0.0)
+}
+
+/// Live metrics display (`tels top`): polls the daemon's `metrics` request
+/// at a fixed interval, computes rates from consecutive snapshots, and
+/// renders a compact refreshing dashboard. `--count 1` prints one frame
+/// without clearing the screen (scriptable / testable); `--count 0` (the
+/// default) runs until interrupted.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<String> = None;
+    let mut interval_ms = 1000u64;
+    let mut count = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} requires a non-negative integer"))
+        };
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .ok_or_else(|| "--socket requires a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--interval-ms" => interval_ms = num("--interval-ms")?.max(50),
+            "--count" => count = num("--count")? as usize,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let socket = socket.ok_or("top requires --socket <path>")?;
+    let mut client =
+        Client::connect(std::path::Path::new(&socket)).map_err(|e| format!("{socket}: {e}"))?;
+    let mut prev: Option<Json> = None;
+    let mut frames = 0usize;
+    loop {
+        let reply = client.metrics(false, false)?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("metrics request failed: {reply}"));
+        }
+        let enabled = reply.get("enabled") == Some(&Json::Bool(true));
+        let snap = reply
+            .get("metrics")
+            .cloned()
+            .ok_or("metrics reply lacks a snapshot")?;
+        frames += 1;
+        if count != 1 {
+            // Clear + home, like top(1); skipped for one-shot use so the
+            // output composes with pipes and tests.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(&socket, &snap, prev.as_ref(), enabled);
+        prev = Some(snap);
+        if count != 0 && frames >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Renders one `tels top` frame from a snapshot and its predecessor.
+fn render_top(socket: &str, snap: &Json, prev: Option<&Json>, enabled: bool) {
+    let v = |name: &str| metric_value(snap, name);
+    let ts = snap.get("ts_ns").and_then(Json::as_f64).unwrap_or(0.0);
+    let dt = prev
+        .and_then(|p| p.get("ts_ns").and_then(Json::as_f64))
+        .map(|t0| (ts - t0) / 1e9)
+        .filter(|d| *d > 0.0);
+    let rate = |name: &str| -> String {
+        match (dt, prev) {
+            (Some(dt), Some(p)) => {
+                format!("{:.1}/s", (v(name) - metric_value(p, name)) / dt)
+            }
+            _ => "--/s".to_string(),
+        }
+    };
+    println!(
+        "tels top — {socket} — metrics {} — uptime {}",
+        if enabled {
+            "ON"
+        } else {
+            "OFF (start the daemon with --metrics)"
+        },
+        fmt_ns(ts)
+    );
+    println!();
+    println!(
+        "serve   jobs ok {:.0} ({})   failed {:.0}   inflight {:.0}   connections {:.0}",
+        v("tels_serve_jobs_ok_total"),
+        rate("tels_serve_jobs_ok_total"),
+        v("tels_serve_jobs_failed_total"),
+        v("tels_serve_jobs_inflight"),
+        v("tels_serve_connections_open"),
+    );
+    println!(
+        "        frames {:.0}   bytes in {} ({})   out {} ({})",
+        v("tels_serve_frames_total"),
+        fmt_bytes(v("tels_serve_bytes_in_total")),
+        rate("tels_serve_bytes_in_total"),
+        fmt_bytes(v("tels_serve_bytes_out_total")),
+        rate("tels_serve_bytes_out_total"),
+    );
+    let hist = |name: &str, field: &str| -> f64 {
+        snap.get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(|h| h.get(field))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "        queue wait p50 {} p99 {}   job run p50 {} p99 {}",
+        fmt_ns(hist("tels_serve_queue_wait_ns", "p50")),
+        fmt_ns(hist("tels_serve_queue_wait_ns", "p99")),
+        fmt_ns(hist("tels_serve_job_run_ns", "p50")),
+        fmt_ns(hist("tels_serve_job_run_ns", "p99")),
+    );
+    let busy = v("tels_sched_busy_ns_total");
+    let idle = v("tels_sched_idle_ns_total");
+    let util = if busy + idle > 0.0 {
+        1e2 * busy / (busy + idle)
+    } else {
+        0.0
+    };
+    println!(
+        "sched   tasks {:.0} ({})   steals {:.0}   steal-fails {:.0}   injector {:.0}   deques {:.0}",
+        v("tels_sched_tasks_total"),
+        rate("tels_sched_tasks_total"),
+        v("tels_sched_steals_total"),
+        v("tels_sched_steal_fails_total"),
+        v("tels_sched_injector_depth"),
+        v("tels_sched_deque_depth"),
+    );
+    println!(
+        "        busy {}   idle {}   utilization {util:.1}%",
+        fmt_ns(busy),
+        fmt_ns(idle)
+    );
+    let hits = v("tels_cache_hits_total");
+    let misses = v("tels_cache_misses_total");
+    let hit_rate = if hits + misses > 0.0 {
+        1e2 * hits / (hits + misses)
+    } else {
+        0.0
+    };
+    println!(
+        "cache   hits {hits:.0} ({})   misses {misses:.0}   inserts {:.0}   hit rate {hit_rate:.1}%",
+        rate("tels_cache_hits_total"),
+        v("tels_cache_inserts_total"),
+    );
+    println!(
+        "check   trivial {:.0}   tier0 {:.0}   cache {:.0}   theorem1 {:.0}   prefilter {:.0}   ilp {:.0}   canon {}",
+        v("tels_check_trivial_total"),
+        v("tels_check_tier0_total"),
+        v("tels_check_cache_hits_total"),
+        v("tels_check_theorem1_total"),
+        v("tels_check_prefilter_total"),
+        v("tels_check_ilp_solves_total"),
+        fmt_ns(v("tels_check_canon_ns_total")),
+    );
+    println!(
+        "eval    vectors {:.0} ({})   perturb trials {:.0}",
+        v("tels_eval_vectors_total"),
+        rate("tels_eval_vectors_total"),
+        v("tels_perturb_trials_total"),
+    );
 }
 
 /// Validates a `--trace` Chrome-trace file (and optionally a `--stats-json`

@@ -407,6 +407,7 @@ fn serve_daemon_round_trip_over_socket() {
         "-o",
         served.to_str().unwrap(),
         "--stats",
+        "--json",
     ]);
     assert!(o.status.success(), "client failed: {}", stderr(&o));
     assert!(stderr(&o).contains("malformed frame rejected"));
@@ -478,6 +479,124 @@ fn serve_daemon_round_trip_over_socket() {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     daemon2.kill().ok();
+}
+
+#[test]
+fn serve_metrics_scrape_and_top_over_socket() {
+    let dir = workdir("metrics");
+    let blif = dir.join("sample.blif");
+    fs::write(&blif, SAMPLE).unwrap();
+    let sock = dir.join("tels-metrics.sock");
+    let cache = dir.join("cache.bin");
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_tels"))
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache-file",
+            cache.to_str().unwrap(),
+            "--metrics",
+            "--metrics-interval-ms",
+            "100",
+        ])
+        .spawn()
+        .expect("spawn daemon");
+    for _ in 0..100 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(sock.exists(), "daemon never bound its socket");
+
+    // A job, then pretty --stats (human-readable latency ranges).
+    let o = tels(&[
+        "client",
+        "--socket",
+        sock.to_str().unwrap(),
+        blif.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert!(o.status.success(), "client failed: {}", stderr(&o));
+    let pretty = stdout(&o);
+    assert!(pretty.contains("jobs:"), "{pretty}");
+    assert!(pretty.contains("job latency:"), "{pretty}");
+    assert!(pretty.contains(" .. "), "bucket ranges expected: {pretty}");
+
+    // JSON metrics scrape: counters must reflect the job.
+    let o = tels(&["client", "--socket", sock.to_str().unwrap(), "--metrics"]);
+    assert!(o.status.success(), "metrics scrape failed: {}", stderr(&o));
+    let doc = tels_trace::json::parse(&stdout(&o)).expect("metrics reply is not valid JSON");
+    assert_eq!(
+        doc.get("enabled"),
+        Some(&tels_trace::json::Json::Bool(true))
+    );
+    let jobs_ok = doc
+        .get("metrics")
+        .and_then(|s| s.get("metrics"))
+        .and_then(|m| m.get("tels_serve_jobs_ok_total"))
+        .and_then(tels_trace::json::Json::as_u64)
+        .expect("tels_serve_jobs_ok_total in snapshot");
+    assert!(jobs_ok >= 1, "jobs_ok = {jobs_ok}");
+
+    // Prometheus scrape: exposition text must pass the in-tree lint
+    // (exercised by --lint-prom itself) and carry the job counter.
+    let o = tels(&[
+        "client",
+        "--socket",
+        sock.to_str().unwrap(),
+        "--metrics-prom",
+        "--lint-prom",
+    ]);
+    assert!(
+        o.status.success(),
+        "prometheus scrape failed: {}",
+        stderr(&o)
+    );
+    let text = stdout(&o);
+    assert!(stderr(&o).contains("passes the lint"), "{}", stderr(&o));
+    assert!(
+        text.contains("# TYPE tels_serve_jobs_ok_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("tels_serve_jobs_ok_total 1"), "{text}");
+    assert!(
+        text.contains("tels_sched_tasks_total{worker=\"all\"}"),
+        "{text}"
+    );
+
+    // One-shot `tels top` frame: no ANSI clear, live stats rendered.
+    let o = tels(&["top", "--socket", sock.to_str().unwrap(), "--count", "1"]);
+    assert!(o.status.success(), "tels top failed: {}", stderr(&o));
+    let frame = stdout(&o);
+    assert!(!frame.contains('\x1b'), "one-shot frame must not clear");
+    assert!(frame.contains("metrics ON"), "{frame}");
+    assert!(frame.contains("jobs ok 1"), "{frame}");
+    assert!(frame.contains("hit rate"), "{frame}");
+
+    let o = tels(&["client", "--socket", sock.to_str().unwrap(), "--shutdown"]);
+    assert!(o.status.success(), "shutdown failed: {}", stderr(&o));
+    let mut exited = false;
+    for _ in 0..100 {
+        if daemon.try_wait().expect("poll daemon").is_some() {
+            exited = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    if !exited {
+        daemon.kill().ok();
+    }
+    assert!(exited, "daemon did not exit after shutdown request");
+    // Final snapshot persisted next to the cache file.
+    let metrics_file = dir.join("cache.bin.metrics.json");
+    assert!(metrics_file.exists(), "final metrics snapshot not written");
+    let text = fs::read_to_string(&metrics_file).unwrap();
+    let doc = tels_trace::json::parse(&text).expect("metrics file is not valid JSON");
+    assert!(doc.get("final").is_some() && doc.get("recorder").is_some());
 }
 
 #[test]

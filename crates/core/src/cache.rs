@@ -62,21 +62,31 @@ impl RealizationCache {
         }
     }
 
-    fn shard(&self, key: &[u64]) -> &RwLock<HashMap<Vec<u64>, Option<CanonicalRealization>>> {
+    /// Shard index of a key (stable within a process run).
+    fn shard_index(&self, key: &[u64]) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[h.finish() as usize % SHARDS]
+        h.finish() as usize % SHARDS
+    }
+
+    fn shard(&self, key: &[u64]) -> &RwLock<HashMap<Vec<u64>, Option<CanonicalRealization>>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Looks up a canonical key. Outer `None` = not cached; inner value is
     /// the memoized answer.
     pub fn lookup(&self, key: &[u64]) -> Option<Option<CanonicalRealization>> {
-        let entry = self
-            .shard(key)
+        let index = self.shard_index(key);
+        let entry = self.shards[index]
             .read()
             .expect("cache shard poisoned")
             .get(key)
             .cloned();
+        if entry.is_some() {
+            tels_metrics::instruments::CACHE_HITS.inc(index);
+        } else {
+            tels_metrics::instruments::CACHE_MISSES.inc(index);
+        }
         if tels_trace::enabled() {
             let name = if entry.is_some() { "hit" } else { "miss" };
             tels_trace::instant("cache", name, Vec::new());
@@ -89,7 +99,9 @@ impl RealizationCache {
     /// writer computes the same answer.
     pub fn insert(&self, key: Vec<u64>, value: Option<CanonicalRealization>) {
         tels_trace::instant("cache", "insert", Vec::new());
-        self.shard(&key)
+        let index = self.shard_index(&key);
+        tels_metrics::instruments::CACHE_INSERTS.inc(index);
+        self.shards[index]
             .write()
             .expect("cache shard poisoned")
             .insert(key, value);

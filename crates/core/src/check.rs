@@ -230,6 +230,7 @@ pub(crate) fn check_threshold_counted(
     let result = check_threshold_counted_impl(f, config, solver);
     if let Ok((_, via)) = &result {
         span.arg("via", via.as_str());
+        via.count_metric();
     }
     result
 }
@@ -331,6 +332,20 @@ impl CheckVia {
             CheckVia::Ilp => "ilp",
         }
     }
+
+    /// Bumps the live dispatch-mix counter for this decision path (a
+    /// no-op while metrics are disabled).
+    fn count_metric(self) {
+        use tels_metrics::instruments as m;
+        match self {
+            CheckVia::Trivial => m::CHECK_TRIVIAL.inc(),
+            CheckVia::Tier0 => m::CHECK_TIER0_HITS.inc(),
+            CheckVia::CacheHit => m::CHECK_CACHE_HITS.inc(),
+            CheckVia::Theorem1 => m::CHECK_THEOREM1.inc(),
+            CheckVia::Prefilter => m::CHECK_PREFILTER.inc(),
+            CheckVia::Ilp => m::CHECK_ILP_SOLVES.inc(),
+        }
+    }
 }
 
 /// [`check_threshold`] through the canonical realization cache.
@@ -356,6 +371,7 @@ pub(crate) fn check_threshold_cached(
     let result = check_threshold_cached_impl(f, config, cache, solver, scratch);
     if let Ok((_, via)) = &result {
         span.arg("via", via.as_str());
+        via.count_metric();
     }
     result
 }
@@ -386,7 +402,12 @@ fn check_threshold_cached_impl(
     if let Some(answer) = tier0_answer(&pf, config, solver) {
         return Ok((answer, CheckVia::Tier0));
     }
-    if !pf.positive.canonical_signature_into(scratch) {
+    let canon_t0 = tels_metrics::enabled().then(Instant::now);
+    let canon_ok = pf.positive.canonical_signature_into(scratch);
+    if let Some(t0) = canon_t0 {
+        tels_metrics::instruments::CHECK_CANON_NS.add(t0.elapsed().as_nanos() as u64);
+    }
+    if !canon_ok {
         // Support too wide for a 64-bit canonical key: solve uncached
         // (such supports are also past the structure pass's limit).
         let chow = match timed_structure(&pf.positive, &pf.support, solver) {

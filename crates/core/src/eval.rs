@@ -197,6 +197,7 @@ impl EvalPlan {
         get: impl Fn(usize) -> u64,
         scratch: &'s mut EvalScratch,
     ) -> &'s [u64] {
+        tels_metrics::instruments::EVAL_VECTORS.add(64);
         let EvalScratch {
             values,
             planes,
@@ -259,6 +260,7 @@ impl EvalPlan {
         disturbed: &[Vec<f64>],
         scratch: &'s mut EvalScratch,
     ) -> &'s [u64] {
+        tels_metrics::instruments::EVAL_VECTORS.add(64);
         let EvalScratch {
             values, sums, out, ..
         } = scratch;

@@ -241,7 +241,9 @@ impl PerturbContext {
     ) -> bool {
         let mut rng = Xoshiro256::seed_from_u64(derive_seed(self.seed, trial));
         draw_disturbance_into(tn, self.variation, &mut rng, dist);
-        self.instance_fails(dist, scratch)
+        let failed = self.instance_fails(dist, scratch);
+        tels_metrics::instruments::PERTURB_TRIALS.inc();
+        failed
     }
 
     /// The scalar A/B twin of [`trial_fails`](Self::trial_fails): identical

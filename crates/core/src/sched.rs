@@ -18,6 +18,9 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use tels_metrics::instruments as metrics;
 
 /// Dependency bookkeeping for a set of tasks identified by dense `u32`
 /// indices: each task holds a count of unfinished prerequisites and a list
@@ -217,11 +220,25 @@ impl Scheduler {
         loop {
             match self.find_task(index, locals) {
                 Some(task) => {
+                    let t0 = tels_metrics::enabled().then(Instant::now);
                     f(&worker, task);
                     self.finish(task, &locals[index]);
+                    metrics::SCHED_TASKS.inc(index);
+                    if let Some(t0) = t0 {
+                        metrics::SCHED_BUSY_NS.add(index, t0.elapsed().as_nanos() as u64);
+                    }
                 }
-                None if self.park() => {} // new work published — rescan
-                None => return,           // graph drained
+                None => {
+                    metrics::SCHED_STEAL_FAILS.inc(index);
+                    let t0 = tels_metrics::enabled().then(Instant::now);
+                    let more = self.park();
+                    if let Some(t0) = t0 {
+                        metrics::SCHED_IDLE_NS.add(index, t0.elapsed().as_nanos() as u64);
+                    }
+                    if !more {
+                        return; // graph drained
+                    }
+                }
             }
         }
     }
@@ -275,6 +292,7 @@ impl Scheduler {
                 .expect("worker deque poisoned")
                 .pop_front()
             {
+                metrics::SCHED_STEALS.inc(index);
                 return Some(t);
             }
         }
@@ -366,6 +384,7 @@ impl PoolInner {
                 .expect("pool deque poisoned")
                 .pop_front()
             {
+                metrics::SCHED_STEALS.inc(index);
                 return Some(t);
             }
         }
@@ -377,9 +396,25 @@ impl PoolInner {
         let worker = PoolWorker { inner: self, index };
         loop {
             match self.find_task(index) {
-                Some(task) => task(&worker),
-                None if self.park() => {} // new work published — rescan
-                None => return,           // shutdown
+                Some(task) => {
+                    let t0 = tels_metrics::enabled().then(Instant::now);
+                    task(&worker);
+                    metrics::SCHED_TASKS.inc(index);
+                    if let Some(t0) = t0 {
+                        metrics::SCHED_BUSY_NS.add(index, t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                None => {
+                    metrics::SCHED_STEAL_FAILS.inc(index);
+                    let t0 = tels_metrics::enabled().then(Instant::now);
+                    let more = self.park();
+                    if let Some(t0) = t0 {
+                        metrics::SCHED_IDLE_NS.add(index, t0.elapsed().as_nanos() as u64);
+                    }
+                    if !more {
+                        return; // shutdown
+                    }
+                }
             }
         }
     }
@@ -445,6 +480,26 @@ impl Pool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.inner.locals.len()
+    }
+
+    /// Samples the queue depths: `(injector length, sum of worker deque
+    /// lengths)`. Used by metrics samplers to feed the depth gauges at
+    /// snapshot time instead of updating a gauge on every push/pop.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        let injector = self
+            .inner
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .injector
+            .len();
+        let deques = self
+            .inner
+            .locals
+            .iter()
+            .map(|l| l.lock().expect("pool deque poisoned").len())
+            .sum();
+        (injector, deques)
     }
 
     /// Submits a task through the injector queue.

@@ -73,6 +73,8 @@ pub enum FailureKind {
     ThreadBytes,
     /// Tracing on/off produced different `.tnet` bytes.
     TraceBytes,
+    /// Metrics on/off produced different `.tnet` bytes.
+    MetricsBytes,
     /// An in-process serve session produced different `.tnet` bytes than
     /// the one-shot path (scheduler or shared-cache nondeterminism).
     ServeBytes,
@@ -94,6 +96,7 @@ impl FailureKind {
             FailureKind::Tier0Bytes => "tier0",
             FailureKind::ThreadBytes => "threads",
             FailureKind::TraceBytes => "trace",
+            FailureKind::MetricsBytes => "metrics",
             FailureKind::ServeBytes => "serve",
             FailureKind::CacheDiff => "cache",
             FailureKind::SynthEquiv => "equiv",
@@ -286,7 +289,7 @@ fn serve_leg(net: &Network, cfg: &TelsConfig, opts: &OracleOptions) -> Result<()
     let served = catch_unwind(AssertUnwindSafe(|| {
         let session = ServeSession::new(ServeOptions {
             threads: opts.alt_threads,
-            cache_file: None,
+            ..ServeOptions::default()
         })?;
         let req = JobRequest {
             blif: text.clone(),
@@ -384,6 +387,22 @@ pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
         return Err(Failure::new(
             FailureKind::TraceBytes,
             "tracing on/off produced different .tnet bytes",
+        ));
+    }
+
+    // Leg: metrics on/off byte identity. Like tracing, the instrument
+    // registry is process-global; enable around the leg and disable after.
+    // Counters are observation-only — a divergence here means an
+    // instrumentation site leaked into synthesis decisions.
+    tels_metrics::enable();
+    let metered = guarded(FailureKind::MetricsBytes, "synthesize(metrics)", || {
+        synthesize(net, &cfg)
+    });
+    tels_metrics::disable();
+    if metered?.to_tnet() != base_bytes {
+        return Err(Failure::new(
+            FailureKind::MetricsBytes,
+            "metrics on/off produced different .tnet bytes",
         ));
     }
 

@@ -1,0 +1,164 @@
+//! The flight recorder: a fixed-size ring of registry snapshots.
+//!
+//! The daemon records one [`Frame`] per sampling tick (~1 Hz by default)
+//! and an annotated one whenever a job fails, so "what did the process
+//! look like in the minute before that slow/failed job" can be answered
+//! after the fact: the ring is dumped as JSON on demand (the `metrics`
+//! protocol op), on job failure, and persisted next to the cache file on
+//! shutdown.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use tels_trace::json::Json;
+
+use crate::{snapshot, Snapshot};
+
+/// One recorded frame: a snapshot plus an optional annotation (e.g. the
+/// id of the job whose failure triggered the recording).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The registry reading.
+    pub snapshot: Snapshot,
+    /// Why this frame exists beyond the periodic tick, if anything.
+    pub annotation: Option<String>,
+}
+
+/// A bounded ring buffer of [`Frame`]s; recording past capacity drops the
+/// oldest frame.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<Frame>>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` frames (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Takes a fresh [`snapshot`] and records it.
+    pub fn record(&self, annotation: Option<String>) {
+        self.record_frame(Frame {
+            snapshot: snapshot(),
+            annotation,
+        });
+    }
+
+    /// Records an already-taken snapshot (tests use this to control
+    /// timestamps; [`FlightRecorder::record`] is the production path).
+    pub fn record_frame(&self, frame: Frame) {
+        let mut ring = self.ring.lock().expect("recorder ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(frame);
+    }
+
+    /// Number of frames currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("recorder ring poisoned").len()
+    }
+
+    /// Whether no frame has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of frames retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The ring, oldest frame first, as a JSON array of
+    /// `{"ts_ns", "annotation"?, "metrics"}` objects.
+    pub fn to_json(&self) -> Json {
+        let ring = self.ring.lock().expect("recorder ring poisoned");
+        Json::Arr(
+            ring.iter()
+                .map(|f| {
+                    let mut obj = match f.snapshot.to_json() {
+                        Json::Obj(pairs) => pairs,
+                        _ => unreachable!("snapshot JSON is an object"),
+                    };
+                    if let Some(a) = &f.annotation {
+                        obj.insert(1, ("annotation".to_string(), Json::str(a.clone())));
+                    }
+                    Json::Obj(obj)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+
+    #[test]
+    fn ring_wraps_at_capacity() {
+        let _g = lock();
+        let rec = FlightRecorder::new(3);
+        for i in 0..7 {
+            rec.record(Some(format!("frame-{i}")));
+        }
+        assert_eq!(rec.len(), 3);
+        let dump = rec.to_json();
+        let frames = dump.as_array().expect("array");
+        let notes: Vec<&str> = frames
+            .iter()
+            .map(|f| f.get("annotation").and_then(Json::as_str).unwrap())
+            .collect();
+        // Oldest frames were dropped; the last `capacity` survive in order.
+        assert_eq!(notes, ["frame-4", "frame-5", "frame-6"]);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let _g = lock();
+        let rec = FlightRecorder::new(8);
+        for _ in 0..8 {
+            rec.record(None);
+        }
+        let dump = rec.to_json();
+        let ts: Vec<u64> = dump
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|f| f.get("ts_ns").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "ring order is time order"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let _g = lock();
+        let rec = FlightRecorder::new(0);
+        rec.record(None);
+        rec.record(None);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.capacity(), 1);
+    }
+
+    #[test]
+    fn annotation_survives_dump() {
+        let _g = lock();
+        let rec = FlightRecorder::new(4);
+        rec.record(None);
+        rec.record(Some("job 42 failed: Split".to_string()));
+        let text = rec.to_json().pretty();
+        assert!(
+            text.contains("job 42 failed"),
+            "dump carries the annotation: {text}"
+        );
+    }
+}

@@ -8,7 +8,8 @@ use std::path::Path;
 use tels_trace::json::Json;
 
 use crate::protocol::{
-    read_json_frame, synth_request_json, write_frame, write_json_frame, JobRequest,
+    metrics_request_json, read_json_frame, synth_request_json, write_frame, write_json_frame,
+    JobRequest,
 };
 
 /// A connected client on a unix-socket daemon. One request/reply at a time
@@ -87,6 +88,17 @@ impl Client {
     /// Same as [`Client::request`].
     pub fn stats(&mut self) -> Result<Json, String> {
         self.request(&Json::obj([("op", Json::str("stats"))]))
+    }
+
+    /// Fetches a live metrics snapshot: JSON by default, Prometheus
+    /// exposition text when `prometheus` is set, plus the flight-recorder
+    /// ring when `recorder` is set.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn metrics(&mut self, prometheus: bool, recorder: bool) -> Result<Json, String> {
+        self.request(&metrics_request_json(prometheus, recorder))
     }
 
     /// Asks the server to save its caches and stop.

@@ -46,7 +46,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tels_core::sched::Pool;
 use tels_core::{
@@ -55,6 +55,7 @@ use tels_core::{
 };
 use tels_logic::blif;
 use tels_logic::opt::script_algebraic;
+use tels_metrics::{instruments as metrics, FlightRecorder};
 use tels_trace::json::Json;
 use tels_trace::Histogram;
 
@@ -68,6 +69,17 @@ pub struct ServeOptions {
     /// Cache persistence file: loaded at startup when present, saved on
     /// shutdown and by [`ServeSession::persist_now`].
     pub cache_file: Option<PathBuf>,
+    /// Enable live metrics collection ([`tels_metrics::enable`]) for this
+    /// process, the periodic flight-recorder sampler, and final-snapshot
+    /// persistence next to the cache file. Off by default — with metrics
+    /// disabled every instrumentation site is a single relaxed load.
+    pub metrics_enabled: bool,
+    /// Flight-recorder sampling interval in milliseconds (`0` = the 1 Hz
+    /// default).
+    pub metrics_interval_ms: u64,
+    /// Flight-recorder ring capacity in frames (`0` = the default of 120,
+    /// i.e. two minutes of history at 1 Hz).
+    pub recorder_capacity: usize,
 }
 
 /// Mutable server counters (everything behind one short-held lock).
@@ -106,6 +118,9 @@ pub struct ServeSession {
     shutdown: AtomicBool,
     cache_file: Option<PathBuf>,
     started: Instant,
+    metrics_on: bool,
+    metrics_interval: Duration,
+    recorder: FlightRecorder,
 }
 
 impl ServeSession {
@@ -127,6 +142,9 @@ impl ServeSession {
         } else {
             opts.threads
         };
+        if opts.metrics_enabled {
+            tels_metrics::enable();
+        }
         let session = ServeSession {
             pool: Pool::new(threads),
             caches: Mutex::new(HashMap::new()),
@@ -135,6 +153,17 @@ impl ServeSession {
             shutdown: AtomicBool::new(false),
             cache_file: opts.cache_file,
             started: Instant::now(),
+            metrics_on: opts.metrics_enabled,
+            metrics_interval: Duration::from_millis(if opts.metrics_interval_ms == 0 {
+                1000
+            } else {
+                opts.metrics_interval_ms
+            }),
+            recorder: FlightRecorder::new(if opts.recorder_capacity == 0 {
+                120
+            } else {
+                opts.recorder_capacity
+            }),
         };
         if let Some(path) = session.cache_file.clone().filter(|p| p.exists()) {
             let sections = persist::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -187,10 +216,12 @@ impl ServeSession {
             // workers warming on its behalf — with the job id.
             tels_trace::set_job(Some(id));
         }
+        metrics::SERVE_JOBS_INFLIGHT.add(1);
         let result = {
             let _span = tels_trace::span("serve", "job");
             self.run_job(id, req)
         };
+        metrics::SERVE_JOBS_INFLIGHT.add(-1);
         if traced {
             tels_trace::set_job(None);
         }
@@ -200,6 +231,7 @@ impl ServeSession {
         match result {
             Ok((tn, stats)) => {
                 counters.jobs_ok += 1;
+                metrics::SERVE_JOBS_OK.inc();
                 Ok(JobReply {
                     id,
                     tn,
@@ -209,12 +241,22 @@ impl ServeSession {
             }
             Err(e) => {
                 counters.jobs_failed += 1;
+                metrics::SERVE_JOBS_FAILED.inc();
+                drop(counters);
+                if self.metrics_on {
+                    // Freeze the registry at the moment of failure so the
+                    // ring answers "what did the daemon look like when job
+                    // N died" even after later frames wrap the ring.
+                    self.sample_gauges();
+                    self.recorder.record(Some(format!("job {id} failed: {e}")));
+                }
                 Err(e)
             }
         }
     }
 
     fn run_job(&self, id: u64, req: &JobRequest) -> Result<(ThresholdNetwork, SynthStats), String> {
+        let setup_t0 = tels_metrics::enabled().then(Instant::now);
         validate_config(&req.config)?;
         let net = blif::parse(&req.blif).map_err(|e| format!("blif: {e}"))?;
         // Mirror one-shot `tels synth`: factor by default, synthesize the
@@ -226,42 +268,56 @@ impl ServeSession {
         });
         let config = &req.config;
         let cache = self.cache(config.cache_key());
-        let logic_nodes = prepared
-            .node_ids()
-            .filter(|&n| !prepared.is_input(n))
-            .count();
-        let engaged = config.use_cache && logic_nodes >= config.parallel_min_nodes;
-        let mut warm = None;
-        if engaged && self.pool.threads() > 1 {
-            warm = Some(
-                warm_on_pool(
-                    &self.pool,
-                    Arc::clone(&prepared),
-                    config,
-                    Arc::clone(&cache),
-                    Some(id),
-                )
-                .map_err(|e| e.to_string())?,
-            );
-        }
-        // Applies the same engagement gate internally, so sub-threshold
-        // jobs reproduce the uncached one-shot flow bit-for-bit.
-        let (tn, mut stats) =
-            synthesize_with_shared_cache(&prepared, config, &cache).map_err(|e| e.to_string())?;
-        if let Some((solves, solver)) = warm {
-            stats.ilp_solves += solves;
-            stats.solver.merge(&solver);
-        }
-        if req.verify {
-            match tn
-                .verify_against(&net, 12, 1024, 1)
-                .map_err(|e| e.to_string())?
-            {
-                None => {}
-                Some(cex) => return Err(format!("verification mismatch at {cex:?}")),
+        // Setup (parse, factoring, cache fetch) is the job's "queue wait":
+        // everything before pool work could start on its behalf.
+        let run_t0 = setup_t0.map(|t0| {
+            metrics::SERVE_QUEUE_WAIT_NS.record(t0.elapsed().as_nanos() as u64);
+            Instant::now()
+        });
+        let finish = |result: Result<(ThresholdNetwork, SynthStats), String>| {
+            if let Some(t0) = run_t0 {
+                metrics::SERVE_JOB_RUN_NS.record(t0.elapsed().as_nanos() as u64);
             }
-        }
-        Ok((tn, stats))
+            result
+        };
+        finish((|| {
+            let logic_nodes = prepared
+                .node_ids()
+                .filter(|&n| !prepared.is_input(n))
+                .count();
+            let engaged = config.use_cache && logic_nodes >= config.parallel_min_nodes;
+            let mut warm = None;
+            if engaged && self.pool.threads() > 1 {
+                warm = Some(
+                    warm_on_pool(
+                        &self.pool,
+                        Arc::clone(&prepared),
+                        config,
+                        Arc::clone(&cache),
+                        Some(id),
+                    )
+                    .map_err(|e| e.to_string())?,
+                );
+            }
+            // Applies the same engagement gate internally, so sub-threshold
+            // jobs reproduce the uncached one-shot flow bit-for-bit.
+            let (tn, mut stats) = synthesize_with_shared_cache(&prepared, config, &cache)
+                .map_err(|e| e.to_string())?;
+            if let Some((solves, solver)) = warm {
+                stats.ilp_solves += solves;
+                stats.solver.merge(&solver);
+            }
+            if req.verify {
+                match tn
+                    .verify_against(&net, 12, 1024, 1)
+                    .map_err(|e| e.to_string())?
+                {
+                    None => {}
+                    Some(cex) => return Err(format!("verification mismatch at {cex:?}")),
+                }
+            }
+            Ok((tn, stats))
+        })())
     }
 
     /// Handles one parsed request frame, returning the reply and whether
@@ -280,6 +336,10 @@ impl ServeSession {
                 Json::obj([("ok", Json::Bool(true)), ("stats", self.stats_json())]),
                 false,
             ),
+            Ok(Request::Metrics {
+                prometheus,
+                recorder,
+            }) => (self.metrics_reply(prometheus, recorder), false),
             Ok(Request::Shutdown) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (
@@ -377,6 +437,81 @@ impl ServeSession {
             held.iter().map(|(k, c)| (*k, &**c)).collect();
         persist::save(path, &refs).map(Some)
     }
+
+    /// Whether this session was started with metrics collection enabled.
+    pub fn metrics_on(&self) -> bool {
+        self.metrics_on
+    }
+
+    /// Interval between periodic flight-recorder frames.
+    pub fn metrics_interval(&self) -> Duration {
+        self.metrics_interval
+    }
+
+    /// Samples the scheduler depth gauges from the pool. Gauges have no
+    /// hot-path writers; they are refreshed here — by the daemon's sampler
+    /// thread and on demand when a `metrics` request arrives — so a
+    /// snapshot always carries values no staler than the last request.
+    pub fn sample_gauges(&self) {
+        let (injector, deques) = self.pool.queue_depths();
+        metrics::SCHED_INJECTOR_DEPTH.set(injector as i64);
+        metrics::SCHED_DEQUE_DEPTH.set(deques as i64);
+    }
+
+    /// Takes one annotation-free flight-recorder frame (fresh snapshot,
+    /// gauges sampled first). Called by the daemon's sampler thread.
+    pub fn record_frame(&self) {
+        self.sample_gauges();
+        self.recorder.record(None);
+    }
+
+    /// Builds the reply for a `metrics` request: a fresh registry snapshot
+    /// as JSON or Prometheus text, optionally with the flight-recorder
+    /// ring dumped alongside.
+    fn metrics_reply(&self, prometheus: bool, recorder: bool) -> Json {
+        self.sample_gauges();
+        let snap = tels_metrics::snapshot();
+        let mut fields = vec![
+            ("ok", Json::Bool(true)),
+            ("enabled", Json::Bool(tels_metrics::enabled())),
+        ];
+        if prometheus {
+            fields.push(("prometheus", Json::Str(snap.to_prometheus())));
+        } else {
+            fields.push(("metrics", snap.to_json()));
+        }
+        if recorder {
+            fields.push(("recorder", self.recorder.to_json()));
+        }
+        Json::obj(fields)
+    }
+
+    /// Writes the final registry snapshot plus the flight-recorder ring to
+    /// `<cache_file>.metrics.json`. No-op unless metrics are on and a
+    /// cache file is configured. Called on daemon shutdown so the last
+    /// run's counters survive the process.
+    pub fn persist_metrics_now(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        if !self.metrics_on {
+            return Ok(None);
+        }
+        let Some(path) = &self.cache_file else {
+            return Ok(None);
+        };
+        self.sample_gauges();
+        let mut out = path.clone();
+        out.set_file_name(format!(
+            "{}.metrics.json",
+            out.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "cache".to_owned())
+        ));
+        let doc = Json::obj([
+            ("final", tels_metrics::snapshot().to_json()),
+            ("recorder", self.recorder.to_json()),
+        ]);
+        std::fs::write(&out, doc.pretty())?;
+        Ok(Some(out))
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +548,7 @@ mod tests {
     fn session(threads: usize) -> ServeSession {
         ServeSession::new(ServeOptions {
             threads,
-            cache_file: None,
+            ..ServeOptions::default()
         })
         .expect("session")
     }
@@ -522,6 +657,7 @@ mod tests {
             let s = ServeSession::new(ServeOptions {
                 threads: 2,
                 cache_file: Some(path.clone()),
+                ..ServeOptions::default()
             })
             .unwrap();
             cold_tnet = s.submit(&req).unwrap().tn.to_tnet();
@@ -533,6 +669,7 @@ mod tests {
             let s = ServeSession::new(ServeOptions {
                 threads: 2,
                 cache_file: Some(path.clone()),
+                ..ServeOptions::default()
             })
             .unwrap();
             let loaded = s.cache(cacheable_config().cache_key()).len();
@@ -547,6 +684,7 @@ mod tests {
         let err = ServeSession::new(ServeOptions {
             threads: 2,
             cache_file: Some(path.clone()),
+            ..ServeOptions::default()
         })
         .err()
         .expect("corrupt cache file must be rejected");
@@ -562,6 +700,7 @@ mod tests {
         let s = ServeSession::new(ServeOptions {
             threads: 2,
             cache_file: Some(path.clone()),
+            ..ServeOptions::default()
         })
         .unwrap();
         std::thread::scope(|scope| {
@@ -600,5 +739,66 @@ mod tests {
             }
         });
         std::fs::remove_file(s.cache_file.as_ref().unwrap()).ok();
+    }
+
+    fn metrics_session() -> ServeSession {
+        ServeSession::new(ServeOptions {
+            threads: 2,
+            metrics_enabled: true,
+            ..ServeOptions::default()
+        })
+        .expect("session")
+    }
+
+    #[test]
+    fn metrics_request_round_trips_json_and_prometheus() {
+        let s = metrics_session();
+        s.submit(&JobRequest {
+            blif: big_blif(),
+            ..JobRequest::default()
+        })
+        .expect("job");
+
+        let (reply, shutdown) = s.handle(&protocol::metrics_request_json(false, false));
+        assert!(!shutdown);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(reply.get("enabled"), Some(&Json::Bool(true)));
+        let snap = reply.get("metrics").expect("json snapshot");
+        let jobs_ok = snap
+            .get("metrics")
+            .and_then(|m| m.get("tels_serve_jobs_ok_total"))
+            .and_then(Json::as_u64)
+            .expect("jobs_ok counter");
+        assert!(jobs_ok >= 1, "jobs_ok = {jobs_ok}");
+
+        let (reply, _) = s.handle(&protocol::metrics_request_json(true, true));
+        let text = reply
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .expect("prometheus text");
+        tels_metrics::lint_prometheus(text).expect("exposition must pass the lint");
+        assert!(text.contains("# TYPE tels_serve_jobs_ok_total counter"));
+        assert!(
+            reply.get("recorder").and_then(Json::as_array).is_some(),
+            "recorder dump requested"
+        );
+    }
+
+    #[test]
+    fn recorder_dump_on_failure_names_the_job() {
+        let s = metrics_session();
+        let err = s
+            .submit(&JobRequest {
+                id: Some(4242),
+                blif: "this is not blif".to_string(),
+                ..JobRequest::default()
+            })
+            .expect_err("malformed blif must fail");
+        assert!(err.contains("blif"), "{err}");
+        let dump = s.recorder.to_json().to_string();
+        assert!(
+            dump.contains("job 4242 failed"),
+            "failure frame must name the job: {dump}"
+        );
     }
 }

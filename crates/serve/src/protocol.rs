@@ -71,6 +71,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    tels_metrics::instruments::SERVE_BYTES_IN.add(4 + u64::from(len));
     Ok(Some(payload))
 }
 
@@ -82,6 +83,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
+    tels_metrics::instruments::SERVE_BYTES_OUT.add(4 + u64::from(len));
     w.flush()
 }
 
@@ -144,6 +146,14 @@ pub enum Request {
     Ping,
     /// Server statistics snapshot.
     Stats,
+    /// Live metrics snapshot (JSON or Prometheus text exposition),
+    /// optionally with the flight-recorder ring.
+    Metrics {
+        /// Render Prometheus text format instead of the JSON snapshot.
+        prometheus: bool,
+        /// Include the flight-recorder ring dump in the reply.
+        recorder: bool,
+    },
     /// Save the cache (when configured) and stop the server.
     Shutdown,
 }
@@ -248,6 +258,17 @@ pub fn parse_request(doc: &Json) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => {
+            let prometheus = match doc.get("format").and_then(Json::as_str) {
+                None | Some("json") => false,
+                Some("prometheus") => true,
+                Some(other) => return Err(format!("unknown metrics format `{other}`")),
+            };
+            Ok(Request::Metrics {
+                prometheus,
+                recorder: field_bool(doc, "recorder")?.unwrap_or(false),
+            })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "synth" => {
             let blif = doc
@@ -336,6 +357,19 @@ pub fn synth_request_json(req: &JobRequest) -> Json {
     }
     if !cfg.is_empty() {
         pairs.push(("config".to_string(), Json::Obj(cfg)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Builds the JSON body of a `metrics` request (the client side of
+/// [`parse_request`]).
+pub fn metrics_request_json(prometheus: bool, recorder: bool) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![("op".to_string(), Json::str("metrics"))];
+    if prometheus {
+        pairs.push(("format".to_string(), Json::str("prometheus")));
+    }
+    if recorder {
+        pairs.push(("recorder".to_string(), Json::Bool(true)));
     }
     Json::Obj(pairs)
 }

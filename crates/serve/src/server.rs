@@ -4,10 +4,18 @@
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use tels_metrics::instruments as metrics;
 
 use crate::protocol::{error_reply, read_json_frame, write_json_frame, FrameError};
 use crate::ServeSession;
+
+/// Process-wide connection ids for the `tels_serve_frames_total{conn=…}`
+/// series. Ids are assigned per connection loop (stdio counts as one), so
+/// the series distinguishes chatty peers without any API change.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Why a connection loop returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +48,24 @@ pub fn serve_connection(
     r: &mut impl Read,
     w: &mut impl Write,
 ) -> io::Result<ConnectionEnd> {
+    let conn = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed) as usize;
+    metrics::SERVE_CONNECTIONS_OPEN.add(1);
+    let end = serve_frames(session, r, w, conn);
+    metrics::SERVE_CONNECTIONS_OPEN.add(-1);
+    end
+}
+
+fn serve_frames(
+    session: &ServeSession,
+    r: &mut impl Read,
+    w: &mut impl Write,
+    conn: usize,
+) -> io::Result<ConnectionEnd> {
     loop {
         match read_json_frame(r) {
             Ok(None) => return Ok(ConnectionEnd::Eof),
             Ok(Some(Ok(doc))) => {
+                metrics::SERVE_FRAMES.inc(conn);
                 let (reply, shutdown) = session.handle(&doc);
                 write_json_frame(w, &reply)?;
                 if shutdown {
@@ -87,6 +109,7 @@ pub fn serve_stdio(session: &ServeSession) -> io::Result<ConnectionEnd> {
     let stdout = io::stdout();
     let end = serve_connection(session, &mut stdin.lock(), &mut stdout.lock())?;
     session.persist_now()?;
+    session.persist_metrics_now()?;
     Ok(end)
 }
 
@@ -106,6 +129,25 @@ pub fn serve_unix(session: Arc<ServeSession>, path: &Path) -> io::Result<()> {
         std::fs::remove_file(path)?;
     }
     let listener = UnixListener::bind(path)?;
+    // Flight-recorder sampler: one frame per interval until shutdown, so
+    // `metrics` with `recorder: true` (and the post-mortem dump) shows a
+    // rolling window of recent daemon state, not just on-demand snapshots.
+    let sampler = session.metrics_on().then(|| {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || {
+            while !session.shutting_down() {
+                session.record_frame();
+                // Sleep in short ticks so shutdown isn't delayed by a
+                // full interval at coarse sampling rates.
+                let mut left = session.metrics_interval();
+                while !left.is_zero() && !session.shutting_down() {
+                    let tick = left.min(std::time::Duration::from_millis(50));
+                    std::thread::sleep(tick);
+                    left -= tick;
+                }
+            }
+        })
+    });
     let mut connections = Vec::new();
     for stream in listener.incoming() {
         if session.shutting_down() {
@@ -131,7 +173,11 @@ pub fn serve_unix(session: Arc<ServeSession>, path: &Path) -> io::Result<()> {
     for handle in connections {
         let _ = handle.join();
     }
+    if let Some(handle) = sampler {
+        let _ = handle.join();
+    }
     session.persist_now()?;
+    session.persist_metrics_now()?;
     std::fs::remove_file(path).ok();
     Ok(())
 }

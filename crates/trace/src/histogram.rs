@@ -54,6 +54,35 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from raw parts: per-bucket counts, the sample
+    /// sum, and the maximum. The sample count is derived from the buckets,
+    /// so buckets and count agree by construction. Used by `tels-metrics`
+    /// to convert a lock-free atomic histogram snapshot into this type.
+    pub fn from_raw(buckets: [u64; BUCKETS], sum: u128, max: u64) -> Histogram {
+        let count = buckets.iter().sum();
+        Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// The non-empty buckets as `(bits, count)` pairs: bucket `bits`
+    /// covers values in `[2^(bits−1), 2^bits)` (bucket 0 holds value 0).
+    pub fn raw_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         let bucket = (64 - value.leading_zeros()) as usize;

@@ -25,7 +25,9 @@ echo "==> synth_pipeline smoke (consistency gates)"
 # ILP solves (also vs the committed BENCH_synthesis.json baseline), that
 # the integer fast path's rational-fallback rate stays bounded, that
 # tracing is behaviorally inert (equal gates/queries traced vs. untraced),
-# and that the word-parallel Monte Carlo engine produces bit-identical
+# that metrics collection is behaviorally inert (byte-identical .tnet,
+# equal ILP solves) and costs at most 2% wall clock when enabled, and
+# that the word-parallel Monte Carlo engine produces bit-identical
 # failure rates to the scalar path at no less than 90% of the committed
 # BENCH_synthesis.json perturb speedup (>10% regression fails the gate).
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
@@ -72,7 +74,7 @@ echo "==> serve daemon smoke (socket protocol, malformed frame, byte identity)"
 # persisted cache file behind.
 sock="$smoke_dir/tels.sock"
 cargo run --release --quiet -p tels-cli --bin tels -- serve \
-    --socket "$sock" --threads 2 --cache-file "$smoke_dir/cache.bin" &
+    --socket "$sock" --threads 2 --cache-file "$smoke_dir/cache.bin" --metrics &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
 for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
@@ -86,14 +88,27 @@ cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" \
     "$smoke_dir/smoke.blif" -o "$smoke_dir/served_warm.tnet"
 cmp "$smoke_dir/oneshot.tnet" "$smoke_dir/served_cold.tnet"
 cmp "$smoke_dir/oneshot.tnet" "$smoke_dir/served_warm.tnet"
+# Scrape live metrics once: the Prometheus exposition must pass the
+# in-tree lint (every series has a # TYPE, no duplicate series) and carry
+# the two jobs served above; `tels top --count 1` must render a frame.
+cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" \
+    --metrics-prom --lint-prom > "$smoke_dir/metrics.prom"
+grep -q '^tels_serve_jobs_ok_total 2$' "$smoke_dir/metrics.prom" \
+    || { echo "ci.sh: metrics scrape missing served jobs" >&2; exit 1; }
+cargo run --release --quiet -p tels-cli --bin tels -- top --socket "$sock" --count 1 \
+    | grep -q "jobs ok 2" \
+    || { echo "ci.sh: tels top did not render live stats" >&2; exit 1; }
 cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" --shutdown
 wait "$serve_pid"
 trap 'rm -rf "$smoke_dir"' EXIT
 [ -f "$smoke_dir/cache.bin" ] || { echo "ci.sh: daemon left no cache file" >&2; exit 1; }
+[ -f "$smoke_dir/cache.bin.metrics.json" ] \
+    || { echo "ci.sh: daemon left no final metrics snapshot" >&2; exit 1; }
 
 echo "==> differential fuzz (quick budget) + corpus replay"
 # 500 seeded cases through the full oracle matrix (tier-0/cache/threads/
-# trace determinism, synthesis and one-to-one correctness vs the source),
+# trace/metrics determinism, synthesis and one-to-one correctness vs the
+# source),
 # then every committed reproducer in tests/corpus/ — each is a past
 # failure that must stay fixed forever. Any new counterexample is shrunk
 # and written to tests/corpus/ for triage (and must be fixed + committed).
