@@ -39,6 +39,17 @@
 //! (≥ 20x in full runs; within 10% of the committed baseline in quick
 //! mode).
 //!
+//! A fifth pass (`tier05_large` in the JSON) synthesizes large generated
+//! circuits at ψ = 7 — where collapse produces support-6/7 threshold
+//! queries above the tier-0 oracle's 5-variable reach — with the tier-0.5
+//! pseudo-Boolean procedure on and off. It asserts byte-identical `.tnet`
+//! output either way, gates tier 0.5 at cutting the suite's remaining ILP
+//! solves by at least half at equal-or-better wall clock, and writes the
+//! `ilp_solve_reduction_large` object (`{before, after, pct}`); quick mode
+//! additionally regression-gates the reduction against the committed
+//! baseline when the key is present in either its bare-fraction or object
+//! form.
+//!
 //! Run with `cargo run --release -p tels-bench --bin synth_pipeline`;
 //! pass `--quick` for a single-sample smoke run that skips the JSON write
 //! (what `scripts/ci.sh` uses).
@@ -303,6 +314,135 @@ fn measure_perturb() -> (Json, f64) {
     (section, speedup)
 }
 
+/// The tier-0.5 large-circuit leg: generated circuits synthesized at
+/// ψ = 7, where collapse produces support-6/7 threshold queries that sit
+/// above the tier-0 oracle's 5-variable reach. Each circuit runs the full
+/// cached pipeline twice — tier 0.5 on (the default) and off — and the
+/// leg asserts per circuit that the two netlists are byte-identical (the
+/// tier answers only when its optimum is provably the merged ILP's unique
+/// optimum) and that tier 0.5 never increases the ILP solve count.
+///
+/// Suite-level gates live in `main`: ≥ 50% of the remaining ILP solves
+/// cut, at equal-or-better wall clock. Timing is min-of-N per leg
+/// (N = 3 full, 2 quick) so one descheduled timeslice cannot fail the
+/// wall-clock comparison.
+///
+/// Returns `(section, solves_off, solves_on, off_ms, on_ms)`.
+fn measure_tier05_large(samples: usize) -> (Json, usize, usize, f64, f64) {
+    let samples = samples.clamp(2, 3);
+    let circuits: Vec<(&str, Network)> = vec![
+        ("array_multiplier_5", array_multiplier(5)),
+        ("majority_grid_12x6", majority_grid(12, 6)),
+        ("parity_ladder_10x4", parity_ladder(10, 4)),
+        ("lfsr_cone_12x16", lfsr_cone(12, 16)),
+        ("ripple_adder_16", ripple_adder(16)),
+        ("comparator_10", comparator(10)),
+        (
+            "random_widefan_96",
+            random_network(
+                "random_widefan_96",
+                0x7105,
+                &RandomNetOptions {
+                    nodes: 96,
+                    inputs: 20,
+                    outputs: 10,
+                    max_fanin: 5,
+                    max_cubes: 6,
+                    ..RandomNetOptions::default()
+                },
+            ),
+        ),
+    ];
+    // Cache off, one thread: the realization cache would absorb every
+    // duplicate query and shrink the baseline to a handful of solves, so
+    // the leg runs the serial flow where each support-6/7 query reaches
+    // the solver stack and the tier's cut is measured on the full stream.
+    let on_config = TelsConfig {
+        use_cache: false,
+        num_threads: 1,
+        psi: 7,
+        ..TelsConfig::default()
+    };
+    assert!(
+        on_config.tier05_active(),
+        "large-leg configuration must engage tier 0.5"
+    );
+    let off_config = TelsConfig {
+        use_tier05: false,
+        ..on_config.clone()
+    };
+    let mut rows = Vec::new();
+    let mut solves_off = 0usize;
+    let mut solves_on = 0usize;
+    let mut off_ms = 0.0;
+    let mut on_ms = 0.0;
+    println!(
+        "\n{:<20} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "tier05 circuit", "off ms", "on ms", "solves off", "solves on", "tier05", "negcache"
+    );
+    for (name, net) in &circuits {
+        let off = measure(net, &off_config, samples);
+        let on = measure(net, &on_config, samples);
+        assert_eq!(
+            on.tnet, off.tnet,
+            "{name}: tier 0.5 changed the synthesized netlist"
+        );
+        assert!(
+            on.stats.ilp_solves <= off.stats.ilp_solves,
+            "{name}: tier 0.5 increased the ILP solve count"
+        );
+        println!(
+            "{:<20} {:>10.2} {:>10.2} {:>10} {:>9} {:>8} {:>8}",
+            name,
+            off.millis,
+            on.millis,
+            off.stats.ilp_solves,
+            on.stats.ilp_solves,
+            on.stats.solver.tier05_hits + on.stats.solver.tier05_rejects,
+            on.stats.solver.negcache_hits,
+        );
+        solves_off += off.stats.ilp_solves;
+        solves_on += on.stats.ilp_solves;
+        off_ms += off.millis;
+        on_ms += on.millis;
+        rows.push(Json::obj([
+            ("circuit", Json::str(*name)),
+            ("off_ms", Json::Num(off.millis)),
+            ("on_ms", Json::Num(on.millis)),
+            ("gates", Json::Num(on.gates as f64)),
+            ("ilp_solves_off", Json::Num(off.stats.ilp_solves as f64)),
+            ("ilp_solves_on", Json::Num(on.stats.ilp_solves as f64)),
+            ("tier05_hits", Json::Num(on.stats.solver.tier05_hits as f64)),
+            (
+                "tier05_rejects",
+                Json::Num(on.stats.solver.tier05_rejects as f64),
+            ),
+            (
+                "negcache_hits",
+                Json::Num(on.stats.solver.negcache_hits as f64),
+            ),
+        ]));
+    }
+    let pct = if solves_off > 0 {
+        (1.0 - solves_on as f64 / solves_off as f64) * 1e2
+    } else {
+        0.0
+    };
+    println!(
+        "tier 0.5 large suite: ILP solves {solves_off} (off) -> {solves_on} (on), a \
+         {pct:.1}% reduction; wall clock {off_ms:.1} ms -> {on_ms:.1} ms"
+    );
+    let section = Json::obj([
+        ("psi", Json::Num(7.0)),
+        ("total_off_ms", Json::Num(off_ms)),
+        ("total_on_ms", Json::Num(on_ms)),
+        ("ilp_solves_off", Json::Num(solves_off as f64)),
+        ("ilp_solves_on", Json::Num(solves_on as f64)),
+        ("circuits", Json::Arr(rows)),
+    ]);
+    (section, solves_off, solves_on, off_ms, on_ms)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let samples = if quick { 1 } else { SAMPLES };
@@ -500,6 +640,25 @@ fn main() {
 
     let (perturb_section, perturb_speedup) = measure_perturb();
 
+    let (tier05_section, t05_off, t05_on, t05_off_ms, t05_on_ms) = measure_tier05_large(samples);
+    let large_reduction_pct = if t05_off > 0 {
+        (1.0 - t05_on as f64 / t05_off as f64) * 1e2
+    } else {
+        0.0
+    };
+    // The tier-0.5 acceptance gates: on the large suite the tier must cut
+    // at least half the ILP solves tier 0 leaves behind, and it must pay
+    // for itself — the tier-on leg may not be slower than the tier-off
+    // leg beyond a 5% scheduler-noise guard on the min-of-N timings.
+    assert!(
+        t05_on * 2 <= t05_off,
+        "tier 0.5 cut large-suite ILP solves only from {t05_off} to {t05_on} (< 50%)"
+    );
+    assert!(
+        t05_on_ms <= t05_off_ms * 1.05,
+        "tier 0.5 slowed the large suite: {t05_on_ms:.1} ms on vs {t05_off_ms:.1} ms off"
+    );
+
     if quick {
         // Quick (CI) mode: regression-gate the oracle against the
         // committed baseline instead of rewriting it — the suite's solve
@@ -543,6 +702,28 @@ fn main() {
                     None => eprintln!(
                         "synth_pipeline: committed BENCH_synthesis.json has no \
                          ilp_solve_reduction in either form; skipping the pct gate"
+                    ),
+                }
+                // The tier-0.5 large-suite reduction, readable in either
+                // form like the tier-0 key above: a bare fraction or the
+                // `{before, after, pct}` object. Files committed before the
+                // tier-0.5 leg existed have neither — skip, don't fail.
+                let committed_large = doc
+                    .as_ref()
+                    .and_then(|doc| doc.get("ilp_solve_reduction_large"))
+                    .and_then(|v| match v {
+                        Json::Num(frac) => Some(frac * 1e2),
+                        obj => obj.get("pct").and_then(Json::as_f64),
+                    });
+                match committed_large {
+                    Some(committed) => assert!(
+                        large_reduction_pct >= committed - 5.0,
+                        "tier-0.5 large-suite ILP solve reduction {large_reduction_pct:.1}% \
+                         regressed vs committed {committed:.1}%"
+                    ),
+                    None => eprintln!(
+                        "synth_pipeline: committed BENCH_synthesis.json has no \
+                         ilp_solve_reduction_large in either form; skipping the gate"
                     ),
                 }
                 // The Monte Carlo scaling gate: the packed engine's speedup
@@ -630,7 +811,16 @@ fn main() {
             ("suite_ms_metrics_off", Json::Num(suite_metrics_off)),
             ("suite_ms_metrics_on", Json::Num(suite_metrics_on)),
             ("metrics_overhead_pct", Json::Num(metrics_overhead_pct)),
+            (
+                "ilp_solve_reduction_large",
+                Json::obj([
+                    ("before", Json::Num(t05_off as f64)),
+                    ("after", Json::Num(t05_on as f64)),
+                    ("pct", Json::Num(large_reduction_pct)),
+                ]),
+            ),
             ("perturb", perturb_section),
+            ("tier05_large", tier05_section),
             ("circuits", Json::Arr(rows)),
         ]);
         let mut json = doc.pretty();

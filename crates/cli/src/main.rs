@@ -50,7 +50,7 @@ const USAGE: &str = "\
 usage: tels <command> [args]
   synth  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
          [--weight-cap N] [--threads N] [--no-cache] [--no-factor]
-         [--no-theorem1] [--no-int-solver] [--no-tier0] [--best]
+         [--no-theorem1] [--no-int-solver] [--no-tier0] [--no-tier05] [--best]
          [--trace out.json] [--profile] [--stats-json]
   map11  <in.blif> [-o out.tnet] [--psi N] [--delta-on N] [--delta-off N]
   sim    <file.blif|file.tnet> <bits...>
@@ -166,6 +166,7 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
             "--no-theorem1" => out.config.use_theorem1 = false,
             "--no-int-solver" => out.config.use_int_solver = false,
             "--no-tier0" => out.config.use_tier0 = false,
+            "--no-tier05" => out.config.use_tier05 = false,
             "--best" => out.best = true,
             "--trace" => {
                 out.trace = Some(
@@ -249,9 +250,14 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
                     stats.theorem2_combines
                 );
                 eprintln!(
-                    "tels: {} ILP solves, {} tier-0 lookups, {} cache hits, {} pre-filter rejections ({} solves avoided)",
+                    "tels: {} ILP solves, {} tier-0 lookups, {} tier-0.5 answers ({} hits, {} rejects, {} negcache hits), {} cache hits, {} pre-filter rejections ({} solves avoided)",
                     stats.ilp_solves,
                     stats.solver.tier0_lookups,
+                    stats.solver.tier05_hits + stats.solver.tier05_rejects
+                        + stats.solver.negcache_hits,
+                    stats.solver.tier05_hits,
+                    stats.solver.tier05_rejects,
+                    stats.solver.negcache_hits,
                     stats.cache_hits,
                     stats.prefilter_rejections,
                     stats.ilp_avoided()
@@ -581,6 +587,10 @@ fn print_stats_pretty(body: &Json) {
         "cache:       {:.0} entries in {caches} configuration(s)",
         get("cache_entries")
     );
+    println!(
+        "negcache:    {:.0} rejection signature(s)",
+        get("negcache_entries")
+    );
     let Some(lat) = body.get("job_latency_us") else {
         return;
     };
@@ -782,14 +792,27 @@ fn render_top(socket: &str, snap: &Json, prev: Option<&Json>, enabled: bool) {
         v("tels_cache_inserts_total"),
     );
     println!(
-        "check   trivial {:.0}   tier0 {:.0}   cache {:.0}   theorem1 {:.0}   prefilter {:.0}   ilp {:.0}   canon {}",
+        "check   trivial {:.0}   tier0 {:.0}   tier05 {:.0}   cache {:.0}   theorem1 {:.0}   prefilter {:.0}   ilp {:.0}   canon {}",
         v("tels_check_trivial_total"),
         v("tels_check_tier0_total"),
+        v("tels_check_tier05_total"),
         v("tels_check_cache_hits_total"),
         v("tels_check_theorem1_total"),
         v("tels_check_prefilter_total"),
         v("tels_check_ilp_solves_total"),
         fmt_ns(v("tels_check_canon_ns_total")),
+    );
+    let neg_hits = v("tels_negcache_hits_total");
+    let neg_misses = v("tels_negcache_misses_total");
+    let neg_rate = if neg_hits + neg_misses > 0.0 {
+        1e2 * neg_hits / (neg_hits + neg_misses)
+    } else {
+        0.0
+    };
+    println!(
+        "negcache hits {neg_hits:.0} ({})   misses {neg_misses:.0}   inserts {:.0}   hit rate {neg_rate:.1}%",
+        rate("tels_negcache_hits_total"),
+        v("tels_negcache_inserts_total"),
     );
     println!(
         "eval    vectors {:.0} ({})   perturb trials {:.0}",

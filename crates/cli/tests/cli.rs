@@ -313,6 +313,63 @@ fn synth_tier0_matches_ilp_path_byte_for_byte() {
     );
 }
 
+/// A support-6 threshold function, f = a ∨ b·(c ∨ d ∨ e ∨ g)
+/// (w = [5, 4, 1, 1, 1, 1], T = 5): at ψ ≥ 6 it is a single query past
+/// the tier-0 oracle's 5-variable ceiling, squarely in tier-0.5 range.
+const SUPPORT6: &str = "\
+.model support6
+.inputs a b c d e g
+.outputs f
+.names a b c d e g f
+1----- 1
+-11--- 1
+-1-1-- 1
+-1--1- 1
+-1---1 1
+.end
+";
+
+#[test]
+fn synth_tier05_matches_ilp_path_byte_for_byte() {
+    let dir = workdir("tier05");
+    let blif = dir.join("support6.blif");
+    let with = dir.join("with_tier05.tnet");
+    let without = dir.join("without_tier05.tnet");
+    fs::write(&blif, SUPPORT6).unwrap();
+
+    let on = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "--psi",
+        "6",
+        "-o",
+        with.to_str().unwrap(),
+    ]);
+    assert!(on.status.success(), "{}", stderr(&on));
+    // The default run reports tier-0.5 traffic ...
+    assert!(
+        stderr(&on).contains("tier-0.5 answers"),
+        "missing tier-0.5 stderr report: {}",
+        stderr(&on)
+    );
+    let off = tels(&[
+        "synth",
+        blif.to_str().unwrap(),
+        "--psi",
+        "6",
+        "--no-tier05",
+        "-o",
+        without.to_str().unwrap(),
+    ]);
+    assert!(off.status.success(), "{}", stderr(&off));
+    // ... and synthesizes exactly the network the ILP path does.
+    assert_eq!(
+        fs::read_to_string(&with).unwrap(),
+        fs::read_to_string(&without).unwrap(),
+        "tier 0.5 changed the synthesized network"
+    );
+}
+
 #[test]
 fn synth_stats_json_respects_output_redirect() {
     let dir = workdir("statsjson");

@@ -38,6 +38,7 @@ use crate::config::TelsConfig;
 use crate::error::SynthError;
 use crate::theorems::theorem1_refutes;
 use crate::tier0;
+use crate::tier05::{self, NegativeCache};
 
 /// Per-tier breakdown of where the threshold-check solver spent its work.
 ///
@@ -53,6 +54,15 @@ pub struct SolverBreakdown {
     /// Queries answered by the tier-0 truth-table oracle (hit or
     /// definitive miss) — each one is an ILP that never got built.
     pub tier0_lookups: usize,
+    /// Queries whose realization the tier-0.5 decision procedure
+    /// identified (each the merged ILP's unique optimum, solver skipped).
+    pub tier05_hits: usize,
+    /// Queries the tier-0.5 procedure proved non-threshold by
+    /// 2-asummability violation.
+    pub tier05_rejects: usize,
+    /// Queries short-circuited by a Chow-canonical negative-cache hit
+    /// before any structure analysis or solve.
+    pub negcache_hits: usize,
     /// ILP weight columns eliminated by merging equal-Chow variables.
     pub chow_merged_vars: usize,
     /// ILP solves that ran entirely on the fraction-free integer simplex.
@@ -62,6 +72,10 @@ pub struct SolverBreakdown {
     pub rational_fallbacks: usize,
     /// Wall time of tier-0 lookups (truth-table pass + table probe).
     pub tier0_ns: u64,
+    /// Wall time of tier-0.5 work: table build, negative-cache probe, and
+    /// the decision procedure itself (the shared structure pass stays in
+    /// [`Self::structure_ns`]).
+    pub tier05_ns: u64,
     /// Wall time of the structure pass (2-monotonicity + Chow parameters).
     pub structure_ns: u64,
     /// Wall time of ILP solves decided entirely on the integer fast path.
@@ -82,10 +96,14 @@ impl SolverBreakdown {
     /// Accumulates another breakdown into this one (thread-merge).
     pub fn merge(&mut self, other: &SolverBreakdown) {
         self.tier0_lookups += other.tier0_lookups;
+        self.tier05_hits += other.tier05_hits;
+        self.tier05_rejects += other.tier05_rejects;
+        self.negcache_hits += other.negcache_hits;
         self.chow_merged_vars += other.chow_merged_vars;
         self.int_fast_path_solves += other.int_fast_path_solves;
         self.rational_fallbacks += other.rational_fallbacks;
         self.tier0_ns += other.tier0_ns;
+        self.tier05_ns += other.tier05_ns;
         self.structure_ns += other.structure_ns;
         self.int_solve_ns += other.int_solve_ns;
         self.rational_solve_ns += other.rational_solve_ns;
@@ -106,6 +124,10 @@ impl SolverBreakdown {
         Json::obj([
             ("tier0_lookups", Json::Num(self.tier0_lookups as f64)),
             ("tier0_ns", Json::Num(self.tier0_ns as f64)),
+            ("tier05_hits", Json::Num(self.tier05_hits as f64)),
+            ("tier05_rejects", Json::Num(self.tier05_rejects as f64)),
+            ("negcache_hits", Json::Num(self.negcache_hits as f64)),
+            ("tier05_ns", Json::Num(self.tier05_ns as f64)),
             (
                 "support_hist",
                 Json::Arr(
@@ -205,7 +227,7 @@ impl Realization {
 /// exact solver.
 pub fn check_threshold(f: &Sop, config: &TelsConfig) -> Result<Option<Realization>, SynthError> {
     let mut solver = SolverBreakdown::default();
-    Ok(check_threshold_counted(f, config, &mut solver)?.0)
+    Ok(check_threshold_counted(f, config, None, &mut solver)?.0)
 }
 
 /// Runs the structure pass with its time billed to `solver`.
@@ -218,16 +240,19 @@ fn timed_structure(positive: &Sop, order: &[Var], solver: &mut SolverBreakdown) 
 
 /// [`check_threshold`], also reporting *how* the query was decided
 /// ([`CheckVia::Trivial`] for constants and binate rejections,
-/// [`CheckVia::Tier0`] for oracle answers, [`CheckVia::Prefilter`] for
-/// 2-monotonicity rejections, [`CheckVia::Ilp`] for actual solves).
-/// Solver-tier counters accumulate into `solver`.
+/// [`CheckVia::Tier0`] for oracle answers, [`CheckVia::Tier05`] for
+/// tier-0.5 decisions and negative-cache hits, [`CheckVia::Prefilter`]
+/// for 2-monotonicity rejections, [`CheckVia::Ilp`] for actual solves).
+/// Solver-tier counters accumulate into `solver`; `neg` is the run's
+/// negative cache, when one exists.
 pub(crate) fn check_threshold_counted(
     f: &Sop,
     config: &TelsConfig,
+    neg: Option<&NegativeCache>,
     solver: &mut SolverBreakdown,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
     let mut span = tels_trace::span("core", "threshold_check");
-    let result = check_threshold_counted_impl(f, config, solver);
+    let result = check_threshold_counted_impl(f, config, neg, solver);
     if let Ok((_, via)) = &result {
         span.arg("via", via.as_str());
         via.count_metric();
@@ -238,6 +263,7 @@ pub(crate) fn check_threshold_counted(
 fn check_threshold_counted_impl(
     f: &Sop,
     config: &TelsConfig,
+    neg: Option<&NegativeCache>,
     solver: &mut SolverBreakdown,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
     if f.is_zero() {
@@ -256,6 +282,28 @@ fn check_threshold_counted_impl(
     if let Some(answer) = tier0_answer(&pf, config, solver) {
         return Ok((answer, CheckVia::Tier0));
     }
+    match tier05_flow(&pf.positive, &pf.support, config, neg, solver) {
+        Tier05Flow::NegCacheHit | Tier05Flow::NotThreshold => {
+            return Ok((None, CheckVia::Tier05));
+        }
+        Tier05Flow::PrefilterReject => return Ok((None, CheckVia::Prefilter)),
+        Tier05Flow::Threshold(wpos, t) => {
+            return Ok((Some(back_substitute(&wpos, t, &pf)), CheckVia::Tier05));
+        }
+        Tier05Flow::Fallthrough(chow, neg_key) => {
+            let solved = solve_positive(&pf.positive, &pf.support, chow.as_ref(), config, solver)?;
+            if solved.is_none() {
+                if let (Some(neg), Some(neg_key)) = (neg, neg_key) {
+                    neg.insert(neg_key);
+                }
+            }
+            return Ok((
+                solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)),
+                CheckVia::Ilp,
+            ));
+        }
+        Tier05Flow::NotApplicable => {}
+    }
     let chow = match timed_structure(&pf.positive, &pf.support, solver) {
         Structure::NotThreshold => return Ok((None, CheckVia::Prefilter)),
         Structure::TwoMonotonic(a) => Some(a),
@@ -266,6 +314,98 @@ fn check_threshold_counted_impl(
         solved.map(|(wpos, t)| back_substitute(&wpos, t, &pf)),
         CheckVia::Ilp,
     ))
+}
+
+/// Outcome of the tier-0.5 layer for one query.
+enum Tier05Flow {
+    /// Tier inactive or support out of its 6–9 range — take the legacy
+    /// structure + solve path.
+    NotApplicable,
+    /// The Chow-canonical signature is a known rejection.
+    NegCacheHit,
+    /// Identified: positive per-variable weights (in support order) and
+    /// threshold — provably the merged ILP's unique optimum.
+    Threshold(Vec<i64>, i64),
+    /// Proven non-threshold by 2-asummability (negative cache updated).
+    NotThreshold,
+    /// The shared structure pass rejected 2-monotonicity (negative cache
+    /// updated).
+    PrefilterReject,
+    /// No guarantee — carries the Chow analysis from the shared table
+    /// pass and the canonical signature so an ILP `None` can still feed
+    /// the negative cache.
+    Fallthrough(Option<ChowAnalysis>, Option<Vec<u64>>),
+}
+
+/// Runs the tier-0.5 layer: one truth-table build shared between the
+/// negative-cache probe, the structure analysis, and the decision
+/// procedure. Table build, probe, and decision time bill to `tier05_ns`;
+/// the structure pass bills to `structure_ns` exactly as on the legacy
+/// path.
+fn tier05_flow(
+    positive: &Sop,
+    order: &[Var],
+    config: &TelsConfig,
+    neg: Option<&NegativeCache>,
+    solver: &mut SolverBreakdown,
+) -> Tier05Flow {
+    let k = order.len();
+    if !config.tier05_active() || !(tier05::MIN_VARS..=tier05::MAX_VARS).contains(&k) {
+        return Tier05Flow::NotApplicable;
+    }
+    let mut span = tels_trace::span("core", "tier05_decide");
+    span.arg("support", k as u64);
+    let t0 = Instant::now();
+    let tt = TruthTable::from_sop(positive, order);
+    let neg_key = tier05::canonical_table_key(&tt);
+    if let Some(neg) = neg {
+        if neg.contains(&neg_key) {
+            solver.negcache_hits += 1;
+            solver.tier05_ns += t0.elapsed().as_nanos() as u64;
+            span.arg("verdict", "negcache");
+            return Tier05Flow::NegCacheHit;
+        }
+    }
+    solver.tier05_ns += t0.elapsed().as_nanos() as u64;
+    let s0 = Instant::now();
+    let structure = chow::analyze_table(&tt);
+    solver.structure_ns += s0.elapsed().as_nanos() as u64;
+    match structure {
+        Structure::NotThreshold => {
+            if let Some(neg) = neg {
+                neg.insert(neg_key);
+            }
+            span.arg("verdict", "prefilter");
+            Tier05Flow::PrefilterReject
+        }
+        Structure::TwoMonotonic(a) => {
+            let d0 = Instant::now();
+            let verdict = tier05::decide(&tt, &a);
+            solver.tier05_ns += d0.elapsed().as_nanos() as u64;
+            match verdict {
+                tier05::Verdict::Threshold(w, t) => {
+                    solver.tier05_hits += 1;
+                    span.arg("verdict", "hit");
+                    Tier05Flow::Threshold(w, t)
+                }
+                tier05::Verdict::NotThreshold => {
+                    solver.tier05_rejects += 1;
+                    span.arg("verdict", "reject");
+                    if let Some(neg) = neg {
+                        neg.insert(neg_key);
+                    }
+                    Tier05Flow::NotThreshold
+                }
+                tier05::Verdict::Inconclusive => {
+                    span.arg("verdict", "inconclusive");
+                    Tier05Flow::Fallthrough(Some(a), Some(neg_key))
+                }
+            }
+        }
+        // Unreachable for supports 6–9 (within the structure pass's
+        // range), kept total for safety.
+        Structure::Unknown => Tier05Flow::Fallthrough(None, Some(neg_key)),
+    }
 }
 
 /// Buckets one post-merge query support size into the solver histogram.
@@ -310,6 +450,9 @@ pub(crate) enum CheckVia {
     /// Answered by the tier-0 truth-table oracle (hit or definitive
     /// miss); never touches the cache or the ILP.
     Tier0,
+    /// Settled by the tier-0.5 decision procedure — an identified unique
+    /// optimum, a 2-asummability rejection, or a negative-cache hit.
+    Tier05,
     /// Served from the canonical realization cache.
     CacheHit,
     /// Refuted by the Theorem-1 substitution filter (miss path).
@@ -326,6 +469,7 @@ impl CheckVia {
         match self {
             CheckVia::Trivial => "trivial",
             CheckVia::Tier0 => "tier0",
+            CheckVia::Tier05 => "tier05",
             CheckVia::CacheHit => "cache-hit",
             CheckVia::Theorem1 => "theorem1",
             CheckVia::Prefilter => "prefilter",
@@ -340,6 +484,7 @@ impl CheckVia {
         match self {
             CheckVia::Trivial => m::CHECK_TRIVIAL.inc(),
             CheckVia::Tier0 => m::CHECK_TIER0_HITS.inc(),
+            CheckVia::Tier05 => m::CHECK_TIER05.inc(),
             CheckVia::CacheHit => m::CHECK_CACHE_HITS.inc(),
             CheckVia::Theorem1 => m::CHECK_THEOREM1.inc(),
             CheckVia::Prefilter => m::CHECK_PREFILTER.inc(),
@@ -364,11 +509,12 @@ pub(crate) fn check_threshold_cached(
     f: &Sop,
     config: &TelsConfig,
     cache: &RealizationCache,
+    neg: Option<&NegativeCache>,
     solver: &mut SolverBreakdown,
     scratch: &mut SignatureScratch,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
     let mut span = tels_trace::span("core", "threshold_check");
-    let result = check_threshold_cached_impl(f, config, cache, solver, scratch);
+    let result = check_threshold_cached_impl(f, config, cache, neg, solver, scratch);
     if let Ok((_, via)) = &result {
         span.arg("via", via.as_str());
         via.count_metric();
@@ -380,6 +526,7 @@ fn check_threshold_cached_impl(
     f: &Sop,
     config: &TelsConfig,
     cache: &RealizationCache,
+    neg: Option<&NegativeCache>,
     solver: &mut SolverBreakdown,
     scratch: &mut SignatureScratch,
 ) -> Result<(Option<Realization>, CheckVia), SynthError> {
@@ -445,6 +592,39 @@ fn check_threshold_cached_impl(
                 .map(|j| (Var(j), true)),
         )
     }));
+    // Tier 0.5 in canonical space: its answers are exactly what the ILP
+    // would have produced, so they memoize in the realization cache the
+    // same way (rejections also feed the negative cache inside
+    // `tier05_flow`).
+    match tier05_flow(&canon, &canon_order, config, neg, solver) {
+        Tier05Flow::NegCacheHit | Tier05Flow::NotThreshold => {
+            cache.insert(key.to_vec(), None);
+            return Ok((None, CheckVia::Tier05));
+        }
+        Tier05Flow::PrefilterReject => {
+            cache.insert(key.to_vec(), None);
+            return Ok((None, CheckVia::Prefilter));
+        }
+        Tier05Flow::Threshold(weights, threshold) => {
+            let entry = Some(CanonicalRealization { weights, threshold });
+            let result = realize_canonical(entry.as_ref(), order, &pf);
+            cache.insert(key.to_vec(), entry);
+            return Ok((result, CheckVia::Tier05));
+        }
+        Tier05Flow::Fallthrough(chow, neg_key) => {
+            let entry = solve_positive(&canon, &canon_order, chow.as_ref(), config, solver)?
+                .map(|(weights, threshold)| CanonicalRealization { weights, threshold });
+            if entry.is_none() {
+                if let (Some(neg), Some(neg_key)) = (neg, neg_key) {
+                    neg.insert(neg_key);
+                }
+            }
+            let result = realize_canonical(entry.as_ref(), order, &pf);
+            cache.insert(key.to_vec(), entry);
+            return Ok((result, CheckVia::Ilp));
+        }
+        Tier05Flow::NotApplicable => {}
+    }
     let chow = match timed_structure(&canon, &canon_order, solver) {
         Structure::NotThreshold => {
             cache.insert(key.to_vec(), None);
@@ -873,7 +1053,7 @@ mod tests {
             ..TelsConfig::default()
         };
         let mut solver = SolverBreakdown::default();
-        let (r, via) = check_threshold_counted(&f, &cfg, &mut solver).unwrap();
+        let (r, via) = check_threshold_counted(&f, &cfg, None, &mut solver).unwrap();
         assert_eq!(r, None);
         assert_eq!(via, CheckVia::Prefilter);
         assert_eq!(solver.ilp_solves(), 0);
@@ -922,7 +1102,7 @@ mod tests {
             ..TelsConfig::default()
         };
         let mut solver = SolverBreakdown::default();
-        let (r, via) = check_threshold_counted(&f, &cfg, &mut solver).unwrap();
+        let (r, via) = check_threshold_counted(&f, &cfg, None, &mut solver).unwrap();
         let r = r.expect("majority-of-5 is threshold");
         assert_eq!(via, CheckVia::Ilp);
         validate(&f, &r);
@@ -941,7 +1121,7 @@ mod tests {
         };
         let g = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
         let mut solver = SolverBreakdown::default();
-        let (r, _) = check_threshold_counted(&g, &cfg, &mut solver).unwrap();
+        let (r, _) = check_threshold_counted(&g, &cfg, None, &mut solver).unwrap();
         let r = r.expect("threshold within cap");
         validate(&g, &r);
         assert!(r.weights.iter().all(|&(_, w)| w.abs() <= 4));
@@ -973,8 +1153,8 @@ mod tests {
         ] {
             let mut st = SolverBreakdown::default();
             let mut so = SolverBreakdown::default();
-            let (rt, _) = check_threshold_counted(&f, &tiered_cfg, &mut st).unwrap();
-            let (ro, _) = check_threshold_counted(&f, &oracle_cfg, &mut so).unwrap();
+            let (rt, _) = check_threshold_counted(&f, &tiered_cfg, None, &mut st).unwrap();
+            let (ro, _) = check_threshold_counted(&f, &oracle_cfg, None, &mut so).unwrap();
             assert_eq!(rt, ro, "{f}");
             assert_eq!(so.int_fast_path_solves, 0);
         }
@@ -1004,9 +1184,9 @@ mod tests {
         for f in &fns {
             let direct = check_threshold(f, &cfg).unwrap();
             let (first, _) =
-                check_threshold_cached(f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+                check_threshold_cached(f, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
             let (second, _) =
-                check_threshold_cached(f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+                check_threshold_cached(f, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
             // Hit must equal miss bit-for-bit, and agree with the plain
             // checker on the decision.
             assert_eq!(first, second, "{f}");
@@ -1031,13 +1211,13 @@ mod tests {
         // x₁x₂ ∨ x₁x₃ populates the cache ...
         let a = sop(&[&[(1, true), (2, true)], &[(1, true), (3, true)]]);
         let (ra, via_a) =
-            check_threshold_cached(&a, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&a, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(via_a, CheckVia::Ilp);
         // ... and x̄₅x₇ ∨ x̄₅x₉ — the same function up to renaming and
         // phase — must hit and remap exactly.
         let b = sop(&[&[(5, false), (7, true)], &[(5, false), (9, true)]]);
         let (rb, via_b) =
-            check_threshold_cached(&b, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&b, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(via_b, CheckVia::CacheHit);
         let (ra, rb) = (ra.unwrap(), rb.unwrap());
         validate(&b, &rb);
@@ -1059,13 +1239,13 @@ mod tests {
         let mut scratch = SignatureScratch::new();
         let f = sop(&[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
         let (r1, via1) =
-            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&f, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(r1, None);
         // Theorem 1 (enabled by default) refutes this one before the
         // pre-filter gets a look.
         assert_eq!(via1, CheckVia::Theorem1);
         let (r2, via2) =
-            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&f, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(r2, None);
         assert_eq!(via2, CheckVia::CacheHit);
         // With Theorem 1 disabled, the 2-monotonicity pre-filter catches it.
@@ -1076,7 +1256,7 @@ mod tests {
         };
         let cache2 = RealizationCache::new();
         let (_, via3) =
-            check_threshold_cached(&f, &cfg2, &cache2, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&f, &cfg2, &cache2, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(via3, CheckVia::Prefilter);
     }
 
@@ -1128,8 +1308,8 @@ mod tests {
         ] {
             let mut s_on = SolverBreakdown::default();
             let mut s_off = SolverBreakdown::default();
-            let (r_on, via) = check_threshold_counted(&f, &on, &mut s_on).unwrap();
-            let (r_off, _) = check_threshold_counted(&f, &off, &mut s_off).unwrap();
+            let (r_on, via) = check_threshold_counted(&f, &on, None, &mut s_on).unwrap();
+            let (r_off, _) = check_threshold_counted(&f, &off, None, &mut s_off).unwrap();
             // Same Option<Realization>, bit for bit: same weights, same
             // threshold, same variable order.
             assert_eq!(r_on, r_off, "{f}");
@@ -1152,7 +1332,7 @@ mod tests {
         let mut scratch = SignatureScratch::new();
         let f = sop(&[&[(0, true), (1, true)], &[(0, true), (2, true)]]);
         let (r1, via1) =
-            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&f, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(via1, CheckVia::Tier0);
         assert!(r1.is_some());
         assert!(
@@ -1161,7 +1341,7 @@ mod tests {
         );
         // Second query re-resolves through the oracle, identically.
         let (r2, via2) =
-            check_threshold_cached(&f, &cfg, &cache, &mut solver, &mut scratch).unwrap();
+            check_threshold_cached(&f, &cfg, &cache, None, &mut solver, &mut scratch).unwrap();
         assert_eq!(via2, CheckVia::Tier0);
         assert_eq!(r1, r2);
         assert_eq!(solver.tier0_lookups, 2);
@@ -1186,9 +1366,10 @@ mod tests {
         for bits in (0u32..=u16::MAX as u32).step_by(stride as usize) {
             let f = sop_of_bits(4, bits);
             let (r_on, _) =
-                check_threshold_cached(&f, &on, &cache_on, &mut s_on, &mut scratch).unwrap();
+                check_threshold_cached(&f, &on, &cache_on, None, &mut s_on, &mut scratch).unwrap();
             let (r_off, _) =
-                check_threshold_cached(&f, &off, &cache_off, &mut s_off, &mut scratch).unwrap();
+                check_threshold_cached(&f, &off, &cache_off, None, &mut s_off, &mut scratch)
+                    .unwrap();
             assert_eq!(r_on, r_off, "tt {bits:#06x}: {f}");
             if let Some(r) = &r_on {
                 validate(&f, r);

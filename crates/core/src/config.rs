@@ -178,6 +178,16 @@ pub struct TelsConfig {
     /// `weight_cap`, or non-default ILP limits; results are bit-identical
     /// either way.
     pub use_tier0: bool,
+    /// Run the tier-0.5 pseudo-Boolean decision procedure on supports 6–9
+    /// before building an ILP: a bounded search over the merged ILP's own
+    /// feasible region that answers only when it finds a provably unique
+    /// optimum (so `.tnet` output is byte-identical with the tier on or
+    /// off), plus a 2-asummability non-thresholdness proof feeding the
+    /// Chow-canonical negative cache. Like tier 0 it is built for the
+    /// paper's default margins and silently disengages (see
+    /// [`Self::tier05_active`]) for non-default `delta_on`/`delta_off`, a
+    /// `weight_cap`, or non-default ILP limits.
+    pub use_tier05: bool,
 }
 
 impl Default for TelsConfig {
@@ -196,6 +206,7 @@ impl Default for TelsConfig {
             parallel_min_nodes: 8,
             use_int_solver: true,
             use_tier0: true,
+            use_tier05: true,
         }
     }
 }
@@ -246,6 +257,18 @@ impl TelsConfig {
     /// before this tier existed.
     pub fn tier0_active(&self) -> bool {
         self.use_tier0
+            && self.delta_on == 0
+            && self.delta_off == 1
+            && self.weight_cap.is_none()
+            && self.ilp_limits == Limits::default()
+    }
+
+    /// Whether the tier-0.5 decision procedure may answer queries under
+    /// this configuration. Same scope rule as [`Self::tier0_active`]: the
+    /// procedure's search space and non-thresholdness proof assume the
+    /// paper's default margins, no weight cap, and default ILP limits.
+    pub fn tier05_active(&self) -> bool {
+        self.use_tier05
             && self.delta_on == 0
             && self.delta_off == 1
             && self.weight_cap.is_none()
@@ -336,6 +359,36 @@ mod tests {
             ..TelsConfig::default()
         };
         assert!(!limited.tier0_active());
+    }
+
+    #[test]
+    fn tier05_gating() {
+        assert!(TelsConfig::default().tier05_active());
+        assert!(TelsConfig::classical().tier05_active());
+        let off = TelsConfig {
+            use_tier05: false,
+            ..TelsConfig::default()
+        };
+        assert!(!off.tier05_active());
+        assert!(off.tier0_active(), "tier gates are independent");
+        let margins = TelsConfig {
+            delta_off: 2,
+            ..TelsConfig::default()
+        };
+        assert!(!margins.tier05_active());
+        let capped = TelsConfig {
+            weight_cap: Some(4),
+            ..TelsConfig::default()
+        };
+        assert!(!capped.tier05_active());
+        let limited = TelsConfig {
+            ilp_limits: Limits {
+                max_pivots: 7,
+                ..Limits::default()
+            },
+            ..TelsConfig::default()
+        };
+        assert!(!limited.tier05_active());
     }
 
     #[test]

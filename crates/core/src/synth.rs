@@ -29,6 +29,7 @@ use crate::error::SynthError;
 use crate::sched::{DepGraph, Pool, PoolWorker, Scheduler};
 use crate::split::{split_binate, split_cubes_k, split_unate_with, UnateSplit};
 use crate::theorems::{theorem1_refutes, theorem2_extend};
+use crate::tier05::NegativeCache;
 use crate::tnet::{ThresholdGate, ThresholdNetwork, TnId};
 
 /// Statistics of a synthesis run.
@@ -60,10 +61,16 @@ pub struct SynthStats {
 }
 
 impl SynthStats {
-    /// ILP solves avoided by the tier-0 oracle, memoization, and the
-    /// cheap pre-filters.
+    /// ILP solves avoided by the tier-0 oracle, the tier-0.5 decision
+    /// procedure (with its negative cache), memoization, and the cheap
+    /// pre-filters.
     pub fn ilp_avoided(&self) -> usize {
-        self.cache_hits + self.prefilter_rejections + self.solver.tier0_lookups
+        self.cache_hits
+            + self.prefilter_rejections
+            + self.solver.tier0_lookups
+            + self.solver.tier05_hits
+            + self.solver.tier05_rejects
+            + self.solver.negcache_hits
     }
 
     /// Machine-readable form of the run statistics (including the
@@ -104,6 +111,8 @@ pub enum GatePath {
     DirectIlp,
     /// Realization answered by the tier-0 truth-table oracle.
     Tier0,
+    /// Realization identified by the tier-0.5 decision procedure.
+    Tier05,
     /// Realization replayed from the canonical realization cache.
     CacheHit,
     /// AND-tree chunk emitted to honor the fanin restriction ψ.
@@ -128,6 +137,7 @@ impl GatePath {
             GatePath::Literal => "literal",
             GatePath::DirectIlp => "direct-ilp",
             GatePath::Tier0 => "tier0",
+            GatePath::Tier05 => "tier05",
             GatePath::CacheHit => "cache-hit",
             GatePath::AndChunk => "and-chunk",
             GatePath::Theorem1Split => "theorem1-split",
@@ -145,6 +155,7 @@ impl GatePath {
 fn path_for(via: CheckVia) -> GatePath {
     match via {
         CheckVia::Tier0 => GatePath::Tier0,
+        CheckVia::Tier05 => GatePath::Tier05,
         CheckVia::CacheHit => GatePath::CacheHit,
         _ => GatePath::DirectIlp,
     }
@@ -195,7 +206,11 @@ pub fn synthesize_with_stats(
     let logic_nodes = net.node_ids().filter(|&n| !net.is_input(n)).count();
     let big_enough = logic_nodes >= config.parallel_min_nodes;
     let cache = (config.use_cache && big_enough).then(RealizationCache::new);
-    let mut s = Synth::new(net, config, cache.as_ref())?;
+    // The negative cache is per-run like the (one-shot) realization cache,
+    // but engages regardless of circuit size: its probe is a table build
+    // plus one hash lookup, far cheaper than the solve it short-circuits.
+    let neg = NegativeCache::new();
+    let mut s = Synth::new(net, config, cache.as_ref(), Some(&neg))?;
     if let Some(cache) = &cache {
         let threads = config.effective_threads();
         // Warming additionally needs hardware that can actually run the
@@ -207,8 +222,15 @@ pub fn synthesize_with_stats(
             .unwrap_or(1);
         if threads > 1 && hw > 1 {
             let _warm_span = tels_trace::span("core", "warm_cache");
-            let (solves, solver) =
-                warm_cache(net, config, cache, &s.boundary, &s.net_levels, threads);
+            let (solves, solver) = warm_cache(
+                net,
+                config,
+                cache,
+                Some(&neg),
+                &s.boundary,
+                &s.net_levels,
+                threads,
+            );
             s.stats.ilp_solves += solves;
             s.stats.solver.merge(&solver);
         }
@@ -242,12 +264,32 @@ pub fn synthesize_with_shared_cache(
     config: &TelsConfig,
     cache: &RealizationCache,
 ) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
+    let neg = NegativeCache::new();
+    synthesize_with_shared_caches(net, config, cache, &neg)
+}
+
+/// [`synthesize_with_shared_cache`] with a caller-owned negative cache as
+/// well — the full `tels serve` entry point, where both caches outlive
+/// many jobs (and the negative cache persists alongside the realization
+/// cache). The same [`TelsConfig::cache_key`] compatibility rule applies
+/// to both caches: negative entries are proofs only under the margins and
+/// ILP limits they were recorded with.
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_with_shared_caches(
+    net: &Network,
+    config: &TelsConfig,
+    cache: &RealizationCache,
+    neg: &NegativeCache,
+) -> Result<(ThresholdNetwork, SynthStats), SynthError> {
     config.assert_valid();
     let mut span = tels_trace::span("core", "synthesize_shared");
     let logic_nodes = net.node_ids().filter(|&n| !net.is_input(n)).count();
     let big_enough = logic_nodes >= config.parallel_min_nodes;
     let engaged = (config.use_cache && big_enough).then_some(cache);
-    let mut s = Synth::new(net, config, engaged)?;
+    let mut s = Synth::new(net, config, engaged, Some(neg))?;
     s.run()?;
     span.arg("gates", s.tn.num_gates() as u64);
     span.arg("ilp_calls", s.stats.ilp_calls as u64);
@@ -298,6 +340,9 @@ struct Synth<'a> {
     /// off; the run then solves every query in its original variable
     /// order, reproducing the pre-cache flow bit-for-bit).
     cache: Option<&'a RealizationCache>,
+    /// Chow-canonical negative cache for the tier-0.5 layer (None only in
+    /// paths that never see supports 6–9, e.g. unit probes).
+    neg: Option<&'a NegativeCache>,
     tn: ThresholdNetwork,
     /// Boundary nodes (PIs and fanout nodes) and synthesized roots, mapped
     /// to their threshold-network signal.
@@ -323,6 +368,7 @@ impl<'a> Synth<'a> {
         net: &'a Network,
         config: &'a TelsConfig,
         cache: Option<&'a RealizationCache>,
+        neg: Option<&'a NegativeCache>,
     ) -> Result<Synth<'a>, SynthError> {
         let mut tn = ThresholdNetwork::new(net.model().to_string());
         let mut signal_map = HashMap::new();
@@ -340,6 +386,7 @@ impl<'a> Synth<'a> {
             net,
             config,
             cache,
+            neg,
             tn,
             signal_map,
             boundary,
@@ -489,6 +536,7 @@ impl<'a> Synth<'a> {
                     f,
                     config,
                     cache,
+                    self.neg,
                     &mut self.stats.solver,
                     &mut self.scratch,
                 )?;
@@ -496,7 +544,8 @@ impl<'a> Synth<'a> {
                 Ok((r, via))
             }
             None => {
-                let (r, via) = check_threshold_counted(f, config, &mut self.stats.solver)?;
+                let (r, via) =
+                    check_threshold_counted(f, config, self.neg, &mut self.stats.solver)?;
                 self.bucket_via(via);
                 Ok((r, via))
             }
@@ -504,14 +553,15 @@ impl<'a> Synth<'a> {
     }
 
     /// Folds one query verdict into the run statistics (`tier0_lookups`
-    /// lives in the solver breakdown, tallied by the checker itself).
+    /// and the tier-0.5 counters live in the solver breakdown, tallied by
+    /// the checker itself).
     fn bucket_via(&mut self, via: CheckVia) {
         match via {
             CheckVia::CacheHit => self.stats.cache_hits += 1,
             CheckVia::Theorem1 => self.stats.theorem1_refutations += 1,
             CheckVia::Prefilter => self.stats.prefilter_rejections += 1,
             CheckVia::Ilp => self.stats.ilp_solves += 1,
-            CheckVia::Trivial | CheckVia::Tier0 => {}
+            CheckVia::Trivial | CheckVia::Tier0 | CheckVia::Tier05 => {}
         }
     }
 
@@ -852,6 +902,7 @@ struct Planner<'a> {
     net: &'a Network,
     config: &'a TelsConfig,
     cache: &'a RealizationCache,
+    neg: Option<&'a NegativeCache>,
     boundary: &'a [bool],
     net_levels: &'a [usize],
     /// ILP solves performed by this worker (merged into the run stats).
@@ -871,6 +922,7 @@ impl Planner<'_> {
             f,
             self.config,
             self.cache,
+            self.neg,
             &mut self.solver,
             &mut self.scratch,
         )?;
@@ -1195,6 +1247,7 @@ struct WarmShared<'a> {
     net: &'a Network,
     config: &'a TelsConfig,
     cache: &'a RealizationCache,
+    neg: Option<&'a NegativeCache>,
     plan: &'a WarmPlan,
     nodes: &'a Mutex<WarmNodes>,
 }
@@ -1213,6 +1266,7 @@ fn plan_one(
         net: shared.net,
         config: shared.config,
         cache: shared.cache,
+        neg: shared.neg,
         boundary: &shared.plan.boundary,
         net_levels: &shared.plan.net_levels,
         ilp_solves: 0,
@@ -1247,6 +1301,7 @@ fn warm_cache(
     net: &Network,
     config: &TelsConfig,
     cache: &RealizationCache,
+    neg: Option<&NegativeCache>,
     boundary: &[bool],
     net_levels: &[usize],
     threads: usize,
@@ -1280,6 +1335,7 @@ fn warm_cache(
         net,
         config,
         cache,
+        neg,
         plan: &plan,
         nodes: &nodes,
     };
@@ -1330,6 +1386,7 @@ pub fn warm_cache_scheduler(
         net,
         config,
         cache,
+        None,
         &boundary,
         &net_levels,
         threads,
@@ -1373,6 +1430,7 @@ pub fn warm_cache_queue(
                     net,
                     config,
                     cache,
+                    neg: None,
                     boundary: &plan.boundary,
                     net_levels: &plan.net_levels,
                     ilp_solves: 0,
@@ -1414,6 +1472,7 @@ struct PoolWarm {
     net: Arc<Network>,
     config: TelsConfig,
     cache: Arc<RealizationCache>,
+    neg: Option<Arc<NegativeCache>>,
     plan: WarmPlan,
     nodes: Mutex<WarmNodes>,
     /// Dependency graph plus the not-yet-completed task count.
@@ -1442,6 +1501,7 @@ pub fn warm_on_pool(
     net: Arc<Network>,
     config: &TelsConfig,
     cache: Arc<RealizationCache>,
+    neg: Option<Arc<NegativeCache>>,
     job: Option<u64>,
 ) -> Result<(usize, SolverBreakdown), SynthError> {
     config.assert_valid();
@@ -1460,6 +1520,7 @@ pub fn warm_on_pool(
         net,
         config: config.clone(),
         cache,
+        neg,
         plan,
         graph: Mutex::new((graph, outstanding)),
         done: Condvar::new(),
@@ -1491,6 +1552,7 @@ fn pool_warm_task(warm: &Arc<PoolWarm>, w: &PoolWorker<'_>, task: u32) {
         net: &warm.net,
         config: &warm.config,
         cache: &warm.cache,
+        neg: warm.neg.as_deref(),
         plan: &warm.plan,
         nodes: &warm.nodes,
     };

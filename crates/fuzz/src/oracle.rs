@@ -6,6 +6,7 @@
 //! | leg | configurations | must agree on |
 //! |-----|----------------|---------------|
 //! | tier-0 | `use_tier0` on vs off | `.tnet` bytes |
+//! | tier-0.5 | `use_tier05` on vs off | `.tnet` bytes |
 //! | threads | 1 thread vs N threads | `.tnet` bytes |
 //! | trace | tracing off vs on | `.tnet` bytes |
 //! | serve | in-process serve session vs one-shot | `.tnet` bytes |
@@ -69,6 +70,8 @@ pub enum FailureKind {
     Synth,
     /// Tier-0 on/off produced different `.tnet` bytes.
     Tier0Bytes,
+    /// Tier-0.5 on/off produced different `.tnet` bytes.
+    Tier05Bytes,
     /// 1 vs N threads produced different `.tnet` bytes.
     ThreadBytes,
     /// Tracing on/off produced different `.tnet` bytes.
@@ -94,6 +97,7 @@ impl FailureKind {
         match self {
             FailureKind::Synth => "synth",
             FailureKind::Tier0Bytes => "tier0",
+            FailureKind::Tier05Bytes => "tier05",
             FailureKind::ThreadBytes => "threads",
             FailureKind::TraceBytes => "trace",
             FailureKind::MetricsBytes => "metrics",
@@ -352,6 +356,25 @@ pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
         return Err(Failure::new(
             FailureKind::Tier0Bytes,
             "tier-0 on/off produced different .tnet bytes",
+        ));
+    }
+
+    // Leg: tier-0.5 on/off byte identity. The tier answers only when its
+    // optimum provably matches the merged ILP's, so disabling it must not
+    // change a single byte.
+    let tier05_off = guarded(FailureKind::Tier05Bytes, "synthesize(no-tier05)", || {
+        synthesize(
+            net,
+            &TelsConfig {
+                use_tier05: false,
+                ..cfg.clone()
+            },
+        )
+    })?;
+    if tier05_off.to_tnet() != base_bytes {
+        return Err(Failure::new(
+            FailureKind::Tier05Bytes,
+            "tier-0.5 on/off produced different .tnet bytes",
         ));
     }
 

@@ -360,12 +360,23 @@ pub mod instruments {
     /// Realization-cache inserts, per cache shard.
     pub static CACHE_INSERTS: PerIndex = PerIndex::new();
 
+    /// Negative-cache (proven non-threshold) probe hits, per shard.
+    pub static NEGCACHE_HITS: PerIndex = PerIndex::new();
+    /// Negative-cache probe misses, per shard.
+    pub static NEGCACHE_MISSES: PerIndex = PerIndex::new();
+    /// Negative-cache inserts, per shard.
+    pub static NEGCACHE_INSERTS: PerIndex = PerIndex::new();
+
     /// Nanoseconds spent canonicalizing covers for cache keys.
     pub static CHECK_CANON_NS: Counter = Counter::new();
     /// Threshold checks answered trivially (constants, single literals).
     pub static CHECK_TRIVIAL: Counter = Counter::new();
     /// Threshold checks answered by the tier-0 truth-table oracle.
     pub static CHECK_TIER0_HITS: Counter = Counter::new();
+    /// Threshold checks settled by the tier-0.5 decision procedure
+    /// (identified realizations, proven rejections, and negative-cache
+    /// short-circuits).
+    pub static CHECK_TIER05: Counter = Counter::new();
     /// Threshold checks answered from the realization cache.
     pub static CHECK_CACHE_HITS: Counter = Counter::new();
     /// Threshold checks refuted by the Theorem-1 pre-filter.
@@ -479,6 +490,30 @@ pub static REGISTRY: &[Descriptor] = &[
         },
     },
     Descriptor {
+        name: "tels_negcache_hits_total",
+        help: "Negative-cache (non-threshold) probe hits",
+        instrument: InstrumentRef::PerIndex {
+            family: &i9s::NEGCACHE_HITS,
+            label: "shard",
+        },
+    },
+    Descriptor {
+        name: "tels_negcache_misses_total",
+        help: "Negative-cache probe misses",
+        instrument: InstrumentRef::PerIndex {
+            family: &i9s::NEGCACHE_MISSES,
+            label: "shard",
+        },
+    },
+    Descriptor {
+        name: "tels_negcache_inserts_total",
+        help: "Negative-cache inserts",
+        instrument: InstrumentRef::PerIndex {
+            family: &i9s::NEGCACHE_INSERTS,
+            label: "shard",
+        },
+    },
+    Descriptor {
         name: "tels_check_canon_ns_total",
         help: "Nanoseconds spent canonicalizing covers",
         instrument: InstrumentRef::Counter(&i9s::CHECK_CANON_NS),
@@ -492,6 +527,11 @@ pub static REGISTRY: &[Descriptor] = &[
         name: "tels_check_tier0_total",
         help: "Threshold checks answered by the tier-0 oracle",
         instrument: InstrumentRef::Counter(&i9s::CHECK_TIER0_HITS),
+    },
+    Descriptor {
+        name: "tels_check_tier05_total",
+        help: "Threshold checks settled by the tier-0.5 decision procedure",
+        instrument: InstrumentRef::Counter(&i9s::CHECK_TIER05),
     },
     Descriptor {
         name: "tels_check_cache_hits_total",

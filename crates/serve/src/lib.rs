@@ -16,10 +16,11 @@
 //! with a cold or pre-warmed cache. This follows from the core invariants:
 //! cache entries are pure functions of their canonical key plus the
 //! [`CacheKey`] fields, warming is advisory (it only changes *when* answers
-//! are computed), and [`synthesize_with_shared_cache`] applies exactly the
+//! are computed), and [`synthesize_with_shared_caches`] applies exactly the
 //! one-shot cache-engagement gate. The serve layer's contribution is
-//! discipline: caches are keyed by configuration fingerprint so a job can
-//! never observe entries computed under different δ or solver limits.
+//! discipline: caches — the realization cache and the tier-0.5 negative
+//! cache alike — are keyed by configuration fingerprint so a job can never
+//! observe entries computed under different δ or solver limits.
 //!
 //! # Transports
 //!
@@ -50,8 +51,8 @@ use std::time::{Duration, Instant};
 
 use tels_core::sched::Pool;
 use tels_core::{
-    prewarm_tier0, synthesize_with_shared_cache, warm_on_pool, CacheKey, RealizationCache,
-    SynthStats, ThresholdNetwork,
+    prewarm_tier0, synthesize_with_shared_caches, warm_on_pool, CacheKey, NegativeCache,
+    RealizationCache, SynthStats, ThresholdNetwork,
 };
 use tels_logic::blif;
 use tels_logic::opt::script_algebraic;
@@ -113,6 +114,9 @@ pub struct JobReply {
 pub struct ServeSession {
     pool: Pool,
     caches: Mutex<HashMap<CacheKey, Arc<RealizationCache>>>,
+    /// Tier-0.5 negative caches, keyed like `caches`: a rejection proof is
+    /// only reusable under the margins and limits it was computed with.
+    negs: Mutex<HashMap<CacheKey, Arc<NegativeCache>>>,
     counters: Mutex<Counters>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
@@ -148,6 +152,7 @@ impl ServeSession {
         let session = ServeSession {
             pool: Pool::new(threads),
             caches: Mutex::new(HashMap::new()),
+            negs: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
@@ -167,8 +172,9 @@ impl ServeSession {
         };
         if let Some(path) = session.cache_file.clone().filter(|p| p.exists()) {
             let sections = persist::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-            for (fingerprint, entries) in sections {
+            for (fingerprint, entries, neg_entries) in sections {
                 session.cache(fingerprint).extend(entries);
+                session.neg(fingerprint).extend(neg_entries);
             }
         }
         Ok(session)
@@ -186,6 +192,18 @@ impl ServeSession {
             self.caches
                 .lock()
                 .expect("cache map poisoned")
+                .entry(fingerprint)
+                .or_default(),
+        )
+    }
+
+    /// The shared tier-0.5 negative cache for a configuration fingerprint
+    /// (created empty on first use).
+    pub fn neg(&self, fingerprint: CacheKey) -> Arc<NegativeCache> {
+        Arc::clone(
+            self.negs
+                .lock()
+                .expect("negative cache map poisoned")
                 .entry(fingerprint)
                 .or_default(),
         )
@@ -268,6 +286,7 @@ impl ServeSession {
         });
         let config = &req.config;
         let cache = self.cache(config.cache_key());
+        let neg = self.neg(config.cache_key());
         // Setup (parse, factoring, cache fetch) is the job's "queue wait":
         // everything before pool work could start on its behalf.
         let run_t0 = setup_t0.map(|t0| {
@@ -294,6 +313,7 @@ impl ServeSession {
                         Arc::clone(&prepared),
                         config,
                         Arc::clone(&cache),
+                        Some(Arc::clone(&neg)),
                         Some(id),
                     )
                     .map_err(|e| e.to_string())?,
@@ -301,7 +321,7 @@ impl ServeSession {
             }
             // Applies the same engagement gate internally, so sub-threshold
             // jobs reproduce the uncached one-shot flow bit-for-bit.
-            let (tn, mut stats) = synthesize_with_shared_cache(&prepared, config, &cache)
+            let (tn, mut stats) = synthesize_with_shared_caches(&prepared, config, &cache, &neg)
                 .map_err(|e| e.to_string())?;
             if let Some((solves, solver)) = warm {
                 stats.ilp_solves += solves;
@@ -380,21 +400,35 @@ impl ServeSession {
     /// (microseconds, log2 buckets), cache population per configuration
     /// fingerprint, pool width, uptime.
     pub fn stats_json(&self) -> Json {
-        let caches = self.caches.lock().expect("cache map poisoned");
-        let mut sections: Vec<(CacheKey, usize)> =
-            caches.iter().map(|(k, c)| (*k, c.len())).collect();
-        drop(caches);
+        // Union of fingerprints across both cache maps: a section can hold
+        // only negative signatures (every query rejected).
+        let mut sections: HashMap<CacheKey, (usize, usize)> = HashMap::new();
+        {
+            let caches = self.caches.lock().expect("cache map poisoned");
+            for (k, c) in caches.iter() {
+                sections.entry(*k).or_default().0 = c.len();
+            }
+        }
+        {
+            let negs = self.negs.lock().expect("negative cache map poisoned");
+            for (k, c) in negs.iter() {
+                sections.entry(*k).or_default().1 = c.len();
+            }
+        }
+        let mut sections: Vec<(CacheKey, (usize, usize))> = sections.into_iter().collect();
         sections.sort_by_key(|(k, _)| k.encode());
-        let total: usize = sections.iter().map(|(_, n)| n).sum();
+        let total: usize = sections.iter().map(|(_, (n, _))| n).sum();
+        let neg_total: usize = sections.iter().map(|(_, (_, n))| n).sum();
         let cache_list: Vec<Json> = sections
             .into_iter()
-            .map(|(k, n)| {
+            .map(|(k, (n, neg))| {
                 Json::obj([
                     (
                         "fingerprint",
                         Json::Arr(k.encode().iter().map(|&w| Json::Num(w as f64)).collect()),
                     ),
                     ("entries", Json::Num(n as f64)),
+                    ("neg_entries", Json::Num(neg as f64)),
                 ])
             })
             .collect();
@@ -409,6 +443,7 @@ impl ServeSession {
                 Json::Num(self.started.elapsed().as_millis() as f64),
             ),
             ("cache_entries", Json::Num(total as f64)),
+            ("negcache_entries", Json::Num(neg_total as f64)),
             ("caches", Json::Arr(cache_list)),
             ("job_latency_us", counters.latency_us.to_json()),
         ])
@@ -426,15 +461,23 @@ impl ServeSession {
         let Some(path) = &self.cache_file else {
             return Ok(None);
         };
-        let caches = self.caches.lock().expect("cache map poisoned");
-        let mut held: Vec<(CacheKey, Arc<RealizationCache>)> =
-            caches.iter().map(|(k, c)| (*k, Arc::clone(c))).collect();
-        drop(caches);
+        // Union of fingerprints: a section may exist in one map only (the
+        // accessors below create the missing, empty counterpart).
+        let mut fingerprints: Vec<CacheKey> = {
+            let caches = self.caches.lock().expect("cache map poisoned");
+            let negs = self.negs.lock().expect("negative cache map poisoned");
+            caches.keys().chain(negs.keys()).copied().collect()
+        };
         // Deterministic section order, so identical contents produce an
         // identical file.
-        held.sort_by_key(|(k, _)| k.encode());
-        let refs: Vec<(CacheKey, &RealizationCache)> =
-            held.iter().map(|(k, c)| (*k, &**c)).collect();
+        fingerprints.sort_by_key(|k| k.encode());
+        fingerprints.dedup();
+        let held: Vec<(CacheKey, Arc<RealizationCache>, Arc<NegativeCache>)> = fingerprints
+            .into_iter()
+            .map(|k| (k, self.cache(k), self.neg(k)))
+            .collect();
+        let refs: Vec<(CacheKey, &RealizationCache, &NegativeCache)> =
+            held.iter().map(|(k, c, n)| (*k, &**c, &**n)).collect();
         persist::save(path, &refs).map(Some)
     }
 
@@ -724,11 +767,12 @@ mod tests {
                 for _ in 0..8 {
                     session.persist_now().expect("save during synthesis");
                     let sections = persist::load(&path).expect("saved file must be valid");
-                    for (fingerprint, entries) in sections {
+                    for (fingerprint, entries, neg_entries) in sections {
                         // Snapshot consistency: reloading mid-run entries
-                        // into a fresh cache must be accepted wholesale.
+                        // into fresh caches must be accepted wholesale.
                         let fresh = RealizationCache::new();
                         fresh.extend(entries);
+                        NegativeCache::new().extend(neg_entries);
                         let _ = fingerprint;
                     }
                     std::thread::yield_now();

@@ -1,10 +1,12 @@
-//! Disk persistence for the realization cache.
+//! Disk persistence for the realization and negative caches.
 //!
 //! The cache file is a versioned binary snapshot of every per-configuration
 //! cache the daemon holds. Entries are only reusable under the exact
 //! configuration fingerprint they were computed with ([`CacheKey`]), so the
 //! file stores one *section* per fingerprint and a loader only feeds each
-//! section to a cache created for that same fingerprint.
+//! section to caches created for that same fingerprint. Since version 2 a
+//! section carries two entry lists: realization-cache entries and the
+//! tier-0.5 negative cache's Chow-canonical rejection signatures.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -22,24 +24,31 @@
 //!     if tag == 1:
 //!       weights  u32, then that many i64
 //!       threshold i64
+//!   neg_entries  u64        (since version 2)
+//!   per neg entry:
+//!     key_words  u32
+//!     key        key_words × u64
 //! ```
 //!
 //! A file with the wrong magic, an unknown version, or a truncated body is
 //! *rejected* with a descriptive [`PersistError`] — never a panic and never
-//! a partial load. Saves go through a temp file + rename so a crash mid-save
+//! a partial load. Version-1 files are rejected too (not migrated): the
+//! caches are a pure performance artifact, so "delete and start fresh" is
+//! always safe. Saves go through a temp file + rename so a crash mid-save
 //! (or a concurrent reader) never observes a half-written file.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 
-use tels_core::{CacheKey, CanonicalRealization, RealizationCache};
+use tels_core::{CacheKey, CanonicalRealization, NegativeCache, RealizationCache};
 
 /// File signature.
 pub const MAGIC: &[u8; 8] = b"TELSRC\0\0";
 
-/// Current layout version.
-pub const VERSION: u32 = 1;
+/// Current layout version. Bumped 1 → 2 when sections gained the tier-0.5
+/// negative-cache entry list.
+pub const VERSION: u32 = 2;
 
 /// Why a cache file could not be loaded.
 #[derive(Debug)]
@@ -78,19 +87,28 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// One persisted section: a configuration fingerprint and its entries.
-pub type Section = (CacheKey, Vec<(Vec<u64>, Option<CanonicalRealization>)>);
+/// One persisted section: a configuration fingerprint, its realization
+/// entries, and its negative-cache signatures.
+pub type Section = (
+    CacheKey,
+    Vec<(Vec<u64>, Option<CanonicalRealization>)>,
+    Vec<Vec<u64>>,
+);
 
 /// Serializes cache sections to `path` atomically (temp file + rename).
-/// Returns the total number of entries written. Snapshots are taken here,
-/// so callers may keep inserting into the caches concurrently.
-pub fn save(path: &Path, sections: &[(CacheKey, &RealizationCache)]) -> io::Result<usize> {
+/// Returns the total number of entries written (realizations plus negative
+/// signatures). Snapshots are taken here, so callers may keep inserting
+/// into the caches concurrently.
+pub fn save(
+    path: &Path,
+    sections: &[(CacheKey, &RealizationCache, &NegativeCache)],
+) -> io::Result<usize> {
     let mut body: Vec<u8> = Vec::new();
     body.extend_from_slice(MAGIC);
     body.extend_from_slice(&VERSION.to_le_bytes());
     body.extend_from_slice(&(sections.len() as u32).to_le_bytes());
     let mut total = 0usize;
-    for (fingerprint, cache) in sections {
+    for (fingerprint, cache, neg) in sections {
         for word in fingerprint.encode() {
             body.extend_from_slice(&word.to_le_bytes());
         }
@@ -112,6 +130,15 @@ pub fn save(path: &Path, sections: &[(CacheKey, &RealizationCache)]) -> io::Resu
                     }
                     body.extend_from_slice(&real.threshold.to_le_bytes());
                 }
+            }
+        }
+        let neg_entries = neg.snapshot();
+        body.extend_from_slice(&(neg_entries.len() as u64).to_le_bytes());
+        total += neg_entries.len();
+        for key in neg_entries {
+            body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            for word in &key {
+                body.extend_from_slice(&word.to_le_bytes());
             }
         }
     }
@@ -216,7 +243,22 @@ pub fn load(path: &Path) -> Result<Vec<Section>, PersistError> {
             };
             entries.push((key, value));
         }
-        out.push((fingerprint, entries));
+        let neg_count = c.u64("negative entry count")?;
+        if neg_count > (data.len() - c.pos) as u64 {
+            return Err(PersistError::Corrupt(format!(
+                "negative entry count {neg_count} exceeds file size"
+            )));
+        }
+        let mut neg_entries = Vec::with_capacity(neg_count as usize);
+        for _ in 0..neg_count {
+            let key_words = c.u32("negative key length")? as usize;
+            let mut key = Vec::with_capacity(key_words.min(1 << 16));
+            for _ in 0..key_words {
+                key.push(c.u64("negative key word")?);
+            }
+            neg_entries.push(key);
+        }
+        out.push((fingerprint, entries, neg_entries));
     }
     if c.pos != data.len() {
         return Err(PersistError::Corrupt(format!(
@@ -252,6 +294,13 @@ mod tests {
         cache
     }
 
+    fn sample_neg() -> NegativeCache {
+        let neg = NegativeCache::new();
+        neg.insert(vec![6, 0xdead, 0xbeef]);
+        neg.insert(vec![7, 1, 2, 3]);
+        neg
+    }
+
     fn tmp_path(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("tels-persist-{name}-{}", std::process::id()))
     }
@@ -259,14 +308,28 @@ mod tests {
     #[test]
     fn roundtrip_preserves_entries() {
         let cache = sample_cache();
+        let neg = sample_neg();
         let key = TelsConfig::default().cache_key();
         let path = tmp_path("roundtrip");
-        save(&path, &[(key, &cache)]).unwrap();
+        save(&path, &[(key, &cache, &neg)]).unwrap();
         let sections = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(sections.len(), 1);
         assert_eq!(sections[0].0, key);
         assert_eq!(sections[0].1, cache.snapshot());
+        assert_eq!(sections[0].2, neg.snapshot());
+    }
+
+    #[test]
+    fn empty_negative_cache_roundtrips() {
+        let cache = sample_cache();
+        let neg = NegativeCache::new();
+        let key = TelsConfig::default().cache_key();
+        let path = tmp_path("empty-neg");
+        save(&path, &[(key, &cache, &neg)]).unwrap();
+        let sections = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(sections[0].2.is_empty());
     }
 
     #[test]
@@ -281,9 +344,10 @@ mod tests {
     #[test]
     fn wrong_version_rejected() {
         let cache = sample_cache();
+        let neg = sample_neg();
         let key = TelsConfig::default().cache_key();
         let path = tmp_path("version");
-        save(&path, &[(key, &cache)]).unwrap();
+        save(&path, &[(key, &cache, &neg)]).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[8..12].copy_from_slice(&(VERSION + 7).to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
@@ -296,11 +360,32 @@ mod tests {
     }
 
     #[test]
+    fn version_one_files_rejected() {
+        // A pre-tier-0.5 file (version 1) has no negative entry lists; the
+        // loader must refuse it outright rather than misparse the body.
+        let cache = sample_cache();
+        let neg = sample_neg();
+        let key = TelsConfig::default().cache_key();
+        let path = tmp_path("v1");
+        save(&path, &[(key, &cache, &neg)]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, PersistError::BadVersion { found: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn truncated_body_rejected() {
         let cache = sample_cache();
+        let neg = sample_neg();
         let key = TelsConfig::default().cache_key();
         let path = tmp_path("trunc");
-        save(&path, &[(key, &cache)]).unwrap();
+        save(&path, &[(key, &cache, &neg)]).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         for cut in [bytes.len() - 1, bytes.len() / 2, 13] {
             std::fs::write(&path, &bytes[..cut]).unwrap();
@@ -315,9 +400,10 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let cache = sample_cache();
+        let neg = sample_neg();
         let key = TelsConfig::default().cache_key();
         let path = tmp_path("trailing");
-        save(&path, &[(key, &cache)]).unwrap();
+        save(&path, &[(key, &cache, &neg)]).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(b"extra");
         std::fs::write(&path, &bytes).unwrap();

@@ -229,6 +229,9 @@ fn parse_config(doc: &Json) -> Result<TelsConfig, String> {
     if let Some(v) = field_bool(doc, "use_tier0")? {
         config.use_tier0 = v;
     }
+    if let Some(v) = field_bool(doc, "use_tier05")? {
+        config.use_tier05 = v;
+    }
     if let Some(v) = field_u64(doc, "parallel_min_nodes")? {
         config.parallel_min_nodes = v as usize;
     }
@@ -332,6 +335,7 @@ pub fn synth_request_json(req: &JobRequest) -> Json {
         ("use_theorem1", c.use_theorem1, d.use_theorem1),
         ("use_int_solver", c.use_int_solver, d.use_int_solver),
         ("use_tier0", c.use_tier0, d.use_tier0),
+        ("use_tier05", c.use_tier05, d.use_tier05),
     ] {
         if ours != default {
             cfg.push((key.to_string(), Json::Bool(ours)));
@@ -438,6 +442,7 @@ mod tests {
             config: TelsConfig {
                 psi: 5,
                 use_tier0: false,
+                use_tier05: false,
                 ..TelsConfig::default()
             },
         };

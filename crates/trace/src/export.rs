@@ -249,8 +249,9 @@ fn render_children(node: &ProfileNode, depth: usize, out: &mut String) {
 /// Per-tier threshold-solve histograms: wall time (ns) and simplex pivots
 /// for the integer fast path and the rational-fallback tier (from
 /// `ilp:solve` spans), plus wall time for the tier-0 truth-table oracle
-/// (from `core:tier0_lookup` spans; the oracle runs no simplex, so its
-/// bucket carries no pivot histogram).
+/// (from `core:tier0_lookup` spans) and the tier-0.5 decision procedure
+/// (from `core:tier05_decide` spans). Neither tier runs a simplex, so
+/// their buckets carry no pivot histogram.
 ///
 /// Returns an empty object when the trace holds no such spans (e.g.
 /// tracing was disabled).
@@ -271,6 +272,8 @@ pub fn ilp_histograms(trace: &Trace) -> Json {
             }
         } else if r.cat == "core" && r.name == "tier0_lookup" {
             "tier0"
+        } else if r.cat == "core" && r.name == "tier05_decide" {
+            "tier05"
         } else {
             continue;
         };
@@ -285,7 +288,7 @@ pub fn ilp_histograms(trace: &Trace) -> Json {
             .into_iter()
             .map(|(tier, (wall, pivots))| {
                 let mut fields = vec![("wall_ns", wall.to_json())];
-                if tier != "tier0" {
+                if tier != "tier0" && tier != "tier05" {
                     fields.push(("pivots", pivots.to_json()));
                 }
                 (tier.to_string(), Json::obj(fields))
@@ -531,6 +534,33 @@ mod tests {
         // The oracle runs no simplex: no pivot histogram.
         assert!(t0.get("pivots").is_none());
         // The ILP buckets are unaffected.
+        assert!(j.get("int").is_some());
+    }
+
+    #[test]
+    fn ilp_histograms_include_tier05_decisions() {
+        let mut trace = sample_trace();
+        trace.events.insert(1, begin(2, 1, "core", "tier05_decide"));
+        trace.events.insert(
+            2,
+            end(
+                9,
+                1,
+                "core",
+                "tier05_decide",
+                vec![("support", ArgValue::UInt(7))],
+            ),
+        );
+        let j = ilp_histograms(&trace);
+        let t05 = j.get("tier05").expect("tier05 bucket");
+        assert_eq!(
+            t05.get("wall_ns")
+                .and_then(|w| w.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // The decision procedure runs no simplex: no pivot histogram.
+        assert!(t05.get("pivots").is_none());
         assert!(j.get("int").is_some());
     }
 }

@@ -26,10 +26,14 @@ echo "==> synth_pipeline smoke (consistency gates)"
 # the integer fast path's rational-fallback rate stays bounded, that
 # tracing is behaviorally inert (equal gates/queries traced vs. untraced),
 # that metrics collection is behaviorally inert (byte-identical .tnet,
-# equal ILP solves) and costs at most 2% wall clock when enabled, and
-# that the word-parallel Monte Carlo engine produces bit-identical
-# failure rates to the scalar path at no less than 90% of the committed
-# BENCH_synthesis.json perturb speedup (>10% regression fails the gate).
+# equal ILP solves) and costs at most 2% wall clock when enabled, that
+# the word-parallel Monte Carlo engine produces bit-identical failure
+# rates to the scalar path at no less than 90% of the committed
+# BENCH_synthesis.json perturb speedup (>10% regression fails the gate),
+# and that the tier-0.5 pseudo-Boolean procedure changes no netlist byte
+# on the large-circuit ψ=7 leg while cutting its remaining ILP solves by
+# at least half at equal-or-better wall clock (also vs the committed
+# ilp_solve_reduction_large baseline).
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
 
 echo "==> serve_pipeline smoke (daemon throughput + determinism gates)"
@@ -95,6 +99,13 @@ cargo run --release --quiet -p tels-cli --bin tels -- client --socket "$sock" \
     --metrics-prom --lint-prom > "$smoke_dir/metrics.prom"
 grep -q '^tels_serve_jobs_ok_total 2$' "$smoke_dir/metrics.prom" \
     || { echo "ci.sh: metrics scrape missing served jobs" >&2; exit 1; }
+# The tier-0.5 and negative-cache series must be registered and linted
+# (values are 0 here — the smoke jobs run at the default ψ = 3, below
+# the tier's 6-variable floor — presence is what this checks).
+grep -q '^tels_check_tier05_total ' "$smoke_dir/metrics.prom" \
+    || { echo "ci.sh: metrics scrape missing tier-0.5 series" >&2; exit 1; }
+grep -q '^tels_negcache_hits_total{' "$smoke_dir/metrics.prom" \
+    || { echo "ci.sh: metrics scrape missing negative-cache series" >&2; exit 1; }
 cargo run --release --quiet -p tels-cli --bin tels -- top --socket "$sock" --count 1 \
     | grep -q "jobs ok 2" \
     || { echo "ci.sh: tels top did not render live stats" >&2; exit 1; }
@@ -106,9 +117,9 @@ trap 'rm -rf "$smoke_dir"' EXIT
     || { echo "ci.sh: daemon left no final metrics snapshot" >&2; exit 1; }
 
 echo "==> differential fuzz (quick budget) + corpus replay"
-# 500 seeded cases through the full oracle matrix (tier-0/cache/threads/
-# trace/metrics determinism, synthesis and one-to-one correctness vs the
-# source),
+# 500 seeded cases through the full oracle matrix (tier-0/tier-0.5/cache/
+# threads/trace/metrics determinism, synthesis and one-to-one correctness
+# vs the source),
 # then every committed reproducer in tests/corpus/ — each is a past
 # failure that must stay fixed forever. Any new counterexample is shrunk
 # and written to tests/corpus/ for triage (and must be fixed + committed).
