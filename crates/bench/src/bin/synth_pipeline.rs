@@ -50,6 +50,16 @@
 //! baseline when the key is present in either its bare-fraction or object
 //! form.
 //!
+//! A sixth pass (`scaling` in the JSON) pushes one ≥10k-node generated
+//! circuit through the whole big-circuit frontend: streaming BLIF parse
+//! (checked byte-identical to the string parser), algebraic factoring,
+//! cached synthesis, and packed verification, recording per-stage wall
+//! clock and the process peak RSS. It also measures how much insert-time
+//! structural hashing (`tels_logic::arena::StrashNet`) shrinks the
+//! duplicated-logic ALU generator, and asserts the ≥2-gates-per-bit
+//! reduction. Quick mode regression-gates the stage timings against the
+//! committed baseline so large-n slowdowns become visible in CI.
+//!
 //! Run with `cargo run --release -p tels-bench --bin synth_pipeline`;
 //! pass `--quick` for a single-sample smoke run that skips the JSON write
 //! (what `scripts/ci.sh` uses).
@@ -57,14 +67,15 @@
 use std::time::Instant;
 
 use tels_circuits::{
-    alu_slice, array_multiplier, barrel_shifter, c17, comparator, decoder, gray_code, lfsr_cone,
-    majority_grid, mux_tree, parity_ladder, parity_tree, random_network, ripple_adder,
+    alu_array, alu_slice, array_multiplier, barrel_shifter, c17, comparator, decoder, gray_code,
+    lfsr_cone, majority_grid, mux_tree, parity_ladder, parity_tree, random_network, ripple_adder,
     RandomNetOptions,
 };
 use tels_core::perturb::{failure_rate, failure_rate_scalar, PerturbOptions};
 use tels_core::{map_one_to_one, synthesize_with_stats, SynthStats, TelsConfig};
+use tels_logic::arena::StrashNet;
 use tels_logic::opt::script_algebraic;
-use tels_logic::Network;
+use tels_logic::{blif, Network};
 use tels_trace::json::Json;
 
 /// Timed samples per configuration; the minimum is reported.
@@ -443,6 +454,147 @@ fn measure_tier05_large(samples: usize) -> (Json, usize, usize, f64, f64) {
     (section, solves_off, solves_on, off_ms, on_ms)
 }
 
+/// Peak resident set of this process in MiB, read from `/proc/self/status`
+/// (`VmHWM`, the high-water mark). Returns 0.0 where procfs is absent —
+/// the JSON field is informative and never gated.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// The big-circuit scaling leg: one ≥10k-node generated circuit through
+/// the full frontend — BLIF write, streaming parse, algebraic factoring,
+/// cached synthesis, packed verification — with per-stage wall clock.
+///
+/// The parse stage is the streaming reader (`blif::parse_reader`), checked
+/// byte-identical (under `write`) to the in-memory string parser on the
+/// same input, so the number reported is the parser production code
+/// actually runs on files. Factoring dominates end-to-end time at this
+/// scale (eliminate/simplify are superlinear-but-bounded; see DESIGN
+/// §2.14), which is exactly why the stage split is recorded.
+///
+/// A second measurement demonstrates insert-time structural hashing: the
+/// ALU array generator duplicates its carry-generate/propagate gates
+/// against the bitwise and/xor gates, and `StrashNet::from_network` must
+/// strip at least those 2 gates per bit.
+///
+/// Returns `(section, parse_ms, pipeline_ms)` where `pipeline_ms` is
+/// factoring + synthesis (the quick-mode regression gates ride on these).
+fn measure_scaling() -> (Json, f64, f64) {
+    let source = parity_ladder(160, 64);
+    let nodes = source.num_logic_nodes();
+    assert!(nodes >= 10_000, "scaling circuit shrank to {nodes} nodes");
+    let text = blif::write(&source);
+
+    // Streaming parse, min-of-3 (parsing is the cheapest stage and the
+    // most timer-noise-prone).
+    let mut parse_ms = f64::INFINITY;
+    let mut parsed = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let net = blif::parse_reader(text.as_bytes()).expect("parse scaling circuit");
+        parse_ms = parse_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        parsed = Some(net);
+    }
+    let parsed = parsed.expect("parsed at least once");
+    // The writer materializes buffer nodes for outputs that alias internal
+    // signals, so the reparse may carry a few more nodes — never fewer.
+    assert!(parsed.num_logic_nodes() >= nodes);
+    assert_eq!(
+        blif::write(&blif::parse(&text).expect("string parse")),
+        blif::write(&parsed),
+        "streaming and string parsers disagree on the scaling circuit"
+    );
+
+    let start = Instant::now();
+    let prepared = script_algebraic(&parsed);
+    let factor_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let config = TelsConfig {
+        num_threads: 4,
+        ..TelsConfig::default()
+    };
+    let start = Instant::now();
+    let (tn, stats) =
+        synthesize_with_stats(&prepared, &config).expect("synthesize scaling circuit");
+    let synth_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    assert!(
+        tn.verify_against(&source, 12, 512, 0xB16)
+            .expect("simulate scaling circuit")
+            .is_none(),
+        "scaling-circuit synthesis differs from its source"
+    );
+    let verify_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Structural hashing on the duplicated-logic ALU array (~10.8k nodes):
+    // per bit, g_i duplicates and_i and p_i duplicates xor_i, so the
+    // arena must come out at least 2 gates per bit smaller.
+    let width = 1200usize;
+    let alu = alu_array(width);
+    let alu_nodes = alu.num_logic_nodes();
+    let start = Instant::now();
+    let arena = StrashNet::from_network(&alu).expect("generator networks are acyclic");
+    let strash_ms = start.elapsed().as_secs_f64() * 1e3;
+    let alu_gates = arena.num_gates();
+    assert!(
+        alu_gates + 2 * width <= alu_nodes,
+        "structural hashing removed only {} of the expected >= {} duplicate gates",
+        alu_nodes - alu_gates,
+        2 * width
+    );
+    let strash_pct = (1.0 - alu_gates as f64 / alu_nodes as f64) * 1e2;
+
+    let rss_mb = peak_rss_mb();
+    println!(
+        "\nscaling: parity_ladder_160x64 ({nodes} nodes, {} BLIF bytes) — parse {parse_ms:.1} ms, \
+         factor {factor_ms:.1} ms, synth {synth_ms:.1} ms ({} gates, {} ILP solves), \
+         verify {verify_ms:.1} ms; peak RSS {rss_mb:.0} MiB",
+        text.len(),
+        tn.num_gates(),
+        stats.ilp_solves
+    );
+    println!(
+        "scaling: strash alu_array_{width}: {alu_nodes} -> {alu_gates} gates \
+         ({strash_pct:.1}% removed, {} dedup hits, {strash_ms:.1} ms)",
+        arena.dedup_hits()
+    );
+
+    let section = Json::obj([
+        ("circuit", Json::str("parity_ladder_160x64")),
+        ("nodes", Json::Num(nodes as f64)),
+        ("blif_bytes", Json::Num(text.len() as f64)),
+        ("parse_ms", Json::Num(parse_ms)),
+        ("factor_ms", Json::Num(factor_ms)),
+        ("synth_ms", Json::Num(synth_ms)),
+        ("verify_ms", Json::Num(verify_ms)),
+        ("gates", Json::Num(tn.num_gates() as f64)),
+        ("ilp_solves", Json::Num(stats.ilp_solves as f64)),
+        ("peak_rss_mb", Json::Num(rss_mb)),
+        (
+            "strash",
+            Json::obj([
+                ("circuit", Json::str("alu_array_1200")),
+                ("nodes", Json::Num(alu_nodes as f64)),
+                ("gates", Json::Num(alu_gates as f64)),
+                ("reduction_pct", Json::Num(strash_pct)),
+                ("dedup_hits", Json::Num(arena.dedup_hits() as f64)),
+                ("strash_ms", Json::Num(strash_ms)),
+            ]),
+        ),
+    ]);
+    (section, parse_ms, factor_ms + synth_ms)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let samples = if quick { 1 } else { SAMPLES };
@@ -659,6 +811,8 @@ fn main() {
         "tier 0.5 slowed the large suite: {t05_on_ms:.1} ms on vs {t05_off_ms:.1} ms off"
     );
 
+    let (scaling_section, scaling_parse_ms, scaling_pipeline_ms) = measure_scaling();
+
     if quick {
         // Quick (CI) mode: regression-gate the oracle against the
         // committed baseline instead of rewriting it — the suite's solve
@@ -761,6 +915,48 @@ fn main() {
                          section; skipping the Monte Carlo gate"
                     ),
                 }
+                // The big-circuit scaling gates: parse and factoring+
+                // synthesis wall clock on the 10k-node circuit may not blow
+                // up versus the committed baseline. The tolerances are
+                // deliberately loose (3x plus a floor) — the gate exists to
+                // catch accidentally-quadratic regressions, which at this
+                // scale overshoot by orders of magnitude, not to litigate
+                // scheduler noise. (The absolute properties — ≥10k nodes,
+                // streaming/string byte identity, the ≥2-gates-per-bit
+                // strash reduction, functional verification — were already
+                // asserted inside `measure_scaling`.)
+                let scaling = doc.as_ref().and_then(|doc| doc.get("scaling"));
+                match scaling {
+                    Some(scaling) => {
+                        if let Some(committed) = scaling.get("parse_ms").and_then(Json::as_f64) {
+                            assert!(
+                                scaling_parse_ms <= committed * 3.0 + 50.0,
+                                "10k-node streaming parse took {scaling_parse_ms:.1} ms vs \
+                                 committed {committed:.1} ms"
+                            );
+                        }
+                        let committed_pipeline = scaling
+                            .get("factor_ms")
+                            .and_then(Json::as_f64)
+                            .and_then(|f| {
+                                scaling
+                                    .get("synth_ms")
+                                    .and_then(Json::as_f64)
+                                    .map(|s| f + s)
+                            });
+                        if let Some(committed) = committed_pipeline {
+                            assert!(
+                                scaling_pipeline_ms <= committed * 3.0 + 500.0,
+                                "10k-node factoring+synthesis took {scaling_pipeline_ms:.1} ms \
+                                 vs committed {committed:.1} ms"
+                            );
+                        }
+                    }
+                    None => eprintln!(
+                        "synth_pipeline: committed BENCH_synthesis.json has no scaling \
+                         section; skipping the big-circuit timing gates"
+                    ),
+                }
             }
             Err(e) => eprintln!("synth_pipeline: no committed BENCH_synthesis.json ({e})"),
         }
@@ -821,6 +1017,7 @@ fn main() {
             ),
             ("perturb", perturb_section),
             ("tier05_large", tier05_section),
+            ("scaling", scaling_section),
             ("circuits", Json::Arr(rows)),
         ]);
         let mut json = doc.pretty();

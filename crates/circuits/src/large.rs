@@ -231,9 +231,91 @@ pub fn parity_ladder(width: usize, depth: usize) -> Network {
     net
 }
 
+/// OR over fanins 0,1.
+fn or2() -> Sop {
+    sop(&[&[(0, true)], &[(1, true)]])
+}
+
+/// 4-way operation select over fanins `[op0, op1, and, or, xor, sum]`.
+fn alu_mux() -> Sop {
+    sop(&[
+        &[(0, false), (1, false), (2, true)],
+        &[(0, true), (1, false), (3, true)],
+        &[(0, false), (1, true), (4, true)],
+        &[(0, true), (1, true), (5, true)],
+    ])
+}
+
+/// A `width`-bit ALU slice array: inputs `a0..`, `b0..`, `cin`, and a 2-bit
+/// opcode `op0 op1` selecting AND / OR / XOR / ADD; outputs `f0..f(width−1)`
+/// and the adder's `cout`.
+///
+/// Each bit builds the three bitwise results *and* an independent
+/// generate/propagate pair for the ripple carry — so `a⊕b` and `a·b` are
+/// each synthesized twice per bit (9 gates/bit, 2 of them structurally
+/// redundant). That makes this the reference workload for measuring how much
+/// structural hashing ([`tels_logic::arena::StrashNet`]) shrinks a network
+/// whose generator naively duplicates logic.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn alu_array(width: usize) -> Network {
+    assert!(width >= 2, "alu array needs width >= 2");
+    let mut net = Network::new(format!("alu{width}"));
+    let a: Vec<NodeId> = (0..width)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..width)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    let cin = net.add_input("cin").expect("fresh");
+    let op0 = net.add_input("op0").expect("fresh");
+    let op1 = net.add_input("op1").expect("fresh");
+
+    let mut carry = cin;
+    for i in 0..width {
+        let ab = vec![a[i], b[i]];
+        let and_i = net
+            .add_node(format!("and{i}"), ab.clone(), and2())
+            .expect("fresh");
+        let or_i = net
+            .add_node(format!("or{i}"), ab.clone(), or2())
+            .expect("fresh");
+        let xor_i = net
+            .add_node(format!("xor{i}"), ab.clone(), xor2())
+            .expect("fresh");
+        // Independent generate/propagate pair — duplicates and/xor above.
+        let g_i = net
+            .add_node(format!("g{i}"), ab.clone(), and2())
+            .expect("fresh");
+        let p_i = net.add_node(format!("p{i}"), ab, xor2()).expect("fresh");
+        let sum_i = net
+            .add_node(format!("sum{i}"), vec![p_i, carry], xor2())
+            .expect("fresh");
+        let t_i = net
+            .add_node(format!("t{i}"), vec![p_i, carry], and2())
+            .expect("fresh");
+        carry = net
+            .add_node(format!("c{}", i + 1), vec![g_i, t_i], or2())
+            .expect("fresh");
+        let f_i = net
+            .add_node(
+                format!("f{i}_mux"),
+                vec![op0, op1, and_i, or_i, xor_i, sum_i],
+                alu_mux(),
+            )
+            .expect("fresh");
+        net.add_output(format!("f{i}"), f_i).expect("fresh");
+    }
+    net.add_output("cout", carry).expect("fresh");
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tels_logic::arena::StrashNet;
 
     fn bits(v: u64, n: usize) -> Vec<bool> {
         (0..n).map(|i| v >> i & 1 != 0).collect()
@@ -323,11 +405,74 @@ mod tests {
     }
 
     #[test]
+    fn alu_array_matches_software_model() {
+        for width in [2usize, 3] {
+            let net = alu_array(width);
+            assert_eq!(net.num_inputs(), 2 * width + 3);
+            assert_eq!(net.outputs().len(), width + 1);
+            let mask = (1u64 << width) - 1;
+            for a in 0..1u64 << width {
+                for b in 0..1u64 << width {
+                    for cin in 0..2u64 {
+                        for op in 0..4u64 {
+                            let mut assign = bits(a, width);
+                            assign.extend(bits(b, width));
+                            assign.push(cin != 0);
+                            assign.push(op & 1 != 0);
+                            assign.push(op & 2 != 0);
+                            let out = net.eval(&assign).unwrap();
+                            let expect = match op {
+                                0 => a & b,
+                                1 => a | b,
+                                2 => a ^ b,
+                                _ => (a + b + cin) & mask,
+                            };
+                            for (i, &o) in out[..width].iter().enumerate() {
+                                assert_eq!(
+                                    o,
+                                    expect >> i & 1 != 0,
+                                    "w={width} a={a} b={b} cin={cin} op={op} bit{i}"
+                                );
+                            }
+                            let cout = (a + b + cin) >> width & 1 != 0;
+                            assert_eq!(out[width], cout, "w={width} a={a} b={b} cin={cin} cout");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_array_dedups_under_structural_hashing() {
+        // g/p duplicate and/xor per bit: strash must strip ≥ 2 gates a bit.
+        let width = 8;
+        let net = alu_array(width);
+        let arena = StrashNet::from_network(&net).unwrap();
+        assert!(
+            arena.num_gates() + 2 * width <= net.num_logic_nodes(),
+            "{} gates vs {} nodes",
+            arena.num_gates(),
+            net.num_logic_nodes()
+        );
+        assert!(arena.dedup_hits() >= 2 * width);
+        let back = arena.to_network().unwrap();
+        let mut assign = vec![false; net.num_inputs()];
+        for trial in 0..1u64 << (2 * width + 3).min(14) {
+            for (i, slot) in assign.iter_mut().enumerate() {
+                *slot = trial >> (i % 14) & 1 != 0;
+            }
+            assert_eq!(net.eval(&assign).unwrap(), back.eval(&assign).unwrap());
+        }
+    }
+
+    #[test]
     fn generators_scale() {
         // The whole point: these are much bigger than the paper suite.
         assert!(array_multiplier(8).num_logic_nodes() > 150);
         assert!(majority_grid(32, 16).num_logic_nodes() > 500);
         assert!(parity_ladder(32, 16).num_logic_nodes() > 500);
         assert!(lfsr_cone(24, 40).num_logic_nodes() > 100);
+        assert!(alu_array(32).num_logic_nodes() > 250);
     }
 }

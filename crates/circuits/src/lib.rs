@@ -36,7 +36,7 @@ mod suite;
 
 pub use arithmetic::{cordic_like, ripple_adder};
 pub use extra::{alu_slice, barrel_shifter, c17, gray_code};
-pub use large::{array_multiplier, lfsr_cone, majority_grid, parity_ladder};
+pub use large::{alu_array, array_multiplier, lfsr_cone, majority_grid, parity_ladder};
 pub use random_net::{random_network, RandomNetOptions};
 pub use structured::{
     comparator, decoder, majority, mux_tree, parity_tree, priority_encoder, wire_fabric,

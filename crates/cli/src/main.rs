@@ -21,6 +21,7 @@
 //! ```
 
 use std::fs;
+use std::io;
 use std::process::ExitCode;
 
 use tels_core::perturb::{failure_rate, failure_rate_scalar, PerturbOptions};
@@ -193,8 +194,9 @@ fn parse_synth_args(args: &[String]) -> Result<SynthArgs, String> {
 }
 
 fn read_blif(path: &str) -> Result<Network, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+    // Stream straight off disk: no full-file buffer, names interned once.
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    blif::parse_reader(io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn read_tnet(path: &str) -> Result<ThresholdNetwork, String> {

@@ -161,6 +161,46 @@ fn path_for(via: CheckVia) -> GatePath {
     }
 }
 
+/// Depth at which the driver moves off the caller's stack. The driver
+/// recurses `signal_for_node` → `synth_expr` → `leaf_signal` once per
+/// logic level, so chain-shaped inputs need stack proportional to their
+/// depth — a 10k-level chain overflows a default 8 MiB thread stack.
+const INLINE_DEPTH: usize = 1_000;
+
+/// Runs `f` on a scoped thread whose stack size grows with the source
+/// network's logic depth; shallow networks (the common case) run `f`
+/// inline on the caller's stack.
+fn run_with_depth_stack<T: Send>(
+    net: &Network,
+    f: impl FnOnce() -> T + Send,
+) -> Result<T, SynthError> {
+    // `levels()` is an O(n) pass of its own — skip it when the node count
+    // cannot reach a problematic depth. Cyclic networks surface here as
+    // the same error `Synth::run` would return.
+    let depth = if net.num_logic_nodes() >= INLINE_DEPTH {
+        net.depth()?
+    } else {
+        0
+    };
+    if depth < INLINE_DEPTH {
+        return Ok(f());
+    }
+    // ~8 KiB of head-room per recursion level (frames carry Sop and name
+    // temporaries through several mutually recursive calls) on a fixed
+    // floor; address space is reserved, not committed, so over-asking for
+    // very deep chains is cheap.
+    let stack_bytes = 16 * 1024 * 1024 + depth.saturating_mul(8 * 1024);
+    Ok(std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("tels-synth-deep".into())
+            .stack_size(stack_bytes)
+            .spawn_scoped(scope, f)
+            .expect("spawn synthesis driver thread")
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+    }))
+}
+
 /// Synthesizes an algebraically-factored Boolean network into a functionally
 /// equivalent threshold network (the paper's `G → G_T`).
 ///
@@ -235,7 +275,7 @@ pub fn synthesize_with_stats(
             s.stats.solver.merge(&solver);
         }
     }
-    s.run()?;
+    run_with_depth_stack(net, || s.run())??;
     span.arg("gates", s.tn.num_gates() as u64);
     span.arg("ilp_calls", s.stats.ilp_calls as u64);
     Ok((s.tn, s.stats))
@@ -290,7 +330,7 @@ pub fn synthesize_with_shared_caches(
     let big_enough = logic_nodes >= config.parallel_min_nodes;
     let engaged = (config.use_cache && big_enough).then_some(cache);
     let mut s = Synth::new(net, config, engaged, Some(neg))?;
-    s.run()?;
+    run_with_depth_stack(net, || s.run())??;
     span.arg("gates", s.tn.num_gates() as u64);
     span.arg("ilp_calls", s.stats.ilp_calls as u64);
     Ok((s.tn, s.stats))

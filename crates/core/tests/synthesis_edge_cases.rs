@@ -243,6 +243,25 @@ fn many_outputs_share_synthesized_roots() {
 }
 
 #[test]
+fn deep_chain_does_not_overflow_the_stack() {
+    // The driver recurses once per logic level; a chain far deeper than
+    // the bundled circuits must run on the depth-scaled stack instead of
+    // crashing. Depth 4000 comfortably exceeds the inline threshold while
+    // keeping the test fast.
+    const DEPTH: usize = 4000;
+    let mut src = String::from(".model chain\n.inputs i0 i1\n.outputs out\n");
+    let mut prev = "i0".to_string();
+    for k in 1..=DEPTH {
+        src.push_str(&format!(".names {prev} i1 n{k}\n10 1\n01 1\n"));
+        prev = format!("n{k}");
+    }
+    src.push_str(&format!(".names {prev} out\n1 1\n.end\n"));
+    let net = blif::parse(&src).unwrap();
+    let tn = synthesize(&net, &TelsConfig::default()).unwrap();
+    assert_eq!(tn.verify_against(&net, 14, 256, 0xDEE9).unwrap(), None);
+}
+
+#[test]
 fn ilp_limit_exhaustion_degrades_gracefully() {
     // With a starved ILP budget, everything is declared non-threshold and
     // split down to trivial gates — the result must still be correct.

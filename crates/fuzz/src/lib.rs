@@ -209,14 +209,14 @@ pub fn replay_corpus(dir: &Path, oracle: &OracleOptions) -> Result<usize, Vec<(P
     let mut bad = Vec::new();
     let mut replayed = 0;
     for path in paths {
-        let source = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
             Err(e) => {
                 bad.push((path, format!("unreadable: {e}")));
                 continue;
             }
         };
-        let net = match blif::parse(&source) {
+        let net = match blif::parse_reader(std::io::BufReader::new(file)) {
             Ok(n) => n,
             Err(e) => {
                 bad.push((path, format!("unparsable: {e}")));

@@ -5,6 +5,7 @@
 //!
 //! | leg | configurations | must agree on |
 //! |-----|----------------|---------------|
+//! | parse | streaming vs in-memory BLIF parse | BLIF bytes |
 //! | tier-0 | `use_tier0` on vs off | `.tnet` bytes |
 //! | tier-0.5 | `use_tier05` on vs off | `.tnet` bytes |
 //! | threads | 1 thread vs N threads | `.tnet` bytes |
@@ -68,6 +69,8 @@ impl Default for OracleOptions {
 pub enum FailureKind {
     /// The baseline synthesis itself returned an error or panicked.
     Synth,
+    /// Streaming and in-memory BLIF parsing disagreed on the network.
+    ParseStream,
     /// Tier-0 on/off produced different `.tnet` bytes.
     Tier0Bytes,
     /// Tier-0.5 on/off produced different `.tnet` bytes.
@@ -96,6 +99,7 @@ impl FailureKind {
     pub fn tag(self) -> &'static str {
         match self {
             FailureKind::Synth => "synth",
+            FailureKind::ParseStream => "parse",
             FailureKind::Tier0Bytes => "tier0",
             FailureKind::Tier05Bytes => "tier05",
             FailureKind::ThreadBytes => "threads",
@@ -277,6 +281,27 @@ fn expect_tn_vs_tn(
     }
 }
 
+/// The streaming-vs-string BLIF parse byte-identity leg (see [`run_case`]).
+fn parse_leg(net: &Network) -> Result<(), Failure> {
+    let kind = FailureKind::ParseStream;
+    let text = tels_logic::blif::write(net);
+    let via_string = guarded(kind, "parse(string)", || {
+        Ok(tels_logic::blif::parse(&text).unwrap_or_else(|e| panic!("string parse failed: {e}")))
+    })?;
+    let via_stream = guarded(kind, "parse(stream)", || {
+        let reader = std::io::BufReader::with_capacity(7, text.as_bytes());
+        Ok(tels_logic::blif::parse_reader(reader)
+            .unwrap_or_else(|e| panic!("streaming parse failed: {e}")))
+    })?;
+    if tels_logic::blif::write(&via_string) != tels_logic::blif::write(&via_stream) {
+        return Err(Failure::new(
+            kind,
+            "streaming and string parsers produced different networks",
+        ));
+    }
+    Ok(())
+}
+
 /// The serve-vs-one-shot byte-identity leg (see [`run_case`]).
 fn serve_leg(net: &Network, cfg: &TelsConfig, opts: &OracleOptions) -> Result<(), Failure> {
     use tels_serve::protocol::JobRequest;
@@ -337,6 +362,12 @@ fn serve_leg(net: &Network, cfg: &TelsConfig, opts: &OracleOptions) -> Result<()
 /// Returns `Ok(())` when every leg agrees, or the first [`Failure`].
 pub fn run_case(net: &Network, opts: &OracleOptions) -> Result<(), Failure> {
     let cfg = base_config(opts);
+
+    // Leg: streaming vs in-memory BLIF parse. Both parsers must accept the
+    // writer's output and agree byte-for-byte after a write-back; the
+    // streaming side reads through a 7-byte buffer so line reassembly from
+    // partial fills is exercised on every case.
+    parse_leg(net)?;
 
     // Baseline synthesis (1 thread, cache + tier-0 on).
     let base = guarded(FailureKind::Synth, "synthesize", || synthesize(net, &cfg))?;

@@ -1,0 +1,619 @@
+//! Flat, structurally-hashed arena network for big circuits.
+//!
+//! [`StrashNet`] stores gates in one compact `Vec`, indexed by a [`Signal`]
+//! newtype whose low bit is a complement flag (the gate-inverter-graph layout
+//! used by AIG packages). Every gate is *normalized* and *hash-consed* on
+//! insertion: fanin complement bits are absorbed into the SOP phases,
+//! constant fanins are cofactored away, duplicate/unused fanins are merged or
+//! pruned, fanins are sorted, and the resulting `(fanins, sop)` key is looked
+//! up in a structural hash table — so duplicated logic unifies at insert time
+//! and trivial gates (constants, buffers, inverters) never allocate a slot.
+//!
+//! Conversion to and from the name-keyed [`Network`] is interface-lossless:
+//! the model name, input order/names, and output order/names round-trip
+//! exactly, and the function of every output is preserved (internal node
+//! names are regenerated).
+//!
+//! # Example
+//!
+//! ```
+//! use tels_logic::arena::{Signal, StrashNet};
+//! use tels_logic::{Cube, Sop, Var};
+//!
+//! let mut net = StrashNet::new("demo");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let and = |x: Signal, y: Signal, n: &mut StrashNet| {
+//!     n.add_logic(
+//!         vec![x, y],
+//!         Sop::from_cubes([Cube::from_literals([(Var(0), true), (Var(1), true)])]),
+//!     )
+//! };
+//! let g1 = and(a, b, &mut net);
+//! let g2 = and(a, b, &mut net); // structurally identical — unified
+//! assert_eq!(g1, g2);
+//! assert_eq!(net.num_gates(), 1);
+//! assert_eq!(net.dedup_hits(), 1);
+//! // De Morgan: !a·!b inserted directly equals !(a + b) via absorption.
+//! let nor = and(!a, !b, &mut net);
+//! assert_eq!(!(!nor), nor);
+//! ```
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Not;
+
+use crate::cube::{Cube, Var};
+use crate::error::LogicError;
+use crate::network::{Network, NodeId, NodeKind};
+use crate::sop::Sop;
+
+/// A literal in a [`StrashNet`]: a gate index with an embedded complement
+/// bit in the LSB. Gate 0 is the constant-zero gate, so [`Signal::ZERO`] is
+/// gate 0 plain and [`Signal::ONE`] its complement.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-0 signal.
+    pub const ZERO: Signal = Signal(0);
+    /// The constant-1 signal.
+    pub const ONE: Signal = Signal(1);
+
+    /// The plain (non-complemented) signal of gate `gate`.
+    pub fn from_gate(gate: u32) -> Signal {
+        Signal(gate << 1)
+    }
+
+    /// Index of the gate this signal refers to.
+    pub fn gate(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the complement bit is set.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this is [`Signal::ZERO`] or [`Signal::ONE`].
+    pub fn is_constant(self) -> bool {
+        self.gate() == 0
+    }
+
+    /// The raw packed representation (`gate << 1 | complement`).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl Not for Signal {
+    type Output = Signal;
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Signal::ZERO {
+            write!(f, "0")
+        } else if *self == Signal::ONE {
+            write!(f, "1")
+        } else {
+            write!(
+                f,
+                "{}g{}",
+                if self.is_complement() { "!" } else { "" },
+                self.gate()
+            )
+        }
+    }
+}
+
+/// One slot of the arena.
+#[derive(Clone, Debug)]
+enum Gate {
+    /// The reserved constant-zero gate (always index 0).
+    Zero,
+    /// Primary input number `k` (in declaration order).
+    Input(u32),
+    /// A logic gate: an SOP over plain (never complemented, never constant)
+    /// fanin signals, sorted ascending and duplicate-free.
+    Logic { fanins: Box<[Signal]>, sop: Sop },
+}
+
+/// Flat arena network with structural hashing on construction.
+///
+/// See the [module docs](self) for the representation invariants.
+#[derive(Clone, Debug)]
+pub struct StrashNet {
+    model: String,
+    gates: Vec<Gate>,
+    input_names: Vec<String>,
+    outputs: Vec<(String, Signal)>,
+    /// Structural hash: normalized `(fanins, sop)` → gate index.
+    hash: HashMap<(Box<[Signal]>, Sop), u32>,
+    dedup_hits: usize,
+}
+
+impl StrashNet {
+    /// Creates an empty network holding only the constant-zero gate.
+    pub fn new(model: impl Into<String>) -> StrashNet {
+        StrashNet {
+            model: model.into(),
+            gates: vec![Gate::Zero],
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            hash: HashMap::new(),
+            dedup_hits: 0,
+        }
+    }
+
+    /// The model name.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (excluding the constant gate and inputs).
+    pub fn num_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Logic { .. }))
+            .count()
+    }
+
+    /// How many [`add_logic`](Self::add_logic) calls were answered from the
+    /// structural hash instead of allocating a new gate.
+    pub fn dedup_hits(&self) -> usize {
+        self.dedup_hits
+    }
+
+    /// The primary outputs as `(name, signal)` pairs, in declaration order.
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// Adds a primary input and returns its signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Signal {
+        let k = self.input_names.len() as u32;
+        self.input_names.push(name.into());
+        let idx = self.gates.len() as u32;
+        self.gates.push(Gate::Input(k));
+        Signal::from_gate(idx)
+    }
+
+    /// Declares `signal` as primary output `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: Signal) {
+        self.outputs.push((name.into(), signal));
+    }
+
+    /// Adds a logic gate computing `sop` over `fanins` (column `i` of the
+    /// SOP is `fanins[i]`), returning its signal.
+    ///
+    /// The gate is normalized before insertion: constant fanins are
+    /// cofactored away, complement bits are absorbed into the SOP phases,
+    /// duplicate fanins merged, unused fanins pruned, and fanins sorted.
+    /// Trivial results short-circuit without allocating (constants, buffers,
+    /// inverters), and a gate structurally identical to an existing one
+    /// returns the existing signal.
+    pub fn add_logic(&mut self, fanins: Vec<Signal>, sop: Sop) -> Signal {
+        debug_assert!(
+            sop.support()
+                .max_var()
+                .is_none_or(|v| (v.0 as usize) < fanins.len()),
+            "SOP references a column beyond the fanin list"
+        );
+        let mut sop = sop;
+        // Constant fanins: cofactor them out of the cover.
+        for (i, &s) in fanins.iter().enumerate() {
+            if s.is_constant() {
+                sop = sop.cofactor(Var(i as u32), s == Signal::ONE);
+            }
+        }
+        // Absorb fanin complement bits into the SOP phases.
+        let flip: Vec<bool> = fanins
+            .iter()
+            .map(|s| !s.is_constant() && s.is_complement())
+            .collect();
+        if flip.iter().any(|&b| b) {
+            sop = flip_phases(&sop, &flip);
+        }
+        let plain: Vec<Signal> = fanins
+            .iter()
+            .map(|&s| {
+                if s.is_constant() {
+                    s
+                } else {
+                    Signal::from_gate(s.gate())
+                }
+            })
+            .collect();
+        // Keep each distinct, still-used fanin once, sorted ascending.
+        let support = sop.support();
+        let mut uniq: Vec<Signal> = Vec::new();
+        for (i, &s) in plain.iter().enumerate() {
+            if s.is_constant() || !support.contains(Var(i as u32)) {
+                continue;
+            }
+            if !uniq.contains(&s) {
+                uniq.push(s);
+            }
+        }
+        uniq.sort_unstable();
+        // Remap cubes onto the new columns; a variable merged onto another in
+        // the opposite phase annihilates its cube.
+        let map: Vec<Option<Var>> = plain
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if s.is_constant() || !support.contains(Var(i as u32)) {
+                    None
+                } else {
+                    uniq.iter().position(|&u| u == s).map(|p| Var(p as u32))
+                }
+            })
+            .collect();
+        let mut cubes = Vec::with_capacity(sop.num_cubes());
+        for c in sop.cubes() {
+            let mut out = Cube::one();
+            let mut alive = true;
+            for (v, phase) in c.literals() {
+                let nv = map[v.0 as usize].expect("literal var survives normalization");
+                if !out.set_literal(nv, phase) {
+                    alive = false;
+                    break;
+                }
+            }
+            if alive {
+                cubes.push(out);
+            }
+        }
+        let sop = Sop::from_cubes(cubes);
+        // Trivial gates never allocate a slot.
+        if sop.is_zero() {
+            return Signal::ZERO;
+        }
+        // Column merges can leave a semantic tautology (e.g. `x + x̄` from
+        // XOR over a duplicated fanin); catch it while the support is small
+        // enough for the check to be cheap.
+        if sop.is_one() || (sop.support().len() <= 8 && sop.is_tautology()) {
+            return Signal::ONE;
+        }
+        if sop.num_cubes() == 1 && sop.cubes()[0].literal_count() == 1 {
+            let (v, phase) = sop.cubes()[0].literals().next().expect("one literal");
+            let s = uniq[v.0 as usize];
+            return if phase { s } else { !s };
+        }
+        let key = (uniq.into_boxed_slice(), sop);
+        match self.hash.entry(key) {
+            Entry::Occupied(e) => {
+                self.dedup_hits += 1;
+                Signal::from_gate(*e.get())
+            }
+            Entry::Vacant(e) => {
+                let idx = self.gates.len() as u32;
+                let (fanins, sop) = e.key().clone();
+                e.insert(idx);
+                self.gates.push(Gate::Logic { fanins, sop });
+                Signal::from_gate(idx)
+            }
+        }
+    }
+
+    /// Evaluates the network on one input assignment (declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InterfaceMismatch`] if the assignment length
+    /// does not match the input count.
+    pub fn eval(&self, assignment: &[bool]) -> Result<Vec<bool>, LogicError> {
+        if assignment.len() != self.num_inputs() {
+            return Err(LogicError::InterfaceMismatch(format!(
+                "expected {} inputs, got {}",
+                self.num_inputs(),
+                assignment.len()
+            )));
+        }
+        let mut values = vec![false; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            values[i] = match gate {
+                Gate::Zero => false,
+                Gate::Input(k) => assignment[*k as usize],
+                Gate::Logic { fanins, sop } => sop.eval(|v| read(&values, fanins[v.0 as usize])),
+            };
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&(_, s)| read(&values, s))
+            .collect())
+    }
+
+    /// Builds a structurally-hashed arena from a [`Network`].
+    ///
+    /// Gates are inserted in topological order, so duplicated logic in the
+    /// source collapses ([`dedup_hits`](Self::dedup_hits) counts the merges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Cycle`] if the source network is cyclic.
+    pub fn from_network(net: &Network) -> Result<StrashNet, LogicError> {
+        let mut out = StrashNet::new(net.model());
+        let mut sig_of: Vec<Signal> = vec![Signal::ZERO; net.node_ids().count()];
+        for id in net.inputs() {
+            sig_of[id.index()] = out.add_input(net.name(id));
+        }
+        for id in net.topo_order()? {
+            if let NodeKind::Logic { fanins, sop } = net.kind(id) {
+                let sigs: Vec<Signal> = fanins.iter().map(|f| sig_of[f.index()]).collect();
+                sig_of[id.index()] = out.add_logic(sigs, sop.clone());
+            }
+        }
+        for (name, id) in net.outputs() {
+            out.add_output(name.clone(), sig_of[id.index()]);
+        }
+        Ok(out)
+    }
+
+    /// Converts back to a name-keyed [`Network`].
+    ///
+    /// The model name, input names/order, and output names/order are
+    /// preserved; internal gates get fresh `_s<n>` names. Complemented or
+    /// constant output signals materialize as inverter/constant nodes (BLIF
+    /// and the synthesis core have no complement edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if a generated name collides, which
+    /// [`Network::fresh_name`] prevents.
+    pub fn to_network(&self) -> Result<Network, LogicError> {
+        let mut net = Network::new(self.model.clone());
+        let mut node_of: Vec<Option<NodeId>> = vec![None; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            match gate {
+                Gate::Zero => {}
+                Gate::Input(k) => {
+                    node_of[i] = Some(net.add_input(self.input_names[*k as usize].clone())?);
+                }
+                Gate::Logic { fanins, sop } => {
+                    let fanin_ids: Vec<NodeId> = fanins
+                        .iter()
+                        .map(|s| node_of[s.gate() as usize].expect("fanins precede users"))
+                        .collect();
+                    let name = net.fresh_name("_s");
+                    node_of[i] = Some(net.add_node(name, fanin_ids, sop.clone())?);
+                }
+            }
+        }
+        // Outputs may be complemented or constant; materialize helper nodes,
+        // sharing one node per distinct signal.
+        let mut materialized: HashMap<Signal, NodeId> = HashMap::new();
+        for (name, sig) in &self.outputs {
+            let id = if sig.is_constant() {
+                match materialized.entry(*sig) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let sop = if *sig == Signal::ONE {
+                            Sop::one()
+                        } else {
+                            Sop::zero()
+                        };
+                        let id = net.add_node(net.fresh_name("_s"), Vec::new(), sop)?;
+                        *e.insert(id)
+                    }
+                }
+            } else {
+                let base = node_of[sig.gate() as usize].expect("output gate exists");
+                if sig.is_complement() {
+                    match materialized.entry(*sig) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let sop = Sop::literal(Var(0), false);
+                            let id = net.add_node(net.fresh_name("_s"), vec![base], sop)?;
+                            *e.insert(id)
+                        }
+                    }
+                } else {
+                    base
+                }
+            };
+            net.add_output(name.clone(), id)?;
+        }
+        Ok(net)
+    }
+}
+
+/// Reads a signal's value from the per-gate value table.
+fn read(values: &[bool], s: Signal) -> bool {
+    values[s.gate() as usize] ^ s.is_complement()
+}
+
+/// Flips the phase of every literal of the marked columns.
+fn flip_phases(sop: &Sop, flip: &[bool]) -> Sop {
+    let cubes = sop.cubes().iter().map(|c| {
+        let mut out = Cube::one();
+        for (v, phase) in c.literals() {
+            let phase = if flip[v.0 as usize] { !phase } else { phase };
+            let fresh = out.set_literal(v, phase);
+            debug_assert!(fresh);
+        }
+        out
+    });
+    Sop::from_cubes(cubes.collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blif;
+    use crate::sim::{check_equivalence, EquivOptions};
+
+    fn and_sop() -> Sop {
+        Sop::from_cubes([Cube::from_literals([(Var(0), true), (Var(1), true)])])
+    }
+
+    fn xor_sop() -> Sop {
+        Sop::from_cubes([
+            Cube::from_literals([(Var(0), true), (Var(1), false)]),
+            Cube::from_literals([(Var(0), false), (Var(1), true)]),
+        ])
+    }
+
+    #[test]
+    fn signal_algebra() {
+        assert_eq!(!Signal::ZERO, Signal::ONE);
+        assert_eq!(!Signal::ONE, Signal::ZERO);
+        let s = Signal::from_gate(7);
+        assert_eq!(!!s, s);
+        assert!((!s).is_complement());
+        assert_eq!((!s).gate(), 7);
+        assert!(Signal::ZERO.is_constant() && Signal::ONE.is_constant());
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    fn identical_gates_unify() {
+        let mut n = StrashNet::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_logic(vec![a, b], and_sop());
+        let g2 = n.add_logic(vec![a, b], and_sop());
+        // Fanin order is normalized away too.
+        let g3 = n.add_logic(vec![b, a], and_sop());
+        assert_eq!(g1, g2);
+        assert_eq!(g1, g3);
+        assert_eq!(n.num_gates(), 1);
+        assert_eq!(n.dedup_hits(), 2);
+    }
+
+    #[test]
+    fn complement_absorption_unifies() {
+        let mut n = StrashNet::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        // a·b̄ written directly...
+        let direct = n.add_logic(
+            vec![a, b],
+            Sop::from_cubes([Cube::from_literals([(Var(0), true), (Var(1), false)])]),
+        );
+        // ...equals AND over the complemented signal.
+        let absorbed = n.add_logic(vec![a, !b], and_sop());
+        assert_eq!(direct, absorbed);
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn constant_fanins_fold() {
+        let mut n = StrashNet::new("t");
+        let a = n.add_input("a");
+        assert_eq!(n.add_logic(vec![a, Signal::ONE], and_sop()), a);
+        assert_eq!(n.add_logic(vec![a, Signal::ZERO], and_sop()), Signal::ZERO);
+        // a XOR 1 = !a.
+        assert_eq!(n.add_logic(vec![a, Signal::ONE], xor_sop()), !a);
+        assert_eq!(n.num_gates(), 0);
+    }
+
+    #[test]
+    fn duplicate_fanins_merge() {
+        let mut n = StrashNet::new("t");
+        let a = n.add_input("a");
+        // a XOR a = 0, a AND a = a — no gate allocated either way.
+        assert_eq!(n.add_logic(vec![a, a], xor_sop()), Signal::ZERO);
+        assert_eq!(n.add_logic(vec![a, a], and_sop()), a);
+        // a XOR !a = 1.
+        assert_eq!(n.add_logic(vec![a, !a], xor_sop()), Signal::ONE);
+        assert_eq!(n.num_gates(), 0);
+    }
+
+    #[test]
+    fn unused_fanins_pruned() {
+        let mut n = StrashNet::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        // SOP only mentions columns 0 and 2; column 1 is dead.
+        let sop = Sop::from_cubes([Cube::from_literals([(Var(0), true), (Var(2), true)])]);
+        let g1 = n.add_logic(vec![a, b, c], sop);
+        let g2 = n.add_logic(vec![a, c], and_sop());
+        assert_eq!(g1, g2);
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut n = StrashNet::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_logic(vec![a, b], xor_sop());
+        n.add_output("x", x);
+        n.add_output("nx", !x);
+        n.add_output("k1", Signal::ONE);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = n.eval(&[va, vb]).unwrap();
+            assert_eq!(out, vec![va ^ vb, !(va ^ vb), true]);
+        }
+        assert!(n.eval(&[true]).is_err());
+    }
+
+    #[test]
+    fn network_round_trip_preserves_function_and_interface() {
+        let src = ".model rt\n.inputs a b c d\n.outputs f g h\n.names a b t1\n11 1\n.names t1 c t2\n1- 1\n-1 1\n.names t2 d f\n10 1\n.names a d g\n00 1\n.names c h\n0 1\n.end\n";
+        let net = blif::parse(src).unwrap();
+        let arena = StrashNet::from_network(&net).unwrap();
+        let back = arena.to_network().unwrap();
+        assert_eq!(back.model(), net.model());
+        assert_eq!(back.num_inputs(), net.num_inputs());
+        assert_eq!(
+            back.outputs().iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            net.outputs().iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        let r = check_equivalence(&net, &back, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn from_network_unifies_duplicated_logic() {
+        // Two .names blocks computing the same AND under different names.
+        let src =
+            ".model dup\n.inputs a b\n.outputs f g\n.names a b f\n11 1\n.names a b g\n11 1\n.end\n";
+        let net = blif::parse(src).unwrap();
+        assert_eq!(net.num_logic_nodes(), 2);
+        let arena = StrashNet::from_network(&net).unwrap();
+        assert_eq!(arena.num_gates(), 1);
+        assert_eq!(arena.dedup_hits(), 1);
+        let back = arena.to_network().unwrap();
+        let r = check_equivalence(&net, &back, &EquivOptions::default()).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn constant_and_aliased_outputs_round_trip() {
+        let mut n = StrashNet::new("alias");
+        let a = n.add_input("a");
+        n.add_output("buf", a);
+        n.add_output("inv", !a);
+        n.add_output("inv2", !a); // shared inverter node
+        n.add_output("zero", Signal::ZERO);
+        n.add_output("one", Signal::ONE);
+        let back = n.to_network().unwrap();
+        assert_eq!(
+            back.eval(&[true]).unwrap(),
+            vec![true, false, false, false, true]
+        );
+        assert_eq!(
+            back.eval(&[false]).unwrap(),
+            vec![false, true, true, false, true]
+        );
+    }
+}

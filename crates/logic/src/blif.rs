@@ -5,6 +5,13 @@
 //! line continuations (`\`), comments (`#`), and `.end`. Latches and
 //! subcircuits are rejected with a parse error.
 //!
+//! The parser is streaming: [`parse_reader`] consumes any [`BufRead`] one
+//! physical line at a time with a single reusable buffer, interns each
+//! distinct signal name once, and converts cover rows directly into [`Cube`]s
+//! without materializing intermediate SOP strings — so memory scales with the
+//! network, not with the file. [`parse`] is a thin wrapper over a byte slice
+//! and produces byte-identical networks.
+//!
 //! # Example
 //!
 //! ```
@@ -29,19 +36,12 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::cube::{Cube, Var};
 use crate::error::LogicError;
-use crate::network::{Network, NodeKind};
+use crate::network::{Network, NodeId, NodeKind};
 use crate::sop::Sop;
-
-struct NamesDecl {
-    inputs: Vec<String>,
-    output: String,
-    /// `(input pattern, output value)` rows.
-    rows: Vec<(String, bool)>,
-    line: usize,
-}
 
 fn err(line: usize, message: impl Into<String>) -> LogicError {
     LogicError::Parse {
@@ -50,43 +50,370 @@ fn err(line: usize, message: impl Into<String>) -> LogicError {
     }
 }
 
-/// Joins continuation lines and strips comments, preserving line numbers of
-/// the first physical line of each logical line.
-fn logical_lines(source: &str) -> Vec<(usize, String)> {
-    let mut out: Vec<(usize, String)> = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
-    for (i, raw) in source.lines().enumerate() {
-        let no_comment = match raw.find('#') {
-            Some(p) => &raw[..p],
-            None => raw,
-        };
-        let (cont, text) = match no_comment.trim_end().strip_suffix('\\') {
-            Some(t) => (true, t.to_string()),
-            None => (false, no_comment.to_string()),
-        };
-        match pending.take() {
-            Some((l, mut acc)) => {
-                acc.push(' ');
-                acc.push_str(&text);
-                if cont {
-                    pending = Some((l, acc));
-                } else {
-                    out.push((l, acc));
+/// Interned-symbol driver state.
+const SYM_FREE: u8 = 0;
+const SYM_INPUT: u8 = 1;
+const SYM_DRIVEN: u8 = 2;
+
+/// One `.names` block, with fanins/output as interned symbols and the cover
+/// already converted to cubes (over column variables, in row order).
+struct NamesDecl {
+    fanins: Vec<u32>,
+    output: u32,
+    cubes: Vec<Cube>,
+    /// `Some(true)` for an ON-set cover, `Some(false)` for OFF-set, `None`
+    /// while no row has been seen (empty cover = constant 0).
+    polarity: Option<bool>,
+}
+
+/// Streaming parser state: symbol table plus the declarations seen so far.
+struct Parser {
+    /// Interned name table; `syms[id]` is the unique spelling.
+    syms: Vec<String>,
+    ids: HashMap<String, u32>,
+    /// Per-symbol driver state (`SYM_*`), indexed like `syms`.
+    state: Vec<u8>,
+    model: String,
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+    decls: Vec<NamesDecl>,
+    current: Option<NamesDecl>,
+    done: bool,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            syms: Vec::new(),
+            ids: HashMap::new(),
+            state: Vec::new(),
+            model: String::from("unnamed"),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            decls: Vec::new(),
+            current: None,
+            done: false,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.syms.len() as u32;
+        self.syms.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        self.state.push(SYM_FREE);
+        id
+    }
+
+    fn close_current(&mut self) {
+        if let Some(decl) = self.current.take() {
+            self.decls.push(decl);
+        }
+    }
+
+    /// Processes one logical (continuation-joined, comment-stripped) line.
+    fn line(&mut self, text: &str, line_no: usize) -> Result<(), LogicError> {
+        let mut tokens = text.split_whitespace();
+        let head = tokens.next().unwrap_or("");
+        match head {
+            ".model" => {
+                self.close_current();
+                self.model = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, ".model requires a name"))?
+                    .to_string();
+            }
+            ".inputs" => {
+                self.close_current();
+                for name in tokens {
+                    let sym = self.intern(name);
+                    match self.state[sym as usize] {
+                        SYM_INPUT => {
+                            return Err(err(
+                                line_no,
+                                format!("duplicate `.inputs` declaration of `{name}`"),
+                            ))
+                        }
+                        SYM_DRIVEN => {
+                            return Err(err(
+                                line_no,
+                                format!(
+                                "duplicate driver for `{name}`: already driven by a `.names` block"
+                            ),
+                            ))
+                        }
+                        _ => self.state[sym as usize] = SYM_INPUT,
+                    }
+                    self.inputs.push(sym);
                 }
             }
-            None => {
-                if cont {
-                    pending = Some((i + 1, text));
-                } else if !text.trim().is_empty() {
-                    out.push((i + 1, text));
+            ".outputs" => {
+                self.close_current();
+                for name in tokens {
+                    let sym = self.intern(name);
+                    self.outputs.push(sym);
+                }
+            }
+            ".names" => {
+                self.close_current();
+                let mut signals: Vec<u32> = tokens.map(|t| self.intern(t)).collect();
+                let output = signals
+                    .pop()
+                    .ok_or_else(|| err(line_no, ".names requires at least an output"))?;
+                let name = &self.syms[output as usize];
+                match self.state[output as usize] {
+                    SYM_INPUT => {
+                        return Err(err(
+                            line_no,
+                            format!("duplicate driver for `{name}`: signal is declared in `.inputs`"),
+                        ))
+                    }
+                    SYM_DRIVEN => {
+                        return Err(err(
+                            line_no,
+                            format!(
+                                "duplicate driver for `{name}`: already driven by an earlier `.names` block"
+                            ),
+                        ))
+                    }
+                    _ => self.state[output as usize] = SYM_DRIVEN,
+                }
+                self.current = Some(NamesDecl {
+                    fanins: signals,
+                    output,
+                    cubes: Vec::new(),
+                    polarity: None,
+                });
+            }
+            ".end" => {
+                self.close_current();
+                self.done = true;
+            }
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(err(
+                    line_no,
+                    format!("`{head}` is not supported (combinational subset only)"),
+                ));
+            }
+            other if other.starts_with('.') => {
+                // Unknown directives (e.g. .default_input_arrival) are
+                // skipped, but still terminate a running `.names` cover.
+                self.close_current();
+            }
+            _ => {
+                if self.current.is_some() {
+                    self.cover_row(text, line_no)?;
+                } else {
+                    return Err(err(line_no, format!("unexpected line `{text}`")));
                 }
             }
         }
+        Ok(())
     }
-    if let Some(p) = pending {
-        out.push(p);
+
+    /// Parses one cover row of the open `.names` block directly into a cube.
+    fn cover_row(&mut self, text: &str, line_no: usize) -> Result<(), LogicError> {
+        let decl = self.current.as_mut().expect("a `.names` block is open");
+        let parts: Vec<&str> = text.split_whitespace().collect();
+        let (pattern, value) = match (decl.fanins.is_empty(), parts.as_slice()) {
+            (true, [v]) => ("", *v),
+            (false, [p, v]) => (*p, *v),
+            _ => return Err(err(line_no, format!("malformed cover row `{text}`"))),
+        };
+        let mut cube = Cube::one();
+        let mut cols = 0usize;
+        for ch in pattern.chars() {
+            match ch {
+                '0' | '1' => {
+                    // Columns are distinct positions, so the literal is fresh.
+                    let fresh = cube.set_literal(Var(cols as u32), ch == '1');
+                    debug_assert!(fresh);
+                }
+                '-' => {}
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!("invalid pattern character `{other}` (expected `0`, `1`, or `-`)"),
+                    ))
+                }
+            }
+            cols += 1;
+        }
+        if cols != decl.fanins.len() {
+            return Err(err(
+                line_no,
+                format!(
+                    "pattern `{pattern}` has {cols} columns, expected {}",
+                    decl.fanins.len()
+                ),
+            ));
+        }
+        let value = match value {
+            "1" => true,
+            "0" => false,
+            other => return Err(err(line_no, format!("invalid output value `{other}`"))),
+        };
+        match decl.polarity {
+            None => decl.polarity = Some(value),
+            Some(p) if p != value => {
+                return Err(err(line_no, "cover mixes ON-set and OFF-set rows"))
+            }
+            _ => {}
+        }
+        decl.cubes.push(cube);
+        Ok(())
     }
-    out
+
+    /// Builds the network from the accumulated declarations.
+    fn finish(mut self) -> Result<Network, LogicError> {
+        self.close_current();
+        let nsyms = self.syms.len();
+        let mut net = Network::new(self.model);
+        // Symbol → defining declaration (duplicates were rejected at scan).
+        let mut by_output = vec![usize::MAX; nsyms];
+        for (i, d) in self.decls.iter().enumerate() {
+            by_output[d.output as usize] = i;
+        }
+        let mut node_of: Vec<Option<NodeId>> = vec![None; nsyms];
+        for &sym in &self.inputs {
+            let id = net.add_input(self.syms[sym as usize].clone())?;
+            node_of[sym as usize] = Some(id);
+        }
+        // Topologically order declarations (BLIF allows forward references).
+        let mut state = vec![0u8; self.decls.len()]; // 0 unvisited, 1 visiting, 2 done
+        let mut order: Vec<usize> = Vec::with_capacity(self.decls.len());
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for root in 0..self.decls.len() {
+            if state[root] != 0 {
+                continue;
+            }
+            stack.push((root, 0));
+            state[root] = 1;
+            while let Some(&mut (d, ref mut next)) = stack.last_mut() {
+                let decl = &self.decls[d];
+                if *next < decl.fanins.len() {
+                    let dep_sym = decl.fanins[*next] as usize;
+                    *next += 1;
+                    let dep = by_output[dep_sym];
+                    if dep != usize::MAX {
+                        match state[dep] {
+                            0 => {
+                                state[dep] = 1;
+                                stack.push((dep, 0));
+                            }
+                            1 => return Err(LogicError::Cycle),
+                            _ => {}
+                        }
+                    }
+                } else {
+                    state[d] = 2;
+                    order.push(d);
+                    stack.pop();
+                }
+            }
+        }
+
+        for d in order {
+            let decl = &self.decls[d];
+            let fanin_ids: Vec<NodeId> = decl
+                .fanins
+                .iter()
+                .map(|&s| {
+                    node_of[s as usize]
+                        .ok_or_else(|| LogicError::UnknownSignal(self.syms[s as usize].clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let sop = Sop::from_cubes(decl.cubes.clone());
+            let sop = if decl.polarity == Some(false) {
+                // OFF-set cover: the function is the complement.
+                sop.complement()
+            } else {
+                sop
+            };
+            // Deduplicate fanins if the BLIF repeated a signal name.
+            let (fanin_ids, sop) = dedup_fanins(fanin_ids, sop);
+            let id = net.add_node(self.syms[decl.output as usize].clone(), fanin_ids, sop)?;
+            node_of[decl.output as usize] = Some(id);
+        }
+        for &sym in &self.outputs {
+            let name = &self.syms[sym as usize];
+            let id =
+                node_of[sym as usize].ok_or_else(|| LogicError::UnknownSignal(name.clone()))?;
+            net.add_output(name.clone(), id)?;
+        }
+        Ok(net)
+    }
+}
+
+/// Parses BLIF from any buffered reader, streaming one line at a time.
+///
+/// Signal names are interned once and cover rows become cubes immediately, so
+/// peak memory tracks the network size rather than the input size. Produces
+/// networks byte-identical (under [`write`]) to [`parse`] on the same bytes.
+///
+/// # Errors
+///
+/// Returns [`LogicError::Parse`] with a 1-based line number for malformed
+/// input — including a dangling `\` continuation at end of file, cover rows
+/// with characters outside `0`/`1`/`-`, covers mixing ON- and OFF-set rows,
+/// and duplicate drivers (two `.names` blocks for one signal, or a `.names`
+/// block driving a declared `.inputs`). Returns [`LogicError::Io`] if the
+/// reader fails, [`LogicError::Cycle`] for cyclic netlists, and
+/// name-resolution errors for dangling references.
+pub fn parse_reader<R: BufRead>(mut reader: R) -> Result<Network, LogicError> {
+    let mut parser = Parser::new();
+    let mut raw = String::new();
+    let mut acc = String::new();
+    let mut acc_start = 0usize;
+    let mut pending = false;
+    let mut line_no = 0usize;
+    loop {
+        raw.clear();
+        let n = reader
+            .read_line(&mut raw)
+            .map_err(|e| LogicError::Io(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = raw.strip_suffix('\n').unwrap_or(&raw);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        let no_comment = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        let (cont, text) = match no_comment.trim_end().strip_suffix('\\') {
+            Some(t) => (true, t),
+            None => (false, no_comment),
+        };
+        if pending {
+            acc.push(' ');
+            acc.push_str(text);
+            if !cont {
+                pending = false;
+                parser.line(&acc, acc_start)?;
+            }
+        } else if cont {
+            acc.clear();
+            acc.push_str(text);
+            acc_start = line_no;
+            pending = true;
+        } else if !text.trim().is_empty() {
+            parser.line(text, line_no)?;
+        }
+        if parser.done {
+            break;
+        }
+    }
+    if pending {
+        return Err(err(
+            line_no,
+            "dangling `\\` line continuation at end of file",
+        ));
+    }
+    parser.finish()
 }
 
 /// Parses BLIF source into a [`Network`].
@@ -95,237 +422,14 @@ fn logical_lines(source: &str) -> Vec<(usize, String)> {
 /// (output value `0`); mixing the two in one `.names` block is rejected, as
 /// in SIS. A `.names` block with no rows defines the constant 0.
 ///
-/// # Errors
-///
-/// Returns [`LogicError::Parse`] with a line number for malformed input,
-/// [`LogicError::Cycle`] for cyclic netlists, and name-resolution errors for
-/// dangling references.
+/// Equivalent to [`parse_reader`] over the source bytes; see there for the
+/// error contract.
 pub fn parse(source: &str) -> Result<Network, LogicError> {
-    let lines = logical_lines(source);
-    let mut model = String::from("unnamed");
-    let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
-    let mut decls: Vec<NamesDecl> = Vec::new();
-
-    let mut i = 0;
-    while i < lines.len() {
-        let (line_no, line) = &lines[i];
-        let mut tokens = line.split_whitespace();
-        let head = tokens.next().unwrap_or("");
-        match head {
-            ".model" => {
-                model = tokens
-                    .next()
-                    .ok_or_else(|| err(*line_no, ".model requires a name"))?
-                    .to_string();
-                i += 1;
-            }
-            ".inputs" => {
-                inputs.extend(tokens.map(String::from));
-                i += 1;
-            }
-            ".outputs" => {
-                outputs.extend(tokens.map(String::from));
-                i += 1;
-            }
-            ".names" => {
-                let mut signals: Vec<String> = tokens.map(String::from).collect();
-                let output = signals
-                    .pop()
-                    .ok_or_else(|| err(*line_no, ".names requires at least an output"))?;
-                let mut rows = Vec::new();
-                i += 1;
-                while i < lines.len() && !lines[i].1.trim_start().starts_with('.') {
-                    let (row_line, row) = &lines[i];
-                    let parts: Vec<&str> = row.split_whitespace().collect();
-                    let (pattern, value) = match (signals.is_empty(), parts.as_slice()) {
-                        (true, [v]) => (String::new(), *v),
-                        (false, [p, v]) => (p.to_string(), *v),
-                        _ => return Err(err(*row_line, format!("malformed cover row `{row}`"))),
-                    };
-                    if pattern.len() != signals.len() {
-                        return Err(err(
-                            *row_line,
-                            format!(
-                                "pattern `{pattern}` has {} columns, expected {}",
-                                pattern.len(),
-                                signals.len()
-                            ),
-                        ));
-                    }
-                    let value = match value {
-                        "1" => true,
-                        "0" => false,
-                        other => {
-                            return Err(err(*row_line, format!("invalid output value `{other}`")))
-                        }
-                    };
-                    rows.push((pattern, value));
-                    i += 1;
-                }
-                decls.push(NamesDecl {
-                    inputs: signals,
-                    output,
-                    rows,
-                    line: *line_no,
-                });
-            }
-            ".end" => {
-                i = lines.len();
-            }
-            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
-                return Err(err(
-                    *line_no,
-                    format!("`{head}` is not supported (combinational subset only)"),
-                ));
-            }
-            other if other.starts_with('.') => {
-                // Unknown directives (e.g. .default_input_arrival) are skipped.
-                i += 1;
-            }
-            _ => {
-                return Err(err(*line_no, format!("unexpected line `{line}`")));
-            }
-        }
-    }
-
-    build_network(model, &inputs, &outputs, decls)
-}
-
-fn decl_to_sop(decl: &NamesDecl) -> Result<Sop, LogicError> {
-    let on_rows: Vec<&String> = decl
-        .rows
-        .iter()
-        .filter(|(_, v)| *v)
-        .map(|(p, _)| p)
-        .collect();
-    let off_rows: Vec<&String> = decl
-        .rows
-        .iter()
-        .filter(|(_, v)| !*v)
-        .map(|(p, _)| p)
-        .collect();
-    if !on_rows.is_empty() && !off_rows.is_empty() {
-        return Err(err(decl.line, "cover mixes ON-set and OFF-set rows"));
-    }
-    let rows_to_sop = |rows: &[&String]| -> Result<Sop, LogicError> {
-        let mut cubes = Vec::new();
-        for pattern in rows {
-            let mut cube = Cube::one();
-            for (i, ch) in pattern.chars().enumerate() {
-                let phase = match ch {
-                    '1' => true,
-                    '0' => false,
-                    '-' => continue,
-                    other => {
-                        return Err(err(
-                            decl.line,
-                            format!("invalid pattern character `{other}`"),
-                        ))
-                    }
-                };
-                if !cube.set_literal(Var(i as u32), phase) {
-                    return Err(err(decl.line, "pattern repeats a column"));
-                }
-            }
-            cubes.push(cube);
-        }
-        Ok(Sop::from_cubes(cubes))
-    };
-    if !off_rows.is_empty() {
-        // OFF-set cover: the function is the complement.
-        Ok(rows_to_sop(&off_rows)?.complement())
-    } else {
-        rows_to_sop(&on_rows)
-    }
-}
-
-fn build_network(
-    model: String,
-    inputs: &[String],
-    outputs: &[String],
-    decls: Vec<NamesDecl>,
-) -> Result<Network, LogicError> {
-    let mut net = Network::new(model);
-    for name in inputs {
-        net.add_input(name.clone())?;
-    }
-    // Topologically order declarations (BLIF allows forward references).
-    let by_output: HashMap<&str, usize> = decls
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (d.output.as_str(), i))
-        .collect();
-    if by_output.len() != decls.len() {
-        let dup = decls
-            .iter()
-            .enumerate()
-            .find(|(i, d)| by_output[d.output.as_str()] != *i)
-            .map(|(_, d)| d.output.clone())
-            .unwrap_or_default();
-        return Err(LogicError::DuplicateName(dup));
-    }
-    let mut state = vec![0u8; decls.len()]; // 0 = unvisited, 1 = visiting, 2 = done
-    let mut order: Vec<usize> = Vec::with_capacity(decls.len());
-    let mut stack: Vec<(usize, usize)> = Vec::new();
-    for root in 0..decls.len() {
-        if state[root] != 0 {
-            continue;
-        }
-        stack.push((root, 0));
-        state[root] = 1;
-        while let Some(&mut (d, ref mut next)) = stack.last_mut() {
-            let decl = &decls[d];
-            if *next < decl.inputs.len() {
-                let dep_name = &decl.inputs[*next];
-                *next += 1;
-                if let Some(&dep) = by_output.get(dep_name.as_str()) {
-                    match state[dep] {
-                        0 => {
-                            state[dep] = 1;
-                            stack.push((dep, 0));
-                        }
-                        1 => return Err(LogicError::Cycle),
-                        _ => {}
-                    }
-                }
-            } else {
-                state[d] = 2;
-                order.push(d);
-                stack.pop();
-            }
-        }
-    }
-
-    for d in order {
-        let decl = &decls[d];
-        let fanin_ids: Vec<_> = decl
-            .inputs
-            .iter()
-            .map(|n| {
-                net.find(n)
-                    .ok_or_else(|| LogicError::UnknownSignal(n.clone()))
-            })
-            .collect::<Result<_, _>>()?;
-        let sop = decl_to_sop(decl)?;
-        // Deduplicate fanins if the BLIF repeated a signal name.
-        let (fanin_ids, sop) = dedup_fanins(fanin_ids, sop);
-        net.add_node(decl.output.clone(), fanin_ids, sop)?;
-    }
-    for name in outputs {
-        let id = net
-            .find(name)
-            .ok_or_else(|| LogicError::UnknownSignal(name.clone()))?;
-        net.add_output(name.clone(), id)?;
-    }
-    Ok(net)
+    parse_reader(source.as_bytes())
 }
 
 /// Merges duplicate fanin entries, remapping the SOP onto unique fanins.
-fn dedup_fanins(
-    fanins: Vec<crate::network::NodeId>,
-    sop: Sop,
-) -> (Vec<crate::network::NodeId>, Sop) {
+fn dedup_fanins(fanins: Vec<NodeId>, sop: Sop) -> (Vec<NodeId>, Sop) {
     let mut unique = Vec::new();
     let mut map = Vec::with_capacity(fanins.len());
     for f in fanins {
@@ -394,6 +498,7 @@ pub fn write(net: &Network) -> String {
 mod tests {
     use super::*;
     use crate::sim::{check_equivalence, EquivOptions};
+    use std::io::{self, BufReader, Read};
 
     #[test]
     fn parse_simple_model() {
@@ -459,7 +564,8 @@ mod tests {
     #[test]
     fn mixed_cover_rejected() {
         let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n");
-        assert!(matches!(r, Err(LogicError::Parse { .. })));
+        // The error points at the first row that flips polarity.
+        assert!(matches!(r, Err(LogicError::Parse { line: 6, .. })));
     }
 
     #[test]
@@ -504,8 +610,15 @@ mod tests {
 
     #[test]
     fn bad_cube_character_rejected() {
+        // The `x` is flagged on the row's own line, not the `.names` header.
         let r = parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n1x 1\n.end\n");
-        assert!(matches!(r, Err(LogicError::Parse { .. })));
+        match r {
+            Err(LogicError::Parse { line, message }) => {
+                assert_eq!(line, 5);
+                assert!(message.contains("invalid pattern character"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -555,8 +668,78 @@ mod tests {
 
     #[test]
     fn names_output_colliding_with_input_rejected() {
+        // A `.names` block driving a declared input is a duplicate driver,
+        // reported at the `.names` line.
         let r = parse(".model m\n.inputs a\n.outputs a\n.names a\n1\n.end\n");
-        assert!(matches!(r, Err(LogicError::DuplicateName(_))));
+        assert!(matches!(r, Err(LogicError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn duplicate_names_driver_rejected() {
+        // Two `.names` blocks driving `f`: the second is flagged.
+        let r =
+            parse(".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n");
+        match r {
+            Err(LogicError::Parse { line, message }) => {
+                assert_eq!(line, 6);
+                assert!(message.contains("duplicate driver"), "{message}");
+            }
+            other => panic!("expected duplicate-driver error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inputs_after_names_driver_rejected() {
+        // `.inputs` declaring a signal already driven by `.names` is flagged
+        // at the `.inputs` line (declarations may appear in any order).
+        let r = parse(".model m\n.names x\n1\n.inputs x\n.outputs x\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn duplicate_inputs_declaration_rejected() {
+        let r = parse(".model m\n.inputs a a\n.outputs a\n.end\n");
+        assert!(matches!(r, Err(LogicError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn dangling_continuation_at_eof_rejected() {
+        for src in [
+            ".model m\n.inputs a \\",
+            ".model m\n.inputs a \\\n",
+            ".model m\n.inputs a \\\nb \\\n",
+        ] {
+            let r = parse(src);
+            match r {
+                Err(LogicError::Parse { line, message }) => {
+                    assert!(line >= 2, "line {line} for {src:?}");
+                    assert!(message.contains("dangling"), "{message}");
+                }
+                other => panic!("expected dangling-continuation error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_chunked_reader_matches_string_parse() {
+        // A tiny BufReader capacity forces read_line to assemble lines from
+        // many partial fills; the result must be byte-identical.
+        let src = ".model m # hdr\n.inputs a b c \\\nd\n.outputs f g\n.names a b t1\n11 1\n.names t1 c t2 # mid\n1- 1\n-1 1\n.names t2 d f\n10 1\n.names a d g\n00 0\n.end\n";
+        let from_str = parse(src).unwrap();
+        let from_stream = parse_reader(BufReader::with_capacity(3, src.as_bytes())).unwrap();
+        assert_eq!(write(&from_str), write(&from_stream));
+    }
+
+    #[test]
+    fn reader_io_error_surfaces() {
+        struct Failing;
+        impl Read for Failing {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+        }
+        let r = parse_reader(BufReader::new(Failing));
+        assert!(matches!(r, Err(LogicError::Io(_))));
     }
 
     #[test]

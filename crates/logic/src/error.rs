@@ -25,6 +25,8 @@ pub enum LogicError {
     InvalidNode(String),
     /// Two networks cannot be compared (mismatched interface).
     InterfaceMismatch(String),
+    /// An I/O error occurred while reading from a stream.
+    Io(String),
 }
 
 impl fmt::Display for LogicError {
@@ -38,6 +40,7 @@ impl fmt::Display for LogicError {
             LogicError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
             LogicError::InvalidNode(m) => write!(f, "invalid node: {m}"),
             LogicError::InterfaceMismatch(m) => write!(f, "interface mismatch: {m}"),
+            LogicError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

@@ -361,6 +361,11 @@ pub fn strash(net: &mut Network) -> usize {
             Ok(o) => o,
             Err(_) => return merged, // cyclic networks are left untouched
         };
+        // Fanout lists, maintained across merges within the round (a fresh
+        // full-network scan per merge is quadratic on strash-heavy inputs).
+        // Entries go stale when a user is rewired away; the containment
+        // check below filters them out.
+        let mut user_lists = users_of(net);
         for id in order {
             if net.is_input(id) {
                 continue;
@@ -374,8 +379,9 @@ pub fn strash(net: &mut Network) -> usize {
                     // Rewire every user of `id` to `keeper`, then re-point
                     // any outputs. The duplicate becomes dead and is removed
                     // by the caller's compact().
-                    let users: Vec<NodeId> = net
-                        .node_ids()
+                    let users: Vec<NodeId> = user_lists[id.0 as usize]
+                        .iter()
+                        .copied()
                         .filter(|&u| net.fanins(u).contains(&id))
                         .collect();
                     let drives_po = net.outputs().iter().any(|&(_, n)| n == id);
@@ -390,6 +396,8 @@ pub fn strash(net: &mut Network) -> usize {
                             .substitute(Var(id.0), &Sop::literal(Var(keeper.0), true));
                         if set_global_sop(net, u, &rebuilt).is_err() {
                             ok = false;
+                        } else {
+                            user_lists[keeper.0 as usize].push(u);
                         }
                     }
                     if ok {
@@ -420,16 +428,70 @@ pub fn resubstitute(net: &mut Network) -> usize {
     let _span = tels_trace::span("logic", "resubstitute");
     let mut rewrites = 0;
     let logic_nodes: Vec<NodeId> = net.node_ids().filter(|&id| !net.is_input(id)).collect();
+    // Literal → nodes whose global cover contains it, each list ascending by
+    // node id. A nonzero quotient f/d requires every literal of every cube
+    // of d to appear somewhere in f (weak division contains each divisor
+    // cube in some cover cube), so scanning the candidate list of any one
+    // literal of d visits a superset of the pairs the all-pairs loop would
+    // rewrite — picking the rarest literal just makes that superset small.
+    let mut lit_index: HashMap<(Var, bool), Vec<NodeId>> = HashMap::new();
+    let mut globals: Vec<Option<Sop>> = vec![None; net.node_ids().count()];
+    for &id in &logic_nodes {
+        let g = global_sop(net, id);
+        let mut seen: Vec<(Var, bool)> = Vec::new();
+        for c in g.cubes() {
+            for lit in c.literals() {
+                if !seen.contains(&lit) {
+                    seen.push(lit);
+                    lit_index.entry(lit).or_default().push(id);
+                }
+            }
+        }
+        globals[id.index()] = Some(g);
+    }
     for &d in &logic_nodes {
-        let d_global = global_sop(net, d);
+        let d_global = match &globals[d.index()] {
+            Some(g) => g.clone(),
+            None => {
+                let g = global_sop(net, d);
+                globals[d.index()] = Some(g.clone());
+                g
+            }
+        };
         if d_global.num_cubes() < 1 || d_global.num_literals() < 2 {
             continue;
         }
-        for &f in &logic_nodes {
+        // The rarest literal of the divisor: fewest covers to scan. A
+        // literal indexed nowhere proves no cover can divide by d.
+        let mut candidates: Option<&Vec<NodeId>> = None;
+        for c in d_global.cubes() {
+            for lit in c.literals() {
+                match lit_index.get(&lit) {
+                    Some(list) => {
+                        if candidates.is_none_or(|best| list.len() < best.len()) {
+                            candidates = Some(list);
+                        }
+                    }
+                    None => {
+                        candidates = None;
+                        break;
+                    }
+                }
+            }
+        }
+        let candidates: Vec<NodeId> = candidates.cloned().unwrap_or_default();
+        for f in candidates {
             if f == d {
                 continue;
             }
-            let f_global = global_sop(net, f);
+            let f_global = match &globals[f.index()] {
+                Some(g) => g.clone(),
+                None => {
+                    let g = global_sop(net, f);
+                    globals[f.index()] = Some(g.clone());
+                    g
+                }
+            };
             // Skip if f already uses d.
             if f_global.support().contains(Var(d.0)) {
                 continue;
@@ -447,6 +509,16 @@ pub fn resubstitute(net: &mut Network) -> usize {
             // cone) is skipped automatically.
             if set_global_sop(net, f, &rebuilt).is_ok() {
                 rewrites += 1;
+                globals[f.index()] = None;
+                // The rewrite introduced the literal d into f's cover; keep
+                // the index an over-approximation (sorted, deduplicated) so
+                // later divisors containing that literal still reach f.
+                // Literals the rewrite removed stay indexed — stale entries
+                // only cost a zero-quotient division, never a missed one.
+                let list = lit_index.entry((Var(d.0), true)).or_default();
+                if let Err(pos) = list.binary_search(&f) {
+                    list.insert(pos, f);
+                }
             }
         }
     }

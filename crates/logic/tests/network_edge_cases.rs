@@ -243,9 +243,11 @@ fn blif_missing_names_body_is_constant_zero() {
 
 #[test]
 fn blif_duplicate_node_definition_rejected() {
+    // Two `.names` blocks driving `f`: a duplicate-driver parse error
+    // pointing at the second block's header line.
     let r =
         blif::parse(".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n");
-    assert!(matches!(r, Err(LogicError::DuplicateName(_))));
+    assert!(matches!(r, Err(LogicError::Parse { line: 6, .. })));
 }
 
 #[test]

@@ -276,7 +276,7 @@ impl ServeSession {
     fn run_job(&self, id: u64, req: &JobRequest) -> Result<(ThresholdNetwork, SynthStats), String> {
         let setup_t0 = tels_metrics::enabled().then(Instant::now);
         validate_config(&req.config)?;
-        let net = blif::parse(&req.blif).map_err(|e| format!("blif: {e}"))?;
+        let net = blif::parse_reader(req.blif.as_bytes()).map_err(|e| format!("blif: {e}"))?;
         // Mirror one-shot `tels synth`: factor by default, synthesize the
         // prepared network, verify (when asked) against the *original*.
         let prepared = Arc::new(if req.factor {

@@ -33,7 +33,12 @@ echo "==> synth_pipeline smoke (consistency gates)"
 # and that the tier-0.5 pseudo-Boolean procedure changes no netlist byte
 # on the large-circuit ψ=7 leg while cutting its remaining ILP solves by
 # at least half at equal-or-better wall clock (also vs the committed
-# ilp_solve_reduction_large baseline).
+# ilp_solve_reduction_large baseline). The run ends with the big-circuit
+# scaling leg: a 10k+-node generated circuit streamed through parse →
+# factor → synth → verify (streaming parse byte-identical to the string
+# parser, stage timings gated loosely against the committed baseline to
+# catch accidentally-quadratic regressions) plus the structural-hashing
+# shrink assertion on the duplicated-logic ALU array.
 cargo run --release -p tels-bench --bin synth_pipeline --quiet -- --quick
 
 echo "==> serve_pipeline smoke (daemon throughput + determinism gates)"
@@ -117,9 +122,9 @@ trap 'rm -rf "$smoke_dir"' EXIT
     || { echo "ci.sh: daemon left no final metrics snapshot" >&2; exit 1; }
 
 echo "==> differential fuzz (quick budget) + corpus replay"
-# 500 seeded cases through the full oracle matrix (tier-0/tier-0.5/cache/
-# threads/trace/metrics determinism, synthesis and one-to-one correctness
-# vs the source),
+# 500 seeded cases through the full oracle matrix (streaming-vs-string
+# BLIF parse identity, tier-0/tier-0.5/cache/threads/trace/metrics
+# determinism, synthesis and one-to-one correctness vs the source),
 # then every committed reproducer in tests/corpus/ — each is a past
 # failure that must stay fixed forever. Any new counterexample is shrunk
 # and written to tests/corpus/ for triage (and must be fixed + committed).
